@@ -1,0 +1,133 @@
+"""Ablation A1 — AlgAU's cautious AF rule (the faulty-detour relay).
+
+The AF guard has two triggers: (i) the node is unprotected, and (ii)
+the node senses the faulty turn one unit inwards (``ψ-1(ℓ)̂``).  The
+second trigger is the relay that Lemma 2.12 builds on: it propagates
+the detour outwards so that out-protected faulty nodes are guaranteed
+to drain.  The ablated variant drops trigger (ii).
+
+The experiment runs both variants from the all-faulty adversarial start
+(the configuration the relay exists for): the ablated variant must
+deadlock or drastically slow down where the full rule drains cleanly —
+demonstrating that the paper's "cautious approach" is load-bearing.
+
+The timed kernel is one full-rule stabilization from all-faulty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.stabilization import measure_au_stabilization
+from repro.analysis.stats import Summary
+from repro.analysis.tables import render_table
+from repro.core.algau import ThinUnison
+from repro.core.predicates import is_good_graph
+from repro.faults.injection import au_all_faulty, au_sign_split, random_configuration
+from repro.graphs.generators import damaged_clique, path, ring
+from repro.model.scheduler import ShuffledRoundRobinScheduler
+
+TRIALS = 8
+
+
+def run_variant(cautious: bool, initial_factory, topology_factory, seed):
+    rng = np.random.default_rng(seed)
+    topology, d = topology_factory(rng)
+    algorithm = ThinUnison(d, cautious_af=cautious)
+    result = measure_au_stabilization(
+        algorithm,
+        topology,
+        initial_factory(algorithm, topology, rng),
+        ShuffledRoundRobinScheduler(),
+        rng,
+        max_rounds=4 * (3 * d + 2) ** 3,
+    )
+    return result
+
+
+def kernel():
+    result = run_variant(
+        True, au_all_faulty, lambda rng: (ring(8), 4), seed=0
+    )
+    assert result.stabilized
+    return result.rounds
+
+
+SCENARIOS = [
+    ("ring(8), all-faulty", lambda rng: (ring(8), 4), au_all_faulty),
+    ("path(6), all-faulty", lambda rng: (path(6), 5), au_all_faulty),
+    (
+        "damaged-clique(10, D=2), all-faulty",
+        lambda rng: (damaged_clique(10, 2, rng), 2),
+        au_all_faulty,
+    ),
+    (
+        "damaged-clique(10, D=2), sign-split",
+        lambda rng: (damaged_clique(10, 2, rng), 2),
+        au_sign_split,
+    ),
+    (
+        "ring(8), random",
+        lambda rng: (ring(8), 4),
+        random_configuration,
+    ),
+]
+
+
+def test_ablation_cautious_af(benchmark):
+    rows = []
+    full_beats_ablation = 0
+    for label, topology_factory, initial_factory in SCENARIOS:
+        outcomes = {}
+        for cautious in (True, False):
+            stabilized = 0
+            rounds = []
+            for trial in range(TRIALS):
+                result = run_variant(
+                    cautious, initial_factory, topology_factory, seed=trial
+                )
+                if result.stabilized:
+                    stabilized += 1
+                    rounds.append(result.rounds)
+            outcomes[cautious] = (stabilized, rounds)
+        full_ok, full_rounds = outcomes[True]
+        ablated_ok, ablated_rounds = outcomes[False]
+        rows.append(
+            (
+                label,
+                f"{full_ok}/{TRIALS}",
+                str(Summary.of(full_rounds)) if full_rounds else "-",
+                f"{ablated_ok}/{TRIALS}",
+                str(Summary.of(ablated_rounds)) if ablated_rounds else "-",
+            )
+        )
+        if full_ok > ablated_ok or (
+            full_rounds
+            and ablated_rounds
+            and np.mean(full_rounds) < np.mean(ablated_rounds)
+        ):
+            full_beats_ablation += 1
+        # The paper's rule never loses to the ablation.
+        assert full_ok == TRIALS, f"full AlgAU failed on {label}"
+
+    table = render_table(
+        [
+            "scenario",
+            "full rule: stabilized",
+            "full rule: rounds",
+            "no-relay ablation: stabilized",
+            "no-relay: rounds",
+        ],
+        rows,
+        title=(
+            "Ablation A1 — dropping the cautious AF relay (the "
+            "ψ-1(ℓ)̂ trigger); budget 4·k³ rounds per trial"
+        ),
+    )
+    emit("ablation_cautious_af", table)
+
+    # The ablation must visibly hurt somewhere (deadlocks or slowdowns).
+    assert full_beats_ablation >= 1
+
+    benchmark.pedantic(kernel, rounds=3, iterations=1)

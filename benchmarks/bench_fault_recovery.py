@@ -1,0 +1,125 @@
+"""Application — fault-tolerant biological networks (the title claim).
+
+Two experiments on biological topologies:
+
+1. **AU recovery**: a stabilized quorum-colony clock is hit by repeated
+   transient fault bursts; recovery always succeeds (Thm 1.1) and small
+   faults heal in far fewer rounds than the worst-case bound.
+2. **MIS fault-tolerance contrast**: the same corrupted initial
+   configurations are given to the paper's AlgMIS and to the
+   non-self-stabilizing IDGreedyMIS comparator on proneural clusters —
+   AlgMIS always converges to a valid SOP pattern, the baseline stays
+   broken.
+
+The timed kernel is one AU fault-burst recovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.experiments import au_fault_recovery_experiment
+from repro.analysis.stabilization import measure_static_task_stabilization
+from repro.analysis.tables import render_table
+from repro.baselines.luby_mis import IDGreedyMIS
+from repro.core.algau import ThinUnison
+from repro.core.predicates import is_good_graph
+from repro.faults.injection import random_configuration
+from repro.graphs.biological import proneural_cluster, quorum_colony
+from repro.model.execution import Execution
+from repro.model.scheduler import (
+    ShuffledRoundRobinScheduler,
+    SynchronousScheduler,
+)
+from repro.tasks.mis import AlgMIS
+from repro.tasks.spec import check_mis_output
+
+TRIALS = 8
+
+
+def kernel():
+    row = au_fault_recovery_experiment(
+        diameter_bound=2, n=12, bursts=1, fraction=0.3, trials=1
+    )
+    assert row.recovered == 1
+
+
+def mis_contrast(trials: int):
+    """Corrupted starts on a proneural cluster: AlgMIS vs IDGreedyMIS."""
+    algmis_ok = 0
+    baseline_ok = 0
+    for trial in range(trials):
+        rng = np.random.default_rng(1000 + trial)
+        tissue = proneural_cluster(4, 3)
+        d = tissue.diameter
+
+        algorithm = AlgMIS(d)
+        result = measure_static_task_stabilization(
+            algorithm,
+            tissue,
+            random_configuration(algorithm, tissue, rng),
+            SynchronousScheduler(),
+            rng,
+            lambda out: check_mis_output(tissue, out).valid,
+            max_rounds=80_000,
+            confirm_rounds=10 * (d + 3),
+        )
+        if result.stabilized:
+            algmis_ok += 1
+
+        baseline = IDGreedyMIS(tissue.n)
+        execution = Execution(
+            tissue,
+            baseline,
+            random_configuration(baseline, tissue, rng),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+        execution.run(max_rounds=200)
+        out = execution.configuration.output_vector(baseline)
+        if all(o is not None for o in out) and check_mis_output(
+            tissue, out
+        ).valid:
+            baseline_ok += 1
+    return algmis_ok, baseline_ok
+
+
+def test_fault_recovery(benchmark):
+    # 1. AU burst recovery on quorum colonies.
+    au_row = au_fault_recovery_experiment(
+        diameter_bound=2, n=16, bursts=3, fraction=0.3, trials=TRIALS
+    )
+    # 2. MIS contrast on proneural clusters.
+    algmis_ok, baseline_ok = mis_contrast(TRIALS)
+
+    table = render_table(
+        ["experiment", "result"],
+        [
+            (
+                au_row.label,
+                f"{au_row.recovered}/{au_row.trials} runs recovered from "
+                f"every burst; recovery rounds: {au_row.recovery_rounds}",
+            ),
+            (
+                f"AlgMIS on proneural(4x3), corrupted start × {TRIALS}",
+                f"{algmis_ok}/{TRIALS} valid SOP patterns (self-stabilizing)",
+            ),
+            (
+                f"IDGreedyMIS on proneural(4x3), corrupted start × {TRIALS}",
+                f"{baseline_ok}/{TRIALS} valid patterns (no recovery "
+                "mechanism)",
+            ),
+        ],
+        title=(
+            "Application — fault tolerance on biological topologies: "
+            "the paper's algorithms heal, classic comparators do not"
+        ),
+    )
+    emit("fault_recovery", table)
+
+    assert au_row.recovered == au_row.trials
+    assert algmis_ok == TRIALS
+    assert baseline_ok < TRIALS  # the baseline demonstrably breaks
+
+    benchmark.pedantic(kernel, rounds=2, iterations=1)

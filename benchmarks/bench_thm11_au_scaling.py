@@ -1,0 +1,86 @@
+"""Theorem 1.1 — AlgAU: state space O(D), stabilization O(D^3) rounds.
+
+Sweeps the diameter bound ``D``, measuring (a) the exact state count —
+which must equal ``12D + 6``, independent of ``n`` — and (b) worst-case
+stabilization rounds over the adversarial-start suite under an
+asynchronous scheduler.  The shape check: the log-log slope of rounds
+vs ``D`` stays at or below the paper's cubic exponent (empirically the
+constant is tiny, so measured rounds sit far below ``k^3``).
+
+The timed kernel is a single adversarial stabilization run at D = 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.experiments import au_scaling_experiment, au_scaling_slope
+from repro.analysis.stabilization import measure_au_stabilization
+from repro.analysis.tables import render_table
+from repro.core.algau import ThinUnison
+from repro.faults.injection import au_sign_split
+from repro.graphs.generators import damaged_clique
+from repro.model.scheduler import ShuffledRoundRobinScheduler
+
+DIAMETER_BOUNDS = (1, 2, 3, 4, 5)
+TRIALS = 6
+N = 14
+
+
+def kernel():
+    rng = np.random.default_rng(0)
+    algorithm = ThinUnison(2)
+    topology = damaged_clique(N, 2, rng, damage=0.4)
+    result = measure_au_stabilization(
+        algorithm,
+        topology,
+        au_sign_split(algorithm, topology, rng),
+        ShuffledRoundRobinScheduler(),
+        rng,
+        max_rounds=100_000,
+    )
+    assert result.stabilized
+    return result.rounds
+
+
+def test_thm11_au_scaling(benchmark):
+    rows = au_scaling_experiment(
+        diameter_bounds=DIAMETER_BOUNDS, n=N, trials=TRIALS
+    )
+    slope = au_scaling_slope(rows)
+
+    table = render_table(
+        [
+            "D",
+            "states |Q|",
+            "paper 12D+6",
+            "rounds (worst over starts)",
+            "paper bound k^3",
+        ],
+        [
+            (
+                row.params["D"],
+                row.extra["states"],
+                row.extra["states_bound_12D+6"],
+                str(row.rounds),
+                row.extra["rounds_bound_k^3"],
+            )
+            for row in rows
+        ],
+        title=(
+            "Thm 1.1 — AlgAU scaling in D (n=14, shuffled-round-robin "
+            f"scheduler, worst of 4 adversarial starts × {TRIALS} trials); "
+            f"log-log slope of rounds vs D = {slope:.2f} (paper: ≤ 3)"
+        ),
+    )
+    emit("thm11_au_scaling", table)
+
+    # Shape checks.
+    for row in rows:
+        d = row.params["D"]
+        assert row.extra["states"] == 12 * d + 6  # exact, any n
+        assert row.rounds.maximum <= row.extra["rounds_bound_k^3"]
+    assert slope <= 3.2  # cubic upper bound with measurement noise
+
+    benchmark.pedantic(kernel, rounds=3, iterations=1)

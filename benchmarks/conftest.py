@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark in this directory regenerates one of the paper's tables
+or figures (or validates one quantitative theorem): it prints the
+paper-shaped rows, persists them under ``benchmarks/results/``, asserts
+the claim's *shape*, and times a representative kernel via
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import persist_table
+
+
+def emit(name: str, table: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    print()
+    print(table)
+    path = persist_table(name, table)
+    print(f"[saved to {path}]")

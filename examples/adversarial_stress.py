@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Watching the stabilization proof happen: the progress ladder under
+an adaptive adversary.
+
+Theorem 1.1's proof climbs a ladder of configuration classes, each
+closed once reached:
+
+    arbitrary -> out-protected -> justified -> good
+
+This demo runs AlgAU against the *greedy adversary* — a fair scheduler
+with one-step lookahead that always activates the node whose transition
+keeps the network most disordered — and prints the ladder stage and the
+proof's residual quantities per round.  Even this adversary cannot stop
+the climb: each rung is closed under steps, so progress only
+accumulates.
+
+Run:  python examples/adversarial_stress.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Execution, ThinUnison
+from repro.core.potential import Stage, progress_report
+from repro.core.predicates import is_good_graph
+from repro.faults.injection import au_all_faulty
+from repro.graphs.generators import dumbbell
+from repro.model.adversary import greedy_au_adversary
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+    network = dumbbell(4, 2)  # two 4-cliques, bridge of 2: diameter 4
+    diameter_bound = 4
+    algorithm = ThinUnison(diameter_bound)
+    print(
+        f"network: {network.name} (n={network.n}, diam={network.diameter}); "
+        f"algorithm: {algorithm.name}"
+    )
+    print(
+        "adversary: fair greedy lookahead (activates whichever node "
+        "keeps the disorder potential highest)\n"
+    )
+
+    adversary = greedy_au_adversary(algorithm)
+    execution = Execution(
+        network,
+        algorithm,
+        au_all_faulty(algorithm, network, rng),  # everyone starts faulty
+        adversary,
+        rng=rng,
+    )
+    adversary.attach(execution)
+
+    print("round | stage          | faulty | unjust | unprot.edges | gap")
+    last_stage = None
+    while not is_good_graph(algorithm, execution.configuration):
+        execution.run_rounds(1)
+        report = progress_report(algorithm, execution.configuration)
+        marker = "  <- new rung" if report.stage != last_stage else ""
+        print(
+            f"{execution.completed_rounds:5d} | {report.stage.name:14s} | "
+            f"{report.faulty_nodes:6d} | {report.unjustified_nodes:6d} | "
+            f"{report.unprotected_edges:12d} | {report.max_edge_gap:3d}"
+            f"{marker}"
+        )
+        last_stage = report.stage
+        if execution.completed_rounds > (3 * diameter_bound + 2) ** 3:
+            raise RuntimeError("exceeded the k^3 budget (should not happen)")
+
+    print(
+        f"\ngood graph reached after {execution.completed_rounds} rounds "
+        f"(budget k^3 = {(3 * diameter_bound + 2) ** 3}); the ladder only "
+        "ever climbed — exactly the closure lemmas of the proof"
+    )
+
+
+if __name__ == "__main__":
+    main()

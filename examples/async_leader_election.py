@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Asynchronous self-stabilizing leader election (Thm 1.3 + Cor 1.2).
+
+A bacterial colony needs one coordinating cell — e.g. the initiator of
+fruiting-body formation.  Leader election must survive uncoordinated
+starts and transient faults, and cells activate asynchronously.  We run
+``Sync[AlgLE]``: the synchronous leader-election algorithm lifted by the
+AlgAU-based synchronizer, under a deliberately nasty scheduler (one that
+starves a victim cell as much as fairness allows).
+
+The demo elects a leader from garbage, then corrupts the leader's own
+state (the worst single-node fault) and shows the colony re-electing.
+
+Run:  python examples/async_leader_election.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Execution
+from repro.faults.injection import random_configuration
+from repro.graphs.biological import quorum_colony
+from repro.model.scheduler import LaggardScheduler
+from repro.sync.synchronizer import Synchronizer
+from repro.tasks.le import AlgLE
+from repro.tasks.spec import check_le_output
+
+
+def run_to_leader(execution, algorithm, budget=300_000) -> int:
+    def elected(e):
+        config = e.configuration
+        if not config.is_output_configuration(algorithm):
+            return False
+        return check_le_output(config.output_vector(algorithm)).valid
+
+    start = execution.completed_rounds
+    result = execution.run(max_rounds=start + budget, until=elected)
+    if not result.stopped_by_predicate:
+        raise RuntimeError("no leader emerged within the budget")
+    return execution.completed_rounds - start
+
+
+def leader_of(execution, algorithm) -> int:
+    outputs = execution.configuration.output_vector(algorithm)
+    (leader,) = [v for v, bit in enumerate(outputs) if bit == 1]
+    return leader
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    diameter_bound = 2
+
+    colony = quorum_colony(n=12, diameter_bound=diameter_bound, rng=rng)
+    inner = AlgLE(diameter_bound)
+    algorithm = Synchronizer(inner, diameter_bound)
+    print(f"colony: {colony.name} (n={colony.n}, diam={colony.diameter})")
+    print(
+        f"algorithm: {algorithm.name}; synchronous inner stabilizes in "
+        f"O(D log n) rounds, the synchronizer adds O(D^3) (Cor 1.2)"
+    )
+
+    # The adversary starves cell 0: it activates only once per 6 steps.
+    scheduler = LaggardScheduler(victim=0, period=6)
+    execution = Execution(
+        colony,
+        algorithm,
+        random_configuration(algorithm, colony, rng),
+        scheduler,
+        rng=rng,
+    )
+
+    rounds = run_to_leader(execution, algorithm)
+    leader = leader_of(execution, algorithm)
+    print(f"\nleader elected from garbage: cell {leader} after {rounds} rounds")
+
+    # Kill the leader's state — the nastiest single-cell transient fault.
+    execution.replace_configuration(
+        execution.configuration.replace(
+            {leader: algorithm.random_state(rng)}
+        )
+    )
+    print(f"transient fault: cell {leader}'s state corrupted")
+
+    rounds = run_to_leader(execution, algorithm)
+    new_leader = leader_of(execution, algorithm)
+    print(
+        f"colony re-elected: cell {new_leader} after {rounds} rounds "
+        f"({'same' if new_leader == leader else 'different'} cell)"
+    )
+
+    # Exactly-one-leader is verified continuously by DetectLE: confirm
+    # the output stays fixed over a long tail.
+    snapshot = execution.configuration.output_vector(algorithm)
+    execution.run_rounds(100)
+    assert execution.configuration.output_vector(algorithm) == snapshot
+    print("\nleadership stable over 100 further asynchronous rounds")
+
+
+if __name__ == "__main__":
+    main()

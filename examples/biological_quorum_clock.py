@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""A fault-tolerant biological clock in a bacterial colony.
+
+The paper's title application: biological distributed systems cannot
+rely on a coordinated start and are constantly exposed to transient
+faults, yet their components are weak — anonymous cells with a handful
+of internal states sensing a chemical broadcast.  This example casts
+AlgAU as a shared *circadian-style clock* for a quorum-sensing colony:
+
+1. a colony of cells with near-complete contact topology (environmental
+   obstacles remove some links — the paper's bounded-diameter family);
+2. the cells run AlgAU and synchronize their clock from an arbitrary
+   initial mess (no coordinated start);
+3. repeated transient fault bursts corrupt random subsets of cells
+   mid-run — the colony re-synchronizes every time, and we measure how
+   fast.
+
+Run:  python examples/biological_quorum_clock.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Execution, ThinUnison
+from repro.core.predicates import good_nodes, is_good_graph
+from repro.faults.injection import random_configuration
+from repro.graphs.biological import quorum_colony
+from repro.model.scheduler import RandomSubsetScheduler
+
+
+def wait_for_unison(execution, algorithm, budget=50_000) -> int:
+    start = execution.completed_rounds
+    result = execution.run(
+        max_rounds=start + budget,
+        until=lambda e: is_good_graph(algorithm, e.configuration),
+    )
+    if not result.stopped_by_predicate:
+        raise RuntimeError("colony failed to synchronize")
+    return execution.completed_rounds - start
+
+
+def main() -> None:
+    rng = np.random.default_rng(2021)
+    diameter_bound = 2
+
+    colony = quorum_colony(n=24, diameter_bound=diameter_bound, rng=rng)
+    algorithm = ThinUnison(diameter_bound)
+    print(
+        f"colony: {colony.name} ({colony.n} cells, {colony.m} contacts, "
+        f"diam={colony.diameter})"
+    )
+    print(
+        f"clock: {algorithm.name} with {algorithm.state_space_size()} "
+        f"states per cell — independent of colony size"
+    )
+
+    # Cells activate asynchronously: each cell wakes with probability
+    # 0.5 per step (a crude model of independent cellular dynamics).
+    execution = Execution(
+        colony,
+        algorithm,
+        random_configuration(algorithm, colony, rng),  # uncoordinated start
+        RandomSubsetScheduler(0.5),
+        rng=rng,
+    )
+
+    rounds = wait_for_unison(execution, algorithm)
+    print(f"\ninitial synchronization: {rounds} rounds from an arbitrary mess")
+
+    for burst, fraction in enumerate((0.25, 0.5, 0.75), start=1):
+        victims = rng.choice(
+            colony.n, size=max(1, int(fraction * colony.n)), replace=False
+        )
+        execution.replace_configuration(
+            execution.configuration.replace(
+                {int(v): algorithm.random_state(rng) for v in victims}
+            )
+        )
+        healthy = len(good_nodes(algorithm, execution.configuration))
+        rounds = wait_for_unison(execution, algorithm)
+        print(
+            f"burst {burst}: corrupted {len(victims):2d}/{colony.n} cells "
+            f"({healthy} still good) -> re-synchronized in {rounds} rounds"
+        )
+
+    # The colony clock now pulses in unison; show a few beats.
+    print("\ncolony clock beats (unique clock values present per round):")
+    for _ in range(6):
+        execution.run_rounds(1)
+        config = execution.configuration
+        clocks = sorted(
+            {algorithm.output(config[v]) for v in colony.nodes}
+        )
+        print(f"  round {execution.completed_rounds}: clocks {clocks}")
+    print(
+        "\nself-stabilization means the colony never needs a coordinated "
+        "reset: any transient fault heals by itself (Thm 1.1)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists
+so that ``pip install -e . --no-use-pep517`` works on offline machines
+whose setuptools cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

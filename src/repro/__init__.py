@@ -1,0 +1,75 @@
+"""repro — reproduction of Emek & Keren, PODC 2021.
+
+"A Thin Self-Stabilizing Asynchronous Unison Algorithm with Applications
+to Fault Tolerant Biological Networks."
+
+The package implements the simplified stone age model, the thin
+self-stabilizing asynchronous unison algorithm **AlgAU**, the
+synchronous self-stabilizing **AlgLE** (leader election) and **AlgMIS**
+(maximal independent set) algorithms with their shared **Restart**
+module, the **synchronizer** transformer of Corollary 1.2, the paper's
+Appendix-A failed reset-based unison, additional baselines, fault
+injection, and an experiment harness that regenerates every table and
+figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import ThinUnison, Execution
+    from repro.graphs.generators import damaged_clique
+    from repro.model.scheduler import ShuffledRoundRobinScheduler
+    from repro.faults.injection import random_configuration
+    from repro.core.predicates import is_good_graph
+
+    rng = np.random.default_rng(0)
+    topo = damaged_clique(n=12, diameter_bound=2, rng=rng)
+    alg = ThinUnison(diameter_bound=2)
+    config = random_configuration(alg, topo, rng)
+    run = Execution(topo, alg, config, ShuffledRoundRobinScheduler(), rng=rng)
+    run.run(max_rounds=10_000, until=lambda e: is_good_graph(alg, e.configuration))
+    assert is_good_graph(alg, run.configuration)
+"""
+
+from repro.core.algau import ThinUnison, TransitionType
+from repro.core.clock import CyclicClock
+from repro.core.levels import LevelSystem
+from repro.core.turns import Turn, able, faulty
+from repro.graphs.topology import Topology, topology_from_edges
+from repro.model.algorithm import Algorithm, Distribution
+from repro.model.configuration import Configuration
+from repro.model.execution import Execution, Monitor, RunResult
+from repro.model.scheduler import (
+    RandomSubsetScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    ShuffledRoundRobinScheduler,
+    SynchronousScheduler,
+)
+from repro.model.signal import Signal
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm",
+    "Configuration",
+    "CyclicClock",
+    "Distribution",
+    "Execution",
+    "LevelSystem",
+    "Monitor",
+    "RandomSubsetScheduler",
+    "RoundRobinScheduler",
+    "RunResult",
+    "Scheduler",
+    "ShuffledRoundRobinScheduler",
+    "Signal",
+    "SynchronousScheduler",
+    "ThinUnison",
+    "Topology",
+    "TransitionType",
+    "Turn",
+    "able",
+    "faulty",
+    "topology_from_edges",
+    "__version__",
+]

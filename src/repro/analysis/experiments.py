@@ -1,0 +1,450 @@
+"""The experiment harness: one function per paper claim.
+
+Each function runs a seeded Monte-Carlo sweep and returns structured
+rows; the benchmarks print them via :mod:`repro.analysis.tables` and
+record paper-vs-measured in EXPERIMENTS.md.  All experiments are
+laptop-scale by construction (the paper's claims are about rounds, not
+wall-clock, so modest ``n`` suffices to check shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stabilization import (
+    StabilizationResult,
+    measure_au_stabilization,
+    measure_static_task_stabilization,
+)
+from repro.analysis.stats import Summary, loglog_slope, ratio_to_log
+from repro.core.algau import ThinUnison
+from repro.core.predicates import is_good_graph
+from repro.faults.injection import (
+    TransientFaultInjector,
+    au_adversarial_suite,
+    random_configuration,
+)
+from repro.graphs.generators import (
+    bounded_diameter_family,
+    damaged_clique,
+    complete_graph,
+)
+from repro.graphs.topology import Topology
+from repro.model.configuration import Configuration
+from repro.model.execution import Execution
+from repro.model.scheduler import (
+    Scheduler,
+    ShuffledRoundRobinScheduler,
+    SynchronousScheduler,
+)
+from repro.sync.synchronizer import Synchronizer
+from repro.tasks.le import AlgLE
+from repro.tasks.mis import AlgMIS
+from repro.tasks.restart import IdleState, RestartState, StandaloneRestart
+from repro.tasks.spec import check_le_output, check_mis_output
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One row of an experiment table."""
+
+    label: str
+    params: Dict[str, object]
+    rounds: Summary
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+def _bounded_topology(n: int, diameter_bound: int, rng) -> Topology:
+    """The sweep workload: a damaged clique with diameter within the
+    bound — degenerating to the complete graph at ``D = 1`` (removing
+    any edge from a clique already exceeds diameter 1)."""
+    if diameter_bound == 1:
+        return complete_graph(n)
+    return damaged_clique(n, diameter_bound, rng, damage=0.4)
+
+
+# ----------------------------------------------------------------------
+# Thm 1.1 — AlgAU scaling in D.
+# ----------------------------------------------------------------------
+
+
+def au_scaling_experiment(
+    diameter_bounds: Sequence[int] = (1, 2, 3, 4, 5),
+    n: int = 16,
+    trials: int = 10,
+    scheduler_factory: Callable[[], Scheduler] = ShuffledRoundRobinScheduler,
+    seed: int = 0,
+) -> List[SweepRow]:
+    """Stabilization rounds and exact state counts of AlgAU as ``D``
+    grows (paper: states ``= 12D + 6``, rounds ``= O(D^3)``).
+
+    Each trial takes the worst adversarial start from the named suite
+    (random / sign-split / clock-tear / all-faulty).
+    """
+    rows: List[SweepRow] = []
+    for d in diameter_bounds:
+        algorithm = ThinUnison(d)
+        worst_rounds: List[int] = []
+        for trial in range(trials):
+            rng = np.random.default_rng(seed + 1000 * d + trial)
+            topology = bounded_diameter_family(d, n, rng)
+            per_start = []
+            for name, initial in au_adversarial_suite(
+                algorithm, topology, rng
+            ).items():
+                result = measure_au_stabilization(
+                    algorithm,
+                    topology,
+                    initial,
+                    scheduler_factory(),
+                    rng,
+                    max_rounds=200 * (3 * d + 2) ** 3,
+                )
+                assert result.stabilized, (d, name, result.detail)
+                per_start.append(result.rounds)
+            worst_rounds.append(max(per_start))
+        k = algorithm.levels.k
+        rows.append(
+            SweepRow(
+                label=f"D={d}",
+                params={"D": d, "n": n, "k": k},
+                rounds=Summary.of(worst_rounds),
+                extra={
+                    "states": algorithm.state_space_size(),
+                    "states_bound_12D+6": 12 * d + 6,
+                    "rounds_bound_k^3": k**3,
+                },
+            )
+        )
+    return rows
+
+
+def au_scaling_slope(rows: Sequence[SweepRow]) -> float:
+    """Empirical polynomial degree of rounds vs D (paper bound: <= 3)."""
+    return loglog_slope(
+        [row.params["D"] for row in rows],
+        [row.rounds.mean for row in rows],
+    )
+
+
+# ----------------------------------------------------------------------
+# Thm 1.3 / 1.4 — LE and MIS scaling.
+# ----------------------------------------------------------------------
+
+
+def _static_task_rows(
+    make_algorithm: Callable[[int], object],
+    validity: str,
+    ns: Sequence[int],
+    diameter_bound: int,
+    trials: int,
+    seed: int,
+    scheduler_factory: Callable[[], Scheduler],
+    max_rounds: int,
+) -> List[SweepRow]:
+    rows: List[SweepRow] = []
+    for n in ns:
+        algorithm = make_algorithm(diameter_bound)
+        rounds: List[int] = []
+        for trial in range(trials):
+            rng = np.random.default_rng(seed + 1000 * n + trial)
+            topology = _bounded_topology(n, diameter_bound, rng)
+            if validity == "le":
+                is_valid = lambda out: check_le_output(out).valid
+            else:
+                is_valid = (
+                    lambda out, topo=topology: check_mis_output(topo, out).valid
+                )
+            initial = random_configuration(algorithm, topology, rng)
+            result = measure_static_task_stabilization(
+                algorithm,
+                topology,
+                initial,
+                scheduler_factory(),
+                rng,
+                is_valid,
+                max_rounds=max_rounds,
+                confirm_rounds=8 * (diameter_bound + 1),
+            )
+            assert result.stabilized, (n, trial, result.detail)
+            rounds.append(result.rounds)
+        rows.append(
+            SweepRow(
+                label=f"n={n}",
+                params={"n": n, "D": diameter_bound},
+                rounds=Summary.of(rounds),
+                extra={"states": algorithm.state_space_size()},
+            )
+        )
+    return rows
+
+
+def le_scaling_experiment(
+    ns: Sequence[int] = (4, 8, 16, 32),
+    diameter_bound: int = 2,
+    trials: int = 5,
+    seed: int = 0,
+    scheduler_factory: Callable[[], Scheduler] = SynchronousScheduler,
+    max_rounds: int = 40_000,
+) -> List[SweepRow]:
+    """AlgLE stabilization rounds as ``n`` grows (paper: O(D log n))."""
+    return _static_task_rows(
+        lambda d: AlgLE(d),
+        "le",
+        ns,
+        diameter_bound,
+        trials,
+        seed,
+        scheduler_factory,
+        max_rounds,
+    )
+
+
+def mis_scaling_experiment(
+    ns: Sequence[int] = (4, 8, 16, 32),
+    diameter_bound: int = 2,
+    trials: int = 5,
+    seed: int = 0,
+    scheduler_factory: Callable[[], Scheduler] = SynchronousScheduler,
+    max_rounds: int = 40_000,
+) -> List[SweepRow]:
+    """AlgMIS stabilization rounds as ``n`` grows
+    (paper: O((D + log n) log n))."""
+    return _static_task_rows(
+        lambda d: AlgMIS(d),
+        "mis",
+        ns,
+        diameter_bound,
+        trials,
+        seed,
+        scheduler_factory,
+        max_rounds,
+    )
+
+
+def per_log_n(rows: Sequence[SweepRow]) -> Tuple[float, ...]:
+    """rounds / log2(n) per row — flat means Θ(log n) growth."""
+    return ratio_to_log(
+        [row.params["n"] for row in rows],
+        [row.rounds.mean for row in rows],
+    )
+
+
+# ----------------------------------------------------------------------
+# Thm 3.1 — Restart.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RestartRow:
+    diameter_bound: int
+    exit_times: Summary
+    bound_6d: int
+    all_concurrent: bool
+
+
+def restart_experiment(
+    diameter_bounds: Sequence[int] = (1, 2, 3, 4, 6, 8),
+    n: int = 14,
+    trials: int = 20,
+    seed: int = 0,
+) -> List[RestartRow]:
+    """From random configurations containing at least one σ-state, all
+    nodes must exit *concurrently* within ``O(D)`` synchronous rounds
+    (we check against ``6D + 4``; isolated early exits of single nodes
+    from garbage configurations are re-absorbed by rule 1 and do not
+    count — see Thm 3.1's case analysis)."""
+    rows: List[RestartRow] = []
+    for d in diameter_bounds:
+        exit_times: List[int] = []
+        all_concurrent = True
+        algorithm = StandaloneRestart(d)
+        for trial in range(trials):
+            rng = np.random.default_rng(seed + 100 * d + trial)
+            topology = bounded_diameter_family(d, n, rng)
+            initial = random_configuration(algorithm, topology, rng)
+            if not any(
+                isinstance(initial[v], RestartState) for v in topology.nodes
+            ):
+                initial = initial.replace({0: RestartState(0)})
+            execution = Execution(
+                topology, algorithm, initial, SynchronousScheduler(), rng=rng
+            )
+            exit_time: Optional[int] = None
+            for _ in range(10 * d + 20):
+                record = execution.step()
+                exits = [
+                    v
+                    for v, old, new in record.changed
+                    if isinstance(old, RestartState)
+                    and isinstance(new, IdleState)
+                ]
+                if len(exits) == topology.n:
+                    exit_time = record.t + 1
+                    break
+            if exit_time is None:
+                all_concurrent = False
+                exit_time = 10 * d + 20
+            exit_times.append(exit_time)
+        rows.append(
+            RestartRow(
+                diameter_bound=d,
+                exit_times=Summary.of(exit_times),
+                bound_6d=6 * d + 4,
+                all_concurrent=all_concurrent,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Cor 1.2 — synchronizer overhead.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SynchronizerRow:
+    task: str
+    n: int
+    diameter_bound: int
+    sync_rounds: Summary
+    async_rounds: Summary
+    inner_states: int
+    product_states: int
+
+
+def synchronizer_experiment(
+    task: str = "mis",
+    ns: Sequence[int] = (6, 10, 14),
+    diameter_bound: int = 2,
+    trials: int = 4,
+    seed: int = 0,
+    max_rounds: int = 120_000,
+) -> List[SynchronizerRow]:
+    """Synchronous Π vs asynchronous Π* stabilization rounds, plus the
+    exact ``|Q*| = O(D·|Q|^2)`` accounting."""
+    rows: List[SynchronizerRow] = []
+    for n in ns:
+        make = (lambda d: AlgMIS(d)) if task == "mis" else (lambda d: AlgLE(d))
+        sync_rounds: List[int] = []
+        async_rounds: List[int] = []
+        inner_states = product_states = 0
+        for trial in range(trials):
+            rng = np.random.default_rng(seed + 1000 * n + trial)
+            topology = _bounded_topology(n, diameter_bound, rng)
+            if task == "mis":
+                is_valid = (
+                    lambda out, topo=topology: check_mis_output(topo, out).valid
+                )
+            else:
+                is_valid = lambda out: check_le_output(out).valid
+            inner = make(diameter_bound)
+            wrapped = Synchronizer(inner, diameter_bound)
+            inner_states = inner.state_space_size()
+            product_states = wrapped.state_space_size()
+            sync_result = measure_static_task_stabilization(
+                inner,
+                topology,
+                random_configuration(inner, topology, rng),
+                SynchronousScheduler(),
+                rng,
+                is_valid,
+                max_rounds=max_rounds,
+                confirm_rounds=8 * (diameter_bound + 1),
+            )
+            assert sync_result.stabilized, sync_result.detail
+            sync_rounds.append(sync_result.rounds)
+            async_result = measure_static_task_stabilization(
+                wrapped,
+                topology,
+                random_configuration(wrapped, topology, rng),
+                ShuffledRoundRobinScheduler(),
+                rng,
+                is_valid,
+                max_rounds=max_rounds,
+                confirm_rounds=12 * (diameter_bound + 1),
+            )
+            assert async_result.stabilized, async_result.detail
+            async_rounds.append(async_result.rounds)
+        rows.append(
+            SynchronizerRow(
+                task=task,
+                n=n,
+                diameter_bound=diameter_bound,
+                sync_rounds=Summary.of(sync_rounds),
+                async_rounds=Summary.of(async_rounds),
+                inner_states=inner_states,
+                product_states=product_states,
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fault recovery (the title application).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryRow:
+    label: str
+    recovered: int
+    trials: int
+    recovery_rounds: Optional[Summary]
+
+
+def au_fault_recovery_experiment(
+    diameter_bound: int = 2,
+    n: int = 16,
+    bursts: int = 3,
+    fraction: float = 0.3,
+    trials: int = 10,
+    seed: int = 0,
+) -> RecoveryRow:
+    """Inject ``bursts`` transient fault bursts into a stabilized AlgAU
+    run and measure re-stabilization (always succeeds: Thm 1.1)."""
+    recovery_rounds: List[int] = []
+    recovered = 0
+    for trial in range(trials):
+        rng = np.random.default_rng(seed + trial)
+        topology = _bounded_topology(n, diameter_bound, rng)
+        algorithm = ThinUnison(diameter_bound)
+        execution = Execution(
+            topology,
+            algorithm,
+            random_configuration(algorithm, topology, rng),
+            ShuffledRoundRobinScheduler(),
+            rng=rng,
+        )
+        execution.run(
+            max_rounds=10_000,
+            until=lambda e: is_good_graph(algorithm, e.configuration),
+        )
+        ok = True
+        for burst in range(bursts):
+            count = max(1, int(np.ceil(fraction * topology.n)))
+            victims = rng.choice(topology.n, size=count, replace=False)
+            corrupted = execution.configuration.replace(
+                {int(v): algorithm.random_state(rng) for v in victims}
+            )
+            execution.replace_configuration(corrupted)  # the fault strikes
+            start = execution.completed_rounds
+            result = execution.run(
+                max_rounds=execution.completed_rounds + 10_000,
+                until=lambda e: is_good_graph(algorithm, e.configuration),
+            )
+            if not result.stopped_by_predicate:
+                ok = False
+                break
+            recovery_rounds.append(execution.completed_rounds - start + 1)
+        if ok:
+            recovered += 1
+    return RecoveryRow(
+        label=f"AlgAU(D={diameter_bound}) n={n} {bursts} bursts @{fraction:.0%}",
+        recovered=recovered,
+        trials=trials,
+        recovery_rounds=Summary.of(recovery_rounds) if recovery_rounds else None,
+    )

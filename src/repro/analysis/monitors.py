@@ -1,0 +1,202 @@
+"""Execution monitors.
+
+Monitors observe executions step by step without influencing them; the
+analysis layer uses them to measure stabilization in the paper's units,
+count AlgAU transition types, verify invariant closure (the paper's
+Observations), and record output-vector dynamics for the static tasks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.algau import ThinUnison, TransitionType
+from repro.core.predicates import (
+    is_good_graph,
+    is_out_protected_graph,
+    out_protected_nodes,
+    unjustifiably_faulty_nodes,
+)
+from repro.model.configuration import Configuration
+from repro.model.execution import Execution, Monitor, StepRecord
+
+
+class TransitionCounter(Monitor):
+    """Tallies AlgAU transition types (AA/AF/FA) per node and overall."""
+
+    def __init__(self, algorithm: ThinUnison):
+        self.algorithm = algorithm
+        self.totals: TallyCounter = TallyCounter()
+        self.per_node: Dict[int, TallyCounter] = {}
+
+    def on_start(self, execution: Execution) -> None:
+        self.per_node = {v: TallyCounter() for v in execution.topology.nodes}
+
+    def on_step(self, execution: Execution, record: StepRecord) -> None:
+        for node, old, new in record.changed:
+            kind = self.algorithm.classify_change(old, new)
+            if kind is not None and kind is not TransitionType.STAY:
+                self.totals[kind] += 1
+                self.per_node[node][kind] += 1
+
+    def pulses(self, node: int) -> int:
+        """Type-AA count for ``node`` (its unison pulses)."""
+        return self.per_node.get(node, TallyCounter())[TransitionType.AA]
+
+
+class GoodGraphMonitor(Monitor):
+    """Records when the graph first becomes good and asserts closure
+    (Lem 2.10: goodness, once reached, is never lost)."""
+
+    def __init__(self, algorithm: ThinUnison, check_every_step: bool = False):
+        self.algorithm = algorithm
+        self.check_every_step = check_every_step
+        self.first_good_time: Optional[int] = None
+        self.first_good_round: Optional[int] = None
+        self.goodness_lost_at: Optional[int] = None
+
+    def _check(self, execution: Execution, t: int) -> None:
+        good = is_good_graph(self.algorithm, execution.configuration)
+        if good and self.first_good_time is None:
+            self.first_good_time = t
+            self.first_good_round = execution.rounds.round_of_time(
+                min(t, execution.rounds.boundaries[-1])
+            ) if t <= execution.rounds.boundaries[-1] else None
+        if not good and self.first_good_time is not None:
+            self.goodness_lost_at = t
+
+    def on_start(self, execution: Execution) -> None:
+        self._check(execution, 0)
+
+    def on_step(self, execution: Execution, record: StepRecord) -> None:
+        if self.check_every_step or record.completed_round:
+            self._check(execution, record.t + 1)
+
+
+class InvariantViolation(AssertionError):
+    """Raised by :class:`AlgAUInvariantMonitor` when a proved invariant
+    fails — this would indicate an implementation bug."""
+
+
+class AlgAUInvariantMonitor(Monitor):
+    """Checks the paper's monotone invariants after every step:
+
+    * Obs 2.3 — out-protected nodes stay out-protected;
+    * Lem 2.16 — after the graph is out-protected, no node *becomes*
+      unjustifiably faulty;
+    * Lem 2.10 — a good graph stays good.
+
+    Expensive (recomputes global predicates every step); used by tests
+    on small instances only.
+    """
+
+    def __init__(self, algorithm: ThinUnison):
+        self.algorithm = algorithm
+        self._previous_out_protected: frozenset = frozenset()
+        self._was_out_protected_graph = False
+        self._previous_unjustified: frozenset = frozenset()
+        self._was_good = False
+
+    def on_start(self, execution: Execution) -> None:
+        config = execution.configuration
+        self._previous_out_protected = out_protected_nodes(
+            self.algorithm, config
+        )
+        self._was_out_protected_graph = is_out_protected_graph(
+            self.algorithm, config
+        )
+        self._previous_unjustified = unjustifiably_faulty_nodes(
+            self.algorithm, config
+        )
+        self._was_good = is_good_graph(self.algorithm, config)
+
+    def on_step(self, execution: Execution, record: StepRecord) -> None:
+        config = execution.configuration
+        now_out_protected = out_protected_nodes(self.algorithm, config)
+        if not self._previous_out_protected <= now_out_protected:
+            lost = self._previous_out_protected - now_out_protected
+            raise InvariantViolation(
+                f"Obs 2.3 violated at t={record.t}: nodes {sorted(lost)} "
+                "lost out-protection"
+            )
+        now_unjustified = unjustifiably_faulty_nodes(self.algorithm, config)
+        if self._was_out_protected_graph:
+            fresh = now_unjustified - self._previous_unjustified
+            if fresh:
+                raise InvariantViolation(
+                    f"Lem 2.16 violated at t={record.t}: nodes "
+                    f"{sorted(fresh)} became unjustifiably faulty"
+                )
+        now_good = is_good_graph(self.algorithm, config)
+        if self._was_good and not now_good:
+            raise InvariantViolation(
+                f"Lem 2.10 violated at t={record.t}: goodness was lost"
+            )
+        self._previous_out_protected = now_out_protected
+        self._was_out_protected_graph = (
+            self._was_out_protected_graph
+            or is_out_protected_graph(self.algorithm, config)
+        )
+        self._previous_unjustified = now_unjustified
+        self._was_good = now_good
+
+
+class OutputChangeMonitor(Monitor):
+    """Tracks the output vector of a static-task algorithm: when it
+    last changed and whether all nodes are in output states.
+
+    The stabilization round of a static task is the first round from
+    which the output vector is valid and never changes again.
+    """
+
+    def __init__(self, algorithm):
+        self.algorithm = algorithm
+        self.last_change_time = 0
+        self._last_vector: Optional[Tuple] = None
+        self._last_complete: Optional[bool] = None
+
+    def _snapshot(self, config: Configuration):
+        complete = config.is_output_configuration(self.algorithm)
+        vector = config.output_vector(self.algorithm)
+        return complete, vector
+
+    def on_start(self, execution: Execution) -> None:
+        self._last_complete, self._last_vector = self._snapshot(
+            execution.configuration
+        )
+
+    def on_step(self, execution: Execution, record: StepRecord) -> None:
+        complete, vector = self._snapshot(execution.configuration)
+        if complete != self._last_complete or vector != self._last_vector:
+            self.last_change_time = record.t + 1
+            self._last_complete, self._last_vector = complete, vector
+
+    @property
+    def current_vector(self) -> Optional[Tuple]:
+        return self._last_vector
+
+    @property
+    def currently_complete(self) -> bool:
+        return bool(self._last_complete)
+
+
+class PredicateTimeline(Monitor):
+    """Records, per completed round, the value of a configuration
+    predicate — handy for plots/tables of recovery dynamics."""
+
+    def __init__(self, predicate: Callable[[Configuration], object]):
+        self.predicate = predicate
+        self.timeline: List[Tuple[int, object]] = []
+
+    def on_start(self, execution: Execution) -> None:
+        self.timeline.append((0, self.predicate(execution.configuration)))
+
+    def on_step(self, execution: Execution, record: StepRecord) -> None:
+        if record.completed_round:
+            self.timeline.append(
+                (
+                    execution.completed_rounds,
+                    self.predicate(execution.configuration),
+                )
+            )

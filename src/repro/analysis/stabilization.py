@@ -1,0 +1,159 @@
+"""Stabilization measurement in the paper's units.
+
+The paper defines the stabilization time of an execution as the
+smallest round index ``i`` such that the execution has stabilized by
+time ``R(i)``.  For AlgAU, stabilization coincides with the graph being
+*good* (Sec. 2.3.2); for the static tasks (LE/MIS) it is the first time
+from which the configuration is an output configuration with a valid,
+never-again-changing output vector.
+
+Measurement strategy for static tasks: run with an
+:class:`~repro.analysis.monitors.OutputChangeMonitor` until the output
+vector is valid and complete, then keep running for a confirmation
+window; if the vector changes, continue from the new candidate point.
+The reported round is the round of the *last* output change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.algau import ThinUnison
+from repro.core.predicates import is_good_graph
+from repro.graphs.topology import Topology
+from repro.model.algorithm import Algorithm
+from repro.model.configuration import Configuration
+from repro.model.errors import StabilizationError
+from repro.model.execution import Execution
+from repro.model.scheduler import Scheduler
+from repro.analysis.monitors import OutputChangeMonitor
+
+
+@dataclass(frozen=True)
+class StabilizationResult:
+    """Outcome of one stabilization measurement."""
+
+    stabilized: bool
+    rounds: int  # the paper's unit: smallest i with stabilization by R(i)
+    steps: int
+    detail: str = ""
+
+
+def measure_au_stabilization(
+    algorithm: ThinUnison,
+    topology: Topology,
+    initial: Configuration,
+    scheduler: Scheduler,
+    rng: np.random.Generator,
+    max_rounds: int,
+    confirm_rounds: int = 0,
+) -> StabilizationResult:
+    """Rounds until the graph becomes good (AlgAU stabilization).
+
+    ``confirm_rounds`` optionally re-checks closure (Lem 2.10 proves it,
+    so tests use it as a tripwire, experiments leave it at 0).
+    """
+    execution = Execution(topology, algorithm, initial, scheduler, rng=rng)
+    result = execution.run(
+        max_rounds=max_rounds,
+        until=lambda e: is_good_graph(algorithm, e.configuration),
+    )
+    if not result.stopped_by_predicate:
+        return StabilizationResult(
+            False, result.rounds, result.steps, "good graph not reached"
+        )
+    stabilization_round = execution.completed_rounds + (
+        0
+        if execution.t == execution.rounds.boundaries[-1]
+        else 1
+    )
+    if confirm_rounds:
+        execution.run_rounds(confirm_rounds)
+        if not is_good_graph(algorithm, execution.configuration):
+            return StabilizationResult(
+                False,
+                stabilization_round,
+                execution.t,
+                "goodness lost after being reached (bug!)",
+            )
+    return StabilizationResult(True, stabilization_round, execution.t)
+
+
+def measure_static_task_stabilization(
+    algorithm: Algorithm,
+    topology: Topology,
+    initial: Configuration,
+    scheduler: Scheduler,
+    rng: np.random.Generator,
+    is_valid_output: Callable[[Sequence], bool],
+    max_rounds: int,
+    confirm_rounds: int = 50,
+) -> StabilizationResult:
+    """Rounds until a static task's output is valid and stays fixed.
+
+    The measurement loop alternates "run until the output looks valid"
+    with a ``confirm_rounds`` stability window; the reported round is
+    the round containing the last output change.
+    """
+    monitor = OutputChangeMonitor(algorithm)
+    execution = Execution(
+        topology, algorithm, initial, scheduler, rng=rng, monitors=(monitor,)
+    )
+
+    def looks_stable(e: Execution) -> bool:
+        return monitor.currently_complete and is_valid_output(
+            monitor.current_vector
+        )
+
+    while execution.completed_rounds < max_rounds:
+        result = execution.run(max_rounds=max_rounds, until=looks_stable)
+        if not result.stopped_by_predicate:
+            return StabilizationResult(
+                False,
+                execution.completed_rounds,
+                execution.t,
+                "no valid output configuration reached",
+            )
+        change_marker = monitor.last_change_time
+        execution.run_rounds(confirm_rounds)
+        if monitor.last_change_time == change_marker and looks_stable(
+            execution
+        ):
+            rounds = _round_of_time(execution, monitor.last_change_time)
+            return StabilizationResult(True, rounds, execution.t)
+        # The output moved during the confirmation window — keep going.
+    return StabilizationResult(
+        False,
+        execution.completed_rounds,
+        execution.t,
+        "output kept changing within the round budget",
+    )
+
+
+def _round_of_time(execution: Execution, t: int) -> int:
+    boundaries = execution.rounds.boundaries
+    if t > boundaries[-1]:
+        return execution.completed_rounds + 1
+    return execution.rounds.round_of_time(t)
+
+
+def run_trials(
+    measure: Callable[[np.random.Generator], StabilizationResult],
+    trials: int,
+    seed: int = 0,
+    require_all: bool = True,
+) -> Tuple[StabilizationResult, ...]:
+    """Run ``trials`` seeded measurements; optionally require success."""
+    results = []
+    for trial in range(trials):
+        rng = np.random.default_rng(seed + trial)
+        result = measure(rng)
+        if require_all and not result.stabilized:
+            raise StabilizationError(
+                f"trial {trial} failed to stabilize: {result.detail}"
+            )
+        results.append(result)
+    return tuple(results)

@@ -1,0 +1,173 @@
+"""Execution tracing, persistence and replay.
+
+Distributed-algorithm debugging lives and dies by reproducible traces.
+This module provides:
+
+* :class:`TraceRecorder` — a monitor that records every step (activation
+  set, state changes, round boundaries) into a structured, JSON-
+  serializable trace;
+* :class:`ScheduleRecorder` — records just the activation sets, so that
+  any run can be replayed under an
+  :class:`~repro.model.scheduler.ExplicitScheduler` (deterministic
+  algorithms replay exactly; randomized algorithms replay exactly when
+  re-seeded identically);
+* :func:`save_trace` / :func:`load_trace` — JSON round-tripping.
+
+States are rendered with ``str`` for the trace (human-oriented); replay
+fidelity comes from re-running with the recorded schedule and seed, not
+from parsing states back.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model.execution import Execution, Monitor, StepRecord
+from repro.model.scheduler import ExplicitScheduler
+
+
+@dataclass
+class TraceStep:
+    """One recorded step."""
+
+    t: int
+    activated: Tuple[int, ...]
+    changes: Tuple[Tuple[int, str, str], ...]  # (node, old, new)
+    completed_round: bool
+
+
+@dataclass
+class Trace:
+    """A full recorded execution."""
+
+    algorithm: str
+    topology: str
+    n: int
+    steps: List[TraceStep] = field(default_factory=list)
+    initial: Tuple[str, ...] = ()
+    final: Tuple[str, ...] = ()
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    def rounds(self) -> int:
+        return sum(1 for step in self.steps if step.completed_round)
+
+    def changes_of(self, node: int) -> List[Tuple[int, str, str]]:
+        """All state changes of one node: (t, old, new)."""
+        out = []
+        for step in self.steps:
+            for v, old, new in step.changes:
+                if v == node:
+                    out.append((step.t, old, new))
+        return out
+
+    def activation_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for step in self.steps:
+            for v in step.activated:
+                counts[v] = counts.get(v, 0) + 1
+        return counts
+
+    def to_json(self) -> str:
+        payload = {
+            "algorithm": self.algorithm,
+            "topology": self.topology,
+            "n": self.n,
+            "initial": list(self.initial),
+            "final": list(self.final),
+            "steps": [
+                {
+                    "t": step.t,
+                    "activated": list(step.activated),
+                    "changes": [list(c) for c in step.changes],
+                    "completed_round": step.completed_round,
+                }
+                for step in self.steps
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        payload = json.loads(text)
+        trace = cls(
+            algorithm=payload["algorithm"],
+            topology=payload["topology"],
+            n=payload["n"],
+            initial=tuple(payload.get("initial", ())),
+            final=tuple(payload.get("final", ())),
+        )
+        for raw in payload["steps"]:
+            trace.steps.append(
+                TraceStep(
+                    t=raw["t"],
+                    activated=tuple(raw["activated"]),
+                    changes=tuple(
+                        (int(v), old, new) for v, old, new in raw["changes"]
+                    ),
+                    completed_round=raw["completed_round"],
+                )
+            )
+        return trace
+
+
+class TraceRecorder(Monitor):
+    """Records a :class:`Trace` of the execution it monitors."""
+
+    def __init__(self) -> None:
+        self.trace: Optional[Trace] = None
+
+    def on_start(self, execution: Execution) -> None:
+        config = execution.configuration
+        self.trace = Trace(
+            algorithm=execution.algorithm.name,
+            topology=execution.topology.name,
+            n=execution.topology.n,
+            initial=tuple(str(config[v]) for v in execution.topology.nodes),
+        )
+
+    def on_step(self, execution: Execution, record: StepRecord) -> None:
+        assert self.trace is not None
+        self.trace.steps.append(
+            TraceStep(
+                t=record.t,
+                activated=tuple(sorted(record.activated)),
+                changes=tuple(
+                    (v, str(old), str(new)) for v, old, new in record.changed
+                ),
+                completed_round=record.completed_round,
+            )
+        )
+        self.trace.final = tuple(
+            str(execution.configuration[v]) for v in execution.topology.nodes
+        )
+
+
+class ScheduleRecorder(Monitor):
+    """Records the activation sets so a run can be replayed."""
+
+    def __init__(self) -> None:
+        self.activations: List[Tuple[int, ...]] = []
+
+    def on_step(self, execution: Execution, record: StepRecord) -> None:
+        self.activations.append(tuple(sorted(record.activated)))
+
+    def as_scheduler(self, repeat: bool = False) -> ExplicitScheduler:
+        """The recorded schedule as a replayable scheduler."""
+        return ExplicitScheduler(self.activations, repeat=repeat)
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write a trace to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace.to_json())
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return Trace.from_json(handle.read())

@@ -1,0 +1,45 @@
+"""Baselines: the paper's Appendix-A failed design plus classic
+comparators from the related-work discussion (Sec. 5)."""
+
+from repro.baselines.failed_reset_au import (
+    FailedResetUnison,
+    LivelockWitness,
+    MainTurn,
+    ResetTurn,
+    livelock_witness,
+    rotate_configuration,
+)
+from repro.baselines.id_flood_le import FloodState, IDFloodLE
+from repro.baselines.luby_mis import (
+    IDGreedyMIS,
+    IDState,
+    LubyState,
+    LubyTrialMIS,
+)
+from repro.baselines.min_unison import Counter, MinUnison, min_unison_stable
+from repro.baselines.reset_tail_unison import (
+    ResetTailUnison,
+    TailClock,
+    reset_tail_stable,
+)
+
+__all__ = [
+    "Counter",
+    "FailedResetUnison",
+    "FloodState",
+    "IDFloodLE",
+    "IDGreedyMIS",
+    "IDState",
+    "LivelockWitness",
+    "LubyState",
+    "LubyTrialMIS",
+    "MainTurn",
+    "MinUnison",
+    "ResetTailUnison",
+    "ResetTurn",
+    "TailClock",
+    "livelock_witness",
+    "min_unison_stable",
+    "reset_tail_stable",
+    "rotate_configuration",
+]

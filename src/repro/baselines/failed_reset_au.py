@@ -1,0 +1,217 @@
+"""The failed reset-based AU algorithm of Appendix A.
+
+The paper motivates AlgAU's reset-free design by exhibiting a natural
+reset-based design that **live-locks**.  The algorithm has main turns
+``T = {0, ..., cD}`` and reset turns ``R = {R_0, ..., R_{cD}}`` and
+three transition types (quoting Appendix A; ``Θ_v`` is the set of sensed
+turns, ``ℓ' = ℓ+1 mod cD+1``, ``ℓ'' = ℓ-1 mod cD+1``):
+
+* **(ST1)** ``ℓ → ℓ'`` if ``Θ_v ⊆ {ℓ, ℓ'}`` — the clock advance;
+* **(ST2)** ``ℓ → R_0`` if ``Θ_v ⊄ {ℓ, ℓ', ℓ''}`` (for ``ℓ = 0`` the
+  tolerated set also contains ``R_{cD}``) — fault detection resets;
+* **(ST3)** ``R_i → R_{i+1}`` if ``Θ_v ⊆ {R_j : i ≤ j ≤ cD}`` and
+  ``R_{cD} → 0`` if ``Θ_v ⊆ {R_{cD}, 0}`` — the reset wave.
+
+:func:`livelock_witness` packages the counterexample of Figure 2: on the
+8-ring with ``c = 2, D = 2`` there is an initial configuration and a
+fair schedule (every node activated exactly once per round) under which
+the configuration after each round equals the previous one rotated by
+one position — the algorithm never stabilizes.
+
+The arXiv text extraction scrambles Figure 2's node-label placement, so
+the witness below was re-derived from the transition rules: with turns
+``[0, 0, R0, R1, R2, R3, R4, R4]`` at ring positions ``p0..p7`` and
+per-round activation order ``[p0, p6, p1, p2, p3, p4, p7, p5]`` (indices
+shifted by the rotation each round), one round maps the configuration to
+its rotation by one position; the per-round transition multiset (one ST2,
+five ST3/exits, two unchanged) matches the paper's claims up to node
+renaming.  ``tests/test_failed_reset_au.py`` verifies the rotation
+mechanically and the 8-round periodicity (live-lock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.topology import Topology
+from repro.model.algorithm import Algorithm, TransitionResult
+from repro.model.configuration import Configuration
+from repro.model.errors import ModelError
+from repro.model.scheduler import RotatingScheduler
+from repro.model.signal import Signal
+
+
+@dataclass(frozen=True, slots=True)
+class MainTurn:
+    """A main turn ``ℓ ∈ {0, ..., cD}``."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class ResetTurn:
+    """A reset turn ``R_i``."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"R{self.index}"
+
+
+class FailedResetUnison(Algorithm):
+    """The Appendix-A algorithm (used as the canonical reset-based
+    comparator and the Figure-2 reproduction)."""
+
+    def __init__(self, diameter_bound: int, c: int = 2):
+        if diameter_bound < 1:
+            raise ModelError("diameter bound must be >= 1")
+        if c < 2:
+            raise ModelError("the constant c must be > 1")
+        self.diameter_bound = diameter_bound
+        self.c = c
+        self.top = c * diameter_bound  # cD
+        self.modulus = self.top + 1  # clock values 0 .. cD
+        self.name = f"FailedResetAU(D={diameter_bound}, c={c})"
+
+    # ------------------------------------------------------------------
+    # The 4-tuple.
+    # ------------------------------------------------------------------
+
+    def states(self) -> FrozenSet[object]:
+        mains = {MainTurn(v) for v in range(self.modulus)}
+        resets = {ResetTurn(i) for i in range(self.modulus)}
+        return frozenset(mains | resets)
+
+    def state_space_size(self) -> int:
+        return 2 * self.modulus
+
+    def is_output_state(self, state: object) -> bool:
+        return isinstance(state, MainTurn)
+
+    def output(self, state: object) -> int:
+        if not isinstance(state, MainTurn):
+            raise ModelError(f"{state!r} is not an output state")
+        return state.value
+
+    def initial_state(self) -> MainTurn:
+        return MainTurn(0)
+
+    def random_state(self, rng: np.random.Generator) -> object:
+        value = int(rng.integers(2 * self.modulus))
+        if value < self.modulus:
+            return MainTurn(value)
+        return ResetTurn(value - self.modulus)
+
+    # ------------------------------------------------------------------
+    # Transition function.
+    # ------------------------------------------------------------------
+
+    def delta(self, state: object, signal: Signal) -> TransitionResult:
+        sensed = signal.sensed
+        if isinstance(state, MainTurn):
+            level = state.value
+            succ = MainTurn((level + 1) % self.modulus)
+            pred = MainTurn((level - 1) % self.modulus)
+            # (ST1): clock advance.
+            if sensed <= {state, succ}:
+                return succ
+            # (ST2): fault detected -> enter the reset wave.
+            tolerated = {state, succ, pred}
+            if level == 0:
+                tolerated.add(ResetTurn(self.top))
+            if not sensed <= tolerated:
+                return ResetTurn(0)
+            return state
+        assert isinstance(state, ResetTurn)
+        i = state.index
+        if i != self.top:
+            # (ST3) case 1: advance within the wave.
+            window = {ResetTurn(j) for j in range(i, self.top + 1)}
+            if sensed <= window:
+                return ResetTurn(i + 1)
+            return state
+        # (ST3) case 2: exit the wave.
+        if sensed <= {ResetTurn(self.top), MainTurn(0)}:
+            return MainTurn(0)
+        return state
+
+
+# ----------------------------------------------------------------------
+# The Figure-2 live-lock witness.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LivelockWitness:
+    """The Figure-2 instance: algorithm, ring, initial configuration and
+    the rotating adversarial schedule."""
+
+    algorithm: FailedResetUnison
+    topology: Topology
+    initial: Configuration
+    scheduler: RotatingScheduler
+    #: Activation order used within each round (node indices at round 0).
+    base_order: Tuple[int, ...]
+    #: Positions shift by this much per round (matches the rotation).
+    shift: int
+
+
+def livelock_initial_turns(algorithm: FailedResetUnison) -> List[object]:
+    """The initial turn sequence around the ring:
+    ``[0, 0, R0, R1, ..., R_{cD}, R_{cD}]`` (length ``2·(cD+1) = 2cD+2``)."""
+    turns: List[object] = [MainTurn(0), MainTurn(0)]
+    turns.extend(ResetTurn(i) for i in range(algorithm.modulus))
+    turns.append(ResetTurn(algorithm.top))
+    return turns
+
+
+def livelock_witness(
+    diameter_bound: int = 2, c: int = 2
+) -> LivelockWitness:
+    """Build the live-lock instance of Figure 2 (generalized to any
+    ``c, D``; the paper's figure is ``c = 2, D = 2`` on the 8-ring).
+
+    The ring has ``m = cD + 4`` positions carrying the turns
+    ``[0, 0, R0, R1, ..., R_{cD}, R_{cD}]``.  Within each round the
+    adversary activates, in order: position 0, position ``m - 2``, then
+    positions ``1, 2, ..., m - 4`` left to right, then position
+    ``m - 1``, then position ``m - 3``.  One round maps the
+    configuration to its rotation by one position; shifting the
+    activation order along keeps the pattern going forever.
+    """
+    import networkx as nx
+
+    algorithm = FailedResetUnison(diameter_bound, c)
+    m = algorithm.top + 4
+    topology = Topology(nx.cycle_graph(m), name=f"ring(n={m})")
+    turns = livelock_initial_turns(algorithm)
+    initial = Configuration(topology, dict(enumerate(turns)))
+    base_order = (0, m - 2) + tuple(range(1, m - 3)) + (m - 1, m - 3)
+    # After round r the configuration is the initial one rotated left by
+    # r positions, so the node playing ring-role p_i sits at position
+    # i - r (mod m): the activation order shifts by -1 per round.
+    scheduler = RotatingScheduler(base_order, shift=-1)
+    return LivelockWitness(
+        algorithm=algorithm,
+        topology=topology,
+        initial=initial,
+        scheduler=scheduler,
+        base_order=base_order,
+        shift=-1,
+    )
+
+
+def rotate_configuration(config: Configuration, offset: int) -> Configuration:
+    """The configuration shifted by ``offset`` positions along the ring
+    (node ``v`` takes the state of node ``v + offset mod n``)."""
+    n = config.topology.n
+    return Configuration(
+        config.topology,
+        {v: config[(v + offset) % n] for v in config.topology.nodes},
+    )

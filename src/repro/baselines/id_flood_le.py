@@ -1,0 +1,88 @@
+"""ID-flooding leader election — the non-SA-model LE comparator.
+
+The folklore algorithm: every node holds a unique identifier and
+repeatedly adopts the maximum identifier seen in its neighborhood; after
+``diam(G)`` rounds the global maximum has flooded everywhere and its
+owner is the leader.  Like :class:`~repro.baselines.luby_mis.IDGreedyMIS`
+this deliberately violates the SA model's anonymity and size-uniformity
+(state space ``Ω(n)``), and it is *not* self-stabilizing: an adversarial
+initial configuration containing a spurious identifier larger than every
+real one elects nobody, forever.  The contrast benchmark injects exactly
+that fault and measures AlgLE's recovery against this baseline's
+permanent failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.model.algorithm import Algorithm, TransitionResult
+from repro.model.errors import ModelError
+from repro.model.signal import Signal
+
+
+@dataclass(frozen=True, slots=True)
+class FloodState:
+    """Own identifier plus the maximum identifier seen so far."""
+
+    identifier: int
+    best: int
+
+    def __str__(self) -> str:
+        return f"Flood[#{self.identifier} best={self.best}]"
+
+
+class IDFloodLE(Algorithm):
+    """Maximum-identifier flooding (non-anonymous baseline)."""
+
+    def __init__(self, n_hint: int):
+        if n_hint < 1:
+            raise ModelError("n_hint must be >= 1")
+        self.n_hint = n_hint
+        self.name = f"IDFloodLE(n={n_hint})"
+
+    def states(self) -> FrozenSet[FloodState]:
+        return frozenset(
+            FloodState(i, b)
+            for i in range(self.n_hint)
+            for b in range(self.n_hint)
+        )
+
+    def state_space_size(self) -> int:
+        return self.n_hint * self.n_hint
+
+    def is_output_state(self, state: FloodState) -> bool:
+        return True
+
+    def output(self, state: FloodState) -> int:
+        """1 iff the node currently believes it owns the maximum."""
+        return 1 if state.best == state.identifier else 0
+
+    def initial_state(self) -> FloodState:
+        return FloodState(0, 0)
+
+    def initial_configuration(self, topology):
+        """Unique-ID start: node ``v`` gets identifier ``v``."""
+        from repro.model.configuration import Configuration
+
+        return Configuration.from_function(
+            topology,
+            lambda v: FloodState(v % self.n_hint, v % self.n_hint),
+        )
+
+    def random_state(self, rng: np.random.Generator) -> FloodState:
+        return FloodState(
+            int(rng.integers(self.n_hint)), int(rng.integers(self.n_hint))
+        )
+
+    def delta(self, state: FloodState, signal: Signal) -> TransitionResult:
+        best = max(
+            s.best for s in signal if isinstance(s, FloodState)
+        )
+        best = max(best, state.identifier)
+        if best == state.best:
+            return state
+        return FloodState(state.identifier, best)

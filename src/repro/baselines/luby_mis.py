@@ -1,0 +1,211 @@
+"""Non-SA-model MIS comparators.
+
+Anonymous set-broadcast cannot resolve a symmetric tie in one shot: two
+adjacent nodes in *identical* states are mutually invisible (a node
+senses the set of states in its inclusive neighborhood, and its own
+state masks an identical neighbor).  This is why the paper's AlgMIS
+spends ``Θ(log n)`` elimination trials per phase and still needs
+DetectMIS + Restart to catch the rare surviving ties — and why the
+classic one-shot comparators below must *break the model* to work:
+
+* :class:`IDGreedyMIS` gives every node a unique identifier in its
+  state (violating anonymity and size-uniformity: the state space is
+  ``Ω(n)``).  An undecided node joins IN when its identifier beats
+  every sensed undecided identifier; it joins OUT when it senses an IN
+  neighbor.  Deterministic, correct from the designated initial
+  configuration — and utterly unable to recover from faults: decided
+  states are final, so an adversarial initial configuration or a
+  transient fault leaves adjacent IN nodes or uncovered OUT nodes
+  broken forever.  Benchmark ``bench_fault_recovery`` quantifies the
+  contrast with AlgMIS.
+* :class:`LubyTrialMIS` keeps anonymity but plays the classical
+  coin-trial: a node joins IN when its coin is 1 and it senses no
+  *other* undecided candidate with coin 1.  Because of the tie
+  blindness above, adjacent same-coin candidates can join together with
+  constant probability — the benchmark measures exactly how often the
+  output is broken, demonstrating that the classic algorithm is
+  unsound in the SA model (it also has no recovery mechanism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+import numpy as np
+
+from repro.model.algorithm import Algorithm, Distribution, TransitionResult
+from repro.model.errors import ModelError
+from repro.model.signal import Signal
+
+UNDECIDED = "U"
+IN = "I"
+OUT = "O"
+
+
+# ----------------------------------------------------------------------
+# ID-based greedy MIS (breaks anonymity; fault-free comparator).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class IDState:
+    """Membership plus a (supposedly unique) identifier."""
+
+    membership: str
+    identifier: int
+
+    def __str__(self) -> str:
+        return f"ID[{self.membership}#{self.identifier}]"
+
+
+class IDGreedyMIS(Algorithm):
+    """Greedy MIS by local identifier maxima (non-anonymous baseline).
+
+    ``n_hint`` bounds the identifier range — the state space is
+    ``3 · n_hint``, i.e. ``Ω(n)``: this algorithm is *not* size-uniform,
+    which is the comparison drawn in Sec. 5 of the paper.
+    """
+
+    def __init__(self, n_hint: int):
+        if n_hint < 1:
+            raise ModelError("n_hint must be >= 1")
+        self.n_hint = n_hint
+        self.name = f"IDGreedyMIS(n={n_hint})"
+
+    def states(self) -> FrozenSet[IDState]:
+        return frozenset(
+            IDState(m, i)
+            for m in (UNDECIDED, IN, OUT)
+            for i in range(self.n_hint)
+        )
+
+    def state_space_size(self) -> int:
+        return 3 * self.n_hint
+
+    def is_output_state(self, state: IDState) -> bool:
+        return state.membership != UNDECIDED
+
+    def output(self, state: IDState) -> int:
+        if state.membership == UNDECIDED:
+            raise ModelError("undecided node has no output")
+        return 1 if state.membership == IN else 0
+
+    def initial_state(self) -> IDState:
+        # The designated start is per-node (unique IDs); callers use
+        # initial_configuration() instead.
+        return IDState(UNDECIDED, 0)
+
+    def initial_configuration(self, topology):
+        """Unique-ID start: node ``v`` gets identifier ``v``."""
+        from repro.model.configuration import Configuration
+
+        return Configuration.from_function(
+            topology, lambda v: IDState(UNDECIDED, v % self.n_hint)
+        )
+
+    def random_state(self, rng: np.random.Generator) -> IDState:
+        return IDState(
+            (UNDECIDED, IN, OUT)[int(rng.integers(3))],
+            int(rng.integers(self.n_hint)),
+        )
+
+    def delta(self, state: IDState, signal: Signal) -> TransitionResult:
+        if state.membership != UNDECIDED:
+            return state  # decided forever — no detection, no recovery
+        undecided = [
+            s
+            for s in signal
+            if isinstance(s, IDState) and s.membership == UNDECIDED
+        ]
+        if any(
+            isinstance(s, IDState) and s.membership == IN for s in signal
+        ):
+            return IDState(OUT, state.identifier)
+        if all(s.identifier <= state.identifier for s in undecided) and all(
+            s == state or s.identifier < state.identifier for s in undecided
+        ):
+            return IDState(IN, state.identifier)
+        return state
+
+
+# ----------------------------------------------------------------------
+# Anonymous one-shot Luby trials (unsound in the SA model — by design).
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class LubyState:
+    """Membership, trial coin, and the trial phase bit."""
+
+    membership: str
+    coin: bool
+    phase: int  # 0 = toss next, 1 = decide next
+
+    def __str__(self) -> str:
+        return f"Luby[{self.membership}{'+' if self.coin else '-'}{self.phase}]"
+
+
+class LubyTrialMIS(Algorithm):
+    """Classical coin-trial MIS, kept anonymous — demonstrates the
+    symmetric-tie blindness of set-broadcast signals."""
+
+    def __init__(self) -> None:
+        self.name = "LubyTrialMIS"
+
+    def states(self) -> FrozenSet[LubyState]:
+        return frozenset(
+            LubyState(m, c, p)
+            for m in (UNDECIDED, IN, OUT)
+            for c in (False, True)
+            for p in (0, 1)
+        )
+
+    def state_space_size(self) -> int:
+        return 12
+
+    def is_output_state(self, state: LubyState) -> bool:
+        return state.membership != UNDECIDED
+
+    def output(self, state: LubyState) -> int:
+        if state.membership == UNDECIDED:
+            raise ModelError("undecided node has no output")
+        return 1 if state.membership == IN else 0
+
+    def initial_state(self) -> LubyState:
+        return LubyState(UNDECIDED, False, 0)
+
+    def random_state(self, rng: np.random.Generator) -> LubyState:
+        return LubyState(
+            (UNDECIDED, IN, OUT)[int(rng.integers(3))],
+            bool(rng.integers(2)),
+            int(rng.integers(2)),
+        )
+
+    def delta(self, state: LubyState, signal: Signal) -> TransitionResult:
+        if state.membership != UNDECIDED:
+            return state
+        if any(
+            isinstance(s, LubyState) and s.membership == IN for s in signal
+        ):
+            return LubyState(OUT, False, 0)
+        if state.phase == 0:
+            return Distribution.uniform(
+                (
+                    LubyState(UNDECIDED, False, 1),
+                    LubyState(UNDECIDED, True, 1),
+                )
+            )
+        # Decide round: join iff own coin is 1 and no sensed undecided
+        # state other than our own carries coin 1.  An identical
+        # neighbor (same coin) is invisible — the inherent SA-model tie.
+        winners = {
+            s
+            for s in signal
+            if isinstance(s, LubyState)
+            and s.membership == UNDECIDED
+            and s.coin
+        }
+        if state.coin and winners <= {state}:
+            return LubyState(IN, False, 0)
+        return LubyState(UNDECIDED, False, 0)

@@ -1,0 +1,271 @@
+"""Command-line interface: ``repro <subcommand>``.
+
+Subcommands regenerate the paper's artifacts from the terminal:
+
+* ``repro figure1 --diameter-bound 2`` — the AlgAU state diagram (text
+  or DOT);
+* ``repro figure2`` — the Appendix-A live-lock trace;
+* ``repro table1`` — the transition-type table extracted from ``δ``;
+* ``repro au --diameter-bound 3`` — one adversarial AlgAU run with a
+  per-round goodness trace;
+* ``repro experiment {au,le,mis,restart}`` — the scaling sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from repro.core.algau import ThinUnison
+    from repro.viz.state_diagram import state_diagram, to_dot, to_text
+
+    algorithm = ThinUnison(args.diameter_bound)
+    diagram = state_diagram(algorithm)
+    print(to_dot(diagram) if args.dot else to_text(diagram))
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    from repro.baselines.failed_reset_au import (
+        livelock_witness,
+        rotate_configuration,
+    )
+    from repro.model.execution import Execution
+
+    witness = livelock_witness(args.diameter_bound, args.c)
+    rng = np.random.default_rng(0)
+    execution = Execution(
+        witness.topology,
+        witness.algorithm,
+        witness.initial,
+        witness.scheduler,
+        rng=rng,
+    )
+    n = witness.topology.n
+    print(f"ring of {n} nodes, algorithm {witness.algorithm.name}")
+    for round_index in range(args.rounds):
+        states = " ".join(
+            f"{str(execution.configuration[v]):>3s}" for v in range(n)
+        )
+        print(f"round {round_index:2d}: {states}")
+        for _ in range(n):
+            execution.step()
+    expected = rotate_configuration(witness.initial, args.rounds % n)
+    verdict = "LIVE-LOCK" if execution.configuration == expected else "??"
+    print(f"after {args.rounds} rounds: configuration = initial rotated "
+          f"by {args.rounds % n} -> {verdict}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.core.algau import ThinUnison
+
+    algorithm = ThinUnison(args.diameter_bound)
+    k = algorithm.levels.k
+    rows = [
+        (
+            "AA",
+            "ℓ̄, 1 ≤ |ℓ| ≤ k",
+            "φ+1(ℓ)",
+            "v is good and Λ ⊆ {ℓ, φ+1(ℓ)}",
+        ),
+        (
+            "AF",
+            "ℓ̄, 2 ≤ |ℓ| ≤ k",
+            "ℓ̂",
+            "v not protected, or v senses ψ-1(ℓ)̂",
+        ),
+        (
+            "FA",
+            "ℓ̂, 2 ≤ |ℓ| ≤ k",
+            "ψ-1(ℓ)",
+            "Λ ∩ Ψ>(ℓ) = ∅",
+        ),
+    ]
+    print(
+        render_table(
+            ["Type", "Pre-transition turn", "Post-transition turn", "Condition"],
+            rows,
+            title=f"Table 1 (k = {k}, |Q| = {algorithm.state_space_size()})",
+        )
+    )
+    return 0
+
+
+def _cmd_au(args: argparse.Namespace) -> int:
+    from repro.analysis.monitors import GoodGraphMonitor
+    from repro.core.algau import ThinUnison
+    from repro.core.predicates import good_nodes, is_good_graph
+    from repro.faults.injection import au_adversarial_suite
+    from repro.graphs.generators import bounded_diameter_family
+    from repro.model.execution import Execution
+    from repro.model.scheduler import ShuffledRoundRobinScheduler
+
+    rng = np.random.default_rng(args.seed)
+    topology = bounded_diameter_family(args.diameter_bound, args.nodes, rng)
+    algorithm = ThinUnison(args.diameter_bound)
+    initial = au_adversarial_suite(algorithm, topology, rng)[args.start]
+    execution = Execution(
+        topology,
+        algorithm,
+        initial,
+        ShuffledRoundRobinScheduler(),
+        rng=rng,
+    )
+    print(f"{topology.name}: n={topology.n} D={args.diameter_bound} "
+          f"start={args.start} states={algorithm.state_space_size()}")
+    while not is_good_graph(algorithm, execution.configuration):
+        execution.run_rounds(1)
+        good = len(good_nodes(algorithm, execution.configuration))
+        print(
+            f"round {execution.completed_rounds:4d}: good nodes "
+            f"{good}/{topology.n}"
+        )
+        if execution.completed_rounds > args.max_rounds:
+            print("did not stabilize within the budget", file=sys.stderr)
+            return 1
+    print(f"stabilized (good graph) after {execution.completed_rounds} rounds")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.analysis import experiments
+    from repro.analysis.tables import render_table
+
+    if args.which == "au":
+        rows = experiments.au_scaling_experiment(trials=args.trials)
+        print(
+            render_table(
+                ["D", "states", "12D+6", "rounds", "k^3"],
+                [
+                    (
+                        r.params["D"],
+                        r.extra["states"],
+                        r.extra["states_bound_12D+6"],
+                        str(r.rounds),
+                        r.extra["rounds_bound_k^3"],
+                    )
+                    for r in rows
+                ],
+                title="Thm 1.1 — AlgAU scaling",
+            )
+        )
+        print(f"log-log slope of rounds vs D: "
+              f"{experiments.au_scaling_slope(rows):.2f} (bound: 3)")
+    elif args.which in ("le", "mis"):
+        fn = (
+            experiments.le_scaling_experiment
+            if args.which == "le"
+            else experiments.mis_scaling_experiment
+        )
+        rows = fn(trials=args.trials)
+        ratios = experiments.per_log_n(rows)
+        print(
+            render_table(
+                ["n", "rounds", "rounds/log2(n)"],
+                [
+                    (r.params["n"], str(r.rounds), f"{ratio:.1f}")
+                    for r, ratio in zip(rows, ratios)
+                ],
+                title=f"Thm 1.{3 if args.which == 'le' else 4} — "
+                f"Alg{args.which.upper()} scaling (D=2)",
+            )
+        )
+    elif args.which == "restart":
+        rows = experiments.restart_experiment(trials=args.trials)
+        print(
+            render_table(
+                ["D", "exit time", "bound 6D+4", "concurrent"],
+                [
+                    (
+                        r.diameter_bound,
+                        str(r.exit_times),
+                        r.bound_6d,
+                        "yes" if r.all_concurrent else "NO",
+                    )
+                    for r in rows
+                ],
+                title="Thm 3.1 — Restart",
+            )
+        )
+    else:
+        print(f"unknown experiment {args.which!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    report = generate_report(trials=args.trials)
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"[saved to {args.output}]", file=sys.stderr)
+    return 0 if "FAIL" not in report else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Emek & Keren (PODC 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure1", help="AlgAU state diagram (Figure 1)")
+    p.add_argument("--diameter-bound", type=int, default=2)
+    p.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p.set_defaults(fn=_cmd_figure1)
+
+    p = sub.add_parser("figure2", help="Appendix-A live-lock (Figure 2)")
+    p.add_argument("--diameter-bound", type=int, default=2)
+    p.add_argument("--c", type=int, default=2)
+    p.add_argument("--rounds", type=int, default=8)
+    p.set_defaults(fn=_cmd_figure2)
+
+    p = sub.add_parser("table1", help="AlgAU transition types (Table 1)")
+    p.add_argument("--diameter-bound", type=int, default=2)
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("au", help="one adversarial AlgAU run")
+    p.add_argument("--diameter-bound", type=int, default=3)
+    p.add_argument("--nodes", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-rounds", type=int, default=100_000)
+    p.add_argument(
+        "--start",
+        choices=["random", "sign-split", "clock-tear", "all-faulty"],
+        default="sign-split",
+    )
+    p.set_defaults(fn=_cmd_au)
+
+    p = sub.add_parser("experiment", help="run a scaling sweep")
+    p.add_argument("which", choices=["au", "le", "mis", "restart"])
+    p.add_argument("--trials", type=int, default=5)
+    p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser(
+        "report", help="run the full reproduction battery (small sizes)"
+    )
+    p.add_argument("--trials", type=int, default=3)
+    p.add_argument("--output", type=str, default=None)
+    p.set_defaults(fn=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

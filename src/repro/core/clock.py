@@ -1,0 +1,56 @@
+"""The cyclic clock group ``K`` of the asynchronous unison task.
+
+The AU task (Sec. 1.2) has every node output a clock value from an
+additive cyclic group ``K``; safety requires neighboring outputs to be
+cyclically adjacent and liveness requires every node to advance its
+clock by ``+1`` infinitely often.  :class:`CyclicClock` is the tiny
+group-arithmetic helper shared by the task verifier, the synchronizer
+and the baselines.
+"""
+
+from __future__ import annotations
+
+from repro.model.errors import ModelError
+
+
+class CyclicClock:
+    """The additive cyclic group ``Z_m`` with its cyclic metric."""
+
+    __slots__ = ("_order",)
+
+    def __init__(self, order: int):
+        if order < 2:
+            raise ModelError(f"clock group order must be >= 2, got {order}")
+        self._order = order
+
+    @property
+    def order(self) -> int:
+        return self._order
+
+    def normalize(self, value: int) -> int:
+        return value % self._order
+
+    def plus(self, value: int, j: int = 1) -> int:
+        """``value + j`` in the group."""
+        return (value + j) % self._order
+
+    def minus(self, value: int, j: int = 1) -> int:
+        """``value - j`` in the group."""
+        return (value - j) % self._order
+
+    def distance(self, a: int, b: int) -> int:
+        """Cyclic distance between two clock values."""
+        diff = abs(self.normalize(a) - self.normalize(b))
+        return min(diff, self._order - diff)
+
+    def adjacent(self, a: int, b: int) -> bool:
+        """Safety relation: ``b ∈ {a-1, a, a+1}``."""
+        return self.distance(a, b) <= 1
+
+    def increment_is_plus_one(self, old: int, new: int) -> bool:
+        """Whether ``new`` is exactly ``old + 1`` (liveness updates must
+        be +1 operations)."""
+        return self.normalize(new) == self.plus(old, 1)
+
+    def __repr__(self) -> str:
+        return f"CyclicClock(order={self._order})"

@@ -1,0 +1,142 @@
+"""Progress metrics aligned with the stabilization proof.
+
+The proof of Theorem 1.1 advances through a ladder of configuration
+classes, each *closed* under steps once reached:
+
+    arbitrary → out-protected (Obs 2.3/2.6, Cor 2.15)
+              → justified (Lem 2.16, Cor 2.17)
+              → good (Lem 2.10, Lem 2.22)
+
+(Protectedness alone is *not* closed outside the justified regime — an
+FA transition may unprotect an edge — which is why the ladder skips
+from justified straight to good, exactly as Lem 2.18 does: a justified
+protected graph is already good.)
+
+:class:`ProgressReport` measures where a configuration sits on the
+ladder plus quantitative residuals (per-stage violator counts, the
+largest clock gap across an edge).  The stage index is monotone along
+any execution — a property test in ``tests/test_potential.py`` checks
+it — and the residuals power diagnostics in the examples and CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Sequence, Tuple
+
+from repro.core.algau import ThinUnison
+from repro.core.predicates import (
+    good_nodes,
+    grounded_nodes,
+    is_good_graph,
+    is_out_protected_graph,
+    is_protected_graph,
+    out_protected_nodes,
+    protected_edges,
+    protected_nodes,
+    unjustifiably_faulty_nodes,
+)
+from repro.model.configuration import Configuration
+
+
+class Stage(IntEnum):
+    """The proof ladder, ordered; every stage is closed under steps."""
+
+    ARBITRARY = 0
+    OUT_PROTECTED = 1
+    JUSTIFIED = 2
+    GOOD = 3
+
+
+@dataclass(frozen=True)
+class ProgressReport:
+    """A snapshot of how close a configuration is to stabilization."""
+
+    stage: Stage
+    n: int
+    protected_nodes: int
+    out_protected_nodes: int
+    good_nodes: int
+    grounded_nodes: int
+    faulty_nodes: int
+    unjustified_nodes: int
+    unprotected_edges: int
+    max_edge_gap: int  # largest level distance across an edge
+    protected_graph: bool
+
+    def __str__(self) -> str:
+        return (
+            f"stage={self.stage.name} good={self.good_nodes}/{self.n} "
+            f"protected={self.protected_nodes}/{self.n} "
+            f"faulty={self.faulty_nodes} gap={self.max_edge_gap}"
+        )
+
+
+def progress_report(
+    algorithm: ThinUnison, config: Configuration
+) -> ProgressReport:
+    """Measure ``config`` against the proof ladder."""
+    topology = config.topology
+    levels = algorithm.levels
+    protected = protected_nodes(algorithm, config)
+    out_protected = out_protected_nodes(algorithm, config)
+    good = good_nodes(algorithm, config)
+    grounded = grounded_nodes(algorithm, config)
+    unjustified = unjustifiably_faulty_nodes(algorithm, config)
+    faulty = sum(1 for v in topology.nodes if config[v].faulty)
+    edges_p = protected_edges(algorithm, config)
+    max_gap = 0
+    for u, v in topology.edges:
+        max_gap = max(
+            max_gap, levels.distance(config[u].level, config[v].level)
+        )
+
+    if is_good_graph(algorithm, config):
+        stage = Stage.GOOD
+    elif is_out_protected_graph(algorithm, config) and not unjustified:
+        stage = Stage.JUSTIFIED
+    elif is_out_protected_graph(algorithm, config):
+        stage = Stage.OUT_PROTECTED
+    else:
+        stage = Stage.ARBITRARY
+
+    return ProgressReport(
+        stage=stage,
+        n=topology.n,
+        protected_nodes=len(protected),
+        out_protected_nodes=len(out_protected),
+        good_nodes=len(good),
+        grounded_nodes=len(grounded),
+        faulty_nodes=faulty,
+        unjustified_nodes=len(unjustified),
+        unprotected_edges=topology.m - len(edges_p),
+        max_edge_gap=max_gap,
+        protected_graph=is_protected_graph(algorithm, config),
+    )
+
+
+def disorder_potential(algorithm: ThinUnison, config: Configuration) -> int:
+    """A scalar "how broken is this configuration" score: the number of
+    non-out-protected nodes, plus non-protected edges, plus faulty
+    nodes.  Zero exactly on good graphs.  Used by the greedy adversary
+    (it tries to keep this high) and as a coarse progress indicator —
+    it is *not* claimed to be monotone step by step (only the staged
+    predicates of the proof ladder are).
+    """
+    topology = config.topology
+    out_protected = out_protected_nodes(algorithm, config)
+    faulty = sum(1 for v in topology.nodes if config[v].faulty)
+    unprotected_edges = topology.m - len(protected_edges(algorithm, config))
+    return (topology.n - len(out_protected)) + unprotected_edges + faulty
+
+
+def stage_timeline_is_monotone(stages: Sequence[Stage]) -> bool:
+    """Whether a recorded stage sequence never falls below a stage it
+    has reached — the closure property of the proof ladder."""
+    best = Stage.ARBITRARY
+    for stage in stages:
+        if stage < best:
+            return False
+        best = max(best, stage)
+    return True

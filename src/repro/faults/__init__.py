@@ -1,0 +1,25 @@
+"""Transient fault injection and adversarial initializations."""
+
+from repro.faults.injection import (
+    FaultEvent,
+    PeriodicFaultInjector,
+    TransientFaultInjector,
+    au_adversarial_suite,
+    au_all_faulty,
+    au_clock_tear,
+    au_sign_split,
+    random_configuration,
+    uniform_configuration,
+)
+
+__all__ = [
+    "FaultEvent",
+    "PeriodicFaultInjector",
+    "TransientFaultInjector",
+    "au_adversarial_suite",
+    "au_all_faulty",
+    "au_clock_tear",
+    "au_sign_split",
+    "random_configuration",
+    "uniform_configuration",
+]

@@ -1,0 +1,174 @@
+"""Transient faults and adversarial initial configurations.
+
+Self-stabilization is exactly the guarantee that the system recovers
+from *any* combination of transient faults, which the model captures by
+letting the adversary pick the initial configuration.  This module
+provides:
+
+* adversarial initial-configuration builders (arbitrary random states,
+  AlgAU-specific worst cases such as clock tears and sign splits);
+* :class:`TransientFaultInjector`, an execution intervention that
+  corrupts a random subset of nodes at prescribed times — this models
+  mid-execution transient faults, after which the algorithm must
+  re-stabilize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.algau import ThinUnison
+from repro.core.turns import able, faulty
+from repro.graphs.topology import Topology
+from repro.model.algorithm import Algorithm
+from repro.model.configuration import Configuration
+from repro.model.errors import ModelError
+
+
+# ----------------------------------------------------------------------
+# Adversarial initial configurations (generic).
+# ----------------------------------------------------------------------
+
+
+def random_configuration(
+    algorithm: Algorithm, topology: Topology, rng: np.random.Generator
+) -> Configuration:
+    """Every node in an independently random state — the canonical
+    adversarial start."""
+    return Configuration.from_function(
+        topology, lambda v: algorithm.random_state(rng)
+    )
+
+
+def uniform_configuration(algorithm: Algorithm, topology: Topology) -> Configuration:
+    """All nodes in the designated initial state ``q*_0``."""
+    return Configuration.uniform(topology, algorithm.initial_state())
+
+
+# ----------------------------------------------------------------------
+# AlgAU-specific adversarial starts.
+# ----------------------------------------------------------------------
+
+
+def au_sign_split(
+    algorithm: ThinUnison, topology: Topology, rng: np.random.Generator
+) -> Configuration:
+    """Half the nodes near level ``+k``, half near ``-k`` — the maximal
+    clock discrepancy the out-protection analysis must undo."""
+    k = algorithm.levels.k
+    def pick(v: int):
+        if v % 2 == 0:
+            return able(int(rng.integers(max(1, k - 1), k + 1)))
+        return able(-int(rng.integers(max(1, k - 1), k + 1)))
+    return Configuration.from_function(topology, pick)
+
+
+def au_clock_tear(
+    algorithm: ThinUnison, topology: Topology, rng: np.random.Generator
+) -> Configuration:
+    """A graded clock assignment with one large tear: node ``v`` gets a
+    level proportional to its index, producing many unprotected edges."""
+    k = algorithm.levels.k
+    n = topology.n
+    levels = algorithm.levels
+    def pick(v: int):
+        clock = (v * max(1, (2 * k) // max(1, n))) % levels.group_order
+        return able(levels.level_of_clock(clock))
+    return Configuration.from_function(topology, pick)
+
+
+def au_all_faulty(
+    algorithm: ThinUnison, topology: Topology, rng: np.random.Generator
+) -> Configuration:
+    """Every node in a random *faulty* turn (the detour states)."""
+    faulty_turns = algorithm.turns.faulty_turns
+    return Configuration.from_function(
+        topology,
+        lambda v: faulty_turns[int(rng.integers(len(faulty_turns)))],
+    )
+
+
+def au_adversarial_suite(
+    algorithm: ThinUnison, topology: Topology, rng: np.random.Generator
+) -> Dict[str, Configuration]:
+    """The named battery of adversarial starts used by experiments."""
+    return {
+        "random": random_configuration(algorithm, topology, rng),
+        "sign-split": au_sign_split(algorithm, topology, rng),
+        "clock-tear": au_clock_tear(algorithm, topology, rng),
+        "all-faulty": au_all_faulty(algorithm, topology, rng),
+    }
+
+
+# ----------------------------------------------------------------------
+# Mid-execution transient faults.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FaultEvent:
+    """Record of one injected fault burst."""
+
+    t: int
+    nodes: Tuple[int, ...]
+
+
+class TransientFaultInjector:
+    """Corrupts a random fraction of nodes at prescribed step times.
+
+    Instances are passed as the ``intervention`` of an
+    :class:`~repro.model.execution.Execution`; at each scheduled time the
+    injector replaces the states of ``ceil(fraction * n)`` random nodes
+    with states drawn from ``algorithm.random_state``.
+
+    The ``events`` list records what was corrupted and when, so
+    experiments can measure recovery time per burst.
+    """
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        times: Sequence[int],
+        fraction: float = 0.25,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not 0.0 < fraction <= 1.0:
+            raise ModelError(f"fault fraction must be in (0, 1], got {fraction}")
+        self._algorithm = algorithm
+        self._times = frozenset(int(t) for t in times)
+        self._fraction = fraction
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.events: List[FaultEvent] = []
+
+    def __call__(self, execution) -> Optional[Configuration]:
+        if execution.t not in self._times:
+            return None
+        topology = execution.topology
+        count = max(1, int(np.ceil(self._fraction * topology.n)))
+        victims = self._rng.choice(topology.n, size=count, replace=False)
+        updates = {
+            int(v): self._algorithm.random_state(self._rng) for v in victims
+        }
+        self.events.append(FaultEvent(t=execution.t, nodes=tuple(sorted(updates))))
+        return execution.configuration.replace(updates)
+
+
+class PeriodicFaultInjector(TransientFaultInjector):
+    """Injects a burst every ``period`` steps starting at ``start``."""
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        period: int,
+        start: int = 0,
+        horizon: int = 10**7,
+        fraction: float = 0.25,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if period < 1:
+            raise ModelError("fault period must be >= 1")
+        times = range(start, horizon, period)
+        super().__init__(algorithm, times, fraction=fraction, rng=rng)

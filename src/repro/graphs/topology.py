@@ -1,0 +1,184 @@
+"""Immutable network topologies for stone age executions.
+
+:class:`Topology` wraps an undirected :mod:`networkx` graph with the
+precomputed structures the simulator needs on its hot path (tuple node
+list, inclusive neighborhoods) plus cached graph-theoretic properties
+(diameter, eccentricities).  Node labels are normalized to the integers
+``0 .. n-1``; the original labels are preserved in :attr:`labels`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.model.errors import TopologyError
+
+
+class Topology:
+    """A finite connected undirected graph ``G = (V, E)``.
+
+    Parameters
+    ----------
+    graph:
+        Any connected undirected networkx graph.  Self-loops are
+        rejected (the model's inclusive neighborhood already contains
+        the node itself).
+    name:
+        Optional label used in reports.
+    """
+
+    __slots__ = (
+        "_graph",
+        "_name",
+        "_nodes",
+        "_labels",
+        "_neighbors",
+        "_inclusive",
+        "_edges",
+        "_diameter",
+    )
+
+    def __init__(self, graph: nx.Graph, name: str = "graph"):
+        if graph.number_of_nodes() == 0:
+            raise TopologyError("topology must contain at least one node")
+        if any(u == v for u, v in graph.edges()):
+            raise TopologyError("self-loops are not allowed")
+        if not nx.is_connected(graph):
+            raise TopologyError("topology must be connected")
+        relabeled = nx.convert_node_labels_to_integers(
+            graph, ordering="sorted", label_attribute="original"
+        )
+        self._graph: nx.Graph = relabeled
+        self._name = name
+        self._nodes: Tuple[int, ...] = tuple(range(relabeled.number_of_nodes()))
+        self._labels: Tuple[object, ...] = tuple(
+            relabeled.nodes[v].get("original", v) for v in self._nodes
+        )
+        self._neighbors: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(relabeled.neighbors(v))) for v in self._nodes
+        )
+        self._inclusive: Tuple[Tuple[int, ...], ...] = tuple(
+            (v,) + self._neighbors[v] for v in self._nodes
+        )
+        self._edges: Tuple[Tuple[int, int], ...] = tuple(
+            (min(u, v), max(u, v)) for u, v in relabeled.edges()
+        )
+        self._diameter: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Basic structure.
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        """Nodes, normalized to ``0 .. n-1``."""
+        return self._nodes
+
+    @property
+    def labels(self) -> Tuple[object, ...]:
+        """Original node labels, indexed by normalized node id."""
+        return self._labels
+
+    @property
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        return self._edges
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """The open neighborhood ``N(v)``."""
+        return self._neighbors[v]
+
+    def inclusive_neighbors(self, v: int) -> Tuple[int, ...]:
+        """The inclusive neighborhood ``N+(v) = N(v) ∪ {v}``."""
+        return self._inclusive[v]
+
+    def degree(self, v: int) -> int:
+        return len(self._neighbors[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._graph.has_edge(u, v)
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (normalized labels)."""
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # Metric properties.
+    # ------------------------------------------------------------------
+
+    @property
+    def diameter(self) -> int:
+        """The graph diameter ``diam(G)`` (cached)."""
+        if self._diameter is None:
+            if self.n == 1:
+                self._diameter = 0
+            else:
+                self._diameter = nx.diameter(self._graph)
+        return self._diameter
+
+    def distance(self, u: int, v: int) -> int:
+        """Graph distance ``dist_G(u, v)``."""
+        return nx.shortest_path_length(self._graph, u, v)
+
+    def shortest_path(self, u: int, v: int) -> Sequence[int]:
+        return nx.shortest_path(self._graph, u, v)
+
+    def ball(self, v: int, radius: int) -> frozenset:
+        """``B(v, d) = {u : dist_G(u, v) ≤ d}``."""
+        lengths = nx.single_source_shortest_path_length(
+            self._graph, v, cutoff=radius
+        )
+        return frozenset(lengths.keys())
+
+    def check_diameter_bound(self, bound: int) -> None:
+        """Raise :class:`TopologyError` unless ``diam(G) ≤ bound``."""
+        if self.diameter > bound:
+            raise TopologyError(
+                f"graph {self._name!r} has diameter {self.diameter}, "
+                f"exceeding the bound D={bound}"
+            )
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences.
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self):
+        return iter(self._nodes)
+
+    def __repr__(self) -> str:
+        return f"<Topology {self._name!r} n={self.n} m={self.m}>"
+
+
+def topology_from_edges(
+    edges: Iterable[Tuple[object, object]], name: str = "graph"
+) -> Topology:
+    """Build a :class:`Topology` from an edge list."""
+    graph = nx.Graph()
+    graph.add_edges_from(edges)
+    return Topology(graph, name=name)
+
+
+def single_node_topology(name: str = "singleton") -> Topology:
+    """The degenerate one-node network (useful for edge-case tests)."""
+    graph = nx.Graph()
+    graph.add_node(0)
+    return Topology(graph, name=name)

@@ -1,0 +1,72 @@
+"""The stone age (SA) model substrate.
+
+This package implements the computational model of Emek & Wattenhofer
+(PODC 2013) in the simplified form used by the reproduced paper:
+anonymous randomized finite state machines over set-broadcast signals,
+driven by an adversarial asynchronous scheduler, with time measured by
+the round operator ``ϱ``.
+"""
+
+from repro.model.adversary import GreedyAdversary, greedy_au_adversary
+from repro.model.algorithm import (
+    Algorithm,
+    Distribution,
+    TransitionResult,
+    product_distribution,
+)
+from repro.model.configuration import Configuration
+from repro.model.errors import (
+    ConfigurationError,
+    ExperimentError,
+    ModelError,
+    ReproError,
+    ScheduleError,
+    StabilizationError,
+    TopologyError,
+)
+from repro.model.execution import Execution, Monitor, RunResult, StepRecord
+from repro.model.rounds import RoundTracker
+from repro.model.scheduler import (
+    ExplicitScheduler,
+    LaggardScheduler,
+    RandomSubsetScheduler,
+    RotatingScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    ShuffledRoundRobinScheduler,
+    SynchronousScheduler,
+    default_schedulers,
+)
+from repro.model.signal import Signal
+
+__all__ = [
+    "Algorithm",
+    "Configuration",
+    "ConfigurationError",
+    "Distribution",
+    "Execution",
+    "ExplicitScheduler",
+    "ExperimentError",
+    "GreedyAdversary",
+    "LaggardScheduler",
+    "ModelError",
+    "Monitor",
+    "RandomSubsetScheduler",
+    "ReproError",
+    "RotatingScheduler",
+    "RoundRobinScheduler",
+    "RoundTracker",
+    "RunResult",
+    "ScheduleError",
+    "Scheduler",
+    "ShuffledRoundRobinScheduler",
+    "Signal",
+    "StabilizationError",
+    "StepRecord",
+    "SynchronousScheduler",
+    "TopologyError",
+    "TransitionResult",
+    "default_schedulers",
+    "greedy_au_adversary",
+    "product_distribution",
+]

@@ -1,0 +1,239 @@
+"""The formal algorithm interface of the stone age model.
+
+An algorithm is the 4-tuple ``Π = ⟨Q, Q_O, ω, δ⟩`` of the paper:
+
+* ``Q`` — a set of states (:meth:`Algorithm.states`, enumerable for the
+  algorithms whose state space we account for exactly);
+* ``Q_O ⊆ Q`` — output states (:meth:`Algorithm.is_output_state`);
+* ``ω : Q_O → O`` — the surjective output map (:meth:`Algorithm.output`);
+* ``δ : Q × {0,1}^Q → 2^Q`` — the transition function
+  (:meth:`Algorithm.delta`).
+
+The paper's ``δ`` returns a *set* of candidate states from which the
+next state is picked uniformly at random.  We generalize marginally and
+let :meth:`Algorithm.delta` return either a single state (deterministic
+transition) or a finite :class:`Distribution`; a uniform distribution
+over a set reproduces the paper's semantics exactly, and biased coins
+with rational probabilities correspond to uniform choices over multisets
+of states.  All randomness is sampled by the execution engine, keeping
+``delta`` a pure function of ``(state, signal)`` — this makes transition
+functions unit-testable and lets property tests inspect supports.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from abc import ABC, abstractmethod
+from typing import (
+    Callable,
+    Generic,
+    Iterable,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+    Union,
+)
+
+import numpy as np
+
+from repro.model.errors import ModelError
+from repro.model.signal import Signal
+
+Q = TypeVar("Q")
+O = TypeVar("O")
+
+
+class Distribution(Generic[Q]):
+    """A finite probability distribution over next states.
+
+    Outcomes are deduplicated (weights of equal outcomes are merged) and
+    weights are normalized to sum to one.
+    """
+
+    __slots__ = ("_outcomes", "_weights")
+
+    def __init__(self, outcomes: Sequence[Q], weights: Optional[Sequence[float]] = None):
+        if not outcomes:
+            raise ModelError("a Distribution needs at least one outcome")
+        if weights is None:
+            weights = [1.0] * len(outcomes)
+        if len(weights) != len(outcomes):
+            raise ModelError("outcomes and weights must have equal length")
+        if any(w < 0 for w in weights):
+            raise ModelError("weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ModelError("weights must not all be zero")
+        merged: dict = {}
+        for outcome, weight in zip(outcomes, weights):
+            merged[outcome] = merged.get(outcome, 0.0) + weight / total
+        self._outcomes: Tuple[Q, ...] = tuple(merged.keys())
+        self._weights: Tuple[float, ...] = tuple(merged.values())
+
+    @classmethod
+    def uniform(cls, outcomes: Iterable[Q]) -> "Distribution[Q]":
+        """Uniform distribution over ``outcomes`` — the paper's ``δ`` set."""
+        return cls(tuple(outcomes))
+
+    @classmethod
+    def bernoulli(cls, if_true: Q, if_false: Q, p_true: float) -> "Distribution[Q]":
+        """Two-point distribution: ``if_true`` with probability ``p_true``."""
+        if not 0.0 <= p_true <= 1.0:
+            raise ModelError(f"p_true must lie in [0, 1], got {p_true}")
+        return cls((if_true, if_false), (p_true, 1.0 - p_true))
+
+    @property
+    def outcomes(self) -> Tuple[Q, ...]:
+        return self._outcomes
+
+    @property
+    def weights(self) -> Tuple[float, ...]:
+        return self._weights
+
+    @property
+    def support(self) -> frozenset:
+        """The set of outcomes with non-zero probability."""
+        return frozenset(o for o, w in zip(self._outcomes, self._weights) if w > 0)
+
+    def probability(self, outcome: Q) -> float:
+        """Probability mass assigned to ``outcome`` (0.0 if absent)."""
+        for candidate, weight in zip(self._outcomes, self._weights):
+            if candidate == outcome:
+                return weight
+        return 0.0
+
+    def sample(self, rng: np.random.Generator) -> Q:
+        """Draw one outcome using ``rng``."""
+        if len(self._outcomes) == 1:
+            return self._outcomes[0]
+        index = rng.choice(len(self._outcomes), p=self._weights)
+        return self._outcomes[int(index)]
+
+    def map(self, fn: Callable[[Q], "Q"]) -> "Distribution":
+        """Push the distribution forward through ``fn``."""
+        return Distribution([fn(o) for o in self._outcomes], self._weights)
+
+    def is_deterministic(self) -> bool:
+        return len(self._outcomes) == 1
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{o!r}: {w:.4g}" for o, w in zip(self._outcomes, self._weights)
+        )
+        return f"Distribution({{{pairs}}})"
+
+
+TransitionResult = Union[Q, Distribution]
+
+
+def product_distribution(
+    choices: Sequence[Tuple[Sequence, Sequence[float]]],
+    combine: Callable[..., Q],
+) -> Distribution:
+    """Build the joint distribution of independent choices.
+
+    ``choices`` is a sequence of ``(options, weights)`` pairs describing
+    independent random draws (e.g. a biased flag coin and a fair
+    candidate coin); ``combine`` maps one option per choice to a state.
+    This realizes the compound coin tosses of AlgLE/AlgMIS as a single
+    ``δ`` distribution, as required by the model.
+    """
+    option_lists = [list(options) for options, _ in choices]
+    weight_lists = [list(weights) for _, weights in choices]
+    outcomes = []
+    weights = []
+    for combo in itertools.product(*[range(len(o)) for o in option_lists]):
+        picked = [option_lists[i][j] for i, j in enumerate(combo)]
+        weight = math.prod(weight_lists[i][j] for i, j in enumerate(combo))
+        if weight <= 0:
+            continue
+        outcomes.append(combine(*picked))
+        weights.append(weight)
+    return Distribution(outcomes, weights)
+
+
+class Algorithm(ABC, Generic[Q, O]):
+    """A stone age algorithm ``Π = ⟨Q, Q_O, ω, δ⟩``.
+
+    Subclasses must implement the transition function, the output
+    predicate/map, the designated initial state ``q*_0`` (used after a
+    Restart exit and for fault-free starts) and a ``random_state``
+    sampler used by the adversary and by fault injection.
+    """
+
+    #: Human-readable algorithm name (used in reports and tables).
+    name: str = "algorithm"
+
+    # ------------------------------------------------------------------
+    # The 4-tuple.
+    # ------------------------------------------------------------------
+
+    def states(self) -> Optional[frozenset]:
+        """The full state set ``Q``, or ``None`` when enumeration is
+        impractical (the set is always finite; see
+        :meth:`state_space_size` for exact accounting)."""
+        return None
+
+    @abstractmethod
+    def is_output_state(self, state: Q) -> bool:
+        """Whether ``state ∈ Q_O``."""
+
+    @abstractmethod
+    def output(self, state: Q) -> O:
+        """The output map ``ω``; only defined on output states."""
+
+    @abstractmethod
+    def delta(self, state: Q, signal: Signal[Q]) -> TransitionResult:
+        """The transition function ``δ`` (pure; randomness is returned,
+        not sampled)."""
+
+    # ------------------------------------------------------------------
+    # Auxiliary contract.
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def initial_state(self) -> Q:
+        """The designer-chosen uniform initial state ``q*_0``."""
+
+    @abstractmethod
+    def random_state(self, rng: np.random.Generator) -> Q:
+        """Sample an arbitrary state — the adversary's prerogative."""
+
+    def state_space_size(self) -> int:
+        """Exact size of ``Q``.  Defaults to enumerating :meth:`states`."""
+        enumerated = self.states()
+        if enumerated is None:
+            raise NotImplementedError(
+                f"{self.name} does not enumerate its state space"
+            )
+        return len(enumerated)
+
+    # ------------------------------------------------------------------
+    # Convenience helpers.
+    # ------------------------------------------------------------------
+
+    def output_states(self) -> Optional[frozenset]:
+        """``Q_O``, when the state set is enumerable."""
+        enumerated = self.states()
+        if enumerated is None:
+            return None
+        return frozenset(q for q in enumerated if self.is_output_state(q))
+
+    def resolve(self, state: Q, signal: Signal[Q], rng: np.random.Generator) -> Q:
+        """Apply ``δ`` and sample the next state."""
+        result = self.delta(state, signal)
+        if isinstance(result, Distribution):
+            return result.sample(rng)
+        return result
+
+    def support(self, state: Q, signal: Signal[Q]) -> frozenset:
+        """The support of ``δ(state, signal)`` — handy for property tests."""
+        result = self.delta(state, signal)
+        if isinstance(result, Distribution):
+            return result.support
+        return frozenset((result,))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,137 @@
+"""Configurations ``C : V → Q`` of a stone age execution."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterable, Iterator, Mapping, Tuple, TypeVar
+
+from repro.graphs.topology import Topology
+from repro.model.errors import ConfigurationError
+from repro.model.signal import Signal
+
+Q = TypeVar("Q")
+
+
+class Configuration(Generic[Q]):
+    """An immutable assignment of one state to every node of a topology.
+
+    The class also computes the set-broadcast signals the model derives
+    from a configuration: :meth:`signal` for a single node,
+    :meth:`signals` for all nodes at once.
+    """
+
+    __slots__ = ("_topology", "_states")
+
+    def __init__(self, topology: Topology, states: Mapping[int, Q]):
+        missing = [v for v in topology.nodes if v not in states]
+        if missing:
+            raise ConfigurationError(f"configuration misses nodes {missing}")
+        extra = [v for v in states if v not in set(topology.nodes)]
+        if extra:
+            raise ConfigurationError(f"configuration has unknown nodes {extra}")
+        self._topology = topology
+        self._states: Tuple[Q, ...] = tuple(states[v] for v in topology.nodes)
+
+    # ------------------------------------------------------------------
+    # Constructors.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def uniform(cls, topology: Topology, state: Q) -> "Configuration[Q]":
+        """All nodes share ``state`` (e.g. the designated ``q*_0``)."""
+        return cls(topology, {v: state for v in topology.nodes})
+
+    @classmethod
+    def from_function(
+        cls, topology: Topology, fn: Callable[[int], Q]
+    ) -> "Configuration[Q]":
+        return cls(topology, {v: fn(v) for v in topology.nodes})
+
+    # ------------------------------------------------------------------
+    # Accessors.
+    # ------------------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    def __getitem__(self, v: int) -> Q:
+        return self._states[v]
+
+    def items(self) -> Iterator[Tuple[int, Q]]:
+        return iter(enumerate(self._states))
+
+    def states(self) -> Tuple[Q, ...]:
+        """States in node order ``0 .. n-1``."""
+        return self._states
+
+    def state_set(self) -> frozenset:
+        """The set of states present anywhere in the configuration."""
+        return frozenset(self._states)
+
+    # ------------------------------------------------------------------
+    # Signals.
+    # ------------------------------------------------------------------
+
+    def signal(self, v: int) -> Signal[Q]:
+        """The signal of node ``v`` under this configuration."""
+        return Signal(self._states[u] for u in self._topology.inclusive_neighbors(v))
+
+    def signals(self) -> Dict[int, Signal[Q]]:
+        """Signals of every node (computed fresh; configurations are
+        immutable, so callers may cache)."""
+        return {v: self.signal(v) for v in self._topology.nodes}
+
+    # ------------------------------------------------------------------
+    # Updates (functional).
+    # ------------------------------------------------------------------
+
+    def replace(self, updates: Mapping[int, Q]) -> "Configuration[Q]":
+        """A new configuration with ``updates`` applied."""
+        if not updates:
+            return self
+        states = list(self._states)
+        for v, q in updates.items():
+            if not 0 <= v < len(states):
+                raise ConfigurationError(f"unknown node {v}")
+            states[v] = q
+        new = object.__new__(Configuration)
+        new._topology = self._topology
+        new._states = tuple(states)
+        return new
+
+    # ------------------------------------------------------------------
+    # Output views.
+    # ------------------------------------------------------------------
+
+    def is_output_configuration(self, algorithm) -> bool:
+        """Whether every node occupies an output state of ``algorithm``."""
+        return all(algorithm.is_output_state(q) for q in self._states)
+
+    def output_vector(self, algorithm) -> Tuple[object, ...]:
+        """``ω ∘ C`` where defined; ``None`` for non-output states."""
+        return tuple(
+            algorithm.output(q) if algorithm.is_output_state(q) else None
+            for q in self._states
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences.
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._topology is other._topology and self._states == other._states
+
+    def __hash__(self) -> int:
+        return hash((id(self._topology), self._states))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(
+            f"{v}:{q!r}" for v, q in list(self.items())[:6]
+        )
+        suffix = ", ..." if len(self) > 6 else ""
+        return f"Configuration({{{preview}{suffix}}})"

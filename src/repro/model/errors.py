@@ -1,0 +1,35 @@
+"""Exception hierarchy for the stone age model substrate.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+that callers can catch library failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """An algorithm or execution violated the stone age model contract."""
+
+
+class ConfigurationError(ModelError):
+    """A configuration is malformed (unknown node, illegal state, ...)."""
+
+
+class ScheduleError(ModelError):
+    """A scheduler produced an illegal activation set."""
+
+
+class TopologyError(ReproError):
+    """A graph is unusable (disconnected, empty, diameter bound violated)."""
+
+
+class StabilizationError(ReproError):
+    """An execution failed to stabilize within the allotted budget."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,84 @@
+"""The round operator ``ϱ`` of the paper.
+
+Given an asynchronous schedule ``{A_t}``, the paper defines ``ϱ(t)`` as
+the earliest time such that every node is activated at least once during
+``[t, ϱ(t))``, iterates it to ``ϱ^i(t)``, and sets ``R(i) = ϱ^i(0)``.
+Stabilization times are expressed as the smallest ``i`` with the
+execution stabilized by ``R(i)``.
+
+:class:`RoundTracker` maintains the boundaries ``R(0) = 0 < R(1) < ...``
+incrementally: a round completes once the set of nodes not yet activated
+since the previous boundary becomes empty.  Under a synchronous schedule
+``R(i) = i`` falls out automatically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, List, Sequence, Set
+
+
+class RoundTracker:
+    """Incrementally computes the boundaries ``R(i) = ϱ^i(0)``."""
+
+    __slots__ = ("_nodes", "_pending", "_boundaries", "_time")
+
+    def __init__(self, nodes: Sequence[int]):
+        self._nodes: Sequence[int] = tuple(nodes)
+        self._pending: Set[int] = set(self._nodes)
+        self._boundaries: List[int] = [0]
+        self._time = 0
+
+    @property
+    def time(self) -> int:
+        """Steps observed so far."""
+        return self._time
+
+    @property
+    def completed_rounds(self) -> int:
+        """The largest ``i`` with ``R(i)`` already determined."""
+        return len(self._boundaries) - 1
+
+    @property
+    def boundaries(self) -> Sequence[int]:
+        """``[R(0), R(1), ..., R(completed_rounds)]``."""
+        return tuple(self._boundaries)
+
+    def observe(self, activated: Iterable[int]) -> bool:
+        """Record the activation set of the current step.
+
+        Returns ``True`` iff this step completed a round, i.e. a new
+        boundary ``R(i) = time + 1`` was appended.
+        """
+        self._pending.difference_update(activated)
+        self._time += 1
+        if not self._pending:
+            self._boundaries.append(self._time)
+            self._pending = set(self._nodes)
+            return True
+        return False
+
+    def boundary(self, i: int) -> int:
+        """``R(i)`` for an already-completed round index ``i``."""
+        return self._boundaries[i]
+
+    def round_of_time(self, t: int) -> int:
+        """The smallest ``i`` with ``R(i) ≥ t`` (the paper's unit for
+        "stabilized by time ``R(i)``").
+
+        Raises :class:`IndexError` if ``t`` lies beyond the last known
+        boundary (the execution has not yet completed enough rounds).
+        """
+        if t > self._boundaries[-1]:
+            raise IndexError(
+                f"time {t} lies beyond the last completed round boundary "
+                f"{self._boundaries[-1]}"
+            )
+        # First index with boundary >= t.
+        return bisect_right(self._boundaries, t - 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RoundTracker t={self._time} rounds={self.completed_rounds} "
+            f"pending={len(self._pending)}>"
+        )

@@ -1,0 +1,225 @@
+"""Activation schedulers — the adversary's half of the execution.
+
+A schedule is the sequence ``{A_t}`` of activation sets chosen by a
+malicious adversary who knows the algorithm but is oblivious to coin
+tosses.  The only constraint is fairness: every node must be activated
+infinitely often.  The schedulers below cover the paper's settings:
+
+* :class:`SynchronousScheduler` — ``A_t = V`` (so ``R(i) = i``);
+* :class:`RoundRobinScheduler` — one node per step, maximal asynchrony;
+* :class:`ShuffledRoundRobinScheduler` — random permutation per round;
+* :class:`RandomSubsetScheduler` — i.i.d. inclusion coin per node;
+* :class:`ExplicitScheduler` — replay a hand-crafted schedule
+  (used for the Appendix-A live-lock witness);
+* :class:`RotatingScheduler` — a base activation order whose node
+  indices shift every round (the Figure-2 adversary);
+* :class:`LaggardScheduler` — starves a victim node as long as
+  fairness allows, stressing the asynchronous analysis.
+
+All schedulers are deterministic functions of ``(t, rng)`` so that runs
+are reproducible under seeded generators.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.errors import ScheduleError
+
+
+class Scheduler(ABC):
+    """Produces the activation set ``A_t`` for every step ``t``."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "scheduler"
+
+    @abstractmethod
+    def activations(
+        self, t: int, nodes: Sequence[int], rng: np.random.Generator
+    ) -> FrozenSet[int]:
+        """The set of nodes activated in step ``t`` (non-empty)."""
+
+    def _validate(self, activated: Iterable[int], nodes: Sequence[int]) -> FrozenSet[int]:
+        result = frozenset(activated)
+        if not result:
+            raise ScheduleError(f"{self.name} produced an empty activation set")
+        known = set(nodes)
+        if not result <= known:
+            raise ScheduleError(
+                f"{self.name} activated unknown nodes {sorted(result - known)}"
+            )
+        return result
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SynchronousScheduler(Scheduler):
+    """``A_t = V`` for all ``t``; every step is a round."""
+
+    name = "synchronous"
+
+    def activations(self, t, nodes, rng):
+        return frozenset(nodes)
+
+
+class RoundRobinScheduler(Scheduler):
+    """Activates exactly one node per step, cycling through a fixed
+    order.  One round takes exactly ``n`` steps."""
+
+    name = "round-robin"
+
+    def __init__(self, order: Optional[Sequence[int]] = None):
+        self._order = tuple(order) if order is not None else None
+
+    def activations(self, t, nodes, rng):
+        order = self._order if self._order is not None else tuple(nodes)
+        if len(order) != len(nodes) or set(order) != set(nodes):
+            raise ScheduleError("round-robin order must be a permutation of V")
+        return frozenset((order[t % len(order)],))
+
+
+class ShuffledRoundRobinScheduler(Scheduler):
+    """One node per step, re-shuffling the order at every round
+    boundary.  Fair with probability 1 and far less predictable than
+    plain round-robin."""
+
+    name = "shuffled-round-robin"
+
+    def __init__(self) -> None:
+        self._current: List[int] = []
+
+    def activations(self, t, nodes, rng):
+        if not self._current:
+            self._current = list(nodes)
+            rng.shuffle(self._current)
+        return frozenset((self._current.pop(),))
+
+
+class RandomSubsetScheduler(Scheduler):
+    """Each node is activated independently with probability ``p``.
+
+    Empty draws are resampled so every step activates at least one node;
+    fairness holds with probability 1.
+    """
+
+    name = "random-subset"
+
+    def __init__(self, p: float = 0.5):
+        if not 0.0 < p <= 1.0:
+            raise ScheduleError(f"activation probability must be in (0, 1], got {p}")
+        self._p = p
+        self.name = f"random-subset(p={p})"
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    def activations(self, t, nodes, rng):
+        node_list = tuple(nodes)
+        while True:
+            mask = rng.random(len(node_list)) < self._p
+            if mask.any():
+                return frozenset(
+                    v for v, included in zip(node_list, mask) if included
+                )
+
+
+class ExplicitScheduler(Scheduler):
+    """Replays a prescribed finite schedule, optionally repeating it.
+
+    Used to reproduce hand-crafted adversarial schedules such as the
+    Appendix-A live-lock.  When the prescribed sequence is exhausted and
+    ``repeat`` is false, the scheduler falls back to synchronous steps
+    (keeping the execution fair).
+    """
+
+    name = "explicit"
+
+    def __init__(
+        self,
+        sequence: Sequence[Iterable[int]],
+        repeat: bool = False,
+    ):
+        self._sequence: Tuple[FrozenSet[int], ...] = tuple(
+            frozenset(step) for step in sequence
+        )
+        if not self._sequence:
+            raise ScheduleError("explicit schedule must be non-empty")
+        self._repeat = repeat
+
+    def activations(self, t, nodes, rng):
+        if t < len(self._sequence):
+            return self._validate(self._sequence[t], nodes)
+        if self._repeat:
+            return self._validate(self._sequence[t % len(self._sequence)], nodes)
+        return frozenset(nodes)
+
+
+class RotatingScheduler(Scheduler):
+    """Activates single nodes following ``base_order`` whose indices are
+    shifted by ``shift`` (mod n) at each completed traversal.
+
+    With ``base_order = [p0, p6, p1, p2, p3, p4, p7, p5]`` and
+    ``shift = 1`` on the 8-ring, this is exactly the adversary that keeps
+    the Appendix-A algorithm in a live-lock: after every traversal the
+    configuration equals the previous one rotated by one position, and
+    the schedule rotates along with it.
+    """
+
+    name = "rotating"
+
+    def __init__(self, base_order: Sequence[int], shift: int = 1):
+        if not base_order:
+            raise ScheduleError("rotating schedule needs a non-empty base order")
+        self._base = tuple(base_order)
+        self._shift = shift
+
+    def activations(self, t, nodes, rng):
+        n = len(nodes)
+        if set(self._base) != set(nodes):
+            raise ScheduleError("rotating base order must be a permutation of V")
+        traversal, position = divmod(t, len(self._base))
+        node = (self._base[position] + traversal * self._shift) % n
+        return frozenset((node,))
+
+
+class LaggardScheduler(Scheduler):
+    """Activates every node except a victim each step, touching the
+    victim only once every ``period`` steps.
+
+    This is the "almost-starving" fair adversary: the victim's rounds
+    stretch to ``period`` steps, which maximizes the gap between step
+    counts and round counts.
+    """
+
+    name = "laggard"
+
+    def __init__(self, victim: int = 0, period: int = 8):
+        if period < 2:
+            raise ScheduleError("laggard period must be at least 2")
+        self._victim = victim
+        self._period = period
+        self.name = f"laggard(victim={victim}, period={period})"
+
+    def activations(self, t, nodes, rng):
+        if self._victim not in set(nodes):
+            raise ScheduleError(f"victim {self._victim} is not a node")
+        others = frozenset(v for v in nodes if v != self._victim)
+        if t % self._period == self._period - 1 or not others:
+            return others | frozenset((self._victim,))
+        return others
+
+
+def default_schedulers() -> Tuple[Scheduler, ...]:
+    """The scheduler battery used by integration tests and experiments."""
+    return (
+        SynchronousScheduler(),
+        RoundRobinScheduler(),
+        ShuffledRoundRobinScheduler(),
+        RandomSubsetScheduler(0.5),
+        LaggardScheduler(victim=0, period=6),
+    )

@@ -1,0 +1,73 @@
+"""Set-broadcast signals of the stone age model.
+
+The paper defines the signal of node ``v`` under configuration ``C`` as
+the binary vector ``S_v ∈ {0, 1}^Q`` with ``S_v(q) = 1`` iff some node in
+the inclusive neighborhood ``N+(v)`` occupies state ``q``.  A binary
+vector over ``Q`` carries exactly the same information as the subset of
+``Q`` it indicates, so :class:`Signal` wraps a ``frozenset`` of sensed
+states.  Algorithms receive *only* this object (plus their own state),
+which enforces the model's communication constraints: no counting, no
+neighbor identities, no directionality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Generic, Iterable, Iterator, TypeVar
+
+Q = TypeVar("Q")
+
+
+class Signal(Generic[Q]):
+    """The set of states sensed by a node in its inclusive neighborhood.
+
+    Instances are immutable and hashable.  The sensed set always contains
+    the observing node's own state because neighborhoods are inclusive.
+    """
+
+    __slots__ = ("_sensed",)
+
+    def __init__(self, sensed: Iterable[Q]):
+        self._sensed: FrozenSet[Q] = frozenset(sensed)
+
+    @property
+    def sensed(self) -> FrozenSet[Q]:
+        """The frozen set of sensed states."""
+        return self._sensed
+
+    def senses(self, state: Q) -> bool:
+        """Return ``True`` iff ``state`` appears in the neighborhood."""
+        return state in self._sensed
+
+    def senses_any(self, predicate: Callable[[Q], bool]) -> bool:
+        """Return ``True`` iff some sensed state satisfies ``predicate``."""
+        return any(predicate(q) for q in self._sensed)
+
+    def senses_only(self, allowed: Iterable[Q]) -> bool:
+        """Return ``True`` iff every sensed state belongs to ``allowed``."""
+        allowed_set = frozenset(allowed)
+        return self._sensed <= allowed_set
+
+    def matching(self, predicate: Callable[[Q], bool]) -> FrozenSet[Q]:
+        """Return the subset of sensed states satisfying ``predicate``."""
+        return frozenset(q for q in self._sensed if predicate(q))
+
+    def __contains__(self, state: object) -> bool:
+        return state in self._sensed
+
+    def __iter__(self) -> Iterator[Q]:
+        return iter(self._sensed)
+
+    def __len__(self) -> int:
+        return len(self._sensed)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Signal):
+            return NotImplemented
+        return self._sensed == other._sensed
+
+    def __hash__(self) -> int:
+        return hash(("Signal", self._sensed))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(sorted(repr(q) for q in self._sensed))
+        return f"Signal({{{inner}}})"

@@ -1,0 +1,6 @@
+"""The synchronizer transformer of Corollary 1.2."""
+
+from repro.sync.pulses import PulseMonitor
+from repro.sync.synchronizer import Synchronizer, SyncState
+
+__all__ = ["PulseMonitor", "SyncState", "Synchronizer"]

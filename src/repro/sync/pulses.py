@@ -1,0 +1,55 @@
+"""Pulse-level instrumentation for synchronized executions.
+
+A *pulse* of a node is one type-AA transition of its AlgAU coordinate —
+the moment the synchronizer advances the simulated synchronous round.
+:class:`PulseMonitor` counts pulses per node and records when the AU
+layer stabilized, which lets tests and benchmarks separate the
+synchronizer overhead (``O(D^3)``) from the simulated algorithm's own
+stabilization time (``f(n, D)``), the two terms of Corollary 1.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.predicates import is_good_graph
+from repro.model.configuration import Configuration
+from repro.model.execution import Execution, Monitor, StepRecord
+from repro.sync.synchronizer import SyncState, Synchronizer
+
+
+class PulseMonitor(Monitor):
+    """Counts simulated synchronous rounds (pulses) per node."""
+
+    def __init__(self, synchronizer: Synchronizer):
+        self.synchronizer = synchronizer
+        self.pulse_counts: Dict[int, int] = {}
+        self.first_good_round: Optional[int] = None
+        self.pulse_times: List[Tuple[int, int]] = []  # (t, node)
+
+    def on_start(self, execution: Execution) -> None:
+        self.pulse_counts = {v: 0 for v in execution.topology.nodes}
+
+    def _turn_configuration(self, execution: Execution) -> Configuration:
+        return Configuration.from_function(
+            execution.topology,
+            lambda v: execution.configuration[v].turn,
+        )
+
+    def on_step(self, execution: Execution, record: StepRecord) -> None:
+        for node, old, new in record.changed:
+            if isinstance(old, SyncState) and self.synchronizer.pulse_advanced(
+                old, new
+            ):
+                self.pulse_counts[node] += 1
+                self.pulse_times.append((record.t, node))
+        if self.first_good_round is None and record.completed_round:
+            turn_config = self._turn_configuration(execution)
+            if is_good_graph(self.synchronizer.unison, turn_config):
+                self.first_good_round = execution.completed_rounds
+
+    def min_pulses(self) -> int:
+        return min(self.pulse_counts.values()) if self.pulse_counts else 0
+
+    def max_pulses(self) -> int:
+        return max(self.pulse_counts.values()) if self.pulse_counts else 0

@@ -1,0 +1,132 @@
+"""The self-stabilizing synchronizer of Sec. 4 (Corollary 1.2).
+
+Given a *synchronous* self-stabilizing algorithm ``Π = ⟨Q, Q_O, ω, δ⟩``
+for a task ``T`` on ``D``-bounded-diameter graphs, the transformer
+produces an *asynchronous* self-stabilizing algorithm
+``Π* = ⟨Q*, Q*_O, ω*, δ*⟩`` with ``Q* = Q × Q × (T ∪ T̂)``: a product of
+the node's current simulated ``Π``-state ``q``, its previous
+``Π``-state ``q'``, and an AlgAU turn ``ν``.
+
+``Π*`` simulates AlgAU on the third coordinate.  Whenever AlgAU advances
+its clock — a type AA transition from output state ``ν`` to
+``ν' = φ^{+1}(ν)`` — the node also advances the simulation of ``Π`` by
+one synchronous round: the simulated signal ``S_Π`` senses state ``r``
+iff the node senses a ``Π*``-state of the form ``(r, ·, ν)`` (a neighbor
+still at the node's pre-advance clock exposes its current ``Π``-state)
+or ``(·, r, ν')`` (a neighbor that already advanced exposes its previous
+``Π``-state).  After AlgAU stabilizes, neighboring clocks are adjacent,
+so every neighbor contributes exactly its ``Π``-state for the simulated
+round — pulse ``p`` of the simulation behaves like synchronous round
+``p`` — and ``Π`` self-stabilizes from whatever garbage the pulses
+simulated beforehand.
+
+State space: ``|Q*| = |T ∪ T̂| · |Q|^2 = O(D · |Q|^2)``; stabilization
+time: AlgAU's ``O(D^3)`` rounds plus one round per simulated ``Π`` round
+(the AU liveness condition delivers ``i`` pulses within ``D + i``
+rounds), i.e. ``f(n, D) + O(D^3)`` in total — Corollary 1.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Generic, Optional, TypeVar
+
+import numpy as np
+
+from repro.core.algau import ThinUnison, TransitionType
+from repro.core.turns import Turn
+from repro.model.algorithm import Algorithm, Distribution, TransitionResult
+from repro.model.signal import Signal
+
+Q = TypeVar("Q")
+O = TypeVar("O")
+
+
+@dataclass(frozen=True, slots=True)
+class SyncState(Generic[Q]):
+    """A ``Π*`` state ``(q, q', ν)``."""
+
+    current: Q  # the simulated Π-state for the node's current pulse
+    previous: Q  # the Π-state of the previous pulse
+    turn: Turn  # the AlgAU coordinate
+
+    def __str__(self) -> str:
+        return f"({self.current}, {self.previous}, {self.turn})"
+
+
+class Synchronizer(Algorithm, Generic[Q, O]):
+    """``Π*`` — the asynchronous lift of a synchronous algorithm ``Π``."""
+
+    def __init__(self, inner: Algorithm, diameter_bound: int):
+        self.inner = inner
+        self.unison = ThinUnison(diameter_bound)
+        self.diameter_bound = diameter_bound
+        self.name = f"Sync[{inner.name}]"
+
+    # ------------------------------------------------------------------
+    # The 4-tuple.
+    # ------------------------------------------------------------------
+
+    def initial_state(self) -> SyncState:
+        q0 = self.inner.initial_state()
+        return SyncState(current=q0, previous=q0, turn=self.unison.initial_state())
+
+    def is_output_state(self, state: SyncState) -> bool:
+        """``Q*_O = Q_O × Q × T`` (inner output state + able turn)."""
+        return state.turn.able and self.inner.is_output_state(state.current)
+
+    def output(self, state: SyncState) -> O:
+        """``ω*(q, q', ν) = ω(q)``."""
+        return self.inner.output(state.current)
+
+    def state_space_size(self) -> int:
+        """``|Q*| = |Q|^2 · (4k − 2) = O(D · |Q|^2)``."""
+        inner_size = self.inner.state_space_size()
+        return inner_size * inner_size * self.unison.state_space_size()
+
+    def random_state(self, rng: np.random.Generator) -> SyncState:
+        return SyncState(
+            current=self.inner.random_state(rng),
+            previous=self.inner.random_state(rng),
+            turn=self.unison.random_state(rng),
+        )
+
+    # ------------------------------------------------------------------
+    # Transition function.
+    # ------------------------------------------------------------------
+
+    def delta(self, state: SyncState, signal: Signal) -> TransitionResult:
+        turn_signal = Signal(s.turn for s in signal)
+        kind = self.unison.classify(state.turn, turn_signal)
+        new_turn = self.unison.successor(state.turn, turn_signal)
+        if kind is not TransitionType.AA:
+            # The AU layer is repairing itself (or idle); the simulation
+            # does not advance.
+            if new_turn == state.turn:
+                return state
+            return SyncState(state.current, state.previous, new_turn)
+        # Clock advance: simulate one synchronous round of Π.
+        pre, post = state.turn, new_turn
+        simulated = set()
+        for s in signal:
+            if s.turn == pre:
+                simulated.add(s.current)
+            if s.turn == post:
+                simulated.add(s.previous)
+        inner_result = self.inner.delta(state.current, Signal(simulated))
+        if isinstance(inner_result, Distribution):
+            return inner_result.map(
+                lambda q: SyncState(q, state.current, post)
+            )
+        return SyncState(inner_result, state.current, post)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def pulse_advanced(self, old: SyncState, new: SyncState) -> bool:
+        """Whether the change ``old -> new`` carried a simulated round."""
+        return (
+            self.unison.classify_change(old.turn, new.turn)
+            is TransitionType.AA
+        )

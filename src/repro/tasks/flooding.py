@@ -1,0 +1,158 @@
+"""Synchronous set-broadcast aggregation primitives.
+
+AlgLE and AlgMIS both lean on one communication pattern: *flood an
+aggregate through set-broadcast signals for D lock-stepped rounds*
+(the global OR indicators ``I_flag``/``I_C`` of Sec. 3.2, the
+``step_min`` rule of RandPhase, the identifier flooding of DetectLE).
+This module isolates the pattern as standalone algorithms — useful as
+teaching devices, as micro-benchmarks of information propagation in the
+SA model, and as test fixtures whose correctness is easy to state:
+
+* :class:`ORFlood` — every node holds a bit; after ``d`` rounds every
+  node's accumulator equals the OR over its distance-``d`` ball;
+* :class:`MinFlood` — the same with minimum over a bounded value range.
+
+Both are *deliberately not self-stabilizing* (they are sub-modules; the
+composed algorithms obtain self-stabilization through detection +
+Restart) — their contract is correctness from a designated start, which
+the tests pin down exactly, including the radius-per-round growth rate
+that the AlgLE/AlgMIS epoch-length arithmetic (``D + 1`` rounds per
+epoch) depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.model.algorithm import Algorithm, TransitionResult
+from repro.model.errors import ModelError
+from repro.model.signal import Signal
+
+
+@dataclass(frozen=True, slots=True)
+class ORState:
+    """Source bit plus the running OR accumulator."""
+
+    source: bool
+    accumulated: bool
+
+    def __str__(self) -> str:
+        return f"OR[{int(self.source)}/{int(self.accumulated)}]"
+
+
+class ORFlood(Algorithm):
+    """One-hop-per-round OR aggregation.
+
+    After ``d`` synchronous rounds from the designated start
+    (``accumulated = source``), node ``v``'s accumulator equals the OR
+    of the source bits over ``B(v, d)``.
+    """
+
+    def __init__(self) -> None:
+        self.name = "ORFlood"
+
+    def states(self) -> FrozenSet[ORState]:
+        return frozenset(
+            ORState(s, a) for s in (False, True) for a in (False, True)
+        )
+
+    def state_space_size(self) -> int:
+        return 4
+
+    def is_output_state(self, state: ORState) -> bool:
+        return True
+
+    def output(self, state: ORState) -> int:
+        return int(state.accumulated)
+
+    def initial_state(self) -> ORState:
+        return ORState(False, False)
+
+    def random_state(self, rng: np.random.Generator) -> ORState:
+        return ORState(bool(rng.integers(2)), bool(rng.integers(2)))
+
+    def delta(self, state: ORState, signal: Signal) -> TransitionResult:
+        accumulated = any(
+            s.accumulated for s in signal if isinstance(s, ORState)
+        )
+        if accumulated == state.accumulated:
+            return state
+        return ORState(state.source, accumulated)
+
+
+@dataclass(frozen=True, slots=True)
+class MinState:
+    """Source value plus the running minimum."""
+
+    source: int
+    minimum: int
+
+    def __str__(self) -> str:
+        return f"Min[{self.source}/{self.minimum}]"
+
+
+class MinFlood(Algorithm):
+    """One-hop-per-round minimum aggregation over ``{0, ..., bound}``."""
+
+    def __init__(self, bound: int):
+        if bound < 1:
+            raise ModelError("value bound must be >= 1")
+        self.bound = bound
+        self.name = f"MinFlood(bound={bound})"
+
+    def states(self) -> FrozenSet[MinState]:
+        return frozenset(
+            MinState(s, m)
+            for s in range(self.bound + 1)
+            for m in range(self.bound + 1)
+        )
+
+    def state_space_size(self) -> int:
+        return (self.bound + 1) ** 2
+
+    def is_output_state(self, state: MinState) -> bool:
+        return True
+
+    def output(self, state: MinState) -> int:
+        return state.minimum
+
+    def initial_state(self) -> MinState:
+        return MinState(self.bound, self.bound)
+
+    def random_state(self, rng: np.random.Generator) -> MinState:
+        return MinState(
+            int(rng.integers(self.bound + 1)),
+            int(rng.integers(self.bound + 1)),
+        )
+
+    def delta(self, state: MinState, signal: Signal) -> TransitionResult:
+        minimum = min(
+            s.minimum for s in signal if isinstance(s, MinState)
+        )
+        if minimum == state.minimum:
+            return state
+        return MinState(state.source, minimum)
+
+
+def seeded_or_configuration(topology, sources):
+    """Designated start with ``sources`` holding bit 1."""
+    from repro.model.configuration import Configuration
+
+    source_set = set(sources)
+    return Configuration.from_function(
+        topology,
+        lambda v: ORState(v in source_set, v in source_set),
+    )
+
+
+def seeded_min_configuration(topology, values, bound):
+    """Designated start with node ``v`` holding ``values[v]``."""
+    from repro.model.configuration import Configuration
+
+    return Configuration.from_function(
+        topology,
+        lambda v: MinState(values[v], values[v]),
+    )

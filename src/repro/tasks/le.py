@@ -1,0 +1,296 @@
+"""AlgLE — the synchronous self-stabilizing leader election (Sec. 3.2).
+
+The algorithm progresses in *epochs*.  The paper describes epochs of
+``D`` communication rounds used to flood two global OR indicators; our
+realization makes the bookkeeping explicit: an epoch spans ``D + 1``
+lock-stepped rounds indexed by ``r ∈ {0, ..., D}`` —
+
+* the ``r = 0`` round performs the epoch's coin tosses and initializes
+  the OR accumulators to the node's own contribution,
+* the ``D`` rounds ``r = 1 .. D`` flood the accumulators one hop per
+  round (distance ``D ≥ diam(G)`` suffices to reach everyone),
+* the final (``r = D``) round additionally applies the epoch decision.
+
+**Computation stage** (module ``RandCount`` + module ``Elect``): every
+node carries ``flag`` (RandCount) and ``candidate`` (Elect) bits.  While
+``flag = 1`` the node resets it with probability ``p0`` at each epoch
+start; the stage halts in the first epoch whose global OR of flags is 0,
+which takes ``X = max of n Geom(p0)`` epochs — ``Θ(log n)`` in
+expectation and whp (Obs. 3.2).  While ``candidate = 1`` the node
+tosses a fair coin ``C_v`` at each epoch start and withdraws its
+candidacy iff ``C_v = 0`` and the global OR of candidate coins is 1;
+at least one candidate always survives, and two candidates survive
+``X`` epochs only if their coin sequences coincide — probability
+``2^{-X}``.  When the stage halts, surviving candidates mark themselves
+leaders.
+
+**Verification stage** (module ``DetectLE``): every leader draws a
+temporary identifier from ``[k_id]`` at each epoch start; identifiers
+flood for ``D`` rounds.  A node that encounters two distinct
+identifiers, or none at all by the epoch's end, enters Restart — so a
+zero-leader configuration is detected deterministically within two
+epochs and a multi-leader configuration is detected with probability at
+least ``1 − 1/k_id`` per epoch.
+
+Any neighbor disagreement on the epoch round counter or the stage also
+triggers Restart, as does sensing any Restart state (the Restart rules
+take precedence).  After Restart all nodes re-enter ``q*_0``
+concurrently (Thm 3.1) and the computation starts from scratch.
+
+State space: ``O(D)`` main states plus ``2D + 1`` Restart states — the
+epoch counter is the only Θ(D) field, as promised by Thm 1.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.model.algorithm import (
+    Algorithm,
+    Distribution,
+    TransitionResult,
+    product_distribution,
+)
+from repro.model.errors import ModelError
+from repro.model.signal import Signal
+from repro.tasks.restart import RESTART_EXIT, RestartMixin, RestartState
+
+#: Stage markers (kept as single characters so states stay tiny).
+COMPUTE = "C"
+VERIFY = "V"
+
+
+@dataclass(frozen=True, slots=True)
+class LEState:
+    """One main-module state of AlgLE."""
+
+    stage: str  # COMPUTE or VERIFY
+    r: int  # epoch round counter, 0 .. D
+    flag: bool  # RandCount: still contributing to the random prefix
+    candidate: bool  # Elect: still in the running
+    coin: bool  # Elect: this epoch's fair coin
+    flag_acc: bool  # OR-accumulator for the flags
+    coin_acc: bool  # OR-accumulator for the candidate coins
+    leader: bool  # output bit
+    vid: Optional[int]  # DetectLE: leader's temporary identifier
+    seen: Optional[int]  # DetectLE: first identifier encountered
+
+    def __str__(self) -> str:
+        bits = f"{'f' if self.flag else '.'}{'c' if self.candidate else '.'}"
+        role = "L" if self.leader else " "
+        return f"LE[{self.stage}{self.r} {bits} {role}]"
+
+
+LEFull = Union[LEState, RestartState]
+
+
+class AlgLE(Algorithm, RestartMixin):
+    """The composed leader-election algorithm (Thm 1.3).
+
+    Parameters
+    ----------
+    diameter_bound:
+        The bound ``D`` (also the Restart depth and epoch length).
+    p0:
+        RandCount's per-epoch flag-reset probability; smaller values
+        lengthen the computation stage (``X ≈ log_{1/(1-p0)} n``).
+    k_id:
+        The size of the temporary-identifier alphabet of DetectLE; the
+        per-epoch multi-leader detection probability is ``≥ 1 − 1/k_id``.
+    """
+
+    def __init__(self, diameter_bound: int, p0: float = 0.25, k_id: int = 8):
+        RestartMixin.__init__(self, diameter_bound)
+        if not 0.0 < p0 < 1.0:
+            raise ModelError(f"p0 must lie in (0, 1), got {p0}")
+        if k_id < 2:
+            raise ModelError(f"k_id must be >= 2, got {k_id}")
+        self.p0 = p0
+        self.k_id = k_id
+        self.name = f"AlgLE(D={diameter_bound})"
+
+    # ------------------------------------------------------------------
+    # The 4-tuple.
+    # ------------------------------------------------------------------
+
+    def initial_state(self) -> LEState:
+        """``q*_0`` — the state every node assumes after a Restart exit."""
+        return LEState(
+            stage=COMPUTE,
+            r=0,
+            flag=True,
+            candidate=True,
+            coin=False,
+            flag_acc=False,
+            coin_acc=False,
+            leader=False,
+            vid=None,
+            seen=None,
+        )
+
+    def is_output_state(self, state: LEFull) -> bool:
+        return isinstance(state, LEState)
+
+    def output(self, state: LEFull) -> int:
+        return 1 if isinstance(state, LEState) and state.leader else 0
+
+    def state_space_size(self) -> int:
+        """Exact count of reachable-field combinations: ``O(D)``."""
+        ids = self.k_id + 1  # identifier values plus None
+        mains = 2 * (self.diameter_bound + 1) * (2**6) * ids * ids
+        return mains + (self.max_restart_index + 1)
+
+    def random_state(self, rng: np.random.Generator) -> LEFull:
+        if rng.random() < 0.25:
+            return RestartState(int(rng.integers(self.max_restart_index + 1)))
+        maybe_id = lambda: (
+            None if rng.random() < 0.5 else int(rng.integers(1, self.k_id + 1))
+        )
+        return LEState(
+            stage=COMPUTE if rng.random() < 0.5 else VERIFY,
+            r=int(rng.integers(self.diameter_bound + 1)),
+            flag=bool(rng.integers(2)),
+            candidate=bool(rng.integers(2)),
+            coin=bool(rng.integers(2)),
+            flag_acc=bool(rng.integers(2)),
+            coin_acc=bool(rng.integers(2)),
+            leader=bool(rng.integers(2)),
+            vid=maybe_id(),
+            seen=maybe_id(),
+        )
+
+    # ------------------------------------------------------------------
+    # Transition function.
+    # ------------------------------------------------------------------
+
+    def delta(self, state: LEFull, signal: Signal) -> TransitionResult:
+        handled = self.restart_transition(state, signal)
+        if handled is not None:
+            if handled is RESTART_EXIT:
+                return self.initial_state()
+            return handled
+        assert isinstance(state, LEState)
+        mains: Tuple[LEState, ...] = tuple(
+            s for s in signal if isinstance(s, LEState)
+        )
+        # Synchrony sanity: neighbors must agree on (stage, r).
+        if any(s.stage != state.stage or s.r != state.r for s in mains):
+            return self.restart_entry()
+        if state.stage == COMPUTE:
+            return self._compute_stage(state, mains)
+        return self._verify_stage(state, mains)
+
+    # -- computation stage ----------------------------------------------
+
+    def _compute_stage(
+        self, state: LEState, mains: Tuple[LEState, ...]
+    ) -> TransitionResult:
+        d = self.diameter_bound
+        if state.r == 0:
+            # Epoch start: RandCount tosses the biased coin, Elect the
+            # fair coin; both accumulators start at the node's own
+            # contribution.  Identifier fields are cleared.
+            def build(flag_value: bool, coin_value: bool) -> LEState:
+                return replace(
+                    state,
+                    r=1,
+                    flag=flag_value,
+                    coin=coin_value,
+                    flag_acc=flag_value,
+                    coin_acc=state.candidate and coin_value,
+                    leader=False,  # no leader exists during computation
+                    vid=None,
+                    seen=None,
+                )
+
+            flag_choice = (
+                ((False, True), (self.p0, 1.0 - self.p0))
+                if state.flag
+                else ((False,), (1.0,))
+            )
+            coin_choice = (
+                ((False, True), (0.5, 0.5))
+                if state.candidate
+                else ((False,), (1.0,))
+            )
+            return product_distribution([flag_choice, coin_choice], build)
+        if state.r < d:
+            # Flood the OR accumulators one hop.
+            return replace(
+                state,
+                r=state.r + 1,
+                flag_acc=any(s.flag_acc for s in mains),
+                coin_acc=any(s.coin_acc for s in mains),
+            )
+        # r == D: final accumulation + the epoch decision.
+        final_flag = any(s.flag_acc for s in mains)
+        final_coin = any(s.coin_acc for s in mains)
+        survives = state.candidate and not (not state.coin and final_coin)
+        if not final_flag:
+            # RandCount: computation stage halts; survivors lead.
+            return replace(
+                state,
+                stage=VERIFY,
+                r=0,
+                candidate=survives,
+                leader=survives,
+                flag=False,
+                coin=False,
+                flag_acc=False,
+                coin_acc=False,
+            )
+        return replace(state, r=0, candidate=survives)
+
+    # -- verification stage -----------------------------------------------
+
+    def _verify_stage(
+        self, state: LEState, mains: Tuple[LEState, ...]
+    ) -> TransitionResult:
+        d = self.diameter_bound
+        if state.r == 0:
+            # Epoch start: leaders draw a fresh temporary identifier.
+            if state.leader:
+                outcomes = [
+                    replace(
+                        state,
+                        r=1,
+                        vid=identifier,
+                        seen=identifier,
+                        flag=False,
+                        coin=False,
+                        flag_acc=False,
+                        coin_acc=False,
+                    )
+                    for identifier in range(1, self.k_id + 1)
+                ]
+                return Distribution.uniform(outcomes)
+            return replace(
+                state,
+                r=1,
+                vid=None,
+                seen=None,
+                flag=False,
+                coin=False,
+                flag_acc=False,
+                coin_acc=False,
+            )
+        # Gather identifiers from the neighborhood.
+        ids = {s.vid for s in mains if s.vid is not None}
+        ids |= {s.seen for s in mains if s.seen is not None}
+        if len(ids) >= 2:
+            return self.restart_entry()  # two leaders sensed directly
+        sensed = next(iter(ids)) if ids else None
+        seen = state.seen
+        if seen is None:
+            seen = sensed
+        elif sensed is not None and sensed != seen:
+            return self.restart_entry()  # conflicting identifiers
+        if state.r < d:
+            return replace(state, r=state.r + 1, seen=seen)
+        # r == D: end of the verification epoch.
+        if seen is None:
+            return self.restart_entry()  # zero leaders — deterministic
+        return replace(state, r=0, seen=None, vid=None)

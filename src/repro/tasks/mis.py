@@ -1,0 +1,304 @@
+"""AlgMIS — the synchronous self-stabilizing MIS algorithm (Sec. 3.1).
+
+Three modules compose the algorithm:
+
+* **RandPhase** (all nodes) divides the execution into phases.  Each
+  phase has a random prefix — while ``flag = 1`` the node keeps
+  ``step = 0`` and resets the flag with probability ``p0`` per round —
+  followed by a deterministic suffix: once ``flag = 0`` the node sets
+  ``step ← min_{u ∈ N+(v)} u.step + 1`` every round until the minimum
+  reaches ``D + 2``, at which point a new phase begins for everyone
+  concurrently (Cor 3.6).  Sensing a neighbor whose ``step`` differs
+  from one's own by more than 1 triggers Restart.
+* **Compete** (undecided nodes) runs two-round trials while
+  ``candidate = 1`` and ``step ≤ D``: a fair coin ``C_v`` is tossed in
+  the first round; in the second, ``v`` withdraws iff ``C_v = 0`` and
+  some undecided candidate in ``N+(v)`` tossed 1.  The trial rounds are
+  aligned by a parity bit reset at the (concurrent) phase start.  A
+  candidate that survives to the concurrent ``step = D + 1`` increment
+  joins **IN**; undecided nodes sensing an IN neighbor join **OUT**.
+* **DetectMIS** (decided nodes) draws a fresh temporary identifier from
+  ``[k_id]`` for every IN node in every round.  An OUT node with no IN
+  neighbor enters Restart deterministically; two adjacent IN nodes see
+  differing identifiers — and restart — with probability ``≥ 1 − 1/k_id``
+  per round.
+
+Together with Restart (Thm 3.1), the phases implement the classic
+trial-based MIS argument: per phase, each undecided node beats any set
+``W`` of competitors with probability ``Ω(1/(|W|+1))``, a constant
+fraction of undecided edges gets decided in expectation, and all nodes
+decide within ``O(log n)`` phases of ``D + O(log n)`` rounds each —
+``O((D + log n) log n)`` rounds in total (Thm 1.4).
+
+State space: ``O(D)`` main states (the ``step`` counter is the only
+``Θ(D)`` field) plus ``2D + 1`` Restart states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.model.algorithm import (
+    Algorithm,
+    Distribution,
+    TransitionResult,
+    product_distribution,
+)
+from repro.model.errors import ModelError
+from repro.model.signal import Signal
+from repro.tasks.restart import RESTART_EXIT, RestartMixin, RestartState
+
+#: Membership markers.
+UNDECIDED = "U"
+IN = "I"
+OUT = "O"
+
+
+@dataclass(frozen=True, slots=True)
+class MISState:
+    """One main-module state of AlgMIS."""
+
+    membership: str  # UNDECIDED / IN / OUT
+    flag: bool  # RandPhase: still in the random prefix
+    step: int  # RandPhase: 0 .. D+2
+    parity: int  # Compete: 0 = toss round next, 1 = apply round next
+    candidate: bool  # Compete: still in the running this phase
+    coin: bool  # Compete: this trial's fair coin
+    tid: Optional[int]  # DetectMIS: temporary identifier (IN nodes)
+
+    def __str__(self) -> str:
+        bits = f"{'f' if self.flag else '.'}{'c' if self.candidate else '.'}"
+        return f"MIS[{self.membership} s{self.step} {bits}]"
+
+
+MISFull = Union[MISState, RestartState]
+
+
+class AlgMIS(Algorithm, RestartMixin):
+    """The composed MIS algorithm (Thm 1.4).
+
+    Parameters
+    ----------
+    diameter_bound:
+        The bound ``D`` (Restart depth, step-counter range).
+    p0:
+        RandPhase's per-round flag-reset probability; the phase prefix
+        length is the max of ``n`` Geom(p0) variables.
+    k_id:
+        DetectMIS identifier alphabet size.
+    """
+
+    def __init__(self, diameter_bound: int, p0: float = 0.25, k_id: int = 8):
+        RestartMixin.__init__(self, diameter_bound)
+        if not 0.0 < p0 < 1.0:
+            raise ModelError(f"p0 must lie in (0, 1), got {p0}")
+        if k_id < 2:
+            raise ModelError(f"k_id must be >= 2, got {k_id}")
+        self.p0 = p0
+        self.k_id = k_id
+        self.name = f"AlgMIS(D={diameter_bound})"
+
+    # ------------------------------------------------------------------
+    # The 4-tuple.
+    # ------------------------------------------------------------------
+
+    def initial_state(self) -> MISState:
+        """``q*_0`` — a fresh phase of an undecided node."""
+        return MISState(
+            membership=UNDECIDED,
+            flag=True,
+            step=0,
+            parity=0,
+            candidate=True,
+            coin=False,
+            tid=None,
+        )
+
+    def is_output_state(self, state: MISFull) -> bool:
+        """Output states are the *decided* main states."""
+        return isinstance(state, MISState) and state.membership != UNDECIDED
+
+    def output(self, state: MISFull) -> int:
+        if not self.is_output_state(state):
+            raise ModelError(f"{state!r} is not an output state")
+        return 1 if state.membership == IN else 0
+
+    def state_space_size(self) -> int:
+        """Exact count of field combinations: ``O(D)``."""
+        mains = 3 * 2 * (self.diameter_bound + 3) * 2 * 2 * 2 * (self.k_id + 1)
+        return mains + (self.max_restart_index + 1)
+
+    def random_state(self, rng: np.random.Generator) -> MISFull:
+        if rng.random() < 0.25:
+            return RestartState(int(rng.integers(self.max_restart_index + 1)))
+        membership = (UNDECIDED, IN, OUT)[int(rng.integers(3))]
+        return MISState(
+            membership=membership,
+            flag=bool(rng.integers(2)),
+            step=int(rng.integers(self.diameter_bound + 3)),
+            parity=int(rng.integers(2)),
+            candidate=bool(rng.integers(2)),
+            coin=bool(rng.integers(2)),
+            tid=(
+                int(rng.integers(1, self.k_id + 1))
+                if membership == IN
+                else (None if rng.random() < 0.8 else int(rng.integers(1, self.k_id + 1)))
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Transition function.
+    # ------------------------------------------------------------------
+
+    def delta(self, state: MISFull, signal: Signal) -> TransitionResult:
+        handled = self.restart_transition(state, signal)
+        if handled is not None:
+            if handled is RESTART_EXIT:
+                return self.initial_state()
+            return handled
+        assert isinstance(state, MISState)
+        mains: Tuple[MISState, ...] = tuple(
+            s for s in signal if isinstance(s, MISState)
+        )
+        # RandPhase validity: steps of neighbors may differ by at most 1.
+        if any(abs(s.step - state.step) > 1 for s in mains):
+            return self.restart_entry()
+        # DetectMIS.
+        if state.membership == OUT and not any(
+            s.membership == IN for s in mains
+        ):
+            return self.restart_entry()  # OUT with no IN neighbor
+        if state.membership == IN and any(
+            s.membership == IN and s.tid != state.tid for s in mains
+        ):
+            return self.restart_entry()  # conflicting identifiers
+        step_min = min(s.step for s in mains)
+        if step_min == self.diameter_bound + 2:
+            return self._begin_phase(state)
+        return self._phase_round(state, mains, step_min)
+
+    # -- phase boundary ---------------------------------------------------
+
+    def _begin_phase(self, state: MISState) -> TransitionResult:
+        """All of ``N+(v)`` reached ``step = D + 2``: start a new phase."""
+        base = replace(
+            state,
+            flag=True,
+            step=0,
+            parity=0,
+            candidate=state.membership == UNDECIDED,
+            coin=False,
+        )
+        return self._with_fresh_tid(base)
+
+    # -- one ordinary round ------------------------------------------------
+
+    def _phase_round(
+        self, state: MISState, mains: Tuple[MISState, ...], step_min: int
+    ) -> TransitionResult:
+        d = self.diameter_bound
+        membership = state.membership
+        candidate = state.candidate
+
+        # Join OUT upon sensing an IN node (paper: the round after the
+        # winners join IN; also resolves adversarial undecided-next-to-IN
+        # leftovers immediately).
+        joins_out = membership == UNDECIDED and any(
+            s.membership == IN for s in mains
+        )
+        if joins_out:
+            membership = OUT
+            candidate = False
+
+        # Compete: coin toss round / application round (parity bit).
+        in_trials = (
+            membership == UNDECIDED and candidate and state.step <= d
+        )
+        toss_coin = in_trials and state.parity == 0
+        if state.parity == 1:
+            if in_trials and not state.coin:
+                beaten = any(
+                    s.membership == UNDECIDED
+                    and s.candidate
+                    and s.coin
+                    for s in mains
+                )
+                if beaten:
+                    candidate = False
+        next_parity = 1 - state.parity
+        coin_after_apply = False  # coins are single-trial
+
+        # RandPhase dynamics.
+        flag = state.flag
+        step = state.step
+        if not flag:
+            step = step_min + 1  # step_min < D + 2 here
+
+        # Join IN at the concurrent step D -> D+1 increment.
+        joins_in = (
+            membership == UNDECIDED
+            and candidate
+            and not flag
+            and state.step == d
+            and step == d + 1
+        )
+        if joins_in:
+            membership = IN
+            candidate = False
+
+        def build(flag_value: bool, coin_value: bool) -> MISState:
+            return replace(
+                state,
+                membership=membership,
+                flag=flag_value if state.flag else False,
+                step=step,
+                parity=next_parity,
+                candidate=candidate,
+                coin=coin_value if toss_coin else coin_after_apply,
+            )
+
+        flag_choice = (
+            ((False, True), (self.p0, 1.0 - self.p0))
+            if state.flag
+            else ((False,), (1.0,))
+        )
+        coin_choice = (
+            ((False, True), (0.5, 0.5)) if toss_coin else ((False,), (1.0,))
+        )
+        joint = product_distribution([flag_choice, coin_choice], build)
+        # IN nodes redraw their temporary identifier every round.
+        if membership == IN:
+            outcomes = []
+            weights = []
+            for base, weight in zip(joint.outcomes, joint.weights):
+                tid_dist = self._with_fresh_tid(base)
+                if isinstance(tid_dist, Distribution):
+                    for o, w in zip(tid_dist.outcomes, tid_dist.weights):
+                        outcomes.append(o)
+                        weights.append(weight * w)
+                else:
+                    outcomes.append(tid_dist)
+                    weights.append(weight)
+            return Distribution(outcomes, weights)
+        if joint.is_deterministic():
+            return joint.outcomes[0]
+        return joint
+
+    # -- helpers -----------------------------------------------------------
+
+    def _with_fresh_tid(self, state: MISState) -> TransitionResult:
+        """Redraw the temporary identifier if the node is IN; clear it
+        otherwise."""
+        if state.membership != IN:
+            if state.tid is None:
+                return state
+            return replace(state, tid=None)
+        return Distribution.uniform(
+            tuple(
+                replace(state, tid=identifier)
+                for identifier in range(1, self.k_id + 1)
+            )
+        )

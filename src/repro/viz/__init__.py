@@ -1,0 +1,27 @@
+"""Presentation helpers: Figure-1 regeneration and ASCII timelines."""
+
+from repro.viz.state_diagram import (
+    StateDiagram,
+    state_diagram,
+    to_dot,
+    to_text,
+    verify_figure1_structure,
+)
+from repro.viz.timeline import (
+    clock_timeline,
+    output_timeline,
+    record_snapshots,
+    sparkline,
+)
+
+__all__ = [
+    "StateDiagram",
+    "clock_timeline",
+    "output_timeline",
+    "record_snapshots",
+    "sparkline",
+    "state_diagram",
+    "to_dot",
+    "to_text",
+    "verify_figure1_structure",
+]

@@ -1,0 +1,170 @@
+"""Figure 1 — the turn/transition diagram of AlgAU.
+
+The figure shows all turns of AlgAU and three families of arrows:
+
+* solid arrows (type **AA**): the clock cycle
+  ``-k → ... → -1 → 1 → ... → k → -k`` over the able turns;
+* dashed arrows (type **AF**): from each able turn ``ℓ̄`` (``|ℓ| ≥ 2``)
+  to its faulty twin ``ℓ̂``;
+* dotted arrows (type **FA**): from each faulty turn ``ℓ̂`` to the able
+  turn one unit inwards ``ψ^{-1}(ℓ)``.
+
+:func:`state_diagram` extracts the exact edge sets from the implemented
+transition function (by probing ``δ`` with single-purpose signals), so
+the regenerated figure is a *witness* of the implementation rather than
+a re-drawing of the paper; :func:`to_dot` renders it as Graphviz and
+:func:`to_text` as a terminal-friendly listing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.core.algau import ThinUnison, TransitionType
+from repro.core.turns import Turn, able, faulty
+from repro.model.signal import Signal
+
+
+@dataclass(frozen=True)
+class StateDiagram:
+    """The extracted diagram: nodes and typed edges."""
+
+    turns: Tuple[Turn, ...]
+    aa_edges: Tuple[Tuple[Turn, Turn], ...]
+    af_edges: Tuple[Tuple[Turn, Turn], ...]
+    fa_edges: Tuple[Tuple[Turn, Turn], ...]
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.aa_edges) + len(self.af_edges) + len(self.fa_edges)
+
+
+def state_diagram(algorithm: ThinUnison) -> StateDiagram:
+    """Extract the diagram by probing the transition function.
+
+    For each turn we synthesize the minimal signal that triggers each
+    transition type (a lone node for AA; a non-adjacent neighbor for AF;
+    an isolated faulty node for FA) and record the successor.
+    """
+    levels = algorithm.levels
+    aa: List[Tuple[Turn, Turn]] = []
+    af: List[Tuple[Turn, Turn]] = []
+    fa: List[Tuple[Turn, Turn]] = []
+    for level in levels.levels:
+        src = able(level)
+        # AA: alone in the neighborhood, good and unblocked.
+        alone = Signal((src,))
+        assert algorithm.classify(src, alone) is TransitionType.AA
+        aa.append((src, algorithm.successor(src, alone)))
+        # AF: a neighbor two forward-steps away breaks protection.
+        if algorithm.turns.has_faulty(level):
+            offender = able(levels.forward(level, 2))
+            broken = Signal((src, offender))
+            assert algorithm.classify(src, broken) is TransitionType.AF
+            af.append((src, algorithm.successor(src, broken)))
+            # FA: the faulty twin, sensing nothing outwards.
+            fsrc = faulty(level)
+            quiet = Signal((fsrc,))
+            assert algorithm.classify(fsrc, quiet) is TransitionType.FA
+            fa.append((fsrc, algorithm.successor(fsrc, quiet)))
+    return StateDiagram(
+        turns=algorithm.turns.all_turns,
+        aa_edges=tuple(aa),
+        af_edges=tuple(af),
+        fa_edges=tuple(fa),
+    )
+
+
+def to_dot(diagram: StateDiagram) -> str:
+    """Graphviz rendering (solid = AA, dashed = AF, dotted = FA),
+    matching the styles of Figure 1."""
+    lines = [
+        "digraph AlgAU {",
+        "  rankdir=LR;",
+        '  node [shape=circle, fontname="Helvetica"];',
+    ]
+    for turn in diagram.turns:
+        shape = "doublecircle" if turn.able else "circle"
+        style = "solid" if turn.able else "dashed"
+        lines.append(
+            f'  "{turn}" [shape={shape}, style={style}];'
+        )
+    for src, dst in diagram.aa_edges:
+        lines.append(f'  "{src}" -> "{dst}" [style=solid, color=black];')
+    for src, dst in diagram.af_edges:
+        lines.append(f'  "{src}" -> "{dst}" [style=dashed, color=red];')
+    for src, dst in diagram.fa_edges:
+        lines.append(f'  "{src}" -> "{dst}" [style=dotted, color=blue];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_text(diagram: StateDiagram) -> str:
+    """Terminal-friendly listing of the three edge families."""
+
+    def fmt(edges: Tuple[Tuple[Turn, Turn], ...]) -> str:
+        return ", ".join(f"{s}→{t}" for s, t in edges)
+
+    return "\n".join(
+        [
+            f"turns ({len(diagram.turns)}): "
+            + " ".join(str(t) for t in diagram.turns),
+            f"AA (solid, {len(diagram.aa_edges)}): {fmt(diagram.aa_edges)}",
+            f"AF (dashed, {len(diagram.af_edges)}): {fmt(diagram.af_edges)}",
+            f"FA (dotted, {len(diagram.fa_edges)}): {fmt(diagram.fa_edges)}",
+        ]
+    )
+
+
+def verify_figure1_structure(diagram: StateDiagram, k: int) -> List[str]:
+    """Check the structural facts Figure 1 depicts; returns a list of
+    discrepancies (empty = faithful).
+
+    * the AA edges form a single directed cycle over the 2k able turns;
+    * each able turn with ``|ℓ| ≥ 2`` has exactly one AF edge to its
+      faulty twin;
+    * each faulty turn has exactly one FA edge one unit inwards;
+    * total states ``4k − 2``.
+    """
+    problems: List[str] = []
+    able_turns = [t for t in diagram.turns if t.able]
+    if len(able_turns) != 2 * k:
+        problems.append(f"expected {2*k} able turns, got {len(able_turns)}")
+    if len(diagram.turns) != 4 * k - 2:
+        problems.append(
+            f"expected {4*k-2} turns in total, got {len(diagram.turns)}"
+        )
+    # AA forms one cycle covering all able turns.
+    successor: Dict[Turn, Turn] = dict(diagram.aa_edges)
+    if len(successor) != 2 * k:
+        problems.append("AA edges do not define one successor per able turn")
+    else:
+        seen: Set[Turn] = set()
+        cursor = able_turns[0]
+        for _ in range(2 * k):
+            seen.add(cursor)
+            cursor = successor[cursor]
+        if seen != set(able_turns) or cursor != able_turns[0]:
+            problems.append("AA edges do not form a single 2k-cycle")
+    if len(diagram.af_edges) != 2 * (k - 1):
+        problems.append(
+            f"expected {2*(k-1)} AF edges, got {len(diagram.af_edges)}"
+        )
+    for src, dst in diagram.af_edges:
+        if not (src.able and dst.faulty and src.level == dst.level):
+            problems.append(f"AF edge {src}→{dst} is not a faulty detour")
+    if len(diagram.fa_edges) != 2 * (k - 1):
+        problems.append(
+            f"expected {2*(k-1)} FA edges, got {len(diagram.fa_edges)}"
+        )
+    for src, dst in diagram.fa_edges:
+        inward_ok = (
+            src.faulty
+            and dst.able
+            and abs(dst.level) == abs(src.level) - 1
+            and (dst.level > 0) == (src.level > 0)
+        )
+        if not inward_ok:
+            problems.append(f"FA edge {src}→{dst} does not go one unit inwards")
+    return problems

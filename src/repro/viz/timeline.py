@@ -1,0 +1,112 @@
+"""ASCII timelines of executions.
+
+Terminal-friendly renderings used by the examples and the CLI:
+
+* :func:`clock_timeline` — per-round clock/level values of every node
+  (AlgAU executions), with faulty turns marked;
+* :func:`output_timeline` — per-round output bits of a static task
+  (LE/MIS), with undecided/restarting nodes marked;
+* :func:`sparkline` — a one-line sparkline of a numeric series
+  (e.g. the number of good nodes per round).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.algau import ThinUnison
+from repro.core.turns import Turn
+from repro.model.configuration import Configuration
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as a unicode sparkline."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    chars = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def clock_timeline(
+    algorithm: ThinUnison,
+    snapshots: Sequence[Configuration],
+    node_width: int = 4,
+) -> str:
+    """Render per-round AlgAU configurations.
+
+    Able turns show their clock value, faulty turns show ``^level``.
+    One row per snapshot (typically one per round).
+    """
+    if not snapshots:
+        return ""
+    n = snapshots[0].topology.n
+    header = "round | " + " ".join(
+        f"v{v}".rjust(node_width) for v in range(n)
+    )
+    lines = [header, "-" * len(header)]
+    for index, config in enumerate(snapshots):
+        cells = []
+        for v in range(n):
+            turn = config[v]
+            if isinstance(turn, Turn) and turn.able:
+                cells.append(str(algorithm.output(turn)).rjust(node_width))
+            else:
+                cells.append(str(turn).rjust(node_width))
+        lines.append(f"{index:5d} | " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def output_timeline(
+    algorithm,
+    snapshots: Sequence[Configuration],
+    symbols: Optional[dict] = None,
+) -> str:
+    """Render per-round output bits of a static-task execution.
+
+    Default symbols: ``1`` and ``0`` for outputs, ``?`` for non-output
+    (undecided) states, ``R`` for Restart states.
+    """
+    from repro.tasks.restart import RestartState
+
+    if symbols is None:
+        symbols = {1: "1", 0: "0", None: "?", "restart": "R"}
+    if not snapshots:
+        return ""
+    n = snapshots[0].topology.n
+    lines = []
+    for index, config in enumerate(snapshots):
+        cells = []
+        for v in range(n):
+            state = config[v]
+            if isinstance(state, RestartState):
+                cells.append(symbols["restart"])
+            elif algorithm.is_output_state(state):
+                cells.append(symbols[algorithm.output(state)])
+            else:
+                cells.append(symbols[None])
+        lines.append(f"{index:5d} | " + "".join(cells))
+    return "\n".join(lines)
+
+
+def record_snapshots(
+    execution,
+    rounds: int,
+    per_round: bool = True,
+) -> List[Configuration]:
+    """Advance ``execution`` by ``rounds`` rounds, collecting the
+    configuration at every boundary (including the starting one)."""
+    snapshots = [execution.configuration]
+    for _ in range(rounds):
+        execution.run_rounds(1)
+        snapshots.append(execution.configuration)
+    return snapshots

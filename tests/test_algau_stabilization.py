@@ -1,0 +1,258 @@
+"""Integration tests for Theorem 1.1 — AlgAU self-stabilization.
+
+From arbitrary adversarial initial configurations, under synchronous and
+asynchronous fair schedulers, the graph must become good within
+``O(k^3)`` rounds, stay good, and then satisfy the AU safety/liveness
+conditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.monitors import GoodGraphMonitor, TransitionCounter
+from repro.analysis.stabilization import measure_au_stabilization
+from repro.core.algau import ThinUnison
+from repro.core.clock import CyclicClock
+from repro.core.predicates import is_good_graph
+from repro.faults.injection import (
+    au_adversarial_suite,
+    au_all_faulty,
+    au_clock_tear,
+    au_sign_split,
+    random_configuration,
+)
+from repro.graphs.generators import (
+    caterpillar,
+    complete_graph,
+    damaged_clique,
+    dumbbell,
+    path,
+    ring,
+    star,
+)
+from repro.graphs.topology import single_node_topology
+from repro.model.execution import Execution
+from repro.model.scheduler import (
+    LaggardScheduler,
+    RandomSubsetScheduler,
+    RotatingScheduler,
+    RoundRobinScheduler,
+    ShuffledRoundRobinScheduler,
+    SynchronousScheduler,
+)
+from repro.tasks.spec import check_au_safety, check_au_update_is_pulse
+
+
+def stabilize(topology, d, scheduler, initial_factory, seed=0, max_factor=200):
+    rng = np.random.default_rng(seed)
+    alg = ThinUnison(d)
+    initial = initial_factory(alg, topology, rng)
+    result = measure_au_stabilization(
+        alg,
+        topology,
+        initial,
+        scheduler,
+        rng,
+        max_rounds=max_factor * (3 * d + 2) ** 3,
+        confirm_rounds=10,
+    )
+    assert result.stabilized, result.detail
+    return result
+
+
+GRAPHS = [
+    (lambda rng: complete_graph(6), 1),
+    (lambda rng: star(7), 2),
+    (lambda rng: damaged_clique(10, 2, rng), 2),
+    (lambda rng: dumbbell(4, 2), 4),
+    (lambda rng: ring(8), 4),
+    (lambda rng: path(6), 5),
+    (lambda rng: caterpillar(4, 1), 5),
+]
+
+SCHEDULERS = [
+    SynchronousScheduler,
+    RoundRobinScheduler,
+    ShuffledRoundRobinScheduler,
+    lambda: RandomSubsetScheduler(0.5),
+    lambda: LaggardScheduler(victim=0, period=6),
+]
+
+
+class TestStabilizationMatrix:
+    @pytest.mark.parametrize("graph_factory,d", GRAPHS)
+    @pytest.mark.parametrize("scheduler_factory", SCHEDULERS)
+    def test_random_start(self, graph_factory, d, scheduler_factory):
+        rng = np.random.default_rng(1)
+        topology = graph_factory(rng)
+        stabilize(
+            topology, d, scheduler_factory(), random_configuration, seed=2
+        )
+
+    @pytest.mark.parametrize(
+        "initial_factory",
+        [au_sign_split, au_clock_tear, au_all_faulty],
+        ids=["sign-split", "clock-tear", "all-faulty"],
+    )
+    @pytest.mark.parametrize("graph_factory,d", GRAPHS[:5])
+    def test_adversarial_starts(self, graph_factory, d, initial_factory):
+        rng = np.random.default_rng(3)
+        topology = graph_factory(rng)
+        stabilize(
+            topology,
+            d,
+            ShuffledRoundRobinScheduler(),
+            initial_factory,
+            seed=4,
+        )
+
+    def test_single_node(self):
+        topology = single_node_topology()
+        stabilize(
+            topology, 1, SynchronousScheduler(), random_configuration
+        )
+
+    def test_oversized_diameter_bound_is_fine(self):
+        """Running with D far above diam(G) still stabilizes (the bound
+        is only an upper bound)."""
+        topology = complete_graph(5)
+        stabilize(topology, 6, SynchronousScheduler(), random_configuration)
+
+
+class TestStabilizationBound:
+    """The measured stabilization stays well inside the paper's O(k^3)
+    budget on every instance we try (constants unspecified in the
+    paper; we check against 1·k^3 which empirically leaves huge slack).
+    """
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_rounds_within_k_cubed(self, d):
+        rng = np.random.default_rng(5)
+        topology = (
+            complete_graph(8) if d == 1 else damaged_clique(10, d, rng)
+        )
+        alg = ThinUnison(d)
+        k = alg.levels.k
+        for name, initial in au_adversarial_suite(alg, topology, rng).items():
+            result = measure_au_stabilization(
+                alg,
+                topology,
+                initial,
+                ShuffledRoundRobinScheduler(),
+                rng,
+                max_rounds=k**3,
+            )
+            assert result.stabilized, (d, name)
+            assert result.rounds <= k**3
+
+
+class TestPostStabilizationBehavior:
+    """After stabilization: safety (neighbor clocks adjacent), updates
+    are +1 pulses, and every node keeps pulsing (liveness)."""
+
+    def test_safety_and_pulses(self):
+        rng = np.random.default_rng(6)
+        d = 2
+        topology = damaged_clique(9, d, rng)
+        alg = ThinUnison(d)
+        group = CyclicClock(alg.levels.group_order)
+        execution = Execution(
+            topology,
+            alg,
+            random_configuration(alg, topology, rng),
+            ShuffledRoundRobinScheduler(),
+            rng=rng,
+        )
+        execution.run(
+            max_rounds=50_000,
+            until=lambda e: is_good_graph(alg, e.configuration),
+        )
+        assert is_good_graph(alg, execution.configuration)
+        counter = TransitionCounter(alg)
+        execution.monitors = (counter,)
+        counter.on_start(execution)
+        window = topology.diameter + 12
+        previous = execution.configuration
+        for _ in range(window * topology.n):
+            record = execution.step()
+            config = execution.configuration
+            clocks = [alg.output(config[v]) for v in topology.nodes]
+            assert check_au_safety(topology, clocks, group).valid
+            for node, old, new in record.changed:
+                assert check_au_update_is_pulse(
+                    group, alg.output(old), alg.output(new)
+                ).valid
+            previous = config
+        for v in topology.nodes:
+            assert counter.pulses(v) >= 1  # everyone advanced
+
+    def test_good_graph_monitor_detects_stabilization(self):
+        rng = np.random.default_rng(7)
+        alg = ThinUnison(1)
+        topology = complete_graph(5)
+        monitor = GoodGraphMonitor(alg, check_every_step=True)
+        execution = Execution(
+            topology,
+            alg,
+            random_configuration(alg, topology, rng),
+            SynchronousScheduler(),
+            rng=rng,
+            monitors=(monitor,),
+        )
+        execution.run(max_rounds=2000)
+        assert monitor.first_good_time is not None
+        assert monitor.goodness_lost_at is None  # Lem 2.10
+
+
+class TestAdversarialRotatingScheduler:
+    """AlgAU stabilizes even under the rotating adversary that
+    live-locks the Appendix-A algorithm on the same ring."""
+
+    def test_stabilizes_on_livelock_instance(self):
+        from repro.baselines.failed_reset_au import livelock_witness
+
+        witness = livelock_witness(2, 2)
+        topology = witness.topology
+        rng = np.random.default_rng(8)
+        alg = ThinUnison(topology.diameter)
+        scheduler = RotatingScheduler(witness.base_order, shift=witness.shift)
+        execution = Execution(
+            topology,
+            alg,
+            random_configuration(alg, topology, rng),
+            scheduler,
+            rng=rng,
+        )
+        result = execution.run(
+            max_rounds=50_000,
+            until=lambda e: is_good_graph(alg, e.configuration),
+        )
+        assert result.stopped_by_predicate
+
+
+class TestDeterminism:
+    """AlgAU is deterministic: same initial configuration + schedule
+    give identical executions."""
+
+    def test_reproducible_runs(self):
+        rng = np.random.default_rng(9)
+        topology = ring(6)
+        alg = ThinUnison(3)
+        initial = random_configuration(alg, topology, rng)
+        trajectories = []
+        for _ in range(2):
+            execution = Execution(
+                topology,
+                alg,
+                initial,
+                RoundRobinScheduler(),
+                rng=np.random.default_rng(0),
+            )
+            states = []
+            for _ in range(100):
+                execution.step()
+                states.append(execution.configuration.states())
+            trajectories.append(states)
+        assert trajectories[0] == trajectories[1]

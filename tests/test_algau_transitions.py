@@ -1,0 +1,200 @@
+"""Table 1 — the transition types of AlgAU, tested row by row.
+
+Every guard condition of the paper's Table 1 is exercised positively and
+negatively, including the boundary levels (±1, ±k) and the interplay of
+the AA/AF/FA guards.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algau import ThinUnison, TransitionType
+from repro.core.turns import able, faulty
+from repro.model.signal import Signal
+
+
+@pytest.fixture
+def alg() -> ThinUnison:
+    return ThinUnison(1)  # k = 5
+
+
+def classify(alg, state, *others):
+    return alg.classify(state, Signal((state, *others)))
+
+
+def successor(alg, state, *others):
+    return alg.successor(state, Signal((state, *others)))
+
+
+class TestTypeAA:
+    """Row 1: ℓ̄ → φ+1(ℓ) iff good and Λ ⊆ {ℓ, φ+1(ℓ)}."""
+
+    def test_alone_advances(self, alg):
+        assert classify(alg, able(2)) is TransitionType.AA
+        assert successor(alg, able(2)) == able(3)
+
+    def test_with_equal_neighbors_advances(self, alg):
+        assert classify(alg, able(2), able(2)) is TransitionType.AA
+
+    def test_with_forward_neighbor_advances(self, alg):
+        assert successor(alg, able(2), able(3)) == able(3)
+
+    def test_minus_one_advances_to_one(self, alg):
+        assert successor(alg, able(-1), able(1)) == able(1)
+
+    def test_k_wraps_to_minus_k(self, alg):
+        assert successor(alg, able(5), able(-5)) == able(-5)
+
+    def test_blocked_by_backward_neighbor(self, alg):
+        # A neighbor one step behind is adjacent (protected) but outside
+        # {ℓ, φ+1(ℓ)} — the node must wait for it.
+        assert classify(alg, able(3), able(2)) is TransitionType.STAY
+
+    def test_blocked_by_faulty_neighbor(self, alg):
+        # Sensing any faulty turn destroys goodness.
+        assert classify(alg, able(3), faulty(3)) is not TransitionType.AA
+
+    def test_blocked_by_faulty_even_at_level_one(self, alg):
+        # Level ±1 has no AF escape, so it must simply wait.
+        assert classify(alg, able(1), faulty(2)) is TransitionType.STAY
+
+    def test_not_good_when_unprotected(self, alg):
+        assert classify(alg, able(3), able(5)) is not TransitionType.AA
+
+
+class TestTypeAF:
+    """Row 2: ℓ̄ → ℓ̂ iff not protected or senses ψ-1(ℓ)̂ (|ℓ| ≥ 2)."""
+
+    def test_unprotected_goes_faulty(self, alg):
+        assert classify(alg, able(3), able(5)) is TransitionType.AF
+        assert successor(alg, able(3), able(5)) == faulty(3)
+
+    def test_unprotected_by_opposite_sign(self, alg):
+        assert classify(alg, able(3), able(-3)) is TransitionType.AF
+
+    def test_senses_inward_faulty_goes_faulty(self, alg):
+        # ψ-1(3) = 2; sensing 2̂ triggers the cautious AF rule.
+        assert classify(alg, able(3), able(3), faulty(2)) is TransitionType.AF
+
+    def test_inward_faulty_must_be_exactly_one_unit(self, alg):
+        # 4̂ is not ψ-1(3)̂ = 2̂... sensing ^4 at level 3: the faulty
+        # level 4 is *outwards*; levels 3 and 4 are adjacent so the node
+        # stays protected and must not take the detour.
+        assert classify(alg, able(3), faulty(4)) is TransitionType.STAY
+
+    def test_level_one_never_goes_faulty(self, alg):
+        # There is no ±1 faulty turn; an unprotected ±1 node waits.
+        assert classify(alg, able(1), able(3)) is TransitionType.STAY
+        assert classify(alg, able(-1), able(-4)) is TransitionType.STAY
+
+    def test_wraparound_pair_is_protected(self, alg):
+        # Levels k and -k are adjacent (φ(k) = -k): no AF.
+        assert classify(alg, able(5), able(-5)) is TransitionType.AA
+
+    def test_af_beats_nothing_when_good(self, alg):
+        assert classify(alg, able(2), able(2), able(3)) is TransitionType.AA
+
+    def test_ablation_disables_cautious_rule(self):
+        ablated = ThinUnison(1, cautious_af=False)
+        # The relay trigger is off...
+        assert (
+            classify(ablated, able(3), faulty(2)) is TransitionType.STAY
+        )
+        # ...but the protection trigger still works.
+        assert classify(ablated, able(3), able(5)) is TransitionType.AF
+
+
+class TestTypeFA:
+    """Row 3: ℓ̂ → ψ-1(ℓ) iff Λ ∩ Ψ>(ℓ) = ∅."""
+
+    def test_returns_one_unit_inwards(self, alg):
+        assert classify(alg, faulty(3)) is TransitionType.FA
+        assert successor(alg, faulty(3)) == able(2)
+
+    def test_level_two_returns_to_one(self, alg):
+        assert successor(alg, faulty(2)) == able(1)
+        assert successor(alg, faulty(-2)) == able(-1)
+
+    def test_extreme_level_always_returns(self, alg):
+        # Ψ>(±k) = ∅, so ±k̂ exits on the next activation (Lem 2.12 base).
+        assert classify(alg, faulty(5), able(5), able(-5), faulty(4)) is (
+            TransitionType.FA
+        )
+        assert successor(alg, faulty(5)) == able(4)
+
+    def test_blocked_by_outward_level(self, alg):
+        assert classify(alg, faulty(3), able(4)) is TransitionType.STAY
+        assert classify(alg, faulty(3), faulty(5)) is TransitionType.STAY
+
+    def test_not_blocked_by_opposite_sign(self, alg):
+        assert classify(alg, faulty(3), able(-5)) is TransitionType.FA
+
+    def test_not_blocked_by_inward_level(self, alg):
+        assert classify(alg, faulty(3), able(2), able(1)) is TransitionType.FA
+
+
+class TestDeltaCoherence:
+    """δ is a deterministic function consistent with classify()."""
+
+    def test_delta_returns_single_state(self, alg):
+        for turn in alg.turns.all_turns:
+            result = alg.delta(turn, Signal((turn,)))
+            assert result in alg.states()
+
+    def test_classify_change_roundtrip(self, alg):
+        for turn in alg.turns.all_turns:
+            for other in alg.turns.all_turns:
+                signal = Signal((turn, other))
+                kind = alg.classify(turn, signal)
+                new = alg.successor(turn, signal)
+                assert alg.classify_change(turn, new) == kind
+
+    def test_output_states_are_able_turns(self, alg):
+        assert alg.output_states() == frozenset(alg.turns.able_turns)
+
+    def test_output_is_clock_value(self, alg):
+        for turn in alg.turns.able_turns:
+            assert alg.output(turn) == alg.levels.clock_value(turn.level)
+
+    def test_state_space_size(self):
+        for d in (1, 2, 3, 7):
+            assert ThinUnison(d).state_space_size() == 12 * d + 6
+
+
+@settings(max_examples=300)
+@given(d=st.integers(1, 5), data=st.data())
+def test_property_guards_are_mutually_exclusive(d, data):
+    """For any (state, signal), exactly one transition type applies."""
+    alg = ThinUnison(d)
+    turns = alg.turns.all_turns
+    state = data.draw(st.sampled_from(turns))
+    others = data.draw(st.sets(st.sampled_from(turns), max_size=5))
+    signal = Signal({state} | others)
+    kind = alg.classify(state, signal)
+    new = alg.successor(state, signal)
+    if kind is TransitionType.AA:
+        assert new.able and new.level == alg.levels.forward(state.level)
+        # AA requires goodness: protected and no faulty sensed.
+        assert not any(t.faulty for t in signal)
+    elif kind is TransitionType.AF:
+        assert new == type(new)(state.level, True)
+        assert state.able and abs(state.level) >= 2
+    elif kind is TransitionType.FA:
+        assert new.able and abs(new.level) == abs(state.level) - 1
+        assert state.faulty
+    else:
+        assert new == state
+
+
+@settings(max_examples=300)
+@given(d=st.integers(1, 5), data=st.data())
+def test_property_delta_stays_in_state_space(d, data):
+    alg = ThinUnison(d)
+    turns = alg.turns.all_turns
+    state = data.draw(st.sampled_from(turns))
+    others = data.draw(st.sets(st.sampled_from(turns), max_size=6))
+    new = alg.successor(state, Signal({state} | others))
+    assert alg.turns.is_turn(new)

@@ -1,0 +1,233 @@
+"""Analysis layer: monitors, stabilization measurement, statistics and
+table rendering."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.monitors import (
+    GoodGraphMonitor,
+    OutputChangeMonitor,
+    PredicateTimeline,
+    TransitionCounter,
+)
+from repro.analysis.stabilization import (
+    StabilizationResult,
+    measure_au_stabilization,
+    measure_static_task_stabilization,
+    run_trials,
+)
+from repro.analysis.stats import (
+    Summary,
+    geometric_max_statistics,
+    loglog_slope,
+    max_geometric_sample,
+    ratio_to_log,
+    within_factor,
+)
+from repro.analysis.tables import persist_table, render_table, results_dir
+from repro.core.algau import ThinUnison, TransitionType
+from repro.core.predicates import good_nodes, is_good_graph
+from repro.faults.injection import random_configuration, uniform_configuration
+from repro.graphs.generators import complete_graph, ring
+from repro.model.errors import StabilizationError
+from repro.model.execution import Execution
+from repro.model.scheduler import SynchronousScheduler
+from repro.tasks.le import AlgLE
+from repro.tasks.spec import check_le_output
+
+
+class TestSummaryAndFits:
+    def test_summary(self):
+        s = Summary.of([1, 2, 3, 4])
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.minimum == 1 and s.maximum == 4
+        assert s.count == 4
+
+    def test_summary_single_value(self):
+        s = Summary.of([7])
+        assert s.std == 0.0
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Summary.of([])
+
+    def test_loglog_slope_cubic(self):
+        xs = [1, 2, 4, 8]
+        ys = [x**3 for x in xs]
+        assert loglog_slope(xs, ys) == pytest.approx(3.0)
+
+    def test_loglog_slope_needs_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+
+    def test_ratio_to_log(self):
+        ratios = ratio_to_log([4, 16], [10, 20])
+        assert ratios[0] == pytest.approx(5.0)
+        assert ratios[1] == pytest.approx(5.0)
+
+    def test_within_factor(self):
+        assert within_factor(10, 5, 2.0)
+        assert not within_factor(11, 5, 2.0)
+
+    def test_max_geometric_sample_grows_with_n(self):
+        rng = np.random.default_rng(0)
+        small = np.mean([max_geometric_sample(4, 0.5, rng) for _ in range(300)])
+        large = np.mean(
+            [max_geometric_sample(256, 0.5, rng) for _ in range(300)]
+        )
+        assert large > small + 3  # roughly log2(256/4) = 6 apart
+
+    def test_geometric_max_statistics(self):
+        s = geometric_max_statistics(64, 0.5, trials=200, seed=1)
+        # E[max of 64 Geom(1/2)] ≈ log2(64) ± a couple.
+        assert 4 < s.mean < 10
+
+
+class TestMonitors:
+    def test_transition_counter_counts_pulses(self):
+        rng = np.random.default_rng(0)
+        alg = ThinUnison(1)
+        topology = complete_graph(4)
+        counter = TransitionCounter(alg)
+        execution = Execution(
+            topology,
+            alg,
+            uniform_configuration(alg, topology),
+            SynchronousScheduler(),
+            rng=rng,
+            monitors=(counter,),
+        )
+        execution.run(max_rounds=5)
+        assert counter.totals[TransitionType.AA] == 20  # 4 nodes × 5 rounds
+        assert counter.pulses(0) == 5
+
+    def test_output_change_monitor(self):
+        rng = np.random.default_rng(0)
+        alg = AlgLE(1)
+        topology = complete_graph(5)
+        monitor = OutputChangeMonitor(alg)
+        execution = Execution(
+            topology,
+            alg,
+            uniform_configuration(alg, topology),
+            SynchronousScheduler(),
+            rng=rng,
+            monitors=(monitor,),
+        )
+        execution.run(max_rounds=400)
+        assert monitor.currently_complete or monitor.current_vector is not None
+
+    def test_predicate_timeline_records_rounds(self):
+        rng = np.random.default_rng(0)
+        alg = ThinUnison(1)
+        topology = ring(5)
+        timeline = PredicateTimeline(
+            lambda config: len(good_nodes(alg, config))
+        )
+        execution = Execution(
+            topology,
+            alg,
+            random_configuration(alg, topology, rng),
+            SynchronousScheduler(),
+            rng=rng,
+            monitors=(timeline,),
+        )
+        execution.run(max_rounds=10)
+        assert len(timeline.timeline) == 11  # round 0 plus 10 rounds
+        rounds = [r for r, _ in timeline.timeline]
+        assert rounds == sorted(rounds)
+
+
+class TestStabilizationMeasurement:
+    def test_au_measurement(self):
+        rng = np.random.default_rng(0)
+        alg = ThinUnison(1)
+        topology = complete_graph(6)
+        result = measure_au_stabilization(
+            alg,
+            topology,
+            random_configuration(alg, topology, rng),
+            SynchronousScheduler(),
+            rng,
+            max_rounds=2000,
+            confirm_rounds=5,
+        )
+        assert result.stabilized
+        assert result.rounds <= 125  # k^3 for D = 1
+
+    def test_au_measurement_budget_exhaustion(self):
+        rng = np.random.default_rng(0)
+        alg = ThinUnison(1)
+        topology = complete_graph(6)
+        from repro.faults.injection import au_sign_split
+
+        result = measure_au_stabilization(
+            alg,
+            topology,
+            au_sign_split(alg, topology, rng),
+            SynchronousScheduler(),
+            rng,
+            max_rounds=1,  # hopeless budget
+        )
+        assert not result.stabilized
+
+    def test_static_measurement_le(self):
+        rng = np.random.default_rng(0)
+        alg = AlgLE(1)
+        topology = complete_graph(6)
+        result = measure_static_task_stabilization(
+            alg,
+            topology,
+            uniform_configuration(alg, topology),
+            SynchronousScheduler(),
+            rng,
+            lambda out: check_le_output(out).valid,
+            max_rounds=30_000,
+            confirm_rounds=20,
+        )
+        assert result.stabilized
+        assert result.rounds > 0
+
+    def test_run_trials_aggregates(self):
+        calls = []
+
+        def measure(rng):
+            calls.append(1)
+            return StabilizationResult(True, 5, 50)
+
+        results = run_trials(measure, trials=3)
+        assert len(results) == 3
+        assert len(calls) == 3
+
+    def test_run_trials_raises_on_failure(self):
+        def measure(rng):
+            return StabilizationResult(False, 0, 0, "nope")
+
+        with pytest.raises(StabilizationError):
+            run_trials(measure, trials=1)
+
+
+class TestTables:
+    def test_render_table(self):
+        table = render_table(
+            ["a", "b"], [(1, "x"), (22, "yy")], title="T"
+        )
+        assert "### T" in table
+        assert "| a " in table
+        assert "| 22 | yy |" in table
+
+    def test_persist_table(self, tmp_path, monkeypatch):
+        import repro.analysis.tables as tables_module
+
+        monkeypatch.setattr(
+            tables_module, "results_dir", lambda: str(tmp_path)
+        )
+        path = tables_module.persist_table("unit-test", "content")
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert handle.read().strip() == "content"

@@ -1,0 +1,264 @@
+"""Baseline algorithms: min-rule unison, long-tail reset unison, and
+the non-SA-model MIS/LE comparators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.id_flood_le import FloodState, IDFloodLE
+from repro.baselines.luby_mis import (
+    IDGreedyMIS,
+    IDState,
+    LubyTrialMIS,
+    UNDECIDED,
+)
+from repro.baselines.min_unison import Counter, MinUnison, min_unison_stable
+from repro.baselines.reset_tail_unison import (
+    ResetTailUnison,
+    TailClock,
+    reset_tail_stable,
+)
+from repro.faults.injection import random_configuration
+from repro.graphs.generators import complete_graph, damaged_clique, path, ring
+from repro.model.configuration import Configuration
+from repro.model.execution import Execution
+from repro.model.scheduler import (
+    RandomSubsetScheduler,
+    ShuffledRoundRobinScheduler,
+    SynchronousScheduler,
+)
+from repro.model.signal import Signal
+from repro.tasks.spec import check_le_output, check_mis_output
+
+
+class TestMinUnison:
+    def test_local_minimum_increments(self):
+        alg = MinUnison()
+        state = Counter(3)
+        assert alg.delta(state, Signal((state, Counter(3)))) == Counter(4)
+        assert alg.delta(state, Signal((state, Counter(5)))) == Counter(4)
+
+    def test_non_minimum_waits(self):
+        alg = MinUnison()
+        state = Counter(3)
+        assert alg.delta(state, Signal((state, Counter(1)))) == state
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_stabilizes_from_random_counters(self, seed):
+        rng = np.random.default_rng(seed)
+        alg = MinUnison(initial_spread=20)
+        topology = ring(8)
+        execution = Execution(
+            topology,
+            alg,
+            random_configuration(alg, topology, rng),
+            ShuffledRoundRobinScheduler(),
+            rng=rng,
+        )
+        result = execution.run(
+            max_rounds=2000,
+            until=lambda e: min_unison_stable(e.configuration),
+        )
+        assert result.stopped_by_predicate
+        # And it keeps running (liveness: min always moves).
+        before = [execution.configuration[v].value for v in topology.nodes]
+        execution.run_rounds(20)
+        after = [execution.configuration[v].value for v in topology.nodes]
+        assert min(after) > min(before)
+        assert min_unison_stable(execution.configuration)
+
+    def test_unbounded_state_space(self):
+        with pytest.raises(NotImplementedError):
+            MinUnison().state_space_size()
+
+
+class TestResetTailUnison:
+    def test_for_diameter_bound_matches_algau_period(self):
+        alg = ResetTailUnison.for_diameter_bound(2)
+        assert alg.ring.order == 16  # 2k with k = 8
+        assert alg.tail_length == 6
+
+    def test_incoherent_ring_node_resets(self):
+        alg = ResetTailUnison(8, 4)
+        state = TailClock(0)
+        assert alg.delta(state, Signal((state, TailClock(3)))) == TailClock(-4)
+
+    def test_ring_node_in_landing_zone_tolerates_tail(self):
+        alg = ResetTailUnison(8, 4)
+        state = TailClock(1)
+        assert alg.delta(state, Signal((state, TailClock(-1)))) == state
+
+    def test_ring_node_outside_landing_zone_resets_on_tail(self):
+        alg = ResetTailUnison(8, 4)
+        state = TailClock(5)
+        assert alg.delta(state, Signal((state, TailClock(-2)))) == TailClock(-4)
+
+    def test_tail_climbs_when_minimum(self):
+        alg = ResetTailUnison(8, 4)
+        state = TailClock(-3)
+        assert alg.delta(state, Signal((state, TailClock(-2)))) == TailClock(-2)
+
+    def test_tail_waits_for_deeper(self):
+        alg = ResetTailUnison(8, 4)
+        state = TailClock(-2)
+        assert alg.delta(state, Signal((state, TailClock(-4)))) == state
+
+    def test_tail_exits_to_ring_zero(self):
+        alg = ResetTailUnison(8, 4)
+        state = TailClock(-1)
+        assert alg.delta(state, Signal((state, TailClock(0)))) == TailClock(0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_stabilizes_on_bounded_diameter_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        alg = ResetTailUnison.for_diameter_bound(2)
+        topology = damaged_clique(10, 2, rng)
+        execution = Execution(
+            topology,
+            alg,
+            random_configuration(alg, topology, rng),
+            ShuffledRoundRobinScheduler(),
+            rng=rng,
+        )
+        result = execution.run(
+            max_rounds=20_000,
+            until=lambda e: reset_tail_stable(alg, e.configuration),
+        )
+        assert result.stopped_by_predicate
+
+    def test_state_count(self):
+        assert ResetTailUnison(16, 6).state_space_size() == 22
+
+
+class TestIDGreedyMIS:
+    def test_clean_start_gives_valid_mis(self):
+        rng = np.random.default_rng(0)
+        for topology in (complete_graph(7), ring(8), path(6)):
+            alg = IDGreedyMIS(topology.n)
+            execution = Execution(
+                topology,
+                alg,
+                alg.initial_configuration(topology),
+                SynchronousScheduler(),
+                rng=rng,
+            )
+            execution.run(
+                max_rounds=topology.n + 5,
+                until=lambda e: e.configuration.is_output_configuration(alg),
+            )
+            verdict = check_mis_output(
+                topology, execution.configuration.output_vector(alg)
+            )
+            assert verdict.valid, verdict.reason
+
+    def test_corrupted_start_never_recovers(self):
+        """Two adjacent IN nodes stay broken forever: no detection."""
+        rng = np.random.default_rng(1)
+        topology = ring(6)
+        alg = IDGreedyMIS(topology.n)
+        broken = Configuration.from_function(
+            topology,
+            lambda v: IDState("I" if v in (0, 1) else "O", v),
+        )
+        execution = Execution(
+            topology, alg, broken, SynchronousScheduler(), rng=rng
+        )
+        execution.run(max_rounds=100)
+        out = execution.configuration.output_vector(alg)
+        assert not check_mis_output(topology, out).valid
+
+    def test_greedy_matches_max_id_structure(self):
+        """On a path with increasing IDs, greedy selects from the top."""
+        topology = path(4)
+        alg = IDGreedyMIS(4)
+        execution = Execution(
+            topology,
+            alg,
+            alg.initial_configuration(topology),
+            SynchronousScheduler(),
+            rng=np.random.default_rng(0),
+        )
+        execution.run(
+            max_rounds=10,
+            until=lambda e: e.configuration.is_output_configuration(alg),
+        )
+        out = execution.configuration.output_vector(alg)
+        assert out[3] == 1  # the max-ID node always wins
+
+
+class TestLubyTrialMIS:
+    def test_tie_blindness_breaks_k2_sometimes(self):
+        """Two anonymous nodes tossing the same coin both join IN: the
+        classical algorithm is unsound under set-broadcast signals."""
+        topology = complete_graph(2)
+        alg = LubyTrialMIS()
+        broken = 0
+        for seed in range(100):
+            rng = np.random.default_rng(seed)
+            execution = Execution(
+                topology,
+                alg,
+                Configuration.uniform(topology, alg.initial_state()),
+                SynchronousScheduler(),
+                rng=rng,
+            )
+            execution.run(
+                max_rounds=200,
+                until=lambda e: e.configuration.is_output_configuration(alg),
+            )
+            out = execution.configuration.output_vector(alg)
+            if not check_mis_output(topology, out).valid:
+                broken += 1
+        # Both-heads on the deciding trial gives 1/3 of ties broken;
+        # anything clearly positive demonstrates the unsoundness.
+        assert broken >= 10
+
+    def test_out_join_is_sound(self):
+        alg = LubyTrialMIS()
+        from repro.baselines.luby_mis import LubyState
+
+        mine = LubyState(UNDECIDED, False, 0)
+        winner = LubyState("I", False, 0)
+        assert alg.delta(mine, Signal((mine, winner))).membership == "O"
+
+
+class TestIDFloodLE:
+    def test_clean_start_elects_max_id(self):
+        rng = np.random.default_rng(0)
+        topology = damaged_clique(10, 2, rng)
+        alg = IDFloodLE(topology.n)
+        execution = Execution(
+            topology,
+            alg,
+            alg.initial_configuration(topology),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+        execution.run(max_rounds=topology.diameter + 2)
+        out = execution.configuration.output_vector(alg)
+        assert check_le_output(out).valid
+        assert out[topology.n - 1] == 1
+
+    def test_spurious_identifier_breaks_forever(self):
+        """A transient fault planting a 'best' beyond every real
+        identifier floods everywhere and elects nobody, permanently —
+        the baseline has no recovery mechanism."""
+        rng = np.random.default_rng(1)
+        topology = complete_graph(6)
+        alg = IDFloodLE(7)  # identifier range 0..6; real ids are 0..5
+        planted = Configuration.from_function(
+            topology,
+            lambda v: FloodState(v, 6 if v == 0 else v),
+        )
+        execution = Execution(
+            topology, alg, planted, SynchronousScheduler(), rng=rng
+        )
+        execution.run(max_rounds=50)
+        out = execution.configuration.output_vector(alg)
+        assert not check_le_output(out).valid  # zero leaders, forever
+        # And it stays broken arbitrarily long.
+        execution.run(max_rounds=100)
+        assert not check_le_output(
+            execution.configuration.output_vector(alg)
+        ).valid

@@ -1,0 +1,188 @@
+"""δ-totality property tests.
+
+The SA model requires the transition function to be total: the
+adversary may put any combination of states in any neighborhood, so
+``δ(state, signal)`` must return a valid next state (or distribution
+over valid states) for *every* such pair — a crash is a model violation
+and, practically, a self-stabilization bug.  Hypothesis drives random
+(state, signal) pairs through every algorithm in the repository.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.failed_reset_au import FailedResetUnison
+from repro.baselines.id_flood_le import IDFloodLE
+from repro.baselines.luby_mis import IDGreedyMIS, LubyTrialMIS
+from repro.baselines.min_unison import MinUnison
+from repro.baselines.reset_tail_unison import ResetTailUnison
+from repro.core.algau import ThinUnison
+from repro.model.algorithm import Distribution
+from repro.model.signal import Signal
+from repro.sync.synchronizer import Synchronizer
+from repro.tasks.le import AlgLE
+from repro.tasks.mis import AlgMIS
+from repro.tasks.restart import StandaloneRestart
+
+
+def random_states(algorithm, rng, count):
+    return [algorithm.random_state(rng) for _ in range(count)]
+
+
+def check_delta_total(algorithm, seed, neighborhood, checker=None):
+    """Drive δ with a random own-state plus random sensed set."""
+    rng = np.random.default_rng(seed)
+    own = algorithm.random_state(rng)
+    sensed = {own} | set(random_states(algorithm, rng, neighborhood))
+    result = algorithm.delta(own, Signal(sensed))
+    outcomes = (
+        result.outcomes if isinstance(result, Distribution) else (result,)
+    )
+    for outcome in outcomes:
+        assert outcome is not None
+        if checker is not None:
+            assert checker(outcome), (own, sensed, outcome)
+    if isinstance(result, Distribution):
+        assert abs(sum(result.weights) - 1.0) < 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(0, 6))
+def test_algau_total(seed, size):
+    algorithm = ThinUnison(2)
+    check_delta_total(
+        algorithm, seed, size, checker=algorithm.turns.is_turn
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(0, 6))
+def test_algle_total(seed, size):
+    algorithm = AlgLE(2)
+    from repro.tasks.le import LEState
+    from repro.tasks.restart import RestartState
+
+    check_delta_total(
+        algorithm,
+        seed,
+        size,
+        checker=lambda q: isinstance(q, (LEState, RestartState)),
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(0, 6))
+def test_algmis_total(seed, size):
+    algorithm = AlgMIS(2)
+    from repro.tasks.mis import MISState
+    from repro.tasks.restart import RestartState
+
+    check_delta_total(
+        algorithm,
+        seed,
+        size,
+        checker=lambda q: isinstance(q, (MISState, RestartState)),
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(0, 5))
+def test_synchronized_mis_total(seed, size):
+    algorithm = Synchronizer(AlgMIS(1), 1)
+    from repro.sync.synchronizer import SyncState
+
+    check_delta_total(
+        algorithm, seed, size, checker=lambda q: isinstance(q, SyncState)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(0, 5))
+def test_synchronized_le_total(seed, size):
+    algorithm = Synchronizer(AlgLE(1), 1)
+    from repro.sync.synchronizer import SyncState
+
+    check_delta_total(
+        algorithm, seed, size, checker=lambda q: isinstance(q, SyncState)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(0, 6))
+def test_restart_total(seed, size):
+    check_delta_total(StandaloneRestart(3), seed, size)
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(0, 6))
+def test_failed_reset_total(seed, size):
+    check_delta_total(FailedResetUnison(2, 2), seed, size)
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(0, 6))
+def test_min_unison_total(seed, size):
+    check_delta_total(MinUnison(), seed, size)
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(0, 6))
+def test_reset_tail_total(seed, size):
+    algorithm = ResetTailUnison.for_diameter_bound(2)
+    states = algorithm.states()
+    check_delta_total(algorithm, seed, size, checker=lambda q: q in states)
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(0, 6))
+def test_luby_total(seed, size):
+    check_delta_total(LubyTrialMIS(), seed, size)
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(0, 6))
+def test_id_greedy_total(seed, size):
+    check_delta_total(IDGreedyMIS(8), seed, size)
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 10_000), size=st.integers(0, 6))
+def test_id_flood_total(seed, size):
+    check_delta_total(IDFloodLE(8), seed, size)
+
+
+class TestAlgAUReachabilityCensus:
+    """Every one of the 12D + 6 AlgAU states is reachable — the state
+    space is tight, not padded."""
+
+    def test_all_turns_appear_in_executions(self):
+        from repro.faults.injection import au_adversarial_suite
+        from repro.graphs.generators import ring
+        from repro.model.execution import Execution
+        from repro.model.scheduler import ShuffledRoundRobinScheduler
+
+        algorithm = ThinUnison(1)
+        seen = set()
+        for seed in range(40):
+            rng = np.random.default_rng(seed)
+            topology = ring(6)
+            for initial in au_adversarial_suite(
+                algorithm, topology, rng
+            ).values():
+                seen |= set(initial.state_set())
+                execution = Execution(
+                    topology,
+                    algorithm,
+                    initial,
+                    ShuffledRoundRobinScheduler(),
+                    rng=rng,
+                )
+                for _ in range(60):
+                    execution.step()
+                    seen |= set(execution.configuration.state_set())
+            if seen == set(algorithm.states()):
+                break
+        assert seen == set(algorithm.states())

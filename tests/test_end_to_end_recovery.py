@@ -1,0 +1,160 @@
+"""End-to-end recovery of the *composed* stack under asynchrony.
+
+The hardest integration scenario the paper supports: a synchronized
+(Cor 1.2) self-stabilizing task algorithm, an adversarial asynchronous
+scheduler, and repeated mid-run transient faults — the full
+fault-tolerant-biological-network story in one test file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.injection import random_configuration
+from repro.graphs.biological import proneural_cluster, quorum_colony
+from repro.graphs.generators import complete_graph
+from repro.model.execution import Execution
+from repro.model.scheduler import (
+    RandomSubsetScheduler,
+    ShuffledRoundRobinScheduler,
+)
+from repro.sync.synchronizer import Synchronizer
+from repro.tasks.le import AlgLE
+from repro.tasks.mis import AlgMIS
+from repro.tasks.spec import check_le_output, check_mis_output
+
+
+def run_until_valid(execution, algorithm, checker, budget):
+    def stable(e):
+        config = e.configuration
+        if not config.is_output_configuration(algorithm):
+            return False
+        return checker(config.output_vector(algorithm)).valid
+
+    result = execution.run(
+        max_rounds=execution.completed_rounds + budget, until=stable
+    )
+    return result.stopped_by_predicate
+
+
+def corrupt(execution, algorithm, rng, fraction):
+    n = execution.topology.n
+    count = max(1, int(fraction * n))
+    victims = rng.choice(n, size=count, replace=False)
+    execution.replace_configuration(
+        execution.configuration.replace(
+            {int(v): algorithm.random_state(rng) for v in victims}
+        )
+    )
+
+
+class TestSynchronizedMISRecovery:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_sop_pattern_survives_bursts(self, seed):
+        rng = np.random.default_rng(seed)
+        tissue = proneural_cluster(4, 3)
+        d = tissue.diameter
+        algorithm = Synchronizer(AlgMIS(d), d)
+        execution = Execution(
+            tissue,
+            algorithm,
+            random_configuration(algorithm, tissue, rng),
+            ShuffledRoundRobinScheduler(),
+            rng=rng,
+        )
+        checker = lambda out: check_mis_output(tissue, out)
+        assert run_until_valid(execution, algorithm, checker, 250_000)
+        for _ in range(2):
+            corrupt(execution, algorithm, rng, fraction=0.3)
+            assert run_until_valid(execution, algorithm, checker, 250_000)
+
+
+class TestSynchronizedLERecovery:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_leadership_survives_bursts(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        colony = quorum_colony(10, 2, rng)
+        algorithm = Synchronizer(AlgLE(2), 2)
+        execution = Execution(
+            colony,
+            algorithm,
+            random_configuration(algorithm, colony, rng),
+            RandomSubsetScheduler(0.5),
+            rng=rng,
+        )
+        checker = lambda out: check_le_output(out)
+        assert run_until_valid(execution, algorithm, checker, 300_000)
+        corrupt(execution, algorithm, rng, fraction=0.4)
+        assert run_until_valid(execution, algorithm, checker, 300_000)
+
+
+class TestSynchronousTaskRecovery:
+    """The plain synchronous algorithms recover too (their own
+    self-stabilization, without the synchronizer)."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mis_recovers_synchronously(self, seed):
+        from repro.model.scheduler import SynchronousScheduler
+
+        rng = np.random.default_rng(seed + 7)
+        topology = complete_graph(8)
+        algorithm = AlgMIS(1)
+        execution = Execution(
+            topology,
+            algorithm,
+            random_configuration(algorithm, topology, rng),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+        checker = lambda out: check_mis_output(topology, out)
+        assert run_until_valid(execution, algorithm, checker, 60_000)
+        # Plant the nastiest MIS fault: two adjacent INs.
+        from repro.tasks.mis import IN, MISState
+
+        fake = MISState(IN, False, 0, 0, False, False, 1)
+        execution.replace_configuration(
+            execution.configuration.replace({0: fake, 1: fake})
+        )
+        assert run_until_valid(execution, algorithm, checker, 60_000)
+        out = execution.configuration.output_vector(algorithm)
+        assert checker(out).valid
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_le_recovers_from_fake_double_leader(self, seed):
+        from repro.model.scheduler import SynchronousScheduler
+        from repro.tasks.le import LEState, VERIFY
+
+        rng = np.random.default_rng(seed + 19)
+        topology = complete_graph(7)
+        algorithm = AlgLE(1)
+        execution = Execution(
+            topology,
+            algorithm,
+            random_configuration(algorithm, topology, rng),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+        checker = lambda out: check_le_output(out)
+        assert run_until_valid(execution, algorithm, checker, 60_000)
+        # Promote a second node to leader by force.
+        outputs = execution.configuration.output_vector(algorithm)
+        followers = [v for v, bit in enumerate(outputs) if bit == 0]
+        victim = followers[0]
+        state = execution.configuration[victim]
+        fake = LEState(
+            VERIFY,
+            state.r,
+            False,
+            True,
+            False,
+            False,
+            False,
+            True,  # leader bit forced on
+            None,
+            state.seen,
+        )
+        execution.replace_configuration(
+            execution.configuration.replace({victim: fake})
+        )
+        assert run_until_valid(execution, algorithm, checker, 60_000)

@@ -1,0 +1,85 @@
+"""Every example script must run to completion as a subprocess.
+
+The examples are the library's executable documentation — a broken
+example is a broken deliverable, so each one is exercised end to end
+(they all have internal assertions of their own).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "examples"
+)
+
+EXAMPLES = [
+    "quickstart.py",
+    "biological_quorum_clock.py",
+    "fly_sop_selection.py",
+    "async_leader_election.py",
+    "livelock_demo.py",
+    "adversarial_stress.py",
+]
+
+
+def test_every_example_is_covered():
+    """No example file exists without a test entry."""
+    on_disk = {
+        name
+        for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py")
+    }
+    assert on_disk == set(EXAMPLES)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n--- stdout ---\n{result.stdout[-2000:]}"
+        f"\n--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+class TestExampleContent:
+    """Spot-check the narratives the examples must deliver."""
+
+    def run(self, script):
+        result = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0
+        return result.stdout
+
+    def test_quickstart_reports_stabilization(self):
+        out = self.run("quickstart.py")
+        assert "stabilized after" in out
+        assert "safety holds" in out
+
+    def test_livelock_demo_contrasts_both(self):
+        out = self.run("livelock_demo.py")
+        assert "never" in out  # the failed algorithm never stabilizes
+        assert "AlgAU stabilized" in out
+
+    def test_sop_selection_recovers(self):
+        out = self.run("fly_sop_selection.py")
+        assert "re-selected a valid pattern" in out
+
+    def test_adversarial_stress_climbs_ladder(self):
+        out = self.run("adversarial_stress.py")
+        assert "GOOD" in out
+        assert "good graph reached" in out

@@ -1,0 +1,99 @@
+"""Direct tests of the experiment harness (repro.analysis.experiments).
+
+The benchmarks exercise the harness at full resolution; these tests pin
+its API and invariants at the smallest possible sizes so harness
+regressions are caught in seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    au_fault_recovery_experiment,
+    au_scaling_experiment,
+    au_scaling_slope,
+    le_scaling_experiment,
+    mis_scaling_experiment,
+    per_log_n,
+    restart_experiment,
+    synchronizer_experiment,
+)
+
+
+class TestAUScaling:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return au_scaling_experiment(
+            diameter_bounds=(1, 2), n=8, trials=2
+        )
+
+    def test_row_structure(self, rows):
+        assert [row.params["D"] for row in rows] == [1, 2]
+        for row in rows:
+            assert row.rounds.count == 2
+            assert row.extra["states"] == 12 * row.params["D"] + 6
+            assert row.rounds.maximum <= row.extra["rounds_bound_k^3"]
+
+    def test_slope_computable(self, rows):
+        slope = au_scaling_slope(rows)
+        assert 0.0 < slope < 3.5
+
+
+class TestStaticTaskSweeps:
+    def test_le_rows(self):
+        rows = le_scaling_experiment(ns=(4, 8), diameter_bound=1, trials=2)
+        assert [row.params["n"] for row in rows] == [4, 8]
+        ratios = per_log_n(rows)
+        assert len(ratios) == 2
+        assert all(r > 0 for r in ratios)
+        # State space must not vary with n.
+        assert rows[0].extra["states"] == rows[1].extra["states"]
+
+    def test_mis_rows(self):
+        rows = mis_scaling_experiment(ns=(4, 8), diameter_bound=1, trials=2)
+        assert [row.params["n"] for row in rows] == [4, 8]
+        for row in rows:
+            assert row.rounds.minimum > 0
+
+
+class TestRestartExperiment:
+    def test_rows(self):
+        rows = restart_experiment(diameter_bounds=(1, 3), n=8, trials=5)
+        assert [row.diameter_bound for row in rows] == [1, 3]
+        for row in rows:
+            assert row.all_concurrent
+            assert row.exit_times.maximum <= row.bound_6d
+        # Exit time grows with D.
+        assert rows[1].exit_times.mean > rows[0].exit_times.mean
+
+
+class TestSynchronizerExperiment:
+    def test_mis_rows(self):
+        rows = synchronizer_experiment(
+            task="mis", ns=(6,), diameter_bound=1, trials=1
+        )
+        (row,) = rows
+        assert row.task == "mis"
+        assert row.product_states == row.inner_states**2 * 18  # 12·1+6
+        assert row.sync_rounds.count == 1
+        assert row.async_rounds.count == 1
+
+    def test_le_rows(self):
+        rows = synchronizer_experiment(
+            task="le", ns=(6,), diameter_bound=1, trials=1
+        )
+        (row,) = rows
+        assert row.task == "le"
+        assert row.product_states == row.inner_states**2 * 18
+
+
+class TestRecoveryExperiment:
+    def test_always_recovers(self):
+        row = au_fault_recovery_experiment(
+            diameter_bound=1, n=8, bursts=2, fraction=0.25, trials=3
+        )
+        assert row.recovered == 3
+        assert row.trials == 3
+        assert row.recovery_rounds is not None
+        assert row.recovery_rounds.count == 6  # bursts × trials

@@ -1,0 +1,236 @@
+"""The Appendix-A failed reset-based AU and the Figure-2 live-lock."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.failed_reset_au import (
+    FailedResetUnison,
+    MainTurn,
+    ResetTurn,
+    livelock_witness,
+    rotate_configuration,
+)
+from repro.core.algau import ThinUnison
+from repro.core.predicates import is_good_graph
+from repro.faults.injection import random_configuration
+from repro.model.configuration import Configuration
+from repro.model.errors import ModelError
+from repro.model.execution import Execution
+from repro.model.scheduler import RotatingScheduler, SynchronousScheduler
+from repro.model.signal import Signal
+
+
+class TestTransitionRules:
+    @pytest.fixture
+    def alg(self) -> FailedResetUnison:
+        return FailedResetUnison(2, c=2)  # turns 0..4, resets R0..R4
+
+    def test_st1_advances(self, alg):
+        state = MainTurn(1)
+        assert alg.delta(state, Signal((state, MainTurn(2)))) == MainTurn(2)
+        assert alg.delta(state, Signal((state,))) == MainTurn(2)
+
+    def test_st1_wraps(self, alg):
+        state = MainTurn(4)
+        assert alg.delta(state, Signal((state, MainTurn(0)))) == MainTurn(0)
+
+    def test_st1_blocked_by_predecessor(self, alg):
+        state = MainTurn(2)
+        assert alg.delta(state, Signal((state, MainTurn(1)))) == state
+
+    def test_st2_resets_on_gap(self, alg):
+        state = MainTurn(1)
+        assert alg.delta(state, Signal((state, MainTurn(3)))) == ResetTurn(0)
+
+    def test_st2_resets_on_reset_neighbor(self, alg):
+        state = MainTurn(2)
+        assert alg.delta(state, Signal((state, ResetTurn(1)))) == ResetTurn(0)
+
+    def test_st2_zero_tolerates_top_reset(self, alg):
+        state = MainTurn(0)
+        # Turn 0 tolerates R_{cD} (the wave is about to release).
+        assert alg.delta(state, Signal((state, ResetTurn(4)))) == state
+        # ...but not other reset turns.
+        assert alg.delta(state, Signal((state, ResetTurn(0)))) == ResetTurn(0)
+
+    def test_st3_advances_wave(self, alg):
+        state = ResetTurn(1)
+        signal = Signal((state, ResetTurn(2), ResetTurn(4)))
+        assert alg.delta(state, signal) == ResetTurn(2)
+
+    def test_st3_blocked_by_lower_reset(self, alg):
+        state = ResetTurn(3)
+        assert alg.delta(state, Signal((state, ResetTurn(1)))) == state
+
+    def test_st3_blocked_by_main_turn(self, alg):
+        state = ResetTurn(1)
+        assert alg.delta(state, Signal((state, MainTurn(2)))) == state
+
+    def test_st3_exit(self, alg):
+        state = ResetTurn(4)
+        assert alg.delta(state, Signal((state, MainTurn(0)))) == MainTurn(0)
+        assert alg.delta(state, Signal((state,))) == MainTurn(0)
+
+    def test_st3_exit_blocked_by_other_main(self, alg):
+        state = ResetTurn(4)
+        assert alg.delta(state, Signal((state, MainTurn(1)))) == state
+
+    def test_state_space(self, alg):
+        assert alg.state_space_size() == 10
+        assert len(alg.states()) == 10
+
+    def test_outputs(self, alg):
+        assert alg.is_output_state(MainTurn(3))
+        assert not alg.is_output_state(ResetTurn(3))
+        assert alg.output(MainTurn(3)) == 3
+        with pytest.raises(ModelError):
+            alg.output(ResetTurn(0))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            FailedResetUnison(0)
+        with pytest.raises(ModelError):
+            FailedResetUnison(2, c=1)
+
+
+class TestFigure2Livelock:
+    """The paper's counterexample, verified mechanically."""
+
+    @pytest.mark.parametrize("d,c", [(2, 2), (2, 3), (3, 2), (4, 2)])
+    def test_one_round_rotates_configuration(self, d, c):
+        witness = livelock_witness(d, c)
+        rng = np.random.default_rng(0)
+        execution = Execution(
+            witness.topology,
+            witness.algorithm,
+            witness.initial,
+            witness.scheduler,
+            rng=rng,
+        )
+        n = witness.topology.n
+        for _ in range(n):
+            execution.step()
+        assert execution.configuration == rotate_configuration(
+            witness.initial, 1
+        )
+
+    def test_livelock_has_full_period(self):
+        """After n rounds the configuration returns exactly to the
+        start — the execution is periodic and never stabilizes."""
+        witness = livelock_witness(2, 2)
+        rng = np.random.default_rng(0)
+        execution = Execution(
+            witness.topology,
+            witness.algorithm,
+            witness.initial,
+            witness.scheduler,
+            rng=rng,
+        )
+        n = witness.topology.n
+        for _ in range(n * n):
+            execution.step()
+        assert execution.configuration == witness.initial
+
+    def test_schedule_is_fair(self):
+        """The adversary activates every node exactly once per round."""
+        witness = livelock_witness(2, 2)
+        rng = np.random.default_rng(0)
+        n = witness.topology.n
+        for round_index in range(3):
+            activated = []
+            for position in range(n):
+                t = round_index * n + position
+                (v,) = witness.scheduler.activations(
+                    t, witness.topology.nodes, rng
+                )
+                activated.append(v)
+            assert sorted(activated) == list(witness.topology.nodes)
+
+    def test_turn_multiset_matches_figure(self):
+        """[0, 0, R0, R1, ..., R_{cD}, R_{cD}] around the 8-ring."""
+        witness = livelock_witness(2, 2)
+        turns = [witness.initial[v] for v in witness.topology.nodes]
+        mains = [t for t in turns if isinstance(t, MainTurn)]
+        resets = [t for t in turns if isinstance(t, ResetTurn)]
+        assert len(mains) == 2 and all(t.value == 0 for t in mains)
+        assert sorted(t.index for t in resets) == [0, 1, 2, 3, 4, 4]
+
+    def test_transition_multiset_per_round(self):
+        """Per round: one ST2 entry, one exit, four wave advances, two
+        nodes unchanged — the paper's claims up to node renaming."""
+        witness = livelock_witness(2, 2)
+        rng = np.random.default_rng(0)
+        execution = Execution(
+            witness.topology,
+            witness.algorithm,
+            witness.initial,
+            witness.scheduler,
+            rng=rng,
+        )
+        n = witness.topology.n
+        st2 = st3_wave = exits = unchanged = 0
+        for _ in range(n):
+            record = execution.step()
+            if not record.changed:
+                unchanged += 1
+                continue
+            ((node, old, new),) = record.changed
+            if isinstance(old, MainTurn) and isinstance(new, ResetTurn):
+                st2 += 1
+            elif isinstance(old, ResetTurn) and isinstance(new, ResetTurn):
+                st3_wave += 1
+            elif isinstance(old, ResetTurn) and isinstance(new, MainTurn):
+                exits += 1
+        assert st2 == 1
+        assert exits == 1
+        assert st3_wave == 4
+        assert unchanged == 2
+
+    def test_same_instance_algau_stabilizes(self):
+        """Contrast: AlgAU under the *same* rotating adversary on the
+        same ring stabilizes (Thm 1.1 holds for any fair schedule)."""
+        witness = livelock_witness(2, 2)
+        topology = witness.topology
+        rng = np.random.default_rng(1)
+        alg = ThinUnison(topology.diameter)
+        scheduler = RotatingScheduler(witness.base_order, shift=witness.shift)
+        execution = Execution(
+            topology,
+            alg,
+            random_configuration(alg, topology, rng),
+            scheduler,
+            rng=rng,
+        )
+        result = execution.run(
+            max_rounds=50_000,
+            until=lambda e: is_good_graph(alg, e.configuration),
+        )
+        assert result.stopped_by_predicate
+
+
+class TestFailedAlgorithmSometimesWorks:
+    """The failed design is not *always* wrong — from a uniform start
+    under a synchronous schedule it behaves like a unison.  The flaw is
+    the adversarial live-lock, not everyday operation."""
+
+    def test_uniform_start_advances(self):
+        alg = FailedResetUnison(2, c=2)
+        from repro.graphs.generators import ring
+
+        topology = ring(8)
+        rng = np.random.default_rng(2)
+        execution = Execution(
+            topology,
+            alg,
+            Configuration.uniform(topology, MainTurn(0)),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+        execution.run(max_rounds=10)
+        assert all(
+            isinstance(execution.configuration[v], MainTurn)
+            for v in topology.nodes
+        )
+        assert execution.configuration[0] == MainTurn(10 % 5)

@@ -1,0 +1,142 @@
+"""The flooding primitives underlying the AlgLE/AlgMIS epochs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    complete_graph,
+    grid,
+    path,
+    ring,
+    star,
+)
+from repro.model.execution import Execution
+from repro.model.scheduler import SynchronousScheduler
+from repro.tasks.flooding import (
+    MinFlood,
+    MinState,
+    ORFlood,
+    ORState,
+    seeded_min_configuration,
+    seeded_or_configuration,
+)
+
+
+def run_rounds(topology, algorithm, config, rounds, seed=0):
+    execution = Execution(
+        topology,
+        algorithm,
+        config,
+        SynchronousScheduler(),
+        rng=np.random.default_rng(seed),
+    )
+    execution.run(max_rounds=rounds)
+    return execution.configuration
+
+
+class TestORFlood:
+    def test_radius_grows_one_hop_per_round(self):
+        """The exact growth-rate fact the D+1-round epochs rely on."""
+        topology = path(6)
+        algorithm = ORFlood()
+        config = seeded_or_configuration(topology, sources=[0])
+        for rounds in range(6):
+            result = run_rounds(topology, algorithm, config, rounds)
+            for v in topology.nodes:
+                expected = topology.distance(0, v) <= rounds
+                assert result[v].accumulated == expected, (rounds, v)
+
+    def test_diameter_rounds_reach_everyone(self):
+        for topology in (ring(7), star(6), grid(3, 3), complete_graph(5)):
+            algorithm = ORFlood()
+            config = seeded_or_configuration(topology, sources=[2])
+            result = run_rounds(
+                topology, algorithm, config, topology.diameter
+            )
+            assert all(result[v].accumulated for v in topology.nodes)
+
+    def test_no_sources_stays_zero(self):
+        topology = ring(6)
+        algorithm = ORFlood()
+        config = seeded_or_configuration(topology, sources=[])
+        result = run_rounds(topology, algorithm, config, 10)
+        assert not any(result[v].accumulated for v in topology.nodes)
+
+    def test_multiple_sources_union(self):
+        topology = path(7)
+        algorithm = ORFlood()
+        config = seeded_or_configuration(topology, sources=[0, 6])
+        result = run_rounds(topology, algorithm, config, 2)
+        reached = {v for v in topology.nodes if result[v].accumulated}
+        assert reached == {0, 1, 2, 4, 5, 6}
+
+    def test_source_bits_never_change(self):
+        topology = ring(5)
+        algorithm = ORFlood()
+        config = seeded_or_configuration(topology, sources=[1, 3])
+        result = run_rounds(topology, algorithm, config, 8)
+        for v in topology.nodes:
+            assert result[v].source == (v in (1, 3))
+
+
+class TestMinFlood:
+    def test_min_propagates_at_unit_speed(self):
+        topology = path(5)
+        algorithm = MinFlood(bound=9)
+        values = {0: 3, 1: 9, 2: 7, 3: 9, 4: 5}
+        config = seeded_min_configuration(topology, values, 9)
+        result = run_rounds(topology, algorithm, config, 2)
+        # After 2 rounds each node holds the min over its 2-ball.
+        for v in topology.nodes:
+            ball = topology.ball(v, 2)
+            assert result[v].minimum == min(values[u] for u in ball)
+
+    def test_global_min_after_diameter_rounds(self):
+        topology = grid(3, 4)
+        rng = np.random.default_rng(0)
+        values = {
+            v: int(rng.integers(10)) for v in topology.nodes
+        }
+        algorithm = MinFlood(bound=9)
+        config = seeded_min_configuration(topology, values, 9)
+        result = run_rounds(topology, algorithm, config, topology.diameter)
+        global_min = min(values.values())
+        assert all(
+            result[v].minimum == global_min for v in topology.nodes
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    rounds=st.integers(0, 6),
+)
+def test_property_or_flood_equals_ball_or(seed, rounds):
+    """accumulated(v) after r rounds == OR of sources over B(v, r)."""
+    rng = np.random.default_rng(seed)
+    topology = ring(8)
+    sources = [v for v in topology.nodes if rng.random() < 0.3]
+    algorithm = ORFlood()
+    config = seeded_or_configuration(topology, sources)
+    result = run_rounds(topology, algorithm, config, rounds, seed=seed)
+    for v in topology.nodes:
+        expected = any(u in set(sources) for u in topology.ball(v, rounds))
+        assert result[v].accumulated == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 1000), rounds=st.integers(0, 5))
+def test_property_min_flood_equals_ball_min(seed, rounds):
+    rng = np.random.default_rng(seed)
+    topology = path(7)
+    values = {v: int(rng.integers(8)) for v in topology.nodes}
+    algorithm = MinFlood(bound=7)
+    config = seeded_min_configuration(topology, values, 7)
+    result = run_rounds(topology, algorithm, config, rounds, seed=seed)
+    for v in topology.nodes:
+        ball = topology.ball(v, rounds)
+        assert result[v].minimum == min(values[u] for u in ball)

@@ -1,0 +1,249 @@
+"""AlgLE — Theorem 1.3: synchronous self-stabilizing leader election."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stabilization import measure_static_task_stabilization
+from repro.faults.injection import random_configuration, uniform_configuration
+from repro.graphs.generators import complete_graph, damaged_clique, star
+from repro.graphs.topology import single_node_topology
+from repro.model.configuration import Configuration
+from repro.model.errors import ModelError
+from repro.model.execution import Execution
+from repro.model.scheduler import SynchronousScheduler
+from repro.model.signal import Signal
+from repro.tasks.le import COMPUTE, VERIFY, AlgLE, LEState
+from repro.tasks.restart import RestartState
+from repro.tasks.spec import check_le_output
+
+
+def stabilize_le(topology, d, seed, max_rounds=60_000, from_random=True):
+    alg = AlgLE(d)
+    rng = np.random.default_rng(seed)
+    initial = (
+        random_configuration(alg, topology, rng)
+        if from_random
+        else uniform_configuration(alg, topology)
+    )
+    result = measure_static_task_stabilization(
+        alg,
+        topology,
+        initial,
+        SynchronousScheduler(),
+        rng,
+        lambda out: check_le_output(out).valid,
+        max_rounds=max_rounds,
+        confirm_rounds=10 * (d + 1),
+    )
+    assert result.stabilized, result.detail
+    return result
+
+
+class TestUnitTransitions:
+    @pytest.fixture
+    def alg(self) -> AlgLE:
+        return AlgLE(2)
+
+    def test_initial_state(self, alg):
+        q0 = alg.initial_state()
+        assert q0.stage == COMPUTE
+        assert q0.r == 0
+        assert q0.flag and q0.candidate
+        assert not q0.leader
+
+    def test_epoch_start_tosses_both_coins(self, alg):
+        q0 = alg.initial_state()
+        result = alg.delta(q0, Signal((q0,)))
+        support = result.support
+        assert all(s.r == 1 for s in support)
+        flags = {s.flag for s in support}
+        coins = {s.coin for s in support}
+        assert flags == {False, True}
+        assert coins == {False, True}
+        # Accumulators start at the node's own contribution.
+        for s in support:
+            assert s.flag_acc == s.flag
+            assert s.coin_acc == (s.candidate and s.coin)
+
+    def test_flag_reset_probability(self, alg):
+        q0 = alg.initial_state()
+        dist = alg.delta(q0, Signal((q0,)))
+        p_flag_off = sum(
+            w
+            for outcome, w in zip(dist.outcomes, dist.weights)
+            if not outcome.flag
+        )
+        assert p_flag_off == pytest.approx(alg.p0)
+
+    def test_flooding_ors_accumulators(self, alg):
+        mine = LEState(COMPUTE, 1, False, True, False, False, False, False, None, None)
+        other = LEState(COMPUTE, 1, True, True, True, True, True, False, None, None)
+        new = alg.delta(mine, Signal((mine, other)))
+        assert new.flag_acc and new.coin_acc
+        assert new.r == 2
+
+    def test_round_mismatch_triggers_restart(self, alg):
+        mine = LEState(COMPUTE, 1, False, True, False, False, False, False, None, None)
+        other = LEState(COMPUTE, 2, False, True, False, False, False, False, None, None)
+        assert alg.delta(mine, Signal((mine, other))) == RestartState(0)
+
+    def test_stage_mismatch_triggers_restart(self, alg):
+        mine = LEState(COMPUTE, 1, False, True, False, False, False, False, None, None)
+        other = LEState(VERIFY, 1, False, False, False, False, False, True, None, None)
+        assert alg.delta(mine, Signal((mine, other))) == RestartState(0)
+
+    def test_epoch_end_elimination(self, alg):
+        # Candidate with coin 0 sensing a candidate coin in the OR: out.
+        mine = LEState(COMPUTE, 2, False, True, False, True, True, False, None, None)
+        new = alg.delta(mine, Signal((mine,)))
+        assert not new.candidate
+        assert new.r == 0
+        assert new.stage == COMPUTE  # flag OR was 1: stage continues
+
+    def test_epoch_end_halts_when_flags_clear(self, alg):
+        mine = LEState(COMPUTE, 2, False, True, True, False, False, False, None, None)
+        new = alg.delta(mine, Signal((mine,)))
+        assert new.stage == VERIFY
+        assert new.leader  # survived with coin 1
+        assert new.r == 0
+
+    def test_epoch_end_continues_when_flags_present(self, alg):
+        mine = LEState(COMPUTE, 2, True, True, True, True, True, False, None, None)
+        new = alg.delta(mine, Signal((mine,)))
+        assert new.stage == COMPUTE
+        assert new.r == 0
+
+    def test_survivor_with_coin_one_stays(self, alg):
+        mine = LEState(COMPUTE, 2, False, True, True, False, True, False, None, None)
+        new = alg.delta(mine, Signal((mine,)))
+        assert new.candidate
+
+    def test_verify_leader_draws_identifier(self, alg):
+        mine = LEState(VERIFY, 0, False, True, False, False, False, True, None, None)
+        dist = alg.delta(mine, Signal((mine,)))
+        support = dist.support
+        assert len(support) == alg.k_id
+        assert all(s.vid == s.seen and s.vid is not None for s in support)
+
+    def test_verify_nonleader_clears_identifier(self, alg):
+        mine = LEState(VERIFY, 0, False, False, False, False, False, False, 3, 3)
+        new = alg.delta(mine, Signal((mine,)))
+        assert new.vid is None and new.seen is None
+
+    def test_verify_conflicting_ids_restart(self, alg):
+        mine = LEState(VERIFY, 1, False, False, False, False, False, False, None, 2)
+        other = LEState(VERIFY, 1, False, False, False, False, False, True, 5, 5)
+        assert alg.delta(mine, Signal((mine, other))) == RestartState(0)
+
+    def test_verify_two_ids_sensed_restart(self, alg):
+        mine = LEState(VERIFY, 1, False, False, False, False, False, False, None, None)
+        a = LEState(VERIFY, 1, False, False, False, False, False, True, 2, 2)
+        b = LEState(VERIFY, 1, False, False, False, False, False, True, 7, 7)
+        assert alg.delta(mine, Signal((mine, a, b))) == RestartState(0)
+
+    def test_verify_zero_leaders_detected_at_epoch_end(self, alg):
+        mine = LEState(VERIFY, 2, False, False, False, False, False, False, None, None)
+        assert alg.delta(mine, Signal((mine,))) == RestartState(0)
+
+    def test_verify_epoch_end_with_id_continues(self, alg):
+        mine = LEState(VERIFY, 2, False, False, False, False, False, False, None, 4)
+        new = alg.delta(mine, Signal((mine,)))
+        assert isinstance(new, LEState)
+        assert new.r == 0
+        assert new.seen is None
+
+    def test_restart_state_sensed_pulls_main_node(self, alg):
+        mine = alg.initial_state()
+        assert (
+            alg.delta(mine, Signal((mine, RestartState(3)))) == RestartState(0)
+        )
+
+    def test_outputs(self, alg):
+        leader = LEState(VERIFY, 0, False, True, False, False, False, True, None, None)
+        follower = LEState(VERIFY, 0, False, False, False, False, False, False, None, None)
+        assert alg.output(leader) == 1
+        assert alg.output(follower) == 0
+        assert not alg.is_output_state(RestartState(0))
+
+    def test_state_space_is_linear_in_d(self):
+        sizes = [AlgLE(d).state_space_size() for d in (1, 2, 4, 8)]
+        # Linear growth: constant second difference of zero.
+        diffs = [b - a for a, b in zip(sizes, sizes[1:])]
+        ratios = [diff / (db - da) for diff, (da, db) in zip(
+            diffs, [(1, 2), (2, 4), (4, 8)]
+        )]
+        assert ratios[0] == ratios[1] == ratios[2]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            AlgLE(2, p0=0.0)
+        with pytest.raises(ModelError):
+            AlgLE(2, k_id=1)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_complete_graph_from_adversarial_start(self, seed):
+        stabilize_le(complete_graph(8), 1, seed)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_damaged_clique_d2(self, seed):
+        rng = np.random.default_rng(seed + 50)
+        stabilize_le(damaged_clique(10, 2, rng), 2, seed)
+
+    def test_star_d2(self):
+        stabilize_le(star(9), 2, seed=1)
+
+    def test_from_clean_start(self):
+        stabilize_le(complete_graph(6), 1, seed=2, from_random=False)
+
+    def test_single_node_elects_itself(self):
+        stabilize_le(single_node_topology(), 1, seed=3)
+
+    def test_leader_remains_stable_long_after(self):
+        topology = complete_graph(6)
+        alg = AlgLE(1)
+        rng = np.random.default_rng(4)
+        execution = Execution(
+            topology,
+            alg,
+            uniform_configuration(alg, topology),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+
+        def stable(e):
+            c = e.configuration
+            return c.is_output_configuration(alg) and check_le_output(
+                c.output_vector(alg)
+            ).valid
+
+        result = execution.run(max_rounds=30_000, until=stable)
+        assert result.stopped_by_predicate
+        vector = execution.configuration.output_vector(alg)
+        execution.run_rounds(200)
+        assert execution.configuration.output_vector(alg) == vector
+
+    def test_at_least_one_candidate_always_survives(self):
+        """Elect's invariant: the candidate set never empties during a
+        legitimate computation stage."""
+        topology = complete_graph(8)
+        alg = AlgLE(1)
+        rng = np.random.default_rng(5)
+        execution = Execution(
+            topology,
+            alg,
+            uniform_configuration(alg, topology),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+        for _ in range(400):
+            execution.step()
+            config = execution.configuration
+            states = [config[v] for v in topology.nodes]
+            if all(
+                isinstance(s, LEState) and s.stage == COMPUTE for s in states
+            ):
+                assert any(s.candidate for s in states)

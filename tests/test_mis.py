@@ -1,0 +1,324 @@
+"""AlgMIS — Theorem 1.4: synchronous self-stabilizing MIS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stabilization import measure_static_task_stabilization
+from repro.faults.injection import random_configuration, uniform_configuration
+from repro.graphs.biological import proneural_cluster
+from repro.graphs.generators import complete_graph, damaged_clique, path, ring, star
+from repro.graphs.topology import single_node_topology
+from repro.model.configuration import Configuration
+from repro.model.execution import Execution
+from repro.model.scheduler import SynchronousScheduler
+from repro.model.signal import Signal
+from repro.tasks.mis import IN, OUT, UNDECIDED, AlgMIS, MISState
+from repro.tasks.restart import RestartState
+from repro.tasks.spec import check_mis_output
+
+
+def stabilize_mis(topology, d, seed, max_rounds=60_000, from_random=True):
+    alg = AlgMIS(d)
+    rng = np.random.default_rng(seed)
+    initial = (
+        random_configuration(alg, topology, rng)
+        if from_random
+        else uniform_configuration(alg, topology)
+    )
+    result = measure_static_task_stabilization(
+        alg,
+        topology,
+        initial,
+        SynchronousScheduler(),
+        rng,
+        lambda out: check_mis_output(topology, out).valid,
+        max_rounds=max_rounds,
+        confirm_rounds=10 * (d + 3),
+    )
+    assert result.stabilized, result.detail
+    return result
+
+
+def mk(membership=UNDECIDED, flag=False, step=0, parity=0, candidate=False,
+       coin=False, tid=None):
+    return MISState(membership, flag, step, parity, candidate, coin, tid)
+
+
+class TestUnitTransitions:
+    @pytest.fixture
+    def alg(self) -> AlgMIS:
+        return AlgMIS(2)  # steps 0..4
+
+    def test_initial_state(self, alg):
+        q0 = alg.initial_state()
+        assert q0.membership == UNDECIDED
+        assert q0.flag and q0.candidate
+        assert q0.step == 0 and q0.parity == 0
+
+    def test_step_gap_triggers_restart(self, alg):
+        mine = mk(step=0)
+        other = mk(step=2)
+        assert alg.delta(mine, Signal((mine, other))) == RestartState(0)
+
+    def test_out_without_in_neighbor_restarts(self, alg):
+        mine = mk(membership=OUT)
+        other = mk(membership=UNDECIDED)
+        assert alg.delta(mine, Signal((mine, other))) == RestartState(0)
+
+    def test_out_with_in_neighbor_survives(self, alg):
+        mine = mk(membership=OUT)
+        other = mk(membership=IN, tid=3)
+        result = alg.delta(mine, Signal((mine, other)))
+        assert not isinstance(result, RestartState)
+
+    def test_adjacent_in_nodes_with_distinct_tids_restart(self, alg):
+        mine = mk(membership=IN, tid=2)
+        other = mk(membership=IN, tid=5)
+        assert alg.delta(mine, Signal((mine, other))) == RestartState(0)
+
+    def test_adjacent_in_nodes_same_full_state_undetected(self, alg):
+        """Set-broadcast blindness: identical states mask each other —
+        detection must wait for the tids to diverge (whp next round)."""
+        mine = mk(membership=IN, tid=4)
+        result = alg.delta(mine, Signal((mine,)))
+        assert not isinstance(result, RestartState)
+
+    def test_flag_toss_probability(self, alg):
+        mine = mk(flag=True, candidate=True, step=0, parity=1)
+        dist = alg.delta(mine, Signal((mine,)))
+        p_reset = sum(
+            w
+            for outcome, w in zip(dist.outcomes, dist.weights)
+            if not outcome.flag
+        )
+        assert p_reset == pytest.approx(alg.p0)
+
+    def test_step_follows_min_plus_one(self, alg):
+        mine = mk(flag=False, step=2)
+        other = mk(flag=False, step=1)
+        new = alg.delta(mine, Signal((mine, other)))
+        assert new.step == 2  # min(1, 2) + 1
+
+    def test_step_waits_for_flagged_neighbors(self, alg):
+        mine = mk(flag=False, step=1)
+        other = mk(flag=True, step=0)
+        new = alg.delta(mine, Signal((mine, other)))
+        assert new.step == 1  # min is 0 -> 0 + 1
+
+    def test_coin_toss_on_even_parity(self, alg):
+        mine = mk(candidate=True, parity=0, flag=False, step=1)
+        dist = alg.delta(mine, Signal((mine,)))
+        coins = {s.coin for s in dist.support}
+        assert coins == {False, True}
+        assert all(s.parity == 1 for s in dist.support)
+
+    def test_elimination_on_odd_parity(self, alg):
+        mine = mk(candidate=True, parity=1, coin=False, flag=False, step=1)
+        rival = mk(candidate=True, parity=1, coin=True, flag=False, step=1)
+        new = alg.delta(mine, Signal((mine, rival)))
+        assert not new.candidate
+        assert new.parity == 0
+
+    def test_winner_keeps_candidacy(self, alg):
+        mine = mk(candidate=True, parity=1, coin=True, flag=False, step=1)
+        rival = mk(candidate=True, parity=1, coin=True, flag=False, step=1)
+        new = alg.delta(mine, Signal((mine, rival)))
+        assert new.candidate
+
+    def test_decided_neighbors_coins_do_not_eliminate(self, alg):
+        mine = mk(candidate=True, parity=1, coin=False, flag=False, step=1)
+        decided = mk(membership=OUT, coin=True, parity=1, flag=False, step=1)
+        inn = mk(membership=IN, tid=1, coin=True, parity=1, flag=False, step=1)
+        new = alg.delta(mine, Signal((mine, decided)))
+        assert new.candidate  # OUT coins don't count
+
+    def test_surviving_candidate_joins_in_at_step_d_plus_1(self, alg):
+        d = alg.diameter_bound
+        mine = mk(candidate=True, flag=False, step=d, parity=1)
+        others = mk(candidate=False, flag=False, step=d, parity=1)
+        result = alg.delta(mine, Signal((mine, others)))
+        support = result.support if hasattr(result, "support") else {result}
+        assert all(s.membership == IN for s in support)
+        assert all(s.step == d + 1 for s in support)
+        assert all(s.tid is not None for s in support)
+
+    def test_non_candidate_does_not_join(self, alg):
+        d = alg.diameter_bound
+        mine = mk(candidate=False, flag=False, step=d)
+        new = alg.delta(mine, Signal((mine,)))
+        assert new.membership == UNDECIDED
+        assert new.step == d + 1
+
+    def test_undecided_joins_out_on_sensing_in(self, alg):
+        mine = mk(candidate=True, flag=False, step=1)
+        winner = mk(membership=IN, tid=2, flag=False, step=1)
+        new = alg.delta(mine, Signal((mine, winner)))
+        assert new.membership == OUT
+        assert not new.candidate
+
+    def test_phase_boundary_resets(self, alg):
+        d = alg.diameter_bound
+        mine = mk(membership=OUT, flag=False, step=d + 2, parity=1)
+        neigh = mk(membership=IN, tid=1, flag=False, step=d + 2, parity=1)
+        new = alg.delta(mine, Signal((mine, neigh)))
+        assert new.step == 0
+        assert new.flag
+        assert new.parity == 0
+        assert not new.candidate  # decided nodes stop competing
+
+    def test_phase_boundary_recandidates_undecided(self, alg):
+        d = alg.diameter_bound
+        mine = mk(membership=UNDECIDED, flag=False, step=d + 2)
+        new = alg.delta(mine, Signal((mine,)))
+        assert new.candidate
+        assert new.step == 0
+
+    def test_in_node_redraws_tid_every_round(self, alg):
+        mine = mk(membership=IN, tid=3, flag=False, step=1)
+        dist = alg.delta(mine, Signal((mine,)))
+        tids = {s.tid for s in dist.support}
+        assert tids == set(range(1, alg.k_id + 1))
+
+    def test_outputs(self, alg):
+        assert alg.output(mk(membership=IN, tid=1)) == 1
+        assert alg.output(mk(membership=OUT)) == 0
+        assert not alg.is_output_state(mk(membership=UNDECIDED))
+        assert not alg.is_output_state(RestartState(2))
+
+    def test_state_space_linear_in_d(self):
+        sizes = [AlgMIS(d).state_space_size() for d in (1, 2, 4, 8)]
+        diffs = [b - a for a, b in zip(sizes, sizes[1:])]
+        ratios = [
+            diff / (db - da)
+            for diff, (da, db) in zip(diffs, [(1, 2), (2, 4), (4, 8)])
+        ]
+        assert ratios[0] == ratios[1] == ratios[2]
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_complete_graph(self, seed):
+        stabilize_mis(complete_graph(8), 1, seed)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_damaged_clique_d2(self, seed):
+        rng = np.random.default_rng(seed + 60)
+        stabilize_mis(damaged_clique(10, 2, rng), 2, seed)
+
+    def test_star_center_or_leaves(self):
+        topology = star(8)
+        result = stabilize_mis(topology, 2, seed=7)
+        assert result.stabilized
+
+    def test_ring_d4(self):
+        stabilize_mis(ring(8), 4, seed=2)
+
+    def test_proneural_cluster(self):
+        topology = proneural_cluster(3, 3)
+        stabilize_mis(topology, topology.diameter, seed=3)
+
+    def test_single_node_joins_in(self):
+        topology = single_node_topology()
+        alg = AlgMIS(1)
+        rng = np.random.default_rng(4)
+        execution = Execution(
+            topology,
+            alg,
+            uniform_configuration(alg, topology),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+        execution.run(
+            max_rounds=5000,
+            until=lambda e: e.configuration.is_output_configuration(alg),
+        )
+        assert alg.output(execution.configuration[0]) == 1
+
+    def test_mis_stays_fixed_after_stabilization(self):
+        topology = complete_graph(7)
+        alg = AlgMIS(1)
+        rng = np.random.default_rng(5)
+        execution = Execution(
+            topology,
+            alg,
+            uniform_configuration(alg, topology),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+
+        def stable(e):
+            c = e.configuration
+            return c.is_output_configuration(alg) and check_mis_output(
+                topology, c.output_vector(alg)
+            ).valid
+
+        result = execution.run(max_rounds=30_000, until=stable)
+        assert result.stopped_by_predicate
+        vector = execution.configuration.output_vector(alg)
+        execution.run_rounds(300)
+        assert execution.configuration.output_vector(alg) == vector
+
+    def test_in_nodes_never_revert_without_restart(self):
+        """Decided memberships only change through Restart."""
+        topology = complete_graph(6)
+        alg = AlgMIS(1)
+        rng = np.random.default_rng(6)
+        execution = Execution(
+            topology,
+            alg,
+            uniform_configuration(alg, topology),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+        for _ in range(600):
+            record = execution.step()
+            for node, old, new in record.changed:
+                if isinstance(old, MISState) and isinstance(new, MISState):
+                    if old.membership in (IN, OUT):
+                        assert new.membership == old.membership
+
+
+class TestCompeteDistribution:
+    """Property (1) of Compete: a node beats any set W of rivals with
+    probability Ω(1/(|W|+1)) — exercised via the all-survivor phase
+    statistics on a clique, where exactly one node should usually win.
+    """
+
+    def test_exactly_one_winner_usually(self):
+        topology = complete_graph(6)
+        alg = AlgMIS(1)
+        winners_per_run = []
+        for seed in range(30):
+            rng = np.random.default_rng(seed)
+            execution = Execution(
+                topology,
+                alg,
+                uniform_configuration(alg, topology),
+                SynchronousScheduler(),
+                rng=rng,
+            )
+            execution.run(
+                max_rounds=4000,
+                until=lambda e: any(
+                    isinstance(e.configuration[v], MISState)
+                    and e.configuration[v].membership == IN
+                    for v in topology.nodes
+                ),
+            )
+            winners = [
+                v
+                for v in topology.nodes
+                if isinstance(execution.configuration[v], MISState)
+                and execution.configuration[v].membership == IN
+            ]
+            winners_per_run.append(tuple(winners))
+        # On a clique a valid MIS has exactly one IN node; coin-sequence
+        # ties are possible (they trigger DetectMIS + Restart later) but
+        # a clear majority of phases must end with a single winner.
+        single = sum(1 for w in winners_per_run if len(w) == 1)
+        assert single >= 20
+        # And the winner position varies across seeds (fairness).
+        distinct_winners = {w[0] for w in winners_per_run if len(w) == 1}
+        assert len(distinct_winners) >= 3

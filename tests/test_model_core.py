@@ -1,0 +1,215 @@
+"""Tests for the stone age model substrate: signals, distributions,
+configurations and the algorithm interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algau import ThinUnison
+from repro.core.turns import able, faulty
+from repro.graphs.generators import complete_graph, path, ring
+from repro.model.algorithm import Distribution, product_distribution
+from repro.model.configuration import Configuration
+from repro.model.errors import ConfigurationError, ModelError
+from repro.model.signal import Signal
+
+
+class TestSignal:
+    def test_senses_membership(self):
+        signal = Signal((able(1), faulty(2)))
+        assert signal.senses(able(1))
+        assert not signal.senses(able(2))
+        assert able(1) in signal
+
+    def test_deduplication(self):
+        signal = Signal((able(1), able(1), able(2)))
+        assert len(signal) == 2
+
+    def test_senses_any_and_matching(self):
+        signal = Signal((able(1), faulty(2), faulty(3)))
+        assert signal.senses_any(lambda t: t.faulty)
+        assert signal.matching(lambda t: t.faulty) == {faulty(2), faulty(3)}
+
+    def test_senses_only(self):
+        signal = Signal((able(1), able(2)))
+        assert signal.senses_only({able(1), able(2), able(3)})
+        assert not signal.senses_only({able(1)})
+
+    def test_equality_and_hash(self):
+        a = Signal((able(1), able(2)))
+        b = Signal((able(2), able(1)))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Signal((able(1),))
+
+    def test_signal_carries_no_multiplicity(self):
+        """The model's key restriction: a node cannot count."""
+        assert Signal([able(1)] * 5) == Signal([able(1)])
+
+
+class TestDistribution:
+    def test_uniform(self):
+        d = Distribution.uniform((1, 2, 3, 4))
+        assert d.support == {1, 2, 3, 4}
+        assert d.probability(1) == pytest.approx(0.25)
+
+    def test_merges_duplicates(self):
+        d = Distribution((1, 1, 2), (0.25, 0.25, 0.5))
+        assert d.probability(1) == pytest.approx(0.5)
+        assert len(d.outcomes) == 2
+
+    def test_normalizes(self):
+        d = Distribution((1, 2), (3.0, 1.0))
+        assert d.probability(1) == pytest.approx(0.75)
+
+    def test_bernoulli(self):
+        d = Distribution.bernoulli("yes", "no", 0.2)
+        assert d.probability("yes") == pytest.approx(0.2)
+        assert d.probability("no") == pytest.approx(0.8)
+
+    def test_bernoulli_validates_probability(self):
+        with pytest.raises(ModelError):
+            Distribution.bernoulli(1, 0, 1.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelError):
+            Distribution(())
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ModelError):
+            Distribution((1, 2), (0.5, -0.5))
+
+    def test_sample_respects_support(self):
+        rng = np.random.default_rng(0)
+        d = Distribution((1, 2), (0.5, 0.5))
+        draws = {d.sample(rng) for _ in range(50)}
+        assert draws <= {1, 2}
+        assert len(draws) == 2  # both appear over 50 draws whp
+
+    def test_sample_frequencies(self):
+        rng = np.random.default_rng(1)
+        d = Distribution.bernoulli(1, 0, 0.25)
+        mean = np.mean([d.sample(rng) for _ in range(4000)])
+        assert 0.2 < mean < 0.3
+
+    def test_map(self):
+        d = Distribution.uniform((1, 2)).map(lambda x: x * 10)
+        assert d.support == {10, 20}
+
+    def test_is_deterministic(self):
+        assert Distribution((7,)).is_deterministic()
+        assert not Distribution.uniform((1, 2)).is_deterministic()
+
+    def test_product_distribution(self):
+        d = product_distribution(
+            [((False, True), (0.25, 0.75)), ((0, 1), (0.5, 0.5))],
+            lambda flag, coin: (flag, coin),
+        )
+        assert d.probability((True, 1)) == pytest.approx(0.375)
+        assert d.probability((False, 0)) == pytest.approx(0.125)
+        assert sum(d.weights) == pytest.approx(1.0)
+
+    def test_product_distribution_skips_zero_weights(self):
+        d = product_distribution(
+            [((False, True), (0.0, 1.0))], lambda flag: flag
+        )
+        assert d.support == {True}
+
+
+class TestConfiguration:
+    def test_uniform_and_getitem(self):
+        topo = ring(4)
+        config = Configuration.uniform(topo, able(1))
+        assert all(config[v] == able(1) for v in topo.nodes)
+
+    def test_missing_node_rejected(self):
+        topo = ring(4)
+        with pytest.raises(ConfigurationError):
+            Configuration(topo, {0: able(1)})
+
+    def test_unknown_node_rejected(self):
+        topo = ring(4)
+        states = {v: able(1) for v in topo.nodes}
+        states[99] = able(1)
+        with pytest.raises(ConfigurationError):
+            Configuration(topo, states)
+
+    def test_signal_is_inclusive_neighborhood(self):
+        topo = path(3)  # 0 - 1 - 2
+        config = Configuration(
+            topo, {0: able(1), 1: able(2), 2: able(3)}
+        )
+        assert config.signal(0) == Signal((able(1), able(2)))
+        assert config.signal(1) == Signal((able(1), able(2), able(3)))
+        assert config.signal(2) == Signal((able(2), able(3)))
+
+    def test_replace_is_functional(self):
+        topo = ring(4)
+        config = Configuration.uniform(topo, able(1))
+        updated = config.replace({2: able(2)})
+        assert config[2] == able(1)
+        assert updated[2] == able(2)
+        assert updated.replace({}) is updated
+
+    def test_equality(self):
+        topo = ring(4)
+        a = Configuration.uniform(topo, able(1))
+        b = Configuration.uniform(topo, able(1))
+        assert a == b
+        assert a != a.replace({0: able(2)})
+
+    def test_output_vector(self):
+        alg = ThinUnison(1)
+        topo = path(2)
+        config = Configuration(topo, {0: able(1), 1: faulty(2)})
+        vector = config.output_vector(alg)
+        assert vector[0] == alg.levels.clock_value(1)
+        assert vector[1] is None
+        assert not config.is_output_configuration(alg)
+
+    def test_state_set(self):
+        topo = ring(4)
+        config = Configuration.uniform(topo, able(1)).replace({0: faulty(2)})
+        assert config.state_set() == {able(1), faulty(2)}
+
+
+class TestAlgorithmHelpers:
+    def test_resolve_deterministic(self):
+        alg = ThinUnison(1)
+        rng = np.random.default_rng(0)
+        assert alg.resolve(able(1), Signal((able(1),)), rng) == able(2)
+
+    def test_support(self):
+        alg = ThinUnison(1)
+        assert alg.support(able(1), Signal((able(1),))) == {able(2)}
+
+    def test_output_states_enumeration(self):
+        alg = ThinUnison(1)
+        outputs = alg.output_states()
+        assert outputs is not None
+        assert all(turn.able for turn in outputs)
+
+    def test_random_state_in_state_space(self):
+        alg = ThinUnison(2)
+        rng = np.random.default_rng(0)
+        states = alg.states()
+        for _ in range(50):
+            assert alg.random_state(rng) in states
+
+
+@settings(max_examples=100)
+@given(
+    weights=st.lists(
+        st.floats(0.01, 10.0), min_size=1, max_size=6
+    )
+)
+def test_property_distribution_normalizes(weights):
+    outcomes = list(range(len(weights)))
+    d = Distribution(outcomes, weights)
+    assert sum(d.weights) == pytest.approx(1.0)
+    total = sum(weights)
+    for o, w in zip(outcomes, weights):
+        assert d.probability(o) == pytest.approx(w / total)

@@ -1,0 +1,274 @@
+"""Deeper quantitative checks of individual lemmas from Sec. 2.3 and
+Sec. 3 — beyond the closure properties of test_algau_observations.py,
+these validate the *bounds* the lemmas state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algau import ThinUnison, TransitionType
+from repro.core.predicates import (
+    is_good_graph,
+    is_level_out_protected,
+    is_out_protected_graph,
+    is_protected_graph,
+)
+from repro.core.turns import Turn, able, faulty
+from repro.faults.injection import random_configuration, uniform_configuration
+from repro.graphs.generators import complete_graph, path, ring
+from repro.graphs.topology import topology_from_edges
+from repro.model.configuration import Configuration
+from repro.model.execution import Execution
+from repro.model.scheduler import RoundRobinScheduler, SynchronousScheduler
+from repro.tasks.le import AlgLE
+from repro.tasks.spec import check_le_output
+
+
+class TestLemma212Bound:
+    """Lem 2.12: in an ℓ-out-protected graph, a node in turn ℓ̂
+    experiences FA before ϱ^{2(k−|ℓ|)+1}; under a synchronous schedule
+    that is 2(k−|ℓ|)+1 rounds."""
+
+    @pytest.mark.parametrize("start_level", [2, 3, 4, 5])
+    def test_fa_within_bound_on_chain(self, start_level):
+        """A descending chain of faulty turns — the worst relay case the
+        induction handles."""
+        # Path with node i at faulty level start_level + i (as far as
+        # the level cap allows).
+        alg = ThinUnison(1)  # k = 5
+        k = alg.levels.k
+        chain_length = min(3, k - start_level + 1)
+        topology = topology_from_edges(
+            [(i, i + 1) for i in range(chain_length - 1)]
+        ) if chain_length > 1 else None
+        if topology is None:
+            pytest.skip("degenerate chain")
+        states = {
+            i: faulty(start_level + i) for i in range(chain_length)
+        }
+        config = Configuration(topology, states)
+        assert is_out_protected_graph(alg, config)
+        execution = Execution(
+            topology,
+            alg,
+            config,
+            SynchronousScheduler(),
+            rng=np.random.default_rng(0),
+        )
+        bound = 2 * (k - start_level) + 1
+        fa_time = None
+        for t in range(bound + 1):
+            record = execution.step()
+            for v, old, new in record.changed:
+                if v == 0 and alg.classify_change(old, new) is TransitionType.FA:
+                    fa_time = record.t + 1
+                    break
+            if fa_time is not None:
+                break
+        assert fa_time is not None, "node 0 never performed FA"
+        assert fa_time <= bound
+
+    def test_extreme_faulty_exits_in_one_round(self):
+        """The induction base: k̂ performs FA on its first activation."""
+        alg = ThinUnison(1)
+        topology = ring(4)
+        config = Configuration.uniform(topology, faulty(alg.levels.k))
+        execution = Execution(
+            topology,
+            alg,
+            config,
+            SynchronousScheduler(),
+            rng=np.random.default_rng(0),
+        )
+        execution.step()
+        assert all(
+            execution.configuration[v] == able(alg.levels.k - 1)
+            for v in topology.nodes
+        )
+
+
+class TestLemma219Meeting:
+    """Lem 2.19: the endpoints of a non-protected edge (different signs
+    after out-protection) move inwards until they meet at {-1, 1}."""
+
+    def test_two_nodes_meet_at_the_center(self):
+        alg = ThinUnison(1)
+        topology = path(2)
+        config = Configuration(topology, {0: able(4), 1: able(-4)})
+        execution = Execution(
+            topology,
+            alg,
+            config,
+            SynchronousScheduler(),
+            rng=np.random.default_rng(0),
+        )
+        k = alg.levels.k
+        budget = k * (k - 1) + 2  # the z = k(k-1) bound of the lemma
+        met = False
+        for _ in range(budget):
+            execution.step()
+            levels = {
+                execution.configuration[v].level for v in topology.nodes
+            }
+            if levels <= {-1, 1} and all(
+                execution.configuration[v].able for v in topology.nodes
+            ):
+                met = True
+                break
+        assert met, "the torn edge never met at {-1, 1}"
+
+
+class TestLemma220Expansion:
+    """Lem 2.20-flavored check: a node that climbs from level 1 to
+    2D + 2 certifies a protected graph."""
+
+    def test_climb_certifies_protection(self):
+        alg = ThinUnison(1)  # D = 1, 2D + 2 = 4
+        topology = ring(4)
+        rng = np.random.default_rng(5)
+        execution = Execution(
+            topology,
+            alg,
+            random_configuration(alg, topology, rng),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+        # Track node 0 passing level 1 and later reaching 2D + 2 = 4.
+        seen_one_at = None
+        for _ in range(3000):
+            execution.step()
+            level = execution.configuration[0].level
+            if level == 1 and execution.configuration[0].able:
+                seen_one_at = execution.t
+            if (
+                seen_one_at is not None
+                and level == 2 * alg.levels.diameter_bound + 2
+            ):
+                assert is_protected_graph(alg, execution.configuration)
+                return
+        pytest.skip("trajectory never exhibited the 1 -> 2D+2 climb")
+
+
+class TestCorollary215Ordering:
+    """Cor 2.15 via Lem 2.14: out-protection is acquired from the
+    outermost levels inwards — once the graph is ψ+1(ℓ)-out-protected
+    it later becomes ℓ-out-protected, and the extreme levels are
+    vacuously out-protected from the start."""
+
+    def test_extreme_levels_vacuously_out_protected(self):
+        alg = ThinUnison(1)
+        topology = ring(5)
+        rng = np.random.default_rng(0)
+        config = random_configuration(alg, topology, rng)
+        k = alg.levels.k
+        for level in (k, -k, k - 1, -(k - 1)):
+            assert is_level_out_protected(alg, config, level)
+
+    def test_out_protection_cascade(self):
+        alg = ThinUnison(1)
+        topology = ring(6)
+        rng = np.random.default_rng(3)
+        execution = Execution(
+            topology,
+            alg,
+            random_configuration(alg, topology, rng),
+            RoundRobinScheduler(),
+            rng=rng,
+        )
+        k = alg.levels.k
+        acquisition = {}
+        for t in range(6 * 500):
+            for level in range(1, k + 1):
+                for signed in (level, -level):
+                    if signed not in acquisition and is_level_out_protected(
+                        alg, execution.configuration, signed
+                    ):
+                        acquisition[signed] = t
+            if is_out_protected_graph(alg, execution.configuration):
+                break
+            execution.step()
+        # Once acquired, ℓ-out-protection is never lost, so acquisition
+        # times going inwards must be monotone (outer before inner) on
+        # each sign.
+        for sign in (1, -1):
+            times = [
+                acquisition[sign * magnitude]
+                for magnitude in range(k, 0, -1)
+                if sign * magnitude in acquisition
+            ]
+            assert times == sorted(times)
+
+
+class TestElectFairness:
+    """On a vertex-transitive graph every node should win leadership
+    with roughly equal frequency — anonymity means no node is special."""
+
+    def test_leader_distribution_on_clique(self):
+        topology = complete_graph(5)
+        alg = AlgLE(1)
+        wins = {v: 0 for v in topology.nodes}
+        trials = 40
+        for seed in range(trials):
+            rng = np.random.default_rng(seed)
+            execution = Execution(
+                topology,
+                alg,
+                uniform_configuration(alg, topology),
+                SynchronousScheduler(),
+                rng=rng,
+            )
+
+            def elected(e):
+                config = e.configuration
+                return config.is_output_configuration(
+                    alg
+                ) and check_le_output(config.output_vector(alg)).valid
+
+            result = execution.run(max_rounds=30_000, until=elected)
+            assert result.stopped_by_predicate
+            outputs = execution.configuration.output_vector(alg)
+            (leader,) = [v for v, bit in enumerate(outputs) if bit == 1]
+            wins[leader] += 1
+        # Every node wins at least once over 40 trials (expected 8 each).
+        assert all(count > 0 for count in wins.values()), wins
+        assert max(wins.values()) <= trials // 2  # no dominant node
+
+
+class TestRoundOperatorDefinition:
+    """The ϱ operator against its set-theoretic definition, on random
+    activation sequences (property-style brute force)."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_boundaries_match_brute_force(self, seed):
+        from repro.model.rounds import RoundTracker
+
+        rng = np.random.default_rng(seed)
+        nodes = tuple(range(5))
+        steps = []
+        tracker = RoundTracker(nodes)
+        for _ in range(60):
+            size = int(rng.integers(1, 5))
+            activated = tuple(
+                rng.choice(nodes, size=size, replace=False).tolist()
+            )
+            steps.append(frozenset(activated))
+            tracker.observe(activated)
+
+        # Brute force: R(0) = 0; R(i+1) = earliest time r such that every
+        # node appears in steps[R(i) : r].
+        boundaries = [0]
+        while True:
+            start = boundaries[-1]
+            seen = set()
+            nxt = None
+            for r in range(start, len(steps)):
+                seen |= steps[r]
+                if seen == set(nodes):
+                    nxt = r + 1
+                    break
+            if nxt is None:
+                break
+            boundaries.append(nxt)
+        assert tuple(boundaries) == tracker.boundaries

@@ -1,0 +1,139 @@
+"""The proof-ladder progress metrics (repro.core.potential)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algau import ThinUnison
+from repro.core.potential import (
+    Stage,
+    disorder_potential,
+    progress_report,
+    stage_timeline_is_monotone,
+)
+from repro.core.predicates import is_good_graph
+from repro.core.turns import able, faulty
+from repro.faults.injection import (
+    au_adversarial_suite,
+    random_configuration,
+    uniform_configuration,
+)
+from repro.graphs.generators import complete_graph, damaged_clique, path, ring
+from repro.model.configuration import Configuration
+from repro.model.execution import Execution
+from repro.model.scheduler import (
+    ShuffledRoundRobinScheduler,
+    SynchronousScheduler,
+)
+
+
+class TestProgressReport:
+    def test_good_graph_is_stage_good(self):
+        alg = ThinUnison(1)
+        topology = ring(5)
+        config = Configuration.uniform(topology, able(2))
+        report = progress_report(alg, config)
+        assert report.stage is Stage.GOOD
+        assert report.good_nodes == 5
+        assert report.faulty_nodes == 0
+        assert report.max_edge_gap == 0
+        assert report.protected_graph
+
+    def test_torn_graph_is_arbitrary(self):
+        alg = ThinUnison(1)
+        topology = path(2)
+        config = Configuration(topology, {0: able(1), 1: able(4)})
+        report = progress_report(alg, config)
+        # Node 0 senses level 4 = ψ+3(1): strictly outwards by >= 2.
+        assert report.stage is Stage.ARBITRARY
+        assert report.unprotected_edges == 1
+        assert report.max_edge_gap == 3
+
+    def test_opposite_signs_are_out_protected(self):
+        alg = ThinUnison(1)
+        topology = path(2)
+        config = Configuration(topology, {0: able(3), 1: able(-3)})
+        report = progress_report(alg, config)
+        # Different signs: no Ψ≫ violation; nothing faulty; justified.
+        assert report.stage is Stage.JUSTIFIED
+        assert report.unprotected_edges == 1
+
+    def test_unjustified_faulty_detected(self):
+        alg = ThinUnison(1)
+        topology = path(2)
+        # ^3 next to an adjacent able 3: protected, no inward faulty
+        # neighbor -> unjustifiably faulty.
+        config = Configuration(topology, {0: faulty(3), 1: able(3)})
+        report = progress_report(alg, config)
+        assert report.unjustified_nodes == 1
+        assert report.stage is Stage.OUT_PROTECTED
+
+    def test_disorder_potential_zero_iff_good(self):
+        alg = ThinUnison(1)
+        topology = ring(4)
+        good = Configuration.uniform(topology, able(1))
+        assert disorder_potential(alg, good) == 0
+        bad = good.replace({0: faulty(3)})
+        assert disorder_potential(alg, bad) > 0
+
+    def test_str_mentions_stage(self):
+        alg = ThinUnison(1)
+        config = Configuration.uniform(ring(4), able(1))
+        assert "GOOD" in str(progress_report(alg, config))
+
+
+class TestLadderMonotonicity:
+    """The stage index never decreases along an execution — the closure
+    lemmas of the proof, checked end to end."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [SynchronousScheduler, ShuffledRoundRobinScheduler],
+        ids=["sync", "async"],
+    )
+    def test_stages_monotone_on_random_runs(self, seed, scheduler_factory):
+        rng = np.random.default_rng(seed)
+        alg = ThinUnison(2)
+        topology = damaged_clique(8, 2, rng)
+        execution = Execution(
+            topology,
+            alg,
+            random_configuration(alg, topology, rng),
+            scheduler_factory(),
+            rng=rng,
+        )
+        stages = [progress_report(alg, execution.configuration).stage]
+        for _ in range(300):
+            execution.step()
+            stages.append(progress_report(alg, execution.configuration).stage)
+            if stages[-1] is Stage.GOOD:
+                break
+        assert stage_timeline_is_monotone(stages), stages
+
+    @pytest.mark.parametrize("name", ["sign-split", "all-faulty", "clock-tear"])
+    def test_stages_monotone_from_adversarial_starts(self, name):
+        rng = np.random.default_rng(11)
+        alg = ThinUnison(1)
+        topology = ring(6)
+        initial = au_adversarial_suite(alg, topology, rng)[name]
+        execution = Execution(
+            topology, alg, initial, SynchronousScheduler(), rng=rng
+        )
+        stages = [progress_report(alg, execution.configuration).stage]
+        for _ in range(400):
+            execution.step()
+            stages.append(progress_report(alg, execution.configuration).stage)
+            if stages[-1] is Stage.GOOD:
+                break
+        assert stage_timeline_is_monotone(stages), stages
+        assert stages[-1] is Stage.GOOD
+
+    def test_monotonicity_checker_rejects_regression(self):
+        assert not stage_timeline_is_monotone(
+            [Stage.JUSTIFIED, Stage.OUT_PROTECTED]
+        )
+        assert stage_timeline_is_monotone(
+            [Stage.ARBITRARY, Stage.ARBITRARY, Stage.GOOD]
+        )

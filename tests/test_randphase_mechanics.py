@@ -1,0 +1,145 @@
+"""RandPhase mechanics — Lemma 3.5 and Corollary 3.6 on executions.
+
+The MIS phase structure rests on a delicate fact: once the last flagged
+node resets its flag, all step counters align to D concurrently and the
+final three increments (D → D+1 → D+2 → new phase) are simultaneous for
+every node.  These tests watch real AlgMIS executions and assert the
+paper's conditions directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.injection import uniform_configuration
+from repro.graphs.generators import complete_graph, damaged_clique, ring, star
+from repro.model.execution import Execution
+from repro.model.scheduler import SynchronousScheduler
+from repro.tasks.mis import AlgMIS, MISState
+from repro.tasks.restart import RestartState
+
+
+def mis_states(execution):
+    config = execution.configuration
+    return [config[v] for v in execution.topology.nodes]
+
+
+def run_phases(topology, d, seed, rounds):
+    """Run AlgMIS synchronously from q*_0; yield the state list per
+    round."""
+    alg = AlgMIS(d)
+    rng = np.random.default_rng(seed)
+    execution = Execution(
+        topology,
+        alg,
+        uniform_configuration(alg, topology),
+        SynchronousScheduler(),
+        rng=rng,
+    )
+    history = [mis_states(execution)]
+    for _ in range(rounds):
+        execution.step()
+        history.append(mis_states(execution))
+    return alg, history
+
+
+@pytest.mark.parametrize(
+    "topology_factory,d",
+    [
+        (lambda rng: complete_graph(6), 1),
+        (lambda rng: star(7), 2),
+        (lambda rng: damaged_clique(8, 2, rng), 2),
+        (lambda rng: ring(6), 3),
+    ],
+)
+@pytest.mark.parametrize("seed", range(3))
+class TestLemma35OnExecutions:
+    def test_steps_stay_valid_and_transitions_concurrent(
+        self, topology_factory, d, seed
+    ):
+        rng = np.random.default_rng(seed + 17)
+        topology = topology_factory(rng)
+        alg, history = run_phases(topology, d, seed, rounds=120)
+
+        for states in history:
+            if not all(isinstance(s, MISState) for s in states):
+                continue  # a Restart may legitimately trigger (rare ties)
+            # Edge validity (|step difference| <= 1 across edges).
+            for u, v in topology.edges:
+                assert abs(states[u].step - states[v].step) <= 1
+
+        # Cor 3.6: whenever any node holds step = D+1 or D+2, all do.
+        for states in history:
+            if not all(isinstance(s, MISState) for s in states):
+                continue
+            steps = {s.step for s in states}
+            if (d + 1) in steps:
+                assert steps == {d + 1}
+            if (d + 2) in steps:
+                assert steps == {d + 2}
+
+    def test_phase_boundaries_are_concurrent(self, topology_factory, d, seed):
+        """All nodes reset step to 0 in the same round."""
+        rng = np.random.default_rng(seed + 31)
+        topology = topology_factory(rng)
+        alg, history = run_phases(topology, d, seed + 5, rounds=120)
+        for before, after in zip(history, history[1:]):
+            if not all(
+                isinstance(s, MISState) for s in before + after
+            ):
+                continue
+            resets = [
+                v
+                for v in topology.nodes
+                if before[v].step == d + 2 and after[v].step == 0
+            ]
+            if resets:
+                assert len(resets) == topology.n
+
+    def test_parity_realigns_at_phase_start(self, topology_factory, d, seed):
+        rng = np.random.default_rng(seed + 43)
+        topology = topology_factory(rng)
+        alg, history = run_phases(topology, d, seed + 9, rounds=120)
+        for states in history:
+            if not all(isinstance(s, MISState) for s in states):
+                continue
+            if {s.step for s in states} == {0} and all(
+                s.flag for s in states
+            ):
+                # A fresh phase: parity agreed everywhere.
+                assert len({s.parity for s in states}) == 1
+
+
+class TestPrefixLengthDistribution:
+    """The random prefix is max-of-geometrics long: it grows with n."""
+
+    def measure_prefix(self, n, seed):
+        topology = complete_graph(n)
+        alg = AlgMIS(1)
+        rng = np.random.default_rng(seed)
+        execution = Execution(
+            topology,
+            alg,
+            uniform_configuration(alg, topology),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+        rounds = 0
+        while rounds < 1000:
+            execution.step()
+            rounds += 1
+            states = mis_states(execution)
+            if not all(isinstance(s, MISState) for s in states):
+                return None
+            if all(not s.flag for s in states):
+                return rounds
+        return None
+
+    def test_prefix_grows_with_n(self):
+        small = [self.measure_prefix(2, seed) for seed in range(12)]
+        large = [self.measure_prefix(24, seed) for seed in range(12)]
+        small = [x for x in small if x is not None]
+        large = [x for x in large if x is not None]
+        assert small and large
+        assert np.mean(large) > np.mean(small)

@@ -1,0 +1,47 @@
+"""The one-shot reproduction report (repro.analysis.report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text() -> str:
+    # One trial per sweep point: the cheapest full battery.
+    return generate_report(trials=1)
+
+
+class TestReport:
+    def test_all_sections_present(self, report_text):
+        for heading in (
+            "Figure 1",
+            "Figure 2",
+            "Thm 1.1",
+            "Thm 1.3",
+            "Thm 1.4",
+            "Thm 3.1",
+            "Obs 3.2",
+            "Application",
+        ):
+            assert heading in report_text
+
+    def test_no_failures(self, report_text):
+        assert "FAIL" not in report_text
+        assert "8/8 checks passed" in report_text
+
+    def test_is_markdown(self, report_text):
+        assert report_text.startswith("# Reproduction report")
+        assert "| D |" in report_text  # at least one table
+
+
+class TestReportCLI:
+    def test_cli_report_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        output = str(tmp_path / "report.md")
+        code = main(["report", "--trials", "1", "--output", output])
+        assert code == 0
+        with open(output) as handle:
+            assert "Reproduction report" in handle.read()

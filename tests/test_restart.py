@@ -1,0 +1,244 @@
+"""Module Restart — Theorem 3.1 and Lemmas 3.9-3.11."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.injection import random_configuration
+from repro.graphs.generators import (
+    complete_graph,
+    damaged_clique,
+    dumbbell,
+    path,
+    ring,
+    star,
+)
+from repro.model.configuration import Configuration
+from repro.model.execution import Execution
+from repro.model.scheduler import SynchronousScheduler
+from repro.model.signal import Signal
+from repro.tasks.restart import (
+    RESTART_EXIT,
+    IdleState,
+    RestartMixin,
+    RestartState,
+    StandaloneRestart,
+)
+
+
+class TestRestartRules:
+    """The three rules, probed directly on the mixin."""
+
+    @pytest.fixture
+    def module(self) -> RestartMixin:
+        return RestartMixin(diameter_bound=3)  # states σ(0..6)
+
+    def test_no_restart_sensed_returns_none(self, module):
+        assert module.restart_transition(IdleState(), Signal((IdleState(),))) is None
+
+    def test_rule1_mixed_neighborhood_enters(self, module):
+        # A main-state node sensing a σ-state is pulled to σ(0)...
+        result = module.restart_transition(
+            IdleState(), Signal((IdleState(), RestartState(4)))
+        )
+        assert result == RestartState(0)
+        # ...and a σ-node sensing a main state restarts to σ(0) too.
+        result = module.restart_transition(
+            RestartState(4), Signal((IdleState(), RestartState(4)))
+        )
+        assert result == RestartState(0)
+
+    def test_rule2_follows_minimum(self, module):
+        result = module.restart_transition(
+            RestartState(5),
+            Signal((RestartState(5), RestartState(2), RestartState(3))),
+        )
+        assert result == RestartState(3)  # i_min + 1 = 3
+
+    def test_rule2_can_move_backwards(self, module):
+        """Synchronizing down to the minimum may decrease the index."""
+        result = module.restart_transition(
+            RestartState(6), Signal((RestartState(6), RestartState(0)))
+        )
+        assert result == RestartState(1)
+
+    def test_rule3_exit(self, module):
+        result = module.restart_transition(
+            RestartState(6), Signal((RestartState(6),))
+        )
+        assert result is RESTART_EXIT
+
+    def test_rule2_at_exit_minus_one(self, module):
+        result = module.restart_transition(
+            RestartState(5), Signal((RestartState(5), RestartState(6)))
+        )
+        assert result == RestartState(6)
+
+    def test_state_count(self, module):
+        assert len(module.restart_states()) == 2 * 3 + 1
+
+
+def run_until_exit(topology, d, initial, max_steps=None):
+    """Run synchronously until the *full* concurrent exit: the step in
+    which all ``n`` nodes leave Restart together.
+
+    From adversarial initial configurations a node whose whole
+    neighborhood happens to sit at σ(2D) may exit early and alone —
+    Thm 3.1 allows this: rule 1 pulls it straight back in, and the
+    theorem's concurrent exit is the one this helper waits for.
+    Returns (full_exit_time, partial_exit_times).
+    """
+    alg = StandaloneRestart(d)
+    rng = np.random.default_rng(0)
+    execution = Execution(
+        topology, alg, initial, SynchronousScheduler(), rng=rng
+    )
+    budget = max_steps if max_steps is not None else 10 * d + 20
+    partial = []
+    for _ in range(budget):
+        record = execution.step()
+        exits = [
+            v
+            for v, old, new in record.changed
+            if isinstance(old, RestartState) and isinstance(new, IdleState)
+        ]
+        if len(exits) == topology.n:
+            return record.t + 1, partial
+        if exits:
+            partial.append(record.t + 1)
+    return None, partial
+
+
+class TestTheorem31:
+    """If some node is in a Restart state at t0 = 0, all nodes exit
+    Restart concurrently by t0 + O(D): the proof gives ≤ 2D+1 rounds
+    until σ(0) appears (or an exit happens) plus ≤ 4D for the σ(0)
+    wave — we assert the combined ≤ 6D + 4."""
+
+    @pytest.mark.parametrize(
+        "topology_factory,d",
+        [
+            (lambda: complete_graph(6), 1),
+            (lambda: star(8), 2),
+            (lambda: ring(8), 4),
+            (lambda: path(6), 5),
+            (lambda: dumbbell(4, 2), 4),
+        ],
+    )
+    @pytest.mark.parametrize("seed", range(6))
+    def test_concurrent_exit_within_bound(self, topology_factory, d, seed):
+        topology = topology_factory()
+        alg = StandaloneRestart(d)
+        rng = np.random.default_rng(seed)
+        initial = random_configuration(alg, topology, rng)
+        if not any(
+            isinstance(initial[v], RestartState) for v in topology.nodes
+        ):
+            initial = initial.replace({0: RestartState(0)})
+        exit_time, partial = run_until_exit(topology, d, initial)
+        assert exit_time is not None, "full concurrent exit never happened"
+        assert exit_time <= 6 * d + 4
+        # Early partial exits may only happen from garbage configs, and
+        # only before the full exit.
+        assert all(t < exit_time for t in partial)
+
+    def test_single_entry_pulls_everyone(self):
+        """One node at σ(0) in an otherwise idle path: the wave spreads
+        and everyone exits concurrently."""
+        topology = path(5)
+        d = 4
+        alg = StandaloneRestart(d)
+        initial = Configuration.uniform(topology, IdleState()).replace(
+            {0: RestartState(0)}
+        )
+        exit_time, partial = run_until_exit(topology, d, initial)
+        assert exit_time is not None
+        assert not partial
+
+    def test_all_at_exit_state_leave_immediately(self):
+        topology = complete_graph(4)
+        d = 2
+        alg = StandaloneRestart(d)
+        initial = Configuration.uniform(topology, alg.restart_exit_state())
+        exit_time, partial = run_until_exit(topology, d, initial)
+        assert exit_time == 1
+        assert not partial
+
+    def test_idle_graph_stays_idle(self):
+        topology = ring(5)
+        alg = StandaloneRestart(2)
+        rng = np.random.default_rng(0)
+        initial = Configuration.uniform(topology, IdleState())
+        execution = Execution(
+            topology, alg, initial, SynchronousScheduler(), rng=rng
+        )
+        execution.run(max_rounds=10)
+        assert execution.configuration == initial
+
+
+class TestLemma39:
+    """From q_t(v) = σ(0), nodes within distance d sit in {σ(0..d)} at
+    time t + d."""
+
+    def test_wavefront_bound(self):
+        topology = path(6)
+        d = 5
+        alg = StandaloneRestart(d)
+        rng = np.random.default_rng(0)
+        initial = Configuration.uniform(topology, IdleState()).replace(
+            {0: RestartState(0)}
+        )
+        execution = Execution(
+            topology, alg, initial, SynchronousScheduler(), rng=rng
+        )
+        for elapsed in range(1, d + 1):
+            execution.step()
+            for v in topology.nodes:
+                if topology.distance(0, v) <= elapsed:
+                    state = execution.configuration[v]
+                    assert isinstance(state, RestartState)
+                    assert state.index <= elapsed
+
+
+class TestLemma311:
+    """Once all nodes are in σ-states with indices <= D, after D more
+    rounds all nodes share a single σ-state."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_synchronization_to_single_state(self, seed):
+        topology = ring(6)
+        d = 3
+        alg = StandaloneRestart(d)
+        rng = np.random.default_rng(seed)
+        initial = Configuration.from_function(
+            topology,
+            lambda v: RestartState(int(rng.integers(d + 1))),
+        )
+        execution = Execution(
+            topology, alg, initial, SynchronousScheduler(), rng=rng
+        )
+        for _ in range(d):
+            execution.step()
+        states = {execution.configuration[v] for v in topology.nodes}
+        assert len(states) == 1
+        (state,) = states
+        assert isinstance(state, RestartState)
+
+
+class TestStandaloneAlgorithmContract:
+    def test_state_space(self):
+        alg = StandaloneRestart(3)
+        assert alg.state_space_size() == 8
+        assert len(alg.states()) == 8
+
+    def test_outputs(self):
+        alg = StandaloneRestart(2)
+        assert alg.is_output_state(IdleState())
+        assert not alg.is_output_state(RestartState(0))
+
+    def test_random_state_hits_both_kinds(self):
+        alg = StandaloneRestart(2)
+        rng = np.random.default_rng(0)
+        kinds = {type(alg.random_state(rng)) for _ in range(100)}
+        assert kinds == {IdleState, RestartState}

@@ -1,0 +1,110 @@
+"""Fairness properties of the scheduler battery.
+
+Every scheduler in the repository must be fair — each node activated
+infinitely often — or the model's guarantees are void.  These property
+tests bound the starvation window of each scheduler empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.scheduler import (
+    LaggardScheduler,
+    RandomSubsetScheduler,
+    RotatingScheduler,
+    RoundRobinScheduler,
+    ShuffledRoundRobinScheduler,
+    SynchronousScheduler,
+)
+
+
+def starvation_window(scheduler, n, steps, rng):
+    """The longest gap (in steps) between consecutive activations of
+    any node over a run of ``steps`` steps."""
+    nodes = tuple(range(n))
+    last_seen = {v: -1 for v in nodes}
+    worst = 0
+    for t in range(steps):
+        for v in scheduler.activations(t, nodes, rng):
+            worst = max(worst, t - last_seen[v])
+            last_seen[v] = t
+    # Account for nodes never activated at all.
+    for v in nodes:
+        if last_seen[v] == -1:
+            return steps + 1
+        worst = max(worst, steps - last_seen[v])
+    return worst
+
+
+class TestBoundedStarvation:
+    @pytest.mark.parametrize("n", [2, 5, 9])
+    def test_synchronous(self, n):
+        rng = np.random.default_rng(0)
+        assert starvation_window(SynchronousScheduler(), n, 50, rng) == 1
+
+    @pytest.mark.parametrize("n", [2, 5, 9])
+    def test_round_robin(self, n):
+        rng = np.random.default_rng(0)
+        assert starvation_window(RoundRobinScheduler(), n, 10 * n, rng) <= n
+
+    @pytest.mark.parametrize("n", [2, 5, 9])
+    def test_shuffled_round_robin(self, n):
+        rng = np.random.default_rng(0)
+        # Two adjacent shuffled rounds can put a node first then last:
+        # window <= 2n - 1.
+        assert (
+            starvation_window(ShuffledRoundRobinScheduler(), n, 20 * n, rng)
+            <= 2 * n - 1
+        )
+
+    @pytest.mark.parametrize("n", [2, 5, 9])
+    def test_rotating(self, n):
+        rng = np.random.default_rng(0)
+        scheduler = RotatingScheduler(tuple(range(n)), shift=1)
+        assert starvation_window(scheduler, n, 20 * n, rng) <= 2 * n
+
+    @pytest.mark.parametrize("period", [2, 4, 8])
+    def test_laggard_victim_window_is_period(self, period):
+        rng = np.random.default_rng(0)
+        scheduler = LaggardScheduler(victim=0, period=period)
+        window = starvation_window(scheduler, 5, 20 * period, rng)
+        assert window == period
+
+    @pytest.mark.parametrize("p", [0.2, 0.5, 0.9])
+    def test_random_subset_probabilistic_fairness(self, p):
+        rng = np.random.default_rng(0)
+        scheduler = RandomSubsetScheduler(p)
+        steps = 3000
+        window = starvation_window(scheduler, 6, steps, rng)
+        assert window <= steps  # everyone got activated
+        # Expected gap is 1/p; allow a generous whp margin.
+        assert window <= 40 / p
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(2, 8),
+    seed=st.integers(0, 500),
+)
+def test_property_every_scheduler_covers_all_nodes(n, seed):
+    rng = np.random.default_rng(seed)
+    schedulers = [
+        SynchronousScheduler(),
+        RoundRobinScheduler(),
+        ShuffledRoundRobinScheduler(),
+        RandomSubsetScheduler(0.5),
+        LaggardScheduler(victim=0, period=4),
+        RotatingScheduler(tuple(range(n)), shift=1),
+    ]
+    nodes = tuple(range(n))
+    for scheduler in schedulers:
+        seen = set()
+        for t in range(30 * n):
+            seen |= scheduler.activations(t, nodes, rng)
+            if seen == set(nodes):
+                break
+        assert seen == set(nodes), scheduler.name

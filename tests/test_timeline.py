@@ -1,0 +1,98 @@
+"""ASCII timeline rendering (repro.viz.timeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.algau import ThinUnison
+from repro.core.turns import able, faulty
+from repro.faults.injection import uniform_configuration
+from repro.graphs.generators import complete_graph, ring
+from repro.model.configuration import Configuration
+from repro.model.execution import Execution
+from repro.model.scheduler import SynchronousScheduler
+from repro.tasks.le import AlgLE
+from repro.tasks.restart import RestartState
+from repro.viz.timeline import (
+    clock_timeline,
+    output_timeline,
+    record_snapshots,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_uses_range(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_length_matches(self):
+        assert len(sparkline(list(range(17)))) == 17
+
+
+class TestClockTimeline:
+    def test_renders_rounds_and_nodes(self):
+        alg = ThinUnison(1)
+        topology = ring(4)
+        rng = np.random.default_rng(0)
+        execution = Execution(
+            topology,
+            alg,
+            Configuration.uniform(topology, able(1)),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+        snapshots = record_snapshots(execution, rounds=3)
+        text = clock_timeline(alg, snapshots)
+        lines = text.splitlines()
+        assert lines[0].startswith("round")
+        assert len(lines) == 2 + 4  # header + rule + 4 snapshots
+        assert "v3" in lines[0]
+
+    def test_faulty_turns_marked(self):
+        alg = ThinUnison(1)
+        topology = ring(4)
+        config = Configuration.uniform(topology, able(1)).replace(
+            {0: faulty(3)}
+        )
+        text = clock_timeline(alg, [config])
+        assert "^3" in text
+
+    def test_empty_snapshots(self):
+        alg = ThinUnison(1)
+        assert clock_timeline(alg, []) == ""
+
+
+class TestOutputTimeline:
+    def test_marks_outputs_undecided_and_restart(self):
+        alg = AlgLE(1)
+        topology = complete_graph(3)
+        base = uniform_configuration(alg, topology)
+        mixed = base.replace({1: RestartState(0)})
+        text = output_timeline(alg, [mixed])
+        # Node 0/2: main states with output 0; node 1: restart.
+        assert "0R0" in text
+
+    def test_timeline_over_execution(self):
+        alg = AlgLE(1)
+        topology = complete_graph(4)
+        rng = np.random.default_rng(1)
+        execution = Execution(
+            topology,
+            alg,
+            uniform_configuration(alg, topology),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+        snapshots = record_snapshots(execution, rounds=5)
+        text = output_timeline(alg, snapshots)
+        assert len(text.splitlines()) == 6

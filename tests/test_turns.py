@@ -1,0 +1,82 @@
+"""Tests for the turn (state) structure of AlgAU."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.levels import LevelSystem
+from repro.core.turns import (
+    Turn,
+    TurnSystem,
+    able,
+    faulty,
+    faulty_levels_sensed,
+    levels_sensed,
+)
+from repro.model.errors import ModelError
+from repro.model.signal import Signal
+
+
+@pytest.fixture
+def turns_d1() -> TurnSystem:
+    return TurnSystem(LevelSystem(1))
+
+
+class TestTurnBasics:
+    def test_able_and_faulty_constructors(self):
+        assert able(3) == Turn(3, False)
+        assert faulty(-2) == Turn(-2, True)
+
+    def test_string_notation(self):
+        assert str(able(4)) == "4"
+        assert str(faulty(4)) == "^4"
+        assert str(faulty(-4)) == "^-4"
+
+    def test_turns_hashable_and_comparable(self):
+        assert able(2) == able(2)
+        assert able(2) != faulty(2)
+        assert len({able(1), able(1), faulty(2)}) == 2
+
+
+class TestTurnSystem:
+    def test_counts(self, turns_d1):
+        # k = 5: able = 2k = 10, faulty = 2(k-1) = 8, total 18 = 12D + 6.
+        assert len(turns_d1.able_turns) == 10
+        assert len(turns_d1.faulty_turns) == 8
+        assert turns_d1.size() == 18
+
+    def test_size_formula_12d_plus_6(self):
+        for d in range(1, 9):
+            system = TurnSystem(LevelSystem(d))
+            assert system.size() == 12 * d + 6
+
+    def test_no_faulty_turn_at_level_one(self, turns_d1):
+        assert not turns_d1.is_turn(faulty(1))
+        assert not turns_d1.is_turn(faulty(-1))
+        assert not turns_d1.has_faulty(1)
+        assert turns_d1.has_faulty(2)
+
+    def test_require_turn_rejects_foreign_levels(self, turns_d1):
+        with pytest.raises(ModelError):
+            turns_d1.require_turn(able(6))
+        with pytest.raises(ModelError):
+            turns_d1.require_turn(faulty(-1))
+
+    def test_all_turns_is_union(self, turns_d1):
+        assert set(turns_d1.all_turns) == set(turns_d1.able_turns) | set(
+            turns_d1.faulty_turns
+        )
+
+
+class TestSignalHelpers:
+    def test_levels_sensed(self):
+        signal = Signal((able(3), faulty(3), able(-1)))
+        assert levels_sensed(signal) == {3, -1}
+
+    def test_faulty_levels_sensed(self):
+        signal = Signal((able(3), faulty(3), faulty(-2)))
+        assert faulty_levels_sensed(signal) == {3, -2}
+
+    def test_empty_faulty(self):
+        signal = Signal((able(1), able(2)))
+        assert faulty_levels_sensed(signal) == frozenset()
