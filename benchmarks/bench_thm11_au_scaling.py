@@ -26,6 +26,7 @@ from repro.model.scheduler import ShuffledRoundRobinScheduler
 DIAMETER_BOUNDS = (1, 2, 3, 4, 5)
 TRIALS = 6
 N = 14
+ENGINE = "array"  # the scaling sweeps default to the vectorized backend
 
 
 def kernel():
@@ -39,6 +40,7 @@ def kernel():
         ShuffledRoundRobinScheduler(),
         rng,
         max_rounds=100_000,
+        engine=ENGINE,
     )
     assert result.stabilized
     return result.rounds
@@ -46,7 +48,7 @@ def kernel():
 
 def test_thm11_au_scaling(benchmark):
     rows = au_scaling_experiment(
-        diameter_bounds=DIAMETER_BOUNDS, n=N, trials=TRIALS
+        diameter_bounds=DIAMETER_BOUNDS, n=N, trials=TRIALS, engine=ENGINE
     )
     slope = au_scaling_slope(rows)
 

@@ -1,10 +1,48 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Packaging metadata for the reproduction.
 
-All project metadata lives in ``pyproject.toml``; this file only exists
-so that ``pip install -e . --no-use-pep517`` works on offline machines
-whose setuptools cannot build PEP 660 editable wheels.
+Kept as a plain ``setup.py`` (rather than PEP 517/660 configuration) so
+that ``pip install -e . --no-use-pep517`` works on offline machines
+whose setuptools cannot build editable wheels.
 """
 
-from setuptools import setup
+import pathlib
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+VERSION = re.search(
+    r'^__version__ = "(.+?)"',
+    (pathlib.Path(__file__).parent / "src" / "repro" / "__init__.py").read_text(
+        encoding="utf-8"
+    ),
+    re.MULTILINE,
+).group(1)
+
+setup(
+    name="repro-thin-unison",
+    version=VERSION,
+    description=(
+        "Reproduction of Emek & Keren (PODC 2021): a thin self-stabilizing "
+        "asynchronous unison algorithm, with an object-model reference "
+        "engine and an array-backed vectorized engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "numpy>=1.22",
+        "networkx>=2.6",
+    ],
+    extras_require={
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

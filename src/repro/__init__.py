@@ -36,7 +36,9 @@ from repro.core.levels import LevelSystem
 from repro.core.turns import Turn, able, faulty
 from repro.graphs.topology import Topology, topology_from_edges
 from repro.model.algorithm import Algorithm, Distribution
+from repro.model.array_engine import ArrayExecution
 from repro.model.configuration import Configuration
+from repro.model.engine import create_execution
 from repro.model.execution import Execution, Monitor, RunResult
 from repro.model.scheduler import (
     RandomSubsetScheduler,
@@ -51,6 +53,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Algorithm",
+    "ArrayExecution",
     "Configuration",
     "CyclicClock",
     "Distribution",
@@ -69,6 +72,7 @@ __all__ = [
     "TransitionType",
     "Turn",
     "able",
+    "create_execution",
     "faulty",
     "topology_from_edges",
     "__version__",

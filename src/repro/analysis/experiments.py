@@ -21,7 +21,6 @@ from repro.analysis.stabilization import (
 )
 from repro.analysis.stats import Summary, loglog_slope, ratio_to_log
 from repro.core.algau import ThinUnison
-from repro.core.predicates import is_good_graph
 from repro.faults.injection import (
     TransientFaultInjector,
     au_adversarial_suite,
@@ -34,6 +33,7 @@ from repro.graphs.generators import (
 )
 from repro.graphs.topology import Topology
 from repro.model.configuration import Configuration
+from repro.model.engine import create_execution
 from repro.model.execution import Execution
 from repro.model.scheduler import (
     Scheduler,
@@ -77,12 +77,15 @@ def au_scaling_experiment(
     trials: int = 10,
     scheduler_factory: Callable[[], Scheduler] = ShuffledRoundRobinScheduler,
     seed: int = 0,
+    engine: str = "object",
 ) -> List[SweepRow]:
     """Stabilization rounds and exact state counts of AlgAU as ``D``
     grows (paper: states ``= 12D + 6``, rounds ``= O(D^3)``).
 
     Each trial takes the worst adversarial start from the named suite
-    (random / sign-split / clock-tear / all-faulty).
+    (random / sign-split / clock-tear / all-faulty).  ``engine`` picks
+    the execution backend; AlgAU is deterministic, so the rows are
+    engine-independent.
     """
     rows: List[SweepRow] = []
     for d in diameter_bounds:
@@ -102,6 +105,7 @@ def au_scaling_experiment(
                     scheduler_factory(),
                     rng,
                     max_rounds=200 * (3 * d + 2) ** 3,
+                    engine=engine,
                 )
                 assert result.stabilized, (d, name, result.detail)
                 per_start.append(result.rounds)
@@ -403,6 +407,7 @@ def au_fault_recovery_experiment(
     fraction: float = 0.3,
     trials: int = 10,
     seed: int = 0,
+    engine: str = "object",
 ) -> RecoveryRow:
     """Inject ``bursts`` transient fault bursts into a stabilized AlgAU
     run and measure re-stabilization (always succeeds: Thm 1.1)."""
@@ -412,17 +417,16 @@ def au_fault_recovery_experiment(
         rng = np.random.default_rng(seed + trial)
         topology = _bounded_topology(n, diameter_bound, rng)
         algorithm = ThinUnison(diameter_bound)
-        execution = Execution(
+        execution = create_execution(
             topology,
             algorithm,
             random_configuration(algorithm, topology, rng),
             ShuffledRoundRobinScheduler(),
             rng=rng,
+            engine=engine,
         )
-        execution.run(
-            max_rounds=10_000,
-            until=lambda e: is_good_graph(algorithm, e.configuration),
-        )
+        good = lambda e: e.graph_is_good()
+        execution.run(max_rounds=10_000, until=good)
         ok = True
         for burst in range(bursts):
             count = max(1, int(np.ceil(fraction * topology.n)))
@@ -434,7 +438,7 @@ def au_fault_recovery_experiment(
             start = execution.completed_rounds
             result = execution.run(
                 max_rounds=execution.completed_rounds + 10_000,
-                until=lambda e: is_good_graph(algorithm, e.configuration),
+                until=good,
             )
             if not result.stopped_by_predicate:
                 ok = False

@@ -22,10 +22,10 @@ from typing import Callable, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.algau import ThinUnison
-from repro.core.predicates import is_good_graph
 from repro.graphs.topology import Topology
 from repro.model.algorithm import Algorithm
 from repro.model.configuration import Configuration
+from repro.model.engine import create_execution
 from repro.model.errors import StabilizationError
 from repro.model.execution import Execution
 from repro.model.scheduler import Scheduler
@@ -50,17 +50,23 @@ def measure_au_stabilization(
     rng: np.random.Generator,
     max_rounds: int,
     confirm_rounds: int = 0,
+    engine: str = "object",
 ) -> StabilizationResult:
     """Rounds until the graph becomes good (AlgAU stabilization).
 
     ``confirm_rounds`` optionally re-checks closure (Lem 2.10 proves it,
     so tests use it as a tripwire, experiments leave it at 0).
+    ``engine`` selects the execution backend (``"object"`` or
+    ``"array"``); since AlgAU is deterministic the measured trajectory —
+    and therefore the reported rounds — is identical either way, but the
+    array engine also checks goodness vectorized, making large-``n``
+    sweeps practical.
     """
-    execution = Execution(topology, algorithm, initial, scheduler, rng=rng)
-    result = execution.run(
-        max_rounds=max_rounds,
-        until=lambda e: is_good_graph(algorithm, e.configuration),
+    execution = create_execution(
+        topology, algorithm, initial, scheduler, rng=rng, engine=engine
     )
+    good = lambda e: e.graph_is_good()
+    result = execution.run(max_rounds=max_rounds, until=good)
     if not result.stopped_by_predicate:
         return StabilizationResult(
             False, result.rounds, result.steps, "good graph not reached"
@@ -72,7 +78,7 @@ def measure_au_stabilization(
     )
     if confirm_rounds:
         execution.run_rounds(confirm_rounds)
-        if not is_good_graph(algorithm, execution.configuration):
+        if not good(execution):
             return StabilizationResult(
                 False,
                 stabilization_round,

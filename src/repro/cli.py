@@ -99,28 +99,29 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_au(args: argparse.Namespace) -> int:
-    from repro.analysis.monitors import GoodGraphMonitor
     from repro.core.algau import ThinUnison
-    from repro.core.predicates import good_nodes, is_good_graph
+    from repro.core.predicates import good_nodes
     from repro.faults.injection import au_adversarial_suite
     from repro.graphs.generators import bounded_diameter_family
-    from repro.model.execution import Execution
+    from repro.model.engine import create_execution
     from repro.model.scheduler import ShuffledRoundRobinScheduler
 
     rng = np.random.default_rng(args.seed)
     topology = bounded_diameter_family(args.diameter_bound, args.nodes, rng)
     algorithm = ThinUnison(args.diameter_bound)
     initial = au_adversarial_suite(algorithm, topology, rng)[args.start]
-    execution = Execution(
+    execution = create_execution(
         topology,
         algorithm,
         initial,
         ShuffledRoundRobinScheduler(),
         rng=rng,
+        engine=args.engine,
     )
     print(f"{topology.name}: n={topology.n} D={args.diameter_bound} "
-          f"start={args.start} states={algorithm.state_space_size()}")
-    while not is_good_graph(algorithm, execution.configuration):
+          f"start={args.start} states={algorithm.state_space_size()} "
+          f"engine={args.engine}")
+    while not execution.graph_is_good():
         execution.run_rounds(1)
         good = len(good_nodes(algorithm, execution.configuration))
         print(
@@ -139,7 +140,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.analysis.tables import render_table
 
     if args.which == "au":
-        rows = experiments.au_scaling_experiment(trials=args.trials)
+        rows = experiments.au_scaling_experiment(
+            trials=args.trials, engine=args.engine
+        )
         print(
             render_table(
                 ["D", "states", "12D+6", "rounds", "k^3"],
@@ -244,11 +247,24 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["random", "sign-split", "clock-tear", "all-faulty"],
         default="sign-split",
     )
+    p.add_argument(
+        "--engine",
+        choices=["object", "array"],
+        default="object",
+        help="execution backend: readable object model or vectorized arrays",
+    )
     p.set_defaults(fn=_cmd_au)
 
     p = sub.add_parser("experiment", help="run a scaling sweep")
     p.add_argument("which", choices=["au", "le", "mis", "restart"])
     p.add_argument("--trials", type=int, default=5)
+    p.add_argument(
+        "--engine",
+        choices=["object", "array"],
+        default="object",
+        help="execution backend for the AlgAU sweep (le/mis/restart "
+        "always use the object engine)",
+    )
     p.set_defaults(fn=_cmd_experiment)
 
     p = sub.add_parser(

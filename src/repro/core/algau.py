@@ -82,6 +82,8 @@ class ThinUnison(Algorithm[Turn, int]):
         self.cautious_af = cautious_af
         suffix = "" if cautious_af else "-no-cautious-af"
         self.name = f"AlgAU(D={diameter_bound}){suffix}"
+        self._encoding = None
+        self._vector_kernel = None
 
     # ------------------------------------------------------------------
     # The 4-tuple.
@@ -165,6 +167,48 @@ class ThinUnison(Algorithm[Turn, int]):
             return faulty(state.level)
         # FA
         return able(self.levels.outwards(state.level, -1))
+
+    # ------------------------------------------------------------------
+    # Vectorized backend (the array engine's view of δ).
+    # ------------------------------------------------------------------
+
+    @property
+    def encoding(self):
+        """The dense turn :class:`~repro.core.encoding.TurnEncoding`
+        shared by all array-engine structures (built lazily, cached)."""
+        if self._encoding is None:
+            from repro.core.encoding import TurnEncoding
+
+            self._encoding = TurnEncoding(self.turns)
+        return self._encoding
+
+    def vector_kernel(self):
+        """The cached :class:`~repro.core.algau_vec.VectorKernel`
+        holding the precomputed Table 1 masks for this instance."""
+        if self._vector_kernel is None:
+            from repro.core.algau_vec import VectorKernel
+
+            self._vector_kernel = VectorKernel(self)
+        return self._vector_kernel
+
+    def delta_batch(
+        self,
+        codes: np.ndarray,
+        presence: np.ndarray,
+        active: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized ``δ`` over a whole configuration.
+
+        ``codes`` is the dense code vector, ``presence`` the ``(n, |Q|)``
+        boolean signal matrix (see
+        :meth:`~repro.core.algau_vec.VectorKernel.signal_presence`), and
+        ``active`` an optional boolean activation mask — inactive nodes
+        keep their code, realizing an arbitrary scheduler's step.
+        """
+        new_codes = self.vector_kernel().delta_batch(codes, presence)
+        if active is None:
+            return new_codes
+        return np.where(active, new_codes, codes)
 
     # ------------------------------------------------------------------
     # Auxiliary contract.

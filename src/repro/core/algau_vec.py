@@ -1,0 +1,221 @@
+"""Vectorized AlgAU transition kernel (Table 1 as boolean masks).
+
+This module is the computational core of the array engine: it evaluates
+the AA/AF/FA transition conditions of
+:class:`~repro.core.algau.ThinUnison` for *all* nodes of a configuration
+at once, operating on the dense turn codes of
+:class:`~repro.core.encoding.TurnEncoding` and the CSR neighborhoods of
+:class:`~repro.graphs.csr.CSRAdjacency`.
+
+Representation
+--------------
+A configuration is a code vector ``codes`` of shape ``(n,)``.  The
+node-local view (the set-broadcast signal) is the boolean *presence
+matrix* ``P`` of shape ``(n, |Q|)`` with ``P[v, q] = 1`` iff some node
+in ``N+(v)`` holds code ``q`` — exactly the paper's binary signal
+vector ``S_v ∈ {0, 1}^Q``, materialized for every node by a single
+scatter over the CSR arrays.
+
+Because able codes coincide with clock values (see
+:mod:`repro.core.encoding`), the sensed level set ``Λ_v`` becomes the
+boolean vector ``sensed_clock[v] ∈ {0, 1}^{2k}``: the able half of the
+presence row OR-ed with the faulty half scattered onto its levels'
+clocks.  Every Table 1 condition is then a per-code row mask applied to
+``sensed_clock``:
+
+* **AA** (``v`` good and ``Λ_v ⊆ {ℓ, φ+1(ℓ)}``) — no sensed clock
+  outside the two-clock window, no faulty turn sensed;
+* **AF** (``v`` not protected, or senses ``ψ-1(ℓ)̂``) — some sensed
+  clock outside the three-clock adjacency window, or the precomputed
+  inward-faulty code present (the ``cautious_af`` ablation simply drops
+  the second disjunct);
+* **FA** (``Λ_v ∩ Ψ>(ℓ) = ∅``) — no sensed clock in the strictly
+  outwards mask of the node's level.
+
+All masks are ``(|Q|, 2k)`` tables built once per algorithm instance;
+each step is a handful of gathers and reductions, giving the
+``O(D)``-state promise of Thm 1.1 a simulator whose per-step cost is a
+few numpy passes over ``(n, 2k)`` arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.algau import ThinUnison
+    from repro.graphs.csr import CSRAdjacency
+
+
+class VectorKernel:
+    """Precomputed lookup tables + the batched transition function for
+    one :class:`ThinUnison` instance."""
+
+    def __init__(self, algorithm: "ThinUnison"):
+        self.algorithm = algorithm
+        self.cautious_af = algorithm.cautious_af
+        encoding = algorithm.encoding
+        self.encoding = encoding
+        levels = algorithm.levels
+        k2 = encoding.num_clocks  # 2k
+        size = encoding.size  # 4k - 2
+        self.num_clocks = k2
+        self.size = size
+
+        clock = encoding.clock_of_code
+        level = encoding.level_of_code
+        is_faulty = encoding.is_faulty_code
+        faulty_of_clock = encoding.faulty_code_of_clock
+
+        # Successor tables (identity where a transition type does not
+        # apply; the fire masks guarantee they are only read where valid).
+        codes = np.arange(size, dtype=np.int64)
+        self.aa_succ = np.where(is_faulty, codes, (clock + 1) % k2)
+        self.fa_succ = codes.copy()
+        inward_level = np.where(
+            np.abs(level) >= 2, np.sign(level) * (np.abs(level) - 1), level
+        )
+        inward_clock = np.array(
+            [levels.clock_value(int(l)) for l in inward_level], dtype=np.int64
+        )
+        self.fa_succ[is_faulty] = inward_clock[is_faulty]
+        # Able code -> its faulty twin (only defined where |ℓ| >= 2).
+        self.af_code = np.where(
+            ~is_faulty & (faulty_of_clock[clock] >= 0),
+            faulty_of_clock[clock],
+            codes,
+        )
+        self.has_faulty_twin = ~is_faulty & (faulty_of_clock[clock] >= 0)
+        # Able code -> code of ψ-1(ℓ)̂ (the inward faulty turn sensed by
+        # the cautious AF trigger), or -1 where that turn does not exist.
+        self.af_sense_code = np.where(
+            ~is_faulty & (np.abs(level) >= 2),
+            faulty_of_clock[inward_clock],
+            -1,
+        )
+        self.is_faulty_code = is_faulty
+
+        # (|Q|, 2k) clock masks.
+        clock_grid = np.arange(k2, dtype=np.int64)[None, :]
+        own = clock[:, None]
+        cyc = np.minimum((clock_grid - own) % k2, (own - clock_grid) % k2)
+        self.adjacent_mask = cyc <= 1  # {φ-1(ℓ), ℓ, φ+1(ℓ)}
+        self.aa_mask = ((clock_grid - own) % k2) <= 1  # {ℓ, φ+1(ℓ)}
+        level_of_clock = np.array(
+            [levels.level_of_clock(c) for c in range(k2)], dtype=np.int64
+        )
+        own_level = level[:, None]
+        grid_level = level_of_clock[None, :]
+        self.outwards_mask = (np.sign(grid_level) == np.sign(own_level)) & (
+            np.abs(grid_level) > np.abs(own_level)
+        )  # Ψ>(ℓ) in clock space
+
+    # ------------------------------------------------------------------
+    # Signals.
+    # ------------------------------------------------------------------
+
+    def signal_presence(
+        self,
+        codes: np.ndarray,
+        csr: "CSRAdjacency",
+        rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """The boolean presence matrix ``S`` of the configuration.
+
+        Without ``rows``: shape ``(n, |Q|)``, one row per node.  With
+        ``rows`` (sorted node ids): shape ``(len(rows), |Q|)``, only
+        those nodes' signals — the sparse-activation fast path.
+        """
+        if rows is None:
+            presence = np.zeros((len(codes), self.size), dtype=bool)
+            presence[csr.row_index, codes[csr.indices]] = True
+            return presence
+        starts = csr.indptr[rows]
+        counts = csr.indptr[rows + 1] - starts
+        total = int(counts.sum())
+        out_row = np.repeat(np.arange(len(rows), dtype=np.int64), counts)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        flat = np.repeat(starts, counts) + offsets
+        presence = np.zeros((len(rows), self.size), dtype=bool)
+        presence[out_row, codes[csr.indices[flat]]] = True
+        return presence
+
+    def sensed_clocks(self, presence: np.ndarray) -> np.ndarray:
+        """``Λ`` per row: the ``(rows, 2k)`` boolean matrix of sensed
+        levels (clock-indexed), merging able and faulty codes."""
+        k2 = self.num_clocks
+        sensed = presence[:, :k2].copy()
+        faulty_clocks = self.encoding.clock_of_code[k2:]
+        # Each faulty code maps to a distinct clock, so fancy |= is safe.
+        sensed[:, faulty_clocks] |= presence[:, k2:]
+        return sensed
+
+    # ------------------------------------------------------------------
+    # The batched transition function.
+    # ------------------------------------------------------------------
+
+    def delta_batch(
+        self, codes: np.ndarray, presence: np.ndarray
+    ) -> np.ndarray:
+        """Next codes for a batch of activated nodes.
+
+        ``codes[i]`` is the state of the ``i``-th batch node and
+        ``presence[i]`` its signal row; every batch node is considered
+        activated (callers slice out the active rows — see
+        :meth:`ThinUnison.delta_batch` for the masked variant).  Returns
+        a fresh array; ``codes`` is not modified.
+        """
+        k2 = self.num_clocks
+        sensed = self.sensed_clocks(presence)
+
+        any_faulty = presence[:, k2:].any(axis=1)
+        not_protected = (sensed & ~self.adjacent_mask[codes]).any(axis=1)
+        outside_aa = (sensed & ~self.aa_mask[codes]).any(axis=1)
+        is_able = ~self.is_faulty_code[codes]
+
+        # Table 1, type AA: v good and Λ ⊆ {ℓ, φ+1(ℓ)}.
+        aa_fire = is_able & ~not_protected & ~any_faulty & ~outside_aa
+
+        # Table 1, type AF: able with a faulty twin; not protected, or
+        # (cautious) sensing the inward faulty turn.  AA takes
+        # precedence, mirroring ThinUnison.classify.
+        sense_codes = self.af_sense_code[codes]
+        af_sense = np.zeros(len(codes), dtype=bool)
+        defined = sense_codes >= 0
+        af_sense[defined] = presence[
+            np.nonzero(defined)[0], sense_codes[defined]
+        ]
+        af_condition = not_protected
+        if self.cautious_af:
+            af_condition = af_condition | af_sense
+        af_fire = (
+            is_able & ~aa_fire & self.has_faulty_twin[codes] & af_condition
+        )
+
+        # Table 1, type FA: faulty with Λ ∩ Ψ>(ℓ) = ∅.
+        fa_fire = ~is_able & ~(
+            (sensed & self.outwards_mask[codes]).any(axis=1)
+        )
+
+        new_codes = codes.copy()
+        new_codes[aa_fire] = self.aa_succ[codes[aa_fire]]
+        new_codes[af_fire] = self.af_code[codes[af_fire]]
+        new_codes[fa_fire] = self.fa_succ[codes[fa_fire]]
+        return new_codes
+
+    # ------------------------------------------------------------------
+    # Vectorized analysis predicates.
+    # ------------------------------------------------------------------
+
+    def is_good(self, codes: np.ndarray, csr: "CSRAdjacency") -> bool:
+        """Vectorized ``is_good_graph``: every node able and every edge
+        protected (endpoint clocks cyclically adjacent)."""
+        k2 = self.num_clocks
+        if (codes >= k2).any():
+            return False
+        diff = (codes[csr.indices] - codes[csr.row_index]) % k2
+        return bool(((diff <= 1) | (diff == k2 - 1)).all())

@@ -1,0 +1,74 @@
+"""CSR (compressed sparse row) adjacency for the array engine.
+
+The vectorized backend needs the *inclusive* neighborhoods
+``N+(v) = N(v) ∪ {v}`` of every node as flat integer arrays so that the
+per-step signal computation is a single scatter over contiguous memory.
+:class:`CSRAdjacency` stores the standard two-array layout:
+
+* ``indptr`` — shape ``(n + 1,)``; the inclusive neighborhood of node
+  ``v`` occupies ``indices[indptr[v]:indptr[v + 1]]``;
+* ``indices`` — shape ``(n + 2m,)``; each slice starts with ``v``
+  itself followed by its open neighborhood in ascending order (the same
+  order as :meth:`Topology.inclusive_neighbors`).
+
+Instances are immutable and cached on the owning
+:class:`~repro.graphs.topology.Topology` (see
+:meth:`Topology.inclusive_csr`), so the construction cost is paid once
+per topology regardless of how many executions run on it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graphs.topology import Topology
+
+
+class CSRAdjacency:
+    """Inclusive-neighborhood adjacency in CSR form."""
+
+    __slots__ = ("indptr", "indices", "row_index")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        self.indptr = indptr
+        self.indices = indices
+        # Row id of every entry of ``indices`` — precomputed because the
+        # presence scatter needs it on every step.
+        self.row_index = np.repeat(
+            np.arange(len(indptr) - 1, dtype=np.int64), np.diff(indptr)
+        )
+
+    @property
+    def n(self) -> int:
+        return len(self.indptr) - 1
+
+    def degrees(self) -> np.ndarray:
+        """Inclusive degrees ``|N+(v)| = deg(v) + 1``."""
+        return np.diff(self.indptr)
+
+    def neighborhood(self, v: int) -> np.ndarray:
+        """The inclusive neighborhood slice of node ``v``."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def __repr__(self) -> str:
+        return f"<CSRAdjacency n={self.n} nnz={len(self.indices)}>"
+
+
+def build_inclusive_csr(topology: "Topology") -> CSRAdjacency:
+    """Build the inclusive-neighborhood CSR arrays of ``topology``."""
+    counts = np.fromiter(
+        (len(topology.inclusive_neighbors(v)) for v in topology.nodes),
+        dtype=np.int64,
+        count=topology.n,
+    )
+    indptr = np.zeros(topology.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = np.fromiter(
+        (u for v in topology.nodes for u in topology.inclusive_neighbors(v)),
+        dtype=np.int64,
+        count=int(indptr[-1]),
+    )
+    return CSRAdjacency(indptr, indices)

@@ -38,6 +38,7 @@ class Topology:
         "_inclusive",
         "_edges",
         "_diameter",
+        "_csr",
     )
 
     def __init__(self, graph: nx.Graph, name: str = "graph"):
@@ -66,6 +67,7 @@ class Topology:
             (min(u, v), max(u, v)) for u, v in relabeled.edges()
         )
         self._diameter: Optional[int] = None
+        self._csr = None
 
     # ------------------------------------------------------------------
     # Basic structure.
@@ -109,6 +111,15 @@ class Topology:
 
     def degree(self, v: int) -> int:
         return len(self._neighbors[v])
+
+    def inclusive_csr(self):
+        """The cached CSR form of the inclusive neighborhoods (built on
+        first use; see :mod:`repro.graphs.csr` for the layout)."""
+        if self._csr is None:
+            from repro.graphs.csr import build_inclusive_csr
+
+            self._csr = build_inclusive_csr(self)
+        return self._csr
 
     def has_edge(self, u: int, v: int) -> bool:
         return self._graph.has_edge(u, v)

@@ -24,6 +24,8 @@ from repro.model.errors import (
     StabilizationError,
     TopologyError,
 )
+from repro.model.array_engine import ArrayExecution, supports_array_engine
+from repro.model.engine import ExecutionBase, create_execution
 from repro.model.execution import Execution, Monitor, RunResult, StepRecord
 from repro.model.rounds import RoundTracker
 from repro.model.scheduler import (
@@ -41,10 +43,12 @@ from repro.model.signal import Signal
 
 __all__ = [
     "Algorithm",
+    "ArrayExecution",
     "Configuration",
     "ConfigurationError",
     "Distribution",
     "Execution",
+    "ExecutionBase",
     "ExplicitScheduler",
     "ExperimentError",
     "GreedyAdversary",
@@ -66,7 +70,9 @@ __all__ = [
     "SynchronousScheduler",
     "TopologyError",
     "TransitionResult",
+    "create_execution",
     "default_schedulers",
+    "supports_array_engine",
     "greedy_au_adversary",
     "product_distribution",
 ]

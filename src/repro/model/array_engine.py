@@ -1,0 +1,181 @@
+"""The array-backed vectorized execution engine.
+
+:class:`ArrayExecution` is the scale backend of the simulator: it keeps
+the configuration as a dense integer code vector (see
+:mod:`repro.core.encoding`), computes every activated node's signal at
+once as a boolean presence matrix scattered over the topology's CSR
+neighborhoods (:mod:`repro.graphs.csr`), and applies the batched
+Table 1 kernel of :mod:`repro.core.algau_vec` — turning one step into a
+handful of numpy passes instead of ``|A_t|`` Python-level transition
+evaluations.
+
+The engine implements the exact contract of
+:class:`~repro.model.engine.ExecutionBase`:
+
+* identical ``StepRecord`` streams (activation sets, change tuples with
+  real :class:`~repro.core.turns.Turn` objects, round completion flags)
+  for the same seeds — verified step for step by the differential test
+  suite;
+* monitors and interventions see a real
+  :class:`~repro.model.configuration.Configuration` via the
+  :attr:`configuration` property, which is decoded lazily and cached
+  until the codes change, so monitor-free runs never materialize Turn
+  objects except for the changed nodes of each record;
+* any scheduler works: the activation set is translated to an index
+  array, and sparse activations take a fast path that only gathers the
+  activated rows of the presence matrix.
+
+Requirements: the algorithm must expose the vectorized backend
+(``encoding``, ``vector_kernel()``, ``delta_batch``) and be
+deterministic — currently :class:`~repro.core.algau.ThinUnison` (both
+the paper's variant and the ``cautious_af=False`` ablation).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.graphs.topology import Topology
+from repro.model.algorithm import Algorithm
+from repro.model.configuration import Configuration
+from repro.model.engine import ExecutionBase, Intervention, Monitor
+from repro.model.errors import ModelError
+from repro.model.scheduler import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids
+    # the repro.core <-> repro.model import cycle at package init)
+    from repro.core.turns import Turn
+
+
+def supports_array_engine(algorithm: Algorithm) -> bool:
+    """Whether ``algorithm`` exposes the vectorized backend."""
+    return (
+        hasattr(algorithm, "encoding")
+        and hasattr(algorithm, "vector_kernel")
+        and hasattr(algorithm, "delta_batch")
+    )
+
+
+class ArrayExecution(ExecutionBase["Turn"]):
+    """Vectorized engine: dense codes + CSR signals + batched δ."""
+
+    #: Below this activated fraction the engine gathers only the
+    #: activated rows of the presence matrix instead of scattering the
+    #: full ``(n, |Q|)`` signal.
+    SPARSE_ACTIVATION_FRACTION = 0.5
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: Algorithm,
+        initial_configuration: Configuration,
+        scheduler: Scheduler,
+        rng: Optional[np.random.Generator] = None,
+        monitors: Tuple[Monitor, ...] = (),
+        intervention: Optional[Intervention] = None,
+    ):
+        if not supports_array_engine(algorithm):
+            raise ModelError(
+                f"{algorithm.name} does not expose the vectorized backend "
+                "(encoding/vector_kernel/delta_batch); use the object engine"
+            )
+        self._encoding = algorithm.encoding
+        self._kernel = algorithm.vector_kernel()
+        self._csr = topology.inclusive_csr()
+        super().__init__(
+            topology,
+            algorithm,
+            initial_configuration,
+            scheduler,
+            rng=rng,
+            monitors=monitors,
+            intervention=intervention,
+        )
+
+    # ------------------------------------------------------------------
+    # Engine hooks.
+    # ------------------------------------------------------------------
+
+    def _load_configuration(self, configuration: Configuration) -> None:
+        self._codes = self._encoding.encode_configuration(configuration)
+        self._config_cache: Optional[Configuration] = configuration
+
+    @property
+    def configuration(self) -> Configuration:
+        """The current configuration, decoded lazily and cached until
+        the next state change."""
+        if self._config_cache is None:
+            self._config_cache = self._encoding.decode_configuration(
+                self.topology, self._codes
+            )
+        return self._config_cache
+
+    def state_of(self, v: int) -> Turn:
+        return self._encoding.turn_table[int(self._codes[v])]
+
+    @property
+    def codes(self) -> np.ndarray:
+        """A read-only snapshot of the current code vector.
+
+        The engine rebinds its internal array on every step, so the
+        returned view is *not* updated by subsequent steps — re-read
+        the property to observe new state."""
+        view = self._codes.view()
+        view.flags.writeable = False
+        return view
+
+    def _apply(
+        self, activated: FrozenSet[int]
+    ) -> Tuple[Tuple[int, Turn, Turn], ...]:
+        codes = self._codes
+        n = len(codes)
+        kernel = self._kernel
+        if len(activated) == n:
+            presence = kernel.signal_presence(codes, self._csr)
+            new_active = kernel.delta_batch(codes, presence)
+            rows = None
+        else:
+            rows = np.fromiter(
+                activated, dtype=np.int64, count=len(activated)
+            )
+            rows.sort()
+            if len(rows) <= self.SPARSE_ACTIVATION_FRACTION * n:
+                presence = kernel.signal_presence(codes, self._csr, rows=rows)
+            else:
+                presence = kernel.signal_presence(codes, self._csr)[rows]
+            new_active = kernel.delta_batch(codes[rows], presence)
+
+        if rows is None:
+            diff = np.nonzero(new_active != codes)[0]
+            new_diff = new_active[diff]
+        else:
+            moved = new_active != codes[rows]
+            diff = rows[moved]
+            new_diff = new_active[moved]
+        if diff.size == 0:
+            return ()
+        table = self._encoding.turn_table
+        changed = tuple(
+            zip(
+                diff.tolist(),
+                [table[c] for c in codes[diff].tolist()],
+                [table[c] for c in new_diff.tolist()],
+            )
+        )
+        new_codes = codes.copy()
+        new_codes[diff] = new_diff
+        self._codes = new_codes
+        self._config_cache = None
+        return changed
+
+    # ------------------------------------------------------------------
+    # Vectorized analysis fast paths.
+    # ------------------------------------------------------------------
+
+    def graph_is_good(self) -> bool:
+        """Vectorized stabilization predicate: equivalent to
+        ``is_good_graph(algorithm, execution.configuration)`` without
+        decoding the configuration."""
+        return self._kernel.is_good(self._codes, self._csr)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generic, Iterable, Iterator, Mapping, Tuple, TypeVar
+from typing import Callable, Dict, Generic, Iterator, Mapping, Tuple, TypeVar
 
 from repro.graphs.topology import Topology
 from repro.model.errors import ConfigurationError
@@ -16,20 +16,28 @@ class Configuration(Generic[Q]):
 
     The class also computes the set-broadcast signals the model derives
     from a configuration: :meth:`signal` for a single node,
-    :meth:`signals` for all nodes at once.
+    :meth:`signals` for all nodes at once.  Because configurations are
+    immutable, signals are memoized on first computation; functional
+    updates (:meth:`replace`) forward the memoized signals of every node
+    whose inclusive neighborhood is untouched by the update, so sparse
+    schedulers (round-robin and friends) pay only for the signals that
+    actually changed.
     """
 
-    __slots__ = ("_topology", "_states")
+    __slots__ = ("_topology", "_states", "_signals")
 
     def __init__(self, topology: Topology, states: Mapping[int, Q]):
-        missing = [v for v in topology.nodes if v not in states]
+        nodes = topology.nodes
+        known = set(nodes)
+        missing = [v for v in nodes if v not in states]
         if missing:
             raise ConfigurationError(f"configuration misses nodes {missing}")
-        extra = [v for v in states if v not in set(topology.nodes)]
+        extra = [v for v in states if v not in known]
         if extra:
             raise ConfigurationError(f"configuration has unknown nodes {extra}")
         self._topology = topology
-        self._states: Tuple[Q, ...] = tuple(states[v] for v in topology.nodes)
+        self._states: Tuple[Q, ...] = tuple(states[v] for v in nodes)
+        self._signals: Dict[int, Signal[Q]] = {}
 
     # ------------------------------------------------------------------
     # Constructors.
@@ -45,6 +53,19 @@ class Configuration(Generic[Q]):
         cls, topology: Topology, fn: Callable[[int], Q]
     ) -> "Configuration[Q]":
         return cls(topology, {v: fn(v) for v in topology.nodes})
+
+    @classmethod
+    def _from_state_tuple(
+        cls, topology: Topology, states: Tuple[Q, ...]
+    ) -> "Configuration[Q]":
+        """Unvalidated fast constructor for internal callers that already
+        hold a correctly ordered state tuple (``replace``, the array
+        engine's decoder)."""
+        new = object.__new__(cls)
+        new._topology = topology
+        new._states = states
+        new._signals = {}
+        return new
 
     # ------------------------------------------------------------------
     # Accessors.
@@ -73,20 +94,31 @@ class Configuration(Generic[Q]):
     # ------------------------------------------------------------------
 
     def signal(self, v: int) -> Signal[Q]:
-        """The signal of node ``v`` under this configuration."""
-        return Signal(self._states[u] for u in self._topology.inclusive_neighbors(v))
+        """The signal of node ``v`` under this configuration (memoized)."""
+        cached = self._signals.get(v)
+        if cached is None:
+            cached = Signal(
+                self._states[u] for u in self._topology.inclusive_neighbors(v)
+            )
+            self._signals[v] = cached
+        return cached
 
     def signals(self) -> Dict[int, Signal[Q]]:
-        """Signals of every node (computed fresh; configurations are
-        immutable, so callers may cache)."""
-        return {v: self.signal(v) for v in self._topology.nodes}
+        """Signals of every node (memoized; the returned dict is a copy
+        and may be mutated by the caller)."""
+        signal = self.signal
+        return {v: signal(v) for v in self._topology.nodes}
 
     # ------------------------------------------------------------------
     # Updates (functional).
     # ------------------------------------------------------------------
 
     def replace(self, updates: Mapping[int, Q]) -> "Configuration[Q]":
-        """A new configuration with ``updates`` applied."""
+        """A new configuration with ``updates`` applied.
+
+        Memoized signals of nodes whose inclusive neighborhood contains
+        no updated node are carried over to the new configuration.
+        """
         if not updates:
             return self
         states = list(self._states)
@@ -94,9 +126,14 @@ class Configuration(Generic[Q]):
             if not 0 <= v < len(states):
                 raise ConfigurationError(f"unknown node {v}")
             states[v] = q
-        new = object.__new__(Configuration)
-        new._topology = self._topology
-        new._states = tuple(states)
+        new = Configuration._from_state_tuple(self._topology, tuple(states))
+        if self._signals:
+            affected = set(updates)
+            for v in updates:
+                affected.update(self._topology.neighbors(v))
+            new._signals = {
+                v: sig for v, sig in self._signals.items() if v not in affected
+            }
         return new
 
     # ------------------------------------------------------------------

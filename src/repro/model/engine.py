@@ -1,0 +1,302 @@
+"""The execution-engine contract shared by both backends.
+
+The repository ships two execution engines over one contract:
+
+* :class:`~repro.model.execution.Execution` — the readable *object
+  model* reference: per-node ``Signal`` frozensets, one
+  ``Algorithm.resolve`` call per activated node;
+* :class:`~repro.model.array_engine.ArrayExecution` — the vectorized
+  *array model*: dense turn codes, CSR neighborhoods and the batched
+  Table 1 kernel of :mod:`repro.core.algau_vec`.
+
+:class:`ExecutionBase` holds everything the two engines share — the
+scheduler/round bookkeeping, monitor notifications, intervention
+(transient fault) handling, and the ``run``/``run_rounds`` driver loop —
+so the engines differ only in how one step's state updates are computed
+(:meth:`ExecutionBase._apply`) and how the current configuration is
+stored (:meth:`ExecutionBase._load_configuration`).  Both produce the
+same :class:`StepRecord` stream for the same seeds, which the
+differential test suite verifies step for step.
+
+Use :func:`create_execution` to pick an engine by name
+(``engine="object" | "array"``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Generic, Optional, Tuple, TypeVar
+
+import numpy as np
+
+from repro.graphs.topology import Topology
+from repro.model.algorithm import Algorithm
+from repro.model.configuration import Configuration
+from repro.model.errors import ModelError
+from repro.model.rounds import RoundTracker
+from repro.model.scheduler import Scheduler
+
+Q = TypeVar("Q")
+
+
+@dataclass(frozen=True)
+class StepRecord(Generic[Q]):
+    """What happened during one step."""
+
+    t: int
+    activated: FrozenSet[int]
+    changed: Tuple[Tuple[int, Q, Q], ...]  # (node, old_state, new_state)
+    completed_round: bool
+
+
+@dataclass
+class RunResult:
+    """Summary of a bounded run."""
+
+    steps: int
+    rounds: int
+    stopped_by_predicate: bool
+    reason: str = ""
+
+
+class Monitor:
+    """Observer hook; subclasses override the callbacks they need."""
+
+    def on_start(self, execution: "ExecutionBase") -> None:
+        """Called once before the first step."""
+
+    def on_step(self, execution: "ExecutionBase", record: StepRecord) -> None:
+        """Called after every step with the step's record."""
+
+
+Intervention = Callable[["ExecutionBase"], Optional[Configuration]]
+
+
+class ExecutionBase(ABC, Generic[Q]):
+    """Drives one algorithm over one topology under one scheduler."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: Algorithm,
+        initial_configuration: Configuration,
+        scheduler: Scheduler,
+        rng: Optional[np.random.Generator] = None,
+        monitors: Tuple[Monitor, ...] = (),
+        intervention: Optional[Intervention] = None,
+    ):
+        if initial_configuration.topology is not topology:
+            raise ModelError(
+                "initial configuration belongs to a different topology"
+            )
+        self.topology = topology
+        self.algorithm = algorithm
+        self.scheduler = scheduler
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.monitors: Tuple[Monitor, ...] = tuple(monitors)
+        self.intervention = intervention
+        self._t = 0
+        self._rounds = RoundTracker(topology.nodes)
+        self._started = False
+        self._load_configuration(initial_configuration)
+
+    # ------------------------------------------------------------------
+    # Engine-specific hooks.
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def _load_configuration(self, configuration: Configuration) -> None:
+        """Adopt ``configuration`` as the current state (topology is
+        already validated)."""
+
+    @abstractmethod
+    def _apply(
+        self, activated: FrozenSet[int]
+    ) -> Tuple[Tuple[int, Q, Q], ...]:
+        """Apply one simultaneous-update step for ``activated`` under
+        the pre-step configuration and return the change tuples."""
+
+    @property
+    @abstractmethod
+    def configuration(self) -> Configuration:
+        """The current configuration ``C_t``."""
+
+    # ------------------------------------------------------------------
+    # State inspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def t(self) -> int:
+        """The current time (number of steps taken)."""
+        return self._t
+
+    @property
+    def rounds(self) -> RoundTracker:
+        """Round bookkeeping (``R(i)`` boundaries)."""
+        return self._rounds
+
+    @property
+    def completed_rounds(self) -> int:
+        return self._rounds.completed_rounds
+
+    def state_of(self, v: int) -> Q:
+        return self.configuration[v]
+
+    def replace_configuration(self, configuration: Configuration) -> None:
+        """Replace the current configuration in place.
+
+        This is the transient-fault entry point: the adversary corrupts
+        node states between steps.  The topology must be unchanged.
+        """
+        if configuration.topology is not self.topology:
+            raise ModelError("replacement configuration changed the topology")
+        self._load_configuration(configuration)
+
+    # ------------------------------------------------------------------
+    # Stepping.
+    # ------------------------------------------------------------------
+
+    def _notify_start(self) -> None:
+        if not self._started:
+            self._started = True
+            for monitor in self.monitors:
+                monitor.on_start(self)
+
+    def step(self) -> StepRecord:
+        """Advance the execution by one step and return its record."""
+        self._notify_start()
+        if self.intervention is not None:
+            replacement = self.intervention(self)
+            if replacement is not None:
+                if replacement.topology is not self.topology:
+                    raise ModelError("intervention changed the topology")
+                self._load_configuration(replacement)
+
+        activated = self.scheduler.activations(
+            self._t, self.topology.nodes, self.rng
+        )
+        changed = self._apply(activated)
+        completed_round = self._rounds.observe(activated)
+        record = StepRecord(
+            t=self._t,
+            activated=activated,
+            changed=changed,
+            completed_round=completed_round,
+        )
+        self._t += 1
+        for monitor in self.monitors:
+            monitor.on_step(self, record)
+        return record
+
+    def run(
+        self,
+        max_steps: Optional[int] = None,
+        max_rounds: Optional[int] = None,
+        until: Optional[Callable[["ExecutionBase"], bool]] = None,
+        check_until_each_step: bool = True,
+    ) -> RunResult:
+        """Run until a stop condition triggers.
+
+        ``until`` is evaluated on the execution (after each step, or
+        after each completed round if ``check_until_each_step`` is
+        false).  At least one of the bounds must be supplied so that runs
+        terminate.
+        """
+        if max_steps is None and max_rounds is None:
+            raise ModelError("run() needs max_steps and/or max_rounds")
+        self._notify_start()
+        if until is not None and until(self):
+            return RunResult(0, self.completed_rounds, True, "pre-satisfied")
+        steps = 0
+        while True:
+            if max_steps is not None and steps >= max_steps:
+                return RunResult(steps, self.completed_rounds, False, "max_steps")
+            if max_rounds is not None and self.completed_rounds >= max_rounds:
+                return RunResult(steps, self.completed_rounds, False, "max_rounds")
+            record = self.step()
+            steps += 1
+            if until is not None and (
+                check_until_each_step or record.completed_round
+            ):
+                if until(self):
+                    return RunResult(
+                        steps, self.completed_rounds, True, "predicate"
+                    )
+
+    def run_rounds(self, rounds: int) -> RunResult:
+        """Run exactly ``rounds`` additional rounds."""
+        target = self.completed_rounds + rounds
+        return self.run(max_rounds=target, max_steps=None)
+
+    def graph_is_good(self) -> bool:
+        """The AlgAU stabilization predicate on the current
+        configuration (defined for :class:`~repro.core.algau.ThinUnison`
+        executions only; raises :class:`ModelError` otherwise).
+
+        The array engine overrides this with a vectorized check that
+        avoids decoding the configuration; analysis code should prefer
+        this method over calling ``is_good_graph`` directly so every
+        engine gets its fast path.
+        """
+        from repro.core.algau import ThinUnison
+        from repro.core.predicates import is_good_graph
+
+        if not isinstance(self.algorithm, ThinUnison):
+            raise ModelError(
+                f"graph_is_good() is the AlgAU stabilization predicate; "
+                f"{self.algorithm.name} is not a ThinUnison instance"
+            )
+        return is_good_graph(self.algorithm, self.configuration)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} alg={self.algorithm.name!r} "
+            f"graph={self.topology.name!r} t={self._t} "
+            f"rounds={self.completed_rounds}>"
+        )
+
+
+ENGINE_NAMES = ("object", "array")
+
+
+def create_execution(
+    topology: Topology,
+    algorithm: Algorithm,
+    initial_configuration: Configuration,
+    scheduler: Scheduler,
+    rng: Optional[np.random.Generator] = None,
+    monitors: Tuple[Monitor, ...] = (),
+    intervention: Optional[Intervention] = None,
+    engine: str = "object",
+) -> ExecutionBase:
+    """Instantiate the requested execution engine over one contract.
+
+    ``engine="object"`` builds the reference
+    :class:`~repro.model.execution.Execution`; ``engine="array"`` builds
+    the vectorized
+    :class:`~repro.model.array_engine.ArrayExecution` (the algorithm
+    must expose the vectorized backend — currently
+    :class:`~repro.core.algau.ThinUnison`).
+    """
+    if engine == "object":
+        from repro.model.execution import Execution
+
+        cls = Execution
+    elif engine == "array":
+        from repro.model.array_engine import ArrayExecution
+
+        cls = ArrayExecution
+    else:
+        raise ModelError(
+            f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+        )
+    return cls(
+        topology,
+        algorithm,
+        initial_configuration,
+        scheduler,
+        rng=rng,
+        monitors=monitors,
+        intervention=intervention,
+    )

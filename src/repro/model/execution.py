@@ -1,4 +1,4 @@
-"""The stone age execution engine.
+"""The object-model execution engine (the readable reference).
 
 An :class:`Execution` advances a configuration step by step: at step
 ``t`` the scheduler picks the activation set ``A_t``; every activated
@@ -11,145 +11,62 @@ invokes registered monitors after every step.
 Interventions (fault injection) run *before* a step and may replace the
 configuration — this is how transient faults are modelled: an arbitrary
 corruption of node states at an arbitrary time.
+
+The driver loop, monitor and intervention plumbing live in
+:class:`~repro.model.engine.ExecutionBase`, which this engine shares
+with the vectorized
+:class:`~repro.model.array_engine.ArrayExecution`; ``StepRecord``,
+``RunResult``, ``Monitor`` and ``Intervention`` are re-exported here
+for backwards compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Generic, List, Optional, Tuple, TypeVar
+from typing import Dict, FrozenSet, Generic, List, Tuple, TypeVar
 
-import numpy as np
-
-from repro.graphs.topology import Topology
-from repro.model.algorithm import Algorithm
 from repro.model.configuration import Configuration
-from repro.model.errors import ModelError
-from repro.model.rounds import RoundTracker
-from repro.model.scheduler import Scheduler
+from repro.model.engine import (
+    ExecutionBase,
+    Intervention,
+    Monitor,
+    RunResult,
+    StepRecord,
+)
+
+__all__ = [
+    "Execution",
+    "Intervention",
+    "Monitor",
+    "RunResult",
+    "StepRecord",
+]
 
 Q = TypeVar("Q")
 
 
-@dataclass(frozen=True)
-class StepRecord(Generic[Q]):
-    """What happened during one step."""
-
-    t: int
-    activated: FrozenSet[int]
-    changed: Tuple[Tuple[int, Q, Q], ...]  # (node, old_state, new_state)
-    completed_round: bool
-
-
-@dataclass
-class RunResult:
-    """Summary of a bounded run."""
-
-    steps: int
-    rounds: int
-    stopped_by_predicate: bool
-    reason: str = ""
-
-
-class Monitor:
-    """Observer hook; subclasses override the callbacks they need."""
-
-    def on_start(self, execution: "Execution") -> None:
-        """Called once before the first step."""
-
-    def on_step(self, execution: "Execution", record: StepRecord) -> None:
-        """Called after every step with the step's record."""
-
-
-Intervention = Callable[["Execution"], Optional[Configuration]]
-
-
-class Execution(Generic[Q]):
-    """Drives one algorithm over one topology under one scheduler."""
-
-    def __init__(
-        self,
-        topology: Topology,
-        algorithm: Algorithm,
-        initial_configuration: Configuration,
-        scheduler: Scheduler,
-        rng: Optional[np.random.Generator] = None,
-        monitors: Tuple[Monitor, ...] = (),
-        intervention: Optional[Intervention] = None,
-    ):
-        if initial_configuration.topology is not topology:
-            raise ModelError(
-                "initial configuration belongs to a different topology"
-            )
-        self.topology = topology
-        self.algorithm = algorithm
-        self.scheduler = scheduler
-        self.rng = rng if rng is not None else np.random.default_rng()
-        self.monitors: Tuple[Monitor, ...] = tuple(monitors)
-        self.intervention = intervention
-        self._configuration = initial_configuration
-        self._t = 0
-        self._rounds = RoundTracker(topology.nodes)
-        self._started = False
+class Execution(ExecutionBase[Q], Generic[Q]):
+    """Object-model engine: per-node signals, one ``resolve`` per
+    activated node.  Works for every :class:`~repro.model.algorithm.Algorithm`
+    (including the randomized ones)."""
 
     # ------------------------------------------------------------------
-    # State inspection.
+    # Engine hooks.
     # ------------------------------------------------------------------
 
-    @property
-    def t(self) -> int:
-        """The current time (number of steps taken)."""
-        return self._t
+    def _load_configuration(self, configuration: Configuration) -> None:
+        self._configuration = configuration
 
     @property
     def configuration(self) -> Configuration:
         """The current configuration ``C_t``."""
         return self._configuration
 
-    @property
-    def rounds(self) -> RoundTracker:
-        """Round bookkeeping (``R(i)`` boundaries)."""
-        return self._rounds
-
-    @property
-    def completed_rounds(self) -> int:
-        return self._rounds.completed_rounds
-
     def state_of(self, v: int) -> Q:
         return self._configuration[v]
 
-    def replace_configuration(self, configuration: Configuration) -> None:
-        """Replace the current configuration in place.
-
-        This is the transient-fault entry point: the adversary corrupts
-        node states between steps.  The topology must be unchanged.
-        """
-        if configuration.topology is not self.topology:
-            raise ModelError("replacement configuration changed the topology")
-        self._configuration = configuration
-
-    # ------------------------------------------------------------------
-    # Stepping.
-    # ------------------------------------------------------------------
-
-    def _notify_start(self) -> None:
-        if not self._started:
-            self._started = True
-            for monitor in self.monitors:
-                monitor.on_start(self)
-
-    def step(self) -> StepRecord:
-        """Advance the execution by one step and return its record."""
-        self._notify_start()
-        if self.intervention is not None:
-            replacement = self.intervention(self)
-            if replacement is not None:
-                if replacement.topology is not self.topology:
-                    raise ModelError("intervention changed the topology")
-                self._configuration = replacement
-
-        activated = self.scheduler.activations(
-            self._t, self.topology.nodes, self.rng
-        )
+    def _apply(
+        self, activated: FrozenSet[int]
+    ) -> Tuple[Tuple[int, Q, Q], ...]:
         config = self._configuration
         updates: Dict[int, Q] = {}
         changed: List[Tuple[int, Q, Q]] = []
@@ -161,61 +78,4 @@ class Execution(Generic[Q]):
                 changed.append((v, old, new))
         if updates:
             self._configuration = config.replace(updates)
-        completed_round = self._rounds.observe(activated)
-        record = StepRecord(
-            t=self._t,
-            activated=activated,
-            changed=tuple(changed),
-            completed_round=completed_round,
-        )
-        self._t += 1
-        for monitor in self.monitors:
-            monitor.on_step(self, record)
-        return record
-
-    def run(
-        self,
-        max_steps: Optional[int] = None,
-        max_rounds: Optional[int] = None,
-        until: Optional[Callable[["Execution"], bool]] = None,
-        check_until_each_step: bool = True,
-    ) -> RunResult:
-        """Run until a stop condition triggers.
-
-        ``until`` is evaluated on the execution (after each step, or
-        after each completed round if ``check_until_each_step`` is
-        false).  At least one of the bounds must be supplied so that runs
-        terminate.
-        """
-        if max_steps is None and max_rounds is None:
-            raise ModelError("run() needs max_steps and/or max_rounds")
-        self._notify_start()
-        if until is not None and until(self):
-            return RunResult(0, self.completed_rounds, True, "pre-satisfied")
-        steps = 0
-        while True:
-            if max_steps is not None and steps >= max_steps:
-                return RunResult(steps, self.completed_rounds, False, "max_steps")
-            if max_rounds is not None and self.completed_rounds >= max_rounds:
-                return RunResult(steps, self.completed_rounds, False, "max_rounds")
-            record = self.step()
-            steps += 1
-            if until is not None and (
-                check_until_each_step or record.completed_round
-            ):
-                if until(self):
-                    return RunResult(
-                        steps, self.completed_rounds, True, "predicate"
-                    )
-
-    def run_rounds(self, rounds: int) -> RunResult:
-        """Run exactly ``rounds`` additional rounds."""
-        target = self.completed_rounds + rounds
-        return self.run(max_rounds=target, max_steps=None)
-
-    def __repr__(self) -> str:
-        return (
-            f"<Execution alg={self.algorithm.name!r} "
-            f"graph={self.topology.name!r} t={self._t} "
-            f"rounds={self.completed_rounds}>"
-        )
+        return tuple(changed)

@@ -1,0 +1,344 @@
+"""Differential validation: the array engine vs the object-model reference.
+
+The vectorized :class:`ArrayExecution` must be *bit-identical* to the
+readable :class:`Execution` — same activation sets, same per-step
+change-sets, same round boundaries, same configurations — for every
+(graph, scheduler, D, fault-schedule) combination.  AlgAU is
+deterministic and the rng stream is consumed only by the scheduler and
+the fault injector, so running both engines from the same seeds must
+produce the same trajectory; this suite checks that step for step on a
+seeded matrix of 25+ combos, and property-tests the turn encoding the
+array engine is built on.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algau import ThinUnison
+from repro.core.encoding import TurnEncoding
+from repro.core.predicates import is_good_graph
+from repro.core.turns import Turn, able, faulty
+from repro.faults.injection import (
+    TransientFaultInjector,
+    au_adversarial_suite,
+    random_configuration,
+)
+from repro.graphs.generators import (
+    damaged_clique,
+    dumbbell,
+    random_connected,
+    ring,
+    star,
+    torus,
+)
+from repro.model.array_engine import ArrayExecution, supports_array_engine
+from repro.model.engine import create_execution
+from repro.model.errors import ModelError
+from repro.model.execution import Execution
+from repro.model.scheduler import (
+    ExplicitScheduler,
+    LaggardScheduler,
+    RandomSubsetScheduler,
+    RotatingScheduler,
+    RoundRobinScheduler,
+    ShuffledRoundRobinScheduler,
+    SynchronousScheduler,
+)
+from repro.tasks.le import AlgLE
+
+
+# ----------------------------------------------------------------------
+# The differential matrix.
+# ----------------------------------------------------------------------
+
+GRAPHS = {
+    "ring9": lambda seed: ring(9),
+    "damaged10": lambda seed: damaged_clique(10, 2, np.random.default_rng(seed)),
+    "torus3x4": lambda seed: torus(3, 4),
+    "star7": lambda seed: star(7),
+    "dumbbell": lambda seed: dumbbell(4, 2),
+    "gnp12": lambda seed: random_connected(12, 0.35, np.random.default_rng(seed)),
+}
+
+SCHEDULERS = {
+    "sync": lambda topo: SynchronousScheduler(),
+    "round-robin": lambda topo: RoundRobinScheduler(),
+    "shuffled-rr": lambda topo: ShuffledRoundRobinScheduler(),
+    "random-subset": lambda topo: RandomSubsetScheduler(0.4),
+    "laggard": lambda topo: LaggardScheduler(victim=1, period=5),
+    "rotating": lambda topo: RotatingScheduler(list(topo.nodes), shift=1),
+    "explicit": lambda topo: ExplicitScheduler(
+        [tuple(topo.nodes[:2]), tuple(topo.nodes[2:]), tuple(topo.nodes)],
+        repeat=True,
+    ),
+}
+
+DS = (1, 2, 3)
+FAULT_SCHEDULES = (None, (4, 11), (2, 9, 17))
+
+# 6 graphs x 7 schedulers, with D / fault schedule / the cautious_af
+# ablation / the seed cycling through the matrix: 42 seeded combos.
+CASES = [
+    (graph, sched, DS[i % len(DS)], FAULT_SCHEDULES[i % len(FAULT_SCHEDULES)],
+     i % 5 != 0, 1000 + 17 * i)
+    for i, (graph, sched) in enumerate(
+        itertools.product(sorted(GRAPHS), sorted(SCHEDULERS))
+    )
+]
+
+STEPS = 40
+
+
+def _make_pair(graph_key, sched_key, d, fault_times, cautious_af, seed):
+    """Two engines over the same instance with identically seeded rng
+    streams (scheduler and fault injector included)."""
+    topology = GRAPHS[graph_key](seed)
+    algorithm = ThinUnison(d, cautious_af=cautious_af)
+    initial = random_configuration(
+        algorithm, topology, np.random.default_rng(seed + 1)
+    )
+    executions = []
+    for engine in ("object", "array"):
+        intervention = None
+        if fault_times is not None:
+            intervention = TransientFaultInjector(
+                algorithm,
+                times=fault_times,
+                fraction=0.3,
+                rng=np.random.default_rng(seed + 2),
+            )
+        executions.append(
+            create_execution(
+                topology,
+                algorithm,
+                initial,
+                SCHEDULERS[sched_key](topology),
+                rng=np.random.default_rng(seed + 3),
+                intervention=intervention,
+                engine=engine,
+            )
+        )
+    return executions
+
+
+@pytest.mark.parametrize(
+    "graph_key, sched_key, d, fault_times, cautious_af, seed",
+    CASES,
+    ids=[
+        f"{g}-{s}-D{d}-faults{'0' if f is None else len(f)}"
+        f"{'' if c else '-ablated'}"
+        for g, s, d, f, c, _ in CASES
+    ],
+)
+def test_step_for_step_equivalence(
+    graph_key, sched_key, d, fault_times, cautious_af, seed
+):
+    reference, vectorized = _make_pair(
+        graph_key, sched_key, d, fault_times, cautious_af, seed
+    )
+    assert isinstance(reference, Execution)
+    assert isinstance(vectorized, ArrayExecution)
+    algorithm = reference.algorithm
+    for _ in range(STEPS):
+        ref_record = reference.step()
+        vec_record = vectorized.step()
+        assert ref_record.t == vec_record.t
+        assert ref_record.activated == vec_record.activated
+        assert set(ref_record.changed) == set(vec_record.changed)
+        assert ref_record.completed_round == vec_record.completed_round
+        assert reference.configuration == vectorized.configuration
+        assert vectorized.graph_is_good() == is_good_graph(
+            algorithm, reference.configuration
+        )
+    assert reference.completed_rounds == vectorized.completed_rounds
+    assert reference.rounds.boundaries == vectorized.rounds.boundaries
+
+
+@pytest.mark.parametrize("start", ["random", "sign-split", "clock-tear", "all-faulty"])
+def test_adversarial_starts_stabilize_identically(start):
+    """Both engines report the same stabilization rounds from the named
+    adversarial starts (the numbers feeding the Thm 1.1 benchmarks)."""
+    from repro.analysis.stabilization import measure_au_stabilization
+
+    d = 2
+    algorithm = ThinUnison(d)
+    topology = damaged_clique(12, d, np.random.default_rng(7))
+    initial = au_adversarial_suite(
+        algorithm, topology, np.random.default_rng(8)
+    )[start]
+    results = [
+        measure_au_stabilization(
+            algorithm,
+            topology,
+            initial,
+            ShuffledRoundRobinScheduler(),
+            np.random.default_rng(9),
+            max_rounds=100_000,
+            engine=engine,
+        )
+        for engine in ("object", "array")
+    ]
+    assert results[0].stabilized and results[1].stabilized
+    assert results[0].rounds == results[1].rounds
+    assert results[0].steps == results[1].steps
+
+
+def test_replace_configuration_mid_run():
+    """Transient corruption via replace_configuration keeps the engines
+    in lockstep (the fault-recovery experiment's code path)."""
+    topology = ring(8)
+    algorithm = ThinUnison(2)
+    initial = random_configuration(algorithm, topology, np.random.default_rng(0))
+    engines = [
+        create_execution(
+            topology,
+            algorithm,
+            initial,
+            SynchronousScheduler(),
+            rng=np.random.default_rng(1),
+            engine=engine,
+        )
+        for engine in ("object", "array")
+    ]
+    for execution in engines:
+        execution.run(max_steps=5)
+    corrupted = engines[0].configuration.replace(
+        {0: faulty(3), 3: able(-4), 5: faulty(-2)}
+    )
+    for execution in engines:
+        execution.replace_configuration(corrupted)
+    for _ in range(20):
+        records = [execution.step() for execution in engines]
+        assert set(records[0].changed) == set(records[1].changed)
+    assert engines[0].configuration == engines[1].configuration
+
+
+def test_array_engine_rejects_non_vectorizable_algorithms():
+    topology = ring(8)
+    algorithm = AlgLE(2)
+    assert not supports_array_engine(algorithm)
+    assert supports_array_engine(ThinUnison(1))
+    initial = random_configuration(algorithm, topology, np.random.default_rng(0))
+    with pytest.raises(ModelError):
+        ArrayExecution(
+            topology, algorithm, initial, SynchronousScheduler(),
+            rng=np.random.default_rng(0),
+        )
+    with pytest.raises(ModelError):
+        create_execution(
+            topology,
+            ThinUnison(1),
+            random_configuration(ThinUnison(1), topology, np.random.default_rng(0)),
+            SynchronousScheduler(),
+            engine="simd",  # unknown engine name
+        )
+
+
+def test_delta_batch_matches_classify_pointwise():
+    """ThinUnison.delta_batch with an activation mask agrees with the
+    scalar successor() on every node, active or not."""
+    topology = damaged_clique(11, 2, np.random.default_rng(4))
+    for cautious_af in (True, False):
+        algorithm = ThinUnison(2, cautious_af=cautious_af)
+        encoding = algorithm.encoding
+        kernel = algorithm.vector_kernel()
+        csr = topology.inclusive_csr()
+        rng = np.random.default_rng(5)
+        config = random_configuration(algorithm, topology, rng)
+        codes = encoding.encode_configuration(config)
+        active = rng.random(topology.n) < 0.6
+        presence = kernel.signal_presence(codes, csr)
+        new_codes = algorithm.delta_batch(codes, presence, active=active)
+        for v in topology.nodes:
+            expected = (
+                algorithm.successor(config[v], config.signal(v))
+                if active[v]
+                else config[v]
+            )
+            assert encoding.decode(int(new_codes[v])) == expected
+
+
+# ----------------------------------------------------------------------
+# Encoding round trips.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("d", [1, 2, 3, 5])
+def test_encoding_is_a_bijection(d):
+    algorithm = ThinUnison(d)
+    encoding = algorithm.encoding
+    assert encoding.size == algorithm.state_space_size() == 12 * d + 6
+    seen = set()
+    for turn in algorithm.turns.all_turns:
+        code = encoding.encode(turn)
+        assert 0 <= code < encoding.size
+        assert encoding.decode(code) == turn
+        seen.add(code)
+    assert seen == set(range(encoding.size))
+    # Able codes coincide with clock values — the layout the kernel
+    # relies on.
+    for turn in algorithm.turns.able_turns:
+        assert encoding.encode(turn) == algorithm.levels.clock_value(turn.level)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=6),
+    magnitude=st.integers(min_value=1, max_value=20),
+    negative=st.booleans(),
+    is_faulty=st.booleans(),
+)
+def test_encoding_round_trip_property(d, magnitude, negative, is_faulty):
+    algorithm = ThinUnison(d)
+    encoding = algorithm.encoding
+    k = algorithm.levels.k
+    level = -magnitude if negative else magnitude
+    turn = Turn(level=level, faulty=is_faulty)
+    if algorithm.turns.is_turn(turn):
+        assert encoding.decode(encoding.encode(turn)) == turn
+    else:
+        with pytest.raises(ModelError):
+            encoding.encode(turn)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_configuration_round_trip_property(d, seed):
+    algorithm = ThinUnison(d)
+    encoding = algorithm.encoding
+    topology = ring(7)
+    config = random_configuration(
+        algorithm, topology, np.random.default_rng(seed)
+    )
+    codes = encoding.encode_configuration(config)
+    assert codes.shape == (topology.n,)
+    assert encoding.decode_configuration(topology, codes) == config
+    # And the reverse direction: arbitrary valid code vectors survive a
+    # decode/encode round trip.
+    rng = np.random.default_rng(seed + 1)
+    arbitrary = rng.integers(0, encoding.size, size=topology.n)
+    decoded = encoding.decode_configuration(topology, arbitrary)
+    assert np.array_equal(encoding.encode_configuration(decoded), arbitrary)
+
+
+def test_encoding_rejects_garbage():
+    encoding = TurnEncoding(ThinUnison(1).turns)
+    with pytest.raises(ModelError):
+        encoding.decode(encoding.size)
+    with pytest.raises(ModelError):
+        encoding.decode(-1)
+    with pytest.raises(ModelError):
+        encoding.encode(faulty(1))  # |ℓ| = 1 has no faulty turn
+    with pytest.raises(ModelError):
+        encoding.decode_configuration(
+            ring(4), np.array([0, 1, encoding.size, 2])
+        )
