@@ -23,7 +23,6 @@ from repro.analysis.stabilization import measure_au_stabilization
 from repro.analysis.stats import Summary
 from repro.analysis.tables import render_table
 from repro.core.algau import ThinUnison
-from repro.core.predicates import is_good_graph
 from repro.faults.injection import au_all_faulty, au_sign_split, random_configuration
 from repro.graphs.generators import damaged_clique, path, ring
 from repro.model.scheduler import ShuffledRoundRobinScheduler
@@ -47,9 +46,7 @@ def run_variant(cautious: bool, initial_factory, topology_factory, seed):
 
 
 def kernel():
-    result = run_variant(
-        True, au_all_faulty, lambda rng: (ring(8), 4), seed=0
-    )
+    result = run_variant(True, au_all_faulty, lambda rng: (ring(8), 4), seed=0)
     assert result.stabilized
     return result.rounds
 

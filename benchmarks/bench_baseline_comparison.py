@@ -27,7 +27,7 @@ from repro.baselines.reset_tail_unison import ResetTailUnison, reset_tail_stable
 from repro.core.algau import ThinUnison
 from repro.core.predicates import is_good_graph
 from repro.faults.injection import random_configuration
-from repro.graphs.generators import damaged_clique, dumbbell
+from repro.graphs.generators import damaged_clique
 from repro.model.execution import Execution
 from repro.model.scheduler import ShuffledRoundRobinScheduler
 
@@ -42,7 +42,10 @@ def make_topology(rng):
 def run_unison(name, rng, topology):
     if name == "AlgAU":
         algorithm = ThinUnison(D)
-        stable = lambda config: is_good_graph(algorithm, config)
+
+        def stable(config, alg=algorithm):
+            return is_good_graph(alg, config)
+
         states = str(algorithm.state_space_size())
     elif name == "MinUnison":
         algorithm = MinUnison(initial_spread=24)
@@ -50,7 +53,10 @@ def run_unison(name, rng, topology):
         states = "unbounded"
     else:
         algorithm = ResetTailUnison.for_diameter_bound(D)
-        stable = lambda config: reset_tail_stable(algorithm, config)
+
+        def stable(config, alg=algorithm):
+            return reset_tail_stable(alg, config)
+
         states = str(algorithm.state_space_size())
     execution = Execution(
         topology,
@@ -59,9 +65,7 @@ def run_unison(name, rng, topology):
         ShuffledRoundRobinScheduler(),
         rng=rng,
     )
-    result = execution.run(
-        max_rounds=50_000, until=lambda e: stable(e.configuration)
-    )
+    result = execution.run(max_rounds=50_000, until=lambda e: stable(e.configuration))
     return result.stopped_by_predicate, execution.completed_rounds, states
 
 

@@ -51,9 +51,7 @@ def test_cor12_synchronizer(benchmark):
     all_rows = []
     for task in ("mis", "le"):
         all_rows.extend(
-            synchronizer_experiment(
-                task=task, ns=NS, diameter_bound=D, trials=TRIALS
-            )
+            synchronizer_experiment(task=task, ns=NS, diameter_bound=D, trials=TRIALS)
         )
 
     unison_states = ThinUnison(D).state_space_size()

@@ -45,9 +45,7 @@ def _seconds_per_step(engine: str, n: int) -> float:
     """Best-of-repeats seconds/step of ``engine`` on the n-ring."""
     algorithm = ThinUnison(D)
     topology = ring(n)
-    initial = random_configuration(
-        algorithm, topology, np.random.default_rng(n)
-    )
+    initial = random_configuration(algorithm, topology, np.random.default_rng(n))
     steps, repeats = PLAN[engine][n]
     best = float("inf")
     for _ in range(repeats):

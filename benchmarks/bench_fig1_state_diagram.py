@@ -33,8 +33,16 @@ def test_figure1_regeneration(benchmark):
     table = render_table(
         ["element", "count", "paper"],
         [
-            ("able turns (clock cycle)", len([t for t in diagram.turns if t.able]), f"2k = {2*k}"),
-            ("faulty turns (detours)", len([t for t in diagram.turns if t.faulty]), f"2(k-1) = {2*(k-1)}"),
+            (
+                "able turns (clock cycle)",
+                len([t for t in diagram.turns if t.able]),
+                f"2k = {2*k}",
+            ),
+            (
+                "faulty turns (detours)",
+                len([t for t in diagram.turns if t.faulty]),
+                f"2(k-1) = {2*(k-1)}",
+            ),
             ("AA edges (solid)", len(diagram.aa_edges), f"one 2k-cycle = {2*k}"),
             ("AF edges (dashed red)", len(diagram.af_edges), f"2(k-1) = {2*(k-1)}"),
             ("FA edges (dotted blue)", len(diagram.fa_edges), f"2(k-1) = {2*(k-1)}"),

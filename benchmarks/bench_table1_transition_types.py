@@ -103,6 +103,4 @@ def test_table1_regeneration(benchmark):
     assert tally[TransitionType.AA] > 0
     assert tally[TransitionType.AF] > 0
     assert tally[TransitionType.FA] > 0
-    assert sum(tally.values()) == len(turns) * (
-        len(turns) * (len(turns) - 1) // 2
-    )
+    assert sum(tally.values()) == len(turns) * len(turns) * (len(turns) - 1) // 2

@@ -1,38 +1,43 @@
 """Theorem 1.1 — AlgAU: state space O(D), stabilization O(D^3) rounds.
 
-Sweeps the diameter bound ``D``, measuring (a) the exact state count —
-which must equal ``12D + 6``, independent of ``n`` — and (b) worst-case
-stabilization rounds over the adversarial-start suite under an
-asynchronous scheduler.  The shape check: the log-log slope of rounds
-vs ``D`` stays at or below the paper's cubic exponent (empirically the
-constant is tiny, so measured rounds sit far below ``k^3``).
+Registry-driven since the campaign subsystem landed: the sweep is the
+``thm11-scaling`` campaign — one scenario per (D, trial, adversarial
+start), enumerated declaratively and run through the sharded parallel
+runner — and this benchmark folds the campaign rows back into the
+paper's table: worst stabilization rounds over the adversarial-start
+suite per trial, summarized per diameter bound.  The shape checks are
+unchanged: the state count must equal ``12D + 6`` exactly (any n), and
+the log-log slope of rounds vs ``D`` must stay at or below the paper's
+cubic exponent.
 
-The timed kernel is a single adversarial stabilization run at D = 2.
+The campaign aggregates are also persisted as
+``BENCH_campaign_thm11-scaling.json`` so the sweep stays comparable
+across PRs; the timed kernel is a single adversarial stabilization run
+at D = 2.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from conftest import emit
+from conftest import emit, run_registry_campaign
 
-from repro.analysis.experiments import au_scaling_experiment, au_scaling_slope
 from repro.analysis.stabilization import measure_au_stabilization
+from repro.analysis.stats import Summary, loglog_slope
 from repro.analysis.tables import render_table
+from repro.campaigns import fold_worst_rounds
 from repro.core.algau import ThinUnison
 from repro.faults.injection import au_sign_split
 from repro.graphs.generators import damaged_clique
 from repro.model.scheduler import ShuffledRoundRobinScheduler
 
-DIAMETER_BOUNDS = (1, 2, 3, 4, 5)
-TRIALS = 6
-N = 14
+REGISTRY = "thm11-scaling"
 ENGINE = "array"  # the scaling sweeps default to the vectorized backend
 
 
 def kernel():
     rng = np.random.default_rng(0)
     algorithm = ThinUnison(2)
-    topology = damaged_clique(N, 2, rng, damage=0.4)
+    topology = damaged_clique(14, 2, rng, damage=0.4)
     result = measure_au_stabilization(
         algorithm,
         topology,
@@ -47,11 +52,31 @@ def kernel():
 
 
 def test_thm11_au_scaling(benchmark):
-    rows = au_scaling_experiment(
-        diameter_bounds=DIAMETER_BOUNDS, n=N, trials=TRIALS, engine=ENGINE
-    )
-    slope = au_scaling_slope(rows)
+    aggregates = run_registry_campaign(REGISTRY)
+    worst = fold_worst_rounds(aggregates["rows"])
+    diameter_bounds = sorted({int(row["diameter_bound"]) for row in aggregates["rows"]})
+    summaries = {
+        d: Summary.of(
+            [rounds for (group, _), rounds in worst.items() if group == f"D={d}"]
+        )
+        for d in diameter_bounds
+    }
+    slope = loglog_slope(diameter_bounds, [summaries[d].mean for d in diameter_bounds])
 
+    table_rows = []
+    for d in diameter_bounds:
+        algorithm = ThinUnison(d)
+        k = algorithm.levels.k
+        table_rows.append(
+            (
+                d,
+                algorithm.state_space_size(),
+                12 * d + 6,
+                str(summaries[d]),
+                k**3,
+            )
+        )
+    trials = len({row["tags"]["trial"] for row in aggregates["rows"]})
     table = render_table(
         [
             "D",
@@ -60,29 +85,22 @@ def test_thm11_au_scaling(benchmark):
             "rounds (worst over starts)",
             "paper bound k^3",
         ],
-        [
-            (
-                row.params["D"],
-                row.extra["states"],
-                row.extra["states_bound_12D+6"],
-                str(row.rounds),
-                row.extra["rounds_bound_k^3"],
-            )
-            for row in rows
-        ],
+        table_rows,
         title=(
-            "Thm 1.1 — AlgAU scaling in D (n=14, shuffled-round-robin "
-            f"scheduler, worst of 4 adversarial starts × {TRIALS} trials); "
+            "Thm 1.1 — AlgAU scaling in D (campaign 'thm11-scaling': "
+            "bounded-diameter family targeting n=14, shuffled-round-robin "
+            "scheduler, worst of 4 adversarial starts "
+            f"× {trials} trials, {aggregates['scenario_count']} scenarios); "
             f"log-log slope of rounds vs D = {slope:.2f} (paper: ≤ 3)"
         ),
     )
     emit("thm11_au_scaling", table)
 
     # Shape checks.
-    for row in rows:
-        d = row.params["D"]
-        assert row.extra["states"] == 12 * d + 6  # exact, any n
-        assert row.rounds.maximum <= row.extra["rounds_bound_k^3"]
+    for d in diameter_bounds:
+        algorithm = ThinUnison(d)
+        assert algorithm.state_space_size() == 12 * d + 6  # exact, any n
+        assert summaries[d].maximum <= algorithm.levels.k ** 3
     assert slope <= 3.2  # cubic upper bound with measurement noise
 
     benchmark.pedantic(kernel, rounds=3, iterations=1)

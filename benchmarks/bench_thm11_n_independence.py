@@ -2,78 +2,75 @@
 
 The distinguishing feature of AlgAU over prior AU algorithms is that
 both its state space and its stabilization-time bound depend on the
-diameter bound ``D`` only.  This sweep fixes ``D = 2`` and grows ``n``
-by an order of magnitude: the state count must stay exactly ``12D + 6``
-and the stabilization rounds must stay essentially flat (the paper's
-bound has no ``n`` in it at all).
+diameter bound ``D`` only.  The sweep is the ``thm11-n-independence``
+campaign: ``D`` fixed at 2 while ``n`` grows by an order of magnitude,
+one scenario per (n, trial, adversarial start), run through the sharded
+parallel runner on the vectorized array engine.  The state count must
+stay exactly ``12D + 6`` and the stabilization rounds must stay
+essentially flat (the paper's bound has no ``n`` in it at all).
 
 The timed kernel is one stabilization at the largest ``n``, which also
-exercises the simulator's per-step scaling.  This sweep grows ``n``, so
-it runs on the vectorized array engine (``ENGINE``); AlgAU is
-deterministic, hence the measured rounds are engine-independent.
+exercises the simulator's per-step scaling.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from conftest import emit
+from conftest import emit, run_registry_campaign
 
 from repro.analysis.stabilization import measure_au_stabilization
 from repro.analysis.stats import Summary
 from repro.analysis.tables import render_table
+from repro.campaigns import fold_worst_rounds
 from repro.core.algau import ThinUnison
-from repro.faults.injection import au_adversarial_suite
+from repro.faults.injection import au_sign_split
 from repro.graphs.generators import damaged_clique
 from repro.model.scheduler import ShuffledRoundRobinScheduler
 
 D = 2
-NS = (6, 12, 24, 48)
-TRIALS = 5
+REGISTRY = "thm11-n-independence"
 ENGINE = "array"
 
 
-def measure(n, seed):
-    rng = np.random.default_rng(seed)
-    topology = damaged_clique(n, D, rng, damage=0.4)
-    algorithm = ThinUnison(D)
-    worst = 0
-    for initial in au_adversarial_suite(algorithm, topology, rng).values():
-        result = measure_au_stabilization(
-            algorithm,
-            topology,
-            initial,
-            ShuffledRoundRobinScheduler(),
-            rng,
-            max_rounds=100 * (3 * D + 2) ** 3,
-            engine=ENGINE,
-        )
-        assert result.stabilized
-        worst = max(worst, result.rounds)
-    return worst
-
-
 def kernel():
-    return measure(NS[-1], seed=0)
+    rng = np.random.default_rng(0)
+    topology = damaged_clique(48, D, rng, damage=0.4)
+    algorithm = ThinUnison(D)
+    result = measure_au_stabilization(
+        algorithm,
+        topology,
+        au_sign_split(algorithm, topology, rng),
+        ShuffledRoundRobinScheduler(),
+        rng,
+        max_rounds=100 * (3 * D + 2) ** 3,
+        engine=ENGINE,
+    )
+    assert result.stabilized
+    return result.rounds
 
 
 def test_thm11_n_independence(benchmark):
+    aggregates = run_registry_campaign(REGISTRY)
     algorithm = ThinUnison(D)
-    rows = []
+    worst = fold_worst_rounds(aggregates["rows"])
+    ns = sorted({int(row["n"]) for row in aggregates["rows"]})
+    table_rows = []
     means = []
-    for n in NS:
-        rounds = [measure(n, seed=100 * n + t) for t in range(TRIALS)]
-        summary = Summary.of(rounds)
-        means.append(summary.mean)
-        rows.append(
-            (n, algorithm.state_space_size(), str(summary))
+    for n in ns:
+        summary = Summary.of(
+            [rounds for (group, _), rounds in worst.items() if group == f"n={n}"]
         )
+        means.append(summary.mean)
+        table_rows.append((n, algorithm.state_space_size(), str(summary)))
 
     table = render_table(
         ["n", "states |Q| (must stay 12D+6)", "rounds (worst over starts)"],
-        rows,
+        table_rows,
         title=(
-            f"Thm 1.1 — n-independence at D={D}: growing n by 8x leaves "
-            "the state space untouched and stabilization essentially flat"
+            f"Thm 1.1 — n-independence at D={D} (campaign '{REGISTRY}', "
+            f"{aggregates['scenario_count']} scenarios): growing n by 8x "
+            "leaves the state space untouched and stabilization "
+            "essentially flat"
         ),
     )
     emit("thm11_n_independence", table)

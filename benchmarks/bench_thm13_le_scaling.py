@@ -51,9 +51,7 @@ def test_thm13_le_scaling(benchmark):
     # Sweep D at fixed n = 12.
     rows_d = []
     for d in DS:
-        rows_d.extend(
-            le_scaling_experiment(ns=(12,), diameter_bound=d, trials=TRIALS)
-        )
+        rows_d.extend(le_scaling_experiment(ns=(12,), diameter_bound=d, trials=TRIALS))
 
     table_n = render_table(
         ["n", "states |Q|", "rounds", "rounds / log2(n)"],
@@ -73,10 +71,7 @@ def test_thm13_le_scaling(benchmark):
     )
     table_d = render_table(
         ["D", "states |Q|", "rounds"],
-        [
-            (row.params["D"], row.extra["states"], str(row.rounds))
-            for row in rows_d
-        ],
+        [(row.params["D"], row.extra["states"], str(row.rounds)) for row in rows_d],
         title="Thm 1.3 — AlgLE rounds vs D at n=12 (epoch length = D + 1)",
     )
     emit("thm13_le_scaling", table_n + "\n\n" + table_d)

@@ -32,9 +32,7 @@ def kernel():
     initial = random_configuration(algorithm, topology, rng).replace(
         {0: RestartState(0)}
     )
-    execution = Execution(
-        topology, algorithm, initial, SynchronousScheduler(), rng=rng
-    )
+    execution = Execution(topology, algorithm, initial, SynchronousScheduler(), rng=rng)
     for _ in range(10 * d + 20):
         record = execution.step()
         exits = [
@@ -48,9 +46,7 @@ def kernel():
 
 
 def test_thm31_restart(benchmark):
-    rows = restart_experiment(
-        diameter_bounds=DIAMETER_BOUNDS, n=14, trials=TRIALS
-    )
+    rows = restart_experiment(diameter_bounds=DIAMETER_BOUNDS, n=14, trials=TRIALS)
     slope = loglog_slope(
         [row.diameter_bound for row in rows],
         [row.exit_times.mean for row in rows],

@@ -11,9 +11,19 @@ pytest-benchmark.  Run with::
 
 from __future__ import annotations
 
-import pytest
+import os
 
-from repro.analysis.tables import persist_table
+from repro.analysis.tables import persist_table, results_dir
+from repro.campaigns import (
+    aggregate_results,
+    build_campaign,
+    run_campaign,
+    write_campaign_artifact,
+)
+
+#: Worker-process count for campaign-driven benchmarks (the aggregates
+#: are worker-count independent; this only affects wall-clock).
+CAMPAIGN_WORKERS = min(4, os.cpu_count() or 1)
 
 
 def emit(name: str, table: str) -> None:
@@ -22,3 +32,23 @@ def emit(name: str, table: str) -> None:
     print(table)
     path = persist_table(name, table)
     print(f"[saved to {path}]")
+
+
+def run_registry_campaign(name: str, workers: int = 0) -> dict:
+    """Build, run, and aggregate a registry campaign; assert it is
+    failure-free and persist ``BENCH_campaign_<name>.json`` under
+    ``benchmarks/results/``.  Returns the aggregates."""
+    workers = workers or CAMPAIGN_WORKERS
+    scenarios = build_campaign(name)
+    results = run_campaign(scenarios, workers=workers)
+    aggregates = aggregate_results(name, scenarios, results, 0)
+    assert aggregates["failure_count"] == 0, aggregates["failures"]
+    # meta stays empty: these artifacts are committed and compared
+    # across PRs, so nothing machine-dependent (worker counts,
+    # wall-clock) may enter them.
+    write_campaign_artifact(
+        aggregates,
+        os.path.join(results_dir(), f"BENCH_campaign_{name}.json"),
+        meta={},
+    )
+    return aggregates

@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import Execution, ThinUnison
-from repro.core.potential import Stage, progress_report
+from repro.core.potential import progress_report
 from repro.core.predicates import is_good_graph
 from repro.faults.injection import au_all_faulty
 from repro.graphs.generators import dumbbell

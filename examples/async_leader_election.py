@@ -76,9 +76,7 @@ def main() -> None:
 
     # Kill the leader's state — the nastiest single-cell transient fault.
     execution.replace_configuration(
-        execution.configuration.replace(
-            {leader: algorithm.random_state(rng)}
-        )
+        execution.configuration.replace({leader: algorithm.random_state(rng)})
     )
     print(f"transient fault: cell {leader}'s state corrupted")
 

@@ -89,9 +89,7 @@ def main() -> None:
     for _ in range(6):
         execution.run_rounds(1)
         config = execution.configuration
-        clocks = sorted(
-            {algorithm.output(config[v]) for v in colony.nodes}
-        )
+        clocks = sorted({algorithm.output(config[v]) for v in colony.nodes})
         print(f"  round {execution.completed_rounds}: clocks {clocks}")
     print(
         "\nself-stabilization means the colony never needs a coordinated "

@@ -54,9 +54,7 @@ def run_to_valid_pattern(execution, algorithm, topology, budget=200_000):
         config = e.configuration
         if not config.is_output_configuration(algorithm):
             return False
-        return check_mis_output(
-            topology, config.output_vector(algorithm)
-        ).valid
+        return check_mis_output(topology, config.output_vector(algorithm)).valid
 
     start = execution.completed_rounds
     result = execution.run(max_rounds=start + budget, until=selected)
@@ -73,9 +71,7 @@ def main() -> None:
     diameter_bound = tissue.diameter
     inner = AlgMIS(diameter_bound)
     algorithm = Synchronizer(inner, diameter_bound)
-    print(
-        f"tissue: {tissue.name} ({tissue.n} cells, diam={tissue.diameter})"
-    )
+    print(f"tissue: {tissue.name} ({tissue.n} cells, diam={tissue.diameter})")
     print(
         f"algorithm: {algorithm.name} "
         f"(|Q*| = {algorithm.state_space_size()} = O(D·|Q|^2) states)"

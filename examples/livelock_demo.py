@@ -57,9 +57,16 @@ def main() -> None:
             marker = (
                 "  <- initial configuration again!"
                 if execution.configuration == witness.initial
-                else ("  (= initial rotated)" if execution.configuration == expected else "")
+                else (
+                    "  (= initial rotated)"
+                    if execution.configuration == expected
+                    else ""
+                )
             )
-        print(f"  round {round_index:2d}: {show(execution.configuration, n)}{marker}")
+        print(
+            f"  round {round_index:2d}: {show(execution.configuration, n)}"
+            f"{marker}"
+        )
         for _ in range(n):
             execution.step()
     print(

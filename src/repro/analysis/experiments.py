@@ -15,14 +15,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.stabilization import (
-    StabilizationResult,
     measure_au_stabilization,
     measure_static_task_stabilization,
 )
 from repro.analysis.stats import Summary, loglog_slope, ratio_to_log
 from repro.core.algau import ThinUnison
 from repro.faults.injection import (
-    TransientFaultInjector,
     au_adversarial_suite,
     random_configuration,
 )
@@ -32,7 +30,6 @@ from repro.graphs.generators import (
     complete_graph,
 )
 from repro.graphs.topology import Topology
-from repro.model.configuration import Configuration
 from repro.model.engine import create_execution
 from repro.model.execution import Execution
 from repro.model.scheduler import (
@@ -95,9 +92,7 @@ def au_scaling_experiment(
             rng = np.random.default_rng(seed + 1000 * d + trial)
             topology = bounded_diameter_family(d, n, rng)
             per_start = []
-            for name, initial in au_adversarial_suite(
-                algorithm, topology, rng
-            ).items():
+            for name, initial in au_adversarial_suite(algorithm, topology, rng).items():
                 result = measure_au_stabilization(
                     algorithm,
                     topology,
@@ -157,11 +152,15 @@ def _static_task_rows(
             rng = np.random.default_rng(seed + 1000 * n + trial)
             topology = _bounded_topology(n, diameter_bound, rng)
             if validity == "le":
-                is_valid = lambda out: check_le_output(out).valid
+
+                def is_valid(out):
+                    return check_le_output(out).valid
+
             else:
-                is_valid = (
-                    lambda out, topo=topology: check_mis_output(topo, out).valid
-                )
+
+                def is_valid(out, topo=topology):
+                    return check_mis_output(topo, out).valid
+
             initial = random_configuration(algorithm, topology, rng)
             result = measure_static_task_stabilization(
                 algorithm,
@@ -270,9 +269,7 @@ def restart_experiment(
             rng = np.random.default_rng(seed + 100 * d + trial)
             topology = bounded_diameter_family(d, n, rng)
             initial = random_configuration(algorithm, topology, rng)
-            if not any(
-                isinstance(initial[v], RestartState) for v in topology.nodes
-            ):
+            if not any(isinstance(initial[v], RestartState) for v in topology.nodes):
                 initial = initial.replace({0: RestartState(0)})
             execution = Execution(
                 topology, algorithm, initial, SynchronousScheduler(), rng=rng
@@ -340,11 +337,15 @@ def synchronizer_experiment(
             rng = np.random.default_rng(seed + 1000 * n + trial)
             topology = _bounded_topology(n, diameter_bound, rng)
             if task == "mis":
-                is_valid = (
-                    lambda out, topo=topology: check_mis_output(topo, out).valid
-                )
+
+                def is_valid(out, topo=topology):
+                    return check_mis_output(topo, out).valid
+
             else:
-                is_valid = lambda out: check_le_output(out).valid
+
+                def is_valid(out):
+                    return check_le_output(out).valid
+
             inner = make(diameter_bound)
             wrapped = Synchronizer(inner, diameter_bound)
             inner_states = inner.state_space_size()
@@ -425,7 +426,10 @@ def au_fault_recovery_experiment(
             rng=rng,
             engine=engine,
         )
-        good = lambda e: e.graph_is_good()
+
+        def good(e):
+            return e.graph_is_good()
+
         execution.run(max_rounds=10_000, until=good)
         ok = True
         for burst in range(bursts):

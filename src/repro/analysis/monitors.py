@@ -100,15 +100,9 @@ class AlgAUInvariantMonitor(Monitor):
 
     def on_start(self, execution: Execution) -> None:
         config = execution.configuration
-        self._previous_out_protected = out_protected_nodes(
-            self.algorithm, config
-        )
-        self._was_out_protected_graph = is_out_protected_graph(
-            self.algorithm, config
-        )
-        self._previous_unjustified = unjustifiably_faulty_nodes(
-            self.algorithm, config
-        )
+        self._previous_out_protected = out_protected_nodes(self.algorithm, config)
+        self._was_out_protected_graph = is_out_protected_graph(self.algorithm, config)
+        self._previous_unjustified = unjustifiably_faulty_nodes(self.algorithm, config)
         self._was_good = is_good_graph(self.algorithm, config)
 
     def on_step(self, execution: Execution, record: StepRecord) -> None:
@@ -162,9 +156,7 @@ class OutputChangeMonitor(Monitor):
         return complete, vector
 
     def on_start(self, execution: Execution) -> None:
-        self._last_complete, self._last_vector = self._snapshot(
-            execution.configuration
-        )
+        self._last_complete, self._last_vector = self._snapshot(execution.configuration)
 
     def on_step(self, execution: Execution, record: StepRecord) -> None:
         complete, vector = self._snapshot(execution.configuration)

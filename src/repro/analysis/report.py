@@ -86,9 +86,7 @@ def _figure2_section() -> ReportSection:
 
 
 def _thm11_section(trials: int) -> ReportSection:
-    rows = au_scaling_experiment(
-        diameter_bounds=(1, 2, 3), n=10, trials=trials
-    )
+    rows = au_scaling_experiment(diameter_bounds=(1, 2, 3), n=10, trials=trials)
     slope = au_scaling_slope(rows)
     ok = slope <= 3.2 and all(
         row.extra["states"] == 12 * row.params["D"] + 6 for row in rows
@@ -113,9 +111,7 @@ def _thm11_section(trials: int) -> ReportSection:
 
 
 def _thm13_section(trials: int) -> ReportSection:
-    rows = le_scaling_experiment(
-        ns=(4, 8, 16), diameter_bound=2, trials=trials
-    )
+    rows = le_scaling_experiment(ns=(4, 8, 16), diameter_bound=2, trials=trials)
     ratios = per_log_n(rows)
     ok = max(ratios) <= 4.0 * max(min(ratios), 1.0)
     table = render_table(
@@ -129,22 +125,16 @@ def _thm13_section(trials: int) -> ReportSection:
 
 
 def _thm14_section(trials: int) -> ReportSection:
-    rows = mis_scaling_experiment(
-        ns=(4, 8, 16), diameter_bound=2, trials=trials
-    )
+    rows = mis_scaling_experiment(ns=(4, 8, 16), diameter_bound=2, trials=trials)
     table = render_table(
         ["n", "rounds"],
         [(r.params["n"], str(r.rounds)) for r in rows],
     )
-    return ReportSection(
-        "Thm 1.4 — AlgMIS (O((D + log n) log n))", table, True
-    )
+    return ReportSection("Thm 1.4 — AlgMIS (O((D + log n) log n))", table, True)
 
 
 def _thm31_section(trials: int) -> ReportSection:
-    rows = restart_experiment(
-        diameter_bounds=(1, 2, 4), n=10, trials=trials
-    )
+    rows = restart_experiment(diameter_bounds=(1, 2, 4), n=10, trials=trials)
     ok = all(r.all_concurrent for r in rows) and all(
         r.exit_times.maximum <= r.bound_6d for r in rows
     )
@@ -176,6 +166,55 @@ def _recovery_section(trials: int) -> ReportSection:
         f"recovery rounds {row.recovery_rounds}"
     )
     return ReportSection("Application — transient-fault recovery", body, ok)
+
+
+def campaign_report(artifact: dict) -> str:
+    """Render a campaign artifact (``BENCH_campaign_*.json`` payload, or
+    its ``aggregates`` section) as a markdown report.
+
+    One row per aggregation group: scenario count, failures, and the
+    rounds/recovery summaries — the campaign-shaped sibling of the
+    per-theorem tables above.
+    """
+    aggregates = artifact.get("aggregates", artifact)
+    groups = aggregates.get("groups", {})
+
+    def fmt(summary: Optional[dict]) -> str:
+        if not summary:
+            return "—"
+        return (
+            f"mean={summary['mean']:.1f} med={summary['median']:.1f} "
+            f"max={summary['max']:.0f}"
+        )
+
+    rows = []
+    for group, stats in groups.items():
+        recovered = stats.get("recovered")
+        rows.append(
+            (
+                group,
+                stats["count"],
+                stats["failures"],
+                fmt(stats.get("rounds")),
+                "—" if recovered is None else str(recovered),
+                fmt(stats.get("recovery_rounds")),
+            )
+        )
+    table = render_table(
+        ["group", "scenarios", "failures", "rounds", "recovered", "recovery"],
+        rows,
+        title=(
+            f"Campaign {aggregates.get('campaign', '?')!r} — "
+            f"{aggregates.get('stabilized_count', 0)}/"
+            f"{aggregates.get('scenario_count', 0)} scenarios stabilized "
+            f"(seed {aggregates.get('seed', '?')})"
+        ),
+    )
+    failures = aggregates.get("failures", [])
+    if failures:
+        listing = "\n".join(f"- `{scenario_id}`" for scenario_id in failures)
+        table += f"\n\nFailed scenarios:\n\n{listing}"
+    return table
 
 
 def generate_report(trials: int = 3, seed: int = 0) -> str:

@@ -17,7 +17,7 @@ The reported round is the round of the *last* output change.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Sequence, Tuple
 
 import numpy as np
 
@@ -65,7 +65,10 @@ def measure_au_stabilization(
     execution = create_execution(
         topology, algorithm, initial, scheduler, rng=rng, engine=engine
     )
-    good = lambda e: e.graph_is_good()
+
+    def good(e) -> bool:
+        return e.graph_is_good()
+
     result = execution.run(max_rounds=max_rounds, until=good)
     if not result.stopped_by_predicate:
         return StabilizationResult(
@@ -110,9 +113,7 @@ def measure_static_task_stabilization(
     )
 
     def looks_stable(e: Execution) -> bool:
-        return monitor.currently_complete and is_valid_output(
-            monitor.current_vector
-        )
+        return monitor.currently_complete and is_valid_output(monitor.current_vector)
 
     while execution.completed_rounds < max_rounds:
         result = execution.run(max_rounds=max_rounds, until=looks_stable)
@@ -125,9 +126,7 @@ def measure_static_task_stabilization(
             )
         change_marker = monitor.last_change_time
         execution.run_rounds(confirm_rounds)
-        if monitor.last_change_time == change_marker and looks_stable(
-            execution
-        ):
+        if monitor.last_change_time == change_marker and looks_stable(execution):
             rounds = _round_of_time(execution, monitor.last_change_time)
             return StabilizationResult(True, rounds, execution.t)
         # The output moved during the confirmation window — keep going.

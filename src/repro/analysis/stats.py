@@ -46,6 +46,18 @@ class Summary:
             f"med={self.median:.1f} max={self.maximum:.0f}"
         )
 
+    def to_dict(self) -> dict:
+        """A JSON-ready dict; float fields are bit-exact round-trips,
+        so summaries over the same samples serialize identically."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "median": self.median,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
 
 def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
     """Least-squares slope of ``log y`` against ``log x`` — the
@@ -60,29 +72,20 @@ def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
 
 def ratio_to_log(ns: Sequence[int], ys: Sequence[float]) -> Tuple[float, ...]:
     """``y / log2(n)`` per sweep point — flat means ``Θ(log n)``."""
-    return tuple(
-        float(y) / math.log2(n) if n > 1 else float(y)
-        for n, y in zip(ns, ys)
-    )
+    return tuple(float(y) / math.log2(n) if n > 1 else float(y) for n, y in zip(ns, ys))
 
 
-def max_geometric_sample(
-    n: int, p: float, rng: np.random.Generator
-) -> int:
+def max_geometric_sample(n: int, p: float, rng: np.random.Generator) -> int:
     """One draw of ``max`` of ``n`` i.i.d. Geom(p) variables (support
     starting at 1) — the distribution behind RandPhase/RandCount
     (Obs 3.2)."""
     return int(rng.geometric(p, size=n).max())
 
 
-def geometric_max_statistics(
-    n: int, p: float, trials: int, seed: int = 0
-) -> Summary:
+def geometric_max_statistics(n: int, p: float, trials: int, seed: int = 0) -> Summary:
     """Monte-Carlo summary of ``max`` of ``n`` Geom(p)."""
     rng = np.random.default_rng(seed)
-    return Summary.of(
-        [max_geometric_sample(n, p, rng) for _ in range(trials)]
-    )
+    return Summary.of([max_geometric_sample(n, p, rng) for _ in range(trials)])
 
 
 def within_factor(measured: float, reference: float, factor: float) -> bool:

@@ -7,6 +7,7 @@ stable artifacts.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, List, Optional, Sequence
 
@@ -56,3 +57,21 @@ def persist_table(name: str, content: str) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(content + "\n")
     return path
+
+
+def write_json(path: str, payload: object) -> str:
+    """Write a ``BENCH_*.json`` artifact deterministically.
+
+    ``sort_keys`` plus a fixed indent makes equal payloads produce
+    byte-identical files, which is what lets campaign artifacts be
+    compared bit for bit across worker counts and across PRs.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def persist_json(name: str, payload: object) -> str:
+    """Write a JSON artifact under ``benchmarks/results/<name>.json``."""
+    return write_json(os.path.join(results_dir(), f"{name}.json"), payload)

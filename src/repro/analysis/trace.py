@@ -21,8 +21,8 @@ from parsing states back.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.model.execution import Execution, Monitor, StepRecord
 from repro.model.scheduler import ExplicitScheduler
@@ -106,9 +106,7 @@ class Trace:
                 TraceStep(
                     t=raw["t"],
                     activated=tuple(raw["activated"]),
-                    changes=tuple(
-                        (int(v), old, new) for v, old, new in raw["changes"]
-                    ),
+                    changes=tuple((int(v), old, new) for v, old, new in raw["changes"]),
                     completed_round=raw["completed_round"],
                 )
             )

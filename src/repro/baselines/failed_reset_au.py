@@ -32,7 +32,7 @@ mechanically and the 8-round periodicity (live-lock).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Sequence, Tuple
+from typing import FrozenSet, List, Tuple
 
 import numpy as np
 
@@ -171,9 +171,7 @@ def livelock_initial_turns(algorithm: FailedResetUnison) -> List[object]:
     return turns
 
 
-def livelock_witness(
-    diameter_bound: int = 2, c: int = 2
-) -> LivelockWitness:
+def livelock_witness(diameter_bound: int = 2, c: int = 2) -> LivelockWitness:
     """Build the live-lock instance of Figure 2 (generalized to any
     ``c, D``; the paper's figure is ``c = 2, D = 2`` on the 8-ring).
 

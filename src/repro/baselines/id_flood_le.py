@@ -79,9 +79,7 @@ class IDFloodLE(Algorithm):
         )
 
     def delta(self, state: FloodState, signal: Signal) -> TransitionResult:
-        best = max(
-            s.best for s in signal if isinstance(s, FloodState)
-        )
+        best = max(s.best for s in signal if isinstance(s, FloodState))
         best = max(best, state.identifier)
         if best == state.best:
             return state

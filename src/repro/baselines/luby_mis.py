@@ -30,7 +30,7 @@ classic one-shot comparators below must *break the model* to work:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional
+from typing import FrozenSet
 
 import numpy as np
 
@@ -118,9 +118,7 @@ class IDGreedyMIS(Algorithm):
             for s in signal
             if isinstance(s, IDState) and s.membership == UNDECIDED
         ]
-        if any(
-            isinstance(s, IDState) and s.membership == IN for s in signal
-        ):
+        if any(isinstance(s, IDState) and s.membership == IN for s in signal):
             return IDState(OUT, state.identifier)
         if all(s.identifier <= state.identifier for s in undecided) and all(
             s == state or s.identifier < state.identifier for s in undecided
@@ -185,9 +183,7 @@ class LubyTrialMIS(Algorithm):
     def delta(self, state: LubyState, signal: Signal) -> TransitionResult:
         if state.membership != UNDECIDED:
             return state
-        if any(
-            isinstance(s, LubyState) and s.membership == IN for s in signal
-        ):
+        if any(isinstance(s, LubyState) and s.membership == IN for s in signal):
             return LubyState(OUT, False, 0)
         if state.phase == 0:
             return Distribution.uniform(

@@ -22,7 +22,6 @@ report, which the comparison benchmark records as ``∞``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet
 
 import numpy as np
 
@@ -75,6 +74,4 @@ class MinUnison(Algorithm):
 def min_unison_stable(config) -> bool:
     """Stabilization predicate: neighboring counters differ by <= 1."""
     topology = config.topology
-    return all(
-        abs(config[u].value - config[v].value) <= 1 for u, v in topology.edges
-    )
+    return all(abs(config[u].value - config[v].value) <= 1 for u, v in topology.edges)

@@ -101,9 +101,7 @@ class ResetTailUnison(Algorithm):
         return TailClock(0)
 
     def random_state(self, rng: np.random.Generator) -> TailClock:
-        return TailClock(
-            int(rng.integers(-self.tail_length, self.ring.order))
-        )
+        return TailClock(int(rng.integers(-self.tail_length, self.ring.order)))
 
     # ------------------------------------------------------------------
     # Transition function.
@@ -114,9 +112,7 @@ class ResetTailUnison(Algorithm):
         tail_values = sorted(s.value for s in signal if s.in_tail)
         if not state.in_tail:
             x = state.value
-            incoherent = any(
-                self.ring.distance(x, y) > 1 for y in ring_values
-            )
+            incoherent = any(self.ring.distance(x, y) > 1 for y in ring_values)
             if incoherent or (tail_values and x not in (0, 1)):
                 return TailClock(-self.tail_length)  # reset
             if not tail_values and all(

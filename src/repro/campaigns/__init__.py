@@ -1,0 +1,52 @@
+"""Scenario-campaign subsystem.
+
+Declarative :class:`Scenario` specs (:mod:`repro.campaigns.spec`),
+named campaign registries (:mod:`repro.campaigns.registry`), a sharded
+parallel runner with JSONL checkpointing
+(:mod:`repro.campaigns.runner`), and deterministic aggregation into
+``BENCH_campaign_*.json`` artifacts
+(:mod:`repro.campaigns.aggregate`).  Exposed on the command line as
+``repro campaign {list,run,report}``.
+"""
+
+from repro.campaigns.aggregate import (
+    aggregate_results,
+    default_artifact_path,
+    fold_worst_rounds,
+    write_campaign_artifact,
+)
+from repro.campaigns.registry import (
+    CampaignBuilder,
+    build_campaign,
+    campaign,
+    describe_registry,
+    registry_names,
+)
+from repro.campaigns.runner import load_checkpoint, run_campaign, run_scenario
+from repro.campaigns.spec import (
+    FaultPlan,
+    Scenario,
+    ScenarioResult,
+    make_scheduler,
+    scheduler_names,
+)
+
+__all__ = [
+    "CampaignBuilder",
+    "FaultPlan",
+    "Scenario",
+    "ScenarioResult",
+    "aggregate_results",
+    "build_campaign",
+    "campaign",
+    "default_artifact_path",
+    "describe_registry",
+    "fold_worst_rounds",
+    "load_checkpoint",
+    "make_scheduler",
+    "registry_names",
+    "run_campaign",
+    "run_scenario",
+    "scheduler_names",
+    "write_campaign_artifact",
+]

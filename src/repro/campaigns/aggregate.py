@@ -1,0 +1,154 @@
+"""Campaign aggregation and artifact emission.
+
+:func:`aggregate_results` folds a campaign's index-sorted results into
+one deterministic payload: per-scenario rows (scenario axes joined with
+measured outcomes) plus per-group :class:`~repro.analysis.stats.Summary`
+statistics.  Wall-clock timing never enters the payload — it lives in
+the separate ``meta`` section of the artifact — so equal campaigns
+serialize byte-identically regardless of worker count, shard sizes, or
+completion order.
+
+:func:`write_campaign_artifact` persists ``{"aggregates": ..., "meta":
+...}`` via :func:`repro.analysis.tables.write_json`; the rendering side
+lives in :func:`repro.analysis.report.campaign_report`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.stats import Summary
+from repro.analysis.tables import write_json
+from repro.campaigns.spec import Scenario, ScenarioResult
+
+
+def _row(scenario: Scenario, result: ScenarioResult) -> Dict[str, object]:
+    return {
+        "index": scenario.index,
+        "scenario_id": scenario.scenario_id,
+        "group": scenario.group,
+        "task": scenario.task,
+        "graph": scenario.graph,
+        "graph_params": dict(scenario.graph_params),
+        "diameter_bound": scenario.diameter_bound,
+        "scheduler": scenario.scheduler,
+        "engine": scenario.engine,
+        "start": scenario.start,
+        "faults": scenario.faults.label,
+        "seed": scenario.seed,
+        "tags": dict(scenario.tags),
+        "n": result.n,
+        "m": result.m,
+        "stabilized": result.stabilized,
+        "rounds": result.rounds,
+        "steps": result.steps,
+        "recovered": result.recovered,
+        "recovery_rounds": result.recovery_rounds,
+        "detail": result.detail,
+    }
+
+
+def _row_ok(row: Dict[str, object]) -> bool:
+    """A scenario counts as failed if it did not stabilize *or* if its
+    fault plan's recovery did not succeed — a recovery regression must
+    fail the campaign (and therefore the CI smoke gate), not just dent
+    a summary statistic."""
+    return bool(row["stabilized"]) and row["recovered"] is not False
+
+
+def _group_summary(rows: List[Dict[str, object]]) -> Dict[str, object]:
+    stabilized = [r for r in rows if r["stabilized"]]
+    recoveries = [
+        r["recovery_rounds"]
+        for r in rows
+        if r["recovery_rounds"] is not None
+    ]
+    recovered_universe = [r for r in rows if r["recovered"] is not None]
+    return {
+        "count": len(rows),
+        "failures": sum(1 for r in rows if not _row_ok(r)),
+        "rounds": (
+            Summary.of([r["rounds"] for r in stabilized]).to_dict()
+            if stabilized
+            else None
+        ),
+        "recovered": (
+            sum(1 for r in recovered_universe if r["recovered"])
+            if recovered_universe
+            else None
+        ),
+        "recovery_rounds": Summary.of(recoveries).to_dict() if recoveries else None,
+    }
+
+
+def aggregate_results(
+    name: str,
+    scenarios: Sequence[Scenario],
+    results: Sequence[ScenarioResult],
+    seed: int,
+) -> Dict[str, object]:
+    """The deterministic aggregates of one completed campaign."""
+    by_id = {result.scenario_id: result for result in results}
+    ordered = sorted(scenarios, key=lambda s: s.index)
+    rows = [_row(scenario, by_id[scenario.scenario_id]) for scenario in ordered]
+    groups: Dict[str, List[Dict[str, object]]] = {}
+    for row in rows:
+        groups.setdefault(str(row["group"]), []).append(row)
+    failures = [r["scenario_id"] for r in rows if not _row_ok(r)]
+    return {
+        "campaign": name,
+        "seed": seed,
+        "scenario_count": len(rows),
+        "stabilized_count": len(rows) - len(failures),
+        "failure_count": len(failures),
+        "failures": failures,
+        "groups": {
+            group: _group_summary(group_rows)
+            for group, group_rows in sorted(groups.items())
+        },
+        "rows": rows,
+    }
+
+
+def fold_worst_rounds(
+    rows: Sequence[Dict[str, object]], tag: str = "trial"
+) -> Dict[tuple, int]:
+    """Worst ``rounds`` per ``(group, tag value)`` over aggregate rows.
+
+    The paper's scaling measurements report the worst stabilization
+    over the adversarial-start suite per trial; campaigns encode each
+    start as its own scenario, so benchmarks re-fold the rows with this
+    helper before summarizing per sweep point.
+    """
+    worst: Dict[tuple, int] = {}
+    for row in rows:
+        value = row["tags"].get(tag)
+        if value is None:
+            raise ValueError(
+                f"row {row['scenario_id']!r} carries no {tag!r} tag; "
+                f"fold_worst_rounds needs a campaign whose scenarios are "
+                f"tagged with {tag!r} (its tags: {sorted(row['tags'])})"
+            )
+        worst[(row["group"], value)] = max(
+            worst.get((row["group"], value), 0), int(row["rounds"])
+        )
+    return worst
+
+
+def write_campaign_artifact(
+    aggregates: Dict[str, object],
+    path: str,
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Persist ``BENCH_campaign_<name>.json``.
+
+    The ``aggregates`` section is bit-identical for equal campaigns;
+    ``meta`` (worker count, wall-clock, checkpoint path) is the only
+    run-dependent part and is kept strictly separated so artifact diffs
+    across PRs and worker counts stay meaningful.
+    """
+    return write_json(path, {"aggregates": aggregates, "meta": meta or {}})
+
+
+def default_artifact_path(name: str) -> str:
+    return f"BENCH_campaign_{name}.json"

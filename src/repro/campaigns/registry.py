@@ -1,0 +1,464 @@
+"""Named campaign registries.
+
+A *campaign* is a programmatically enumerated list of
+:class:`~repro.campaigns.spec.Scenario` specs.  Registries are
+registered with the :func:`campaign` decorator and built with
+:func:`build_campaign`, which derives one independent seed per scenario
+from the campaign seed via :class:`numpy.random.SeedSequence` — the
+same scenario list (ids, seeds, and all) regardless of process, shard,
+or worker count.
+
+Shipped registries:
+
+* ``micro`` — a handful of scenarios; test-suite and CLI sanity runs;
+* ``smoke`` — the CI campaign: ≥ 50 fast scenarios crossing graph
+  families (including heterogeneous-degree biological graphs), both
+  engines, schedulers, the full adversarial-start suite, and every
+  fault kind (bursts, storms, dynamic-topology rewires);
+* ``dynamic`` — dynamic-topology focus: rewire and storm sweeps;
+* ``bio`` — biological topologies (quorum colonies, tissues,
+  proneural clusters, signaling-hub colonies);
+* ``full`` — the nightly-scale cross product over families ×
+  schedulers × starts;
+* ``thm11-scaling`` / ``thm11-n-independence`` / ``fault-recovery`` —
+  registry-driven replacements for the former ad-hoc sweep loops of
+  ``benchmarks/bench_thm11_*`` and ``bench_fault_recovery``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.campaigns.spec import NO_FAULTS, FaultPlan, Scenario
+from repro.campaigns.spec import AU_STARTS as SPEC_AU_STARTS
+
+GraphSpec = Tuple[str, Tuple[Tuple[str, object], ...], int]
+
+
+def au_round_budget(diameter_bound: int) -> int:
+    """The AU round budget at diameter bound ``d`` — a cap, not an
+    estimate (the paper's bound is ``k^3`` with ``k = 3d + 2``)."""
+    return 200 * (3 * diameter_bound + 2) ** 3
+
+
+def derive_seed(campaign_seed: int, index: int) -> int:
+    """A stable per-scenario seed, independent of sharding."""
+    sequence = np.random.SeedSequence([campaign_seed, index])
+    return int(sequence.generate_state(1)[0])
+
+
+class CampaignBuilder:
+    """Accumulates scenarios, assigning indices and derived seeds."""
+
+    def __init__(self, name: str, seed: int):
+        self.name = name
+        self.seed = seed
+        self.scenarios: List[Scenario] = []
+
+    def add(
+        self,
+        task: str,
+        graph: str,
+        graph_params: Tuple[Tuple[str, object], ...],
+        diameter_bound: int,
+        scheduler: str,
+        engine: str,
+        start: str,
+        max_rounds: int,
+        faults: FaultPlan = NO_FAULTS,
+        group: str = "",
+        tags: Tuple[Tuple[str, str], ...] = (),
+    ) -> Scenario:
+        index = len(self.scenarios)
+        scenario = Scenario(
+            campaign=self.name,
+            index=index,
+            task=task,
+            graph=graph,
+            graph_params=graph_params,
+            diameter_bound=diameter_bound,
+            scheduler=scheduler,
+            engine=engine,
+            start=start,
+            seed=derive_seed(self.seed, index),
+            max_rounds=max_rounds,
+            faults=faults,
+            group=group or f"{task}@{graph}",
+            tags=tags,
+        )
+        self.scenarios.append(scenario)
+        return scenario
+
+    def add_au(self, graph, graph_params, diameter_bound, **kwargs):
+        kwargs.setdefault("max_rounds", au_round_budget(diameter_bound))
+        kwargs.setdefault("scheduler", "shuffled-round-robin")
+        kwargs.setdefault("engine", "array")
+        kwargs.setdefault("start", "random")
+        return self.add("au", graph, graph_params, diameter_bound, **kwargs)
+
+
+CampaignFn = Callable[[CampaignBuilder], None]
+
+_REGISTRY: Dict[str, Tuple[str, CampaignFn]] = {}
+
+
+def campaign(name: str, description: str):
+    """Register a campaign builder under ``name``."""
+
+    def wrap(fn: CampaignFn) -> CampaignFn:
+        _REGISTRY[name] = (description, fn)
+        return fn
+
+    return wrap
+
+
+def registry_names() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def describe_registry(name: str) -> str:
+    _require(name)
+    return _REGISTRY[name][0]
+
+
+def build_campaign(name: str, seed: int = 0) -> List[Scenario]:
+    """Enumerate the named campaign's scenarios (deterministic)."""
+    _require(name)
+    builder = CampaignBuilder(name, seed)
+    _REGISTRY[name][1](builder)
+    return builder.scenarios
+
+
+def _require(name: str) -> None:
+    if name not in _REGISTRY:
+        valid = ", ".join(registry_names())
+        raise ValueError(
+            f"unknown campaign registry {name!r}: valid registries are "
+            f"{valid}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared axis fragments.
+# ----------------------------------------------------------------------
+
+#: The adversarial sweep omits the benign ``uniform`` start.
+AU_STARTS = tuple(name for name in SPEC_AU_STARTS if name != "uniform")
+
+#: The cross-family AU workload: name, params, diameter bound.
+CORE_GRAPHS: Tuple[GraphSpec, ...] = (
+    ("complete", (("n", 8),), 1),
+    (
+        "damaged-clique",
+        (("n", 10), ("diameter_bound", 2), ("damage", 0.4)),
+        2,
+    ),
+    ("star", (("n", 9),), 2),
+    ("dumbbell", (("clique_size", 4), ("bridge_length", 1)), 3),
+    ("ring", (("n", 8),), 4),
+)
+
+BIO_GRAPHS: Tuple[GraphSpec, ...] = (
+    ("quorum-colony", (("n", 12), ("diameter_bound", 2)), 2),
+    ("hub-colony", (("n", 12), ("hubs", 2)), 2),
+    ("cell-tissue", (("width", 3), ("height", 3)), 4),
+    ("proneural", (("width", 3), ("height", 3)), 2),
+)
+
+FAULT_GRAPHS: Tuple[GraphSpec, ...] = (
+    (
+        "damaged-clique",
+        (("n", 10), ("diameter_bound", 2), ("damage", 0.4)),
+        2,
+    ),
+    ("quorum-colony", (("n", 10), ("diameter_bound", 2)), 2),
+)
+
+
+def _alternating_engine(builder: CampaignBuilder) -> str:
+    """Alternate engines so campaigns continuously cross-check both
+    backends (AlgAU is deterministic, so mixed engines cannot change
+    aggregate values, only exercise both code paths)."""
+    return "array" if len(builder.scenarios) % 2 == 0 else "object"
+
+
+def _fault_block(builder: CampaignBuilder) -> None:
+    for graph, params, d in FAULT_GRAPHS:
+        for bursts in (1, 2):
+            builder.add_au(
+                graph,
+                params,
+                d,
+                faults=FaultPlan(kind="bursts", bursts=bursts, fraction=0.3),
+                group=f"au-bursts@{graph}",
+            )
+        builder.add_au(
+            graph,
+            params,
+            d,
+            engine=_alternating_engine(builder),
+            faults=FaultPlan(kind="storm", times=(5, 40, 80), fraction=0.25),
+            group=f"au-storm@{graph}",
+        )
+        for remove, add in ((1, 1), (2, 1)):
+            builder.add_au(
+                graph,
+                params,
+                d,
+                faults=FaultPlan(kind="rewire", remove=remove, add=add),
+                group=f"au-rewire@{graph}",
+            )
+
+
+# ----------------------------------------------------------------------
+# Registries.
+# ----------------------------------------------------------------------
+
+
+@campaign("micro", "six-scenario sanity campaign (tests, CLI smoke)")
+def _micro(builder: CampaignBuilder) -> None:
+    for start in ("random", "all-faulty"):
+        for scheduler in ("synchronous", "shuffled-round-robin"):
+            builder.add_au(
+                "complete",
+                (("n", 6),),
+                1,
+                scheduler=scheduler,
+                engine=_alternating_engine(builder),
+                start=start,
+                group="au@complete",
+            )
+    params = (("n", 8), ("diameter_bound", 2), ("damage", 0.4))
+    builder.add_au(
+        "damaged-clique",
+        params,
+        2,
+        faults=FaultPlan(kind="bursts", bursts=1, fraction=0.3),
+        group="au-bursts",
+    )
+    builder.add_au(
+        "damaged-clique",
+        params,
+        2,
+        faults=FaultPlan(kind="rewire", remove=1, add=1),
+        group="au-rewire",
+    )
+
+
+@campaign(
+    "smoke",
+    "CI campaign: every family/scheduler/start/fault axis at small sizes",
+)
+def _smoke(builder: CampaignBuilder) -> None:
+    for graph, params, d in CORE_GRAPHS:
+        for start in AU_STARTS:
+            for scheduler in ("synchronous", "shuffled-round-robin"):
+                builder.add_au(
+                    graph,
+                    params,
+                    d,
+                    scheduler=scheduler,
+                    engine=_alternating_engine(builder),
+                    start=start,
+                    group=f"au@{graph}",
+                )
+    _fault_block(builder)
+    for graph, params, d in BIO_GRAPHS[:3]:
+        for start in ("sign-split", "all-faulty"):
+            builder.add_au(graph, params, d, start=start, group=f"au@{graph}")
+    for n in (4, 8):
+        builder.add(
+            "le",
+            "damaged-clique",
+            (("n", n), ("diameter_bound", 2), ("damage", 0.4)),
+            2,
+            scheduler="synchronous",
+            engine="object",
+            start="random",
+            max_rounds=40_000,
+            group="le@damaged-clique",
+        )
+    builder.add(
+        "mis",
+        "proneural",
+        (("width", 3), ("height", 3)),
+        2,
+        scheduler="synchronous",
+        engine="object",
+        start="random",
+        max_rounds=80_000,
+        group="mis@proneural",
+    )
+    builder.add(
+        "mis",
+        "damaged-clique",
+        (("n", 8), ("diameter_bound", 2), ("damage", 0.4)),
+        2,
+        scheduler="synchronous",
+        engine="object",
+        start="random",
+        max_rounds=80_000,
+        group="mis@damaged-clique",
+    )
+
+
+@campaign("dynamic", "dynamic-topology focus: rewire and storm sweeps")
+def _dynamic(builder: CampaignBuilder) -> None:
+    graphs: Tuple[GraphSpec, ...] = (
+        (
+            "damaged-clique",
+            (("n", 12), ("diameter_bound", 2), ("damage", 0.4)),
+            2,
+        ),
+        ("quorum-colony", (("n", 12), ("diameter_bound", 2)), 2),
+        ("hub-colony", (("n", 12), ("hubs", 2)), 2),
+    )
+    for graph, params, d in graphs:
+        for remove, add in ((1, 1), (2, 2), (3, 1)):
+            for trial in range(3):
+                builder.add_au(
+                    graph,
+                    params,
+                    d,
+                    faults=FaultPlan(kind="rewire", remove=remove, add=add),
+                    group=f"rewire(-{remove}+{add})@{graph}",
+                    tags=(("trial", str(trial)),),
+                )
+        for fraction in (0.25, 0.5):
+            builder.add_au(
+                graph,
+                params,
+                d,
+                faults=FaultPlan(kind="storm", times=(4, 30, 60), fraction=fraction),
+                group=f"storm@{graph}",
+            )
+
+
+@campaign("bio", "biological topologies: clocks, tissues, SOP selection")
+def _bio(builder: CampaignBuilder) -> None:
+    for graph, params, d in BIO_GRAPHS:
+        for start in AU_STARTS:
+            builder.add_au(graph, params, d, start=start, group=f"au@{graph}")
+        builder.add_au(
+            graph,
+            params,
+            d,
+            faults=FaultPlan(kind="bursts", bursts=2, fraction=0.3),
+            group=f"au-bursts@{graph}",
+        )
+    builder.add(
+        "mis",
+        "proneural",
+        (("width", 4), ("height", 3)),
+        2,
+        scheduler="synchronous",
+        engine="object",
+        start="random",
+        max_rounds=80_000,
+        group="mis@proneural",
+    )
+    builder.add(
+        "le",
+        "quorum-colony",
+        (("n", 10), ("diameter_bound", 2)),
+        2,
+        scheduler="synchronous",
+        engine="object",
+        start="random",
+        max_rounds=40_000,
+        group="le@quorum-colony",
+    )
+
+
+@campaign("full", "nightly-scale cross product over every axis")
+def _full(builder: CampaignBuilder) -> None:
+    graphs: Tuple[GraphSpec, ...] = CORE_GRAPHS + BIO_GRAPHS + (
+        ("torus", (("rows", 4), ("cols", 4)), 4),
+        ("hypercube", (("dimension", 3),), 3),
+        ("caterpillar", (("spine", 5), ("legs_per_node", 1)), 6),
+        ("gnp", (("n", 16), ("p", 0.5)), 4),
+        ("regular", (("n", 16), ("degree", 5)), 4),
+    )
+    schedulers = ("synchronous", "shuffled-round-robin", "random-subset")
+    for graph, params, d in graphs:
+        for start in AU_STARTS:
+            for scheduler in schedulers:
+                builder.add_au(
+                    graph,
+                    params,
+                    d,
+                    scheduler=scheduler,
+                    engine=_alternating_engine(builder),
+                    start=start,
+                    group=f"au@{graph}",
+                )
+    _fault_block(builder)
+    for task, graph, params, d, budget in (
+        ("le", "damaged-clique", (("n", 16), ("diameter_bound", 2)), 2, 40_000),
+        ("mis", "proneural", (("width", 4), ("height", 4)), 2, 80_000),
+    ):
+        builder.add(
+            task,
+            graph,
+            params,
+            d,
+            scheduler="synchronous",
+            engine="object",
+            start="random",
+            max_rounds=budget,
+            group=f"{task}@{graph}",
+        )
+
+
+@campaign(
+    "thm11-scaling",
+    "Thm 1.1 — AlgAU rounds vs diameter bound D (worst adversarial start)",
+)
+def _thm11_scaling(builder: CampaignBuilder) -> None:
+    for d in (1, 2, 3, 4, 5):
+        for trial in range(6):
+            for start in AU_STARTS:
+                builder.add_au(
+                    "bounded-diameter",
+                    (("diameter_bound", d), ("n", 14)),
+                    d,
+                    start=start,
+                    group=f"D={d}",
+                    tags=(("trial", str(trial)), ("start", start)),
+                )
+
+
+@campaign(
+    "thm11-n-independence",
+    "Thm 1.1 — AlgAU rounds stay flat as n grows at fixed D=2",
+)
+def _thm11_n_independence(builder: CampaignBuilder) -> None:
+    for n in (6, 12, 24, 48):
+        for trial in range(5):
+            for start in AU_STARTS:
+                builder.add_au(
+                    "damaged-clique",
+                    (("n", n), ("diameter_bound", 2), ("damage", 0.4)),
+                    2,
+                    start=start,
+                    group=f"n={n}",
+                    tags=(("trial", str(trial)), ("start", start)),
+                )
+
+
+@campaign(
+    "fault-recovery",
+    "Title application — repeated fault bursts on a quorum-colony clock",
+)
+def _fault_recovery(builder: CampaignBuilder) -> None:
+    for trial in range(8):
+        builder.add_au(
+            "quorum-colony",
+            (("n", 16), ("diameter_bound", 2)),
+            2,
+            faults=FaultPlan(kind="bursts", bursts=3, fraction=0.3),
+            group="au-recovery",
+            tags=(("trial", str(trial)),),
+        )

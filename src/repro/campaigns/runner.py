@@ -1,0 +1,430 @@
+"""Sharded parallel campaign execution.
+
+:func:`run_scenario` turns one declarative :class:`Scenario` into a
+measured :class:`ScenarioResult`; :func:`run_campaign` drives a whole
+campaign through a pool of worker processes.
+
+Design constraints, in order:
+
+1. **Determinism.**  Every scenario carries its own seed (derived from
+   the campaign seed and the scenario index by the registry), so a
+   scenario's result is a pure function of its spec — independent of
+   which shard ran it, in which process, in which order.  Aggregates
+   over a result set are computed from index-sorted rows, which is what
+   makes 1-worker and N-worker campaign runs bit-identical.
+2. **Resumability.**  Completed scenarios stream to a JSONL checkpoint
+   as soon as their shard finishes (per scenario in the inline path);
+   a killed campaign restarted with ``resume=True`` skips everything
+   the checkpoint already holds and re-runs only the remainder.
+3. **Throughput.**  Shards are sized so each worker receives several
+   (amortizing process start-up) while keeping enough shards in flight
+   to even out scenario-length skew; AU scenarios default to the
+   vectorized array engine in the registries.
+
+A scenario that raises is folded into a failed result (``stabilized
+False``, ``detail`` holding the error) rather than aborting the
+campaign: one unsatisfiable graph sample must not sink a
+thousand-scenario sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.campaigns.spec import Scenario, ScenarioResult, make_scheduler
+from repro.core.algau import ThinUnison
+from repro.faults.injection import (
+    AU_START_BUILDERS,
+    TransientFaultInjector,
+    carry_configuration,
+    perturb_topology,
+    random_configuration,
+    uniform_configuration,
+)
+from repro.graphs.generators import make_graph
+from repro.graphs.topology import Topology
+from repro.model.configuration import Configuration
+from repro.model.engine import create_execution
+from repro.tasks.le import AlgLE
+from repro.tasks.mis import AlgMIS
+from repro.tasks.spec import check_le_output, check_mis_output
+
+
+# ----------------------------------------------------------------------
+# Single-scenario execution.
+# ----------------------------------------------------------------------
+
+
+def _initial_configuration(
+    scenario: Scenario, algorithm, topology: Topology, rng
+) -> Configuration:
+    if scenario.start == "uniform":
+        return uniform_configuration(algorithm, topology)
+    if scenario.start == "random":
+        # Valid for every task; the AU builder battery covers AU only.
+        return random_configuration(algorithm, topology, rng)
+    return AU_START_BUILDERS[scenario.start](algorithm, topology, rng)
+
+
+def _result(
+    scenario: Scenario,
+    topology: Topology,
+    *,
+    stabilized: bool,
+    rounds: int,
+    steps: int,
+    recovered: Optional[bool] = None,
+    recovery_rounds: Optional[int] = None,
+    detail: str = "",
+    started: float = 0.0,
+) -> ScenarioResult:
+    return ScenarioResult(
+        scenario_id=scenario.scenario_id,
+        index=scenario.index,
+        group=scenario.group,
+        stabilized=stabilized,
+        rounds=rounds,
+        steps=steps,
+        n=topology.n,
+        m=topology.m,
+        recovered=recovered,
+        recovery_rounds=recovery_rounds,
+        detail=detail,
+        tags=scenario.tags,
+        elapsed_ms=(time.perf_counter() - started) * 1000.0,
+    )
+
+
+def _stabilization_round(execution) -> int:
+    """The paper's unit: smallest ``i`` with stabilization by ``R(i)``
+    (mirrors :func:`repro.analysis.stabilization.measure_au_stabilization`).
+    """
+    at_boundary = execution.t == execution.rounds.boundaries[-1]
+    return execution.completed_rounds + (0 if at_boundary else 1)
+
+
+def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
+    started = time.perf_counter()
+    algorithm = ThinUnison(scenario.diameter_bound)
+    initial = _initial_configuration(scenario, algorithm, topology, rng)
+    plan = scenario.faults
+
+    intervention = None
+    injector = None
+    if plan.kind == "storm":
+        injector = TransientFaultInjector(
+            algorithm, plan.times, fraction=plan.fraction, rng=rng
+        )
+        intervention = injector
+
+    execution = create_execution(
+        topology,
+        algorithm,
+        initial,
+        make_scheduler(scenario.scheduler),
+        rng=rng,
+        intervention=intervention,
+        engine=scenario.engine,
+    )
+
+    def good(e) -> bool:
+        if injector is not None and e.t <= max(plan.times):
+            return False  # the storm is still raging; don't stop early
+        return e.graph_is_good()
+
+    run = execution.run(max_rounds=scenario.max_rounds, until=good)
+    if not run.stopped_by_predicate:
+        return _result(
+            scenario,
+            topology,
+            stabilized=False,
+            rounds=execution.completed_rounds,
+            steps=execution.t,
+            detail="good graph not reached within the round budget",
+            started=started,
+        )
+    rounds = _stabilization_round(execution)
+
+    if plan.kind == "bursts":
+        worst_recovery = 0
+        for _ in range(plan.bursts):
+            count = max(1, int(np.ceil(plan.fraction * topology.n)))
+            victims = rng.choice(topology.n, size=count, replace=False)
+            corrupted = execution.configuration.replace(
+                {int(v): algorithm.random_state(rng) for v in victims}
+            )
+            execution.replace_configuration(corrupted)
+            start_round = execution.completed_rounds
+            recovery = execution.run(
+                max_rounds=execution.completed_rounds + scenario.max_rounds,
+                until=lambda e: e.graph_is_good(),
+            )
+            if not recovery.stopped_by_predicate:
+                return _result(
+                    scenario,
+                    topology,
+                    stabilized=True,
+                    rounds=rounds,
+                    steps=execution.t,
+                    recovered=False,
+                    detail="burst recovery exceeded the round budget",
+                    started=started,
+                )
+            worst_recovery = max(
+                worst_recovery, execution.completed_rounds - start_round + 1
+            )
+        return _result(
+            scenario,
+            topology,
+            stabilized=True,
+            rounds=rounds,
+            steps=execution.t,
+            recovered=True,
+            recovery_rounds=worst_recovery,
+            started=started,
+        )
+
+    if plan.kind == "rewire":
+        perturbation = perturb_topology(
+            topology,
+            rng,
+            remove=plan.remove,
+            add=plan.add,
+            diameter_bound=scenario.diameter_bound,
+        )
+        carried = carry_configuration(execution.configuration, perturbation.topology)
+        # Nodes whose contact set changed re-enter from arbitrary states:
+        # the rewiring invalidated exactly their neighborhood assumptions
+        # (pure edge changes often leave a good configuration good, which
+        # would make the recovery measurement vacuous).
+        touched = sorted(
+            {v for edge in perturbation.removed + perturbation.added for v in edge}
+        )
+        if touched:
+            carried = carried.replace({v: algorithm.random_state(rng) for v in touched})
+        rewired = create_execution(
+            perturbation.topology,
+            algorithm,
+            carried,
+            make_scheduler(scenario.scheduler),
+            rng=rng,
+            engine=scenario.engine,
+        )
+        recovery = rewired.run(
+            max_rounds=scenario.max_rounds,
+            until=lambda e: e.graph_is_good(),
+        )
+        if not recovery.stopped_by_predicate:
+            return _result(
+                scenario,
+                topology,
+                stabilized=True,
+                rounds=rounds,
+                steps=execution.t + rewired.t,
+                recovered=False,
+                detail="post-rewire recovery exceeded the round budget",
+                started=started,
+            )
+        return _result(
+            scenario,
+            topology,
+            stabilized=True,
+            rounds=rounds,
+            steps=execution.t + rewired.t,
+            recovered=True,
+            recovery_rounds=_stabilization_round(rewired),
+            started=started,
+        )
+
+    return _result(
+        scenario,
+        topology,
+        stabilized=True,
+        rounds=rounds,
+        steps=execution.t,
+        started=started,
+    )
+
+
+def _run_static(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
+    from repro.analysis.stabilization import measure_static_task_stabilization
+
+    started = time.perf_counter()
+    if scenario.task == "le":
+        algorithm = AlgLE(scenario.diameter_bound)
+
+        def is_valid(out):
+            return check_le_output(out).valid
+
+    else:
+        algorithm = AlgMIS(scenario.diameter_bound)
+
+        def is_valid(out):
+            return check_mis_output(topology, out).valid
+
+    initial = _initial_configuration(scenario, algorithm, topology, rng)
+    measurement = measure_static_task_stabilization(
+        algorithm,
+        topology,
+        initial,
+        make_scheduler(scenario.scheduler),
+        rng,
+        is_valid,
+        max_rounds=scenario.max_rounds,
+        confirm_rounds=8 * (scenario.diameter_bound + 1),
+    )
+    return _result(
+        scenario,
+        topology,
+        stabilized=measurement.stabilized,
+        rounds=measurement.rounds,
+        steps=measurement.steps,
+        detail=measurement.detail,
+        started=started,
+    )
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Execute one scenario; a pure function of the spec."""
+    started = time.perf_counter()
+    rng = np.random.default_rng(scenario.seed)
+    try:
+        topology = make_graph(scenario.graph, rng, **scenario.params())
+        if scenario.task == "au":
+            return _run_au(scenario, topology, rng)
+        return _run_static(scenario, topology, rng)
+    except Exception as error:  # one bad sample must not sink the campaign
+        return ScenarioResult(
+            scenario_id=scenario.scenario_id,
+            index=scenario.index,
+            group=scenario.group,
+            stabilized=False,
+            rounds=0,
+            steps=0,
+            n=0,
+            m=0,
+            detail=f"error: {type(error).__name__}: {error}",
+            tags=scenario.tags,
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        )
+
+
+# ----------------------------------------------------------------------
+# Checkpointing.
+# ----------------------------------------------------------------------
+
+
+def load_checkpoint(path: str) -> Dict[str, ScenarioResult]:
+    """Completed results from a JSONL checkpoint, keyed by scenario id.
+
+    Truncated trailing lines (a worker killed mid-write) are ignored,
+    which is exactly the crash the checkpoint exists to survive.
+    """
+    done: Dict[str, ScenarioResult] = {}
+    if not path or not os.path.exists(path):
+        return done
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                result = ScenarioResult.from_dict(data)
+            except (ValueError, TypeError, KeyError):
+                continue
+            done[result.scenario_id] = result
+    return done
+
+
+def _append_checkpoint(path: str, results: Iterable[ScenarioResult]) -> None:
+    with open(path, "a", encoding="utf-8") as handle:
+        for result in results:
+            handle.write(json.dumps(result.to_dict(), sort_keys=True))
+            handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+# ----------------------------------------------------------------------
+# Sharded campaign driver.
+# ----------------------------------------------------------------------
+
+
+def _run_shard(shard: Sequence[Scenario]) -> List[ScenarioResult]:
+    return [run_scenario(scenario) for scenario in shard]
+
+
+def _make_shards(
+    scenarios: Sequence[Scenario], workers: int, shard_size: Optional[int]
+) -> List[List[Scenario]]:
+    if shard_size is not None and shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    if shard_size is None:
+        # ~4 shards in flight per worker smooths scenario-length skew
+        # while keeping per-shard dispatch overhead negligible.
+        shard_size = max(1, len(scenarios) // max(1, workers * 4))
+    return [
+        list(scenarios[i : i + shard_size])
+        for i in range(0, len(scenarios), shard_size)
+    ]
+
+
+def run_campaign(
+    scenarios: Sequence[Scenario],
+    workers: int = 1,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    shard_size: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> List[ScenarioResult]:
+    """Run a campaign, optionally sharded over worker processes.
+
+    Returns one result per scenario, sorted by scenario index —
+    independent of ``workers``/``shard_size``/completion order, so
+    downstream aggregation is reproducible bit for bit.
+    """
+    done = load_checkpoint(checkpoint_path) if (resume and checkpoint_path) else {}
+    wanted = {s.scenario_id for s in scenarios}
+    results: Dict[str, ScenarioResult] = {
+        sid: result for sid, result in done.items() if sid in wanted
+    }
+    pending = [s for s in scenarios if s.scenario_id not in results]
+    total = len(scenarios)
+    completed = total - len(pending)
+    if progress is not None and completed:
+        progress(completed, total)
+
+    if checkpoint_path and not resume and os.path.exists(checkpoint_path):
+        os.remove(checkpoint_path)  # a fresh run invalidates old lines
+
+    if workers <= 1:
+        for scenario in pending:
+            result = run_scenario(scenario)
+            results[result.scenario_id] = result
+            if checkpoint_path:
+                _append_checkpoint(checkpoint_path, [result])
+            completed += 1
+            if progress is not None:
+                progress(completed, total)
+    elif pending:
+        shards = _make_shards(pending, workers, shard_size)
+        context = multiprocessing.get_context()
+        with context.Pool(processes=workers) as pool:
+            for shard_results in pool.imap_unordered(_run_shard, shards):
+                for result in shard_results:
+                    results[result.scenario_id] = result
+                if checkpoint_path:
+                    _append_checkpoint(checkpoint_path, shard_results)
+                completed += len(shard_results)
+                if progress is not None:
+                    progress(completed, total)
+
+    ordered = [results[s.scenario_id] for s in scenarios]
+    return sorted(ordered, key=lambda r: r.index)

@@ -1,0 +1,281 @@
+"""Declarative scenario specifications.
+
+A :class:`Scenario` is one fully-determined experiment: *which* claim
+workload (task), on *which* graph (family × parameters), under *which*
+adversary (scheduler × adversarial start × fault plan), on *which*
+engine, from *which* seed.  Scenarios are frozen, hashable, and
+JSON-round-trippable, so campaigns can be enumerated programmatically
+(:mod:`repro.campaigns.registry`), sharded across worker processes
+(:mod:`repro.campaigns.runner`), checkpointed to JSONL, and resumed —
+all without ever re-deriving anything from ambient state.
+
+The :class:`FaultPlan` axis covers the repertoire of
+:mod:`repro.faults.injection`:
+
+* ``none`` — pure self-stabilization from the adversarial start;
+* ``bursts`` — stabilize first, then repeated transient-fault bursts
+  with per-burst recovery measurement (the title application);
+* ``storm`` — a :class:`~repro.faults.injection.TransientFaultInjector`
+  corrupts nodes at prescribed step times *while* the system is still
+  stabilizing;
+* ``rewire`` — stabilize, then a dynamic-topology perturbation
+  (:func:`~repro.faults.injection.perturb_topology`) rewires edges
+  under the carried-over configuration and recovery is measured on the
+  new graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.faults.injection import AU_START_BUILDERS
+from repro.model.engine import ENGINE_NAMES
+from repro.model.scheduler import (
+    LaggardScheduler,
+    RandomSubsetScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    ShuffledRoundRobinScheduler,
+    SynchronousScheduler,
+)
+
+TASKS: Tuple[str, ...] = ("au", "le", "mis")
+
+#: The AU start names: the adversarial battery (single source of truth
+#: in :data:`repro.faults.injection.AU_START_BUILDERS`) plus the benign
+#: ``uniform`` start.
+AU_STARTS: Tuple[str, ...] = tuple(AU_START_BUILDERS) + ("uniform",)
+TASK_STARTS: Dict[str, Tuple[str, ...]] = {
+    "au": AU_STARTS,
+    "le": ("random", "uniform"),
+    "mis": ("random", "uniform"),
+}
+
+FAULT_KINDS: Tuple[str, ...] = ("none", "bursts", "storm", "rewire")
+
+#: Scheduler factories by declarative name.  Factories (not instances):
+#: several schedulers are stateful, so every scenario run gets a fresh
+#: one.
+SCHEDULER_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
+    "synchronous": SynchronousScheduler,
+    "round-robin": RoundRobinScheduler,
+    "shuffled-round-robin": ShuffledRoundRobinScheduler,
+    "random-subset": lambda: RandomSubsetScheduler(0.5),
+    "laggard": lambda: LaggardScheduler(victim=0, period=6),
+}
+
+
+def scheduler_names() -> Tuple[str, ...]:
+    return tuple(sorted(SCHEDULER_FACTORIES))
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """A fresh scheduler instance for one scenario run."""
+    try:
+        factory = SCHEDULER_FACTORIES[name]
+    except KeyError:
+        valid = ", ".join(scheduler_names())
+        raise ValueError(
+            f"unknown scheduler {name!r}: valid schedulers are {valid}"
+        ) from None
+    return factory()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The fault axis of a scenario (see the module docstring)."""
+
+    kind: str = "none"
+    #: ``bursts`` kind: number of post-stabilization bursts.
+    bursts: int = 0
+    #: ``bursts``/``storm`` kinds: fraction of nodes corrupted per hit.
+    fraction: float = 0.25
+    #: ``storm`` kind: step times at which the injector strikes.
+    times: Tuple[int, ...] = ()
+    #: ``rewire`` kind: edges removed / added by the perturbation.
+    remove: int = 0
+    add: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            valid = ", ".join(FAULT_KINDS)
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}: valid kinds are {valid}"
+            )
+        if self.kind == "bursts" and self.bursts < 1:
+            raise ValueError("bursts fault plan needs bursts >= 1")
+        if self.kind == "storm" and not self.times:
+            raise ValueError("storm fault plan needs at least one strike time")
+        if self.kind == "rewire":
+            if self.remove < 0 or self.add < 0:
+                raise ValueError("rewire edge counts must be non-negative")
+            if self.remove + self.add < 1:
+                raise ValueError("rewire fault plan must change at least one edge")
+        if self.kind in ("bursts", "storm") and not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fault fraction must be in (0, 1], got {self.fraction}")
+        object.__setattr__(self, "times", tuple(int(t) for t in self.times))
+
+    @property
+    def label(self) -> str:
+        if self.kind == "none":
+            return "none"
+        if self.kind == "bursts":
+            return f"bursts(x{self.bursts}@{self.fraction:.2f})"
+        if self.kind == "storm":
+            return f"storm(x{len(self.times)}@{self.fraction:.2f})"
+        return f"rewire(-{self.remove}+{self.add})"
+
+
+NO_FAULTS = FaultPlan()
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-determined experiment of a campaign."""
+
+    campaign: str
+    index: int
+    task: str
+    graph: str
+    graph_params: Tuple[Tuple[str, object], ...]
+    diameter_bound: int
+    scheduler: str
+    engine: str
+    start: str
+    seed: int
+    max_rounds: int
+    faults: FaultPlan = NO_FAULTS
+    #: Aggregation group (one sweep point, e.g. ``"D=3"``); scenarios
+    #: sharing a group are folded into one summary row.
+    group: str = ""
+    #: Free-form registry labels (e.g. ``(("trial", "2"),)``) carried
+    #: through to result rows so benchmarks can re-fold along their own
+    #: axes.
+    tags: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.task not in TASKS:
+            raise ValueError(
+                f"unknown task {self.task!r}: valid tasks are "
+                f"{', '.join(TASKS)}"
+            )
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}: valid engine names are "
+                f"{', '.join(ENGINE_NAMES)}"
+            )
+        if self.task != "au" and self.engine != "object":
+            raise ValueError(
+                f"task {self.task!r} runs on the object engine only (the "
+                f"array backend vectorizes AlgAU)"
+            )
+        if self.scheduler not in SCHEDULER_FACTORIES:
+            valid = ", ".join(scheduler_names())
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}: valid schedulers "
+                f"are {valid}"
+            )
+        starts = TASK_STARTS[self.task]
+        if self.start not in starts:
+            raise ValueError(
+                f"start {self.start!r} is not defined for task "
+                f"{self.task!r}: valid starts are {', '.join(starts)}"
+            )
+        if self.task != "au" and self.faults.kind != "none":
+            raise ValueError(
+                "fault plans are defined for the AU task only "
+                "(LE/MIS recovery is exercised through the synchronizer)"
+            )
+        if self.diameter_bound < 1:
+            raise ValueError("diameter bound must be >= 1")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        object.__setattr__(
+            self,
+            "graph_params",
+            tuple((str(k), v) for k, v in self.graph_params),
+        )
+        object.__setattr__(self, "tags", tuple((str(k), str(v)) for k, v in self.tags))
+
+    @property
+    def scenario_id(self) -> str:
+        """Stable unique identifier — the checkpoint/resume key."""
+        params = ",".join(f"{k}={v}" for k, v in self.graph_params)
+        return (
+            f"{self.campaign}/{self.index:04d}:{self.task}"
+            f"@{self.graph}[{params}]"
+            f"/D{self.diameter_bound}/{self.scheduler}/{self.start}"
+            f"/{self.engine}/{self.faults.label}/s{self.seed}"
+        )
+
+    def params(self) -> Dict[str, object]:
+        return dict(self.graph_params)
+
+    def tag(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        return dict(self.tags).get(key, default)
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["graph_params"] = [list(pair) for pair in self.graph_params]
+        data["tags"] = [list(pair) for pair in self.tags]
+        data["faults"] = asdict(self.faults)
+        data["faults"]["times"] = list(self.faults.times)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        payload = dict(data)
+        payload["graph_params"] = tuple(
+            (k, v) for k, v in payload.get("graph_params", ())
+        )
+        payload["tags"] = tuple((k, v) for k, v in payload.get("tags", ()))
+        faults = payload.get("faults", {})
+        if isinstance(faults, dict):
+            faults = dict(faults)
+            faults["times"] = tuple(faults.get("times", ()))
+            payload["faults"] = FaultPlan(**faults)
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """The measured outcome of one scenario run.
+
+    ``elapsed_ms`` is wall-clock and therefore excluded from campaign
+    aggregates (which must be bit-identical across worker counts); it
+    survives only in the JSONL checkpoint stream.
+    """
+
+    scenario_id: str
+    index: int
+    group: str
+    stabilized: bool
+    rounds: int
+    steps: int
+    n: int
+    m: int
+    recovered: Optional[bool] = None
+    recovery_rounds: Optional[int] = None
+    detail: str = ""
+    tags: Tuple[Tuple[str, str], ...] = ()
+    elapsed_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tags", tuple((str(k), str(v)) for k, v in self.tags))
+
+    def tag(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        return dict(self.tags).get(key, default)
+
+    def to_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["tags"] = [list(pair) for pair in self.tags]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioResult":
+        payload = dict(data)
+        payload["tags"] = tuple((k, v) for k, v in payload.get("tags", ()))
+        known = {f.name for f in fields(cls)}
+        payload = {k: v for k, v in payload.items() if k in known}
+        return cls(**payload)

@@ -8,13 +8,18 @@ Subcommands regenerate the paper's artifacts from the terminal:
 * ``repro table1`` — the transition-type table extracted from ``δ``;
 * ``repro au --diameter-bound 3`` — one adversarial AlgAU run with a
   per-round goodness trace;
-* ``repro experiment {au,le,mis,restart}`` — the scaling sweeps.
+* ``repro experiment {au,le,mis,restart}`` — the scaling sweeps;
+* ``repro campaign {list,run,report}`` — registry-driven scenario
+  campaigns: sharded parallel sweeps over graph family × scheduler ×
+  adversarial start × fault plan × engine, checkpointed to JSONL and
+  aggregated into ``BENCH_campaign_*.json`` artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -49,16 +54,16 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
     n = witness.topology.n
     print(f"ring of {n} nodes, algorithm {witness.algorithm.name}")
     for round_index in range(args.rounds):
-        states = " ".join(
-            f"{str(execution.configuration[v]):>3s}" for v in range(n)
-        )
+        states = " ".join(f"{str(execution.configuration[v]):>3s}" for v in range(n))
         print(f"round {round_index:2d}: {states}")
         for _ in range(n):
             execution.step()
     expected = rotate_configuration(witness.initial, args.rounds % n)
     verdict = "LIVE-LOCK" if execution.configuration == expected else "??"
-    print(f"after {args.rounds} rounds: configuration = initial rotated "
-          f"by {args.rounds % n} -> {verdict}")
+    print(
+        f"after {args.rounds} rounds: configuration = initial rotated "
+        f"by {args.rounds % n} -> {verdict}"
+    )
     return 0
 
 
@@ -118,9 +123,11 @@ def _cmd_au(args: argparse.Namespace) -> int:
         rng=rng,
         engine=args.engine,
     )
-    print(f"{topology.name}: n={topology.n} D={args.diameter_bound} "
-          f"start={args.start} states={algorithm.state_space_size()} "
-          f"engine={args.engine}")
+    print(
+        f"{topology.name}: n={topology.n} D={args.diameter_bound} "
+        f"start={args.start} states={algorithm.state_space_size()} "
+        f"engine={args.engine}"
+    )
     while not execution.graph_is_good():
         execution.run_rounds(1)
         good = len(good_nodes(algorithm, execution.configuration))
@@ -140,9 +147,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.analysis.tables import render_table
 
     if args.which == "au":
-        rows = experiments.au_scaling_experiment(
-            trials=args.trials, engine=args.engine
-        )
+        rows = experiments.au_scaling_experiment(trials=args.trials, engine=args.engine)
         print(
             render_table(
                 ["D", "states", "12D+6", "rounds", "k^3"],
@@ -159,8 +164,10 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 title="Thm 1.1 — AlgAU scaling",
             )
         )
-        print(f"log-log slope of rounds vs D: "
-              f"{experiments.au_scaling_slope(rows):.2f} (bound: 3)")
+        print(
+            f"log-log slope of rounds vs D: "
+            f"{experiments.au_scaling_slope(rows):.2f} (bound: 3)"
+        )
     elif args.which in ("le", "mis"):
         fn = (
             experiments.le_scaling_experiment
@@ -215,7 +222,100 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if "FAIL" not in report else 1
 
 
+def _cmd_campaign_list(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.campaigns import (
+        build_campaign,
+        describe_registry,
+        registry_names,
+    )
+
+    rows = [
+        (name, len(build_campaign(name)), describe_registry(name))
+        for name in registry_names()
+    ]
+    print(
+        render_table(
+            ["registry", "scenarios", "description"],
+            rows,
+            title="Campaign registries",
+        )
+    )
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.analysis.report import campaign_report
+    from repro.campaigns import (
+        aggregate_results,
+        build_campaign,
+        default_artifact_path,
+        run_campaign,
+        write_campaign_artifact,
+    )
+
+    if args.resume and not args.checkpoint:
+        print("--resume needs --checkpoint", file=sys.stderr)
+        return 2
+    if args.shard_size is not None and args.shard_size < 1:
+        print("--shard-size must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    scenarios = build_campaign(args.registry, seed=args.seed)
+    if args.limit is not None:
+        scenarios = scenarios[: args.limit]
+
+    def progress(done: int, total: int) -> None:
+        print(f"\r[{done}/{total} scenarios]", end="", file=sys.stderr)
+
+    started = time.perf_counter()
+    results = run_campaign(
+        scenarios,
+        workers=args.workers,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+        shard_size=args.shard_size,
+        progress=progress,
+    )
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    print(file=sys.stderr)
+
+    aggregates = aggregate_results(args.registry, scenarios, results, args.seed)
+    path = args.output or default_artifact_path(args.registry)
+    write_campaign_artifact(
+        aggregates,
+        path,
+        meta={
+            "workers": args.workers,
+            "elapsed_ms": elapsed_ms,
+            "checkpoint": args.checkpoint,
+            "resumed": args.resume,
+        },
+    )
+    print(campaign_report(aggregates))
+    print(f"[saved to {path}]", file=sys.stderr)
+    return 0 if aggregates["failure_count"] == 0 else 1
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.report import campaign_report
+
+    with open(args.input, "r", encoding="utf-8") as handle:
+        artifact = json.load(handle)
+    print(campaign_report(artifact))
+    aggregates = artifact.get("aggregates", artifact)
+    return 0 if not aggregates.get("failure_count") else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro.campaigns import registry_names
+    from repro.model.engine import ENGINE_NAMES
+
+    engines = list(ENGINE_NAMES)
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of Emek & Keren (PODC 2021).",
@@ -249,7 +349,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--engine",
-        choices=["object", "array"],
+        choices=engines,
         default="object",
         help="execution backend: readable object model or vectorized arrays",
     )
@@ -260,19 +360,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=5)
     p.add_argument(
         "--engine",
-        choices=["object", "array"],
+        choices=engines,
         default="object",
         help="execution backend for the AlgAU sweep (le/mis/restart "
         "always use the object engine)",
     )
     p.set_defaults(fn=_cmd_experiment)
 
-    p = sub.add_parser(
-        "report", help="run the full reproduction battery (small sizes)"
-    )
+    p = sub.add_parser("report", help="run the full reproduction battery (small sizes)")
     p.add_argument("--trials", type=int, default=3)
     p.add_argument("--output", type=str, default=None)
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("campaign", help="registry-driven scenario campaigns")
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    c = csub.add_parser("list", help="list the campaign registries")
+    c.set_defaults(fn=_cmd_campaign_list)
+
+    c = csub.add_parser("run", help="run a campaign sharded over worker processes")
+    c.add_argument(
+        "--registry",
+        required=True,
+        choices=list(registry_names()),
+        help="which campaign to run",
+    )
+    c.add_argument("--workers", type=int, default=1, help="worker processes (shards)")
+    c.add_argument("--seed", type=int, default=0, help="campaign seed")
+    c.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="run only the first N scenarios (debugging)",
+    )
+    c.add_argument(
+        "--shard-size",
+        type=int,
+        default=None,
+        help="scenarios per shard (default: balanced over workers)",
+    )
+    c.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        help="JSONL progress checkpoint (enables --resume)",
+    )
+    c.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip scenarios already present in --checkpoint",
+    )
+    c.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="artifact path (default: BENCH_campaign_<registry>.json)",
+    )
+    c.set_defaults(fn=_cmd_campaign_run)
+
+    c = csub.add_parser("report", help="render a campaign artifact as markdown")
+    c.add_argument(
+        "--input",
+        type=str,
+        required=True,
+        help="a BENCH_campaign_*.json artifact",
+    )
+    c.set_defaults(fn=_cmd_campaign_report)
 
     return parser
 

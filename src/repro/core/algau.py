@@ -47,7 +47,6 @@ from repro.core.turns import (
     TurnSystem,
     able,
     faulty,
-    faulty_levels_sensed,
     levels_sensed,
 )
 from repro.model.algorithm import Algorithm, TransitionResult
@@ -114,9 +113,7 @@ class ThinUnison(Algorithm[Turn, int]):
         """Whether every sensed level is adjacent to the node's level —
         the node-local reading of "all incident edges are protected"."""
         own = state.level
-        return all(
-            self.levels.adjacent(own, level) for level in levels_sensed(signal)
-        )
+        return all(self.levels.adjacent(own, level) for level in levels_sensed(signal))
 
     def locally_good(self, state: Turn, signal: Signal[Turn]) -> bool:
         """Protected and sensing no faulty turn."""

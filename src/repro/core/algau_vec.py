@@ -78,7 +78,7 @@ class VectorKernel:
             np.abs(level) >= 2, np.sign(level) * (np.abs(level) - 1), level
         )
         inward_clock = np.array(
-            [levels.clock_value(int(l)) for l in inward_level], dtype=np.int64
+            [levels.clock_value(int(lvl)) for lvl in inward_level], dtype=np.int64
         )
         self.fa_succ[is_faulty] = inward_clock[is_faulty]
         # Able code -> its faulty twin (only defined where |ℓ| >= 2).
@@ -158,9 +158,7 @@ class VectorKernel:
     # The batched transition function.
     # ------------------------------------------------------------------
 
-    def delta_batch(
-        self, codes: np.ndarray, presence: np.ndarray
-    ) -> np.ndarray:
+    def delta_batch(self, codes: np.ndarray, presence: np.ndarray) -> np.ndarray:
         """Next codes for a batch of activated nodes.
 
         ``codes[i]`` is the state of the ``i``-th batch node and
@@ -186,20 +184,14 @@ class VectorKernel:
         sense_codes = self.af_sense_code[codes]
         af_sense = np.zeros(len(codes), dtype=bool)
         defined = sense_codes >= 0
-        af_sense[defined] = presence[
-            np.nonzero(defined)[0], sense_codes[defined]
-        ]
+        af_sense[defined] = presence[np.nonzero(defined)[0], sense_codes[defined]]
         af_condition = not_protected
         if self.cautious_af:
             af_condition = af_condition | af_sense
-        af_fire = (
-            is_able & ~aa_fire & self.has_faulty_twin[codes] & af_condition
-        )
+        af_fire = is_able & ~aa_fire & self.has_faulty_twin[codes] & af_condition
 
         # Table 1, type FA: faulty with Λ ∩ Ψ>(ℓ) = ∅.
-        fa_fire = ~is_able & ~(
-            (sensed & self.outwards_mask[codes]).any(axis=1)
-        )
+        fa_fire = ~is_able & ~(sensed & self.outwards_mask[codes]).any(axis=1)
 
         new_codes = codes.copy()
         new_codes[aa_fire] = self.aa_succ[codes[aa_fire]]

@@ -133,9 +133,7 @@ class TurnEncoding:
         """The dense code of ``turn`` (raises on foreign turns)."""
         code = self._code_map.get(turn)
         if code is None:
-            raise ModelError(
-                f"{turn!r} is not a turn for k={self._turns.levels.k}"
-            )
+            raise ModelError(f"{turn!r} is not a turn for k={self._turns.levels.k}")
         return code
 
     def decode(self, code: int) -> Turn:
@@ -178,9 +176,7 @@ class TurnEncoding:
             )
         codes = np.asarray(codes)
         if codes.size and (codes.min() < 0 or codes.max() >= self.size):
-            raise ModelError(
-                f"code vector contains values outside 0..{self.size - 1}"
-            )
+            raise ModelError(f"code vector contains values outside 0..{self.size - 1}")
         table = self._turn_table
         return Configuration._from_state_tuple(
             topology, tuple(table[int(code)] for code in codes)

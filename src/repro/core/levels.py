@@ -134,9 +134,7 @@ class LevelSystem:
         """``Ψ<(ℓ)`` — all levels strictly inwards of ``ℓ``."""
         self.require_level(level)
         sign = 1 if level > 0 else -1
-        return frozenset(
-            sign * magnitude for magnitude in range(1, abs(level))
-        )
+        return frozenset(sign * magnitude for magnitude in range(1, abs(level)))
 
     def inwards_le(self, level: int) -> FrozenSet[int]:
         """``Ψ≤(ℓ) = Ψ<(ℓ) ∪ {ℓ}``."""

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Sequence, Tuple
+from typing import Sequence
 
 from repro.core.algau import ThinUnison
 from repro.core.predicates import (
@@ -73,9 +73,7 @@ class ProgressReport:
         )
 
 
-def progress_report(
-    algorithm: ThinUnison, config: Configuration
-) -> ProgressReport:
+def progress_report(algorithm: ThinUnison, config: Configuration) -> ProgressReport:
     """Measure ``config`` against the proof ladder."""
     topology = config.topology
     levels = algorithm.levels
@@ -88,9 +86,7 @@ def progress_report(
     edges_p = protected_edges(algorithm, config)
     max_gap = 0
     for u, v in topology.edges:
-        max_gap = max(
-            max_gap, levels.distance(config[u].level, config[v].level)
-        )
+        max_gap = max(max_gap, levels.distance(config[u].level, config[v].level))
 
     if is_good_graph(algorithm, config):
         stage = Stage.GOOD

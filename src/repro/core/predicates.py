@@ -23,8 +23,7 @@ from __future__ import annotations
 from typing import FrozenSet, Set, Tuple
 
 from repro.core.algau import ThinUnison
-from repro.core.turns import Turn, faulty
-from repro.graphs.topology import Topology
+from repro.core.turns import faulty
 from repro.model.configuration import Configuration
 
 
@@ -35,9 +34,7 @@ def edge_protected(
     return algorithm.levels.adjacent(config[u].level, config[v].level)
 
 
-def protected_nodes(
-    algorithm: ThinUnison, config: Configuration
-) -> FrozenSet[int]:
+def protected_nodes(algorithm: ThinUnison, config: Configuration) -> FrozenSet[int]:
     """``V_p`` — nodes all of whose incident edges are protected."""
     topology = config.topology
     result = set(topology.nodes)
@@ -71,9 +68,7 @@ def good_nodes(algorithm: ThinUnison, config: Configuration) -> FrozenSet[int]:
     protected = protected_nodes(algorithm, config)
     result = set()
     for v in protected:
-        if not any(
-            config[u].faulty for u in config.topology.inclusive_neighbors(v)
-        ):
+        if not any(config[u].faulty for u in config.topology.inclusive_neighbors(v)):
             result.add(v)
     return frozenset(result)
 
@@ -90,9 +85,7 @@ def is_good_graph(algorithm: ThinUnison, config: Configuration) -> bool:
     return is_protected_graph(algorithm, config)
 
 
-def out_protected_nodes(
-    algorithm: ThinUnison, config: Configuration
-) -> FrozenSet[int]:
+def out_protected_nodes(algorithm: ThinUnison, config: Configuration) -> FrozenSet[int]:
     """``V_op`` — nodes sensing no level in ``Ψ≫(λ_v)``."""
     levels = algorithm.levels
     topology = config.topology
@@ -100,10 +93,7 @@ def out_protected_nodes(
     for v in topology.nodes:
         own = config[v].level
         outer = levels.outwards_gg(own)
-        if all(
-            config[u].level not in outer
-            for u in topology.inclusive_neighbors(v)
-        ):
+        if all(config[u].level not in outer for u in topology.inclusive_neighbors(v)):
             result.add(v)
     return frozenset(result)
 
@@ -177,9 +167,7 @@ def grounded_nodes(algorithm: ThinUnison, config: Configuration) -> FrozenSet[in
     """
     topology = config.topology
     protected = protected_nodes(algorithm, config)
-    seeds = {
-        v for v in protected if abs(config[v].level) == 1
-    }
+    seeds = {v for v in protected if abs(config[v].level) == 1}
     reached: Set[int] = set(seeds)
     frontier = set(seeds)
     for _ in range(algorithm.levels.diameter_bound):
@@ -197,9 +185,7 @@ def grounded_nodes(algorithm: ThinUnison, config: Configuration) -> FrozenSet[in
 
 def faulty_node_set(config: Configuration) -> FrozenSet[int]:
     """All nodes currently in a faulty turn."""
-    return frozenset(
-        v for v in config.topology.nodes if config[v].faulty
-    )
+    return frozenset(v for v in config.topology.nodes if config[v].faulty)
 
 
 def level_span(config: Configuration) -> Tuple[int, int]:

@@ -59,9 +59,7 @@ class TurnSystem:
 
     def __init__(self, levels: LevelSystem):
         self._levels = levels
-        self._able: Tuple[Turn, ...] = tuple(
-            able(level) for level in levels.levels
-        )
+        self._able: Tuple[Turn, ...] = tuple(able(level) for level in levels.levels)
         self._faulty: Tuple[Turn, ...] = tuple(
             faulty(level) for level in levels.levels if abs(level) >= 2
         )

@@ -10,18 +10,24 @@ provides:
 * :class:`TransientFaultInjector`, an execution intervention that
   corrupts a random subset of nodes at prescribed times — this models
   mid-execution transient faults, after which the algorithm must
-  re-stabilize.
+  re-stabilize;
+* dynamic-topology perturbations (:func:`perturb_topology`,
+  :func:`carry_configuration`): the environment rewires contacts under
+  the running system — edges appear and disappear while every node
+  keeps its state — after which the algorithm must re-stabilize on the
+  new graph (the dynamic FTSS setting of Dubois et al. for unison).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import networkx as nx
 import numpy as np
 
 from repro.core.algau import ThinUnison
-from repro.core.turns import able, faulty
+from repro.core.turns import able
 from repro.graphs.topology import Topology
 from repro.model.algorithm import Algorithm
 from repro.model.configuration import Configuration
@@ -38,9 +44,7 @@ def random_configuration(
 ) -> Configuration:
     """Every node in an independently random state — the canonical
     adversarial start."""
-    return Configuration.from_function(
-        topology, lambda v: algorithm.random_state(rng)
-    )
+    return Configuration.from_function(topology, lambda v: algorithm.random_state(rng))
 
 
 def uniform_configuration(algorithm: Algorithm, topology: Topology) -> Configuration:
@@ -91,15 +95,25 @@ def au_all_faulty(
     )
 
 
+#: The adversarial-start battery by declarative name — the single
+#: source of truth shared by :func:`au_adversarial_suite`, the campaign
+#: runner, and the CLI ``--start`` choices.  Insertion order is part of
+#: the contract: callers iterate it while drawing from a shared rng.
+AU_START_BUILDERS: Dict[str, Callable] = {
+    "random": random_configuration,
+    "sign-split": au_sign_split,
+    "clock-tear": au_clock_tear,
+    "all-faulty": au_all_faulty,
+}
+
+
 def au_adversarial_suite(
     algorithm: ThinUnison, topology: Topology, rng: np.random.Generator
 ) -> Dict[str, Configuration]:
     """The named battery of adversarial starts used by experiments."""
     return {
-        "random": random_configuration(algorithm, topology, rng),
-        "sign-split": au_sign_split(algorithm, topology, rng),
-        "clock-tear": au_clock_tear(algorithm, topology, rng),
-        "all-faulty": au_all_faulty(algorithm, topology, rng),
+        name: build(algorithm, topology, rng)
+        for name, build in AU_START_BUILDERS.items()
     }
 
 
@@ -149,11 +163,114 @@ class TransientFaultInjector:
         topology = execution.topology
         count = max(1, int(np.ceil(self._fraction * topology.n)))
         victims = self._rng.choice(topology.n, size=count, replace=False)
-        updates = {
-            int(v): self._algorithm.random_state(self._rng) for v in victims
-        }
+        updates = {int(v): self._algorithm.random_state(self._rng) for v in victims}
         self.events.append(FaultEvent(t=execution.t, nodes=tuple(sorted(updates))))
         return execution.configuration.replace(updates)
+
+
+# ----------------------------------------------------------------------
+# Dynamic topology perturbations.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopologyPerturbation:
+    """One environmental rewiring: the new topology plus what changed."""
+
+    topology: Topology
+    removed: Tuple[Tuple[int, int], ...]
+    added: Tuple[Tuple[int, int], ...]
+
+
+def perturb_topology(
+    topology: Topology,
+    rng: np.random.Generator,
+    remove: int = 1,
+    add: int = 1,
+    diameter_bound: Optional[int] = None,
+    max_attempts: int = 200,
+) -> TopologyPerturbation:
+    """Rewire ``topology``: drop ``remove`` random edges and create
+    ``add`` random non-edges, keeping the graph connected (and, when
+    ``diameter_bound`` is given, within the bound).
+
+    The node set is untouched — the perturbation models environmental
+    obstacles moving between cells, not cells dying — so a running
+    configuration can be carried over node-for-node with
+    :func:`carry_configuration`.  The delivery is *exact*: an attempt
+    that cannot remove ``remove`` edges (connectivity), add ``add``
+    edges (not enough non-edges, never re-adding a just-removed edge),
+    or stay within ``diameter_bound`` is resampled, and the function
+    raises after ``max_attempts`` rather than silently under-delivering
+    — a partially-applied perturbation would make recovery measurements
+    vacuously easy.
+    """
+    if remove < 0 or add < 0:
+        raise ModelError("perturbation sizes must be non-negative")
+    if remove == 0 and add == 0:
+        return TopologyPerturbation(topology, (), ())
+    base = topology.graph
+    for _ in range(max_attempts):
+        graph = nx.Graph(base)
+        edges = list(graph.edges())
+        removable = rng.permutation(len(edges))
+        removed = []
+        for index in removable:
+            if len(removed) >= remove:
+                break
+            u, v = edges[int(index)]
+            graph.remove_edge(u, v)
+            if not nx.is_connected(graph):
+                graph.add_edge(u, v)
+                continue
+            removed.append((min(u, v), max(u, v)))
+        if len(removed) < remove:
+            continue
+        non_edges = sorted(
+            edge
+            for edge in ((min(u, v), max(u, v)) for u, v in nx.non_edges(graph))
+            if edge not in removed
+        )
+        added = []
+        if non_edges and add:
+            chosen = rng.choice(
+                len(non_edges), size=min(add, len(non_edges)), replace=False
+            )
+            for index in sorted(int(i) for i in chosen):
+                u, v = non_edges[index]
+                graph.add_edge(u, v)
+                added.append((u, v))
+        if len(added) < add:
+            continue
+        if diameter_bound is not None and nx.diameter(graph) > diameter_bound:
+            continue
+        perturbed = Topology(
+            graph, name=f"{topology.name}~(-{len(removed)}+{len(added)})"
+        )
+        return TopologyPerturbation(perturbed, tuple(removed), tuple(added))
+    raise ModelError(
+        f"could not perturb {topology.name!r} within {max_attempts} attempts "
+        f"(remove={remove}, add={add}, diameter_bound={diameter_bound})"
+    )
+
+
+def carry_configuration(
+    configuration: Configuration, topology: Topology
+) -> Configuration:
+    """Re-home ``configuration`` onto a same-node-set ``topology``.
+
+    Every node keeps its state; only the communication structure (and
+    therefore every signal) changes.  This is the state hand-off after a
+    dynamic-topology perturbation: self-stabilization guarantees the
+    system recovers from the resulting arbitrary "initial" configuration
+    on the new graph.
+    """
+    if len(configuration) != topology.n:
+        raise ModelError(
+            f"cannot carry a {len(configuration)}-node configuration onto "
+            f"{topology.name!r} with {topology.n} nodes"
+        )
+    return Configuration(topology, {v: configuration[v] for v in topology.nodes})
 
 
 class PeriodicFaultInjector(TransientFaultInjector):

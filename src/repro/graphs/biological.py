@@ -15,14 +15,18 @@ stand-ins (documented as substitutions in DESIGN.md §5):
 * :func:`proneural_cluster` — the fly sensory-organ-precursor setting
   of [AAB+11, SJX13]: a lattice of epithelial cells where each cell
   inhibits its neighborhood within a small radius; MIS = the SOP
-  selection pattern.
+  selection pattern;
+* :func:`signaling_hub_colony` — a heterogeneous-degree colony:
+  preferential-attachment contact structure (most cells weakly
+  connected, a few highly connected) plus designated broadcast hubs,
+  modeling populations where a minority of cells dominate signaling.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from typing import Optional, Tuple
+from typing import Optional
 
 import networkx as nx
 import numpy as np
@@ -51,9 +55,7 @@ def quorum_colony(
                 if not nx.is_connected(graph):
                     graph.add_edge(u, v)
         if nx.diameter(graph) <= diameter_bound:
-            return Topology(
-                graph, name=f"quorum-colony(n={n}, D={diameter_bound})"
-            )
+            return Topology(graph, name=f"quorum-colony(n={n}, D={diameter_bound})")
     raise TopologyError(
         f"could not sample a quorum colony with diameter <= {diameter_bound}"
     )
@@ -75,9 +77,7 @@ def cell_tissue(
     if width < 2 or height < 2:
         raise TopologyError("tissue needs at least a 2x2 patch")
     if contact_radius < 1 + 2 * jitter:
-        raise TopologyError(
-            "contact radius too small to guarantee a connected tissue"
-        )
+        raise TopologyError("contact radius too small to guarantee a connected tissue")
     positions = {}
     index = 0
     for x in range(width):
@@ -98,9 +98,7 @@ def cell_tissue(
     return topo
 
 
-def proneural_cluster(
-    width: int, height: int, inhibition_radius: int = 1
-) -> Topology:
+def proneural_cluster(width: int, height: int, inhibition_radius: int = 1) -> Topology:
     """A proneural cluster: epithelial cells on a grid, adjacent when
     within ``inhibition_radius`` in Chebyshev distance (each cell
     laterally inhibits its surrounding ring — the fly SOP-selection
@@ -120,3 +118,41 @@ def proneural_cluster(
         graph,
         name=f"proneural({width}x{height}, r={inhibition_radius})",
     )
+
+
+def signaling_hub_colony(
+    n: int,
+    rng: np.random.Generator,
+    hubs: int = 2,
+    attachment: int = 2,
+    diameter_bound: Optional[int] = None,
+) -> Topology:
+    """A colony with strongly heterogeneous degrees.
+
+    Cell contacts follow preferential attachment (Barabási–Albert with
+    ``attachment`` edges per newcomer), so degrees span from
+    ``attachment`` up to ``Θ(√n)``; the ``hubs`` highest-degree cells
+    are then promoted to broadcast hubs adjacent to every other cell —
+    the "signaling center" organization of developing tissues.  With at
+    least one hub the diameter is at most 2 regardless of ``n``, which
+    makes the family a natural stress test for the claim that AlgAU's
+    behavior depends on ``D`` only, never on ``n`` or the degree
+    distribution.
+    """
+    if n < 3:
+        raise TopologyError("hub colony needs n >= 3")
+    if hubs < 1:
+        raise TopologyError("hub colony needs at least one hub")
+    if attachment < 1 or attachment >= n:
+        raise TopologyError("attachment must lie in [1, n)")
+    seed = int(rng.integers(2**31))
+    graph = nx.barabasi_albert_graph(n, attachment, seed=seed)
+    by_degree = sorted(graph.degree, key=lambda pair: (-pair[1], pair[0]))
+    for hub, _ in by_degree[:hubs]:
+        for v in graph.nodes:
+            if v != hub:
+                graph.add_edge(hub, v)
+    topo = Topology(graph, name=f"hub-colony(n={n}, hubs={hubs})")
+    if diameter_bound is not None:
+        topo.check_diameter_bound(diameter_bound)
+    return topo

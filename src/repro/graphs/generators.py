@@ -15,7 +15,7 @@ name encodes the parameters, which keeps experiment tables readable.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Dict, Optional
 
 import networkx as nx
 import numpy as np
@@ -56,9 +56,7 @@ def grid(rows: int, cols: int) -> Topology:
     """A rows×cols grid (diameter rows+cols-2)."""
     if rows < 1 or cols < 1:
         raise TopologyError("grid needs positive dimensions")
-    return Topology(
-        nx.grid_2d_graph(rows, cols), name=f"grid({rows}x{cols})"
-    )
+    return Topology(nx.grid_2d_graph(rows, cols), name=f"grid({rows}x{cols})")
 
 
 def torus(rows: int, cols: int) -> Topology:
@@ -75,9 +73,7 @@ def hypercube(dimension: int) -> Topology:
     """The ``dimension``-dimensional hypercube (diameter = dimension)."""
     if dimension < 1:
         raise TopologyError("hypercube needs dimension >= 1")
-    return Topology(
-        nx.hypercube_graph(dimension), name=f"hypercube(d={dimension})"
-    )
+    return Topology(nx.hypercube_graph(dimension), name=f"hypercube(d={dimension})")
 
 
 def dumbbell(clique_size: int, bridge_length: int = 1) -> Topology:
@@ -106,9 +102,7 @@ def dumbbell(clique_size: int, bridge_length: int = 1) -> Topology:
         graph.add_edge(previous, bridge_node)
         previous = bridge_node
     graph.add_edge(previous, offset + bridge_length - 1)
-    return Topology(
-        graph, name=f"dumbbell(c={clique_size}, b={bridge_length})"
-    )
+    return Topology(graph, name=f"dumbbell(c={clique_size}, b={bridge_length})")
 
 
 def damaged_clique(
@@ -194,9 +188,7 @@ def caterpillar(spine: int, legs_per_node: int = 2) -> Topology:
         for _ in range(legs_per_node):
             graph.add_edge(v, next_node)
             next_node += 1
-    return Topology(
-        graph, name=f"caterpillar(spine={spine}, legs={legs_per_node})"
-    )
+    return Topology(graph, name=f"caterpillar(spine={spine}, legs={legs_per_node})")
 
 
 def bounded_diameter_family(
@@ -221,3 +213,82 @@ def bounded_diameter_family(
     topo = dumbbell(clique_size, bridge_length=diameter_bound - 2)
     topo.check_diameter_bound(diameter_bound)
     return topo
+
+
+# ----------------------------------------------------------------------
+# Declarative family registry.
+#
+# Campaign scenarios (repro.campaigns.spec) name their topology by
+# family plus keyword parameters; every builder takes a seeded
+# ``np.random.Generator`` first (deterministic families simply ignore
+# it) so one scenario seed reproduces the exact graph.
+# ----------------------------------------------------------------------
+
+
+def _registry() -> Dict[str, Callable[..., Topology]]:
+    from repro.graphs.biological import (
+        cell_tissue,
+        proneural_cluster,
+        quorum_colony,
+        signaling_hub_colony,
+    )
+
+    return {
+        "complete": lambda rng, n: complete_graph(n),
+        "star": lambda rng, n: star(n),
+        "path": lambda rng, n: path(n),
+        "ring": lambda rng, n: ring(n),
+        "grid": lambda rng, rows, cols: grid(rows, cols),
+        "torus": lambda rng, rows, cols: torus(rows, cols),
+        "hypercube": lambda rng, dimension: hypercube(dimension),
+        "dumbbell": lambda rng, clique_size, bridge_length=1: dumbbell(
+            clique_size, bridge_length
+        ),
+        "caterpillar": lambda rng, spine, legs_per_node=2: caterpillar(
+            spine, legs_per_node
+        ),
+        "damaged-clique": lambda rng, n, diameter_bound, damage=0.5: (
+            damaged_clique(n, diameter_bound, rng, damage=damage)
+        ),
+        "gnp": lambda rng, n, p: random_connected(n, p, rng),
+        "regular": lambda rng, n, degree: random_regular(n, degree, rng),
+        "bounded-diameter": lambda rng, diameter_bound, n: (
+            bounded_diameter_family(diameter_bound, n, rng)
+        ),
+        "quorum-colony": lambda rng, n, diameter_bound, obstacle_rate=0.35: (
+            quorum_colony(n, diameter_bound, rng, obstacle_rate=obstacle_rate)
+        ),
+        "cell-tissue": lambda rng, width, height: cell_tissue(width, height, rng),
+        "proneural": lambda rng, width, height, inhibition_radius=1: (
+            proneural_cluster(width, height, inhibition_radius)
+        ),
+        "hub-colony": lambda rng, n, hubs=2, attachment=2: (
+            signaling_hub_colony(n, rng, hubs=hubs, attachment=attachment)
+        ),
+    }
+
+
+GRAPH_FAMILIES: Dict[str, Callable[..., Topology]] = _registry()
+
+
+def graph_family_names() -> tuple:
+    """The registered family names, sorted for stable listings."""
+    return tuple(sorted(GRAPH_FAMILIES))
+
+
+def make_graph(family: str, rng: np.random.Generator, **params: object) -> Topology:
+    """Instantiate a registered graph family by name.
+
+    Raises :class:`ValueError` listing the valid family names when
+    ``family`` is unknown, mirroring ``create_execution``'s engine
+    validation, so declarative specs fail fast with an actionable
+    message.
+    """
+    try:
+        builder = GRAPH_FAMILIES[family]
+    except KeyError:
+        valid = ", ".join(graph_family_names())
+        raise ValueError(
+            f"unknown graph family {family!r}: valid families are {valid}"
+        ) from None
+    return builder(rng, **params)

@@ -9,7 +9,7 @@ list, inclusive neighborhoods) plus cached graph-theoretic properties
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -152,9 +152,7 @@ class Topology:
 
     def ball(self, v: int, radius: int) -> frozenset:
         """``B(v, d) = {u : dist_G(u, v) ≤ d}``."""
-        lengths = nx.single_source_shortest_path_length(
-            self._graph, v, cutoff=radius
-        )
+        lengths = nx.single_source_shortest_path_length(self._graph, v, cutoff=radius)
         return frozenset(lengths.keys())
 
     def check_diameter_bound(self, bound: int) -> None:

@@ -23,6 +23,7 @@ from repro.model.errors import (
     ScheduleError,
     StabilizationError,
     TopologyError,
+    UnknownEngineError,
 )
 from repro.model.array_engine import ArrayExecution, supports_array_engine
 from repro.model.engine import ExecutionBase, create_execution
@@ -69,6 +70,7 @@ __all__ = [
     "StepRecord",
     "SynchronousScheduler",
     "TopologyError",
+    "UnknownEngineError",
     "TransitionResult",
     "create_execution",
     "default_schedulers",

@@ -27,9 +27,7 @@ it must be attached to the execution after construction via
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set
-
-import numpy as np
+from typing import Callable, Optional, Set
 
 from repro.model.algorithm import Distribution
 from repro.model.configuration import Configuration
@@ -63,26 +61,20 @@ class GreedyAdversary(Scheduler):
 
     def _lookahead(self, configuration: Configuration, v: int) -> float:
         execution = self._execution
-        result = execution.algorithm.delta(
-            configuration[v], configuration.signal(v)
-        )
+        result = execution.algorithm.delta(configuration[v], configuration.signal(v))
         if isinstance(result, Distribution):
             # Randomized transition: score the expected potential over
             # the support (the adversary cannot see the coin, so it
             # plays the average).
             total = 0.0
             for outcome, weight in zip(result.outcomes, result.weights):
-                total += weight * self._potential(
-                    configuration.replace({v: outcome})
-                )
+                total += weight * self._potential(configuration.replace({v: outcome}))
             return total
         return self._potential(configuration.replace({v: result}))
 
     def activations(self, t, nodes, rng):
         if self._execution is None:
-            raise ScheduleError(
-                "GreedyAdversary must be attach()ed to its execution"
-            )
+            raise ScheduleError("GreedyAdversary must be attach()ed to its execution")
         if not self._pending:
             self._pending = set(nodes)
         configuration = self._execution.configuration
@@ -104,6 +96,4 @@ def greedy_au_adversary(algorithm) -> GreedyAdversary:
     nodes)."""
     from repro.core.potential import disorder_potential
 
-    return GreedyAdversary(
-        lambda config: float(disorder_potential(algorithm, config))
-    )
+    return GreedyAdversary(lambda config: float(disorder_potential(algorithm, config)))

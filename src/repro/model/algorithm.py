@@ -42,7 +42,7 @@ from repro.model.errors import ModelError
 from repro.model.signal import Signal
 
 Q = TypeVar("Q")
-O = TypeVar("O")
+Out = TypeVar("Out")
 
 
 class Distribution(Generic[Q]):
@@ -54,7 +54,9 @@ class Distribution(Generic[Q]):
 
     __slots__ = ("_outcomes", "_weights")
 
-    def __init__(self, outcomes: Sequence[Q], weights: Optional[Sequence[float]] = None):
+    def __init__(
+        self, outcomes: Sequence[Q], weights: Optional[Sequence[float]] = None
+    ):
         if not outcomes:
             raise ModelError("a Distribution needs at least one outcome")
         if weights is None:
@@ -154,7 +156,7 @@ def product_distribution(
     return Distribution(outcomes, weights)
 
 
-class Algorithm(ABC, Generic[Q, O]):
+class Algorithm(ABC, Generic[Q, Out]):
     """A stone age algorithm ``Π = ⟨Q, Q_O, ω, δ⟩``.
 
     Subclasses must implement the transition function, the output
@@ -181,7 +183,7 @@ class Algorithm(ABC, Generic[Q, O]):
         """Whether ``state ∈ Q_O``."""
 
     @abstractmethod
-    def output(self, state: Q) -> O:
+    def output(self, state: Q) -> Out:
         """The output map ``ω``; only defined on output states."""
 
     @abstractmethod
@@ -205,9 +207,7 @@ class Algorithm(ABC, Generic[Q, O]):
         """Exact size of ``Q``.  Defaults to enumerating :meth:`states`."""
         enumerated = self.states()
         if enumerated is None:
-            raise NotImplementedError(
-                f"{self.name} does not enumerate its state space"
-            )
+            raise NotImplementedError(f"{self.name} does not enumerate its state space")
         return len(enumerated)
 
     # ------------------------------------------------------------------

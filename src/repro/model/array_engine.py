@@ -126,9 +126,7 @@ class ArrayExecution(ExecutionBase["Turn"]):
         view.flags.writeable = False
         return view
 
-    def _apply(
-        self, activated: FrozenSet[int]
-    ) -> Tuple[Tuple[int, Turn, Turn], ...]:
+    def _apply(self, activated: FrozenSet[int]) -> Tuple[Tuple[int, Turn, Turn], ...]:
         codes = self._codes
         n = len(codes)
         kernel = self._kernel
@@ -137,9 +135,7 @@ class ArrayExecution(ExecutionBase["Turn"]):
             new_active = kernel.delta_batch(codes, presence)
             rows = None
         else:
-            rows = np.fromiter(
-                activated, dtype=np.int64, count=len(activated)
-            )
+            rows = np.fromiter(activated, dtype=np.int64, count=len(activated))
             rows.sort()
             if len(rows) <= self.SPARSE_ACTIVATION_FRACTION * n:
                 presence = kernel.signal_presence(codes, self._csr, rows=rows)

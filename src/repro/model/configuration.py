@@ -167,8 +167,6 @@ class Configuration(Generic[Q]):
         return hash((id(self._topology), self._states))
 
     def __repr__(self) -> str:
-        preview = ", ".join(
-            f"{v}:{q!r}" for v, q in list(self.items())[:6]
-        )
+        preview = ", ".join(f"{v}:{q!r}" for v, q in list(self.items())[:6])
         suffix = ", ..." if len(self) > 6 else ""
         return f"Configuration({{{preview}{suffix}}})"

@@ -33,7 +33,7 @@ import numpy as np
 from repro.graphs.topology import Topology
 from repro.model.algorithm import Algorithm
 from repro.model.configuration import Configuration
-from repro.model.errors import ModelError
+from repro.model.errors import ModelError, UnknownEngineError
 from repro.model.rounds import RoundTracker
 from repro.model.scheduler import Scheduler
 
@@ -87,9 +87,7 @@ class ExecutionBase(ABC, Generic[Q]):
         intervention: Optional[Intervention] = None,
     ):
         if initial_configuration.topology is not topology:
-            raise ModelError(
-                "initial configuration belongs to a different topology"
-            )
+            raise ModelError("initial configuration belongs to a different topology")
         self.topology = topology
         self.algorithm = algorithm
         self.scheduler = scheduler
@@ -111,9 +109,7 @@ class ExecutionBase(ABC, Generic[Q]):
         already validated)."""
 
     @abstractmethod
-    def _apply(
-        self, activated: FrozenSet[int]
-    ) -> Tuple[Tuple[int, Q, Q], ...]:
+    def _apply(self, activated: FrozenSet[int]) -> Tuple[Tuple[int, Q, Q], ...]:
         """Apply one simultaneous-update step for ``activated`` under
         the pre-step configuration and return the change tuples."""
 
@@ -173,9 +169,7 @@ class ExecutionBase(ABC, Generic[Q]):
                     raise ModelError("intervention changed the topology")
                 self._load_configuration(replacement)
 
-        activated = self.scheduler.activations(
-            self._t, self.topology.nodes, self.rng
-        )
+        activated = self.scheduler.activations(self._t, self.topology.nodes, self.rng)
         changed = self._apply(activated)
         completed_round = self._rounds.observe(activated)
         record = StepRecord(
@@ -216,13 +210,9 @@ class ExecutionBase(ABC, Generic[Q]):
                 return RunResult(steps, self.completed_rounds, False, "max_rounds")
             record = self.step()
             steps += 1
-            if until is not None and (
-                check_until_each_step or record.completed_round
-            ):
+            if until is not None and (check_until_each_step or record.completed_round):
                 if until(self):
-                    return RunResult(
-                        steps, self.completed_rounds, True, "predicate"
-                    )
+                    return RunResult(steps, self.completed_rounds, True, "predicate")
 
     def run_rounds(self, rounds: int) -> RunResult:
         """Run exactly ``rounds`` additional rounds."""
@@ -288,8 +278,11 @@ def create_execution(
 
         cls = ArrayExecution
     else:
-        raise ModelError(
-            f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+        valid = ", ".join(repr(name) for name in ENGINE_NAMES)
+        raise UnknownEngineError(
+            f"unknown engine {engine!r}: valid engine names are {valid} "
+            f"('object' is the readable reference model, 'array' the "
+            f"vectorized backend)"
         )
     return cls(
         topology,

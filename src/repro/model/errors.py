@@ -15,6 +15,15 @@ class ModelError(ReproError):
     """An algorithm or execution violated the stone age model contract."""
 
 
+class UnknownEngineError(ModelError, ValueError):
+    """An unknown execution-engine name was requested.
+
+    Doubles as a :class:`ValueError` so that callers validating user
+    input (CLI flags, scenario specs) can catch it without importing the
+    model error hierarchy.
+    """
+
+
 class ConfigurationError(ModelError):
     """A configuration is malformed (unknown node, illegal state, ...)."""
 

@@ -64,9 +64,7 @@ class Execution(ExecutionBase[Q], Generic[Q]):
     def state_of(self, v: int) -> Q:
         return self._configuration[v]
 
-    def _apply(
-        self, activated: FrozenSet[int]
-    ) -> Tuple[Tuple[int, Q, Q], ...]:
+    def _apply(self, activated: FrozenSet[int]) -> Tuple[Tuple[int, Q, Q], ...]:
         config = self._configuration
         updates: Dict[int, Q] = {}
         changed: List[Tuple[int, Q, Q]] = []

@@ -42,7 +42,9 @@ class Scheduler(ABC):
     ) -> FrozenSet[int]:
         """The set of nodes activated in step ``t`` (non-empty)."""
 
-    def _validate(self, activated: Iterable[int], nodes: Sequence[int]) -> FrozenSet[int]:
+    def _validate(
+        self, activated: Iterable[int], nodes: Sequence[int]
+    ) -> FrozenSet[int]:
         result = frozenset(activated)
         if not result:
             raise ScheduleError(f"{self.name} produced an empty activation set")
@@ -123,9 +125,7 @@ class RandomSubsetScheduler(Scheduler):
         while True:
             mask = rng.random(len(node_list)) < self._p
             if mask.any():
-                return frozenset(
-                    v for v, included in zip(node_list, mask) if included
-                )
+                return frozenset(v for v, included in zip(node_list, mask) if included)
 
 
 class ExplicitScheduler(Scheduler):

@@ -29,7 +29,7 @@ rounds), i.e. ``f(n, D) + O(D^3)`` in total — Corollary 1.2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Generic, Optional, TypeVar
+from typing import Generic, TypeVar
 
 import numpy as np
 
@@ -39,7 +39,7 @@ from repro.model.algorithm import Algorithm, Distribution, TransitionResult
 from repro.model.signal import Signal
 
 Q = TypeVar("Q")
-O = TypeVar("O")
+Out = TypeVar("Out")
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,7 +54,7 @@ class SyncState(Generic[Q]):
         return f"({self.current}, {self.previous}, {self.turn})"
 
 
-class Synchronizer(Algorithm, Generic[Q, O]):
+class Synchronizer(Algorithm, Generic[Q, Out]):
     """``Π*`` — the asynchronous lift of a synchronous algorithm ``Π``."""
 
     def __init__(self, inner: Algorithm, diameter_bound: int):
@@ -75,7 +75,7 @@ class Synchronizer(Algorithm, Generic[Q, O]):
         """``Q*_O = Q_O × Q × T`` (inner output state + able turn)."""
         return state.turn.able and self.inner.is_output_state(state.current)
 
-    def output(self, state: SyncState) -> O:
+    def output(self, state: SyncState) -> Out:
         """``ω*(q, q', ν) = ω(q)``."""
         return self.inner.output(state.current)
 
@@ -115,9 +115,7 @@ class Synchronizer(Algorithm, Generic[Q, O]):
                 simulated.add(s.previous)
         inner_result = self.inner.delta(state.current, Signal(simulated))
         if isinstance(inner_result, Distribution):
-            return inner_result.map(
-                lambda q: SyncState(q, state.current, post)
-            )
+            return inner_result.map(lambda q: SyncState(q, state.current, post))
         return SyncState(inner_result, state.current, post)
 
     # ------------------------------------------------------------------
@@ -126,7 +124,4 @@ class Synchronizer(Algorithm, Generic[Q, O]):
 
     def pulse_advanced(self, old: SyncState, new: SyncState) -> bool:
         """Whether the change ``old -> new`` carried a simulated round."""
-        return (
-            self.unison.classify_change(old.turn, new.turn)
-            is TransitionType.AA
-        )
+        return (self.unison.classify_change(old.turn, new.turn) is TransitionType.AA)

@@ -55,9 +55,7 @@ class ORFlood(Algorithm):
         self.name = "ORFlood"
 
     def states(self) -> FrozenSet[ORState]:
-        return frozenset(
-            ORState(s, a) for s in (False, True) for a in (False, True)
-        )
+        return frozenset(ORState(s, a) for s in (False, True) for a in (False, True))
 
     def state_space_size(self) -> int:
         return 4
@@ -75,9 +73,7 @@ class ORFlood(Algorithm):
         return ORState(bool(rng.integers(2)), bool(rng.integers(2)))
 
     def delta(self, state: ORState, signal: Signal) -> TransitionResult:
-        accumulated = any(
-            s.accumulated for s in signal if isinstance(s, ORState)
-        )
+        accumulated = any(s.accumulated for s in signal if isinstance(s, ORState))
         if accumulated == state.accumulated:
             return state
         return ORState(state.source, accumulated)
@@ -129,9 +125,7 @@ class MinFlood(Algorithm):
         )
 
     def delta(self, state: MinState, signal: Signal) -> TransitionResult:
-        minimum = min(
-            s.minimum for s in signal if isinstance(s, MinState)
-        )
+        minimum = min(s.minimum for s in signal if isinstance(s, MinState))
         if minimum == state.minimum:
             return state
         return MinState(state.source, minimum)

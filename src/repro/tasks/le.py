@@ -44,7 +44,7 @@ epoch counter is the only Θ(D) field, as promised by Thm 1.3.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import FrozenSet, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -146,9 +146,11 @@ class AlgLE(Algorithm, RestartMixin):
     def random_state(self, rng: np.random.Generator) -> LEFull:
         if rng.random() < 0.25:
             return RestartState(int(rng.integers(self.max_restart_index + 1)))
-        maybe_id = lambda: (
-            None if rng.random() < 0.5 else int(rng.integers(1, self.k_id + 1))
-        )
+        def maybe_id():
+            if rng.random() < 0.5:
+                return None
+            return int(rng.integers(1, self.k_id + 1))
+
         return LEState(
             stage=COMPUTE if rng.random() < 0.5 else VERIFY,
             r=int(rng.integers(self.diameter_bound + 1)),
@@ -173,9 +175,7 @@ class AlgLE(Algorithm, RestartMixin):
                 return self.initial_state()
             return handled
         assert isinstance(state, LEState)
-        mains: Tuple[LEState, ...] = tuple(
-            s for s in signal if isinstance(s, LEState)
-        )
+        mains: Tuple[LEState, ...] = tuple(s for s in signal if isinstance(s, LEState))
         # Synchrony sanity: neighbors must agree on (stage, r).
         if any(s.stage != state.stage or s.r != state.r for s in mains):
             return self.restart_entry()

@@ -37,7 +37,7 @@ State space: ``O(D)`` main states (the ``step`` counter is the only
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import FrozenSet, Optional, Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -145,7 +145,11 @@ class AlgMIS(Algorithm, RestartMixin):
             tid=(
                 int(rng.integers(1, self.k_id + 1))
                 if membership == IN
-                else (None if rng.random() < 0.8 else int(rng.integers(1, self.k_id + 1)))
+                else (
+                    None
+                    if rng.random() < 0.8
+                    else int(rng.integers(1, self.k_id + 1))
+                )
             ),
         )
 
@@ -167,9 +171,7 @@ class AlgMIS(Algorithm, RestartMixin):
         if any(abs(s.step - state.step) > 1 for s in mains):
             return self.restart_entry()
         # DetectMIS.
-        if state.membership == OUT and not any(
-            s.membership == IN for s in mains
-        ):
+        if state.membership == OUT and not any(s.membership == IN for s in mains):
             return self.restart_entry()  # OUT with no IN neighbor
         if state.membership == IN and any(
             s.membership == IN and s.tid != state.tid for s in mains
@@ -206,17 +208,13 @@ class AlgMIS(Algorithm, RestartMixin):
         # Join OUT upon sensing an IN node (paper: the round after the
         # winners join IN; also resolves adversarial undecided-next-to-IN
         # leftovers immediately).
-        joins_out = membership == UNDECIDED and any(
-            s.membership == IN for s in mains
-        )
+        joins_out = membership == UNDECIDED and any(s.membership == IN for s in mains)
         if joins_out:
             membership = OUT
             candidate = False
 
         # Compete: coin toss round / application round (parity bit).
-        in_trials = (
-            membership == UNDECIDED and candidate and state.step <= d
-        )
+        in_trials = membership == UNDECIDED and candidate and state.step <= d
         toss_coin = in_trials and state.parity == 0
         if state.parity == 1:
             if in_trials and not state.coin:
@@ -265,9 +263,7 @@ class AlgMIS(Algorithm, RestartMixin):
             if state.flag
             else ((False,), (1.0,))
         )
-        coin_choice = (
-            ((False, True), (0.5, 0.5)) if toss_coin else ((False,), (1.0,))
-        )
+        coin_choice = ((False, True), (0.5, 0.5)) if toss_coin else ((False,), (1.0,))
         joint = product_distribution([flag_choice, coin_choice], build)
         # IN nodes redraw their temporary identifier every round.
         if membership == IN:

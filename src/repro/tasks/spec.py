@@ -18,7 +18,7 @@ used by stabilization detection, integration tests and benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.core.clock import CyclicClock
 from repro.graphs.topology import Topology

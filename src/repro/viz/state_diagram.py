@@ -87,9 +87,7 @@ def to_dot(diagram: StateDiagram) -> str:
     for turn in diagram.turns:
         shape = "doublecircle" if turn.able else "circle"
         style = "solid" if turn.able else "dashed"
-        lines.append(
-            f'  "{turn}" [shape={shape}, style={style}];'
-        )
+        lines.append(f'  "{turn}" [shape={shape}, style={style}];')
     for src, dst in diagram.aa_edges:
         lines.append(f'  "{src}" -> "{dst}" [style=solid, color=black];')
     for src, dst in diagram.af_edges:
@@ -132,9 +130,7 @@ def verify_figure1_structure(diagram: StateDiagram, k: int) -> List[str]:
     if len(able_turns) != 2 * k:
         problems.append(f"expected {2*k} able turns, got {len(able_turns)}")
     if len(diagram.turns) != 4 * k - 2:
-        problems.append(
-            f"expected {4*k-2} turns in total, got {len(diagram.turns)}"
-        )
+        problems.append(f"expected {4*k-2} turns in total, got {len(diagram.turns)}")
     # AA forms one cycle covering all able turns.
     successor: Dict[Turn, Turn] = dict(diagram.aa_edges)
     if len(successor) != 2 * k:
@@ -148,16 +144,12 @@ def verify_figure1_structure(diagram: StateDiagram, k: int) -> List[str]:
         if seen != set(able_turns) or cursor != able_turns[0]:
             problems.append("AA edges do not form a single 2k-cycle")
     if len(diagram.af_edges) != 2 * (k - 1):
-        problems.append(
-            f"expected {2*(k-1)} AF edges, got {len(diagram.af_edges)}"
-        )
+        problems.append(f"expected {2*(k-1)} AF edges, got {len(diagram.af_edges)}")
     for src, dst in diagram.af_edges:
         if not (src.able and dst.faulty and src.level == dst.level):
             problems.append(f"AF edge {src}→{dst} is not a faulty detour")
     if len(diagram.fa_edges) != 2 * (k - 1):
-        problems.append(
-            f"expected {2*(k-1)} FA edges, got {len(diagram.fa_edges)}"
-        )
+        problems.append(f"expected {2*(k-1)} FA edges, got {len(diagram.fa_edges)}")
     for src, dst in diagram.fa_edges:
         inward_ok = (
             src.faulty

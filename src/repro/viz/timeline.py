@@ -12,7 +12,7 @@ Terminal-friendly renderings used by the examples and the CLI:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.algau import ThinUnison
 from repro.core.turns import Turn
@@ -50,9 +50,7 @@ def clock_timeline(
     if not snapshots:
         return ""
     n = snapshots[0].topology.n
-    header = "round | " + " ".join(
-        f"v{v}".rjust(node_width) for v in range(n)
-    )
+    header = "round | " + " ".join(f"v{v}".rjust(node_width) for v in range(n))
     lines = [header, "-" * len(header)]
     for index, config in enumerate(snapshots):
         cells = []

@@ -12,7 +12,6 @@ from repro.graphs.generators import (
     dumbbell,
     path,
     ring,
-    star,
 )
 
 

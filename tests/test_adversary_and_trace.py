@@ -7,13 +7,11 @@ import pytest
 
 from repro.analysis.trace import (
     ScheduleRecorder,
-    Trace,
     TraceRecorder,
     load_trace,
     save_trace,
 )
 from repro.core.algau import ThinUnison
-from repro.core.potential import disorder_potential
 from repro.core.predicates import is_good_graph
 from repro.core.turns import able
 from repro.faults.injection import au_sign_split, random_configuration

@@ -9,19 +9,15 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.analysis.monitors import AlgAUInvariantMonitor, TransitionCounter
 from repro.core.algau import ThinUnison
 from repro.core.predicates import (
     edge_protected,
-    good_nodes,
     is_good_graph,
     is_level_out_protected,
     is_out_protected_graph,
     is_protected_graph,
-    out_protected_nodes,
     protected_edges,
     unjustifiably_faulty_nodes,
 )
@@ -57,9 +53,7 @@ class TestInvariantMonitorOnExecutions:
 
     @pytest.mark.parametrize("seed", range(5))
     def test_sync_on_ring(self, seed):
-        run_with_invariant_monitor(
-            ring(6), 3, seed, 40, SynchronousScheduler()
-        )
+        run_with_invariant_monitor(ring(6), 3, seed, 40, SynchronousScheduler())
 
     @pytest.mark.parametrize("seed", range(5))
     def test_async_on_clique(self, seed):
@@ -69,9 +63,7 @@ class TestInvariantMonitorOnExecutions:
 
     @pytest.mark.parametrize("seed", range(3))
     def test_random_subsets_on_path(self, seed):
-        run_with_invariant_monitor(
-            path(5), 4, seed, 40, RandomSubsetScheduler(0.6)
-        )
+        run_with_invariant_monitor(path(5), 4, seed, 40, RandomSubsetScheduler(0.6))
 
 
 class TestObservation21:
@@ -83,9 +75,7 @@ class TestObservation21:
         alg = ThinUnison(2)
         topology = damaged_clique(8, 2, rng)
         config = random_configuration(alg, topology, rng)
-        execution = Execution(
-            topology, alg, config, SynchronousScheduler(), rng=rng
-        )
+        execution = Execution(topology, alg, config, SynchronousScheduler(), rng=rng)
         k = alg.levels.k
         for _ in range(30):
             before = execution.configuration
@@ -110,9 +100,7 @@ class TestObservation25:
         alg = ThinUnison(2)
         topology = damaged_clique(8, 2, rng)
         config = random_configuration(alg, topology, rng)
-        execution = Execution(
-            topology, alg, config, SynchronousScheduler(), rng=rng
-        )
+        execution = Execution(topology, alg, config, SynchronousScheduler(), rng=rng)
         for _ in range(30):
             before = execution.configuration
             watched = [
@@ -273,9 +261,7 @@ class TestHandCraftedScenarios:
         alg = ThinUnison(1)
         config = Configuration(topology, {0: able(3), 1: able(-3)})
         rng = np.random.default_rng(0)
-        execution = Execution(
-            topology, alg, config, SynchronousScheduler(), rng=rng
-        )
+        execution = Execution(topology, alg, config, SynchronousScheduler(), rng=rng)
         result = execution.run(
             max_rounds=200,
             until=lambda e: is_good_graph(alg, e.configuration),
@@ -292,8 +278,6 @@ class TestHandCraftedScenarios:
         alg = ThinUnison(1)
         config = Configuration(topology, {0: faulty(2), 1: able(3)})
         rng = np.random.default_rng(0)
-        execution = Execution(
-            topology, alg, config, SynchronousScheduler(), rng=rng
-        )
+        execution = Execution(topology, alg, config, SynchronousScheduler(), rng=rng)
         execution.step()
         assert execution.configuration[1] == faulty(3)

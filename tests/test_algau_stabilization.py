@@ -87,9 +87,7 @@ class TestStabilizationMatrix:
     def test_random_start(self, graph_factory, d, scheduler_factory):
         rng = np.random.default_rng(1)
         topology = graph_factory(rng)
-        stabilize(
-            topology, d, scheduler_factory(), random_configuration, seed=2
-        )
+        stabilize(topology, d, scheduler_factory(), random_configuration, seed=2)
 
     @pytest.mark.parametrize(
         "initial_factory",
@@ -110,9 +108,7 @@ class TestStabilizationMatrix:
 
     def test_single_node(self):
         topology = single_node_topology()
-        stabilize(
-            topology, 1, SynchronousScheduler(), random_configuration
-        )
+        stabilize(topology, 1, SynchronousScheduler(), random_configuration)
 
     def test_oversized_diameter_bound_is_fine(self):
         """Running with D far above diam(G) still stabilizes (the bound
@@ -130,9 +126,7 @@ class TestStabilizationBound:
     @pytest.mark.parametrize("d", [1, 2, 3, 4])
     def test_rounds_within_k_cubed(self, d):
         rng = np.random.default_rng(5)
-        topology = (
-            complete_graph(8) if d == 1 else damaged_clique(10, d, rng)
-        )
+        topology = complete_graph(8) if d == 1 else damaged_clique(10, d, rng)
         alg = ThinUnison(d)
         k = alg.levels.k
         for name, initial in au_adversarial_suite(alg, topology, rng).items():

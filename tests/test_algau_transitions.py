@@ -100,9 +100,7 @@ class TestTypeAF:
     def test_ablation_disables_cautious_rule(self):
         ablated = ThinUnison(1, cautious_af=False)
         # The relay trigger is off...
-        assert (
-            classify(ablated, able(3), faulty(2)) is TransitionType.STAY
-        )
+        assert (classify(ablated, able(3), faulty(2)) is TransitionType.STAY)
         # ...but the protection trigger still works.
         assert classify(ablated, able(3), able(5)) is TransitionType.AF
 

@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.monitors import (
-    GoodGraphMonitor,
     OutputChangeMonitor,
     PredicateTimeline,
     TransitionCounter,
@@ -28,9 +27,9 @@ from repro.analysis.stats import (
     ratio_to_log,
     within_factor,
 )
-from repro.analysis.tables import persist_table, render_table, results_dir
+from repro.analysis.tables import render_table, results_dir
 from repro.core.algau import ThinUnison, TransitionType
-from repro.core.predicates import good_nodes, is_good_graph
+from repro.core.predicates import good_nodes
 from repro.faults.injection import random_configuration, uniform_configuration
 from repro.graphs.generators import complete_graph, ring
 from repro.model.errors import StabilizationError
@@ -77,9 +76,7 @@ class TestSummaryAndFits:
     def test_max_geometric_sample_grows_with_n(self):
         rng = np.random.default_rng(0)
         small = np.mean([max_geometric_sample(4, 0.5, rng) for _ in range(300)])
-        large = np.mean(
-            [max_geometric_sample(256, 0.5, rng) for _ in range(300)]
-        )
+        large = np.mean([max_geometric_sample(256, 0.5, rng) for _ in range(300)])
         assert large > small + 3  # roughly log2(256/4) = 6 apart
 
     def test_geometric_max_statistics(self):
@@ -126,9 +123,7 @@ class TestMonitors:
         rng = np.random.default_rng(0)
         alg = ThinUnison(1)
         topology = ring(5)
-        timeline = PredicateTimeline(
-            lambda config: len(good_nodes(alg, config))
-        )
+        timeline = PredicateTimeline(lambda config: len(good_nodes(alg, config)))
         execution = Execution(
             topology,
             alg,
@@ -214,9 +209,7 @@ class TestStabilizationMeasurement:
 
 class TestTables:
     def test_render_table(self):
-        table = render_table(
-            ["a", "b"], [(1, "x"), (22, "yy")], title="T"
-        )
+        table = render_table(["a", "b"], [(1, "x"), (22, "yy")], title="T")
         assert "### T" in table
         assert "| a " in table
         assert "| 22 | yy |" in table
@@ -224,9 +217,7 @@ class TestTables:
     def test_persist_table(self, tmp_path, monkeypatch):
         import repro.analysis.tables as tables_module
 
-        monkeypatch.setattr(
-            tables_module, "results_dir", lambda: str(tmp_path)
-        )
+        monkeypatch.setattr(tables_module, "results_dir", lambda: str(tmp_path))
         path = tables_module.persist_table("unit-test", "content")
         assert os.path.exists(path)
         with open(path) as handle:

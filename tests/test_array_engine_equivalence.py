@@ -85,8 +85,14 @@ FAULT_SCHEDULES = (None, (4, 11), (2, 9, 17))
 # 6 graphs x 7 schedulers, with D / fault schedule / the cautious_af
 # ablation / the seed cycling through the matrix: 42 seeded combos.
 CASES = [
-    (graph, sched, DS[i % len(DS)], FAULT_SCHEDULES[i % len(FAULT_SCHEDULES)],
-     i % 5 != 0, 1000 + 17 * i)
+    (
+        graph,
+        sched,
+        DS[i % len(DS)],
+        FAULT_SCHEDULES[i % len(FAULT_SCHEDULES)],
+        i % 5 != 0,
+        1000 + 17 * i,
+    )
     for i, (graph, sched) in enumerate(
         itertools.product(sorted(GRAPHS), sorted(SCHEDULERS))
     )
@@ -100,9 +106,7 @@ def _make_pair(graph_key, sched_key, d, fault_times, cautious_af, seed):
     streams (scheduler and fault injector included)."""
     topology = GRAPHS[graph_key](seed)
     algorithm = ThinUnison(d, cautious_af=cautious_af)
-    initial = random_configuration(
-        algorithm, topology, np.random.default_rng(seed + 1)
-    )
+    initial = random_configuration(algorithm, topology, np.random.default_rng(seed + 1))
     executions = []
     for engine in ("object", "array"):
         intervention = None
@@ -169,9 +173,7 @@ def test_adversarial_starts_stabilize_identically(start):
     d = 2
     algorithm = ThinUnison(d)
     topology = damaged_clique(12, d, np.random.default_rng(7))
-    initial = au_adversarial_suite(
-        algorithm, topology, np.random.default_rng(8)
-    )[start]
+    initial = au_adversarial_suite(algorithm, topology, np.random.default_rng(8))[start]
     results = [
         measure_au_stabilization(
             algorithm,
@@ -316,9 +318,7 @@ def test_configuration_round_trip_property(d, seed):
     algorithm = ThinUnison(d)
     encoding = algorithm.encoding
     topology = ring(7)
-    config = random_configuration(
-        algorithm, topology, np.random.default_rng(seed)
-    )
+    config = random_configuration(algorithm, topology, np.random.default_rng(seed))
     codes = encoding.encode_configuration(config)
     assert codes.shape == (topology.n,)
     assert encoding.decode_configuration(topology, codes) == config
@@ -339,6 +339,4 @@ def test_encoding_rejects_garbage():
     with pytest.raises(ModelError):
         encoding.encode(faulty(1))  # |ℓ| = 1 has no faulty turn
     with pytest.raises(ModelError):
-        encoding.decode_configuration(
-            ring(4), np.array([0, 1, encoding.size, 2])
-        )
+        encoding.decode_configuration(ring(4), np.array([0, 1, encoding.size, 2]))

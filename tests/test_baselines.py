@@ -24,7 +24,6 @@ from repro.graphs.generators import complete_graph, damaged_clique, path, ring
 from repro.model.configuration import Configuration
 from repro.model.execution import Execution
 from repro.model.scheduler import (
-    RandomSubsetScheduler,
     ShuffledRoundRobinScheduler,
     SynchronousScheduler,
 )
@@ -161,9 +160,7 @@ class TestIDGreedyMIS:
             topology,
             lambda v: IDState("I" if v in (0, 1) else "O", v),
         )
-        execution = Execution(
-            topology, alg, broken, SynchronousScheduler(), rng=rng
-        )
+        execution = Execution(topology, alg, broken, SynchronousScheduler(), rng=rng)
         execution.run(max_rounds=100)
         out = execution.configuration.output_vector(alg)
         assert not check_mis_output(topology, out).valid
@@ -251,14 +248,10 @@ class TestIDFloodLE:
             topology,
             lambda v: FloodState(v, 6 if v == 0 else v),
         )
-        execution = Execution(
-            topology, alg, planted, SynchronousScheduler(), rng=rng
-        )
+        execution = Execution(topology, alg, planted, SynchronousScheduler(), rng=rng)
         execution.run(max_rounds=50)
         out = execution.configuration.output_vector(alg)
         assert not check_le_output(out).valid  # zero leaders, forever
         # And it stays broken arbitrarily long.
         execution.run(max_rounds=100)
-        assert not check_le_output(
-            execution.configuration.output_vector(alg)
-        ).valid
+        assert not check_le_output(execution.configuration.output_vector(alg)).valid

@@ -1,0 +1,383 @@
+"""The scenario-campaign subsystem.
+
+Covers the declarative spec (validation, JSON round-trips), the
+registries (determinism, uniqueness, the smoke campaign's CI
+contract), the sharded runner (worker-count-independent bit-identical
+aggregates, JSONL checkpointing, kill-and-resume), the new scenario
+axes (dynamic-topology perturbations, heterogeneous-degree biological
+graphs), and the campaign CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.campaigns import (
+    FaultPlan,
+    Scenario,
+    ScenarioResult,
+    aggregate_results,
+    build_campaign,
+    load_checkpoint,
+    registry_names,
+    run_campaign,
+    run_scenario,
+    write_campaign_artifact,
+)
+from repro.campaigns import runner as runner_module
+from repro.cli import main
+from repro.core.algau import ThinUnison
+from repro.faults.injection import (
+    carry_configuration,
+    perturb_topology,
+    random_configuration,
+)
+from repro.graphs.generators import damaged_clique, make_graph, ring
+from repro.model.engine import ENGINE_NAMES, create_execution
+from repro.model.errors import ModelError
+from repro.model.scheduler import SynchronousScheduler
+
+
+def _scenario(**overrides) -> Scenario:
+    base = dict(
+        campaign="test",
+        index=0,
+        task="au",
+        graph="complete",
+        graph_params=(("n", 6),),
+        diameter_bound=1,
+        scheduler="synchronous",
+        engine="array",
+        start="random",
+        seed=7,
+        max_rounds=10_000,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestSpec:
+    def test_roundtrip_through_json(self):
+        scenario = _scenario(
+            faults=FaultPlan(kind="storm", times=(3, 9), fraction=0.5),
+            tags=(("trial", "2"),),
+            group="g",
+        )
+        data = json.loads(json.dumps(scenario.to_dict()))
+        assert Scenario.from_dict(data) == scenario
+
+    def test_result_roundtrip_ignores_unknown_fields(self):
+        result = ScenarioResult(
+            scenario_id="x",
+            index=3,
+            group="g",
+            stabilized=True,
+            rounds=10,
+            steps=60,
+            n=6,
+            m=15,
+            tags=(("trial", "0"),),
+        )
+        data = result.to_dict()
+        data["future_field"] = "ignored"
+        assert ScenarioResult.from_dict(data) == result
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"task": "nope"},
+            {"engine": "simd"},
+            {"task": "le", "engine": "array"},
+            {"scheduler": "cosmic"},
+            {"start": "sideways"},
+            {"task": "le", "engine": "object", "start": "sign-split"},
+            {
+                "task": "mis",
+                "engine": "object",
+                "faults": FaultPlan(kind="bursts", bursts=1),
+            },
+            {"diameter_bound": 0},
+            {"max_rounds": 0},
+        ],
+    )
+    def test_validation_rejects(self, overrides):
+        with pytest.raises(ValueError):
+            _scenario(**overrides)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "warp"},
+            {"kind": "bursts", "bursts": 0},
+            {"kind": "storm", "times": ()},
+            {"kind": "rewire"},
+            {"kind": "bursts", "bursts": 1, "fraction": 0.0},
+        ],
+    )
+    def test_fault_plan_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPlan(**kwargs)
+
+
+class TestRegistry:
+    def test_every_registry_builds_unique_deterministic_ids(self):
+        for name in registry_names():
+            first = build_campaign(name, seed=3)
+            second = build_campaign(name, seed=3)
+            assert first == second
+            ids = [s.scenario_id for s in first]
+            assert len(set(ids)) == len(ids)
+            assert [s.index for s in first] == list(range(len(first)))
+
+    def test_seed_changes_scenario_seeds_only(self):
+        a = build_campaign("micro", seed=0)
+        b = build_campaign("micro", seed=1)
+        assert [s.seed for s in a] != [s.seed for s in b]
+
+        def strip(s):
+            return (s.task, s.graph, s.scheduler, s.start, s.faults)
+
+        assert [strip(s) for s in a] == [strip(s) for s in b]
+
+    def test_smoke_meets_the_ci_contract(self):
+        scenarios = build_campaign("smoke")
+        assert len(scenarios) >= 50
+        assert {s.task for s in scenarios} == {"au", "le", "mis"}
+        assert {s.engine for s in scenarios} == set(ENGINE_NAMES)
+        kinds = {s.faults.kind for s in scenarios}
+        assert kinds == {"none", "bursts", "storm", "rewire"}
+        assert "hub-colony" in {s.graph for s in scenarios}
+
+    def test_unknown_registry_lists_valid_names(self):
+        with pytest.raises(ValueError, match="smoke"):
+            build_campaign("nope")
+
+
+class TestRunner:
+    def test_micro_campaign_all_stabilize(self):
+        scenarios = build_campaign("micro")
+        results = run_campaign(scenarios, workers=1)
+        assert [r.index for r in results] == [s.index for s in scenarios]
+        assert all(r.stabilized for r in results)
+        by_kind = {s.faults.kind: r for s, r in zip(scenarios, results)}
+        assert by_kind["bursts"].recovered
+        assert by_kind["rewire"].recovered
+        assert by_kind["rewire"].recovery_rounds > 0
+
+    def test_error_scenarios_fold_into_failed_results(self):
+        # regular(n=7, degree=3): odd n * odd degree is unrealizable.
+        scenario = _scenario(graph="regular", graph_params=(("n", 7), ("degree", 3)))
+        result = run_scenario(scenario)
+        assert not result.stabilized
+        assert "error:" in result.detail
+
+    def test_aggregates_identical_across_worker_counts(self):
+        scenarios = build_campaign("smoke")[:14]
+        serial = run_campaign(scenarios, workers=1)
+        sharded = run_campaign(scenarios, workers=2, shard_size=3)
+        a = aggregate_results("smoke", scenarios, serial, 0)
+        b = aggregate_results("smoke", scenarios, sharded, 0)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_checkpoint_resume_skips_completed_scenarios(self, tmp_path, monkeypatch):
+        scenarios = build_campaign("micro")
+        checkpoint = str(tmp_path / "progress.jsonl")
+        reference = aggregate_results(
+            "micro", scenarios, run_campaign(scenarios, workers=1), 0
+        )
+
+        # First run "dies" after three scenarios (checkpoint survives).
+        run_campaign(scenarios[:3], workers=1, checkpoint_path=checkpoint)
+        assert len(load_checkpoint(checkpoint)) == 3
+
+        calls = []
+        real_run = run_scenario
+
+        def counting_run(scenario):
+            calls.append(scenario.scenario_id)
+            return real_run(scenario)
+
+        monkeypatch.setattr(runner_module, "run_scenario", counting_run)
+        resumed = run_campaign(
+            scenarios, workers=1, checkpoint_path=checkpoint, resume=True
+        )
+        assert len(calls) == len(scenarios) - 3  # completed work not redone
+        assert len(load_checkpoint(checkpoint)) == len(scenarios)
+        merged = aggregate_results("micro", scenarios, resumed, 0)
+        assert json.dumps(merged, sort_keys=True) == json.dumps(
+            reference, sort_keys=True
+        )
+
+    def test_recovery_failure_fails_the_campaign(self):
+        import dataclasses
+
+        scenarios = build_campaign("micro")
+        results = run_campaign(scenarios, workers=1)
+        broken = [
+            dataclasses.replace(r, recovered=False) if r.recovered else r
+            for r in results
+        ]
+        aggregates = aggregate_results("micro", scenarios, broken, 0)
+        # bursts + rewire scenarios: a recovery regression must surface
+        # as campaign failures even though stabilization succeeded.
+        assert aggregates["failure_count"] == 2
+        assert len(aggregates["failures"]) == 2
+
+    def test_fold_worst_rounds_requires_the_tag(self):
+        from repro.campaigns import fold_worst_rounds
+
+        scenarios = build_campaign("micro")
+        results = run_campaign(scenarios, workers=1)
+        aggregates = aggregate_results("micro", scenarios, results, 0)
+        with pytest.raises(ValueError, match="trial"):
+            fold_worst_rounds(aggregates["rows"])
+
+    def test_checkpoint_tolerates_truncated_tail(self, tmp_path):
+        scenarios = build_campaign("micro")[:2]
+        checkpoint = str(tmp_path / "progress.jsonl")
+        run_campaign(scenarios, workers=1, checkpoint_path=checkpoint)
+        with open(checkpoint, "a", encoding="utf-8") as handle:
+            handle.write('{"scenario_id": "half-written')  # killed mid-write
+        assert len(load_checkpoint(checkpoint)) == 2
+
+    def test_fresh_run_invalidates_stale_checkpoint(self, tmp_path):
+        scenarios = build_campaign("micro")[:2]
+        checkpoint = str(tmp_path / "progress.jsonl")
+        run_campaign(scenarios, workers=1, checkpoint_path=checkpoint)
+        run_campaign(scenarios, workers=1, checkpoint_path=checkpoint)
+        assert len(load_checkpoint(checkpoint)) == 2  # not appended twice
+
+
+class TestNewAxes:
+    def test_perturb_topology_keeps_connectivity_and_nodes(self):
+        rng = np.random.default_rng(0)
+        topology = damaged_clique(10, 2, rng, damage=0.4)
+        perturbation = perturb_topology(
+            topology, rng, remove=2, add=2, diameter_bound=3
+        )
+        assert perturbation.topology.n == topology.n
+        assert perturbation.topology.diameter <= 3
+        assert len(perturbation.removed) == 2
+        assert len(perturbation.added) == 2
+        for u, v in perturbation.removed:
+            assert not perturbation.topology.has_edge(u, v)
+        for u, v in perturbation.added:
+            assert perturbation.topology.has_edge(u, v)
+
+    def test_perturb_topology_rejects_impossible_requests(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ModelError):
+            # A ring cannot lose an edge and keep diameter <= 4.
+            perturb_topology(ring(8), rng, remove=1, add=0, diameter_bound=4)
+
+    def test_perturb_topology_never_under_delivers(self):
+        rng = np.random.default_rng(0)
+        # A complete graph has no non-edges: add=1 must raise instead of
+        # silently returning the graph unchanged (which would make the
+        # rewire recovery measurement vacuous).
+        from repro.graphs.generators import complete_graph
+
+        with pytest.raises(ModelError):
+            perturb_topology(complete_graph(6), rng, remove=0, add=1)
+        # An added edge may never be one of the just-removed edges.
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            topology = damaged_clique(10, 2, rng, damage=0.4)
+            perturbation = perturb_topology(topology, rng, remove=2, add=2)
+            assert len(perturbation.removed) == 2
+            assert len(perturbation.added) == 2
+            assert not set(perturbation.removed) & set(perturbation.added)
+
+    def test_carry_configuration_preserves_states(self):
+        rng = np.random.default_rng(1)
+        topology = damaged_clique(8, 2, rng, damage=0.4)
+        algorithm = ThinUnison(2)
+        configuration = random_configuration(algorithm, topology, rng)
+        perturbation = perturb_topology(topology, rng, remove=1, add=1)
+        carried = carry_configuration(configuration, perturbation.topology)
+        assert carried.states() == configuration.states()
+        with pytest.raises(ModelError):
+            carry_configuration(configuration, ring(5))
+
+    def test_hub_colony_is_heterogeneous(self):
+        rng = np.random.default_rng(0)
+        topology = make_graph("hub-colony", rng, n=30, hubs=2)
+        degrees = sorted(topology.degree(v) for v in topology.nodes)
+        assert degrees[-1] == topology.n - 1  # a true broadcast hub
+        assert degrees[0] <= 6  # while most cells stay sparse
+        assert topology.diameter <= 2
+
+    def test_make_graph_unknown_family_lists_names(self):
+        with pytest.raises(ValueError, match="hub-colony"):
+            make_graph("klein-bottle", np.random.default_rng(0))
+
+    def test_create_execution_unknown_engine_is_value_error(self):
+        rng = np.random.default_rng(0)
+        topology = ring(6)
+        algorithm = ThinUnison(3)
+        initial = random_configuration(algorithm, topology, rng)
+        with pytest.raises(ValueError, match="'object', 'array'"):
+            create_execution(
+                topology,
+                algorithm,
+                initial,
+                SynchronousScheduler(),
+                engine="simd",
+            )
+
+
+class TestCampaignCLI:
+    def test_list(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "micro" in out
+
+    def test_run_and_report(self, capsys, tmp_path):
+        artifact = str(tmp_path / "BENCH_campaign_micro.json")
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    "--registry",
+                    "micro",
+                    "--workers",
+                    "1",
+                    "--output",
+                    artifact,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "6/6 scenarios stabilized" in out
+        assert os.path.exists(artifact)
+        with open(artifact, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["aggregates"]["failure_count"] == 0
+        assert payload["meta"]["workers"] == 1
+
+        assert main(["campaign", "report", "--input", artifact]) == 0
+        assert "micro" in capsys.readouterr().out
+
+    def test_run_resume_needs_checkpoint(self):
+        assert (main(["campaign", "run", "--registry", "micro", "--resume"]) == 2)
+
+    def test_engine_flag_rejects_typos(self):
+        with pytest.raises(SystemExit):
+            main(["au", "--engine", "simd"])
+
+    def test_artifact_writer_is_deterministic(self, tmp_path):
+        scenarios = build_campaign("micro")[:2]
+        results = run_campaign(scenarios, workers=1)
+        aggregates = aggregate_results("micro", scenarios, results, 0)
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        write_campaign_artifact(aggregates, a, meta={"workers": 1})
+        write_campaign_artifact(aggregates, b, meta={"workers": 1})
+        with open(a, "rb") as fa, open(b, "rb") as fb:
+            assert fa.read() == fb.read()

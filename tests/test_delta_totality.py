@@ -38,9 +38,7 @@ def check_delta_total(algorithm, seed, neighborhood, checker=None):
     own = algorithm.random_state(rng)
     sensed = {own} | set(random_states(algorithm, rng, neighborhood))
     result = algorithm.delta(own, Signal(sensed))
-    outcomes = (
-        result.outcomes if isinstance(result, Distribution) else (result,)
-    )
+    outcomes = result.outcomes if isinstance(result, Distribution) else (result,)
     for outcome in outcomes:
         assert outcome is not None
         if checker is not None:
@@ -53,9 +51,7 @@ def check_delta_total(algorithm, seed, neighborhood, checker=None):
 @given(seed=st.integers(0, 10_000), size=st.integers(0, 6))
 def test_algau_total(seed, size):
     algorithm = ThinUnison(2)
-    check_delta_total(
-        algorithm, seed, size, checker=algorithm.turns.is_turn
-    )
+    check_delta_total(algorithm, seed, size, checker=algorithm.turns.is_turn)
 
 
 @settings(max_examples=150, deadline=None)
@@ -94,9 +90,7 @@ def test_synchronized_mis_total(seed, size):
     algorithm = Synchronizer(AlgMIS(1), 1)
     from repro.sync.synchronizer import SyncState
 
-    check_delta_total(
-        algorithm, seed, size, checker=lambda q: isinstance(q, SyncState)
-    )
+    check_delta_total(algorithm, seed, size, checker=lambda q: isinstance(q, SyncState))
 
 
 @settings(max_examples=100, deadline=None)
@@ -105,9 +99,7 @@ def test_synchronized_le_total(seed, size):
     algorithm = Synchronizer(AlgLE(1), 1)
     from repro.sync.synchronizer import SyncState
 
-    check_delta_total(
-        algorithm, seed, size, checker=lambda q: isinstance(q, SyncState)
-    )
+    check_delta_total(algorithm, seed, size, checker=lambda q: isinstance(q, SyncState))
 
 
 @settings(max_examples=100, deadline=None)
@@ -169,9 +161,7 @@ class TestAlgAUReachabilityCensus:
         for seed in range(40):
             rng = np.random.default_rng(seed)
             topology = ring(6)
-            for initial in au_adversarial_suite(
-                algorithm, topology, rng
-            ).values():
+            for initial in au_adversarial_suite(algorithm, topology, rng).values():
                 seen |= set(initial.state_set())
                 execution = Execution(
                     topology,

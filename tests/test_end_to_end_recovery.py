@@ -32,9 +32,7 @@ def run_until_valid(execution, algorithm, checker, budget):
             return False
         return checker(config.output_vector(algorithm)).valid
 
-    result = execution.run(
-        max_rounds=execution.completed_rounds + budget, until=stable
-    )
+    result = execution.run(max_rounds=execution.completed_rounds + budget, until=stable)
     return result.stopped_by_predicate
 
 
@@ -63,7 +61,10 @@ class TestSynchronizedMISRecovery:
             ShuffledRoundRobinScheduler(),
             rng=rng,
         )
-        checker = lambda out: check_mis_output(tissue, out)
+
+        def checker(out):
+            return check_mis_output(tissue, out)
+
         assert run_until_valid(execution, algorithm, checker, 250_000)
         for _ in range(2):
             corrupt(execution, algorithm, rng, fraction=0.3)
@@ -83,7 +84,10 @@ class TestSynchronizedLERecovery:
             RandomSubsetScheduler(0.5),
             rng=rng,
         )
-        checker = lambda out: check_le_output(out)
+
+        def checker(out):
+            return check_le_output(out)
+
         assert run_until_valid(execution, algorithm, checker, 300_000)
         corrupt(execution, algorithm, rng, fraction=0.4)
         assert run_until_valid(execution, algorithm, checker, 300_000)
@@ -107,7 +111,10 @@ class TestSynchronousTaskRecovery:
             SynchronousScheduler(),
             rng=rng,
         )
-        checker = lambda out: check_mis_output(topology, out)
+
+        def checker(out):
+            return check_mis_output(topology, out)
+
         assert run_until_valid(execution, algorithm, checker, 60_000)
         # Plant the nastiest MIS fault: two adjacent INs.
         from repro.tasks.mis import IN, MISState
@@ -135,7 +142,10 @@ class TestSynchronousTaskRecovery:
             SynchronousScheduler(),
             rng=rng,
         )
-        checker = lambda out: check_le_output(out)
+
+        def checker(out):
+            return check_le_output(out)
+
         assert run_until_valid(execution, algorithm, checker, 60_000)
         # Promote a second node to leader by force.
         outputs = execution.configuration.output_vector(algorithm)
@@ -154,7 +164,5 @@ class TestSynchronousTaskRecovery:
             None,
             state.seen,
         )
-        execution.replace_configuration(
-            execution.configuration.replace({victim: fake})
-        )
+        execution.replace_configuration(execution.configuration.replace({victim: fake}))
         assert run_until_valid(execution, algorithm, checker, 60_000)

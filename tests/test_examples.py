@@ -19,6 +19,7 @@ EXAMPLES_DIR = os.path.join(
 
 EXAMPLES = [
     "quickstart.py",
+    "campaign_quickstart.py",
     "biological_quorum_clock.py",
     "fly_sop_selection.py",
     "async_leader_election.py",
@@ -29,11 +30,7 @@ EXAMPLES = [
 
 def test_every_example_is_covered():
     """No example file exists without a test entry."""
-    on_disk = {
-        name
-        for name in os.listdir(EXAMPLES_DIR)
-        if name.endswith(".py")
-    }
+    on_disk = {name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")}
     assert on_disk == set(EXAMPLES)
 
 
@@ -69,6 +66,11 @@ class TestExampleContent:
         out = self.run("quickstart.py")
         assert "stabilized after" in out
         assert "safety holds" in out
+
+    def test_campaign_quickstart_recovers_from_rewires(self):
+        out = self.run("campaign_quickstart.py")
+        assert "scenarios stabilized" in out
+        assert "every rewired network recovered" in out
 
     def test_livelock_demo_contrasts_both(self):
         out = self.run("livelock_demo.py")

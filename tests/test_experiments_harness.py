@@ -24,9 +24,7 @@ from repro.analysis.experiments import (
 class TestAUScaling:
     @pytest.fixture(scope="class")
     def rows(self):
-        return au_scaling_experiment(
-            diameter_bounds=(1, 2), n=8, trials=2
-        )
+        return au_scaling_experiment(diameter_bounds=(1, 2), n=8, trials=2)
 
     def test_row_structure(self, rows):
         assert [row.params["D"] for row in rows] == [1, 2]
@@ -70,9 +68,7 @@ class TestRestartExperiment:
 
 class TestSynchronizerExperiment:
     def test_mis_rows(self):
-        rows = synchronizer_experiment(
-            task="mis", ns=(6,), diameter_bound=1, trials=1
-        )
+        rows = synchronizer_experiment(task="mis", ns=(6,), diameter_bound=1, trials=1)
         (row,) = rows
         assert row.task == "mis"
         assert row.product_states == row.inner_states**2 * 18  # 12·1+6
@@ -80,9 +76,7 @@ class TestSynchronizerExperiment:
         assert row.async_rounds.count == 1
 
     def test_le_rows(self):
-        rows = synchronizer_experiment(
-            task="le", ns=(6,), diameter_bound=1, trials=1
-        )
+        rows = synchronizer_experiment(task="le", ns=(6,), diameter_bound=1, trials=1)
         (row,) = rows
         assert row.task == "le"
         assert row.product_states == row.inner_states**2 * 18

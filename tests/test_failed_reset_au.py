@@ -112,9 +112,7 @@ class TestFigure2Livelock:
         n = witness.topology.n
         for _ in range(n):
             execution.step()
-        assert execution.configuration == rotate_configuration(
-            witness.initial, 1
-        )
+        assert execution.configuration == rotate_configuration(witness.initial, 1)
 
     def test_livelock_has_full_period(self):
         """After n rounds the configuration returns exactly to the
@@ -142,9 +140,7 @@ class TestFigure2Livelock:
             activated = []
             for position in range(n):
                 t = round_index * n + position
-                (v,) = witness.scheduler.activations(
-                    t, witness.topology.nodes, rng
-                )
+                (v,) = witness.scheduler.activations(t, witness.topology.nodes, rng)
                 activated.append(v)
             assert sorted(activated) == list(witness.topology.nodes)
 

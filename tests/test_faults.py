@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.algau import ThinUnison
 from repro.core.predicates import is_good_graph
-from repro.core.turns import Turn
 from repro.faults.injection import (
     PeriodicFaultInjector,
     TransientFaultInjector,
@@ -162,9 +161,7 @@ class TestRecovery:
         recovery_rounds = []
         for _ in range(5):
             execution.replace_configuration(
-                execution.configuration.replace(
-                    {0: alg.random_state(rng)}
-                )
+                execution.configuration.replace({0: alg.random_state(rng)})
             )
             start = execution.completed_rounds
             execution.run(

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -18,9 +17,7 @@ from repro.model.execution import Execution
 from repro.model.scheduler import SynchronousScheduler
 from repro.tasks.flooding import (
     MinFlood,
-    MinState,
     ORFlood,
-    ORState,
     seeded_min_configuration,
     seeded_or_configuration,
 )
@@ -54,9 +51,7 @@ class TestORFlood:
         for topology in (ring(7), star(6), grid(3, 3), complete_graph(5)):
             algorithm = ORFlood()
             config = seeded_or_configuration(topology, sources=[2])
-            result = run_rounds(
-                topology, algorithm, config, topology.diameter
-            )
+            result = run_rounds(topology, algorithm, config, topology.diameter)
             assert all(result[v].accumulated for v in topology.nodes)
 
     def test_no_sources_stays_zero(self):
@@ -98,16 +93,12 @@ class TestMinFlood:
     def test_global_min_after_diameter_rounds(self):
         topology = grid(3, 4)
         rng = np.random.default_rng(0)
-        values = {
-            v: int(rng.integers(10)) for v in topology.nodes
-        }
+        values = {v: int(rng.integers(10)) for v in topology.nodes}
         algorithm = MinFlood(bound=9)
         config = seeded_min_configuration(topology, values, 9)
         result = run_rounds(topology, algorithm, config, topology.diameter)
         global_min = min(values.values())
-        assert all(
-            result[v].minimum == global_min for v in topology.nodes
-        )
+        assert all(result[v].minimum == global_min for v in topology.nodes)
 
 
 @settings(max_examples=60, deadline=None)

@@ -47,9 +47,7 @@ class TestTopology:
         topo = ring(5)
         for v in topo.nodes:
             assert v in topo.inclusive_neighbors(v)
-            assert set(topo.inclusive_neighbors(v)) == {v} | set(
-                topo.neighbors(v)
-            )
+            assert set(topo.inclusive_neighbors(v)) == {v} | set(topo.neighbors(v))
 
     def test_rejects_disconnected(self):
         g = nx.Graph()

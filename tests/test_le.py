@@ -9,7 +9,6 @@ from repro.analysis.stabilization import measure_static_task_stabilization
 from repro.faults.injection import random_configuration, uniform_configuration
 from repro.graphs.generators import complete_graph, damaged_clique, star
 from repro.graphs.topology import single_node_topology
-from repro.model.configuration import Configuration
 from repro.model.errors import ModelError
 from repro.model.execution import Execution
 from repro.model.scheduler import SynchronousScheduler
@@ -156,13 +155,13 @@ class TestUnitTransitions:
 
     def test_restart_state_sensed_pulls_main_node(self, alg):
         mine = alg.initial_state()
-        assert (
-            alg.delta(mine, Signal((mine, RestartState(3)))) == RestartState(0)
-        )
+        assert (alg.delta(mine, Signal((mine, RestartState(3)))) == RestartState(0))
 
     def test_outputs(self, alg):
         leader = LEState(VERIFY, 0, False, True, False, False, False, True, None, None)
-        follower = LEState(VERIFY, 0, False, False, False, False, False, False, None, None)
+        follower = LEState(
+            VERIFY, 0, False, False, False, False, False, False, None, None
+        )
         assert alg.output(leader) == 1
         assert alg.output(follower) == 0
         assert not alg.is_output_state(RestartState(0))
@@ -171,9 +170,10 @@ class TestUnitTransitions:
         sizes = [AlgLE(d).state_space_size() for d in (1, 2, 4, 8)]
         # Linear growth: constant second difference of zero.
         diffs = [b - a for a, b in zip(sizes, sizes[1:])]
-        ratios = [diff / (db - da) for diff, (da, db) in zip(
-            diffs, [(1, 2), (2, 4), (4, 8)]
-        )]
+        ratios = [
+            diff / (db - da)
+            for diff, (da, db) in zip(diffs, [(1, 2), (2, 4), (4, 8)])
+        ]
         assert ratios[0] == ratios[1] == ratios[2]
 
     def test_parameter_validation(self):
@@ -243,7 +243,5 @@ class TestEndToEnd:
             execution.step()
             config = execution.configuration
             states = [config[v] for v in topology.nodes]
-            if all(
-                isinstance(s, LEState) and s.stage == COMPUTE for s in states
-            ):
+            if all(isinstance(s, LEState) and s.stage == COMPUTE for s in states):
                 assert any(s.candidate for s in states)

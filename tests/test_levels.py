@@ -177,16 +177,11 @@ class TestDistance:
         for a in ls.levels:
             for b in ls.levels:
                 for c in ls.levels:
-                    assert ls.distance(a, c) <= ls.distance(a, b) + ls.distance(
-                        b, c
-                    )
+                    assert ls.distance(a, c) <= ls.distance(a, b) + ls.distance(b, c)
 
     def test_max_distance_is_k(self):
         ls = levels_for(2)
-        assert (
-            max(ls.distance(a, b) for a in ls.levels for b in ls.levels)
-            == ls.k
-        )
+        assert (max(ls.distance(a, b) for a in ls.levels for b in ls.levels) == ls.k)
 
     def test_matches_recursive_definition(self):
         """Cross-check against the paper's recurrence on a small system."""

@@ -8,9 +8,8 @@ import pytest
 from repro.analysis.stabilization import measure_static_task_stabilization
 from repro.faults.injection import random_configuration, uniform_configuration
 from repro.graphs.biological import proneural_cluster
-from repro.graphs.generators import complete_graph, damaged_clique, path, ring, star
+from repro.graphs.generators import complete_graph, damaged_clique, ring, star
 from repro.graphs.topology import single_node_topology
-from repro.model.configuration import Configuration
 from repro.model.execution import Execution
 from repro.model.scheduler import SynchronousScheduler
 from repro.model.signal import Signal
@@ -41,8 +40,15 @@ def stabilize_mis(topology, d, seed, max_rounds=60_000, from_random=True):
     return result
 
 
-def mk(membership=UNDECIDED, flag=False, step=0, parity=0, candidate=False,
-       coin=False, tid=None):
+def mk(
+    membership=UNDECIDED,
+    flag=False,
+    step=0,
+    parity=0,
+    candidate=False,
+    coin=False,
+    tid=None,
+):
     return MISState(membership, flag, step, parity, candidate, coin, tid)
 
 

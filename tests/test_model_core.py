@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 
 from repro.core.algau import ThinUnison
 from repro.core.turns import able, faulty
-from repro.graphs.generators import complete_graph, path, ring
+from repro.graphs.generators import path, ring
 from repro.model.algorithm import Distribution, product_distribution
 from repro.model.configuration import Configuration
 from repro.model.errors import ConfigurationError, ModelError
@@ -113,9 +113,7 @@ class TestDistribution:
         assert sum(d.weights) == pytest.approx(1.0)
 
     def test_product_distribution_skips_zero_weights(self):
-        d = product_distribution(
-            [((False, True), (0.0, 1.0))], lambda flag: flag
-        )
+        d = product_distribution([((False, True), (0.0, 1.0))], lambda flag: flag)
         assert d.support == {True}
 
 
@@ -139,9 +137,7 @@ class TestConfiguration:
 
     def test_signal_is_inclusive_neighborhood(self):
         topo = path(3)  # 0 - 1 - 2
-        config = Configuration(
-            topo, {0: able(1), 1: able(2), 2: able(3)}
-        )
+        config = Configuration(topo, {0: able(1), 1: able(2), 2: able(3)})
         assert config.signal(0) == Signal((able(1), able(2)))
         assert config.signal(1) == Signal((able(1), able(2), able(3)))
         assert config.signal(2) == Signal((able(2), able(3)))
@@ -201,11 +197,7 @@ class TestAlgorithmHelpers:
 
 
 @settings(max_examples=100)
-@given(
-    weights=st.lists(
-        st.floats(0.01, 10.0), min_size=1, max_size=6
-    )
-)
+@given(weights=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=6))
 def test_property_distribution_normalizes(weights):
     outcomes = list(range(len(weights)))
     d = Distribution(outcomes, weights)

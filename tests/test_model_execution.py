@@ -7,8 +7,7 @@ import pytest
 
 from repro.core.algau import ThinUnison
 from repro.core.turns import able
-from repro.faults.injection import random_configuration
-from repro.graphs.generators import complete_graph, path, ring
+from repro.graphs.generators import ring
 from repro.model.configuration import Configuration
 from repro.model.errors import ModelError, ScheduleError
 from repro.model.execution import Execution, Monitor

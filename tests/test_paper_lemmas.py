@@ -10,12 +10,11 @@ import pytest
 
 from repro.core.algau import ThinUnison, TransitionType
 from repro.core.predicates import (
-    is_good_graph,
     is_level_out_protected,
     is_out_protected_graph,
     is_protected_graph,
 )
-from repro.core.turns import Turn, able, faulty
+from repro.core.turns import able, faulty
 from repro.faults.injection import random_configuration, uniform_configuration
 from repro.graphs.generators import complete_graph, path, ring
 from repro.graphs.topology import topology_from_edges
@@ -45,9 +44,7 @@ class TestLemma212Bound:
         ) if chain_length > 1 else None
         if topology is None:
             pytest.skip("degenerate chain")
-        states = {
-            i: faulty(start_level + i) for i in range(chain_length)
-        }
+        states = {i: faulty(start_level + i) for i in range(chain_length)}
         config = Configuration(topology, states)
         assert is_out_protected_graph(alg, config)
         execution = Execution(
@@ -109,9 +106,7 @@ class TestLemma219Meeting:
         met = False
         for _ in range(budget):
             execution.step()
-            levels = {
-                execution.configuration[v].level for v in topology.nodes
-            }
+            levels = {execution.configuration[v].level for v in topology.nodes}
             if levels <= {-1, 1} and all(
                 execution.configuration[v].able for v in topology.nodes
             ):
@@ -142,10 +137,7 @@ class TestLemma220Expansion:
             level = execution.configuration[0].level
             if level == 1 and execution.configuration[0].able:
                 seen_one_at = execution.t
-            if (
-                seen_one_at is not None
-                and level == 2 * alg.levels.diameter_bound + 2
-            ):
+            if (seen_one_at is not None and level == 2 * alg.levels.diameter_bound + 2):
                 assert is_protected_graph(alg, execution.configuration)
                 return
         pytest.skip("trajectory never exhibited the 1 -> 2D+2 climb")
@@ -250,9 +242,7 @@ class TestRoundOperatorDefinition:
         tracker = RoundTracker(nodes)
         for _ in range(60):
             size = int(rng.integers(1, 5))
-            activated = tuple(
-                rng.choice(nodes, size=size, replace=False).tolist()
-            )
+            activated = tuple(rng.choice(nodes, size=size, replace=False).tolist())
             steps.append(frozenset(activated))
             tracker.observe(activated)
 

@@ -12,14 +12,12 @@ from repro.core.potential import (
     progress_report,
     stage_timeline_is_monotone,
 )
-from repro.core.predicates import is_good_graph
 from repro.core.turns import able, faulty
 from repro.faults.injection import (
     au_adversarial_suite,
     random_configuration,
-    uniform_configuration,
 )
-from repro.graphs.generators import complete_graph, damaged_clique, path, ring
+from repro.graphs.generators import damaged_clique, path, ring
 from repro.model.configuration import Configuration
 from repro.model.execution import Execution
 from repro.model.scheduler import (
@@ -118,9 +116,7 @@ class TestLadderMonotonicity:
         alg = ThinUnison(1)
         topology = ring(6)
         initial = au_adversarial_suite(alg, topology, rng)[name]
-        execution = Execution(
-            topology, alg, initial, SynchronousScheduler(), rng=rng
-        )
+        execution = Execution(topology, alg, initial, SynchronousScheduler(), rng=rng)
         stages = [progress_report(alg, execution.configuration).stage]
         for _ in range(400):
             execution.step()
@@ -131,9 +127,7 @@ class TestLadderMonotonicity:
         assert stages[-1] is Stage.GOOD
 
     def test_monotonicity_checker_rejects_regression(self):
-        assert not stage_timeline_is_monotone(
-            [Stage.JUSTIFIED, Stage.OUT_PROTECTED]
-        )
+        assert not stage_timeline_is_monotone([Stage.JUSTIFIED, Stage.OUT_PROTECTED])
         assert stage_timeline_is_monotone(
             [Stage.ARBITRARY, Stage.ARBITRARY, Stage.GOOD]
         )

@@ -17,7 +17,6 @@ from repro.graphs.generators import complete_graph, damaged_clique, ring, star
 from repro.model.execution import Execution
 from repro.model.scheduler import SynchronousScheduler
 from repro.tasks.mis import AlgMIS, MISState
-from repro.tasks.restart import RestartState
 
 
 def mis_states(execution):
@@ -85,9 +84,7 @@ class TestLemma35OnExecutions:
         topology = topology_factory(rng)
         alg, history = run_phases(topology, d, seed + 5, rounds=120)
         for before, after in zip(history, history[1:]):
-            if not all(
-                isinstance(s, MISState) for s in before + after
-            ):
+            if not all(isinstance(s, MISState) for s in before + after):
                 continue
             resets = [
                 v
@@ -104,9 +101,7 @@ class TestLemma35OnExecutions:
         for states in history:
             if not all(isinstance(s, MISState) for s in states):
                 continue
-            if {s.step for s in states} == {0} and all(
-                s.flag for s in states
-            ):
+            if {s.step for s in states} == {0} and all(s.flag for s in states):
                 # A fresh phase: parity agreed everywhere.
                 assert len({s.parity for s in states}) == 1
 

@@ -8,7 +8,6 @@ import pytest
 from repro.faults.injection import random_configuration
 from repro.graphs.generators import (
     complete_graph,
-    damaged_clique,
     dumbbell,
     path,
     ring,
@@ -64,9 +63,7 @@ class TestRestartRules:
         assert result == RestartState(1)
 
     def test_rule3_exit(self, module):
-        result = module.restart_transition(
-            RestartState(6), Signal((RestartState(6),))
-        )
+        result = module.restart_transition(RestartState(6), Signal((RestartState(6),)))
         assert result is RESTART_EXIT
 
     def test_rule2_at_exit_minus_one(self, module):
@@ -91,9 +88,7 @@ def run_until_exit(topology, d, initial, max_steps=None):
     """
     alg = StandaloneRestart(d)
     rng = np.random.default_rng(0)
-    execution = Execution(
-        topology, alg, initial, SynchronousScheduler(), rng=rng
-    )
+    execution = Execution(topology, alg, initial, SynchronousScheduler(), rng=rng)
     budget = max_steps if max_steps is not None else 10 * d + 20
     partial = []
     for _ in range(budget):
@@ -132,9 +127,7 @@ class TestTheorem31:
         alg = StandaloneRestart(d)
         rng = np.random.default_rng(seed)
         initial = random_configuration(alg, topology, rng)
-        if not any(
-            isinstance(initial[v], RestartState) for v in topology.nodes
-        ):
+        if not any(isinstance(initial[v], RestartState) for v in topology.nodes):
             initial = initial.replace({0: RestartState(0)})
         exit_time, partial = run_until_exit(topology, d, initial)
         assert exit_time is not None, "full concurrent exit never happened"
@@ -170,9 +163,7 @@ class TestTheorem31:
         alg = StandaloneRestart(2)
         rng = np.random.default_rng(0)
         initial = Configuration.uniform(topology, IdleState())
-        execution = Execution(
-            topology, alg, initial, SynchronousScheduler(), rng=rng
-        )
+        execution = Execution(topology, alg, initial, SynchronousScheduler(), rng=rng)
         execution.run(max_rounds=10)
         assert execution.configuration == initial
 
@@ -189,9 +180,7 @@ class TestLemma39:
         initial = Configuration.uniform(topology, IdleState()).replace(
             {0: RestartState(0)}
         )
-        execution = Execution(
-            topology, alg, initial, SynchronousScheduler(), rng=rng
-        )
+        execution = Execution(topology, alg, initial, SynchronousScheduler(), rng=rng)
         for elapsed in range(1, d + 1):
             execution.step()
             for v in topology.nodes:
@@ -215,9 +204,7 @@ class TestLemma311:
             topology,
             lambda v: RestartState(int(rng.integers(d + 1))),
         )
-        execution = Execution(
-            topology, alg, initial, SynchronousScheduler(), rng=rng
-        )
+        execution = Execution(topology, alg, initial, SynchronousScheduler(), rng=rng)
         for _ in range(d):
             execution.step()
         states = {execution.configuration[v] for v in topology.nodes}

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.stabilization import measure_static_task_stabilization
-from repro.core.algau import TransitionType
 from repro.core.turns import able, faulty
 from repro.faults.injection import random_configuration, uniform_configuration
 from repro.graphs.generators import complete_graph, damaged_clique, ring
@@ -79,9 +78,7 @@ class TestSimulationMechanics:
         me = SyncState(q0, q0, able(1))
         result = sync.delta(me, Signal((me,)))
         # The AU layer advances 1 -> 2 and Π tosses its epoch coins.
-        support = (
-            result.support if hasattr(result, "support") else {result}
-        )
+        support = result.support if hasattr(result, "support") else {result}
         assert all(s.turn == able(2) for s in support)
         assert all(s.previous == q0 for s in support)
         assert all(s.current.r == 1 for s in support)

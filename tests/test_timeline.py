@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.algau import ThinUnison
 from repro.core.turns import able, faulty
@@ -61,9 +60,7 @@ class TestClockTimeline:
     def test_faulty_turns_marked(self):
         alg = ThinUnison(1)
         topology = ring(4)
-        config = Configuration.uniform(topology, able(1)).replace(
-            {0: faulty(3)}
-        )
+        config = Configuration.uniform(topology, able(1)).replace({0: faulty(3)})
         text = clock_timeline(alg, [config])
         assert "^3" in text
 
