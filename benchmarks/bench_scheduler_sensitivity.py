@@ -76,11 +76,9 @@ def run_once(name, seed):
         topology,
         algorithm,
         au_sign_split(algorithm, topology, rng),
-        scheduler,
+        scheduler,  # the greedy adversary binds itself at construction
         rng=rng,
     )
-    if adversary is not None:
-        adversary.attach(execution)
     budget = (3 * D + 2) ** 3
     result = execution.run(
         max_rounds=budget,

@@ -48,10 +48,9 @@ def main() -> None:
         network,
         algorithm,
         au_all_faulty(algorithm, network, rng),  # everyone starts faulty
-        adversary,
+        adversary,  # adaptive schedulers bind themselves at construction
         rng=rng,
     )
-    adversary.attach(execution)
 
     print("round | stage          | faulty | unjust | unprot.edges | gap")
     last_stage = None

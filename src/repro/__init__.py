@@ -8,9 +8,10 @@ self-stabilizing asynchronous unison algorithm **AlgAU**, the
 synchronous self-stabilizing **AlgLE** (leader election) and **AlgMIS**
 (maximal independent set) algorithms with their shared **Restart**
 module, the **synchronizer** transformer of Corollary 1.2, the paper's
-Appendix-A failed reset-based unison, additional baselines, fault
-injection, and an experiment harness that regenerates every table and
-figure.
+Appendix-A failed reset-based unison, additional baselines, transient
+fault injection, the permanent-fault **resilience** subsystem
+(Byzantine/crash adversaries with containment analytics), and an
+experiment harness that regenerates every table and figure.
 
 Quickstart::
 
@@ -48,8 +49,9 @@ from repro.model.scheduler import (
     SynchronousScheduler,
 )
 from repro.model.signal import Signal
+from repro.resilience import PermanentFaultAdversary
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Algorithm",
@@ -60,6 +62,7 @@ __all__ = [
     "Execution",
     "LevelSystem",
     "Monitor",
+    "PermanentFaultAdversary",
     "RandomSubsetScheduler",
     "RoundRobinScheduler",
     "RunResult",

@@ -1,0 +1,11 @@
+"""``python -m repro`` — the package-level CLI entry point.
+
+Delegates to :func:`repro.cli.main`, so the module form is exactly
+equivalent to the ``repro`` console script (and to the longer
+``python -m repro.cli`` spelling used before this entry point existed).
+"""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

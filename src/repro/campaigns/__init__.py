@@ -13,6 +13,7 @@ from repro.campaigns.aggregate import (
     aggregate_results,
     default_artifact_path,
     fold_worst_rounds,
+    verify_engine_pairing,
     write_campaign_artifact,
 )
 from repro.campaigns.registry import (
@@ -48,5 +49,6 @@ __all__ = [
     "run_campaign",
     "run_scenario",
     "scheduler_names",
+    "verify_engine_pairing",
     "write_campaign_artifact",
 ]

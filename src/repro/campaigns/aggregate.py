@@ -44,6 +44,8 @@ def _row(scenario: Scenario, result: ScenarioResult) -> Dict[str, object]:
         "steps": result.steps,
         "recovered": result.recovered,
         "recovery_rounds": result.recovery_rounds,
+        "containment_radius": result.containment_radius,
+        "clean_fraction": result.clean_fraction,
         "detail": result.detail,
     }
 
@@ -64,6 +66,11 @@ def _group_summary(rows: List[Dict[str, object]]) -> Dict[str, object]:
         if r["recovery_rounds"] is not None
     ]
     recovered_universe = [r for r in rows if r["recovered"] is not None]
+    radii = [
+        r["containment_radius"]
+        for r in rows
+        if r["containment_radius"] is not None
+    ]
     return {
         "count": len(rows),
         "failures": sum(1 for r in rows if not _row_ok(r)),
@@ -78,6 +85,7 @@ def _group_summary(rows: List[Dict[str, object]]) -> Dict[str, object]:
             else None
         ),
         "recovery_rounds": Summary.of(recoveries).to_dict() if recoveries else None,
+        "containment_radius": Summary.of(radii).to_dict() if radii else None,
     }
 
 
@@ -133,6 +141,65 @@ def fold_worst_rounds(
             worst.get((row["group"], value), 0), int(row["rounds"])
         )
     return worst
+
+
+#: The measured (engine-independent) columns of an aggregate row —
+#: everything except the identity/axis columns.
+MEASURED_COLUMNS = (
+    "n",
+    "m",
+    "stabilized",
+    "rounds",
+    "steps",
+    "recovered",
+    "recovery_rounds",
+    "containment_radius",
+    "clean_fraction",
+    "detail",
+)
+
+
+def verify_engine_pairing(
+    rows: Sequence[Dict[str, object]], tag: str = "pairing"
+) -> List[str]:
+    """Cross-check engine-paired aggregate rows.
+
+    Registries built with shared ``seed_index`` values (the
+    ``byzantine`` campaign) run every experiment once per engine under
+    the same seed; since AlgAU and the permanent-fault adversary are
+    deterministic, all measured columns must be bit-identical within a
+    pairing.  Returns a list of human-readable mismatch descriptions
+    (empty = the engines agree), and raises :class:`ValueError` if the
+    rows are not actually paired.
+    """
+    pairs: Dict[str, List[Dict[str, object]]] = {}
+    for row in rows:
+        value = row["tags"].get(tag)
+        if value is None:
+            raise ValueError(
+                f"row {row['scenario_id']!r} carries no {tag!r} tag; "
+                f"verify_engine_pairing needs an engine-paired campaign"
+            )
+        pairs.setdefault(str(value), []).append(row)
+    mismatches: List[str] = []
+    for value, paired in sorted(pairs.items()):
+        engines = sorted(str(r["engine"]) for r in paired)
+        if len(paired) < 2 or len(set(engines)) < 2:
+            raise ValueError(
+                f"pairing {value!r} covers engines {engines}; expected "
+                f"one row per engine"
+            )
+        reference = paired[0]
+        for other in paired[1:]:
+            for column in MEASURED_COLUMNS:
+                if reference[column] != other[column]:
+                    mismatches.append(
+                        f"pairing {value}: {column} differs between "
+                        f"{reference['engine']} ({reference[column]!r}) and "
+                        f"{other['engine']} ({other[column]!r}) "
+                        f"[{reference['scenario_id']}]"
+                    )
+    return mismatches
 
 
 def write_campaign_artifact(

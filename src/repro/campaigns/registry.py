@@ -27,7 +27,7 @@ Shipped registries:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -70,7 +70,16 @@ class CampaignBuilder:
         faults: FaultPlan = NO_FAULTS,
         group: str = "",
         tags: Tuple[Tuple[str, str], ...] = (),
+        seed_index: Optional[int] = None,
     ) -> Scenario:
+        """Append one scenario.
+
+        ``seed_index`` overrides the index the per-scenario seed is
+        derived from: scenarios sharing a ``seed_index`` receive the
+        *same* seed, which is how engine-paired registries (the
+        ``byzantine`` campaign) run the identical experiment on both
+        backends and let the aggregation cross-check them.
+        """
         index = len(self.scenarios)
         scenario = Scenario(
             campaign=self.name,
@@ -82,7 +91,7 @@ class CampaignBuilder:
             scheduler=scheduler,
             engine=engine,
             start=start,
-            seed=derive_seed(self.seed, index),
+            seed=derive_seed(self.seed, index if seed_index is None else seed_index),
             max_rounds=max_rounds,
             faults=faults,
             group=group or f"{task}@{graph}",
@@ -461,4 +470,87 @@ def _fault_recovery(builder: CampaignBuilder) -> None:
             faults=FaultPlan(kind="bursts", bursts=3, fraction=0.3),
             group="au-recovery",
             tags=(("trial", str(trial)),),
+        )
+
+
+#: Large-hop-distance workloads for the permanent-fault campaign —
+#: containment is only observable when correct nodes exist well beyond
+#: the faulty neighborhoods, so these graphs trade density for
+#: diameter.  (name, params, D.)
+BYZANTINE_GRAPHS: Tuple[Tuple[str, Tuple[Tuple[str, object], ...], int], ...] = (
+    ("ring", (("n", 16),), 8),
+    ("caterpillar", (("spine", 6), ("legs_per_node", 1)), 7),
+)
+
+#: Containment target radius by fault density: a single faulty node
+#: must be contained tightly (plenty of correct nodes beyond 3 hops);
+#: denser fault sets shrink the fault-free margin, so the target
+#: loosens rather than making the scenario unsatisfiable.
+BYZANTINE_RADII = {0.06: 3, 0.2: 4}
+
+
+@campaign(
+    "byzantine",
+    "permanent faults: engine-paired containment sweep "
+    "(strategy x density x graph family)",
+)
+def _byzantine(builder: CampaignBuilder) -> None:
+    """Every cell is run on *both* engines with the *same* derived seed
+    (``seed_index`` pairing), so the aggregation can verify that the
+    permanent-fault machinery is bit-identical across backends — the
+    differential property the transient campaigns get from
+    ``_alternating_engine`` is promoted to a hard pairwise check here
+    (see :func:`repro.campaigns.aggregate.verify_engine_pairing`)."""
+    pair = 0
+
+    def add_pair(graph, params, d, faults):
+        nonlocal pair
+        for engine in ("object", "array"):
+            builder.add_au(
+                graph,
+                params,
+                d,
+                engine=engine,
+                max_rounds=4000,
+                faults=faults,
+                group=f"{faults.kind}-{faults.strategy or 'stop'}@{graph}",
+                tags=(("pairing", str(pair)), ("density", f"{faults.density:.2f}")),
+                seed_index=pair,
+            )
+        pair += 1
+
+    for graph, params, d in BYZANTINE_GRAPHS:
+        for strategy in ("frozen", "random", "oscillating", "noisy"):
+            for density, radius in sorted(BYZANTINE_RADII.items()):
+                if strategy == "frozen" and graph == "caterpillar":
+                    # A frozen clock at an outward level permanently
+                    # jams the FA drain of its neighbors; on tree-like
+                    # graphs the jam chain runs one hop farther than on
+                    # the ring, so the target loosens accordingly.
+                    radius += 1
+                add_pair(
+                    graph,
+                    params,
+                    d,
+                    FaultPlan(
+                        kind="byzantine",
+                        strategy=strategy,
+                        density=density,
+                        radius=radius,
+                    ),
+                )
+        add_pair(
+            graph,
+            params,
+            d,
+            FaultPlan(kind="crash", density=0.14, times=(25,), radius=3),
+        )
+    # The targeted max-disruption adversary is configuration-probing
+    # (expensive), so it gets one small cell per family.
+    for graph, params, d in BYZANTINE_GRAPHS:
+        add_pair(
+            graph,
+            params,
+            d,
+            FaultPlan(kind="byzantine", strategy="targeted", density=0.06, radius=3),
         )

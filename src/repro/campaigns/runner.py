@@ -37,7 +37,17 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.campaigns.spec import Scenario, ScenarioResult, make_scheduler
+from repro.analysis.containment import (
+    execution_clean_mask,
+    hop_distances,
+    radius_of_mask,
+)
+from repro.campaigns.spec import (
+    PERMANENT_FAULT_KINDS,
+    Scenario,
+    ScenarioResult,
+    make_scheduler,
+)
 from repro.core.algau import ThinUnison
 from repro.faults.injection import (
     AU_START_BUILDERS,
@@ -51,6 +61,11 @@ from repro.graphs.generators import make_graph
 from repro.graphs.topology import Topology
 from repro.model.configuration import Configuration
 from repro.model.engine import create_execution
+from repro.resilience.adversary import (
+    PermanentFaultAdversary,
+    select_faulty_nodes,
+)
+from repro.resilience.strategies import Crash, make_strategy
 from repro.tasks.le import AlgLE
 from repro.tasks.mis import AlgMIS
 from repro.tasks.spec import check_le_output, check_mis_output
@@ -81,6 +96,8 @@ def _result(
     steps: int,
     recovered: Optional[bool] = None,
     recovery_rounds: Optional[int] = None,
+    containment_radius: Optional[int] = None,
+    clean_fraction: Optional[float] = None,
     detail: str = "",
     started: float = 0.0,
 ) -> ScenarioResult:
@@ -95,6 +112,8 @@ def _result(
         m=topology.m,
         recovered=recovered,
         recovery_rounds=recovery_rounds,
+        containment_radius=containment_radius,
+        clean_fraction=clean_fraction,
         detail=detail,
         tags=scenario.tags,
         elapsed_ms=(time.perf_counter() - started) * 1000.0,
@@ -109,7 +128,102 @@ def _stabilization_round(execution) -> int:
     return execution.completed_rounds + (0 if at_boundary else 1)
 
 
+def _run_permanent(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
+    """Permanent-fault scenario: run under a Byzantine/crash adversary
+    until the containment predicate (every correct node at hop distance
+    > ``plan.radius`` from the faulty set is clean) holds and survives a
+    confirmation window — the ``stabilized_outside`` check replacing the
+    all-nodes stabilization predicate."""
+    started = time.perf_counter()
+    algorithm = ThinUnison(scenario.diameter_bound)
+    initial = _initial_configuration(scenario, algorithm, topology, rng)
+    plan = scenario.faults
+
+    faulty = select_faulty_nodes(topology, plan.density, rng)
+    if plan.kind == "crash":
+        strategy = Crash(at=plan.times[0] if plan.times else 0)
+    else:
+        strategy = make_strategy(plan.strategy)
+    adversary = PermanentFaultAdversary(strategy, faulty, rng=rng)
+    distances = hop_distances(topology, faulty)
+
+    execution = create_execution(
+        topology,
+        algorithm,
+        initial,
+        make_scheduler(scenario.scheduler),
+        rng=rng,
+        intervention=adversary,
+        engine=scenario.engine,
+    )
+
+    def outside_clean(e) -> bool:
+        return (
+            radius_of_mask(execution_clean_mask(e, distances), distances)
+            <= plan.radius
+        )
+
+    # Disruption travels in waves, so a single clean instant is not
+    # containment: the predicate must also hold at every boundary of a
+    # confirmation window before the scenario counts as contained.
+    confirm = 4 * (scenario.diameter_bound + 1)
+    while execution.completed_rounds < scenario.max_rounds:
+        run = execution.run(
+            max_rounds=scenario.max_rounds,
+            until=outside_clean,
+            check_until_each_step=False,
+        )
+        if not run.stopped_by_predicate:
+            break
+        contained_round = _stabilization_round(execution)
+        held = True
+        always_clean = execution_clean_mask(execution, distances)
+        worst_radius = radius_of_mask(always_clean, distances)
+        for _ in range(confirm):
+            execution.run_rounds(1)
+            clean = execution_clean_mask(execution, distances)
+            always_clean &= clean
+            radius = radius_of_mask(clean, distances)
+            worst_radius = max(worst_radius, radius)
+            if radius > plan.radius:
+                held = False
+                break
+        if held:
+            correct = distances > 0
+            return _result(
+                scenario,
+                topology,
+                stabilized=True,
+                rounds=contained_round,
+                steps=execution.t,
+                containment_radius=worst_radius,
+                # Settled through the window, matching the semantics of
+                # ContainmentMeasurement.clean_fraction().
+                clean_fraction=float(
+                    (always_clean & correct).sum() / correct.sum()
+                ),
+                started=started,
+            )
+    return _result(
+        scenario,
+        topology,
+        stabilized=False,
+        rounds=execution.completed_rounds,
+        steps=execution.t,
+        containment_radius=int(
+            radius_of_mask(execution_clean_mask(execution, distances), distances)
+        ),
+        detail=(
+            f"containment at radius {plan.radius} not reached within the "
+            f"round budget"
+        ),
+        started=started,
+    )
+
+
 def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
+    if scenario.faults.kind in PERMANENT_FAULT_KINDS:
+        return _run_permanent(scenario, topology, rng)
     started = time.perf_counter()
     algorithm = ThinUnison(scenario.diameter_bound)
     initial = _initial_configuration(scenario, algorithm, topology, rng)

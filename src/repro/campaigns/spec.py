@@ -21,7 +21,13 @@ The :class:`FaultPlan` axis covers the repertoire of
 * ``rewire`` — stabilize, then a dynamic-topology perturbation
   (:func:`~repro.faults.injection.perturb_topology`) rewires edges
   under the carried-over configuration and recovery is measured on the
-  new graph.
+  new graph;
+* ``byzantine`` — permanent faults: ``density`` of the nodes run a
+  :mod:`repro.resilience` Byzantine strategy forever and success is
+  *containment* (:func:`~repro.analysis.containment.stabilized_outside`
+  at the plan's ``radius``) instead of global stabilization;
+* ``crash`` — permanent crash-stop faults at step ``times[0]``
+  (default 0); measured like ``byzantine``.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.faults.injection import AU_START_BUILDERS
 from repro.model.engine import ENGINE_NAMES
+from repro.resilience.strategies import strategy_names
 from repro.model.scheduler import (
     LaggardScheduler,
     RandomSubsetScheduler,
@@ -52,7 +59,18 @@ TASK_STARTS: Dict[str, Tuple[str, ...]] = {
     "mis": ("random", "uniform"),
 }
 
-FAULT_KINDS: Tuple[str, ...] = ("none", "bursts", "storm", "rewire")
+FAULT_KINDS: Tuple[str, ...] = (
+    "none",
+    "bursts",
+    "storm",
+    "rewire",
+    "byzantine",
+    "crash",
+)
+
+#: The fault kinds that model *permanent* faults (success means
+#: containment, not global stabilization).
+PERMANENT_FAULT_KINDS: Tuple[str, ...] = ("byzantine", "crash")
 
 #: Scheduler factories by declarative name.  Factories (not instances):
 #: several schedulers are stateful, so every scenario run gets a fresh
@@ -96,6 +114,15 @@ class FaultPlan:
     #: ``rewire`` kind: edges removed / added by the perturbation.
     remove: int = 0
     add: int = 0
+    #: ``byzantine`` kind: a :mod:`repro.resilience` strategy name.
+    strategy: str = ""
+    #: ``byzantine``/``crash`` kinds: fraction of permanently faulty
+    #: nodes (at least one node, always leaving one correct).
+    density: float = 0.0
+    #: ``byzantine``/``crash`` kinds: the containment target — the run
+    #: succeeds when every correct node at hop distance > ``radius``
+    #: from the faulty set is stably clean.
+    radius: int = 2
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -114,6 +141,30 @@ class FaultPlan:
                 raise ValueError("rewire fault plan must change at least one edge")
         if self.kind in ("bursts", "storm") and not 0.0 < self.fraction <= 1.0:
             raise ValueError(f"fault fraction must be in (0, 1], got {self.fraction}")
+        if self.kind == "byzantine":
+            if self.strategy == "crash":
+                raise ValueError(
+                    "crash-stop faults have their own kind: use "
+                    "FaultPlan(kind='crash', ...) so the crash time in "
+                    "`times` is honored"
+                )
+            if self.strategy not in strategy_names():
+                valid = ", ".join(
+                    name for name in strategy_names() if name != "crash"
+                )
+                raise ValueError(
+                    f"unknown Byzantine strategy {self.strategy!r}: valid "
+                    f"strategies are {valid}"
+                )
+        if self.kind in PERMANENT_FAULT_KINDS:
+            if not 0.0 < self.density < 1.0:
+                raise ValueError(
+                    f"permanent-fault density must be in (0, 1), got {self.density}"
+                )
+            if self.radius < 0:
+                raise ValueError("containment radius must be >= 0")
+        if self.kind == "crash" and len(self.times) > 1:
+            raise ValueError("crash fault plan takes at most one crash time")
         object.__setattr__(self, "times", tuple(int(t) for t in self.times))
 
     @property
@@ -124,6 +175,11 @@ class FaultPlan:
             return f"bursts(x{self.bursts}@{self.fraction:.2f})"
         if self.kind == "storm":
             return f"storm(x{len(self.times)}@{self.fraction:.2f})"
+        if self.kind == "byzantine":
+            return f"byz-{self.strategy}(d={self.density:.2f},r={self.radius})"
+        if self.kind == "crash":
+            at = self.times[0] if self.times else 0
+            return f"crash(d={self.density:.2f},t={at},r={self.radius})"
         return f"rewire(-{self.remove}+{self.add})"
 
 
@@ -257,6 +313,12 @@ class ScenarioResult:
     m: int
     recovered: Optional[bool] = None
     recovery_rounds: Optional[int] = None
+    #: Permanent-fault kinds only: measured containment radius (worst
+    #: over the confirmation window) and fraction of correct nodes
+    #: clean at every boundary of that window (the same "settled"
+    #: semantics as ``ContainmentMeasurement.clean_fraction``).
+    containment_radius: Optional[int] = None
+    clean_fraction: Optional[float] = None
     detail: str = ""
     tags: Tuple[Tuple[str, str], ...] = ()
     elapsed_ms: float = 0.0

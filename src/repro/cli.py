@@ -12,7 +12,12 @@ Subcommands regenerate the paper's artifacts from the terminal:
 * ``repro campaign {list,run,report}`` — registry-driven scenario
   campaigns: sharded parallel sweeps over graph family × scheduler ×
   adversarial start × fault plan × engine, checkpointed to JSONL and
-  aggregated into ``BENCH_campaign_*.json`` artifacts.
+  aggregated into ``BENCH_campaign_*.json`` artifacts.  The
+  ``byzantine`` registry exercises the permanent-fault resilience
+  subsystem (engine-paired containment sweeps).
+
+``python -m repro`` (via :mod:`repro.__main__`) and the installed
+``repro`` console script both invoke :func:`main`.
 """
 
 from __future__ import annotations

@@ -16,6 +16,11 @@ provides:
   the running system — edges appear and disappear while every node
   keeps its state — after which the algorithm must re-stabilize on the
   new graph (the dynamic FTSS setting of Dubois et al. for unison).
+
+Nodes that *stay* faulty (Byzantine strategies, crash-stop, permanent
+signal noise) are the third fault regime and live in
+:mod:`repro.resilience`; their success criterion is containment
+(:mod:`repro.analysis.containment`), not global re-stabilization.
 """
 
 from __future__ import annotations

@@ -20,13 +20,16 @@ meanest we can build without solving the adversary's full optimization
 problem.
 
 Implementation note: schedulers normally see only ``(t, nodes, rng)``;
-an adaptive adversary additionally needs the current configuration, so
-it must be attached to the execution after construction via
-:meth:`GreedyAdversary.attach`.
+an adaptive adversary additionally needs the current configuration.
+The execution engine calls :meth:`Scheduler.bind` at construction time,
+which the adversary overrides to capture its execution — no manual
+wiring required.  (The old post-construction
+:meth:`GreedyAdversary.attach` survives as a deprecated alias.)
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Optional, Set
 
 from repro.model.algorithm import Distribution
@@ -53,10 +56,37 @@ class GreedyAdversary(Scheduler):
         self._execution = None
         self._pending: Set[int] = set()
 
-    def attach(self, execution) -> "GreedyAdversary":
-        """Bind the adversary to the execution it schedules."""
+    def bind(self, execution) -> None:
+        """Capture the execution (called automatically at construction
+        of the :class:`~repro.model.engine.ExecutionBase`).
+
+        An adversary is stateful (it inspects its execution's
+        configuration and tracks per-round pending sets), so sharing one
+        instance between executions would silently score lookaheads
+        against the wrong configuration — rebinding raises instead.
+        """
+        if self._execution is not None and self._execution is not execution:
+            raise ScheduleError(
+                "GreedyAdversary is already bound to another execution; "
+                "create a fresh adversary per execution"
+            )
         self._execution = execution
         self._pending = set(execution.topology.nodes)
+
+    def attach(self, execution) -> "GreedyAdversary":
+        """Deprecated alias for :meth:`bind`.
+
+        Executions bind their scheduler at construction time, so the
+        manual post-construction call is no longer needed.
+        """
+        warnings.warn(
+            "GreedyAdversary.attach() is deprecated: the execution engine "
+            "binds its scheduler at construction time; drop the call (or "
+            "use bind() for manual wiring)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.bind(execution)
         return self
 
     def _lookahead(self, configuration: Configuration, v: int) -> float:
@@ -74,7 +104,10 @@ class GreedyAdversary(Scheduler):
 
     def activations(self, t, nodes, rng):
         if self._execution is None:
-            raise ScheduleError("GreedyAdversary must be attach()ed to its execution")
+            raise ScheduleError(
+                "GreedyAdversary is not bound to an execution (pass it as "
+                "the scheduler of an execution, or call bind())"
+            )
         if not self._pending:
             self._pending = set(nodes)
         configuration = self._execution.configuration

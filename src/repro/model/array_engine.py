@@ -126,6 +126,27 @@ class ArrayExecution(ExecutionBase["Turn"]):
         view.flags.writeable = False
         return view
 
+    def poke_states(self, updates) -> None:
+        """Sparse state overwrite without decoding the configuration.
+
+        The permanent-fault fast path: only the poked code lanes are
+        written (O(|updates|) encode calls plus one code-vector copy to
+        preserve the snapshot semantics of :attr:`codes`); the batched
+        step kernel never sees a Python-level configuration.
+        """
+        if not updates:
+            return
+        encode = self._encoding.encode
+        n = len(self._codes)
+        new_codes = self._codes.copy()
+        for v, state in updates.items():
+            v = int(v)
+            if not 0 <= v < n:
+                raise ModelError(f"cannot poke unknown node {v}")
+            new_codes[v] = encode(state)
+        self._codes = new_codes
+        self._config_cache = None
+
     def _apply(self, activated: FrozenSet[int]) -> Tuple[Tuple[int, Turn, Turn], ...]:
         codes = self._codes
         n = len(codes)

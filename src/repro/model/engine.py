@@ -26,7 +26,16 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, Generic, Optional, Tuple, TypeVar
+from typing import (
+    Callable,
+    FrozenSet,
+    Generic,
+    Iterable,
+    Mapping,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 import numpy as np
 
@@ -97,7 +106,9 @@ class ExecutionBase(ABC, Generic[Q]):
         self._t = 0
         self._rounds = RoundTracker(topology.nodes)
         self._started = False
+        self._masked: FrozenSet[int] = frozenset()
         self._load_configuration(initial_configuration)
+        scheduler.bind(self)
 
     # ------------------------------------------------------------------
     # Engine-specific hooks.
@@ -149,6 +160,47 @@ class ExecutionBase(ABC, Generic[Q]):
             raise ModelError("replacement configuration changed the topology")
         self._load_configuration(configuration)
 
+    def poke_states(self, updates: Mapping[int, Q]) -> None:
+        """Overwrite the states of a few nodes in place.
+
+        This is the *permanent-fault* entry point: a Byzantine adversary
+        rewrites the states of its faulty nodes before a step, leaving
+        every other node's state (and, on the object engine, its
+        memoized signals) untouched.  Engines may override this with a
+        sparse implementation that avoids rebuilding the configuration —
+        the vectorized backend writes the affected code lanes directly.
+        """
+        if not updates:
+            return
+        self._load_configuration(self.configuration.replace(updates))
+
+    # ------------------------------------------------------------------
+    # Permanent-fault masking.
+    # ------------------------------------------------------------------
+
+    @property
+    def masked_nodes(self) -> FrozenSet[int]:
+        """Nodes currently excluded from algorithmic state updates."""
+        return self._masked
+
+    def mask_nodes(self, nodes: Iterable[int]) -> None:
+        """Exclude ``nodes`` from algorithmic state updates.
+
+        Masked nodes still count as activated for the round bookkeeping
+        (fairness is a scheduler notion, and a crashed cell does not
+        speed up anyone else's rounds), but :meth:`_apply` never touches
+        them: their states change only through :meth:`poke_states` /
+        :meth:`replace_configuration`.  This is how permanent faults
+        compose with both engines — on the vectorized backend the faulty
+        nodes simply drop out of the batched activation rows, so the hot
+        loop stays batched.  Passing an empty iterable unmasks everyone.
+        """
+        masked = frozenset(int(v) for v in nodes)
+        unknown = masked - set(self.topology.nodes)
+        if unknown:
+            raise ModelError(f"cannot mask unknown nodes {sorted(unknown)}")
+        self._masked = masked
+
     # ------------------------------------------------------------------
     # Stepping.
     # ------------------------------------------------------------------
@@ -170,7 +222,8 @@ class ExecutionBase(ABC, Generic[Q]):
                 self._load_configuration(replacement)
 
         activated = self.scheduler.activations(self._t, self.topology.nodes, self.rng)
-        changed = self._apply(activated)
+        effective = activated - self._masked if self._masked else activated
+        changed = self._apply(effective) if effective else ()
         completed_round = self._rounds.observe(activated)
         record = StepRecord(
             t=self._t,

@@ -42,6 +42,14 @@ class Scheduler(ABC):
     ) -> FrozenSet[int]:
         """The set of nodes activated in step ``t`` (non-empty)."""
 
+    def bind(self, execution) -> None:
+        """Called by the execution engine at construction time.
+
+        Oblivious schedulers ignore it; adaptive ones (e.g.
+        :class:`~repro.model.adversary.GreedyAdversary`) override it to
+        capture the execution whose configuration they inspect.
+        """
+
     def _validate(
         self, activated: Iterable[int], nodes: Sequence[int]
     ) -> FrozenSet[int]:

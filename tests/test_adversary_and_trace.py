@@ -24,12 +24,34 @@ from repro.model.scheduler import ShuffledRoundRobinScheduler
 
 
 class TestGreedyAdversary:
-    def test_requires_attachment(self):
+    def test_requires_binding(self):
         adversary = GreedyAdversary(lambda config: 0.0)
         with pytest.raises(ScheduleError):
             adversary.activations(0, (0, 1), np.random.default_rng(0))
 
-    def test_is_fair_one_node_per_step_round_structure(self):
+    def test_rebinding_to_another_execution_raises(self):
+        rng = np.random.default_rng(0)
+        alg = ThinUnison(1)
+        adversary = greedy_au_adversary(alg)
+        topology = ring(5)
+        Execution(
+            topology,
+            alg,
+            random_configuration(alg, topology, rng),
+            adversary,
+            rng=rng,
+        )
+        other = ring(7)
+        with pytest.raises(ScheduleError, match="already bound"):
+            Execution(
+                other,
+                alg,
+                random_configuration(alg, other, rng),
+                adversary,
+                rng=rng,
+            )
+
+    def test_attach_is_a_deprecated_alias(self):
         rng = np.random.default_rng(0)
         alg = ThinUnison(1)
         topology = ring(5)
@@ -41,7 +63,22 @@ class TestGreedyAdversary:
             adversary,
             rng=rng,
         )
-        adversary.attach(execution)
+        with pytest.deprecated_call():
+            assert adversary.attach(execution) is adversary
+        execution.step()  # still fully functional after the alias
+
+    def test_is_fair_one_node_per_step_round_structure(self):
+        rng = np.random.default_rng(0)
+        alg = ThinUnison(1)
+        topology = ring(5)
+        adversary = greedy_au_adversary(alg)
+        execution = Execution(
+            topology,
+            alg,
+            random_configuration(alg, topology, rng),
+            adversary,  # binds itself at construction — no attach() call
+            rng=rng,
+        )
         activated = []
         for _ in range(15):  # three rounds of five
             record = execution.step()
@@ -65,7 +102,6 @@ class TestGreedyAdversary:
             adversary,
             rng=rng,
         )
-        adversary.attach(execution)
         result = execution.run(
             max_rounds=(3 * 2 + 2) ** 3,
             until=lambda e: is_good_graph(alg, e.configuration),
@@ -87,7 +123,6 @@ class TestGreedyAdversary:
             execution = Execution(
                 topology, alg, initial, adversary, rng=np.random.default_rng(seed)
             )
-            adversary.attach(execution)
             execution.run(
                 max_rounds=2000,
                 until=lambda e: is_good_graph(alg, e.configuration),

@@ -340,3 +340,116 @@ def test_encoding_rejects_garbage():
         encoding.encode(faulty(1))  # |ℓ| = 1 has no faulty turn
     with pytest.raises(ModelError):
         encoding.decode_configuration(ring(4), np.array([0, 1, encoding.size, 2]))
+
+
+# ----------------------------------------------------------------------
+# Dynamic topology (perturb/carry) under the array engine.
+# ----------------------------------------------------------------------
+
+
+class TestDynamicTopologyOnArrayEngine:
+    """The rewire flow — ``perturb_topology`` + ``carry_configuration``
+    — was only differentially covered on the object engine; these tests
+    drive it through the vectorized backend."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_post_rewire_step_for_step_equivalence(self, seed):
+        from repro.faults.injection import carry_configuration, perturb_topology
+
+        rng = np.random.default_rng(seed)
+        topology = damaged_clique(10, 2, rng, damage=0.4)
+        algorithm = ThinUnison(2)
+        initial = random_configuration(algorithm, topology, rng)
+
+        # Stabilize on the array engine first (the carried configuration
+        # should be a genuinely evolved one, not a random start).
+        execution = create_execution(
+            topology,
+            algorithm,
+            initial,
+            ShuffledRoundRobinScheduler(),
+            rng=np.random.default_rng(seed + 1),
+            engine="array",
+        )
+        execution.run(max_rounds=5000, until=lambda e: e.graph_is_good())
+        assert execution.graph_is_good()
+
+        perturbation = perturb_topology(topology, rng, remove=2, add=2)
+        carried = carry_configuration(
+            execution.configuration, perturbation.topology
+        )
+        assert carried.states() == execution.configuration.states()
+
+        engines = [
+            create_execution(
+                perturbation.topology,
+                algorithm,
+                carried,
+                ShuffledRoundRobinScheduler(),
+                rng=np.random.default_rng(seed + 2),
+                engine=engine,
+            )
+            for engine in ("object", "array")
+        ]
+        reference, vectorized = engines
+        for _ in range(40):
+            ref_record = reference.step()
+            vec_record = vectorized.step()
+            assert ref_record.activated == vec_record.activated
+            assert set(ref_record.changed) == set(vec_record.changed)
+            assert reference.configuration == vectorized.configuration
+            assert vectorized.graph_is_good() == reference.graph_is_good()
+
+    def test_rewire_scenario_results_identical_across_engines(self):
+        from repro.campaigns import FaultPlan, Scenario, run_scenario
+
+        measured = {}
+        for engine in ("object", "array"):
+            scenario = Scenario(
+                campaign="test",
+                index=0,
+                task="au",
+                graph="damaged-clique",
+                graph_params=(("n", 10), ("diameter_bound", 2), ("damage", 0.4)),
+                diameter_bound=2,
+                scheduler="shuffled-round-robin",
+                engine=engine,
+                start="random",
+                seed=123,
+                max_rounds=20_000,
+                faults=FaultPlan(kind="rewire", remove=2, add=1),
+            )
+            result = run_scenario(scenario)
+            assert result.stabilized and result.recovered
+            measured[engine] = (
+                result.stabilized,
+                result.rounds,
+                result.steps,
+                result.recovered,
+                result.recovery_rounds,
+                result.n,
+                result.m,
+            )
+        assert measured["object"] == measured["array"]
+
+    def test_carried_codes_match_object_restart(self):
+        """Re-homing a configuration onto a rewired topology yields the
+        same code vector the object engine would encode."""
+        from repro.faults.injection import carry_configuration, perturb_topology
+
+        rng = np.random.default_rng(7)
+        topology = damaged_clique(9, 2, rng, damage=0.4)
+        algorithm = ThinUnison(2)
+        config = random_configuration(algorithm, topology, rng)
+        perturbation = perturb_topology(topology, rng, remove=1, add=2)
+        carried = carry_configuration(config, perturbation.topology)
+        execution = create_execution(
+            perturbation.topology,
+            algorithm,
+            carried,
+            SynchronousScheduler(),
+            rng=rng,
+            engine="array",
+        )
+        expected = algorithm.encoding.encode_configuration(carried)
+        assert np.array_equal(execution.codes, expected)

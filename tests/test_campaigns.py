@@ -70,6 +70,15 @@ class TestSpec:
         data = json.loads(json.dumps(scenario.to_dict()))
         assert Scenario.from_dict(data) == scenario
 
+    def test_permanent_fault_plan_roundtrip(self):
+        scenario = _scenario(
+            faults=FaultPlan(
+                kind="byzantine", strategy="oscillating", density=0.1, radius=4
+            ),
+        )
+        data = json.loads(json.dumps(scenario.to_dict()))
+        assert Scenario.from_dict(data) == scenario
+
     def test_result_roundtrip_ignores_unknown_fields(self):
         result = ScenarioResult(
             scenario_id="x",
@@ -116,11 +125,26 @@ class TestSpec:
             {"kind": "storm", "times": ()},
             {"kind": "rewire"},
             {"kind": "bursts", "bursts": 1, "fraction": 0.0},
+            {"kind": "byzantine", "density": 0.1},  # no strategy
+            {"kind": "byzantine", "strategy": "gaslight", "density": 0.1},
+            # crash-stop has its own kind (the byzantine spelling would
+            # silently drop the crash time).
+            {"kind": "byzantine", "strategy": "crash", "density": 0.1},
+            {"kind": "byzantine", "strategy": "frozen", "density": 0.0},
+            {"kind": "byzantine", "strategy": "frozen", "density": 1.0},
+            {"kind": "byzantine", "strategy": "frozen", "density": 0.1, "radius": -1},
+            {"kind": "crash", "density": 0.2, "times": (3, 9)},
         ],
     )
     def test_fault_plan_validation(self, kwargs):
         with pytest.raises(ValueError):
             FaultPlan(**kwargs)
+
+    def test_permanent_fault_plan_labels(self):
+        byz = FaultPlan(kind="byzantine", strategy="frozen", density=0.2, radius=3)
+        assert byz.label == "byz-frozen(d=0.20,r=3)"
+        crash = FaultPlan(kind="crash", density=0.125, times=(40,), radius=2)
+        assert crash.label == "crash(d=0.12,t=40,r=2)"
 
 
 class TestRegistry:
@@ -155,6 +179,23 @@ class TestRegistry:
     def test_unknown_registry_lists_valid_names(self):
         with pytest.raises(ValueError, match="smoke"):
             build_campaign("nope")
+
+    def test_byzantine_registry_is_engine_paired(self):
+        scenarios = build_campaign("byzantine")
+        assert all(s.faults.kind in ("byzantine", "crash") for s in scenarios)
+        strategies = {
+            s.faults.strategy for s in scenarios if s.faults.kind == "byzantine"
+        }
+        assert strategies == {"frozen", "random", "oscillating", "noisy", "targeted"}
+        assert len({s.graph for s in scenarios}) >= 2
+        pairs = {}
+        for s in scenarios:
+            pairs.setdefault(s.tag("pairing"), []).append(s)
+        for paired in pairs.values():
+            assert sorted(p.engine for p in paired) == ["array", "object"]
+            assert len({p.seed for p in paired}) == 1  # shared derived seed
+            assert len({p.graph for p in paired}) == 1
+            assert len({p.faults for p in paired}) == 1
 
 
 class TestRunner:
@@ -235,6 +276,45 @@ class TestRunner:
         aggregates = aggregate_results("micro", scenarios, results, 0)
         with pytest.raises(ValueError, match="trial"):
             fold_worst_rounds(aggregates["rows"])
+
+    def test_byzantine_slice_pairs_and_worker_counts_agree(self):
+        """The acceptance property on a fast slice: containment results
+        are engine-paired bit-identical and worker-count independent
+        (the nightly CI shard re-verifies the full registry)."""
+        from repro.campaigns import verify_engine_pairing
+
+        scenarios = build_campaign("byzantine")[:4]  # two engine pairs
+        serial = run_campaign(scenarios, workers=1)
+        sharded = run_campaign(scenarios, workers=2, shard_size=1)
+        a = aggregate_results("byzantine", scenarios, serial, 0)
+        b = aggregate_results("byzantine", scenarios, sharded, 0)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+        assert a["failure_count"] == 0
+        assert verify_engine_pairing(a["rows"]) == []
+        for row in a["rows"]:
+            assert row["containment_radius"] is not None
+            assert 0.0 <= row["clean_fraction"] <= 1.0
+            assert row["recovered"] is None  # containment, not recovery
+
+    def test_verify_engine_pairing_raises_on_unpaired_rows(self):
+        from repro.campaigns import verify_engine_pairing
+
+        scenarios = build_campaign("micro")[:1]
+        results = run_campaign(scenarios, workers=1)
+        rows = aggregate_results("micro", scenarios, results, 0)["rows"]
+        with pytest.raises(ValueError, match="pairing"):
+            verify_engine_pairing(rows)
+
+    def test_verify_engine_pairing_flags_mismatches(self):
+        from repro.campaigns import verify_engine_pairing
+
+        scenarios = build_campaign("byzantine")[:2]  # one pair
+        results = run_campaign(scenarios, workers=1)
+        rows = aggregate_results("byzantine", scenarios, results, 0)["rows"]
+        assert verify_engine_pairing(rows) == []
+        rows[1]["rounds"] += 1
+        mismatches = verify_engine_pairing(rows)
+        assert len(mismatches) == 1 and "rounds" in mismatches[0]
 
     def test_checkpoint_tolerates_truncated_tail(self, tmp_path):
         scenarios = build_campaign("micro")[:2]

@@ -25,6 +25,7 @@ EXAMPLES = [
     "async_leader_election.py",
     "livelock_demo.py",
     "adversarial_stress.py",
+    "byzantine_containment.py",
 ]
 
 

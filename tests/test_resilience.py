@@ -1,0 +1,432 @@
+"""The permanent-fault resilience subsystem.
+
+Covers the Byzantine/crash/noise strategies and their registry, the
+engine-level masking and sparse-poke hooks, the
+:class:`PermanentFaultAdversary` intervention (including step-for-step
+bit-identity between the object and array engines under every
+strategy), and the containment analytics (hop distances, the clean
+mask's object/vectorized agreement, containment radius, the
+``stabilized_outside`` predicate, and the measurement harness).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.containment import (
+    ContainmentTracker,
+    clean_node_mask,
+    clean_node_mask_codes,
+    containment_radius,
+    execution_clean_mask,
+    execution_stabilized_outside,
+    hop_distances,
+    measure_containment,
+    radius_of_mask,
+    stabilized_outside,
+)
+from repro.core.algau import ThinUnison
+from repro.core.turns import able, faulty
+from repro.faults.injection import random_configuration, uniform_configuration
+from repro.graphs.generators import damaged_clique, path, ring, star
+from repro.model.configuration import Configuration
+from repro.model.engine import create_execution
+from repro.model.errors import ModelError
+from repro.model.scheduler import (
+    RandomSubsetScheduler,
+    ShuffledRoundRobinScheduler,
+    SynchronousScheduler,
+)
+from repro.resilience import (
+    BYZANTINE_STRATEGIES,
+    Crash,
+    FrozenClock,
+    Noisy,
+    PermanentFaultAdversary,
+    RandomClock,
+    make_strategy,
+    select_faulty_nodes,
+    strategy_names,
+)
+
+
+def _execution(engine="object", n=8, d=2, seed=0, strategy=None, faulty_nodes=(0,)):
+    rng = np.random.default_rng(seed)
+    topology = damaged_clique(n, d, rng, damage=0.4)
+    algorithm = ThinUnison(d)
+    initial = random_configuration(algorithm, topology, rng)
+    intervention = None
+    if strategy is not None:
+        intervention = PermanentFaultAdversary(strategy, faulty_nodes, rng=rng)
+    return create_execution(
+        topology,
+        algorithm,
+        initial,
+        ShuffledRoundRobinScheduler(),
+        rng=rng,
+        intervention=intervention,
+        engine=engine,
+    )
+
+
+class TestStrategies:
+    def test_registry_and_factory(self):
+        assert set(strategy_names()) == set(BYZANTINE_STRATEGIES) == {
+            "frozen",
+            "random",
+            "oscillating",
+            "targeted",
+            "crash",
+            "noisy",
+        }
+        for name in strategy_names():
+            assert make_strategy(name).name == name
+
+    def test_unknown_strategy_lists_valid_names(self):
+        with pytest.raises(ValueError, match="frozen"):
+            make_strategy("gaslight")
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: RandomClock(period=0),
+            lambda: Crash(at=-1),
+            lambda: Noisy(p=0.0),
+            lambda: Noisy(p=1.5),
+        ],
+    )
+    def test_parameter_validation(self, build):
+        with pytest.raises(ModelError):
+            build()
+
+    @pytest.mark.parametrize("engine", ["object", "array"])
+    def test_frozen_node_never_moves(self, engine):
+        execution = _execution(engine=engine, strategy=FrozenClock(), faulty_nodes=(2,))
+        before = execution.state_of(2)
+        for _ in range(60):
+            execution.step()
+            assert execution.state_of(2) == before
+
+    def test_frozen_at_level_overrides_the_start_state(self):
+        execution = _execution(strategy=FrozenClock(level=1), faulty_nodes=(3,))
+        execution.step()
+        assert execution.state_of(3) == able(1)
+
+    @pytest.mark.parametrize("engine", ["object", "array"])
+    def test_random_clock_babbles(self, engine):
+        execution = _execution(engine=engine, strategy=RandomClock(), faulty_nodes=(1,))
+        seen = set()
+        for _ in range(40):
+            execution.step()
+            seen.add(execution.state_of(1))
+        assert len(seen) > 3  # a fresh random turn nearly every step
+
+    def test_oscillating_flips_between_the_extremes(self):
+        execution = _execution(strategy=make_strategy("oscillating"), faulty_nodes=(4,))
+        k = execution.algorithm.levels.k
+        seen = set()
+        for _ in range(10):
+            execution.step()
+            seen.add(execution.state_of(4))
+        assert seen == {able(k), able(-k)}
+
+    def test_crash_behaves_until_the_crash_time(self):
+        # Uniform benign start on a clique: nodes advance in unison, so
+        # the crashing node provably moves before its crash time.
+        rng = np.random.default_rng(0)
+        topology = star(7)
+        algorithm = ThinUnison(2)
+        initial = uniform_configuration(algorithm, topology)
+        adversary = PermanentFaultAdversary(Crash(at=12), (0,), rng=rng)
+        execution = create_execution(
+            topology,
+            algorithm,
+            initial,
+            SynchronousScheduler(),
+            rng=rng,
+            intervention=adversary,
+        )
+        start = execution.state_of(0)
+        moved_before = False
+        for _ in range(12):
+            execution.step()
+            moved_before = moved_before or execution.state_of(0) != start
+        assert moved_before
+        frozen = execution.state_of(0)
+        for _ in range(30):
+            execution.step()
+            assert execution.state_of(0) == frozen
+
+    def test_noisy_node_still_runs_the_protocol(self):
+        # With p < 1 the node is unmasked: between corruption hits it
+        # executes delta like everyone else.
+        execution = _execution(strategy=Noisy(p=0.2), faulty_nodes=(5,))
+        assert execution.masked_nodes == frozenset()
+        for _ in range(20):
+            execution.step()
+        assert execution.masked_nodes == frozenset()
+
+    def test_targeted_picks_a_disrupting_turn(self):
+        from repro.core.potential import disorder_potential
+
+        execution = _execution(strategy=make_strategy("targeted"), faulty_nodes=(0,))
+        algorithm = execution.algorithm
+        execution.step()
+        config = execution.configuration
+        chosen = disorder_potential(algorithm, config)
+        for turn in algorithm.turns.all_turns:
+            assert chosen >= disorder_potential(algorithm, config.replace({0: turn}))
+
+
+class TestEngineHooks:
+    @pytest.mark.parametrize("engine", ["object", "array"])
+    def test_masked_nodes_keep_their_state(self, engine):
+        execution = _execution(engine=engine)
+        execution.mask_nodes((0, 1))
+        assert execution.masked_nodes == frozenset({0, 1})
+        s0, s1 = execution.state_of(0), execution.state_of(1)
+        for _ in range(30):
+            record = execution.step()
+            assert all(v not in (0, 1) for v, _, _ in record.changed)
+        assert (execution.state_of(0), execution.state_of(1)) == (s0, s1)
+        execution.mask_nodes(())
+        assert execution.masked_nodes == frozenset()
+
+    def test_mask_rejects_unknown_nodes(self):
+        execution = _execution()
+        with pytest.raises(ModelError):
+            execution.mask_nodes((99,))
+
+    @pytest.mark.parametrize("engine", ["object", "array"])
+    def test_poke_states_overwrites_in_place(self, engine):
+        execution = _execution(engine=engine)
+        execution.poke_states({0: faulty(2), 3: able(-1)})
+        assert execution.state_of(0) == faulty(2)
+        assert execution.state_of(3) == able(-1)
+        assert execution.configuration[0] == faulty(2)
+
+    def test_array_poke_preserves_code_snapshots(self):
+        execution = _execution(engine="array")
+        snapshot = execution.codes.copy()
+        view = execution.codes
+        execution.poke_states({0: faulty(2)})
+        assert (view == snapshot).all()  # earlier views are unaffected
+        assert execution.codes[0] == execution.algorithm.encoding.encode(faulty(2))
+
+    def test_poke_rejects_unknown_nodes(self):
+        for engine in ("object", "array"):
+            execution = _execution(engine=engine)
+            with pytest.raises(Exception):
+                execution.poke_states({42: able(1)})
+
+
+class TestAdversary:
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(ModelError):
+            PermanentFaultAdversary(FrozenClock(), ())
+
+    def test_rejects_foreign_nodes(self):
+        execution = _execution()
+        adversary = PermanentFaultAdversary(FrozenClock(), (50,))
+        execution.intervention = adversary
+        with pytest.raises(ModelError):
+            execution.step()
+
+    def test_select_faulty_nodes_bounds(self):
+        rng = np.random.default_rng(0)
+        topology = ring(10)
+        nodes = select_faulty_nodes(topology, 0.25, rng)
+        assert len(nodes) == 3 and len(set(nodes)) == 3
+        with pytest.raises(ModelError):
+            select_faulty_nodes(topology, 0.0, rng)
+        with pytest.raises(ModelError):
+            select_faulty_nodes(topology, 0.99, rng)
+
+    @pytest.mark.parametrize("strategy_name", sorted(BYZANTINE_STRATEGIES))
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [
+            SynchronousScheduler,
+            ShuffledRoundRobinScheduler,
+            lambda: RandomSubsetScheduler(0.5),
+        ],
+        ids=["sync", "shuffled-rr", "random-subset"],
+    )
+    def test_engines_bit_identical_under_permanent_faults(
+        self, strategy_name, scheduler_factory
+    ):
+        """The subsystem's differential contract: same seeds, same
+        strategy, same trajectory on both engines — step for step."""
+        seed = 11
+        rng = np.random.default_rng(seed)
+        topology = damaged_clique(9, 2, rng, damage=0.4)
+        algorithm = ThinUnison(2)
+        initial = random_configuration(algorithm, topology, rng)
+        engines = []
+        for engine in ("object", "array"):
+            adversary = PermanentFaultAdversary(
+                make_strategy(strategy_name),
+                (1, 4),
+                rng=np.random.default_rng(seed + 1),
+            )
+            engines.append(
+                create_execution(
+                    topology,
+                    algorithm,
+                    initial,
+                    scheduler_factory(),
+                    rng=np.random.default_rng(seed + 2),
+                    intervention=adversary,
+                    engine=engine,
+                )
+            )
+        reference, vectorized = engines
+        for _ in range(50):
+            ref_record = reference.step()
+            vec_record = vectorized.step()
+            assert ref_record.activated == vec_record.activated
+            assert set(ref_record.changed) == set(vec_record.changed)
+            assert ref_record.completed_round == vec_record.completed_round
+            assert reference.configuration == vectorized.configuration
+            assert reference.masked_nodes == vectorized.masked_nodes
+
+
+class TestContainmentAnalytics:
+    def test_hop_distances_multi_source(self):
+        topology = path(7)
+        distances = hop_distances(topology, (0, 6))
+        assert distances.tolist() == [0, 1, 2, 3, 2, 1, 0]
+        with pytest.raises(ModelError):
+            hop_distances(topology, ())
+        with pytest.raises(ModelError):
+            hop_distances(topology, (9,))
+
+    def test_clean_mask_reference_semantics(self):
+        # path 0-1-2-3-4, faulty node 0.
+        topology = path(5)
+        algorithm = ThinUnison(topology.diameter)
+        distances = hop_distances(topology, (0,))
+        config = Configuration(
+            topology,
+            {0: able(4), 1: faulty(2), 2: able(2), 3: able(2), 4: able(3)},
+        )
+        clean = clean_node_mask(algorithm, config, distances)
+        # 0 is the fault (never clean); 1 holds a faulty turn; 2 borders
+        # the faulty-turned node 1 but that edge points inwards, so only
+        # its outward edge to 3 counts (protected); 4 is adjacent to 3.
+        assert clean.tolist() == [False, False, True, True, True]
+        assert radius_of_mask(clean, distances) == 1
+        assert containment_radius(algorithm, config, distances) == 1
+        assert stabilized_outside(algorithm, config, distances, radius=1)
+        assert not stabilized_outside(algorithm, config, distances, radius=0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_clean_mask_object_vs_vectorized(self, seed):
+        rng = np.random.default_rng(seed)
+        topology = damaged_clique(11, 2, rng, damage=0.4)
+        algorithm = ThinUnison(2)
+        config = random_configuration(algorithm, topology, rng)
+        distances = hop_distances(topology, (int(rng.integers(topology.n)),))
+        reference = clean_node_mask(algorithm, config, distances)
+        codes = algorithm.encoding.encode_configuration(config)
+        vectorized = clean_node_mask_codes(
+            algorithm.vector_kernel(), codes, topology.inclusive_csr(), distances
+        )
+        assert reference.tolist() == vectorized.tolist()
+
+    def test_execution_clean_mask_dispatches_per_engine(self):
+        for engine in ("object", "array"):
+            execution = _execution(engine=engine, strategy=FrozenClock())
+            execution.run_rounds(3)
+            distances = hop_distances(execution.topology, (0,))
+            mask = execution_clean_mask(execution, distances)
+            assert mask.dtype == bool and len(mask) == execution.topology.n
+            assert not mask[0]  # the faulty node is never clean
+            assert execution_stabilized_outside(
+                execution, distances, radius=int(distances.max())
+            )
+
+    def test_tracker_records_radius_and_recovery(self):
+        strategy = make_strategy("random")
+        rng = np.random.default_rng(3)
+        topology = ring(12)
+        algorithm = ThinUnison(6)
+        adversary = PermanentFaultAdversary(strategy, (0,), rng=rng)
+        tracker = ContainmentTracker((0,))
+        execution = create_execution(
+            topology,
+            algorithm,
+            random_configuration(algorithm, topology, rng),
+            ShuffledRoundRobinScheduler(),
+            rng=rng,
+            monitors=(tracker,),
+            intervention=adversary,
+            engine="array",
+        )
+        execution.run(max_rounds=30)
+        assert tracker.rounds == 30
+        assert len(tracker.radius_timeline) == 30
+        assert tracker.last_unclean_round.max() <= 30
+        assert tracker.last_unclean_round[0] == 0  # faulty: not tracked
+        assert 0 <= tracker.stable_radius(10) <= int(tracker.distances.max())
+
+    def test_measure_containment_end_to_end(self):
+        rng = np.random.default_rng(5)
+        topology = ring(16)
+        algorithm = ThinUnison(8)
+        faulty_nodes = select_faulty_nodes(topology, 0.08, rng)
+        measurement = measure_containment(
+            algorithm,
+            topology,
+            random_configuration(algorithm, topology, rng),
+            ShuffledRoundRobinScheduler(),
+            rng,
+            faulty_nodes,
+            make_strategy("frozen"),
+            rounds=80,
+            confirm_rounds=15,
+        )
+        assert measurement.rounds == 80
+        assert measurement.faulty_nodes == faulty_nodes
+        assert len(measurement.radius_timeline) == 80
+        assert 0 <= measurement.stable_radius <= measurement.max_distance
+        curve = measurement.recovery_by_distance()
+        assert set(curve) <= set(range(1, measurement.max_distance + 1))
+        assert sum(b["nodes"] for b in curve.values()) == topology.n - len(
+            faulty_nodes
+        )
+        # Nodes beyond the stable radius were clean through the window.
+        for v, d in enumerate(measurement.distances):
+            if d > measurement.stable_radius:
+                assert measurement.settled(v)
+        assert 0.0 <= measurement.clean_fraction() <= 1.0
+
+    def test_measure_containment_validates_bounds(self):
+        rng = np.random.default_rng(0)
+        topology = ring(8)
+        algorithm = ThinUnison(4)
+        initial = random_configuration(algorithm, topology, rng)
+        with pytest.raises(ModelError):
+            measure_containment(
+                algorithm,
+                topology,
+                initial,
+                SynchronousScheduler(),
+                rng,
+                (0,),
+                FrozenClock(),
+                rounds=0,
+            )
+        with pytest.raises(ModelError):
+            measure_containment(
+                algorithm,
+                topology,
+                initial,
+                SynchronousScheduler(),
+                rng,
+                (0,),
+                FrozenClock(),
+                rounds=5,
+                confirm_rounds=9,
+            )

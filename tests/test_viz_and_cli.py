@@ -61,6 +61,28 @@ class TestCLI:
         args = parser.parse_args(["figure1", "--diameter-bound", "1"])
         assert args.diameter_bound == 1
 
+    def test_python_dash_m_repro_entry_point(self):
+        """``python -m repro`` must behave exactly like the console
+        script (the package-level __main__ delegates to the CLI)."""
+        import os
+        import subprocess
+        import sys
+
+        root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(root, "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "table1", "--diameter-bound", "1"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "Table 1" in result.stdout
+
     def test_figure1_command(self, capsys):
         assert main(["figure1", "--diameter-bound", "1"]) == 0
         out = capsys.readouterr().out
