@@ -47,17 +47,25 @@ class TransitionCounter(Monitor):
 
 class GoodGraphMonitor(Monitor):
     """Records when the graph first becomes good and asserts closure
-    (Lem 2.10: goodness, once reached, is never lost)."""
+    (Lem 2.10: goodness, once reached, is never lost).
 
-    def __init__(self, algorithm: ThinUnison, check_every_step: bool = False):
-        self.algorithm = algorithm
+    The check goes through :meth:`ExecutionBase.graph_is_good`, which
+    every engine answers from its incrementally maintained goodness
+    counts — O(changes) amortized per step, not an O(n + m)
+    configuration scan.  Goodness is therefore always evaluated under
+    the *execution's own* algorithm; the ``algorithm`` parameter is
+    retained only for backwards compatibility and is ignored."""
+
+    def __init__(
+        self, algorithm: Optional[ThinUnison] = None, check_every_step: bool = False
+    ):
         self.check_every_step = check_every_step
         self.first_good_time: Optional[int] = None
         self.first_good_round: Optional[int] = None
         self.goodness_lost_at: Optional[int] = None
 
     def _check(self, execution: Execution, t: int) -> None:
-        good = is_good_graph(self.algorithm, execution.configuration)
+        good = execution.graph_is_good()
         if good and self.first_good_time is None:
             self.first_good_time = t
             self.first_good_round = execution.rounds.round_of_time(
@@ -142,35 +150,76 @@ class OutputChangeMonitor(Monitor):
 
     The stabilization round of a static task is the first round from
     which the output vector is valid and never changes again.
+
+    The vector and the completeness counter are folded forward from
+    each record's change set — O(|changed|) per step instead of the
+    former full-configuration snapshot, so sparse schedules pay for
+    activity, not for ``n``.  Records only cover ``_apply``'s updates,
+    so the monitor watches :attr:`ExecutionBase.state_epoch` and falls
+    back to a full re-snapshot on the (rare) steps where an
+    intervention, ``poke_states`` or ``replace_configuration`` mutated
+    state out-of-band.
     """
 
     def __init__(self, algorithm):
         self.algorithm = algorithm
         self.last_change_time = 0
-        self._last_vector: Optional[Tuple] = None
-        self._last_complete: Optional[bool] = None
+        self._vector: Optional[List] = None
+        self._vector_tuple: Optional[Tuple] = None
+        self._incomplete = 1  # "incomplete" until the first snapshot
+        self._epoch = 0
 
-    def _snapshot(self, config: Configuration):
-        complete = config.is_output_configuration(self.algorithm)
-        vector = config.output_vector(self.algorithm)
-        return complete, vector
+    def _output_of(self, state):
+        if self.algorithm.is_output_state(state):
+            return self.algorithm.output(state)
+        return None
+
+    def _snapshot(self, execution: Execution) -> None:
+        config = execution.configuration
+        self._vector = [self._output_of(q) for q in config.states()]
+        self._vector_tuple = None
+        self._incomplete = sum(1 for out in self._vector if out is None)
+        self._epoch = execution.state_epoch
 
     def on_start(self, execution: Execution) -> None:
-        self._last_complete, self._last_vector = self._snapshot(execution.configuration)
+        self._snapshot(execution)
 
     def on_step(self, execution: Execution, record: StepRecord) -> None:
-        complete, vector = self._snapshot(execution.configuration)
-        if complete != self._last_complete or vector != self._last_vector:
+        if execution.state_epoch != self._epoch:
+            # Out-of-band mutation since the last snapshot: the record
+            # stream alone no longer describes the configuration.
+            before = self._vector
+            self._snapshot(execution)
+            if self._vector != before:
+                self.last_change_time = record.t + 1
+            return
+        if not record.changed:
+            return
+        moved = False
+        vector = self._vector
+        for v, old, new in record.changed:
+            old_out = self._output_of(old)
+            new_out = self._output_of(new)
+            if old_out == new_out:
+                continue
+            vector[v] = new_out
+            self._incomplete += (new_out is None) - (old_out is None)
+            moved = True
+        if moved:
             self.last_change_time = record.t + 1
-            self._last_complete, self._last_vector = complete, vector
+            self._vector_tuple = None
 
     @property
     def current_vector(self) -> Optional[Tuple]:
-        return self._last_vector
+        if self._vector is None:
+            return None
+        if self._vector_tuple is None:
+            self._vector_tuple = tuple(self._vector)
+        return self._vector_tuple
 
     @property
     def currently_complete(self) -> bool:
-        return bool(self._last_complete)
+        return self._incomplete == 0
 
 
 class PredicateTimeline(Monitor):

@@ -58,9 +58,12 @@ def measure_au_stabilization(
     so tests use it as a tripwire, experiments leave it at 0).
     ``engine`` selects the execution backend (``"object"`` or
     ``"array"``); since AlgAU is deterministic the measured trajectory —
-    and therefore the reported rounds — is identical either way, but the
-    array engine also checks goodness vectorized, making large-``n``
-    sweeps practical.
+    and therefore the reported rounds — is identical either way.  Both
+    engines answer the per-step goodness predicate from incrementally
+    maintained counts (O(changes) amortized, no per-step O(n + m)
+    configuration scan), so polling ``until`` every step costs activity,
+    not ``n`` — which is what makes large-``n`` sweeps under sparse
+    asynchronous schedules practical.
     """
     execution = create_execution(
         topology, algorithm, initial, scheduler, rng=rng, engine=engine
@@ -105,7 +108,10 @@ def measure_static_task_stabilization(
 
     The measurement loop alternates "run until the output looks valid"
     with a ``confirm_rounds`` stability window; the reported round is
-    the round containing the last output change.
+    the round containing the last output change.  The
+    :class:`OutputChangeMonitor` folds the output vector forward from
+    each step's change set, so the per-step predicate is O(1) until the
+    vector is complete — no full-configuration snapshot per step.
     """
     monitor = OutputChangeMonitor(algorithm)
     execution = Execution(

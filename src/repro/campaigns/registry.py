@@ -20,6 +20,10 @@ Shipped registries:
   proneural clusters, signaling-hub colonies);
 * ``full`` — the nightly-scale cross product over families ×
   schedulers × starts;
+* ``enabled-daemons`` — the enabled-aware daemon axes
+  (``enabled-only`` and ``locally-central``), engine-paired so the
+  aggregation cross-checks that both backends drive the daemons off
+  identical enabled views;
 * ``thm11-scaling`` / ``thm11-n-independence`` / ``fault-recovery`` —
   registry-driven replacements for the former ad-hoc sweep loops of
   ``benchmarks/bench_thm11_*`` and ``bench_fault_recovery``.
@@ -553,4 +557,70 @@ def _byzantine(builder: CampaignBuilder) -> None:
             params,
             d,
             FaultPlan(kind="byzantine", strategy="targeted", density=0.06, radius=3),
+        )
+
+
+#: Families exercised by the enabled-daemon campaign: a sparse
+#: large-diameter family (where enabled sets stay small) plus the
+#: heterogeneous-degree biological hub colony named by the dirty-set
+#: issue, plus a dense control.
+ENABLED_DAEMON_GRAPHS: Tuple[GraphSpec, ...] = (
+    ("ring", (("n", 12),), 6),
+    ("hub-colony", (("n", 12), ("hubs", 2)), 2),
+    (
+        "damaged-clique",
+        (("n", 10), ("diameter_bound", 2), ("damage", 0.4)),
+        2,
+    ),
+)
+
+
+@campaign(
+    "enabled-daemons",
+    "enabled-aware daemon axes: engine-paired sweep over "
+    "enabled-only/locally-central schedulers x families x starts",
+)
+def _enabled_daemons(builder: CampaignBuilder) -> None:
+    """Every cell runs on *both* engines with the *same* derived seed
+    (``seed_index`` pairing, like the ``byzantine`` campaign): the
+    enabled-aware daemons choose activations from the engines'
+    incrementally maintained enabled views, so pairwise-identical
+    results certify that the object and array pipelines maintain
+    identical enabled sets along whole trajectories — the sharpest
+    cross-check of the dirty-set invariant the campaign layer can run
+    (enforced by :func:`repro.campaigns.aggregate.verify_engine_pairing`)."""
+    pair = 0
+
+    def add_pair(graph, params, d, scheduler, start, faults=NO_FAULTS):
+        nonlocal pair
+        for engine in ("object", "array"):
+            builder.add_au(
+                graph,
+                params,
+                d,
+                scheduler=scheduler,
+                engine=engine,
+                start=start,
+                max_rounds=au_round_budget(d),
+                faults=faults,
+                group=f"{scheduler}@{graph}",
+                tags=(("pairing", str(pair)), ("daemon", scheduler)),
+                seed_index=pair,
+            )
+        pair += 1
+
+    for graph, params, d in ENABLED_DAEMON_GRAPHS:
+        for scheduler in ("enabled-only", "locally-central"):
+            for start in ("random", "all-faulty"):
+                add_pair(graph, params, d, scheduler, start)
+    # The daemons must also compose with mid-run state corruption (the
+    # bursts re-dirty whole neighborhoods at once).
+    for scheduler in ("enabled-only", "locally-central"):
+        add_pair(
+            "hub-colony",
+            (("n", 12), ("hubs", 2)),
+            2,
+            scheduler,
+            "random",
+            faults=FaultPlan(kind="bursts", bursts=1, fraction=0.3),
         )

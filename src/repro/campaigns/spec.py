@@ -39,7 +39,9 @@ from repro.faults.injection import AU_START_BUILDERS
 from repro.model.engine import ENGINE_NAMES
 from repro.resilience.strategies import strategy_names
 from repro.model.scheduler import (
+    EnabledOnlyScheduler,
     LaggardScheduler,
+    LocallyCentralScheduler,
     RandomSubsetScheduler,
     RoundRobinScheduler,
     Scheduler,
@@ -74,13 +76,18 @@ PERMANENT_FAULT_KINDS: Tuple[str, ...] = ("byzantine", "crash")
 
 #: Scheduler factories by declarative name.  Factories (not instances):
 #: several schedulers are stateful, so every scenario run gets a fresh
-#: one.
+#: one.  The ``enabled-only`` / ``locally-central`` entries are the
+#: enabled-aware daemon variants riding on the engines' incrementally
+#: maintained enabled-set view (see
+#: :mod:`repro.model.scheduler` for the daemon taxonomy).
 SCHEDULER_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
     "synchronous": SynchronousScheduler,
     "round-robin": RoundRobinScheduler,
     "shuffled-round-robin": ShuffledRoundRobinScheduler,
     "random-subset": lambda: RandomSubsetScheduler(0.5),
     "laggard": lambda: LaggardScheduler(victim=0, period=6),
+    "enabled-only": EnabledOnlyScheduler,
+    "locally-central": LocallyCentralScheduler,
 }
 
 

@@ -75,6 +75,10 @@ class ThinUnison(Algorithm[Turn, int]):
         ``False`` yields the ablated variant used by benchmark A1.
     """
 
+    #: AlgAU is deterministic (Table 1 has no coin), which makes it
+    #: eligible for the engines' incremental pending-action cache.
+    deterministic = True
+
     def __init__(self, diameter_bound: int, cautious_af: bool = True):
         self.levels = LevelSystem(diameter_bound)
         self.turns = TurnSystem(self.levels)

@@ -40,13 +40,41 @@ few numpy passes over ``(n, 2k)`` arrays.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.algau import ThinUnison
     from repro.graphs.csr import CSRAdjacency
+
+
+@dataclass
+class ScalarTables:
+    """Python-native lookup tables for the one-node δ fast path.
+
+    The batched kernel pays ~20 numpy dispatches per call, which
+    dominates when only a single node is activated (round-robin and
+    friends).  These tables are the same Table 1 masks converted to
+    plain lists/sets once per algorithm instance so that
+    :meth:`VectorKernel.delta_one` runs entirely at Python speed.
+    """
+
+    clock_of: List[int]
+    aa_succ: List[int]
+    fa_succ: List[int]
+    af_code: List[int]
+    af_sense: List[int]
+    has_twin: List[bool]
+    #: Per able code: the clocks inside the three-clock adjacency window.
+    adjacent_allowed: List[frozenset]
+    #: Per able code: the clocks inside the two-clock AA window.
+    aa_allowed: List[frozenset]
+    #: Per faulty code: the clocks of ``Ψ>(ℓ)``.
+    outwards: List[frozenset]
+    #: ``pair_unprotected`` as nested lists of 0/1 ints.
+    pair_bad: List[List[int]]
 
 
 class VectorKernel:
@@ -112,6 +140,20 @@ class VectorKernel:
             np.abs(grid_level) > np.abs(own_level)
         )  # Ψ>(ℓ) in clock space
 
+        # (|Q|, |Q|) edge-protection table: pair_unprotected[a, b] is
+        # True iff a node in code ``a`` and a neighbor in code ``b``
+        # form an unprotected pair (their levels' clocks are not
+        # cyclically adjacent).  This is the incremental-goodness
+        # counterpart of :meth:`is_good`: engines count unprotected
+        # ordered pairs with it and update the count from each step's
+        # change set instead of rescanning the whole configuration.
+        pc = clock[:, None]
+        qc = clock[None, :]
+        pair_cyc = np.minimum((qc - pc) % k2, (pc - qc) % k2)
+        self.pair_unprotected = pair_cyc > 1
+
+        self._scalar: Optional[ScalarTables] = None
+
     # ------------------------------------------------------------------
     # Signals.
     # ------------------------------------------------------------------
@@ -132,16 +174,10 @@ class VectorKernel:
             presence = np.zeros((len(codes), self.size), dtype=bool)
             presence[csr.row_index, codes[csr.indices]] = True
             return presence
-        starts = csr.indptr[rows]
-        counts = csr.indptr[rows + 1] - starts
-        total = int(counts.sum())
+        flat, counts = csr.gather(rows)
         out_row = np.repeat(np.arange(len(rows), dtype=np.int64), counts)
-        offsets = np.arange(total, dtype=np.int64) - np.repeat(
-            np.cumsum(counts) - counts, counts
-        )
-        flat = np.repeat(starts, counts) + offsets
         presence = np.zeros((len(rows), self.size), dtype=bool)
-        presence[out_row, codes[csr.indices[flat]]] = True
+        presence[out_row, codes[flat]] = True
         return presence
 
     def sensed_clocks(self, presence: np.ndarray) -> np.ndarray:
@@ -200,6 +236,70 @@ class VectorKernel:
         return new_codes
 
     # ------------------------------------------------------------------
+    # The scalar fast path (single-node refresh).
+    # ------------------------------------------------------------------
+
+    def scalar_tables(self) -> ScalarTables:
+        """The Python-native Table 1 lookup tables (built lazily)."""
+        if self._scalar is None:
+
+            def clock_set(mask_row: np.ndarray) -> frozenset:
+                return frozenset(np.nonzero(mask_row)[0].tolist())
+
+            self._scalar = ScalarTables(
+                clock_of=self.encoding.clock_of_code.tolist(),
+                aa_succ=self.aa_succ.tolist(),
+                fa_succ=self.fa_succ.tolist(),
+                af_code=self.af_code.tolist(),
+                af_sense=self.af_sense_code.tolist(),
+                has_twin=self.has_faulty_twin.tolist(),
+                adjacent_allowed=[clock_set(row) for row in self.adjacent_mask],
+                aa_allowed=[clock_set(row) for row in self.aa_mask],
+                outwards=[clock_set(row) for row in self.outwards_mask],
+                pair_bad=self.pair_unprotected.astype(np.int64).tolist(),
+            )
+        return self._scalar
+
+    def delta_one(self, codes: np.ndarray, neighborhood: List[int]) -> int:
+        """Scalar ``δ`` for one node: ``neighborhood`` is its inclusive
+        neighborhood (node first — see
+        :meth:`~repro.graphs.csr.CSRAdjacency.neighbor_lists`).
+
+        Exactly equivalent to a one-row :meth:`delta_batch` call but
+        without any numpy dispatch — the incremental engines use it when
+        a sparsely scheduled step needs to refresh a single dirty node.
+        """
+        tables = self.scalar_tables()
+        k2 = self.num_clocks
+        code = int(codes[neighborhood[0]])
+        clock_of = tables.clock_of
+        sensed = set()
+        sensed_codes = set()
+        any_faulty = False
+        for u in neighborhood:
+            c = int(codes[u])
+            sensed_codes.add(c)
+            sensed.add(clock_of[c])
+            if c >= k2:
+                any_faulty = True
+        if code < k2:  # able
+            protected = sensed <= tables.adjacent_allowed[code]
+            if protected and not any_faulty and sensed <= tables.aa_allowed[code]:
+                return tables.aa_succ[code]
+            if tables.has_twin[code]:
+                fire = not protected
+                if not fire and self.cautious_af:
+                    sense = tables.af_sense[code]
+                    fire = sense >= 0 and sense in sensed_codes
+                if fire:
+                    return tables.af_code[code]
+            return code
+        # Faulty: FA once nothing is sensed strictly outwards.
+        if sensed & tables.outwards[code]:
+            return code
+        return tables.fa_succ[code]
+
+    # ------------------------------------------------------------------
     # Vectorized analysis predicates.
     # ------------------------------------------------------------------
 
@@ -211,3 +311,16 @@ class VectorKernel:
             return False
         diff = (codes[csr.indices] - codes[csr.row_index]) % k2
         return bool(((diff <= 1) | (diff == k2 - 1)).all())
+
+    def goodness_counts(self, codes: np.ndarray, csr: "CSRAdjacency"):
+        """``(faulty nodes, unprotected ordered pairs)`` of a
+        configuration — the full-recompute seed of the engines'
+        incremental goodness accounting.  The graph is good iff both
+        counts are zero (pairs are counted once per direction; self
+        pairs are trivially protected and contribute nothing)."""
+        k2 = self.num_clocks
+        faulty = int((codes >= k2).sum())
+        bad = int(
+            self.pair_unprotected[codes[csr.row_index], codes[csr.indices]].sum()
+        )
+        return faulty, bad

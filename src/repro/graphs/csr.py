@@ -1,9 +1,12 @@
-"""CSR (compressed sparse row) adjacency for the array engine.
+"""CSR (compressed sparse row) adjacency for the execution engines.
 
-The vectorized backend needs the *inclusive* neighborhoods
-``N+(v) = N(v) ∪ {v}`` of every node as flat integer arrays so that the
-per-step signal computation is a single scatter over contiguous memory.
-:class:`CSRAdjacency` stores the standard two-array layout:
+Both engines need the *inclusive* neighborhoods ``N+(v) = N(v) ∪ {v}``
+of every node: the array backend as flat integer arrays so that the
+per-step signal computation is a single scatter over contiguous memory,
+and the object engine as plain Python lists so that signal sets and
+dirty-neighborhood propagation iterate at list speed.
+:class:`CSRAdjacency` is the one shared adjacency representation; it
+stores the standard two-array layout:
 
 * ``indptr`` — shape ``(n + 1,)``; the inclusive neighborhood of node
   ``v`` occupies ``indices[indptr[v]:indptr[v + 1]]``;
@@ -14,12 +17,14 @@ per-step signal computation is a single scatter over contiguous memory.
 Instances are immutable and cached on the owning
 :class:`~repro.graphs.topology.Topology` (see
 :meth:`Topology.inclusive_csr`), so the construction cost is paid once
-per topology regardless of how many executions run on it.
+per topology regardless of how many executions run on it.  The Python
+:meth:`neighbor_lists` view is derived lazily from the same arrays and
+cached alongside them.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -30,7 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class CSRAdjacency:
     """Inclusive-neighborhood adjacency in CSR form."""
 
-    __slots__ = ("indptr", "indices", "row_index")
+    __slots__ = ("indptr", "indices", "row_index", "_lists")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray):
         self.indptr = indptr
@@ -40,6 +45,7 @@ class CSRAdjacency:
         self.row_index = np.repeat(
             np.arange(len(indptr) - 1, dtype=np.int64), np.diff(indptr)
         )
+        self._lists: Optional[List[List[int]]] = None
 
     @property
     def n(self) -> int:
@@ -52,6 +58,39 @@ class CSRAdjacency:
     def neighborhood(self, v: int) -> np.ndarray:
         """The inclusive neighborhood slice of node ``v``."""
         return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def neighbor_lists(self) -> List[List[int]]:
+        """Python-list view of the inclusive neighborhoods (cached).
+
+        This is the object engine's (and the array engine's scalar fast
+        path's) adjacency: one ``indices.tolist()`` conversion per
+        topology, then every per-node iteration runs at Python-list
+        speed instead of crossing the numpy scalar boundary element by
+        element.
+        """
+        if self._lists is None:
+            indices = self.indices.tolist()
+            indptr = self.indptr.tolist()
+            self._lists = [indices[indptr[v] : indptr[v + 1]] for v in range(self.n)]
+        return self._lists
+
+    def gather(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Concatenated inclusive neighborhoods of ``rows``.
+
+        Returns ``(flat, counts)`` where ``flat`` is the concatenation
+        of the inclusive-neighborhood slices of every row (duplicates
+        preserved — a node adjacent to two rows appears twice) and
+        ``counts[i] = |N+(rows[i])|``.  This is the shared machinery
+        behind the sparse signal gather and the dirty-neighborhood
+        propagation of the incremental step pipeline.
+        """
+        starts = self.indptr[rows]
+        counts = self.indptr[rows + 1] - starts
+        total = int(counts.sum())
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        return self.indices[np.repeat(starts, counts) + offsets], counts
 
     def __repr__(self) -> str:
         return f"<CSRAdjacency n={self.n} nnz={len(self.indices)}>"

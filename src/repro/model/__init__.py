@@ -30,8 +30,10 @@ from repro.model.engine import ExecutionBase, create_execution
 from repro.model.execution import Execution, Monitor, RunResult, StepRecord
 from repro.model.rounds import RoundTracker
 from repro.model.scheduler import (
+    EnabledOnlyScheduler,
     ExplicitScheduler,
     LaggardScheduler,
+    LocallyCentralScheduler,
     RandomSubsetScheduler,
     RotatingScheduler,
     RoundRobinScheduler,
@@ -48,12 +50,14 @@ __all__ = [
     "Configuration",
     "ConfigurationError",
     "Distribution",
+    "EnabledOnlyScheduler",
     "Execution",
     "ExecutionBase",
     "ExplicitScheduler",
     "ExperimentError",
     "GreedyAdversary",
     "LaggardScheduler",
+    "LocallyCentralScheduler",
     "ModelError",
     "Monitor",
     "RandomSubsetScheduler",

@@ -23,13 +23,13 @@ Implementation note: schedulers normally see only ``(t, nodes, rng)``;
 an adaptive adversary additionally needs the current configuration.
 The execution engine calls :meth:`Scheduler.bind` at construction time,
 which the adversary overrides to capture its execution — no manual
-wiring required.  (The old post-construction
-:meth:`GreedyAdversary.attach` survives as a deprecated alias.)
+wiring required.  (The old post-construction ``attach`` survives as a
+deprecated alias on the :class:`~repro.model.scheduler.Scheduler` base
+class and emits a :class:`DeprecationWarning`.)
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, Optional, Set
 
 from repro.model.algorithm import Distribution
@@ -72,22 +72,6 @@ class GreedyAdversary(Scheduler):
             )
         self._execution = execution
         self._pending = set(execution.topology.nodes)
-
-    def attach(self, execution) -> "GreedyAdversary":
-        """Deprecated alias for :meth:`bind`.
-
-        Executions bind their scheduler at construction time, so the
-        manual post-construction call is no longer needed.
-        """
-        warnings.warn(
-            "GreedyAdversary.attach() is deprecated: the execution engine "
-            "binds its scheduler at construction time; drop the call (or "
-            "use bind() for manual wiring)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.bind(execution)
-        return self
 
     def _lookahead(self, configuration: Configuration, v: int) -> float:
         execution = self._execution

@@ -168,6 +168,15 @@ class Algorithm(ABC, Generic[Q, Out]):
     #: Human-readable algorithm name (used in reports and tables).
     name: str = "algorithm"
 
+    #: Whether ``delta`` always returns a single state (never a
+    #: :class:`Distribution`) so that :meth:`resolve` never consumes
+    #: randomness.  Deterministic algorithms are eligible for the
+    #: engines' incremental step pipeline, which caches each node's
+    #: pending action until its closed neighborhood changes — replaying
+    #: a cached action is only sound when no coin would have been
+    #: tossed.  Defaults to ``False`` (safe for every subclass).
+    deterministic: bool = False
+
     # ------------------------------------------------------------------
     # The 4-tuple.
     # ------------------------------------------------------------------

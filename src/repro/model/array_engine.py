@@ -2,12 +2,26 @@
 
 :class:`ArrayExecution` is the scale backend of the simulator: it keeps
 the configuration as a dense integer code vector (see
-:mod:`repro.core.encoding`), computes every activated node's signal at
-once as a boolean presence matrix scattered over the topology's CSR
-neighborhoods (:mod:`repro.graphs.csr`), and applies the batched
-Table 1 kernel of :mod:`repro.core.algau_vec` — turning one step into a
-handful of numpy passes instead of ``|A_t|`` Python-level transition
-evaluations.
+:mod:`repro.core.encoding`), computes activated nodes' signals as a
+boolean presence matrix scattered over the topology's CSR neighborhoods
+(:mod:`repro.graphs.csr`), and applies the batched Table 1 kernel of
+:mod:`repro.core.algau_vec` — turning one step into a handful of numpy
+passes instead of ``|A_t|`` Python-level transition evaluations.
+
+On top of the batched kernel the engine runs the incremental step
+pipeline of :class:`~repro.model.engine.ExecutionBase`: a pending-code
+vector guarded by a dirty mask.  A step only pays kernel work for the
+``activated ∩ dirty`` lane subset; clean activated lanes replay their
+cached pending code, and a state change re-dirties exactly its CSR
+neighborhood.  Tiny activation sets (round-robin and friends)
+additionally take a scalar fast path (:meth:`VectorKernel.delta_one`)
+that bypasses numpy dispatch entirely, which is what makes sparse
+schedules scale with *activity* instead of ``n``.  The engine also
+keeps incremental goodness counts (faulty nodes + unprotected ordered
+pairs), so the AlgAU stabilization predicate answers in O(changes)
+amortized instead of rescanning the configuration.
+``incremental=False`` restores the naive full-recompute reference
+(bit-identical trajectories; the differential suite compares the two).
 
 The engine implements the exact contract of
 :class:`~repro.model.engine.ExecutionBase`:
@@ -49,6 +63,9 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids
     from repro.core.turns import Turn
 
 
+_EMPTY_ROWS = np.empty(0, dtype=np.int64)
+
+
 def supports_array_engine(algorithm: Algorithm) -> bool:
     """Whether ``algorithm`` exposes the vectorized backend."""
     return (
@@ -66,6 +83,11 @@ class ArrayExecution(ExecutionBase["Turn"]):
     #: full ``(n, |Q|)`` signal.
     SPARSE_ACTIVATION_FRACTION = 0.5
 
+    #: At most this many activated nodes, the incremental pipeline
+    #: evaluates δ scalar-by-scalar (no numpy dispatch at all) — the
+    #: round-robin/rotating regime.
+    SCALAR_ACTIVATION_MAX = 4
+
     def __init__(
         self,
         topology: Topology,
@@ -75,6 +97,8 @@ class ArrayExecution(ExecutionBase["Turn"]):
         rng: Optional[np.random.Generator] = None,
         monitors: Tuple[Monitor, ...] = (),
         intervention: Optional[Intervention] = None,
+        incremental: bool = True,
+        track_enabled: bool = False,
     ):
         if not supports_array_engine(algorithm):
             raise ModelError(
@@ -84,6 +108,7 @@ class ArrayExecution(ExecutionBase["Turn"]):
         self._encoding = algorithm.encoding
         self._kernel = algorithm.vector_kernel()
         self._csr = topology.inclusive_csr()
+        self._hoods = None  # Python-list CSR view, built on first scalar use
         super().__init__(
             topology,
             algorithm,
@@ -92,6 +117,8 @@ class ArrayExecution(ExecutionBase["Turn"]):
             rng=rng,
             monitors=monitors,
             intervention=intervention,
+            incremental=incremental,
+            track_enabled=track_enabled,
         )
 
     # ------------------------------------------------------------------
@@ -101,6 +128,16 @@ class ArrayExecution(ExecutionBase["Turn"]):
     def _load_configuration(self, configuration: Configuration) -> None:
         self._codes = self._encoding.encode_configuration(configuration)
         self._config_cache: Optional[Configuration] = configuration
+        n = len(self._codes)
+        # Incremental-pipeline state: everything dirty, nothing cached.
+        self._dirty = np.ones(n, dtype=bool)
+        self._dirty_count = n
+        self._pending = self._codes.copy()
+        self._enabled_mask = np.zeros(n, dtype=bool)
+        self._enabled_count = 0
+        self._goodness: Optional[Tuple[int, int]] = None
+        self._in_diff = np.zeros(n, dtype=bool)  # scratch for goodness
+        self._new_code_of = np.zeros(n, dtype=np.int64)  # scratch
 
     @property
     def configuration(self) -> Configuration:
@@ -119,35 +156,283 @@ class ArrayExecution(ExecutionBase["Turn"]):
     def codes(self) -> np.ndarray:
         """A read-only snapshot of the current code vector.
 
-        The engine rebinds its internal array on every step, so the
-        returned view is *not* updated by subsequent steps — re-read
-        the property to observe new state."""
-        view = self._codes.view()
-        view.flags.writeable = False
-        return view
+        The engine mutates its internal array in place, so the returned
+        copy is *not* updated by subsequent steps — re-read the property
+        to observe new state."""
+        snapshot = self._codes.copy()
+        snapshot.flags.writeable = False
+        return snapshot
 
     def poke_states(self, updates) -> None:
         """Sparse state overwrite without decoding the configuration.
 
         The permanent-fault fast path: only the poked code lanes are
-        written (O(|updates|) encode calls plus one code-vector copy to
-        preserve the snapshot semantics of :attr:`codes`); the batched
-        step kernel never sees a Python-level configuration.
+        written (O(|updates|) encode calls), and only the poked
+        neighborhoods are re-dirtied; the batched step kernel never sees
+        a Python-level configuration.
         """
         if not updates:
             return
         encode = self._encoding.encode
-        n = len(self._codes)
-        new_codes = self._codes.copy()
+        codes = self._codes
+        n = len(codes)
+        poked = []
         for v, state in updates.items():
             v = int(v)
             if not 0 <= v < n:
                 raise ModelError(f"cannot poke unknown node {v}")
-            new_codes[v] = encode(state)
-        self._codes = new_codes
+            code = encode(state)
+            if code != codes[v]:
+                poked.append((v, int(codes[v]), code))
+        self._state_epoch += 1
+        if not poked:
+            return
+        rows = np.fromiter((v for v, _, _ in poked), dtype=np.int64, count=len(poked))
+        old_codes = np.fromiter(
+            (c for _, c, _ in poked), dtype=np.int64, count=len(poked)
+        )
+        new_codes = np.fromiter(
+            (c for _, _, c in poked), dtype=np.int64, count=len(poked)
+        )
+        self._update_goodness(rows, old_codes, new_codes)
+        codes[rows] = new_codes
         self._config_cache = None
+        self._mark_dirty_rows(rows)
 
     def _apply(self, activated: FrozenSet[int]) -> Tuple[Tuple[int, Turn, Turn], ...]:
+        if not self.incremental:
+            return self._apply_naive(activated)
+        codes = self._codes
+        n = len(codes)
+        count = len(activated)
+        if count <= self.SCALAR_ACTIVATION_MAX and count < n:
+            return self._apply_scalar(activated)
+
+        dirty = self._dirty
+        if count == n:
+            # Full activation: the stale set is exactly the dirty set,
+            # so the dense-step decision needs no index materialization.
+            if 2 * self._dirty_count >= count:
+                return self._apply_dense(None)
+            rows = None
+            stale = np.nonzero(dirty)[0] if self._dirty_count else _EMPTY_ROWS
+        else:
+            rows = np.fromiter(activated, dtype=np.int64, count=count)
+            rows.sort()
+            stale = rows[dirty[rows]] if self._dirty_count else _EMPTY_ROWS
+            if 4 * count >= n and 2 * stale.size >= count:
+                # Dense step over a mostly-dirty activation: the cache
+                # cannot save kernel work, so skip its maintenance too
+                # and invalidate wholesale — the naive cost, never more.
+                return self._apply_dense(rows)
+        if stale.size:
+            self._refresh_rows(stale)
+
+        pending = self._pending
+        if rows is None:
+            diff = np.nonzero(pending != codes)[0]
+            new_diff = pending[diff]
+        else:
+            new_active = pending[rows]
+            moved = new_active != codes[rows]
+            diff = rows[moved]
+            new_diff = new_active[moved]
+        if diff.size == 0:
+            return ()
+        changed = self._commit(diff, new_diff)
+        self._mark_dirty_rows(diff)
+        return changed
+
+    def _commit(
+        self, diff: np.ndarray, new_diff: np.ndarray
+    ) -> Tuple[Tuple[int, Turn, Turn], ...]:
+        """Apply the moved lanes: build the change tuples, fold the
+        goodness counts (which must read pre-write codes), then write in
+        place and drop the decoded-configuration cache.  Callers handle
+        their own dirty-set bookkeeping."""
+        codes = self._codes
+        old_diff = codes[diff]
+        table = self._encoding.turn_table
+        changed = tuple(
+            zip(
+                diff.tolist(),
+                [table[c] for c in old_diff.tolist()],
+                [table[c] for c in new_diff.tolist()],
+            )
+        )
+        self._update_goodness(diff, old_diff, new_diff)
+        codes[diff] = new_diff
+        self._config_cache = None
+        return changed
+
+    def _apply_dense(
+        self, rows: Optional[np.ndarray]
+    ) -> Tuple[Tuple[int, Turn, Turn], ...]:
+        """Dense-activation step: batch-recompute the activated lanes
+        like the naive reference (writes in place) and wholesale-dirty
+        the pipeline afterwards."""
+        codes = self._codes
+        n = len(codes)
+        kernel = self._kernel
+        if rows is None:
+            presence = kernel.signal_presence(codes, self._csr)
+            new_active = kernel.delta_batch(codes, presence)
+            diff = np.nonzero(new_active != codes)[0]
+            new_diff = new_active[diff]
+        else:
+            if len(rows) <= self.SPARSE_ACTIVATION_FRACTION * n:
+                presence = kernel.signal_presence(codes, self._csr, rows=rows)
+            else:
+                presence = kernel.signal_presence(codes, self._csr)[rows]
+            new_active = kernel.delta_batch(codes[rows], presence)
+            moved = new_active != codes[rows]
+            diff = rows[moved]
+            new_diff = new_active[moved]
+        if diff.size == 0:
+            return ()
+        changed = self._commit(diff, new_diff)
+        self._invalidate_all()
+        return changed
+
+    def _invalidate_all(self) -> None:
+        """Wholesale cache invalidation: every lane dirty, no enabled
+        flags (the invariant ``dirty ⇒ enabled flag False`` that
+        :meth:`_refresh_rows` relies on)."""
+        self._dirty[:] = True
+        self._dirty_count = len(self._dirty)
+        self._enabled_mask[:] = False
+        self._enabled_count = 0
+
+    # ------------------------------------------------------------------
+    # The scalar fast path (|A_t| tiny — round-robin and friends).
+    # ------------------------------------------------------------------
+
+    def _hood_lists(self):
+        if self._hoods is None:
+            self._hoods = self._csr.neighbor_lists()
+        return self._hoods
+
+    def _apply_scalar(
+        self, activated: FrozenSet[int]
+    ) -> Tuple[Tuple[int, Turn, Turn], ...]:
+        codes = self._codes
+        dirty = self._dirty
+        pending = self._pending
+        hoods = self._hood_lists()
+        kernel = self._kernel
+        verts = sorted(activated)
+        for v in verts:
+            if dirty[v]:
+                new = kernel.delta_one(codes, hoods[v])
+                pending[v] = new
+                dirty[v] = False
+                self._dirty_count -= 1
+                if new != codes[v]:
+                    self._enabled_mask[v] = True
+                    self._enabled_count += 1
+        moved = [v for v in verts if pending[v] != codes[v]]
+        if not moved:
+            return ()
+        old_codes = [int(codes[v]) for v in moved]
+        new_codes = [int(pending[v]) for v in moved]
+        table = self._encoding.turn_table
+        changed = tuple(
+            (v, table[o], table[c]) for v, o, c in zip(moved, old_codes, new_codes)
+        )
+        self._update_goodness_scalar(moved, old_codes, new_codes)
+        enabled_mask = self._enabled_mask
+        for v, code in zip(moved, new_codes):
+            codes[v] = code
+            hood = self._csr.neighborhood(v)
+            newly = hood[~dirty[hood]]
+            if newly.size:
+                self._enabled_count -= int(enabled_mask[newly].sum())
+                self._dirty_count += newly.size
+                enabled_mask[newly] = False
+                dirty[newly] = True
+        self._config_cache = None
+        return changed
+
+    # ------------------------------------------------------------------
+    # Dirty-set maintenance.
+    # ------------------------------------------------------------------
+
+    def _refresh_rows(self, stale: np.ndarray) -> None:
+        """Re-evaluate δ for the (sorted) ``stale`` lanes."""
+        codes = self._codes
+        kernel = self._kernel
+        if stale.size <= self.SPARSE_ACTIVATION_FRACTION * len(codes):
+            presence = kernel.signal_presence(codes, self._csr, rows=stale)
+        else:
+            presence = kernel.signal_presence(codes, self._csr)[stale]
+        new = kernel.delta_batch(codes[stale], presence)
+        self._pending[stale] = new
+        self._dirty[stale] = False
+        self._dirty_count -= stale.size
+        now_enabled = new != codes[stale]
+        # Dirty lanes always carry a False enabled flag (the dirty-mark
+        # step cleared it), so the count moves by exactly the new trues.
+        self._enabled_mask[stale] = now_enabled
+        self._enabled_count += int(now_enabled.sum())
+
+    def _mark_dirty_rows(self, moved: np.ndarray) -> None:
+        """Re-dirty the CSR neighborhoods of the moved lanes.
+
+        Dense change sets (synchronous-style steps) skip the per-lane
+        gather: wholesale invalidation is a memset, and the next step
+        re-evaluates everything anyway — exactly the naive cost, so the
+        pipeline never loses to the reference on dense schedules."""
+        n = len(self._dirty)
+        if 4 * moved.size >= n:
+            self._invalidate_all()
+            return
+        hood, _ = self._csr.gather(moved)
+        hood = np.unique(hood)
+        dirty = self._dirty
+        newly = hood[~dirty[hood]]
+        if newly.size:
+            self._enabled_count -= int(self._enabled_mask[newly].sum())
+            self._enabled_mask[newly] = False
+            self._dirty_count += newly.size
+            dirty[newly] = True
+
+    def _refresh_pending(self) -> None:
+        if not self.incremental:
+            # Naive reference: recompute the whole pending vector.
+            presence = self._kernel.signal_presence(self._codes, self._csr)
+            self._pending = self._kernel.delta_batch(self._codes, presence)
+            self._enabled_mask = self._pending != self._codes
+            self._enabled_count = int(self._enabled_mask.sum())
+            self._dirty[:] = False
+            self._dirty_count = 0
+            return
+        if self._dirty_count:
+            self._refresh_rows(np.nonzero(self._dirty)[0])
+
+    def _enabled_snapshot(self) -> FrozenSet[int]:
+        # Materializing the set costs one vectorized mask scan plus
+        # O(enabled) set construction; the count-based API
+        # (enabled_count / is_quiescent) stays O(dirty) amortized.
+        if not self._enabled_count:
+            return frozenset()
+        return frozenset(np.nonzero(self._enabled_mask)[0].tolist())
+
+    def enabled_count(self) -> int:
+        """O(dirty)-amortized enabled count (no set materialization)."""
+        self._refresh_pending()
+        count = self._enabled_count
+        if self._masked:
+            masked = np.fromiter(self._masked, dtype=np.int64, count=len(self._masked))
+            count -= int(self._enabled_mask[masked].sum())
+        return count
+
+    # ------------------------------------------------------------------
+    # The naive full-recompute reference (pre-pipeline behavior).
+    # ------------------------------------------------------------------
+
+    def _apply_naive(
+        self, activated: FrozenSet[int]
+    ) -> Tuple[Tuple[int, Turn, Turn], ...]:
         codes = self._codes
         n = len(codes)
         kernel = self._kernel
@@ -173,19 +458,83 @@ class ArrayExecution(ExecutionBase["Turn"]):
             new_diff = new_active[moved]
         if diff.size == 0:
             return ()
-        table = self._encoding.turn_table
-        changed = tuple(
-            zip(
-                diff.tolist(),
-                [table[c] for c in codes[diff].tolist()],
-                [table[c] for c in new_diff.tolist()],
-            )
-        )
-        new_codes = codes.copy()
-        new_codes[diff] = new_diff
-        self._codes = new_codes
-        self._config_cache = None
+        changed = self._commit(diff, new_diff)
+        # Keep the enabled bookkeeping conservative: everything dirty.
+        self._invalidate_all()
         return changed
+
+    # ------------------------------------------------------------------
+    # Incremental AlgAU goodness accounting.
+    # ------------------------------------------------------------------
+
+    def _update_goodness(
+        self, diff: np.ndarray, old_diff: np.ndarray, new_diff: np.ndarray
+    ) -> None:
+        """Fold one change set into the cached ``(faulty nodes,
+        unprotected ordered pairs)`` counts — O(deg(diff)) instead of a
+        full rescan.  Must run *before* the codes are written (the
+        neighbor gather reads pre-step codes)."""
+        if self._goodness is None:
+            return
+        if 4 * diff.size >= len(self._codes):
+            # Dense change set: a lazy full recount (one vectorized
+            # O(n + m) pass on the next query) beats per-pair deltas.
+            self._goodness = None
+            return
+        kernel = self._kernel
+        k2 = kernel.num_clocks
+        n_faulty, bad = self._goodness
+        n_faulty += int((new_diff >= k2).sum()) - int((old_diff >= k2).sum())
+
+        cols, counts = self._csr.gather(diff)
+        row_old = np.repeat(old_diff, counts)
+        row_new = np.repeat(new_diff, counts)
+        col_old = self._codes[cols]
+        in_diff = self._in_diff
+        in_diff[diff] = True
+        col_changed = in_diff[cols]
+        in_diff[diff] = False
+        col_new = col_old
+        if col_changed.any():
+            self._new_code_of[diff] = new_diff
+            col_new = col_old.copy()
+            col_new[col_changed] = self._new_code_of[cols[col_changed]]
+        pair_bad = kernel.pair_unprotected
+        bad_before = pair_bad[row_old, col_old].astype(np.int64)
+        bad_after = pair_bad[row_new, col_new].astype(np.int64)
+        delta = bad_after - bad_before
+        # Ordered pairs whose row moved, plus the symmetric reverses of
+        # pairs whose column did not move (protection is symmetric; the
+        # self pair row==col is trivially protected and contributes 0).
+        bad += int(delta.sum()) + int(delta[~col_changed].sum())
+        self._goodness = (n_faulty, bad)
+
+    def _update_goodness_scalar(self, moved, old_codes, new_codes) -> None:
+        if self._goodness is None:
+            return
+        kernel = self._kernel
+        tables = kernel.scalar_tables()
+        pair_bad = tables.pair_bad
+        k2 = kernel.num_clocks
+        n_faulty, bad = self._goodness
+        codes = self._codes  # pre-step codes (called before the writes)
+        new_of = dict(zip(moved, new_codes))
+        hoods = self._hood_lists()
+        for v, old, new in zip(moved, old_codes, new_codes):
+            n_faulty += int(new >= k2) - int(old >= k2)
+            bad_new_row = pair_bad[new]
+            bad_old_row = pair_bad[old]
+            for u in hoods[v]:
+                if u == v:
+                    continue
+                u_old = int(codes[u])
+                u_new = new_of.get(u)
+                if u_new is None:
+                    delta = 2 * (bad_new_row[u_old] - bad_old_row[u_old])
+                else:
+                    delta = bad_new_row[u_new] - bad_old_row[u_old]
+                bad += delta
+        self._goodness = (n_faulty, bad)
 
     # ------------------------------------------------------------------
     # Vectorized analysis fast paths.
@@ -194,5 +543,10 @@ class ArrayExecution(ExecutionBase["Turn"]):
     def graph_is_good(self) -> bool:
         """Vectorized stabilization predicate: equivalent to
         ``is_good_graph(algorithm, execution.configuration)`` without
-        decoding the configuration."""
-        return self._kernel.is_good(self._codes, self._csr)
+        decoding the configuration — and, on the incremental pipeline,
+        answered from maintained counts in O(1) amortized."""
+        if not self.incremental:
+            return self._kernel.is_good(self._codes, self._csr)
+        if self._goodness is None:
+            self._goodness = self._kernel.goodness_counts(self._codes, self._csr)
+        return self._goodness == (0, 0)

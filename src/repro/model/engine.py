@@ -18,6 +18,40 @@ stored (:meth:`ExecutionBase._load_configuration`).  Both produce the
 same :class:`StepRecord` stream for the same seeds, which the
 differential test suite verifies step for step.
 
+The incremental step pipeline
+-----------------------------
+A node's move depends only on its closed neighborhood (the model's set
+broadcast), so each engine maintains, across steps, a **dirty set** of
+nodes whose closed neighborhood changed since their action was last
+evaluated, plus a per-node **cached pending action**.  The invariant:
+
+    for every *clean* (non-dirty) node ``v``, the cached pending action
+    equals ``δ(C_t(v), S_v(C_t))`` under the current configuration.
+
+``_apply`` therefore recomputes ``δ`` only for ``activated ∩ dirty``,
+reuses the cache for the rest, and — whenever a node's state actually
+changes — re-dirties its closed neighborhood.  Anything that mutates
+state outside the pipeline (interventions replacing the configuration,
+:meth:`poke_states`, :meth:`replace_configuration`) conservatively
+re-dirties the affected neighborhoods, so the pipeline composes with
+transient faults, permanent-fault adversaries and dynamic-topology
+rewires.  Trajectories are bit-identical to the naive full-recompute
+reference (``incremental=False`` rebuilds the pre-pipeline behavior,
+which the differential suite checks against).
+
+On top of the maintained cache the engines expose an **enabled-set
+view**: a node is *enabled* when ``δ`` can move it out of its current
+state.  The δ re-evaluation behind
+:meth:`ExecutionBase.enabled_nodes` /
+:meth:`ExecutionBase.enabled_count` / :meth:`ExecutionBase.is_quiescent`
+is proportional to the dirty set (O(activity) amortized, not O(n)),
+and the count/quiescence queries stay that cheap end to end
+(materializing the set itself costs O(enabled));
+``track_enabled=True`` stamps the post-step enabled count
+into every :class:`StepRecord`, and enabled-aware daemons (schedulers
+with ``uses_enabled_view``) receive the view each step through
+:meth:`~repro.model.scheduler.Scheduler.select`.
+
 Use :func:`create_execution` to pick an engine by name
 (``engine="object" | "array"``).
 """
@@ -57,6 +91,10 @@ class StepRecord(Generic[Q]):
     activated: FrozenSet[int]
     changed: Tuple[Tuple[int, Q, Q], ...]  # (node, old_state, new_state)
     completed_round: bool
+    #: Post-step enabled count (nodes whose ``δ`` would move them),
+    #: stamped only when the execution was built with
+    #: ``track_enabled=True``; ``None`` otherwise.
+    enabled: Optional[int] = None
 
 
 @dataclass
@@ -94,6 +132,8 @@ class ExecutionBase(ABC, Generic[Q]):
         rng: Optional[np.random.Generator] = None,
         monitors: Tuple[Monitor, ...] = (),
         intervention: Optional[Intervention] = None,
+        incremental: bool = True,
+        track_enabled: bool = False,
     ):
         if initial_configuration.topology is not topology:
             raise ModelError("initial configuration belongs to a different topology")
@@ -103,10 +143,16 @@ class ExecutionBase(ABC, Generic[Q]):
         self.rng = rng if rng is not None else np.random.default_rng()
         self.monitors: Tuple[Monitor, ...] = tuple(monitors)
         self.intervention = intervention
+        #: ``False`` selects the naive full-recompute reference path —
+        #: the pre-pipeline behavior the differential suite and the
+        #: sparse-activation benchmark compare against.
+        self.incremental = bool(incremental)
+        self._track_enabled = bool(track_enabled)
         self._t = 0
         self._rounds = RoundTracker(topology.nodes)
         self._started = False
         self._masked: FrozenSet[int] = frozenset()
+        self._state_epoch = 0
         self._load_configuration(initial_configuration)
         scheduler.bind(self)
 
@@ -129,6 +175,52 @@ class ExecutionBase(ABC, Generic[Q]):
     def configuration(self) -> Configuration:
         """The current configuration ``C_t``."""
 
+    @abstractmethod
+    def _refresh_pending(self) -> None:
+        """Re-evaluate ``δ`` for every dirty node so the pending-action
+        cache (and with it the enabled view) is exact; amortized
+        O(dirty), not O(n)."""
+
+    @abstractmethod
+    def _enabled_snapshot(self) -> FrozenSet[int]:
+        """The enabled nodes under the current configuration, assuming
+        :meth:`_refresh_pending` just ran (mask-agnostic)."""
+
+    # ------------------------------------------------------------------
+    # The enabled-set view (O(activity)-amortized quiescence).
+    # ------------------------------------------------------------------
+
+    def enabled_nodes(self) -> FrozenSet[int]:
+        """Nodes whose ``δ`` would move them out of their current state
+        (for randomized algorithms: with positive probability), masked
+        nodes excluded — they cannot move by definition.
+
+        Backed by the incrementally maintained pending-action cache:
+        only nodes whose closed neighborhood changed since their last
+        evaluation are re-evaluated — the δ work is O(recent activity),
+        not O(n).  Materializing the *set* additionally costs
+        O(enabled) (plus, on the array engine, one vectorized mask
+        scan); callers that only need the count or the quiescence bit
+        should prefer :meth:`enabled_count` / :meth:`is_quiescent`,
+        which stay O(dirty) amortized.
+        """
+        self._refresh_pending()
+        view = self._enabled_snapshot()
+        return view - self._masked if self._masked else view
+
+    def enabled_count(self) -> int:
+        """``len(enabled_nodes())`` (engines may answer without
+        materializing the set)."""
+        return len(self.enabled_nodes())
+
+    def is_quiescent(self) -> bool:
+        """Whether no (unmasked) node is enabled — no fair schedule can
+        change the configuration ever again.  For terminating tasks
+        (LE/MIS) this is exactly output stabilization; AlgAU never
+        quiesces (a good graph keeps pulsing), so this stays ``False``
+        on live unison executions."""
+        return self.enabled_count() == 0
+
     # ------------------------------------------------------------------
     # State inspection.
     # ------------------------------------------------------------------
@@ -142,6 +234,16 @@ class ExecutionBase(ABC, Generic[Q]):
     def rounds(self) -> RoundTracker:
         """Round bookkeeping (``R(i)`` boundaries)."""
         return self._rounds
+
+    @property
+    def state_epoch(self) -> int:
+        """Counts *out-of-band* state mutations: intervention
+        replacements, :meth:`replace_configuration` and
+        :meth:`poke_states`.  Incremental monitors that fold state
+        forward from ``StepRecord.changed`` (which only covers
+        ``_apply``'s updates) compare this counter to know when a full
+        re-snapshot is needed."""
+        return self._state_epoch
 
     @property
     def completed_rounds(self) -> int:
@@ -158,6 +260,7 @@ class ExecutionBase(ABC, Generic[Q]):
         """
         if configuration.topology is not self.topology:
             raise ModelError("replacement configuration changed the topology")
+        self._state_epoch += 1
         self._load_configuration(configuration)
 
     def poke_states(self, updates: Mapping[int, Q]) -> None:
@@ -172,6 +275,7 @@ class ExecutionBase(ABC, Generic[Q]):
         """
         if not updates:
             return
+        self._state_epoch += 1
         self._load_configuration(self.configuration.replace(updates))
 
     # ------------------------------------------------------------------
@@ -219,9 +323,16 @@ class ExecutionBase(ABC, Generic[Q]):
             if replacement is not None:
                 if replacement.topology is not self.topology:
                     raise ModelError("intervention changed the topology")
+                self._state_epoch += 1
                 self._load_configuration(replacement)
 
-        activated = self.scheduler.activations(self._t, self.topology.nodes, self.rng)
+        scheduler = self.scheduler
+        if scheduler.uses_enabled_view:
+            activated = scheduler.select(
+                self._t, self.topology.nodes, self.rng, self.enabled_nodes()
+            )
+        else:
+            activated = scheduler.activations(self._t, self.topology.nodes, self.rng)
         effective = activated - self._masked if self._masked else activated
         changed = self._apply(effective) if effective else ()
         completed_round = self._rounds.observe(activated)
@@ -230,6 +341,7 @@ class ExecutionBase(ABC, Generic[Q]):
             activated=activated,
             changed=changed,
             completed_round=completed_round,
+            enabled=self.enabled_count() if self._track_enabled else None,
         )
         self._t += 1
         for monitor in self.monitors:
@@ -312,6 +424,8 @@ def create_execution(
     monitors: Tuple[Monitor, ...] = (),
     intervention: Optional[Intervention] = None,
     engine: str = "object",
+    incremental: bool = True,
+    track_enabled: bool = False,
 ) -> ExecutionBase:
     """Instantiate the requested execution engine over one contract.
 
@@ -320,7 +434,10 @@ def create_execution(
     the vectorized
     :class:`~repro.model.array_engine.ArrayExecution` (the algorithm
     must expose the vectorized backend — currently
-    :class:`~repro.core.algau.ThinUnison`).
+    :class:`~repro.core.algau.ThinUnison`).  ``incremental=False``
+    selects the naive full-recompute reference path (bit-identical
+    trajectories, O(n) steps); ``track_enabled=True`` stamps the enabled
+    count into every :class:`StepRecord`.
     """
     if engine == "object":
         from repro.model.execution import Execution
@@ -345,4 +462,6 @@ def create_execution(
         rng=rng,
         monitors=monitors,
         intervention=intervention,
+        incremental=incremental,
+        track_enabled=track_enabled,
     )

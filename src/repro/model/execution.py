@@ -12,6 +12,16 @@ Interventions (fault injection) run *before* a step and may replace the
 configuration — this is how transient faults are modelled: an arbitrary
 corruption of node states at an arbitrary time.
 
+For deterministic algorithms the engine runs the incremental step
+pipeline of :class:`~repro.model.engine.ExecutionBase`: a per-node
+pending-action cache guarded by a dirty set, with signals built from
+the cached CSR neighborhoods (:mod:`repro.graphs.csr`) the vectorized
+backend shares — one adjacency representation for both engines.
+Randomized algorithms (whose ``resolve`` tosses a coin per activation)
+always take the naive recompute path, so their rng streams are
+untouched; ``incremental=False`` forces the naive path for
+deterministic algorithms too (the differential reference).
+
 The driver loop, monitor and intervention plumbing live in
 :class:`~repro.model.engine.ExecutionBase`, which this engine shares
 with the vectorized
@@ -22,7 +32,9 @@ for backwards compatibility.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Generic, List, Tuple, TypeVar
+from typing import Dict, FrozenSet, Generic, List, Mapping, Optional, Tuple, TypeVar
+
+import numpy as np
 
 from repro.model.configuration import Configuration
 from repro.model.engine import (
@@ -32,6 +44,8 @@ from repro.model.engine import (
     RunResult,
     StepRecord,
 )
+from repro.model.scheduler import Scheduler
+from repro.model.signal import Signal
 
 __all__ = [
     "Execution",
@@ -49,12 +63,53 @@ class Execution(ExecutionBase[Q], Generic[Q]):
     activated node.  Works for every :class:`~repro.model.algorithm.Algorithm`
     (including the randomized ones)."""
 
+    def __init__(
+        self,
+        topology,
+        algorithm,
+        initial_configuration: Configuration,
+        scheduler: Scheduler,
+        rng: Optional[np.random.Generator] = None,
+        monitors: Tuple[Monitor, ...] = (),
+        intervention: Optional[Intervention] = None,
+        incremental: bool = True,
+        track_enabled: bool = False,
+    ):
+        # The shared adjacency representation: the same cached
+        # CSRAdjacency instance the array engine scatters over, viewed
+        # as Python lists for per-node iteration.
+        self._hoods = topology.inclusive_csr().neighbor_lists()
+        # The pending-action cache is only sound when replaying a
+        # cached action skips no coin toss.
+        self._use_cache = bool(incremental) and getattr(
+            algorithm, "deterministic", False
+        )
+        from repro.core.algau import ThinUnison
+
+        self._track_goodness = self._use_cache and isinstance(algorithm, ThinUnison)
+        super().__init__(
+            topology,
+            algorithm,
+            initial_configuration,
+            scheduler,
+            rng=rng,
+            monitors=monitors,
+            intervention=intervention,
+            incremental=incremental,
+            track_enabled=track_enabled,
+        )
+
     # ------------------------------------------------------------------
     # Engine hooks.
     # ------------------------------------------------------------------
 
     def _load_configuration(self, configuration: Configuration) -> None:
         self._configuration = configuration
+        # Everything is dirty after a wholesale state replacement.
+        self._dirty = set(self.topology.nodes)
+        self._pending: List[Optional[Q]] = [None] * self.topology.n
+        self._enabled: set = set()
+        self._goodness: Optional[Tuple[int, int]] = None
 
     @property
     def configuration(self) -> Configuration:
@@ -64,16 +119,173 @@ class Execution(ExecutionBase[Q], Generic[Q]):
     def state_of(self, v: int) -> Q:
         return self._configuration[v]
 
+    def _signal(self, v: int, states: Tuple[Q, ...]) -> Signal[Q]:
+        """The signal of ``v``, gathered over the shared CSR
+        neighborhood (no per-configuration memo machinery)."""
+        return Signal(states[u] for u in self._hoods[v])
+
     def _apply(self, activated: FrozenSet[int]) -> Tuple[Tuple[int, Q, Q], ...]:
         config = self._configuration
         updates: Dict[int, Q] = {}
         changed: List[Tuple[int, Q, Q]] = []
-        for v in activated:
-            old = config[v]
-            new = self.algorithm.resolve(old, config.signal(v), self.rng)
-            if new != old:
-                updates[v] = new
-                changed.append((v, old, new))
+        if self._use_cache:
+            states = config.states()
+            dirty = self._dirty
+            pending = self._pending
+            enabled = self._enabled
+            resolve = self.algorithm.resolve  # deterministic: rng unused
+            for v in activated:
+                old = states[v]
+                if v in dirty:
+                    new = resolve(old, self._signal(v, states), self.rng)
+                    pending[v] = new
+                    dirty.discard(v)
+                    if new != old:
+                        enabled.add(v)
+                    else:
+                        enabled.discard(v)
+                else:
+                    new = pending[v]
+                if new != old:
+                    updates[v] = new
+                    changed.append((v, old, new))
+        else:
+            for v in activated:
+                old = config[v]
+                new = self.algorithm.resolve(old, config.signal(v), self.rng)
+                if new != old:
+                    updates[v] = new
+                    changed.append((v, old, new))
         if updates:
             self._configuration = config.replace(updates)
+            if self._use_cache:
+                self._mark_dirty(updates)
+                self._update_goodness(changed, config)
         return tuple(changed)
+
+    # ------------------------------------------------------------------
+    # Dirty-set maintenance.
+    # ------------------------------------------------------------------
+
+    def _mark_dirty(self, moved: Mapping[int, Q]) -> None:
+        """Re-dirty the closed neighborhoods of every moved node (their
+        neighbors' signals — and their own — just changed)."""
+        dirty = self._dirty
+        enabled = self._enabled
+        hoods = self._hoods
+        for v in moved:
+            for u in hoods[v]:
+                dirty.add(u)
+                enabled.discard(u)
+
+    def _refresh_pending(self) -> None:
+        config = self._configuration
+        states = config.states()
+        enabled = self._enabled
+        if self._use_cache:
+            dirty = self._dirty
+            if not dirty:
+                return
+            pending = self._pending
+            resolve = self.algorithm.resolve
+            for v in dirty:
+                new = resolve(states[v], self._signal(v, states), self.rng)
+                pending[v] = new
+                if new != states[v]:
+                    enabled.add(v)
+                else:
+                    enabled.discard(v)
+            dirty.clear()
+        else:
+            # No cache to lean on (randomized algorithm or naive mode):
+            # evaluate the support of δ for every node on each query.
+            support = self.algorithm.support
+            enabled.clear()
+            for v in self.topology.nodes:
+                state = states[v]
+                if support(state, self._signal(v, states)) != frozenset((state,)):
+                    enabled.add(v)
+
+    def _enabled_snapshot(self) -> FrozenSet[int]:
+        return frozenset(self._enabled)
+
+    # ------------------------------------------------------------------
+    # Sparse state overwrites (permanent faults).
+    # ------------------------------------------------------------------
+
+    def poke_states(self, updates: Mapping[int, Q]) -> None:
+        """Sparse overwrite that re-dirties only the poked
+        neighborhoods instead of invalidating the whole pipeline."""
+        if not updates:
+            return
+        config = self._configuration
+        self._configuration = config.replace(updates)  # validates node ids
+        self._state_epoch += 1
+        changed = [
+            (int(v), config[int(v)], state)
+            for v, state in updates.items()
+            if config[int(v)] != state
+        ]
+        if not changed:
+            return
+        if self._use_cache:
+            self._mark_dirty({v: new for v, _, new in changed})
+            self._update_goodness(changed, config)
+        else:
+            self._goodness = None
+
+    # ------------------------------------------------------------------
+    # Incremental AlgAU goodness accounting.
+    # ------------------------------------------------------------------
+
+    def _update_goodness(
+        self,
+        changed: List[Tuple[int, Q, Q]],
+        old_config: Configuration,
+    ) -> None:
+        """Fold one step's change set into the cached ``(faulty nodes,
+        unprotected ordered pairs)`` counts — O(deg(changed)), replacing
+        the full-configuration goodness scan."""
+        if not self._track_goodness or self._goodness is None or not changed:
+            return
+        n_faulty, bad = self._goodness
+        adjacent = self.algorithm.levels.adjacent
+        new_of = {v: new for v, _, new in changed}
+        hoods = self._hoods
+        for v, old, new in changed:
+            n_faulty += int(new.faulty) - int(old.faulty)
+            old_level = old.level
+            new_level = new.level
+            for u in hoods[v]:
+                if u == v:
+                    continue
+                u_old = old_config[u]
+                u_new = new_of.get(u)
+                u_new_level = u_old.level if u_new is None else u_new.level
+                was_bad = int(not adjacent(old_level, u_old.level))
+                now_bad = int(not adjacent(new_level, u_new_level))
+                delta = now_bad - was_bad
+                bad += delta
+                if u_new is None:
+                    # The reverse ordered pair (u, v) is not iterated by
+                    # any other changed node; protection is symmetric.
+                    bad += delta
+        self._goodness = (n_faulty, bad)
+
+    def graph_is_good(self) -> bool:
+        """The AlgAU stabilization predicate, answered from the
+        incrementally maintained goodness counts when the pipeline is
+        active (O(1) amortized instead of an O(n + m) scan)."""
+        if not self._track_goodness:
+            return super().graph_is_good()
+        if self._goodness is None:
+            config = self._configuration
+            adjacent = self.algorithm.levels.adjacent
+            n_faulty = sum(1 for q in config.states() if q.faulty)
+            bad = 2 * sum(
+                1
+                for u, v in self.topology.edges
+                if not adjacent(config[u].level, config[v].level)
+            )
+            self._goodness = (n_faulty, bad)
+        return self._goodness == (0, 0)

@@ -16,12 +16,28 @@ infinitely often.  The schedulers below cover the paper's settings:
 * :class:`LaggardScheduler` — starves a victim node as long as
   fairness allows, stressing the asynchronous analysis.
 
-All schedulers are deterministic functions of ``(t, rng)`` so that runs
-are reproducible under seeded generators.
+Two *enabled-aware* daemons from the self-stabilization literature ride
+on the engines' incrementally maintained enabled-set view (they set
+``uses_enabled_view`` and receive the view through :meth:`Scheduler.select`):
+
+* :class:`EnabledOnlyScheduler` — the maximal *distributed* daemon
+  restricted to enabled nodes: every enabled node fires each step
+  (weakly fair by construction — an enabled node is activated
+  immediately);
+* :class:`LocallyCentralScheduler` — the *locally central* daemon: a
+  maximal independent subset of the enabled nodes, so no two neighbors
+  are ever activated together (weakly fair with probability 1 — the
+  packing order is re-randomized every step).
+
+All schedulers are deterministic functions of ``(t, rng)`` (plus, for
+the enabled-aware daemons, the engine-provided enabled view, itself a
+deterministic function of the trajectory) so that runs are reproducible
+under seeded generators.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -36,11 +52,33 @@ class Scheduler(ABC):
     #: Human-readable name used in experiment reports.
     name: str = "scheduler"
 
+    #: Enabled-aware daemons set this to ``True``; the execution engine
+    #: then calls :meth:`select` (passing its O(activity)-amortized
+    #: enabled view) instead of :meth:`activations`.
+    uses_enabled_view: bool = False
+
     @abstractmethod
     def activations(
         self, t: int, nodes: Sequence[int], rng: np.random.Generator
     ) -> FrozenSet[int]:
         """The set of nodes activated in step ``t`` (non-empty)."""
+
+    def select(
+        self,
+        t: int,
+        nodes: Sequence[int],
+        rng: np.random.Generator,
+        enabled: FrozenSet[int],
+    ) -> FrozenSet[int]:
+        """The enabled-aware selection hook.
+
+        Engines call this (instead of :meth:`activations`) when
+        ``uses_enabled_view`` is set, passing the current enabled nodes
+        (masked nodes excluded).  The default ignores the view so that
+        oblivious schedulers behave identically through either entry
+        point.
+        """
+        return self.activations(t, nodes, rng)
 
     def bind(self, execution) -> None:
         """Called by the execution engine at construction time.
@@ -49,6 +87,22 @@ class Scheduler(ABC):
         :class:`~repro.model.adversary.GreedyAdversary`) override it to
         capture the execution whose configuration they inspect.
         """
+
+    def attach(self, execution) -> "Scheduler":
+        """Deprecated alias for :meth:`bind`.
+
+        Executions bind their scheduler at construction time, so the
+        manual post-construction call is no longer needed.
+        """
+        warnings.warn(
+            f"{type(self).__name__}.attach() is deprecated: the execution "
+            "engine binds its scheduler at construction time; drop the "
+            "call (or use bind() for manual wiring)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.bind(execution)
+        return self
 
     def _validate(
         self, activated: Iterable[int], nodes: Sequence[int]
@@ -84,12 +138,20 @@ class RoundRobinScheduler(Scheduler):
 
     def __init__(self, order: Optional[Sequence[int]] = None):
         self._order = tuple(order) if order is not None else None
+        # The permutation check is O(n); validate once per node
+        # sequence (the engine passes the same tuple every step), not
+        # once per step.
+        self._validated_for: Optional[Sequence[int]] = None
+        self._singletons: Tuple[FrozenSet[int], ...] = ()
 
     def activations(self, t, nodes, rng):
-        order = self._order if self._order is not None else tuple(nodes)
-        if len(order) != len(nodes) or set(order) != set(nodes):
-            raise ScheduleError("round-robin order must be a permutation of V")
-        return frozenset((order[t % len(order)],))
+        if nodes is not self._validated_for:
+            order = self._order if self._order is not None else tuple(nodes)
+            if len(order) != len(nodes) or set(order) != set(nodes):
+                raise ScheduleError("round-robin order must be a permutation of V")
+            self._singletons = tuple(frozenset((v,)) for v in order)
+            self._validated_for = nodes
+        return self._singletons[t % len(self._singletons)]
 
 
 class ShuffledRoundRobinScheduler(Scheduler):
@@ -185,11 +247,14 @@ class RotatingScheduler(Scheduler):
             raise ScheduleError("rotating schedule needs a non-empty base order")
         self._base = tuple(base_order)
         self._shift = shift
+        self._validated_for: Optional[Sequence[int]] = None
 
     def activations(self, t, nodes, rng):
         n = len(nodes)
-        if set(self._base) != set(nodes):
-            raise ScheduleError("rotating base order must be a permutation of V")
+        if nodes is not self._validated_for:
+            if set(self._base) != set(nodes):
+                raise ScheduleError("rotating base order must be a permutation of V")
+            self._validated_for = nodes
         traversal, position = divmod(t, len(self._base))
         node = (self._base[position] + traversal * self._shift) % n
         return frozenset((node,))
@@ -212,14 +277,99 @@ class LaggardScheduler(Scheduler):
         self._victim = victim
         self._period = period
         self.name = f"laggard(victim={victim}, period={period})"
+        # Both activation sets are fixed per node sequence; build them
+        # once instead of refiltering V every step.
+        self._validated_for: Optional[Sequence[int]] = None
+        self._others: FrozenSet[int] = frozenset()
+        self._everyone: FrozenSet[int] = frozenset()
 
     def activations(self, t, nodes, rng):
-        if self._victim not in set(nodes):
-            raise ScheduleError(f"victim {self._victim} is not a node")
-        others = frozenset(v for v in nodes if v != self._victim)
-        if t % self._period == self._period - 1 or not others:
-            return others | frozenset((self._victim,))
-        return others
+        if nodes is not self._validated_for:
+            if self._victim not in set(nodes):
+                raise ScheduleError(f"victim {self._victim} is not a node")
+            self._others = frozenset(v for v in nodes if v != self._victim)
+            self._everyone = self._others | frozenset((self._victim,))
+            self._validated_for = nodes
+        if t % self._period == self._period - 1 or not self._others:
+            return self._everyone
+        return self._others
+
+
+class EnabledOnlyScheduler(Scheduler):
+    """The maximal distributed daemon restricted to enabled nodes.
+
+    Every step activates exactly the nodes whose ``δ`` would move them
+    — the daemon the unison time/workload trade-off literature calls
+    *enabled-aware*: it wastes no activation on nodes that cannot act,
+    so step counts measure useful work.  Weakly fair by construction
+    (a continuously enabled node is activated at once); when nothing is
+    enabled (a quiescent configuration) it falls back to activating all
+    nodes, which keeps activation sets non-empty and rounds progressing.
+    """
+
+    name = "enabled-only"
+    uses_enabled_view = True
+
+    def select(self, t, nodes, rng, enabled):
+        if enabled:
+            return self._validate(enabled, nodes)
+        return frozenset(nodes)
+
+    def activations(self, t, nodes, rng):
+        raise ScheduleError(
+            f"{self.name} needs the engine's enabled view; drive it "
+            "through an execution (it is selected via select())"
+        )
+
+
+class LocallyCentralScheduler(Scheduler):
+    """The locally central daemon over the enabled set.
+
+    Activates a *maximal independent subset* of the enabled nodes, so
+    no two neighbors ever fire in the same step — the serialization
+    guarantee the locally central daemons of the self-stabilization
+    literature provide (cf. Dubois et al. on Byzantine asynchronous
+    unison).  The subset is packed greedily in an rng-permuted order,
+    which makes the daemon weakly fair with probability 1: a
+    continuously enabled node precedes all of its enabled neighbors
+    infinitely often.  On a quiescent configuration it falls back to a
+    maximal independent subset of all nodes (nothing can move, but
+    activation sets stay non-empty and fair).
+    """
+
+    name = "locally-central"
+    uses_enabled_view = True
+
+    def __init__(self) -> None:
+        self._neighbors = None
+
+    def bind(self, execution) -> None:
+        self._neighbors = execution.topology.neighbors
+
+    def select(self, t, nodes, rng, enabled):
+        if self._neighbors is None:
+            raise ScheduleError(
+                f"{self.name} is not bound to an execution (pass it as "
+                "the scheduler of an execution, or call bind())"
+            )
+        pool = sorted(enabled) if enabled else list(nodes)
+        order = rng.permutation(len(pool))
+        chosen: List[int] = []
+        blocked = set()
+        for index in order:
+            v = pool[int(index)]
+            if v in blocked:
+                continue
+            chosen.append(v)
+            blocked.add(v)
+            blocked.update(self._neighbors(v))
+        return self._validate(chosen, nodes)
+
+    def activations(self, t, nodes, rng):
+        raise ScheduleError(
+            f"{self.name} needs the engine's enabled view; drive it "
+            "through an execution (it is selected via select())"
+        )
 
 
 def default_schedulers() -> Tuple[Scheduler, ...]:

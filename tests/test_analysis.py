@@ -119,6 +119,34 @@ class TestMonitors:
         execution.run(max_rounds=400)
         assert monitor.currently_complete or monitor.current_vector is not None
 
+    def test_output_change_monitor_sees_out_of_band_mutations(self):
+        """The monitor folds its vector forward from step records, but
+        pokes/replacements happen outside the records — the state-epoch
+        fallback must re-snapshot so corruption is never missed."""
+        rng = np.random.default_rng(1)
+        alg = AlgLE(1)
+        topology = complete_graph(5)
+        monitor = OutputChangeMonitor(alg)
+        execution = Execution(
+            topology,
+            alg,
+            uniform_configuration(alg, topology),
+            SynchronousScheduler(),
+            rng=rng,
+            monitors=(monitor,),
+        )
+        execution.run(max_rounds=400, until=lambda e: monitor.currently_complete)
+        assert monitor.currently_complete
+        marker = monitor.last_change_time
+        # Corrupt one node out-of-band (a non-output state) and step.
+        execution.poke_states({0: alg.initial_state()})
+        execution.step()
+        expected = execution.configuration.is_output_configuration(alg)
+        assert monitor.currently_complete == expected
+        assert monitor.current_vector == execution.configuration.output_vector(alg)
+        if not expected:
+            assert monitor.last_change_time > marker
+
     def test_predicate_timeline_records_rounds(self):
         rng = np.random.default_rng(0)
         alg = ThinUnison(1)

@@ -343,6 +343,242 @@ def test_encoding_rejects_garbage():
 
 
 # ----------------------------------------------------------------------
+# The dirty-set differential suite: incremental pipeline vs the naive
+# full-recompute reference.
+# ----------------------------------------------------------------------
+
+#: (graph, scheduler, fault kind).  Fault kinds cover every way state
+#: mutates outside the step pipeline: transient storms (configuration
+#: replacement), Byzantine strategies (per-step pokes + masking),
+#: crash-stop (delayed masking), and ``none`` as the control.
+FAULT_KINDS = ("none", "storm", "byz-frozen", "byz-random", "byz-oscillating", "crash")
+
+INCREMENTAL_CASES = [
+    (graph, sched, FAULT_KINDS[i % len(FAULT_KINDS)], 3000 + 31 * i)
+    for i, (graph, sched) in enumerate(
+        itertools.product(sorted(GRAPHS), sorted(SCHEDULERS))
+    )
+]
+
+
+def _make_variant(topology, initial, sched_key, fault_kind, seed, engine, incremental):
+    """One execution with identically seeded rng streams regardless of
+    engine/pipeline variant (topology and start shared across variants)."""
+    from repro.resilience.adversary import PermanentFaultAdversary
+    from repro.resilience.strategies import Crash, make_strategy
+
+    algorithm = ThinUnison(2)
+    intervention = None
+    if fault_kind == "storm":
+        intervention = TransientFaultInjector(
+            algorithm,
+            times=(3, 9, 21),
+            fraction=0.3,
+            rng=np.random.default_rng(seed + 2),
+        )
+    elif fault_kind.startswith("byz-") or fault_kind == "crash":
+        if fault_kind == "crash":
+            strategy = Crash(at=7)
+        else:
+            strategy = make_strategy(fault_kind[len("byz-") :])
+        nodes = (1, topology.n - 2)
+        intervention = PermanentFaultAdversary(
+            strategy, nodes, rng=np.random.default_rng(seed + 2)
+        )
+    return create_execution(
+        topology,
+        algorithm,
+        initial,
+        SCHEDULERS[sched_key](topology),
+        rng=np.random.default_rng(seed + 3),
+        intervention=intervention,
+        engine=engine,
+        incremental=incremental,
+    )
+
+
+class TestIncrementalPipelineDifferential:
+    """The incremental dirty-set pipeline must be bit-identical to the
+    naive full-recompute reference — per engine exact record streams,
+    across engines equal change sets — under every fault regime,
+    including the permanent-fault adversaries that poke and mask nodes
+    between steps."""
+
+    @pytest.mark.parametrize(
+        "graph_key, sched_key, fault_kind, seed",
+        INCREMENTAL_CASES,
+        ids=[f"{g}-{s}-{f}" for g, s, f, _ in INCREMENTAL_CASES],
+    )
+    def test_incremental_matches_naive_reference(
+        self, graph_key, sched_key, fault_kind, seed
+    ):
+        topology = GRAPHS[graph_key](seed)
+        initial = random_configuration(
+            ThinUnison(2), topology, np.random.default_rng(seed + 1)
+        )
+        variants = {
+            (engine, incremental): _make_variant(
+                topology, initial, sched_key, fault_kind, seed, engine, incremental
+            )
+            for engine in ("object", "array")
+            for incremental in (True, False)
+        }
+        reference = variants[("object", False)]
+        others = [(key, ex) for key, ex in variants.items() if ex is not reference]
+        for step in range(45):
+            ref_record = reference.step()
+            ref_good = reference.graph_is_good()
+            ref_enabled = reference.enabled_count()
+            for key, execution in others:
+                record = execution.step()
+                assert record.t == ref_record.t
+                assert record.activated == ref_record.activated, (key, step)
+                if key[0] == "object":
+                    # Same engine ⇒ the change tuple is bit-identical
+                    # (ordering included).
+                    assert record.changed == ref_record.changed, (key, step)
+                else:
+                    assert set(record.changed) == set(ref_record.changed), (key, step)
+                assert record.completed_round == ref_record.completed_round
+                assert execution.graph_is_good() == ref_good, (key, step)
+                assert execution.enabled_count() == ref_enabled, (key, step)
+        for key, execution in others:
+            assert execution.configuration == reference.configuration, key
+            assert execution.masked_nodes == reference.masked_nodes, key
+
+    @pytest.mark.parametrize("engine", ["object", "array"])
+    def test_array_incremental_streams_are_bit_identical(self, engine):
+        """Within one engine the incremental pipeline reproduces the
+        naive reference's records *exactly* — tuple order included."""
+        topology = GRAPHS["damaged10"](99)
+        initial = random_configuration(
+            ThinUnison(2), topology, np.random.default_rng(100)
+        )
+        runs = []
+        for incremental in (True, False):
+            execution = _make_variant(
+                topology, initial, "round-robin", "none", 99, engine, incremental
+            )
+            runs.append([execution.step() for _ in range(120)])
+        for a, b in zip(*runs):
+            assert a == b
+
+    @pytest.mark.parametrize("engine", ["object", "array"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rewire_recovery_matches_naive(self, engine, seed):
+        """Dynamic-topology perturbations: a carried-over configuration
+        starts a fresh pipeline whose streams still match the naive
+        reference on the rewired graph."""
+        from repro.faults.injection import carry_configuration, perturb_topology
+
+        rng = np.random.default_rng(seed)
+        topology = damaged_clique(10, 2, rng, damage=0.4)
+        algorithm = ThinUnison(2)
+        initial = random_configuration(algorithm, topology, rng)
+        warm = create_execution(
+            topology,
+            algorithm,
+            initial,
+            ShuffledRoundRobinScheduler(),
+            rng=np.random.default_rng(seed + 1),
+            engine=engine,
+        )
+        warm.run(max_steps=60)
+        perturbation = perturb_topology(topology, rng, remove=2, add=2)
+        carried = carry_configuration(warm.configuration, perturbation.topology)
+        runs = []
+        for incremental in (True, False):
+            execution = create_execution(
+                perturbation.topology,
+                algorithm,
+                carried,
+                ShuffledRoundRobinScheduler(),
+                rng=np.random.default_rng(seed + 2),
+                engine=engine,
+                incremental=incremental,
+            )
+            records = []
+            for _ in range(60):
+                records.append(execution.step())
+                records.append(execution.graph_is_good())
+            runs.append((records, execution.configuration))
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1] == runs[1][1]
+
+    @pytest.mark.parametrize("engine", ["object", "array"])
+    def test_pokes_and_masks_re_dirty_conservatively(self, engine):
+        """Out-of-band state writes (poke_states) and mask flips must
+        re-dirty affected neighborhoods: the incremental pipeline stays
+        in lockstep with the naive reference through all of them."""
+        topology = ring(9)
+        algorithm = ThinUnison(2)
+        initial = random_configuration(algorithm, topology, np.random.default_rng(5))
+        pair = [
+            create_execution(
+                topology,
+                algorithm,
+                initial,
+                RoundRobinScheduler(),
+                rng=np.random.default_rng(6),
+                engine=engine,
+                incremental=incremental,
+            )
+            for incremental in (True, False)
+        ]
+        for burst in range(4):
+            for execution in pair:
+                execution.poke_states({burst: faulty(3), (burst + 4) % 9: able(-2)})
+                execution.mask_nodes((burst,))
+            for step in range(12):
+                records = [execution.step() for execution in pair]
+                assert records[0] == records[1], (burst, step)
+                assert pair[0].graph_is_good() == pair[1].graph_is_good()
+                assert pair[0].enabled_count() == pair[1].enabled_count()
+            for execution in pair:
+                execution.mask_nodes(())
+        assert pair[0].configuration == pair[1].configuration
+
+    @pytest.mark.parametrize("engine", ["object", "array"])
+    def test_enabled_view_matches_brute_force(self, engine):
+        """The maintained enabled set equals the definition: support of
+        δ not contained in the current state — after steps, pokes and
+        masking alike."""
+        topology = damaged_clique(9, 2, np.random.default_rng(3))
+        algorithm = ThinUnison(2)
+        initial = random_configuration(algorithm, topology, np.random.default_rng(4))
+        execution = create_execution(
+            topology,
+            algorithm,
+            initial,
+            ShuffledRoundRobinScheduler(),
+            rng=np.random.default_rng(5),
+            engine=engine,
+        )
+
+        def brute_force():
+            config = execution.configuration
+            return frozenset(
+                v
+                for v in topology.nodes
+                if v not in execution.masked_nodes
+                and algorithm.successor(config[v], config.signal(v)) != config[v]
+            )
+
+        assert execution.enabled_nodes() == brute_force()
+        for step in range(30):
+            execution.step()
+            assert execution.enabled_nodes() == brute_force(), step
+            assert execution.enabled_count() == len(brute_force())
+            assert execution.is_quiescent() == (not brute_force())
+        execution.poke_states({0: faulty(4), 5: able(1)})
+        assert execution.enabled_nodes() == brute_force()
+        execution.mask_nodes((0, 2))
+        assert execution.enabled_nodes() == brute_force()
+        execution.mask_nodes(())
+        assert execution.enabled_nodes() == brute_force()
+
+
+# ----------------------------------------------------------------------
 # Dynamic topology (perturb/carry) under the array engine.
 # ----------------------------------------------------------------------
 

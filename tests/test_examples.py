@@ -26,6 +26,7 @@ EXAMPLES = [
     "livelock_demo.py",
     "adversarial_stress.py",
     "byzantine_containment.py",
+    "sparse_activation.py",
 ]
 
 
