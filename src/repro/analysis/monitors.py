@@ -187,10 +187,23 @@ class OutputChangeMonitor(Monitor):
     def on_step(self, execution: Execution, record: StepRecord) -> None:
         if execution.state_epoch != self._epoch:
             # Out-of-band mutation since the last snapshot: the record
-            # stream alone no longer describes the configuration.
+            # stream alone no longer describes the configuration.  The
+            # net before/after comparison is not enough on its own: a
+            # poke landing in the same step as a tracked delta can be
+            # exactly undone by it (poke moves a node's output, δ moves
+            # it back), leaving the post-step vector equal to the
+            # previous one even though the output passed through a
+            # different value at the C_t boundary.  Any output-changing
+            # delta in the record therefore counts as a change too — if
+            # it exists and the net vector is unchanged, a poke must
+            # have counter-moved it.
             before = self._vector
             self._snapshot(execution)
-            if self._vector != before:
+            moved = self._vector != before or any(
+                self._output_of(old) != self._output_of(new)
+                for _, old, new in record.changed
+            )
+            if moved:
                 self.last_change_time = record.t + 1
             return
         if not record.changed:

@@ -23,7 +23,12 @@ from repro.campaigns.registry import (
     describe_registry,
     registry_names,
 )
-from repro.campaigns.runner import load_checkpoint, run_campaign, run_scenario
+from repro.campaigns.runner import (
+    load_checkpoint,
+    run_campaign,
+    run_scenario,
+    run_scenario_batch,
+)
 from repro.campaigns.spec import (
     FaultPlan,
     Scenario,
@@ -48,6 +53,7 @@ __all__ = [
     "registry_names",
     "run_campaign",
     "run_scenario",
+    "run_scenario_batch",
     "scheduler_names",
     "verify_engine_pairing",
     "write_campaign_artifact",

@@ -75,6 +75,7 @@ class CampaignBuilder:
         group: str = "",
         tags: Tuple[Tuple[str, str], ...] = (),
         seed_index: Optional[int] = None,
+        batch_replicas: int = 1,
     ) -> Scenario:
         """Append one scenario.
 
@@ -83,6 +84,8 @@ class CampaignBuilder:
         *same* seed, which is how engine-paired registries (the
         ``byzantine`` campaign) run the identical experiment on both
         backends and let the aggregation cross-check them.
+        ``batch_replicas >= 2`` marks seed ensembles for the runner's
+        replica-batched path (see :meth:`Scenario.batch_key`).
         """
         index = len(self.scenarios)
         scenario = Scenario(
@@ -100,6 +103,7 @@ class CampaignBuilder:
             faults=faults,
             group=group or f"{task}@{graph}",
             tags=tags,
+            batch_replicas=batch_replicas,
         )
         self.scenarios.append(scenario)
         return scenario
@@ -281,6 +285,21 @@ def _smoke(builder: CampaignBuilder) -> None:
     for graph, params, d in BIO_GRAPHS[:3]:
         for start in ("sign-split", "all-faulty"):
             builder.add_au(graph, params, d, start=start, group=f"au@{graph}")
+    # A seed ensemble exercising the replica-batched Monte Carlo path
+    # in every CI run: eight trials differing only by seed, fused into
+    # one ReplicaBatchExecution when batching is enabled and bit-
+    # identical solo runs when it is not (the nightly shard checks the
+    # aggregates agree either way).
+    for trial in range(8):
+        builder.add_au(
+            "damaged-clique",
+            (("n", 10), ("diameter_bound", 2), ("damage", 0.4)),
+            2,
+            engine="replica-batch",
+            group="au-ensemble@damaged-clique",
+            tags=(("trial", str(trial)),),
+            batch_replicas=8,
+        )
     for n in (4, 8):
         builder.add(
             "le",
@@ -430,6 +449,9 @@ def _full(builder: CampaignBuilder) -> None:
     "Thm 1.1 — AlgAU rounds vs diameter bound D (worst adversarial start)",
 )
 def _thm11_scaling(builder: CampaignBuilder) -> None:
+    # Trials of one (D, start) cell differ only by seed, so the runner
+    # fuses them into replica batches — the ensemble trick that pays for
+    # the Thm 1.1 sweeps.
     for d in (1, 2, 3, 4, 5):
         for trial in range(6):
             for start in AU_STARTS:
@@ -440,6 +462,7 @@ def _thm11_scaling(builder: CampaignBuilder) -> None:
                     start=start,
                     group=f"D={d}",
                     tags=(("trial", str(trial)), ("start", start)),
+                    batch_replicas=8,
                 )
 
 
@@ -458,6 +481,7 @@ def _thm11_n_independence(builder: CampaignBuilder) -> None:
                     start=start,
                     group=f"n={n}",
                     tags=(("trial", str(trial)), ("start", start)),
+                    batch_replicas=8,
                 )
 
 

@@ -33,7 +33,8 @@ import json
 import multiprocessing
 import os
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+import traceback
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,6 +62,7 @@ from repro.graphs.generators import make_graph
 from repro.graphs.topology import Topology
 from repro.model.configuration import Configuration
 from repro.model.engine import create_execution
+from repro.model.replica_engine import ReplicaBatchExecution, ReplicaSpec
 from repro.resilience.adversary import (
     PermanentFaultAdversary,
     select_faulty_nodes,
@@ -404,6 +406,41 @@ def _run_static(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
     )
 
 
+#: Failed-result tracebacks are truncated to this many trailing
+#: characters: enough to keep the raising frame and the error line, not
+#: enough to bloat checkpoint rows when a deep stack fails repeatedly.
+TRACEBACK_LIMIT = 1200
+
+
+def _failed_result(
+    scenario: Scenario, error: Exception, started: float
+) -> ScenarioResult:
+    """Fold an exception into a failed result row.
+
+    ``detail`` carries a truncated traceback alongside the message —
+    ``str(exc)`` alone loses the raising frame, which made campaign
+    failures undebuggable from the artifact.  The traceback is a pure
+    function of the code, so failure rows still aggregate bit-identically
+    across worker counts.
+    """
+    tb = traceback.format_exc()
+    if len(tb) > TRACEBACK_LIMIT:
+        tb = "...\n" + tb[-TRACEBACK_LIMIT:]
+    return ScenarioResult(
+        scenario_id=scenario.scenario_id,
+        index=scenario.index,
+        group=scenario.group,
+        stabilized=False,
+        rounds=0,
+        steps=0,
+        n=0,
+        m=0,
+        detail=f"error: {type(error).__name__}: {error}\n{tb}",
+        tags=scenario.tags,
+        elapsed_ms=(time.perf_counter() - started) * 1000.0,
+    )
+
+
 def run_scenario(scenario: Scenario) -> ScenarioResult:
     """Execute one scenario; a pure function of the spec."""
     started = time.perf_counter()
@@ -414,19 +451,75 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
             return _run_au(scenario, topology, rng)
         return _run_static(scenario, topology, rng)
     except Exception as error:  # one bad sample must not sink the campaign
-        return ScenarioResult(
-            scenario_id=scenario.scenario_id,
-            index=scenario.index,
-            group=scenario.group,
-            stabilized=False,
-            rounds=0,
-            steps=0,
-            n=0,
-            m=0,
-            detail=f"error: {type(error).__name__}: {error}",
-            tags=scenario.tags,
-            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        return _failed_result(scenario, error, started)
+
+
+def run_scenario_batch(scenarios: Sequence[Scenario]) -> List[ScenarioResult]:
+    """Execute a group of scenarios that differ only by seed as one
+    replica-batched ensemble.
+
+    Every scenario gets its own ``np.random.default_rng(seed)`` stream,
+    consumed in exactly the per-scenario order (graph sample, start
+    configuration, then scheduling), so the returned results are
+    bit-identical to :func:`run_scenario` on each member — batching is
+    purely an execution strategy.  A scenario whose graph/start
+    construction raises folds into a failed row without sinking the
+    batch; if the fused run itself raises, the whole group falls back to
+    per-scenario execution (isolating the failure to its scenario).
+    """
+    if len(scenarios) == 1:
+        return [run_scenario(scenarios[0])]
+    keys = {scenario.batch_key() for scenario in scenarios}
+    if len(keys) != 1:
+        raise ValueError(
+            f"run_scenario_batch needs scenarios differing only by seed; "
+            f"got {len(keys)} distinct batch keys"
         )
+    started = time.perf_counter()
+    algorithm = ThinUnison(scenarios[0].diameter_bound)
+    by_id: Dict[str, ScenarioResult] = {}
+    specs: List[ReplicaSpec] = []
+    members: List[Tuple[Scenario, Topology]] = []
+    failed: List[Scenario] = []
+    for scenario in scenarios:
+        rng = np.random.default_rng(scenario.seed)
+        try:
+            topology = make_graph(scenario.graph, rng, **scenario.params())
+            initial = _initial_configuration(scenario, algorithm, topology, rng)
+        except Exception:
+            failed.append(scenario)
+            continue
+        specs.append(
+            ReplicaSpec(topology, initial, make_scheduler(scenario.scheduler), rng)
+        )
+        members.append((scenario, topology))
+    for scenario in failed:
+        # Delegate failed members to the solo path — outside the except
+        # block, so the re-raised error carries no chained context and
+        # the result row (traceback frames included; ``detail`` enters
+        # the aggregates) is byte-identical to a --no-batch run.
+        by_id[scenario.scenario_id] = run_scenario(scenario)
+    if specs:
+        try:
+            batch = ReplicaBatchExecution.from_replicas(algorithm, specs)
+            outcomes = batch.run_ensemble(max_rounds=scenarios[0].max_rounds)
+        except Exception:
+            return [run_scenario(scenario) for scenario in scenarios]
+        for (scenario, topology), outcome in zip(members, outcomes):
+            by_id[scenario.scenario_id] = _result(
+                scenario,
+                topology,
+                stabilized=outcome.stabilized,
+                rounds=outcome.rounds,
+                steps=outcome.steps,
+                detail=(
+                    ""
+                    if outcome.stabilized
+                    else "good graph not reached within the round budget"
+                ),
+                started=started,
+            )
+    return [by_id[scenario.scenario_id] for scenario in scenarios]
 
 
 # ----------------------------------------------------------------------
@@ -438,11 +531,16 @@ def load_checkpoint(path: str) -> Dict[str, ScenarioResult]:
     """Completed results from a JSONL checkpoint, keyed by scenario id.
 
     Truncated trailing lines (a worker killed mid-write) are ignored,
-    which is exactly the crash the checkpoint exists to survive.
+    which is exactly the crash the checkpoint exists to survive.  Rows
+    are deduplicated by scenario *index* with last-write-wins: a
+    kill-and-resume cycle can legitimately append a second row for a
+    scenario whose first row was interrupted (or re-run), and the later
+    row is the authoritative one — without the dedup, duplicate rows
+    from a partially written shard leaked into resumed campaigns.
     """
-    done: Dict[str, ScenarioResult] = {}
+    by_index: Dict[int, ScenarioResult] = {}
     if not path or not os.path.exists(path):
-        return done
+        return {}
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -453,15 +551,30 @@ def load_checkpoint(path: str) -> Dict[str, ScenarioResult]:
                 result = ScenarioResult.from_dict(data)
             except (ValueError, TypeError, KeyError):
                 continue
-            done[result.scenario_id] = result
-    return done
+            by_index[result.index] = result
+    return {result.scenario_id: result for result in by_index.values()}
 
 
 def _append_checkpoint(path: str, results: Iterable[ScenarioResult]) -> None:
-    with open(path, "a", encoding="utf-8") as handle:
+    """Append result rows, one JSON object per line.
+
+    Opens in binary append+read mode so a truncated tail left by a kill
+    mid-write can be repaired first: without the newline fix-up, the
+    first row appended by a resumed run concatenated onto the truncated
+    line, silently destroying *both* rows on the next load (and forcing
+    a later resume to re-run — and duplicate — the scenario).
+    """
+    with open(path, "a+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        if handle.tell() > 0:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) != b"\n":
+                handle.write(b"\n")
         for result in results:
-            handle.write(json.dumps(result.to_dict(), sort_keys=True))
-            handle.write("\n")
+            handle.write(
+                json.dumps(result.to_dict(), sort_keys=True).encode("utf-8")
+            )
+            handle.write(b"\n")
         handle.flush()
         os.fsync(handle.fileno())
 
@@ -471,23 +584,79 @@ def _append_checkpoint(path: str, results: Iterable[ScenarioResult]) -> None:
 # ----------------------------------------------------------------------
 
 
-def _run_shard(shard: Sequence[Scenario]) -> List[ScenarioResult]:
-    return [run_scenario(scenario) for scenario in shard]
+#: A job is the unit of work a shard executes atomically: a singleton
+#: list (one solo scenario) or a replica batch (scenarios differing
+#: only by seed, fused into one ensemble run).
+Job = List[Scenario]
+
+
+def _run_job(job: Job) -> List[ScenarioResult]:
+    if len(job) > 1:
+        return run_scenario_batch(job)
+    return [run_scenario(job[0])]
+
+
+def _run_shard(shard: Sequence[Job]) -> List[ScenarioResult]:
+    results: List[ScenarioResult] = []
+    for job in shard:
+        results.extend(_run_job(job))
+    return results
+
+
+def _make_jobs(pending: Sequence[Scenario], batch: bool) -> List[Job]:
+    """Group the pending scenarios into jobs.
+
+    Scenarios with ``batch_replicas > 1`` (and ``batch`` enabled) are
+    bucketed by :meth:`Scenario.batch_key` and chunked into ensembles of
+    at most ``batch_replicas`` members; everything else runs solo.  Jobs
+    keep the campaign's scenario order (each batch sits at the position
+    of its first member), so inline runs checkpoint in a stable order.
+    """
+    if not batch:
+        return [[scenario] for scenario in pending]
+    groups: Dict[tuple, List[Scenario]] = {}
+    for scenario in pending:
+        if scenario.batch_replicas > 1:
+            groups.setdefault(scenario.batch_key(), []).append(scenario)
+    leader_chunk: Dict[str, Job] = {}
+    follower_ids = set()
+    for members in groups.values():
+        width = members[0].batch_replicas
+        for start in range(0, len(members), width):
+            chunk = members[start : start + width]
+            leader_chunk[chunk[0].scenario_id] = chunk
+            follower_ids.update(s.scenario_id for s in chunk[1:])
+    jobs: List[Job] = []
+    for scenario in pending:
+        if scenario.scenario_id in leader_chunk:
+            jobs.append(leader_chunk[scenario.scenario_id])
+        elif scenario.scenario_id not in follower_ids:
+            jobs.append([scenario])
+    return jobs
 
 
 def _make_shards(
-    scenarios: Sequence[Scenario], workers: int, shard_size: Optional[int]
-) -> List[List[Scenario]]:
+    jobs: Sequence[Job], workers: int, shard_size: Optional[int]
+) -> List[List[Job]]:
     if shard_size is not None and shard_size < 1:
         raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    total = sum(len(job) for job in jobs)
     if shard_size is None:
         # ~4 shards in flight per worker smooths scenario-length skew
         # while keeping per-shard dispatch overhead negligible.
-        shard_size = max(1, len(scenarios) // max(1, workers * 4))
-    return [
-        list(scenarios[i : i + shard_size])
-        for i in range(0, len(scenarios), shard_size)
-    ]
+        shard_size = max(1, total // max(1, workers * 4))
+    shards: List[List[Job]] = []
+    current: List[Job] = []
+    count = 0
+    for job in jobs:
+        current.append(job)
+        count += len(job)
+        if count >= shard_size:
+            shards.append(current)
+            current, count = [], 0
+    if current:
+        shards.append(current)
+    return shards
 
 
 def run_campaign(
@@ -497,12 +666,16 @@ def run_campaign(
     resume: bool = False,
     shard_size: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    batch: bool = True,
 ) -> List[ScenarioResult]:
     """Run a campaign, optionally sharded over worker processes.
 
     Returns one result per scenario, sorted by scenario index —
-    independent of ``workers``/``shard_size``/completion order, so
-    downstream aggregation is reproducible bit for bit.
+    independent of ``workers``/``shard_size``/completion order *and* of
+    ``batch`` (replica batching is an execution strategy with
+    bit-identical per-scenario results; pass ``batch=False`` to force
+    solo runs, e.g. for the differential CI shard), so downstream
+    aggregation is reproducible bit for bit.
     """
     done = load_checkpoint(checkpoint_path) if (resume and checkpoint_path) else {}
     wanted = {s.scenario_id for s in scenarios}
@@ -518,17 +691,19 @@ def run_campaign(
     if checkpoint_path and not resume and os.path.exists(checkpoint_path):
         os.remove(checkpoint_path)  # a fresh run invalidates old lines
 
+    jobs = _make_jobs(pending, batch)
     if workers <= 1:
-        for scenario in pending:
-            result = run_scenario(scenario)
-            results[result.scenario_id] = result
+        for job in jobs:
+            job_results = _run_job(job)
+            for result in job_results:
+                results[result.scenario_id] = result
             if checkpoint_path:
-                _append_checkpoint(checkpoint_path, [result])
-            completed += 1
+                _append_checkpoint(checkpoint_path, job_results)
+            completed += len(job_results)
             if progress is not None:
                 progress(completed, total)
-    elif pending:
-        shards = _make_shards(pending, workers, shard_size)
+    elif jobs:
+        shards = _make_shards(jobs, workers, shard_size)
         context = multiprocessing.get_context()
         with context.Pool(processes=workers) as pool:
             for shard_results in pool.imap_unordered(_run_shard, shards):

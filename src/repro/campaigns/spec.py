@@ -91,6 +91,19 @@ SCHEDULER_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
 }
 
 
+#: Schedulers that consume the engines' enabled view; replica batching
+#: excludes them (the fused ensemble pass keeps no per-replica enabled
+#: view).  Derived from the factories so a new daemon cannot silently
+#: slip into batched runs.
+ENABLED_AWARE_SCHEDULERS: Tuple[str, ...] = tuple(
+    sorted(
+        name
+        for name, factory in SCHEDULER_FACTORIES.items()
+        if factory().uses_enabled_view
+    )
+)
+
+
 def scheduler_names() -> Tuple[str, ...]:
     return tuple(sorted(SCHEDULER_FACTORIES))
 
@@ -216,6 +229,17 @@ class Scenario:
     #: through to result rows so benchmarks can re-fold along their own
     #: axes.
     tags: Tuple[Tuple[str, str], ...] = ()
+    #: Replica-batching width.  ``1`` (default) runs the scenario solo;
+    #: ``>= 2`` marks it eligible for the runner's replica-batched
+    #: path: scenarios whose specs differ *only by seed* (same
+    #: :meth:`batch_key`) are fused into
+    #: :class:`~repro.model.replica_engine.ReplicaBatchExecution`
+    #: ensembles of at most this many replicas.  Batching is a pure
+    #: execution strategy — per-replica results are bit-identical to
+    #: solo runs — so the value never enters ``scenario_id`` or the
+    #: aggregates.  Only fault-free AU scenarios on the vectorized
+    #: engines under oblivious schedulers qualify.
+    batch_replicas: int = 1
 
     def __post_init__(self) -> None:
         if self.task not in TASKS:
@@ -254,6 +278,34 @@ class Scenario:
             raise ValueError("diameter bound must be >= 1")
         if self.max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
+        if self.batch_replicas < 1:
+            raise ValueError(
+                f"batch_replicas must be >= 1, got {self.batch_replicas}"
+            )
+        if self.batch_replicas > 1:
+            if self.task != "au":
+                raise ValueError(
+                    "replica batching vectorizes the AU task only; "
+                    f"task {self.task!r} cannot set batch_replicas > 1"
+                )
+            if self.faults.kind != "none":
+                raise ValueError(
+                    "replica batching covers fault-free scenarios only "
+                    f"(got fault kind {self.faults.kind!r}); faulted "
+                    "scenarios keep the per-scenario engines"
+                )
+            if self.engine == "object":
+                raise ValueError(
+                    "replica batching rides the vectorized backends; use "
+                    "engine='array' or 'replica-batch' with "
+                    "batch_replicas > 1"
+                )
+            if self.scheduler in ENABLED_AWARE_SCHEDULERS:
+                raise ValueError(
+                    f"scheduler {self.scheduler!r} consumes the per-replica "
+                    "enabled view, which the fused replica batch does not "
+                    "maintain; batched scenarios need an oblivious scheduler"
+                )
         object.__setattr__(
             self,
             "graph_params",
@@ -270,6 +322,27 @@ class Scenario:
             f"@{self.graph}[{params}]"
             f"/D{self.diameter_bound}/{self.scheduler}/{self.start}"
             f"/{self.engine}/{self.faults.label}/s{self.seed}"
+        )
+
+    def batch_key(self) -> Tuple:
+        """The replica-batching equivalence key: every axis that shapes
+        the execution *except* the seed (and the labels — ``group``/
+        ``tags`` — that only shape aggregation).  Scenarios sharing a
+        key are the same experiment at different seeds, which is exactly
+        what one :class:`~repro.model.replica_engine.ReplicaBatchExecution`
+        ensemble runs."""
+        return (
+            self.campaign,
+            self.task,
+            self.graph,
+            self.graph_params,
+            self.diameter_bound,
+            self.scheduler,
+            self.engine,
+            self.start,
+            self.max_rounds,
+            self.faults,
+            self.batch_replicas,
         )
 
     def params(self) -> Dict[str, object]:

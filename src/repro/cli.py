@@ -283,6 +283,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         resume=args.resume,
         shard_size=args.shard_size,
         progress=progress,
+        batch=not args.no_batch,
     )
     elapsed_ms = (time.perf_counter() - started) * 1000.0
     print(file=sys.stderr)
@@ -297,6 +298,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             "elapsed_ms": elapsed_ms,
             "checkpoint": args.checkpoint,
             "resumed": args.resume,
+            "batched": not args.no_batch,
         },
     )
     print(campaign_report(aggregates))
@@ -414,6 +416,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume",
         action="store_true",
         help="skip scenarios already present in --checkpoint",
+    )
+    c.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="run seed ensembles solo instead of replica-batched "
+        "(results are bit-identical either way; this forces the "
+        "per-scenario engines)",
     )
     c.add_argument(
         "--output",

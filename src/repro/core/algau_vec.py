@@ -300,6 +300,57 @@ class VectorKernel:
         return tables.fa_succ[code]
 
     # ------------------------------------------------------------------
+    # Incremental goodness accounting (shared by the engines).
+    # ------------------------------------------------------------------
+
+    def pair_deltas(
+        self,
+        codes: np.ndarray,
+        csr: "CSRAdjacency",
+        diff: np.ndarray,
+        old_diff: np.ndarray,
+        new_diff: np.ndarray,
+        in_diff: np.ndarray,
+        new_code_of: np.ndarray,
+    ):
+        """Unprotected-pair deltas induced by one change set.
+
+        ``diff`` holds the moved lanes, ``old_diff``/``new_diff`` their
+        pre/post codes; ``codes`` must still hold the *pre-write* codes
+        (the neighbor gather reads them).  ``in_diff`` (bool) and
+        ``new_code_of`` (int64) are caller-owned length-``n`` scratch
+        arrays (``in_diff`` all-False on entry, restored on exit).
+
+        Returns ``(cols, counts, delta, col_changed)``: the gathered
+        inclusive neighborhoods of ``diff``, their per-lane counts, the
+        per-ordered-pair badness delta, and the mask of pairs whose
+        column itself moved.  Callers fold the deltas into their own
+        counters — once per pair plus the symmetric reverse of pairs
+        whose column did not move (protection is symmetric; the self
+        pair contributes 0) — which is how both the array engine's
+        scalar counts and the replica engine's per-replica count
+        vectors stay O(deg(diff)) per step.
+        """
+        cols, counts = csr.gather(diff)
+        row_old = np.repeat(old_diff, counts)
+        row_new = np.repeat(new_diff, counts)
+        col_old = codes[cols]
+        in_diff[diff] = True
+        col_changed = in_diff[cols]
+        in_diff[diff] = False
+        col_new = col_old
+        if col_changed.any():
+            new_code_of[diff] = new_diff
+            col_new = col_old.copy()
+            col_new[col_changed] = new_code_of[cols[col_changed]]
+        pair_bad = self.pair_unprotected
+        # int8 views: deltas live in {-1, 0, 1} and numpy's integer sum
+        # promotes to the platform int, so the narrow dtype is exact.
+        bad_after = pair_bad[row_new, col_new].view(np.int8)
+        bad_before = pair_bad[row_old, col_old].view(np.int8)
+        return cols, counts, bad_after - bad_before, col_changed
+
+    # ------------------------------------------------------------------
     # Vectorized analysis predicates.
     # ------------------------------------------------------------------
 

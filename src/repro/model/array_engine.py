@@ -486,23 +486,15 @@ class ArrayExecution(ExecutionBase["Turn"]):
         n_faulty, bad = self._goodness
         n_faulty += int((new_diff >= k2).sum()) - int((old_diff >= k2).sum())
 
-        cols, counts = self._csr.gather(diff)
-        row_old = np.repeat(old_diff, counts)
-        row_new = np.repeat(new_diff, counts)
-        col_old = self._codes[cols]
-        in_diff = self._in_diff
-        in_diff[diff] = True
-        col_changed = in_diff[cols]
-        in_diff[diff] = False
-        col_new = col_old
-        if col_changed.any():
-            self._new_code_of[diff] = new_diff
-            col_new = col_old.copy()
-            col_new[col_changed] = self._new_code_of[cols[col_changed]]
-        pair_bad = kernel.pair_unprotected
-        bad_before = pair_bad[row_old, col_old].astype(np.int64)
-        bad_after = pair_bad[row_new, col_new].astype(np.int64)
-        delta = bad_after - bad_before
+        _, _, delta, col_changed = kernel.pair_deltas(
+            self._codes,
+            self._csr,
+            diff,
+            old_diff,
+            new_diff,
+            self._in_diff,
+            self._new_code_of,
+        )
         # Ordered pairs whose row moved, plus the symmetric reverses of
         # pairs whose column did not move (protection is symmetric; the
         # self pair row==col is trivially protected and contributes 0).

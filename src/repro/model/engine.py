@@ -62,6 +62,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import (
     Callable,
+    Dict,
     FrozenSet,
     Generic,
     Iterable,
@@ -412,7 +413,70 @@ class ExecutionBase(ABC, Generic[Q]):
         )
 
 
-ENGINE_NAMES = ("object", "array")
+def _object_engine() -> type:
+    from repro.model.execution import Execution
+
+    return Execution
+
+
+def _array_engine() -> type:
+    from repro.model.array_engine import ArrayExecution
+
+    return ArrayExecution
+
+
+def _replica_engine() -> type:
+    from repro.model.replica_engine import ReplicaBatchExecution
+
+    return ReplicaBatchExecution
+
+
+#: The single source of truth for engine names: declarative name →
+#: lazy class loader (lazy to keep the ``repro.model`` import graph
+#: acyclic).  Everything that enumerates engines — the CLI ``choices=``
+#: lists, the campaign spec validation, and the
+#: :class:`UnknownEngineError` message — derives from this registry, so
+#: adding an engine here is the *only* step needed to plumb its name
+#: through every layer.
+ENGINE_FACTORIES: Dict[str, Callable[[], type]] = {
+    "object": _object_engine,
+    "array": _array_engine,
+    "replica-batch": _replica_engine,
+}
+
+#: One-line summaries, keyed like :data:`ENGINE_FACTORIES`; the
+#: :class:`UnknownEngineError` message is composed from these so the
+#: explanatory text can never drift from the registered names (a test
+#: asserts the two registries share their key sets).
+ENGINE_DESCRIPTIONS: Dict[str, str] = {
+    "object": "the readable reference model",
+    "array": "the vectorized backend",
+    "replica-batch": "the ensemble-vectorized backend",
+}
+
+ENGINE_NAMES: Tuple[str, ...] = tuple(ENGINE_FACTORIES)
+
+
+def engine_class(engine: str) -> type:
+    """The execution class registered under ``engine``.
+
+    Raises :class:`UnknownEngineError` (a :class:`ValueError`) listing
+    the valid names — the same message every validation layer relays.
+    """
+    try:
+        loader = ENGINE_FACTORIES[engine]
+    except KeyError:
+        valid = ", ".join(repr(name) for name in ENGINE_NAMES)
+        legend = ", ".join(
+            f"{name!r} is {ENGINE_DESCRIPTIONS[name]}"
+            for name in ENGINE_NAMES
+            if name in ENGINE_DESCRIPTIONS
+        )
+        raise UnknownEngineError(
+            f"unknown engine {engine!r}: valid engine names are {valid} "
+            f"({legend})"
+        ) from None
+    return loader()
 
 
 def create_execution(
@@ -434,26 +498,18 @@ def create_execution(
     the vectorized
     :class:`~repro.model.array_engine.ArrayExecution` (the algorithm
     must expose the vectorized backend — currently
-    :class:`~repro.core.algau.ThinUnison`).  ``incremental=False``
-    selects the naive full-recompute reference path (bit-identical
-    trajectories, O(n) steps); ``track_enabled=True`` stamps the enabled
-    count into every :class:`StepRecord`.
+    :class:`~repro.core.algau.ThinUnison`); ``engine="replica-batch"``
+    builds a single-replica
+    :class:`~repro.model.replica_engine.ReplicaBatchExecution` (the
+    R = 1 degenerate case of the ensemble backend — behaviorally an
+    array engine; multi-replica batches are built with
+    :meth:`~repro.model.replica_engine.ReplicaBatchExecution.from_replicas`).
+    ``incremental=False`` selects the naive full-recompute reference
+    path (bit-identical trajectories, O(n) steps);
+    ``track_enabled=True`` stamps the enabled count into every
+    :class:`StepRecord`.  Valid names live in :data:`ENGINE_FACTORIES`.
     """
-    if engine == "object":
-        from repro.model.execution import Execution
-
-        cls = Execution
-    elif engine == "array":
-        from repro.model.array_engine import ArrayExecution
-
-        cls = ArrayExecution
-    else:
-        valid = ", ".join(repr(name) for name in ENGINE_NAMES)
-        raise UnknownEngineError(
-            f"unknown engine {engine!r}: valid engine names are {valid} "
-            f"('object' is the readable reference model, 'array' the "
-            f"vectorized backend)"
-        )
+    cls = engine_class(engine)
     return cls(
         topology,
         algorithm,

@@ -80,6 +80,24 @@ class Scheduler(ABC):
         """
         return self.activations(t, nodes, rng)
 
+    def round_activation_order(
+        self, nodes: Sequence[int], rng: np.random.Generator
+    ) -> Optional[np.ndarray]:
+        """Optional bulk hook for round-based single-node schedulers.
+
+        A scheduler whose schedule is one node per step, covering every
+        node exactly once per round, may return the *next round's*
+        activation order as an index array — consuming exactly the rng
+        draws the equivalent ``n`` :meth:`activations` calls would
+        consume (so trajectories stay bit-identical).  The
+        replica-batched ensemble engine uses this to gather a whole
+        fused step's activations with array indexing instead of one
+        Python scheduler call per replica per step — the difference
+        between ~2x and >4x on large ensembles.  The default ``None``
+        keeps the per-step protocol.
+        """
+        return None
+
     def bind(self, execution) -> None:
         """Called by the execution engine at construction time.
 
@@ -143,15 +161,29 @@ class RoundRobinScheduler(Scheduler):
         # once per step.
         self._validated_for: Optional[Sequence[int]] = None
         self._singletons: Tuple[FrozenSet[int], ...] = ()
+        self._order_array: Optional[np.ndarray] = None
 
     def activations(self, t, nodes, rng):
         if nodes is not self._validated_for:
-            order = self._order if self._order is not None else tuple(nodes)
-            if len(order) != len(nodes) or set(order) != set(nodes):
-                raise ScheduleError("round-robin order must be a permutation of V")
-            self._singletons = tuple(frozenset((v,)) for v in order)
-            self._validated_for = nodes
+            self._validate_order(nodes)
         return self._singletons[t % len(self._singletons)]
+
+    def _validate_order(self, nodes):
+        order = self._order if self._order is not None else tuple(nodes)
+        if len(order) != len(nodes) or set(order) != set(nodes):
+            raise ScheduleError("round-robin order must be a permutation of V")
+        self._singletons = tuple(frozenset((v,)) for v in order)
+        self._validated_for = nodes
+
+    def round_activation_order(self, nodes, rng):
+        """Every round replays the fixed order (no rng consumed)."""
+        if nodes is not self._validated_for:
+            self._validate_order(nodes)
+            self._order_array = None
+        if self._order_array is None:
+            order = self._order if self._order is not None else tuple(nodes)
+            self._order_array = np.asarray(order, dtype=np.int64)
+        return self._order_array
 
 
 class ShuffledRoundRobinScheduler(Scheduler):
@@ -169,6 +201,15 @@ class ShuffledRoundRobinScheduler(Scheduler):
             self._current = list(nodes)
             rng.shuffle(self._current)
         return frozenset((self._current.pop(),))
+
+    def round_activation_order(self, nodes, rng):
+        """One shuffle per round — the same single draw (and therefore
+        the same rng stream) as the incremental per-step pops, which
+        consume the shuffled list from its tail."""
+        order = list(nodes)
+        rng.shuffle(order)
+        order.reverse()  # activations() pops from the end
+        return np.asarray(order, dtype=np.int64)
 
 
 class RandomSubsetScheduler(Scheduler):

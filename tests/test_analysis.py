@@ -147,6 +147,52 @@ class TestMonitors:
         if not expected:
             assert monitor.last_change_time > marker
 
+    @pytest.mark.parametrize("engine", ["object", "array", "replica-batch"])
+    def test_output_change_monitor_poke_during_step(self, engine):
+        """Regression: a poke landing in the *same* step as a tracked
+        delta used to vanish — the epoch fallback re-snapshotted, saw a
+        net-unchanged vector (the δ undid the poke), and never advanced
+        ``last_change_time`` even though the output passed through a
+        different value.  Construction: on K2 with node 0 masked, node 1
+        settles one clock ahead of its frozen neighbor and stops; the
+        intervention pokes it back to the start turn, and the very same
+        step's AA transition re-advances it — output disturbed, net
+        vector unchanged."""
+        from repro.model.engine import create_execution
+
+        alg = ThinUnison(1)
+        topology = complete_graph(2)
+        initial = uniform_configuration(alg, topology)
+        start_state = initial[1]
+        poke_at = 5
+
+        def poke(execution):
+            if execution.t == poke_at:
+                execution.poke_states({1: start_state})
+            return None
+
+        monitor = OutputChangeMonitor(alg)
+        execution = create_execution(
+            topology,
+            alg,
+            initial,
+            SynchronousScheduler(),
+            rng=np.random.default_rng(0),
+            monitors=(monitor,),
+            intervention=poke,
+            engine=engine,
+        )
+        execution.mask_nodes((0,))
+        records = [execution.step() for _ in range(poke_at + 3)]
+        # The construction holds: node 1 moves once at t=0, idles until
+        # the poke step, and the poke step's record carries the
+        # counter-acting delta.
+        assert records[0].changed
+        assert all(not r.changed for r in records[1:poke_at])
+        assert records[poke_at].changed
+        assert all(not r.changed for r in records[poke_at + 1 :])
+        assert monitor.last_change_time == poke_at + 1
+
     def test_predicate_timeline_records_rounds(self):
         rng = np.random.default_rng(0)
         alg = ThinUnison(1)

@@ -111,6 +111,16 @@ class TestSpec:
             },
             {"diameter_bound": 0},
             {"max_rounds": 0},
+            # Replica batching: AU only, fault-free, vectorized engines,
+            # oblivious schedulers.
+            {"batch_replicas": 0},
+            {"task": "le", "engine": "object", "batch_replicas": 2},
+            {
+                "faults": FaultPlan(kind="bursts", bursts=1),
+                "batch_replicas": 2,
+            },
+            {"engine": "object", "batch_replicas": 2},
+            {"scheduler": "enabled-only", "batch_replicas": 2},
         ],
     )
     def test_validation_rejects(self, overrides):
@@ -331,6 +341,94 @@ class TestRunner:
         run_campaign(scenarios, workers=1, checkpoint_path=checkpoint)
         assert len(load_checkpoint(checkpoint)) == 2  # not appended twice
 
+    def test_resume_after_kill_mid_write_is_bit_identical(self, tmp_path):
+        """Regression: a shard checkpoint killed mid-write leaves a
+        truncated, newline-less tail; the resumed run used to append its
+        first row onto that garbage, silently destroying both rows (so a
+        later resume re-ran — and duplicated — the scenario).  The
+        append path now repairs the tail and the loader dedupes by
+        index, so a kill-and-resume cycle aggregates bit-identically
+        with an uninterrupted run."""
+        scenarios = build_campaign("micro")
+        reference = aggregate_results(
+            "micro", scenarios, run_campaign(scenarios, workers=1), 0
+        )
+        checkpoint = str(tmp_path / "progress.jsonl")
+        run_campaign(scenarios[:3], workers=1, checkpoint_path=checkpoint)
+        with open(checkpoint, "a", encoding="utf-8") as handle:
+            # killed mid-shard, mid-write: no trailing newline
+            handle.write('{"scenario_id": "half", "index": 3, "stabilized"')
+        resumed = run_campaign(
+            scenarios, workers=1, checkpoint_path=checkpoint, resume=True
+        )
+        merged = aggregate_results("micro", scenarios, resumed, 0)
+        assert json.dumps(merged, sort_keys=True) == json.dumps(
+            reference, sort_keys=True
+        )
+        # Every scenario kept exactly one parseable row (the first row
+        # appended after the kill did not merge into the garbage tail).
+        done = load_checkpoint(checkpoint)
+        assert len(done) == len(scenarios)
+        parsed_indices = []
+        with open(checkpoint, "r", encoding="utf-8") as handle:
+            for line in handle:
+                try:
+                    parsed_indices.append(json.loads(line)["index"])
+                except ValueError:
+                    continue
+        assert sorted(parsed_indices) == [s.index for s in scenarios]
+
+    def test_checkpoint_duplicate_rows_keep_the_last_write(self, tmp_path):
+        """Duplicate rows for one scenario index (a re-run after an
+        interrupted write) resolve last-write-wins on load."""
+        import dataclasses
+
+        scenarios = build_campaign("micro")[:2]
+        checkpoint = str(tmp_path / "progress.jsonl")
+        results = run_campaign(scenarios, workers=1, checkpoint_path=checkpoint)
+        stale = dataclasses.replace(
+            results[0], rounds=999, detail="stale interrupted write"
+        )
+        renamed = dataclasses.replace(stale, scenario_id="some-older-spelling")
+        with open(checkpoint, "r", encoding="utf-8") as handle:
+            real_rows = handle.read()
+        with open(checkpoint, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(renamed.to_dict(), sort_keys=True) + "\n")
+            handle.write(json.dumps(stale.to_dict(), sort_keys=True) + "\n")
+            handle.write(real_rows)
+        done = load_checkpoint(checkpoint)
+        assert len(done) == len(scenarios)  # one row per index survives
+        assert done[scenarios[0].scenario_id].rounds == results[0].rounds
+        assert "some-older-spelling" not in done
+
+    def test_failed_scenarios_keep_a_traceback(self):
+        """Regression: the error fold kept only ``str(exc)``, losing the
+        raising frame; the detail now carries a truncated traceback and
+        still aggregates bit-identically across worker counts."""
+        scenarios = [
+            _scenario(
+                index=i,
+                seed=i,
+                graph="regular",
+                graph_params=(("n", 7), ("degree", 3)),
+            )
+            for i in range(3)
+        ]
+        result = run_scenario(scenarios[0])
+        assert not result.stabilized
+        assert result.detail.startswith("error: NetworkXError")
+        # The raising frame survives truncation (that is the point of
+        # carrying the traceback at all)...
+        assert 'raise nx.NetworkXError("n * d must be even")' in result.detail
+        # ...but deep stacks stay bounded.
+        assert len(result.detail) < runner_module.TRACEBACK_LIMIT + 200
+        serial = run_campaign(scenarios, workers=1)
+        sharded = run_campaign(scenarios, workers=2, shard_size=1)
+        a = aggregate_results("test", scenarios, serial, 0)
+        b = aggregate_results("test", scenarios, sharded, 0)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+        assert a["failure_count"] == 3
+
 
 class TestNewAxes:
     def test_perturb_topology_keeps_connectivity_and_nodes(self):
@@ -461,3 +559,159 @@ class TestCampaignCLI:
         write_campaign_artifact(aggregates, b, meta={"workers": 1})
         with open(a, "rb") as fa, open(b, "rb") as fb:
             assert fa.read() == fb.read()
+
+
+class TestReplicaBatching:
+    """The replica-batched campaign path: seed ensembles fused into one
+    ReplicaBatchExecution run with per-scenario results bit-identical to
+    solo and sharded execution."""
+
+    def test_smoke_ensemble_aggregates_identical_across_strategies(self):
+        scenarios = [s for s in build_campaign("smoke") if s.batch_replicas > 1]
+        assert len(scenarios) >= 2  # the smoke registry ships an ensemble
+        assert len({s.batch_key() for s in scenarios}) == 1
+        batched = run_campaign(scenarios, workers=1)
+        solo = run_campaign(scenarios, workers=1, batch=False)
+        sharded = run_campaign(scenarios, workers=2, shard_size=3)
+        a = aggregate_results("smoke", scenarios, batched, 0)
+        b = aggregate_results("smoke", scenarios, solo, 0)
+        c = aggregate_results("smoke", scenarios, sharded, 0)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+        assert json.dumps(a, sort_keys=True) == json.dumps(c, sort_keys=True)
+        assert a["failure_count"] == 0
+
+    def test_thm11_slice_batches_and_stays_bit_identical(self):
+        scenarios = build_campaign("thm11-scaling")[:24]  # D=1: 6 trials x 4 starts
+        jobs = runner_module._make_jobs(scenarios, batch=True)
+        assert sorted(len(job) for job in jobs) == [6, 6, 6, 6]
+        assert runner_module._make_jobs(scenarios, batch=False) == [
+            [s] for s in scenarios
+        ]
+        batched = run_campaign(scenarios, workers=1)
+        solo = run_campaign(scenarios, workers=1, batch=False)
+        a = aggregate_results("thm11-scaling", scenarios, batched, 0)
+        b = aggregate_results("thm11-scaling", scenarios, solo, 0)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_batch_chunks_respect_the_declared_width(self):
+        scenarios = [
+            _scenario(index=i, seed=10 + i, batch_replicas=2, scheduler="round-robin")
+            for i in range(5)
+        ]
+        jobs = runner_module._make_jobs(scenarios, batch=True)
+        assert [len(job) for job in jobs] == [2, 2, 1]
+        # Jobs keep the campaign order: leaders sit at their first
+        # member's position.
+        assert [job[0].index for job in jobs] == [0, 2, 4]
+
+    def test_run_scenario_batch_rejects_mixed_keys(self):
+        from repro.campaigns import run_scenario_batch
+
+        a = _scenario(index=0, seed=1, batch_replicas=2)
+        b = _scenario(index=1, seed=2, batch_replicas=2, start="all-faulty")
+        with pytest.raises(ValueError, match="batch key"):
+            run_scenario_batch([a, b])
+
+    def test_batch_member_error_folds_without_sinking_the_batch(self, monkeypatch):
+        """A replica whose graph sample raises folds into a failed row;
+        the rest of the ensemble still runs batched and stays
+        bit-identical to solo runs."""
+        from repro.campaigns import run_scenario_batch
+
+        scenarios = [
+            _scenario(
+                index=i,
+                seed=100 + i,
+                graph="damaged-clique",
+                graph_params=(("n", 8), ("diameter_bound", 2), ("damage", 0.4)),
+                diameter_bound=2,
+                batch_replicas=3,
+                scheduler="round-robin",
+            )
+            for i in range(3)
+        ]
+        solos = [run_scenario(s) for s in scenarios]
+        real_make_graph = runner_module.make_graph
+        calls = {"count": 0}
+
+        def flaky(family, rng, **params):
+            calls["count"] += 1
+            # Calls 1-3 build the members in order; call 4 is the failed
+            # member's solo delegation.  Member 1 raises in both, so it
+            # fails deterministically while the others stay healthy.
+            if calls["count"] in (2, 4):
+                raise RuntimeError("synthetic unusable sample")
+            return real_make_graph(family, rng, **params)
+
+        monkeypatch.setattr(runner_module, "make_graph", flaky)
+        results = run_scenario_batch(scenarios)
+        assert [r.index for r in results] == [0, 1, 2]
+        assert not results[1].stabilized
+        assert results[1].detail.startswith("error: RuntimeError")
+        assert "synthetic unusable sample" in results[1].detail
+        # The failure row is byte-identical to what a solo (--no-batch)
+        # run would record: the delegation routes it through
+        # run_scenario, so the traceback frames in `detail` (which
+        # enters the aggregates) match exactly.
+        calls["count"] = 1  # re-arm: the next make_graph call raises
+        solo_failure = run_scenario(scenarios[1])
+        assert results[1].detail == solo_failure.detail
+        for batched, solo in ((results[0], solos[0]), (results[2], solos[2])):
+            assert (
+                batched.stabilized,
+                batched.rounds,
+                batched.steps,
+                batched.n,
+                batched.m,
+                batched.detail,
+            ) == (solo.stabilized, solo.rounds, solo.steps, solo.n, solo.m, solo.detail)
+
+    def test_batch_run_failure_falls_back_to_solo_runs(self, monkeypatch):
+        """If the fused ensemble itself dies, the group degrades to
+        per-scenario execution instead of sinking every member."""
+        from repro.campaigns import run_scenario_batch
+        from repro.model.replica_engine import ReplicaBatchExecution
+
+        scenarios = [
+            _scenario(index=i, seed=50 + i, batch_replicas=2, scheduler="round-robin")
+            for i in range(2)
+        ]
+        expected = [run_scenario(s) for s in scenarios]
+
+        def boom(self, max_rounds, max_steps=None):
+            raise RuntimeError("fused pass died")
+
+        monkeypatch.setattr(ReplicaBatchExecution, "run_ensemble", boom)
+        results = run_scenario_batch(scenarios)
+        for got, want in zip(results, expected):
+            assert (got.stabilized, got.rounds, got.steps) == (
+                want.stabilized,
+                want.rounds,
+                want.steps,
+            )
+
+    def test_cli_no_batch_flag_matches_batched_run(self, tmp_path):
+        batched_path = str(tmp_path / "batched.json")
+        solo_path = str(tmp_path / "solo.json")
+        for path, extra in ((batched_path, []), (solo_path, ["--no-batch"])):
+            assert (
+                main(
+                    [
+                        "campaign",
+                        "run",
+                        "--registry",
+                        "micro",
+                        "--output",
+                        path,
+                    ]
+                    + extra
+                )
+                == 0
+            )
+        with open(batched_path) as fa, open(solo_path) as fb:
+            a, b = json.load(fa), json.load(fb)
+        assert json.dumps(a["aggregates"], sort_keys=True) == json.dumps(
+            b["aggregates"], sort_keys=True
+        )
+        assert a["meta"]["batched"] is True
+        assert b["meta"]["batched"] is False
