@@ -21,7 +21,7 @@ import os
 import time
 
 import numpy as np
-from conftest import emit
+from conftest import emit, peak_rss_bytes
 
 from repro.analysis.tables import render_table, results_dir
 from repro.core.algau import ThinUnison
@@ -104,6 +104,12 @@ def test_engine_throughput(benchmark):
         ),
     )
     emit("engine_throughput", table)
+
+    rss = peak_rss_bytes()
+    payload["meta"] = {
+        "peak_rss_bytes": rss,
+        "bytes_per_node_at_max_n": rss / NS[-1],
+    }
 
     json_path = os.path.join(results_dir(), "BENCH_engine_throughput.json")
     with open(json_path, "w", encoding="utf-8") as handle:

@@ -12,6 +12,8 @@ pytest-benchmark.  Run with::
 from __future__ import annotations
 
 import os
+import resource
+import sys
 
 from repro.analysis.tables import persist_table, results_dir
 from repro.campaigns import (
@@ -24,6 +26,15 @@ from repro.campaigns import (
 #: Worker-process count for campaign-driven benchmarks (the aggregates
 #: are worker-count independent; this only affects wall-clock).
 CAMPAIGN_WORKERS = min(4, os.cpu_count() or 1)
+
+
+def peak_rss_bytes() -> int:
+    """High-water resident set size of this process, in bytes — the
+    number benchmark emitters put in their JSON ``meta`` so memory
+    regressions are tracked alongside throughput ones."""
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return rss if sys.platform == "darwin" else rss * 1024
 
 
 def emit(name: str, table: str) -> None:

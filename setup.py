@@ -28,6 +28,11 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    # The C source of the compiled kernel tier ships with the package:
+    # the `cc` backend compiles it lazily at first use, so installs
+    # without numba still get native-speed kernels wherever a C
+    # compiler exists.
+    package_data={"repro.core": ["_native_kernels.c"]},
     python_requires=">=3.9",
     install_requires=[
         "numpy>=1.22",
@@ -38,6 +43,12 @@ setup(
             "pytest",
             "pytest-benchmark",
             "hypothesis",
+        ],
+        # The compiled kernel tier (`engine="native"`).  Optional: when
+        # numba is absent the tier falls back to a lazily cc-compiled C
+        # library, and when neither resolves, to the numpy array engine.
+        "native": [
+            "numba>=0.57",
         ],
     },
     entry_points={

@@ -24,6 +24,9 @@ Shipped registries:
   (``enabled-only`` and ``locally-central``), engine-paired so the
   aggregation cross-checks that both backends drive the daemons off
   identical enabled views;
+* ``native-pairing`` — compiled-tier differential: every cell runs on
+  both the ``array`` and ``native`` engines with a shared seed so the
+  nightly aggregation cross-checks the compiled kernels bit for bit;
 * ``thm11-scaling`` / ``thm11-n-independence`` / ``fault-recovery`` —
   registry-driven replacements for the former ad-hoc sweep loops of
   ``benchmarks/bench_thm11_*`` and ``bench_fault_recovery``.
@@ -299,6 +302,31 @@ def _smoke(builder: CampaignBuilder) -> None:
             group="au-ensemble@damaged-clique",
             tags=(("trial", str(trial)),),
             batch_replicas=8,
+        )
+    # The compiled kernel tier rides every CI run: a fault-free slice
+    # of the core families on ``engine="native"`` (which degrades to
+    # the array tier with a warning on compiler-less runners, so the
+    # campaign stays green either way) plus one batched ensemble on
+    # the native replica lane.
+    for graph, params, d in (CORE_GRAPHS[0], CORE_GRAPHS[4]):
+        for start in ("random", "all-faulty"):
+            builder.add_au(
+                graph,
+                params,
+                d,
+                engine="native",
+                start=start,
+                group=f"au-native@{graph}",
+            )
+    for trial in range(4):
+        builder.add_au(
+            "damaged-clique",
+            (("n", 10), ("diameter_bound", 2), ("damage", 0.4)),
+            2,
+            engine="native",
+            group="au-native-ensemble@damaged-clique",
+            tags=(("trial", str(trial)),),
+            batch_replicas=4,
         )
     for n in (4, 8):
         builder.add(
@@ -647,4 +675,92 @@ def _enabled_daemons(builder: CampaignBuilder) -> None:
             scheduler,
             "random",
             faults=FaultPlan(kind="bursts", bursts=1, fraction=0.3),
+        )
+
+
+#: Families for the native-vs-array pairing sweep: the core ring and
+#: damaged-clique cells plus the large-hop byzantine graphs, so the
+#: compiled kernels are cross-checked on both the dense incremental
+#: path and the permanent-fault mask/poke machinery.
+NATIVE_PAIRING_GRAPHS: Tuple[GraphSpec, ...] = (
+    ("ring", (("n", 12),), 6),
+    (
+        "damaged-clique",
+        (("n", 10), ("diameter_bound", 2), ("damage", 0.4)),
+        2,
+    ),
+    ("hub-colony", (("n", 12), ("hubs", 2)), 2),
+)
+
+
+@campaign(
+    "native-pairing",
+    "compiled-tier differential: array-vs-native engine-paired sweep "
+    "over families x schedulers x fault kinds",
+)
+def _native_pairing(builder: CampaignBuilder) -> None:
+    """Every cell runs on both the ``array`` and ``native`` engines
+    with the *same* derived seed (``seed_index`` pairing, like the
+    ``byzantine`` campaign), so the nightly aggregation can assert the
+    compiled CSR-walking kernels reproduce the numpy tier bit for bit
+    along whole trajectories — transient storms, permanent byzantine
+    and crash faults, masks and pokes included (enforced by
+    :func:`repro.campaigns.aggregate.verify_engine_pairing`).  On
+    runners without a native backend the native lane degrades to the
+    array engine, and the pairing check degenerates to a tautology
+    rather than a failure."""
+    pair = 0
+
+    def add_pair(graph, params, d, scheduler="shuffled-round-robin",
+                 start="random", faults=NO_FAULTS, max_rounds=4000):
+        nonlocal pair
+        for engine in ("array", "native"):
+            builder.add_au(
+                graph,
+                params,
+                d,
+                scheduler=scheduler,
+                engine=engine,
+                start=start,
+                max_rounds=max_rounds,
+                faults=faults,
+                group=f"{faults.kind}@{graph}",
+                tags=(("pairing", str(pair)),),
+                seed_index=pair,
+            )
+        pair += 1
+
+    for graph, params, d in NATIVE_PAIRING_GRAPHS:
+        for scheduler in ("synchronous", "shuffled-round-robin"):
+            for start in ("random", "all-faulty"):
+                add_pair(graph, params, d, scheduler=scheduler, start=start)
+        add_pair(
+            graph,
+            params,
+            d,
+            faults=FaultPlan(kind="storm", times=(5, 40, 80), fraction=0.25),
+        )
+        add_pair(
+            graph,
+            params,
+            d,
+            faults=FaultPlan(kind="rewire", remove=1, add=1),
+        )
+    # The permanent-fault machinery (masks, pokes, containment
+    # analytics) must agree too.
+    for graph, params, d in BYZANTINE_GRAPHS:
+        for strategy in ("frozen", "random", "oscillating"):
+            add_pair(
+                graph,
+                params,
+                d,
+                faults=FaultPlan(
+                    kind="byzantine", strategy=strategy, density=0.2, radius=4
+                ),
+            )
+        add_pair(
+            graph,
+            params,
+            d,
+            faults=FaultPlan(kind="crash", density=0.14, times=(25,), radius=3),
         )

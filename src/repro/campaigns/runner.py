@@ -62,7 +62,7 @@ from repro.graphs.generators import make_graph
 from repro.graphs.topology import Topology
 from repro.model.configuration import Configuration
 from repro.model.engine import create_execution
-from repro.model.replica_engine import ReplicaBatchExecution, ReplicaSpec
+from repro.model.replica_engine import ReplicaSpec
 from repro.resilience.adversary import (
     PermanentFaultAdversary,
     select_faulty_nodes,
@@ -501,7 +501,10 @@ def run_scenario_batch(scenarios: Sequence[Scenario]) -> List[ScenarioResult]:
         by_id[scenario.scenario_id] = run_scenario(scenario)
     if specs:
         try:
-            batch = ReplicaBatchExecution.from_replicas(algorithm, specs)
+            from repro.model.native_engine import replica_batch_execution_class
+
+            batch_cls = replica_batch_execution_class(scenarios[0].engine)
+            batch = batch_cls.from_replicas(algorithm, specs)
             outcomes = batch.run_ensemble(max_rounds=scenarios[0].max_rounds)
         except Exception:
             return [run_scenario(scenario) for scenario in scenarios]

@@ -9,6 +9,9 @@ Subcommands regenerate the paper's artifacts from the terminal:
 * ``repro au --diameter-bound 3`` — one adversarial AlgAU run with a
   per-round goodness trace;
 * ``repro experiment {au,le,mis,restart}`` — the scaling sweeps;
+* ``repro engines`` — the execution-engine registry with a per-engine
+  availability probe (the ``native`` row reports which compiled backend
+  resolved, or why it fell back);
 * ``repro campaign {list,run,report}`` — registry-driven scenario
   campaigns: sharded parallel sweeps over graph family × scheduler ×
   adversarial start × fault plan × engine, checkpointed to JSONL and
@@ -227,6 +230,43 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0 if "FAIL" not in report else 1
 
 
+def _cmd_engines(args: argparse.Namespace) -> int:
+    import warnings
+
+    from repro.analysis.tables import render_table
+    from repro.model.engine import ENGINE_DESCRIPTIONS, ENGINE_NAMES, engine_class
+
+    rows = []
+    for name in ENGINE_NAMES:
+        if name == "native":
+            from repro.core.algau_native import native_backend_name
+
+            backend = native_backend_name()
+            if backend is None:
+                status = (
+                    "unavailable (numba not installed, no C compiler); "
+                    "falls back to 'array'"
+                )
+            else:
+                status = f"available ({backend} backend)"
+        else:
+            status = "available"
+        with warnings.catch_warnings():
+            # The native factory warns on fallback; the probe column
+            # already reports that, so keep the listing quiet.
+            warnings.simplefilter("ignore")
+            cls = engine_class(name)
+        rows.append((name, cls.__name__, status, ENGINE_DESCRIPTIONS.get(name, "")))
+    print(
+        render_table(
+            ["engine", "class", "availability", "description"],
+            rows,
+            title="Execution engines",
+        )
+    )
+    return 0
+
+
 def _cmd_campaign_list(args: argparse.Namespace) -> int:
     from repro.analysis.tables import render_table
     from repro.campaigns import (
@@ -378,6 +418,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=3)
     p.add_argument("--output", type=str, default=None)
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "engines",
+        help="list the execution engines with a per-engine availability probe",
+    )
+    p.set_defaults(fn=_cmd_engines)
 
     p = sub.add_parser("campaign", help="registry-driven scenario campaigns")
     csub = p.add_subparsers(dest="campaign_command", required=True)

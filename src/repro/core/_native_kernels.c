@@ -1,0 +1,138 @@
+/* Native AlgAU kernels over CSR neighborhoods.
+ *
+ * This is the C lane of repro.core.algau_native: the same three kernels
+ * the module also ships as numba-jittable Python, compiled lazily with
+ * the host C compiler when numba is not importable (see the module
+ * docstring for the backend resolution order).  The two lanes must stay
+ * semantically identical — the kernel-level agreement tests compare
+ * them against VectorKernel.delta_batch on random codes x random CSR
+ * neighborhoods.
+ *
+ * Conventions shared with the Python lane:
+ *   - codes/indptr/indices/rows/diff arrays are int64, C-contiguous;
+ *   - boolean tables (masks, has_twin, in_diff) are uint8;
+ *   - pair_bad is int8 (so deltas live in {-1, 0, 1} without wrapping);
+ *   - 2-D tables are row-major with row stride k2 (masks) or size
+ *     (pair_bad);
+ *   - rows == NULL means "all n rows".
+ */
+
+#include <stdint.h>
+
+/* delta_rows: batched Table 1 transition for the lanes in `rows`.
+ * out[i] receives the next code of node rows[i]; unmoved lanes copy
+ * their current code.  Walks each lane's inclusive CSR neighborhood
+ * once, testing sensed clocks against the per-code window masks —
+ * no (n, |Q|) presence matrix is ever materialized. */
+void delta_rows(const int64_t *codes, const int64_t *indptr,
+                const int64_t *indices, const int64_t *rows, int64_t nrows,
+                int64_t *out, const int64_t *clock_of, const int64_t *aa_succ,
+                const int64_t *fa_succ, const int64_t *af_code,
+                const int64_t *af_sense, const uint8_t *is_faulty,
+                const uint8_t *has_twin, const uint8_t *adjacent_mask,
+                const uint8_t *aa_mask, const uint8_t *outwards_mask,
+                int64_t k2, int32_t cautious)
+{
+    for (int64_t i = 0; i < nrows; i++) {
+        int64_t v = rows ? rows[i] : i;
+        int64_t c = codes[v];
+        int64_t lo = indptr[v], hi = indptr[v + 1];
+        if (!is_faulty[c]) {
+            const uint8_t *adj = adjacent_mask + c * k2;
+            const uint8_t *aa = aa_mask + c * k2;
+            int64_t sense = af_sense[c];
+            int not_protected = 0, any_faulty = 0, outside_aa = 0;
+            int senses_af = 0;
+            for (int64_t e = lo; e < hi; e++) {
+                int64_t cu = codes[indices[e]];
+                int64_t cl = clock_of[cu];
+                if (is_faulty[cu])
+                    any_faulty = 1;
+                if (!adj[cl])
+                    not_protected = 1;
+                if (!aa[cl])
+                    outside_aa = 1;
+                if (cu == sense)
+                    senses_af = 1;
+            }
+            if (!not_protected && !any_faulty && !outside_aa)
+                out[i] = aa_succ[c]; /* AA */
+            else if (has_twin[c] &&
+                     (not_protected || (cautious && sense >= 0 && senses_af)))
+                out[i] = af_code[c]; /* AF */
+            else
+                out[i] = c;
+        } else {
+            const uint8_t *outw = outwards_mask + c * k2;
+            int sees_outwards = 0;
+            for (int64_t e = lo; e < hi; e++) {
+                if (outw[clock_of[codes[indices[e]]]]) {
+                    sees_outwards = 1;
+                    break;
+                }
+            }
+            out[i] = sees_outwards ? c : fa_succ[c]; /* FA */
+        }
+    }
+}
+
+/* goodness_counts: full O(n + m) scan of (faulty nodes, unprotected
+ * ordered pairs).  out2 = {faulty, bad}.  Self pairs contribute 0 by
+ * construction of pair_bad, so the inclusive CSR needs no special
+ * casing. */
+void goodness_counts(const int64_t *codes, const int64_t *indptr,
+                     const int64_t *indices, int64_t n,
+                     const uint8_t *is_faulty, const int8_t *pair_bad,
+                     int64_t size, int64_t *out2)
+{
+    int64_t faulty = 0, bad = 0;
+    for (int64_t v = 0; v < n; v++) {
+        int64_t cv = codes[v];
+        if (is_faulty[cv])
+            faulty++;
+        const int8_t *row = pair_bad + cv * size;
+        for (int64_t e = indptr[v]; e < indptr[v + 1]; e++)
+            bad += row[codes[indices[e]]];
+    }
+    out2[0] = faulty;
+    out2[1] = bad;
+}
+
+/* fold_pairs: unprotected-pair delta of one change set, folded with
+ * the engines' double-count convention — once per ordered pair whose
+ * row moved, plus the symmetric reverse of pairs whose column did not
+ * move (weight 2), exactly matching VectorKernel.pair_deltas consumers.
+ * `codes` must still hold the pre-write codes.  in_diff/new_code_of are
+ * caller-owned length-n scratch (in_diff all-zero on entry, restored on
+ * exit).  owner == NULL accumulates one scalar into bad_out[0]; with
+ * owner (replica id per node) deltas scatter into bad_out[owner[v]] —
+ * the replica-batched lane. */
+void fold_pairs(const int64_t *codes, const int64_t *indptr,
+                const int64_t *indices, const int64_t *diff,
+                const int64_t *old_diff, const int64_t *new_diff,
+                int64_t ndiff, uint8_t *in_diff, int64_t *new_code_of,
+                const int8_t *pair_bad, int64_t size, const int64_t *owner,
+                int64_t *bad_out)
+{
+    for (int64_t i = 0; i < ndiff; i++) {
+        in_diff[diff[i]] = 1;
+        new_code_of[diff[i]] = new_diff[i];
+    }
+    for (int64_t i = 0; i < ndiff; i++) {
+        int64_t v = diff[i];
+        const int8_t *row_old = pair_bad + old_diff[i] * size;
+        const int8_t *row_new = pair_bad + new_diff[i] * size;
+        int64_t delta = 0;
+        for (int64_t e = indptr[v]; e < indptr[v + 1]; e++) {
+            int64_t u = indices[e];
+            int64_t col_old = codes[u];
+            if (in_diff[u])
+                delta += row_new[new_code_of[u]] - row_old[col_old];
+            else
+                delta += 2 * (row_new[col_old] - row_old[col_old]);
+        }
+        bad_out[owner ? owner[v] : 0] += delta;
+    }
+    for (int64_t i = 0; i < ndiff; i++)
+        in_diff[diff[i]] = 0;
+}

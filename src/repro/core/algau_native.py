@@ -1,0 +1,637 @@
+"""Compiled AlgAU kernels over CSR neighborhoods (the ``native`` tier).
+
+:class:`~repro.core.algau_vec.VectorKernel` evaluates Table 1 with a
+handful of numpy passes, but every batched call first materializes the
+dense ``(rows, |Q|)`` presence matrix — O(n·|Q|) memory and several
+full-array sweeps per step.  The kernels here walk the CSR
+``indptr``/``indices`` arrays directly and test each sensed clock
+against the per-code window masks inline, so memory is O(n + m) and the
+per-step cost is one tight loop over the active lanes' neighborhoods.
+
+Three kernels cover every seam the array-tier engines use:
+
+* ``delta_rows`` — batched Table 1 transition for an explicit lane set
+  (the ``activated ∩ dirty`` incremental path) or all lanes at once;
+* ``goodness_counts`` — the full ``(faulty, unprotected pairs)`` scan
+  that seeds incremental goodness accounting;
+* ``fold_pairs`` — the per-step pair-delta fold, in a scalar flavor
+  (array engine) and an ``owner``-scattered flavor (the replica-batch
+  block-diagonal CSR, one counter per replica).
+
+Backends
+--------
+The kernels are written once as nopython-compatible Python.  At first
+use the module resolves the fastest available backend:
+
+1. ``numba`` — the Python kernels wrapped in ``numba.njit(cache=True)``
+   (``pip install .[native]``); ``prange`` parallelizes the lane loop
+   when ``REPRO_NATIVE_PARALLEL=1`` additionally requests
+   ``parallel=True``.
+2. ``cc`` — the identical C translation in ``_native_kernels.c``,
+   compiled lazily with the host C compiler into a content-hash-keyed
+   shared library under ``REPRO_NATIVE_CACHE_DIR`` (default
+   ``~/.cache/repro-native``) and bound through :mod:`ctypes`.
+3. ``python`` — the un-jitted kernels themselves; never auto-selected
+   (they are slower than the numpy tier) but forceable for tests.
+
+``REPRO_NATIVE_BACKEND`` forces a specific lane (``numba`` / ``cc`` /
+``python``) or disables the tier entirely (``none``).  When nothing is
+available, :func:`native_backend` returns ``None`` and the engine
+factory falls back to the numpy tier with a warning.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.algau_vec import VectorKernel
+    from repro.graphs.csr import CSRAdjacency
+
+try:  # pragma: no cover - only bound when numba is installed
+    from numba import prange
+except ImportError:  # pragma: no cover - the common container case
+    prange = range
+
+
+class NativeBackendError(RuntimeError):
+    """No native backend could be built (numba missing, no C compiler)."""
+
+
+# ----------------------------------------------------------------------
+# Table extraction.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class NativeTables:
+    """The :class:`VectorKernel` lookup tables flattened into the
+    C-contiguous primitive arrays the compiled kernels index.
+
+    Dtypes are part of the kernel ABI (the C lane binds them blindly):
+    code/clock tables are int64, boolean masks uint8, and ``pair_bad``
+    int8 so per-pair deltas live in {-1, 0, 1} without wrapping.
+    """
+
+    clock_of: np.ndarray
+    aa_succ: np.ndarray
+    fa_succ: np.ndarray
+    af_code: np.ndarray
+    af_sense: np.ndarray
+    is_faulty: np.ndarray
+    has_twin: np.ndarray
+    adjacent_mask: np.ndarray
+    aa_mask: np.ndarray
+    outwards_mask: np.ndarray
+    pair_bad: np.ndarray
+    num_clocks: int
+    size: int
+    cautious: int
+
+    @classmethod
+    def from_kernel(cls, kernel: "VectorKernel") -> "NativeTables":
+        def i64(a):
+            return np.ascontiguousarray(a, dtype=np.int64)
+
+        def u8(a):
+            return np.ascontiguousarray(a, dtype=np.uint8)
+
+        return cls(
+            clock_of=i64(kernel.encoding.clock_of_code),
+            aa_succ=i64(kernel.aa_succ),
+            fa_succ=i64(kernel.fa_succ),
+            af_code=i64(kernel.af_code),
+            af_sense=i64(kernel.af_sense_code),
+            is_faulty=u8(kernel.is_faulty_code),
+            has_twin=u8(kernel.has_faulty_twin),
+            adjacent_mask=u8(kernel.adjacent_mask),
+            aa_mask=u8(kernel.aa_mask),
+            outwards_mask=u8(kernel.outwards_mask),
+            pair_bad=np.ascontiguousarray(kernel.pair_unprotected, dtype=np.int8),
+            num_clocks=kernel.num_clocks,
+            size=kernel.size,
+            cautious=1 if kernel.cautious_af else 0,
+        )
+
+
+# ----------------------------------------------------------------------
+# The kernels (nopython-compatible Python; also the ``python`` lane).
+# ----------------------------------------------------------------------
+
+
+def _delta_rows_impl(
+    codes,
+    indptr,
+    indices,
+    rows,
+    out,
+    clock_of,
+    aa_succ,
+    fa_succ,
+    af_code,
+    af_sense,
+    is_faulty,
+    has_twin,
+    adjacent_mask,
+    aa_mask,
+    outwards_mask,
+    cautious,
+):
+    for i in prange(rows.shape[0]):
+        v = rows[i]
+        c = codes[v]
+        lo = indptr[v]
+        hi = indptr[v + 1]
+        if not is_faulty[c]:
+            sense = af_sense[c]
+            not_protected = False
+            any_faulty = False
+            outside_aa = False
+            senses_af = False
+            for e in range(lo, hi):
+                cu = codes[indices[e]]
+                cl = clock_of[cu]
+                if is_faulty[cu]:
+                    any_faulty = True
+                if not adjacent_mask[c, cl]:
+                    not_protected = True
+                if not aa_mask[c, cl]:
+                    outside_aa = True
+                if cu == sense:
+                    senses_af = True
+            if (not not_protected) and (not any_faulty) and (not outside_aa):
+                out[i] = aa_succ[c]  # AA
+            elif has_twin[c] and (
+                not_protected or (cautious != 0 and sense >= 0 and senses_af)
+            ):
+                out[i] = af_code[c]  # AF
+            else:
+                out[i] = c
+        else:
+            sees_outwards = False
+            for e in range(lo, hi):
+                if outwards_mask[c, clock_of[codes[indices[e]]]]:
+                    sees_outwards = True
+                    break
+            if sees_outwards:
+                out[i] = c
+            else:
+                out[i] = fa_succ[c]  # FA
+
+
+def _goodness_counts_impl(codes, indptr, indices, is_faulty, pair_bad):
+    faulty = 0
+    bad = 0
+    for v in range(codes.shape[0]):
+        cv = codes[v]
+        if is_faulty[cv]:
+            faulty += 1
+        for e in range(indptr[v], indptr[v + 1]):
+            bad += pair_bad[cv, codes[indices[e]]]
+    return faulty, bad
+
+
+def _fold_pairs_impl(
+    codes, indptr, indices, diff, old_diff, new_diff, in_diff, new_code_of, pair_bad
+):
+    for i in range(diff.shape[0]):
+        in_diff[diff[i]] = 1
+        new_code_of[diff[i]] = new_diff[i]
+    total = 0
+    for i in range(diff.shape[0]):
+        v = diff[i]
+        co = old_diff[i]
+        cn = new_diff[i]
+        delta = 0
+        for e in range(indptr[v], indptr[v + 1]):
+            u = indices[e]
+            cu = codes[u]
+            if in_diff[u]:
+                delta += pair_bad[cn, new_code_of[u]] - pair_bad[co, cu]
+            else:
+                delta += 2 * (pair_bad[cn, cu] - pair_bad[co, cu])
+        total += delta
+    for i in range(diff.shape[0]):
+        in_diff[diff[i]] = 0
+    return total
+
+
+def _fold_pairs_owner_impl(
+    codes,
+    indptr,
+    indices,
+    diff,
+    old_diff,
+    new_diff,
+    in_diff,
+    new_code_of,
+    pair_bad,
+    owner,
+    bad_out,
+):
+    for i in range(diff.shape[0]):
+        in_diff[diff[i]] = 1
+        new_code_of[diff[i]] = new_diff[i]
+    for i in range(diff.shape[0]):
+        v = diff[i]
+        co = old_diff[i]
+        cn = new_diff[i]
+        delta = 0
+        for e in range(indptr[v], indptr[v + 1]):
+            u = indices[e]
+            cu = codes[u]
+            if in_diff[u]:
+                delta += pair_bad[cn, new_code_of[u]] - pair_bad[co, cu]
+            else:
+                delta += 2 * (pair_bad[cn, cu] - pair_bad[co, cu])
+        bad_out[owner[v]] += delta
+    for i in range(diff.shape[0]):
+        in_diff[diff[i]] = 0
+
+
+# ----------------------------------------------------------------------
+# Backends.
+# ----------------------------------------------------------------------
+
+
+class _PythonBackend:
+    """The un-jitted kernels — correctness reference, test-only lane."""
+
+    name = "python"
+
+    delta_rows = staticmethod(_delta_rows_impl)
+    goodness_counts = staticmethod(_goodness_counts_impl)
+    fold_pairs = staticmethod(_fold_pairs_impl)
+    fold_pairs_owner = staticmethod(_fold_pairs_owner_impl)
+
+
+class _NumbaBackend:
+    """The Python kernels under ``numba.njit(cache=True)``."""
+
+    name = "numba"
+
+    def __init__(self):
+        import numba
+
+        kwargs = {"cache": True, "nogil": True}
+        if os.environ.get("REPRO_NATIVE_PARALLEL", "") == "1":
+            kwargs["parallel"] = True
+        jit = numba.njit(**kwargs)
+        self.delta_rows = jit(_delta_rows_impl)
+        self.goodness_counts = jit(_goodness_counts_impl)
+        self.fold_pairs = jit(_fold_pairs_impl)
+        self.fold_pairs_owner = jit(_fold_pairs_owner_impl)
+
+
+_C_SOURCE = Path(__file__).with_name("_native_kernels.c")
+
+
+def _native_cache_dir() -> Path:
+    override = os.environ.get("REPRO_NATIVE_CACHE_DIR", "").strip()
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    root = Path(xdg) if xdg else Path.home() / ".cache"
+    return root / "repro-native"
+
+
+def compile_native_library(source: Path = _C_SOURCE) -> Path:
+    """Compile ``_native_kernels.c`` into a cached shared library.
+
+    The output name is keyed by a hash of the source text, so kernel
+    edits transparently rebuild while repeat runs reuse the cached
+    ``.so``.  Tries ``$CC``, then ``cc``/``gcc``/``clang``.
+    """
+    text = source.read_bytes()
+    digest = hashlib.sha256(text).hexdigest()[:16]
+    cache = _native_cache_dir()
+    target = cache / f"native_kernels_{digest}.so"
+    if target.exists():
+        return target
+    cache.mkdir(parents=True, exist_ok=True)
+    compilers = [os.environ.get("CC", "").strip(), "cc", "gcc", "clang"]
+    errors = []
+    for compiler in [c for c in compilers if c]:
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
+        os.close(fd)
+        try:
+            subprocess.run(
+                [compiler, "-O3", "-fPIC", "-shared", "-o", tmp, str(source)],
+                check=True,
+                capture_output=True,
+            )
+            os.replace(tmp, target)
+            return target
+        except (OSError, subprocess.CalledProcessError) as exc:
+            errors.append(f"{compiler}: {exc}")
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+    raise NativeBackendError(
+        "could not compile _native_kernels.c: " + "; ".join(errors or ["no compiler"])
+    )
+
+
+def _ptr(array: Optional[np.ndarray]):
+    return None if array is None else array.ctypes.data
+
+
+class _CBackend:
+    """``_native_kernels.c`` compiled on demand and bound via ctypes."""
+
+    name = "cc"
+
+    def __init__(self):
+        lib = ctypes.CDLL(str(compile_native_library()))
+        p = ctypes.c_void_p
+        i64 = ctypes.c_int64
+        self._delta = lib.delta_rows
+        self._delta.restype = None
+        self._delta.argtypes = [p] * 4 + [i64, p] + [p] * 10 + [i64, ctypes.c_int32]
+        self._goodness = lib.goodness_counts
+        self._goodness.restype = None
+        self._goodness.argtypes = [p, p, p, i64, p, p, i64, p]
+        self._fold = lib.fold_pairs
+        self._fold.restype = None
+        self._fold.argtypes = [p] * 6 + [i64] + [p] * 3 + [i64] + [p, p]
+
+    def delta_rows(
+        self,
+        codes,
+        indptr,
+        indices,
+        rows,
+        out,
+        clock_of,
+        aa_succ,
+        fa_succ,
+        af_code,
+        af_sense,
+        is_faulty,
+        has_twin,
+        adjacent_mask,
+        aa_mask,
+        outwards_mask,
+        cautious,
+    ):
+        self._delta(
+            _ptr(codes),
+            _ptr(indptr),
+            _ptr(indices),
+            _ptr(rows),
+            rows.shape[0] if rows is not None else codes.shape[0],
+            _ptr(out),
+            _ptr(clock_of),
+            _ptr(aa_succ),
+            _ptr(fa_succ),
+            _ptr(af_code),
+            _ptr(af_sense),
+            _ptr(is_faulty),
+            _ptr(has_twin),
+            _ptr(adjacent_mask),
+            _ptr(aa_mask),
+            _ptr(outwards_mask),
+            aa_mask.shape[1],
+            cautious,
+        )
+
+    def goodness_counts(self, codes, indptr, indices, is_faulty, pair_bad):
+        out = np.zeros(2, dtype=np.int64)
+        self._goodness(
+            _ptr(codes),
+            _ptr(indptr),
+            _ptr(indices),
+            codes.shape[0],
+            _ptr(is_faulty),
+            _ptr(pair_bad),
+            pair_bad.shape[1],
+            _ptr(out),
+        )
+        return int(out[0]), int(out[1])
+
+    def fold_pairs(
+        self, codes, indptr, indices, diff, old_diff, new_diff,
+        in_diff, new_code_of, pair_bad,
+    ):
+        out = np.zeros(1, dtype=np.int64)
+        self._fold(
+            _ptr(codes),
+            _ptr(indptr),
+            _ptr(indices),
+            _ptr(diff),
+            _ptr(old_diff),
+            _ptr(new_diff),
+            diff.shape[0],
+            _ptr(in_diff),
+            _ptr(new_code_of),
+            _ptr(pair_bad),
+            pair_bad.shape[1],
+            None,
+            _ptr(out),
+        )
+        return int(out[0])
+
+    def fold_pairs_owner(
+        self, codes, indptr, indices, diff, old_diff, new_diff,
+        in_diff, new_code_of, pair_bad, owner, bad_out,
+    ):
+        self._fold(
+            _ptr(codes),
+            _ptr(indptr),
+            _ptr(indices),
+            _ptr(diff),
+            _ptr(old_diff),
+            _ptr(new_diff),
+            diff.shape[0],
+            _ptr(in_diff),
+            _ptr(new_code_of),
+            _ptr(pair_bad),
+            pair_bad.shape[1],
+            _ptr(owner),
+            _ptr(bad_out),
+        )
+
+
+# ----------------------------------------------------------------------
+# Backend resolution.
+# ----------------------------------------------------------------------
+
+#: Sentinel marking the memo as unresolved (``None`` means "resolved:
+#: nothing available", which tests monkeypatch to simulate absence).
+_UNRESOLVED = "?"
+_RESOLVED = _UNRESOLVED
+
+_BUILDERS = {
+    "numba": _NumbaBackend,
+    "cc": _CBackend,
+    "python": _PythonBackend,
+}
+
+
+def _probe(backend) -> None:
+    """Exercise ``delta_rows`` on a synthetic 2-node input.
+
+    Catches broken toolchains (a library that compiles but cannot be
+    loaded, a numba that cannot lower the kernels) at resolution time
+    instead of mid-run.  Correctness is the test suite's job; the probe
+    only proves the lane is callable.
+    """
+    codes = np.zeros(2, dtype=np.int64)
+    indptr = np.array([0, 2, 4], dtype=np.int64)
+    indices = np.array([0, 1, 1, 0], dtype=np.int64)
+    rows = np.arange(2, dtype=np.int64)
+    out = np.empty(2, dtype=np.int64)
+    two = np.array([0, 1], dtype=np.int64)
+    off = np.zeros(2, dtype=np.uint8)
+    on = np.ones((2, 1), dtype=np.uint8)
+    backend.delta_rows(
+        codes, indptr, indices, rows, out,
+        np.zeros(2, dtype=np.int64), two, two, two,
+        np.full(2, -1, dtype=np.int64), off, off,
+        on, on, np.zeros((2, 1), dtype=np.uint8), 0,
+    )
+    if out[0] != 0 or out[1] != 0:
+        raise NativeBackendError(f"{backend.name} probe returned {out!r}")
+
+
+def _resolve_backend():
+    choice = os.environ.get("REPRO_NATIVE_BACKEND", "").strip().lower()
+    if choice == "none":
+        return None
+    order = [choice] if choice in _BUILDERS else ["numba", "cc"]
+    for name in order:
+        try:
+            backend = _BUILDERS[name]()
+            _probe(backend)
+            return backend
+        except Exception:
+            continue
+    return None
+
+
+def native_backend():
+    """The resolved backend object, or ``None`` when unavailable.
+
+    Resolution runs once per process and is memoized; set
+    ``REPRO_NATIVE_BACKEND`` before first use to force a lane.
+    """
+    global _RESOLVED
+    if _RESOLVED is _UNRESOLVED:
+        _RESOLVED = _resolve_backend()
+    return _RESOLVED
+
+
+def native_backend_name() -> Optional[str]:
+    backend = native_backend()
+    return None if backend is None else backend.name
+
+
+# ----------------------------------------------------------------------
+# The dispatch wrapper the engines hold.
+# ----------------------------------------------------------------------
+
+
+class NativeKernel:
+    """Backend-dispatching facade with the call shapes the array-tier
+    engines need: explicit row sets, CSR in, codes out."""
+
+    def __init__(self, kernel: "VectorKernel", backend=None):
+        self.vector = kernel
+        self.tables = NativeTables.from_kernel(kernel)
+        backend = backend if backend is not None else native_backend()
+        if backend is None:
+            raise NativeBackendError(
+                "no native backend available (numba not installed, no C compiler)"
+            )
+        self.backend = backend
+        self._all_rows: Dict[int, np.ndarray] = {}
+
+    def _rows_for(self, n: int) -> np.ndarray:
+        rows = self._all_rows.get(n)
+        if rows is None:
+            rows = np.arange(n, dtype=np.int64)
+            self._all_rows[n] = rows
+        return rows
+
+    def delta_rows(
+        self,
+        codes: np.ndarray,
+        csr: "CSRAdjacency",
+        rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Next codes for the lanes in ``rows`` (all lanes when
+        ``None``) — the compiled counterpart of presence gather +
+        :meth:`VectorKernel.delta_batch`."""
+        if rows is None:
+            rows = self._rows_for(len(codes))
+        elif rows.dtype != np.int64:
+            rows = rows.astype(np.int64)
+        out = np.empty(len(rows), dtype=np.int64)
+        t = self.tables
+        self.backend.delta_rows(
+            codes, csr.indptr, csr.indices, rows, out,
+            t.clock_of, t.aa_succ, t.fa_succ, t.af_code, t.af_sense,
+            t.is_faulty, t.has_twin, t.adjacent_mask, t.aa_mask,
+            t.outwards_mask, t.cautious,
+        )
+        return out
+
+    def goodness_counts(self, codes: np.ndarray, csr: "CSRAdjacency") -> Tuple[int, int]:
+        t = self.tables
+        faulty, bad = self.backend.goodness_counts(
+            codes, csr.indptr, csr.indices, t.is_faulty, t.pair_bad
+        )
+        return int(faulty), int(bad)
+
+    def fold_pair_delta(
+        self,
+        codes: np.ndarray,
+        csr: "CSRAdjacency",
+        diff: np.ndarray,
+        old_diff: np.ndarray,
+        new_diff: np.ndarray,
+        in_diff: np.ndarray,
+        new_code_of: np.ndarray,
+    ) -> int:
+        """The folded unprotected-pair delta of one change set, with the
+        engines' weight-2 convention for unmoved columns.  ``codes``
+        must still hold pre-write codes; ``in_diff``/``new_code_of`` are
+        the engine's scratch arrays (``in_diff`` all-False on entry,
+        restored on exit)."""
+        t = self.tables
+        return int(
+            self.backend.fold_pairs(
+                codes, csr.indptr, csr.indices, diff, old_diff, new_diff,
+                in_diff.view(np.uint8), new_code_of, t.pair_bad,
+            )
+        )
+
+    def fold_pair_delta_by_owner(
+        self,
+        codes: np.ndarray,
+        csr: "CSRAdjacency",
+        diff: np.ndarray,
+        old_diff: np.ndarray,
+        new_diff: np.ndarray,
+        in_diff: np.ndarray,
+        new_code_of: np.ndarray,
+        owner: np.ndarray,
+        bad_out: np.ndarray,
+    ) -> None:
+        """Replica-batch flavor: scatter each lane's delta into
+        ``bad_out[owner[lane]]`` (the per-replica pair counters)."""
+        t = self.tables
+        self.backend.fold_pairs_owner(
+            codes, csr.indptr, csr.indices, diff, old_diff, new_diff,
+            in_diff.view(np.uint8), new_code_of, t.pair_bad, owner, bad_out,
+        )

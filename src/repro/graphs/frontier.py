@@ -1,0 +1,191 @@
+"""Frontier-scale topologies built directly in CSR form.
+
+The :class:`~repro.graphs.topology.Topology` constructor routes every
+graph through networkx — per-node Python objects, adjacency dicts, a
+connectivity check — which tops out around ``n ~ 10^5`` before
+construction dwarfs any simulation we could run on the result.  The
+compiled kernel tier targets million-node graphs, so this module builds
+the :class:`~repro.graphs.csr.CSRAdjacency` arrays *directly* with
+vectorized numpy and wraps them in :class:`FrontierTopology`, a
+lightweight stand-in that satisfies the slice of the topology interface
+the execution engines actually touch (``nodes``, ``n``, ``m``,
+``name``, ``inclusive_csr()``, the neighborhood accessors).  The
+metric helpers of the full class (diameter, distances, balls) are
+deliberately absent — they are Ω(n·m) and have no place at this scale.
+
+Three families, chosen to stress different kernel regimes:
+
+* :func:`frontier_ring` — constant degree 2, the sparsest connected
+  graph; per-step work is pure CSR-walk overhead;
+* :func:`frontier_gnm` — a uniform ``G(n, m)`` sample threaded onto a
+  Hamiltonian ring backbone (so the sample is connected by
+  construction); irregular degrees exercise the indirect indexing;
+* :func:`frontier_colony` — the signaling-hub colony shape at scale: a
+  ring of members plus a few hubs adjacent to everything; the hub rows
+  are ``Θ(n)`` long, the member rows ``O(1)``, the most skewed
+  neighborhood distribution the kernels will meet.
+
+Construction cost is ``O(n + m)`` numpy passes (the lexsort dominates)
+— a million-node, three-million-edge sample builds in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graphs.csr import CSRAdjacency
+from repro.model.errors import TopologyError
+
+
+class FrontierTopology:
+    """A topology backed only by its inclusive-CSR arrays.
+
+    Duck-types the engine-facing slice of
+    :class:`~repro.graphs.topology.Topology`: identity-stable ``nodes``
+    (a ``range``, so schedulers' identity-keyed caches work), ``n``,
+    ``m``, ``name``, ``inclusive_csr()`` and the per-node neighborhood
+    accessors.  Anything metric (diameter, distance) is intentionally
+    unsupported.
+    """
+
+    __slots__ = ("_name", "_csr", "_m", "_nodes")
+
+    def __init__(self, name: str, csr: CSRAdjacency):
+        self._name = name
+        self._csr = csr
+        # Every CSR row is the inclusive neighborhood, so the entry
+        # count is n + 2m.
+        self._m = (len(csr.indices) - csr.n) // 2
+        self._nodes = range(csr.n)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def nodes(self) -> range:
+        """Nodes ``0 .. n-1`` (a ``range`` — identity-stable, O(1))."""
+        return self._nodes
+
+    @property
+    def n(self) -> int:
+        return self._csr.n
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+    def inclusive_csr(self) -> CSRAdjacency:
+        return self._csr
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """The open neighborhood ``N(v)`` (materialized on demand)."""
+        row = self._csr.neighborhood(v)
+        return tuple(int(u) for u in row if u != v)
+
+    def inclusive_neighbors(self, v: int) -> Tuple[int, ...]:
+        return tuple(int(u) for u in self._csr.neighborhood(v))
+
+    def degree(self, v: int) -> int:
+        return int(self._csr.indptr[v + 1] - self._csr.indptr[v]) - 1
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self):
+        return iter(self._nodes)
+
+    def __repr__(self) -> str:
+        return f"<FrontierTopology {self._name!r} n={self.n} m={self.m}>"
+
+
+def _csr_from_edges(n: int, src: np.ndarray, dst: np.ndarray) -> CSRAdjacency:
+    """Inclusive CSR from an undirected simple edge list.
+
+    Symmetrizes the edges, adds the diagonal, and orders every row the
+    way :mod:`repro.graphs.csr` specifies: the node itself first, then
+    the open neighborhood ascending (a lexsort whose secondary key maps
+    the diagonal entry below every real neighbor).
+    """
+    diag = np.arange(n, dtype=np.int64)
+    rows = np.concatenate([src, dst, diag])
+    cols = np.concatenate([dst, src, diag])
+    order = np.lexsort((np.where(cols == rows, -1, cols), rows))
+    rows, cols = rows[order], cols[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+    return CSRAdjacency(indptr, np.ascontiguousarray(cols))
+
+
+def _ring_edges(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    src = np.arange(n, dtype=np.int64)
+    return src, (src + 1) % n
+
+
+def _require_n(n: int, floor: int) -> None:
+    if n < floor:
+        raise TopologyError(f"frontier families need n >= {floor}, got {n}")
+
+
+def frontier_ring(n: int) -> FrontierTopology:
+    """The n-ring, built without touching networkx."""
+    _require_n(n, 3)
+    src, dst = _ring_edges(n)
+    return FrontierTopology(f"frontier-ring({n})", _csr_from_edges(n, src, dst))
+
+
+def frontier_gnm(n: int, extra_edges: int, seed: int = 0) -> FrontierTopology:
+    """A connected ``G(n, m)``-style sample: ring backbone plus
+    ``extra_edges`` uniform random chords (deduplicated, so the
+    realized edge count can fall slightly short of ``n + extra_edges``).
+    """
+    _require_n(n, 3)
+    rng = np.random.default_rng(seed)
+    # Oversample, then canonicalize u < v and dedup against the
+    # backbone; one top-up round is plenty at the densities we use.
+    want = int(extra_edges)
+    u = rng.integers(0, n, size=2 * want + 16, dtype=np.int64)
+    v = rng.integers(0, n, size=2 * want + 16, dtype=np.int64)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    lo, hi = np.minimum(u, v), np.maximum(u, v)
+    ring_src, ring_dst = _ring_edges(n)
+    ring_keys = np.minimum(ring_src, ring_dst) * n + np.maximum(ring_src, ring_dst)
+    keys = np.setdiff1d(lo * n + hi, ring_keys)  # unique + not in backbone
+    keys = keys[rng.permutation(len(keys))][:want]
+    src = np.concatenate([ring_src, keys // n])
+    dst = np.concatenate([ring_dst, keys % n])
+    return FrontierTopology(
+        f"frontier-gnm({n},+{want})", _csr_from_edges(n, src, dst)
+    )
+
+
+def frontier_colony(n: int, hubs: int = 2) -> FrontierTopology:
+    """The signaling-hub colony at frontier scale: nodes ``0..hubs-1``
+    are adjacent to every other node, the remaining members sit on a
+    ring — diameter 2 with maximally skewed degrees."""
+    _require_n(n, max(4, hubs + 3))
+    if hubs < 1:
+        raise TopologyError(f"colony needs at least one hub, got {hubs}")
+    ring_src, ring_dst = _ring_edges(n - hubs)
+    member = np.arange(hubs, n, dtype=np.int64)
+    hub_src = np.repeat(np.arange(hubs, dtype=np.int64), len(member))
+    hub_dst = np.tile(member, hubs)
+    # Hubs are mutually adjacent too.
+    hub_pairs = np.array(
+        [(a, b) for a in range(hubs) for b in range(a + 1, hubs)], dtype=np.int64
+    ).reshape(-1, 2)
+    src = np.concatenate([ring_src + hubs, hub_src, hub_pairs[:, 0]])
+    dst = np.concatenate([ring_dst + hubs, hub_dst, hub_pairs[:, 1]])
+    return FrontierTopology(
+        f"frontier-colony({n},hubs={hubs})", _csr_from_edges(n, src, dst)
+    )
+
+
+FRONTIER_FAMILIES = {
+    "ring": lambda n, seed=0: frontier_ring(n),
+    "gnm": lambda n, seed=0: frontier_gnm(n, extra_edges=2 * n, seed=seed),
+    "colony": lambda n, seed=0: frontier_colony(n, hubs=2),
+}

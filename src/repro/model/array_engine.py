@@ -243,6 +243,42 @@ class ArrayExecution(ExecutionBase["Turn"]):
         self._mark_dirty_rows(diff)
         return changed
 
+    def advance(self, steps: int) -> None:
+        """Record-free bulk stepping (see :meth:`ExecutionBase.advance`).
+
+        The fast path drops everything a discarded ``StepRecord`` would
+        have carried — the per-change Turn tuples, the activation
+        frozenset copy, the enabled stamp — while running the *same*
+        ``_apply`` pipeline on the same scheduler draws, so state
+        trajectories stay bit-identical to ``steps`` :meth:`step` calls.
+        Anything that needs the per-step protocol (monitors,
+        interventions, masks, enabled-aware daemons, enabled tracking)
+        falls back to the generic loop.
+        """
+        if (
+            self.monitors
+            or self.intervention is not None
+            or self._track_enabled
+            or self._masked
+            or self.scheduler.uses_enabled_view
+        ):
+            super().advance(steps)
+            return
+        self._notify_start()
+        scheduler = self.scheduler
+        nodes = self.topology.nodes
+        rounds = self._rounds
+        self._record_changes = False
+        try:
+            for _ in range(steps):
+                activated = scheduler.activations(self._t, nodes, self.rng)
+                if activated:
+                    self._apply(activated)
+                rounds.observe(activated)
+                self._t += 1
+        finally:
+            self._record_changes = True
+
     def _commit(
         self, diff: np.ndarray, new_diff: np.ndarray
     ) -> Tuple[Tuple[int, Turn, Turn], ...]:
@@ -252,18 +288,44 @@ class ArrayExecution(ExecutionBase["Turn"]):
         their own dirty-set bookkeeping."""
         codes = self._codes
         old_diff = codes[diff]
-        table = self._encoding.turn_table
-        changed = tuple(
-            zip(
-                diff.tolist(),
-                [table[c] for c in old_diff.tolist()],
-                [table[c] for c in new_diff.tolist()],
+        if self._record_changes:
+            table = self._encoding.turn_table
+            changed = tuple(
+                zip(
+                    diff.tolist(),
+                    [table[c] for c in old_diff.tolist()],
+                    [table[c] for c in new_diff.tolist()],
+                )
             )
-        )
+        else:
+            changed = ()
         self._update_goodness(diff, old_diff, new_diff)
         codes[diff] = new_diff
         self._config_cache = None
         return changed
+
+    def _evaluate(
+        self, codes: np.ndarray, rows: Optional[np.ndarray], csr
+    ) -> np.ndarray:
+        """δ for the ``rows`` lanes of ``codes`` (all lanes when
+        ``None``), returned in row order.
+
+        This is the single kernel seam of the array tier: every batched
+        evaluation — dense steps, stale-lane refreshes, the naive
+        reference, the replica-batch fused pass — funnels through it.
+        The base implementation is the presence-matrix gather + batched
+        numpy kernel; the native tier overrides it with a compiled
+        CSR-walking kernel (O(n + m) memory, no presence matrix).
+        """
+        kernel = self._kernel
+        if rows is None:
+            presence = kernel.signal_presence(codes, csr)
+            return kernel.delta_batch(codes, presence)
+        if len(rows) <= self.SPARSE_ACTIVATION_FRACTION * len(codes):
+            presence = kernel.signal_presence(codes, csr, rows=rows)
+        else:
+            presence = kernel.signal_presence(codes, csr)[rows]
+        return kernel.delta_batch(codes[rows], presence)
 
     def _apply_dense(
         self, rows: Optional[np.ndarray]
@@ -272,19 +334,12 @@ class ArrayExecution(ExecutionBase["Turn"]):
         like the naive reference (writes in place) and wholesale-dirty
         the pipeline afterwards."""
         codes = self._codes
-        n = len(codes)
-        kernel = self._kernel
         if rows is None:
-            presence = kernel.signal_presence(codes, self._csr)
-            new_active = kernel.delta_batch(codes, presence)
+            new_active = self._evaluate(codes, None, self._csr)
             diff = np.nonzero(new_active != codes)[0]
             new_diff = new_active[diff]
         else:
-            if len(rows) <= self.SPARSE_ACTIVATION_FRACTION * n:
-                presence = kernel.signal_presence(codes, self._csr, rows=rows)
-            else:
-                presence = kernel.signal_presence(codes, self._csr)[rows]
-            new_active = kernel.delta_batch(codes[rows], presence)
+            new_active = self._evaluate(codes, rows, self._csr)
             moved = new_active != codes[rows]
             diff = rows[moved]
             new_diff = new_active[moved]
@@ -335,10 +390,13 @@ class ArrayExecution(ExecutionBase["Turn"]):
             return ()
         old_codes = [int(codes[v]) for v in moved]
         new_codes = [int(pending[v]) for v in moved]
-        table = self._encoding.turn_table
-        changed = tuple(
-            (v, table[o], table[c]) for v, o, c in zip(moved, old_codes, new_codes)
-        )
+        if self._record_changes:
+            table = self._encoding.turn_table
+            changed = tuple(
+                (v, table[o], table[c]) for v, o, c in zip(moved, old_codes, new_codes)
+            )
+        else:
+            changed = ()
         self._update_goodness_scalar(moved, old_codes, new_codes)
         enabled_mask = self._enabled_mask
         for v, code in zip(moved, new_codes):
@@ -360,12 +418,7 @@ class ArrayExecution(ExecutionBase["Turn"]):
     def _refresh_rows(self, stale: np.ndarray) -> None:
         """Re-evaluate δ for the (sorted) ``stale`` lanes."""
         codes = self._codes
-        kernel = self._kernel
-        if stale.size <= self.SPARSE_ACTIVATION_FRACTION * len(codes):
-            presence = kernel.signal_presence(codes, self._csr, rows=stale)
-        else:
-            presence = kernel.signal_presence(codes, self._csr)[stale]
-        new = kernel.delta_batch(codes[stale], presence)
+        new = self._evaluate(codes, stale, self._csr)
         self._pending[stale] = new
         self._dirty[stale] = False
         self._dirty_count -= stale.size
@@ -399,8 +452,7 @@ class ArrayExecution(ExecutionBase["Turn"]):
     def _refresh_pending(self) -> None:
         if not self.incremental:
             # Naive reference: recompute the whole pending vector.
-            presence = self._kernel.signal_presence(self._codes, self._csr)
-            self._pending = self._kernel.delta_batch(self._codes, presence)
+            self._pending = self._evaluate(self._codes, None, self._csr)
             self._enabled_mask = self._pending != self._codes
             self._enabled_count = int(self._enabled_mask.sum())
             self._dirty[:] = False
@@ -435,19 +487,12 @@ class ArrayExecution(ExecutionBase["Turn"]):
     ) -> Tuple[Tuple[int, Turn, Turn], ...]:
         codes = self._codes
         n = len(codes)
-        kernel = self._kernel
         if len(activated) == n:
-            presence = kernel.signal_presence(codes, self._csr)
-            new_active = kernel.delta_batch(codes, presence)
             rows = None
         else:
             rows = np.fromiter(activated, dtype=np.int64, count=len(activated))
             rows.sort()
-            if len(rows) <= self.SPARSE_ACTIVATION_FRACTION * n:
-                presence = kernel.signal_presence(codes, self._csr, rows=rows)
-            else:
-                presence = kernel.signal_presence(codes, self._csr)[rows]
-            new_active = kernel.delta_batch(codes[rows], presence)
+        new_active = self._evaluate(codes, rows, self._csr)
 
         if rows is None:
             diff = np.nonzero(new_active != codes)[0]
@@ -481,12 +526,22 @@ class ArrayExecution(ExecutionBase["Turn"]):
             # O(n + m) pass on the next query) beats per-pair deltas.
             self._goodness = None
             return
-        kernel = self._kernel
-        k2 = kernel.num_clocks
+        k2 = self._kernel.num_clocks
         n_faulty, bad = self._goodness
         n_faulty += int((new_diff >= k2).sum()) - int((old_diff >= k2).sum())
+        bad += self._pair_fold(diff, old_diff, new_diff)
+        self._goodness = (n_faulty, bad)
 
-        _, _, delta, col_changed = kernel.pair_deltas(
+    def _pair_fold(
+        self, diff: np.ndarray, old_diff: np.ndarray, new_diff: np.ndarray
+    ) -> int:
+        """The folded unprotected-pair delta of one change set: ordered
+        pairs whose row moved, plus the symmetric reverses of pairs
+        whose column did not move (protection is symmetric; the self
+        pair row==col is trivially protected and contributes 0).  Reads
+        pre-write codes; the native tier overrides it with a compiled
+        fold."""
+        _, _, delta, col_changed = self._kernel.pair_deltas(
             self._codes,
             self._csr,
             diff,
@@ -495,11 +550,7 @@ class ArrayExecution(ExecutionBase["Turn"]):
             self._in_diff,
             self._new_code_of,
         )
-        # Ordered pairs whose row moved, plus the symmetric reverses of
-        # pairs whose column did not move (protection is symmetric; the
-        # self pair row==col is trivially protected and contributes 0).
-        bad += int(delta.sum()) + int(delta[~col_changed].sum())
-        self._goodness = (n_faulty, bad)
+        return int(delta.sum()) + int(delta[~col_changed].sum())
 
     def _update_goodness_scalar(self, moved, old_codes, new_codes) -> None:
         if self._goodness is None:
@@ -540,5 +591,11 @@ class ArrayExecution(ExecutionBase["Turn"]):
         if not self.incremental:
             return self._kernel.is_good(self._codes, self._csr)
         if self._goodness is None:
-            self._goodness = self._kernel.goodness_counts(self._codes, self._csr)
+            self._goodness = self._goodness_counts(self._codes, self._csr)
         return self._goodness == (0, 0)
+
+    def _goodness_counts(self, codes: np.ndarray, csr) -> Tuple[int, int]:
+        """The full ``(faulty nodes, unprotected ordered pairs)`` scan
+        that seeds the incremental accounting — the native tier
+        overrides it with a compiled O(n + m) walk."""
+        return self._kernel.goodness_counts(codes, csr)

@@ -152,6 +152,11 @@ class ExecutionBase(ABC, Generic[Q]):
         self._t = 0
         self._rounds = RoundTracker(topology.nodes)
         self._started = False
+        #: When False, ``_apply`` implementations may skip building the
+        #: per-change ``(node, old, new)`` tuples — the bulk
+        #: :meth:`advance` fast path, where no ``StepRecord`` consumes
+        #: them.  State updates themselves are unaffected.
+        self._record_changes = True
         self._masked: FrozenSet[int] = frozenset()
         self._state_epoch = 0
         self._load_configuration(initial_configuration)
@@ -349,6 +354,20 @@ class ExecutionBase(ABC, Generic[Q]):
             monitor.on_step(self, record)
         return record
 
+    def advance(self, steps: int) -> None:
+        """Advance ``steps`` steps without returning records.
+
+        The trajectory is bit-identical to ``steps`` :meth:`step` calls
+        (same scheduler draws, same round bookkeeping); engines may
+        override this with a record-free bulk loop that skips the
+        per-step ``StepRecord``/change-tuple materialization — the
+        frontier-benchmark drive mode, where at n = 10^6 the Python
+        bookkeeping would otherwise dominate the compiled kernels.
+        Monitors still fire through the generic path when present.
+        """
+        for _ in range(steps):
+            self.step()
+
     def run(
         self,
         max_steps: Optional[int] = None,
@@ -431,6 +450,12 @@ def _replica_engine() -> type:
     return ReplicaBatchExecution
 
 
+def _native_engine() -> type:
+    from repro.model.native_engine import native_execution_class
+
+    return native_execution_class()
+
+
 #: The single source of truth for engine names: declarative name →
 #: lazy class loader (lazy to keep the ``repro.model`` import graph
 #: acyclic).  Everything that enumerates engines — the CLI ``choices=``
@@ -442,6 +467,7 @@ ENGINE_FACTORIES: Dict[str, Callable[[], type]] = {
     "object": _object_engine,
     "array": _array_engine,
     "replica-batch": _replica_engine,
+    "native": _native_engine,
 }
 
 #: One-line summaries, keyed like :data:`ENGINE_FACTORIES`; the
@@ -452,6 +478,7 @@ ENGINE_DESCRIPTIONS: Dict[str, str] = {
     "object": "the readable reference model",
     "array": "the vectorized backend",
     "replica-batch": "the ensemble-vectorized backend",
+    "native": "the compiled kernel tier (falls back to the array backend)",
 }
 
 ENGINE_NAMES: Tuple[str, ...] = tuple(ENGINE_FACTORIES)
@@ -503,7 +530,12 @@ def create_execution(
     :class:`~repro.model.replica_engine.ReplicaBatchExecution` (the
     R = 1 degenerate case of the ensemble backend — behaviorally an
     array engine; multi-replica batches are built with
-    :meth:`~repro.model.replica_engine.ReplicaBatchExecution.from_replicas`).
+    :meth:`~repro.model.replica_engine.ReplicaBatchExecution.from_replicas`);
+    ``engine="native"`` builds the compiled kernel tier
+    (:class:`~repro.model.native_engine.NativeExecution` — bit-identical
+    to the array engine, with the hot kernels walking the CSR arrays in
+    compiled code; falls back to ``ArrayExecution`` with a warning when
+    no native backend is available).
     ``incremental=False`` selects the naive full-recompute reference
     path (bit-identical trajectories, O(n) steps);
     ``track_enabled=True`` stamps the enabled count into every

@@ -1,0 +1,129 @@
+"""The compiled-kernel execution tier (``engine="native"``).
+
+:class:`NativeExecution` is :class:`~repro.model.array_engine.ArrayExecution`
+with its three kernel seams rerouted to the compiled CSR-walking kernels
+of :mod:`repro.core.algau_native`:
+
+* :meth:`~repro.model.array_engine.ArrayExecution._evaluate` — batched δ
+  without the ``(rows, |Q|)`` presence matrix (O(n + m) memory);
+* :meth:`~repro.model.array_engine.ArrayExecution._pair_fold` /
+  :meth:`~repro.model.replica_engine.ReplicaBatchExecution._fold_pair_counts`
+  — the incremental goodness folds;
+* :meth:`~repro.model.array_engine.ArrayExecution._goodness_counts` —
+  the full-scan seed.
+
+Everything else — the dirty-set pipeline, schedulers, monitors, masks,
+pokes, the enabled view — is inherited unchanged, so trajectories are
+bit-identical to the array engine (the differential suite checks this
+across graph × scheduler × fault combinations).
+:class:`NativeReplicaBatchExecution` applies the same reroute to the
+block-diagonal CSR of the replica-batched ensemble engine, so Monte
+Carlo campaigns ride the compiled tier through the same seams.
+
+Backend availability is resolved once per process by
+:func:`repro.core.algau_native.native_backend` (numba if installed,
+else a lazily ``cc``-compiled C library); when neither exists,
+:func:`native_execution_class` warns and falls back to the numpy tier,
+so ``engine="native"`` degrades gracefully instead of failing.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.core.algau_native import NativeKernel, native_backend
+from repro.model.array_engine import ArrayExecution
+from repro.model.replica_engine import ReplicaBatchExecution
+
+
+class _NativeKernelMixin:
+    """Reroutes the array-tier kernel seams to a :class:`NativeKernel`.
+
+    Must precede the engine base class in the MRO; the engine's
+    ``__init__`` builds the numpy :class:`VectorKernel` first (its
+    lookup tables are the source the native tables are extracted from),
+    then this mixin wraps it.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._native = NativeKernel(self._kernel)
+
+    def _evaluate(self, codes, rows, csr) -> np.ndarray:
+        return self._native.delta_rows(codes, csr, rows)
+
+    def _goodness_counts(self, codes, csr):
+        return self._native.goodness_counts(codes, csr)
+
+    def _pair_fold(self, diff, old_diff, new_diff) -> int:
+        return self._native.fold_pair_delta(
+            self._codes,
+            self._csr,
+            diff,
+            old_diff,
+            new_diff,
+            self._in_diff,
+            self._new_code_of,
+        )
+
+
+class NativeExecution(_NativeKernelMixin, ArrayExecution):
+    """The array engine on compiled CSR-walking kernels."""
+
+
+class NativeReplicaBatchExecution(_NativeKernelMixin, ReplicaBatchExecution):
+    """The replica-batched ensemble engine on compiled kernels."""
+
+    def _fold_pair_counts(self, diff, old_diff, new_diff, owner) -> None:
+        # The compiled fold scatters by the per-node owner table
+        # directly, so the per-lane ``owner`` gather is not needed.
+        self._native.fold_pair_delta_by_owner(
+            self._flat,
+            self._block_csr,
+            diff,
+            old_diff,
+            new_diff,
+            self._in_diff_flat,
+            self._new_code_flat,
+            self._rep_of_node,
+            self._bad_counts,
+        )
+
+
+def native_execution_class() -> type:
+    """The class behind ``engine="native"``: :class:`NativeExecution`
+    when a compiled backend is available, else
+    :class:`~repro.model.array_engine.ArrayExecution` with a warning."""
+    if native_backend() is None:
+        warnings.warn(
+            "the native engine tier is unavailable (numba is not "
+            "installed and no C compiler was found); falling back to "
+            "the numpy array engine — install the 'native' extra "
+            "(pip install .[native]) for compiled kernels",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return ArrayExecution
+    return NativeExecution
+
+
+def replica_batch_execution_class(engine: str) -> type:
+    """The replica-batch class matching ``engine`` — the ensemble-lane
+    counterpart of :func:`~repro.model.engine.engine_class`, used by the
+    campaign runner to keep batched scenarios on the engine their spec
+    names.  ``native`` degrades to the numpy ensemble engine exactly
+    like :func:`native_execution_class` does."""
+    if engine == "native":
+        if native_backend() is None:
+            warnings.warn(
+                "the native engine tier is unavailable (numba is not "
+                "installed and no C compiler was found); replica batches "
+                "fall back to the numpy ensemble engine",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return ReplicaBatchExecution
+        return NativeReplicaBatchExecution
+    return ReplicaBatchExecution

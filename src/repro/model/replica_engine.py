@@ -258,11 +258,10 @@ class ReplicaBatchExecution(ArrayExecution):
         self._queue = np.zeros(offset, dtype=np.int64)
         # Per-replica goodness count vectors, seeded by one full scan
         # each and folded incrementally from every fused change set.
-        kernel = self._kernel
         self._faulty_counts = np.zeros(len(reps), dtype=np.int64)
         self._bad_counts = np.zeros(len(reps), dtype=np.int64)
         for rep, spec in zip(reps, specs):
-            faulty, bad = kernel.goodness_counts(
+            faulty, bad = self._goodness_counts(
                 self._flat[rep.offset : rep.offset + rep.n],
                 spec.topology.inclusive_csr(),
             )
@@ -326,6 +325,15 @@ class ReplicaBatchExecution(ArrayExecution):
                 "(create_execution(engine='replica-batch'))"
             )
         return super().step()
+
+    def advance(self, steps: int) -> None:
+        if self._ensemble is not None:
+            raise ModelError(
+                "multi-replica batches are driven with run_ensemble(); "
+                "the bulk-step API only exists on the R = 1 engine "
+                "(create_execution(engine='replica-batch'))"
+            )
+        super().advance(steps)
 
     # ------------------------------------------------------------------
     # The fused ensemble loop.
@@ -517,13 +525,8 @@ class ReplicaBatchExecution(ArrayExecution):
         only candidates for retirement), or ``None`` when nothing
         moved."""
         codes = self._flat
-        kernel = self._kernel
-        if rows.size > self.SPARSE_ACTIVATION_FRACTION * len(codes):
-            presence = kernel.signal_presence(codes, self._block_csr)[rows]
-        else:
-            presence = kernel.signal_presence(codes, self._block_csr, rows=rows)
         active = codes[rows]
-        new = kernel.delta_batch(active, presence)
+        new = self._evaluate(codes, rows, self._block_csr)
         moved = new != active
         if not moved.any():
             return None
@@ -553,6 +556,20 @@ class ReplicaBatchExecution(ArrayExecution):
             self._faulty_counts += np.bincount(
                 owner, weights=faulty_delta, minlength=count
             ).astype(np.int64)
+        self._fold_pair_counts(diff, old_diff, new_diff, owner)
+        return np.unique(owner)
+
+    def _fold_pair_counts(
+        self,
+        diff: np.ndarray,
+        old_diff: np.ndarray,
+        new_diff: np.ndarray,
+        owner: np.ndarray,
+    ) -> None:
+        """Fold the unprotected-pair deltas of one fused change set into
+        ``self._bad_counts`` (``owner[i]`` is the replica of lane
+        ``diff[i]``).  Reads pre-write codes; the native tier overrides
+        it with a compiled owner-scattered fold."""
         _, counts, delta, col_changed = self._kernel.pair_deltas(
             self._flat,
             self._block_csr,
@@ -569,6 +586,5 @@ class ReplicaBatchExecution(ArrayExecution):
         # reverse), folded in one bincount.
         delta *= 2 - col_changed.view(np.int8)
         self._bad_counts += np.bincount(
-            pair_owner, weights=delta, minlength=count
+            pair_owner, weights=delta, minlength=len(self._bad_counts)
         ).astype(np.int64)
-        return np.unique(owner)

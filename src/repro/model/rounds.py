@@ -50,6 +50,12 @@ class RoundTracker:
         Returns ``True`` iff this step completed a round, i.e. a new
         boundary ``R(i) = time + 1`` was appended.
         """
+        if isinstance(activated, (set, frozenset)) and len(activated) == len(
+            self._nodes
+        ):
+            # Full activation (synchronous regime): skip the O(n) set
+            # difference — the round completes unconditionally.
+            return self.observe_all()
         self._pending.difference_update(activated)
         self._time += 1
         if not self._pending:
@@ -57,6 +63,16 @@ class RoundTracker:
             self._pending = set(self._nodes)
             return True
         return False
+
+    def observe_all(self) -> bool:
+        """Record a step that activated *every* node — always completes
+        a round, in O(1) when the previous step did too (the pending
+        set is only rebuilt when a partial step had drained it)."""
+        self._time += 1
+        self._boundaries.append(self._time)
+        if len(self._pending) != len(self._nodes):
+            self._pending = set(self._nodes)
+        return True
 
     def boundary(self, i: int) -> int:
         """``R(i)`` for an already-completed round index ``i``."""

@@ -144,8 +144,19 @@ class SynchronousScheduler(Scheduler):
 
     name = "synchronous"
 
+    def __init__(self) -> None:
+        # The engine passes the same nodes tuple every step, so the
+        # full-activation frozenset is built once per node sequence
+        # instead of once per step (at n = 10^6 the per-step set build
+        # would dominate the compiled kernel tier).
+        self._all: Optional[FrozenSet[int]] = None
+        self._all_for: Optional[Sequence[int]] = None
+
     def activations(self, t, nodes, rng):
-        return frozenset(nodes)
+        if nodes is not self._all_for:
+            self._all = frozenset(nodes)
+            self._all_for = nodes
+        return self._all
 
 
 class RoundRobinScheduler(Scheduler):

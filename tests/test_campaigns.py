@@ -568,8 +568,11 @@ class TestReplicaBatching:
 
     def test_smoke_ensemble_aggregates_identical_across_strategies(self):
         scenarios = [s for s in build_campaign("smoke") if s.batch_replicas > 1]
-        assert len(scenarios) >= 2  # the smoke registry ships an ensemble
-        assert len({s.batch_key() for s in scenarios}) == 1
+        assert len(scenarios) >= 2  # the smoke registry ships ensembles
+        # Two fused ensembles: the replica-batch one and the native-
+        # engine one (batch_key includes the engine).
+        assert len({s.batch_key() for s in scenarios}) == 2
+        assert {s.engine for s in scenarios} == {"replica-batch", "native"}
         batched = run_campaign(scenarios, workers=1)
         solo = run_campaign(scenarios, workers=1, batch=False)
         sharded = run_campaign(scenarios, workers=2, shard_size=3)

@@ -27,6 +27,7 @@ EXAMPLES = [
     "adversarial_stress.py",
     "byzantine_containment.py",
     "sparse_activation.py",
+    "native_frontier.py",
 ]
 
 

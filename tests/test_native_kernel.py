@@ -1,0 +1,611 @@
+"""Differential validation of the compiled native kernel tier.
+
+The ``native`` engine reroutes three kernel seams of the array tier —
+batched δ, the pair-goodness fold, the full goodness scan — to the
+CSR-walking kernels of :mod:`repro.core.algau_native`.  Everything
+here checks the same contract the array engine owes the object model:
+*bit identity*.  Three layers:
+
+* kernel lanes — the pure-Python reference lane, the resolved compiled
+  backend, the numpy :class:`VectorKernel`, and the scalar
+  ``delta_one`` must agree pointwise (property-tested on random codes
+  over random inclusive-CSR neighborhoods);
+* engines — :class:`NativeExecution` must reproduce
+  :class:`ArrayExecution` step for step across graphs, schedulers,
+  and every fault regime (storms, Byzantine pokes, crash masks), and
+  the record-free ``advance()`` bulk path must land on the same state
+  as the step loop;
+* plumbing — registry, CLI, fallback-when-unavailable, the frontier
+  CSR builders, and the replica-batch lane.
+
+Compiled-backend tests skip when no backend resolves (no numba, no C
+compiler); the Python lane keeps the kernel logic covered regardless.
+"""
+
+from __future__ import annotations
+
+import itertools
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import algau_native
+from repro.core.algau import ThinUnison
+from repro.core.algau_native import (
+    NativeBackendError,
+    NativeKernel,
+    _PythonBackend,
+    native_backend,
+    native_backend_name,
+)
+from repro.core.turns import able, faulty
+from repro.faults.injection import TransientFaultInjector, random_configuration
+from repro.graphs.csr import CSRAdjacency
+from repro.graphs.frontier import (
+    FRONTIER_FAMILIES,
+    frontier_colony,
+    frontier_gnm,
+    frontier_ring,
+)
+from repro.graphs.generators import damaged_clique, random_connected, ring
+from repro.model.array_engine import ArrayExecution
+from repro.model.engine import ENGINE_NAMES, create_execution
+from repro.model.errors import TopologyError
+from repro.model.native_engine import (
+    NativeExecution,
+    NativeReplicaBatchExecution,
+    native_execution_class,
+    replica_batch_execution_class,
+)
+from repro.model.replica_engine import ReplicaBatchExecution, ReplicaSpec
+from repro.model.scheduler import (
+    LaggardScheduler,
+    RandomSubsetScheduler,
+    RoundRobinScheduler,
+    ShuffledRoundRobinScheduler,
+    SynchronousScheduler,
+)
+
+needs_backend = pytest.mark.skipif(
+    native_backend() is None,
+    reason="no native backend (numba not installed, no C compiler)",
+)
+
+
+# ----------------------------------------------------------------------
+# Kernel-lane agreement (property-tested).
+# ----------------------------------------------------------------------
+
+
+def _random_inclusive_csr(rng: np.random.Generator, n: int) -> CSRAdjacency:
+    """An arbitrary symmetric inclusive-CSR adjacency (connectivity not
+    required — the kernels are row-local)."""
+    upper = rng.random((n, n)) < rng.uniform(0.15, 0.7)
+    adj = np.triu(upper, k=1)
+    adj = adj | adj.T
+    indptr = [0]
+    indices = []
+    for v in range(n):
+        row = [v] + sorted(int(u) for u in np.flatnonzero(adj[v]))
+        indices.extend(row)
+        indptr.append(len(indices))
+    return CSRAdjacency(
+        np.asarray(indptr, dtype=np.int64), np.asarray(indices, dtype=np.int64)
+    )
+
+
+def _lanes(kernel):
+    lanes = {"python": NativeKernel(kernel, backend=_PythonBackend)}
+    if native_backend() is not None:
+        lanes[native_backend_name()] = NativeKernel(kernel)
+    return lanes
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=3),
+    n=st.integers(min_value=1, max_value=11),
+    cautious=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_delta_lanes_agree_property(d, n, cautious, seed):
+    """delta_one == delta_batch == python lane == compiled lane on
+    random codes over random inclusive neighborhoods."""
+    rng = np.random.default_rng(seed)
+    algorithm = ThinUnison(d, cautious_af=cautious)
+    kernel = algorithm.vector_kernel()
+    csr = _random_inclusive_csr(rng, n)
+    codes = rng.integers(0, algorithm.encoding.size, n)
+    scalar = np.array(
+        [kernel.delta_one(codes, row) for row in csr.neighbor_lists()],
+        dtype=np.int64,
+    )
+    batched = kernel.delta_batch(codes, kernel.signal_presence(codes, csr))
+    assert np.array_equal(scalar, batched)
+    for name, lane in _lanes(kernel).items():
+        assert np.array_equal(lane.delta_rows(codes, csr), scalar), name
+        # Partial row sets too — the incremental engines' call shape.
+        rows = np.flatnonzero(rng.random(n) < 0.5).astype(np.int64)
+        if len(rows):
+            assert np.array_equal(
+                lane.delta_rows(codes, csr, rows), scalar[rows]
+            ), name
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=3),
+    n=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_goodness_and_fold_lanes_agree_property(d, n, seed):
+    """goodness_counts and the pair fold agree across lanes, and the
+    fold equals the brute-force goodness difference of the step."""
+    rng = np.random.default_rng(seed)
+    algorithm = ThinUnison(d)
+    kernel = algorithm.vector_kernel()
+    csr = _random_inclusive_csr(rng, n)
+    codes = rng.integers(0, algorithm.encoding.size, n)
+    expected_counts = kernel.goodness_counts(codes, csr)
+    for name, lane in _lanes(kernel).items():
+        assert lane.goodness_counts(codes, csr) == tuple(expected_counts), name
+
+    # A synthetic step: activate a random subset, take its δ.
+    new = kernel.delta_batch(codes, kernel.signal_presence(codes, csr))
+    new = np.where(rng.random(n) < 0.5, new, codes)
+    diff = np.flatnonzero(new != codes).astype(np.int64)
+    if not len(diff):
+        return
+    old_diff, new_diff = codes[diff], new[diff]
+    new_code_of = codes.copy()
+    new_code_of[diff] = new_diff
+    in_diff = np.zeros(n, dtype=bool)
+    cols, counts, delta, col_changed = kernel.pair_deltas(
+        codes, csr, diff, old_diff, new_diff, in_diff, new_code_of
+    )
+    vec_fold = int(delta.sum()) + int(delta[~col_changed].sum())
+    bad_before = kernel.goodness_counts(codes, csr)[1]
+    bad_after = kernel.goodness_counts(new, csr)[1]
+    assert vec_fold == bad_after - bad_before
+    for name, lane in _lanes(kernel).items():
+        scratch = np.zeros(n, dtype=bool)
+        fold = lane.fold_pair_delta(
+            codes, csr, diff, old_diff, new_diff, scratch, new_code_of
+        )
+        assert fold == vec_fold, name
+        assert not scratch.any(), name  # restored on exit
+
+
+# ----------------------------------------------------------------------
+# Backend resolution and graceful degradation.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def fresh_resolution(monkeypatch):
+    """Reset the memoized backend so env overrides take effect, and
+    restore the real resolution afterwards."""
+    monkeypatch.setattr(algau_native, "_RESOLVED", algau_native._UNRESOLVED)
+    yield monkeypatch
+
+
+class TestBackendResolution:
+    def test_resolved_name_is_known(self):
+        assert native_backend_name() in (None, "numba", "cc", "python")
+
+    def test_python_lane_forced_by_env(self, fresh_resolution):
+        fresh_resolution.setenv("REPRO_NATIVE_BACKEND", "python")
+        assert native_backend_name() == "python"
+
+    def test_env_none_disables_the_tier(self, fresh_resolution):
+        fresh_resolution.setenv("REPRO_NATIVE_BACKEND", "none")
+        assert native_backend() is None
+        with pytest.raises(NativeBackendError):
+            NativeKernel(ThinUnison(1).vector_kernel())
+
+    def test_fallback_to_array_engine_warns(self, monkeypatch):
+        monkeypatch.setattr(algau_native, "_RESOLVED", None)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert native_execution_class() is ArrayExecution
+        with pytest.warns(RuntimeWarning, match="fall back"):
+            cls = replica_batch_execution_class("native")
+        assert cls is ReplicaBatchExecution
+        # create_execution(engine="native") rides the same fallback.
+        topology = ring(6)
+        algorithm = ThinUnison(1)
+        initial = random_configuration(
+            algorithm, topology, np.random.default_rng(0)
+        )
+        with pytest.warns(RuntimeWarning):
+            execution = create_execution(
+                topology,
+                algorithm,
+                initial,
+                SynchronousScheduler(),
+                rng=np.random.default_rng(1),
+                engine="native",
+            )
+        assert type(execution) is ArrayExecution
+        execution.step()
+
+    @needs_backend
+    def test_available_backend_selects_native_classes(self):
+        assert native_execution_class() is NativeExecution
+        assert replica_batch_execution_class("native") is NativeReplicaBatchExecution
+        assert replica_batch_execution_class("replica-batch") is ReplicaBatchExecution
+
+
+# ----------------------------------------------------------------------
+# Engine differential: native vs array, step for step.
+# ----------------------------------------------------------------------
+
+GRAPHS = {
+    "ring9": lambda seed: ring(9),
+    "damaged10": lambda seed: damaged_clique(10, 2, np.random.default_rng(seed)),
+    "gnp12": lambda seed: random_connected(12, 0.35, np.random.default_rng(seed)),
+}
+
+SCHEDULERS = {
+    "sync": lambda topo: SynchronousScheduler(),
+    "shuffled-rr": lambda topo: ShuffledRoundRobinScheduler(),
+    "random-subset": lambda topo: RandomSubsetScheduler(0.4),
+    "laggard": lambda topo: LaggardScheduler(victim=1, period=5),
+}
+
+FAULT_KINDS = ("none", "storm", "byz-frozen", "byz-random", "byz-oscillating", "crash")
+
+CASES = [
+    (graph, sched, FAULT_KINDS[i % len(FAULT_KINDS)], 7000 + 13 * i)
+    for i, (graph, sched) in enumerate(
+        itertools.product(sorted(GRAPHS), sorted(SCHEDULERS))
+    )
+]
+
+
+def _make_variant(topology, initial, sched_key, fault_kind, seed, engine):
+    from repro.resilience.adversary import PermanentFaultAdversary
+    from repro.resilience.strategies import Crash, make_strategy
+
+    algorithm = ThinUnison(2)
+    intervention = None
+    if fault_kind == "storm":
+        intervention = TransientFaultInjector(
+            algorithm,
+            times=(3, 9, 21),
+            fraction=0.3,
+            rng=np.random.default_rng(seed + 2),
+        )
+    elif fault_kind.startswith("byz-") or fault_kind == "crash":
+        if fault_kind == "crash":
+            strategy = Crash(at=7)
+        else:
+            strategy = make_strategy(fault_kind[len("byz-") :])
+        nodes = (1, topology.n - 2)
+        intervention = PermanentFaultAdversary(
+            strategy, nodes, rng=np.random.default_rng(seed + 2)
+        )
+    return create_execution(
+        topology,
+        algorithm,
+        initial,
+        SCHEDULERS[sched_key](topology),
+        rng=np.random.default_rng(seed + 3),
+        intervention=intervention,
+        engine=engine,
+    )
+
+
+@needs_backend
+class TestNativeEngineDifferential:
+    @pytest.mark.parametrize(
+        "graph_key, sched_key, fault_kind, seed",
+        CASES,
+        ids=[f"{g}-{s}-{f}" for g, s, f, _ in CASES],
+    )
+    def test_step_for_step_equivalence(self, graph_key, sched_key, fault_kind, seed):
+        topology = GRAPHS[graph_key](seed)
+        initial = random_configuration(
+            ThinUnison(2), topology, np.random.default_rng(seed + 1)
+        )
+        reference = _make_variant(
+            topology, initial, sched_key, fault_kind, seed, "array"
+        )
+        native = _make_variant(
+            topology, initial, sched_key, fault_kind, seed, "native"
+        )
+        assert type(native) is NativeExecution
+        for step in range(45):
+            ref_record = reference.step()
+            nat_record = native.step()
+            assert nat_record == ref_record, step
+            assert native.graph_is_good() == reference.graph_is_good(), step
+            assert native.enabled_count() == reference.enabled_count(), step
+        assert np.array_equal(native.codes, reference.codes)
+        assert native.masked_nodes == reference.masked_nodes
+        assert native.rounds.boundaries == reference.rounds.boundaries
+
+    def test_pokes_and_masks_stay_in_lockstep(self):
+        topology = ring(9)
+        algorithm = ThinUnison(2)
+        initial = random_configuration(algorithm, topology, np.random.default_rng(5))
+        pair = [
+            create_execution(
+                topology,
+                algorithm,
+                initial,
+                RoundRobinScheduler(),
+                rng=np.random.default_rng(6),
+                engine=engine,
+            )
+            for engine in ("array", "native")
+        ]
+        for burst in range(4):
+            for execution in pair:
+                execution.poke_states({burst: faulty(3), (burst + 4) % 9: able(-2)})
+                execution.mask_nodes((burst,))
+            for step in range(12):
+                records = [execution.step() for execution in pair]
+                assert records[0] == records[1], (burst, step)
+                assert pair[0].graph_is_good() == pair[1].graph_is_good()
+                assert pair[0].enabled_count() == pair[1].enabled_count()
+            for execution in pair:
+                execution.mask_nodes(())
+        assert np.array_equal(pair[0].codes, pair[1].codes)
+
+    @pytest.mark.parametrize("engine", ["array", "native"])
+    def test_advance_equals_the_step_loop(self, engine):
+        """The record-free bulk path must land on exactly the state the
+        step loop reaches — codes, time, and round boundaries."""
+        topology = damaged_clique(10, 2, np.random.default_rng(11))
+        algorithm = ThinUnison(2)
+        initial = random_configuration(algorithm, topology, np.random.default_rng(12))
+        bulk, looped = [
+            create_execution(
+                topology,
+                algorithm,
+                initial,
+                ShuffledRoundRobinScheduler(),
+                rng=np.random.default_rng(13),
+                engine=engine,
+            )
+            for _ in range(2)
+        ]
+        bulk.advance(37)
+        for _ in range(37):
+            looped.step()
+        assert bulk.t == looped.t == 37
+        assert np.array_equal(bulk.codes, looped.codes)
+        assert bulk.rounds.boundaries == looped.rounds.boundaries
+        assert bulk.completed_rounds == looped.completed_rounds
+        assert bulk.graph_is_good() == looped.graph_is_good()
+        # advance composes with step() afterwards.
+        assert bulk.step() == looped.step()
+
+    def test_advance_with_intervention_takes_the_recording_path(self):
+        """Monitored/intervened runs cannot drop StepRecords; advance
+        must still be equivalent (it degrades to the step loop)."""
+        topology = ring(9)
+        algorithm = ThinUnison(2)
+        initial = random_configuration(algorithm, topology, np.random.default_rng(1))
+
+        def build(engine):
+            return create_execution(
+                topology,
+                algorithm,
+                initial,
+                SynchronousScheduler(),
+                rng=np.random.default_rng(2),
+                intervention=TransientFaultInjector(
+                    algorithm,
+                    times=(4, 11),
+                    fraction=0.3,
+                    rng=np.random.default_rng(3),
+                ),
+                engine=engine,
+            )
+
+        bulk, looped = build("native"), build("native")
+        bulk.advance(30)
+        for _ in range(30):
+            looped.step()
+        assert np.array_equal(bulk.codes, looped.codes)
+        assert bulk.rounds.boundaries == looped.rounds.boundaries
+
+    def test_stabilization_measurements_agree(self):
+        from repro.analysis.stabilization import measure_au_stabilization
+
+        d = 2
+        algorithm = ThinUnison(d)
+        topology = damaged_clique(12, d, np.random.default_rng(7))
+        initial = random_configuration(algorithm, topology, np.random.default_rng(8))
+        results = [
+            measure_au_stabilization(
+                algorithm,
+                topology,
+                initial,
+                ShuffledRoundRobinScheduler(),
+                np.random.default_rng(9),
+                max_rounds=100_000,
+                engine=engine,
+            )
+            for engine in ("array", "native")
+        ]
+        assert results[0].stabilized and results[1].stabilized
+        assert results[0].rounds == results[1].rounds
+        assert results[0].steps == results[1].steps
+
+
+@needs_backend
+class TestNativeReplicaBatch:
+    def test_ensemble_outcomes_match_numpy_ensemble(self):
+        algorithm = ThinUnison(2)
+        families = [
+            lambda rng: ring(9),
+            lambda rng: damaged_clique(10, 2, rng, damage=0.4),
+        ]
+        batches = []
+        for cls in (ReplicaBatchExecution, NativeReplicaBatchExecution):
+            specs = []
+            for i in range(6):
+                rng = np.random.default_rng(4000 + 11 * i)
+                topology = families[i % 2](rng)
+                initial = random_configuration(algorithm, topology, rng)
+                scheduler = (
+                    SynchronousScheduler()
+                    if i % 3 == 0
+                    else ShuffledRoundRobinScheduler()
+                )
+                specs.append(ReplicaSpec(topology, initial, scheduler, rng))
+            batches.append(cls.from_replicas(algorithm, specs))
+        numpy_outcomes = batches[0].run_ensemble(max_rounds=4000)
+        native_outcomes = batches[1].run_ensemble(max_rounds=4000)
+        assert native_outcomes == numpy_outcomes
+
+    def test_runner_selects_the_native_batch_class(self):
+        from repro.campaigns.registry import build_campaign
+        from repro.campaigns.runner import run_campaign
+
+        scenarios = [
+            s
+            for s in build_campaign("smoke")
+            if s.engine == "native" and s.batch_replicas > 1
+        ]
+        assert scenarios, "smoke must carry a native replica ensemble"
+        solo = run_campaign(scenarios, workers=1, batch=False)
+        batched = run_campaign(scenarios, workers=1, batch=True)
+        assert [r.stabilized for r in solo] == [r.stabilized for r in batched]
+        assert [r.rounds for r in solo] == [r.rounds for r in batched]
+        assert [r.steps for r in solo] == [r.steps for r in batched]
+
+
+# ----------------------------------------------------------------------
+# Frontier CSR builders.
+# ----------------------------------------------------------------------
+
+
+class TestFrontierTopologies:
+    def test_ring_matches_the_networkx_build(self):
+        reference = ring(12).inclusive_csr()
+        frontier = frontier_ring(12).inclusive_csr()
+        assert np.array_equal(reference.indptr, frontier.indptr)
+        assert np.array_equal(reference.indices, frontier.indices)
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: frontier_ring(50),
+            lambda: frontier_gnm(60, 90, seed=5),
+            lambda: frontier_colony(55, hubs=3),
+        ],
+        ids=["ring", "gnm", "colony"],
+    )
+    def test_csr_invariants(self, build):
+        """Self-first rows, ascending open neighborhoods, symmetry, and
+        an edge count consistent with the row lengths."""
+        topology = build()
+        csr = topology.inclusive_csr()
+        neighbor_sets = {}
+        for v in range(topology.n):
+            row = csr.neighborhood(v)
+            assert row[0] == v
+            rest = [int(u) for u in row[1:]]
+            assert rest == sorted(set(rest)) and v not in rest
+            neighbor_sets[v] = set(rest)
+        for v, peers in neighbor_sets.items():
+            for u in peers:
+                assert v in neighbor_sets[u], (u, v)
+        assert sum(len(s) for s in neighbor_sets.values()) == 2 * topology.m
+        assert topology.nodes is topology.nodes  # identity-stable
+        assert len(topology) == topology.n
+        assert topology.inclusive_neighbors(1)[0] == 1
+        assert topology.degree(1) == len(topology.neighbors(1))
+
+    def test_colony_shape(self):
+        colony = frontier_colony(100, hubs=2)
+        assert colony.degree(0) == 99 and colony.degree(1) == 99
+        assert colony.degree(50) == 4  # ring + both hubs
+
+    def test_small_n_rejected(self):
+        with pytest.raises(TopologyError):
+            frontier_ring(2)
+        with pytest.raises(TopologyError):
+            frontier_colony(4, hubs=0)
+
+    def test_families_registry(self):
+        assert set(FRONTIER_FAMILIES) == {"ring", "gnm", "colony"}
+        for build in FRONTIER_FAMILIES.values():
+            assert build(40, seed=1).n == 40
+
+    @needs_backend
+    def test_engines_agree_on_frontier_graphs(self):
+        algorithm = ThinUnison(2)
+        for family, build in sorted(FRONTIER_FAMILIES.items()):
+            topology = build(300, seed=17)
+            rng = np.random.default_rng(18)
+            codes = rng.integers(0, algorithm.encoding.size, topology.n)
+            initial = algorithm.encoding.decode_configuration(topology, codes)
+            pair = [
+                create_execution(
+                    topology,
+                    algorithm,
+                    initial,
+                    SynchronousScheduler(),
+                    rng=np.random.default_rng(19),
+                    engine=engine,
+                )
+                for engine in ("array", "native")
+            ]
+            pair[0].advance(25)
+            pair[1].advance(25)
+            assert np.array_equal(pair[0].codes, pair[1].codes), family
+            assert pair[0].graph_is_good() == pair[1].graph_is_good(), family
+
+
+# ----------------------------------------------------------------------
+# Registry / CLI plumbing.
+# ----------------------------------------------------------------------
+
+
+class TestNativePlumbing:
+    def test_native_is_a_registered_engine(self):
+        assert "native" in ENGINE_NAMES
+
+    def test_native_pairing_registry_is_engine_paired(self):
+        from repro.campaigns.registry import build_campaign
+
+        scenarios = build_campaign("native-pairing")
+        kinds = {s.faults.kind for s in scenarios}
+        assert {"none", "storm", "rewire", "byzantine", "crash"} <= kinds
+        pairs = {}
+        for s in scenarios:
+            pairs.setdefault(s.tag("pairing"), []).append(s)
+        for paired in pairs.values():
+            assert sorted(p.engine for p in paired) == ["array", "native"]
+            assert len({p.seed for p in paired}) == 1
+            assert len({p.graph for p in paired}) == 1
+            assert len({p.faults for p in paired}) == 1
+
+    @needs_backend
+    def test_native_pairing_slice_verifies(self):
+        from repro.campaigns.aggregate import aggregate_results, verify_engine_pairing
+        from repro.campaigns.registry import build_campaign
+        from repro.campaigns.runner import run_campaign
+
+        scenarios = build_campaign("native-pairing")[:8]
+        results = run_campaign(scenarios, workers=1)
+        rows = aggregate_results("native-pairing", scenarios, results, 0)["rows"]
+        assert verify_engine_pairing(rows) == []
+
+    def test_engines_cli_subcommand(self, capsys):
+        from repro.cli import main
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in ENGINE_NAMES:
+            assert name in out
+        assert "available" in out
