@@ -45,6 +45,26 @@ class TransitionCounter(Monitor):
         return self.per_node.get(node, TallyCounter())[TransitionType.AA]
 
 
+class MoveCounter(Monitor):
+    """Counts *moves* — node activations that changed the state — the
+    workload axis of the time/space/work Pareto trade-off.
+
+    A step's moves are exactly ``len(record.changed)``: the engines put
+    only real state changes (``delta`` transitions applied by the step)
+    into ``StepRecord.changed``, so activations where ``delta`` returned
+    the current state are free, and out-of-band corruption (pokes,
+    ``replace_configuration``) is never billed as algorithm work.  The
+    count accumulates across :meth:`on_start` boundaries so one counter
+    can total a multi-phase run (e.g. stabilize + recover).
+    """
+
+    def __init__(self) -> None:
+        self.moves = 0
+
+    def on_step(self, execution: Execution, record: StepRecord) -> None:
+        self.moves += len(record.changed)
+
+
 class GoodGraphMonitor(Monitor):
     """Records when the graph first becomes good and asserts closure
     (Lem 2.10: goodness, once reached, is never lost).

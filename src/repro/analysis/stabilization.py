@@ -29,7 +29,7 @@ from repro.model.engine import create_execution
 from repro.model.errors import StabilizationError
 from repro.model.execution import Execution
 from repro.model.scheduler import Scheduler
-from repro.analysis.monitors import OutputChangeMonitor
+from repro.analysis.monitors import MoveCounter, OutputChangeMonitor
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,9 @@ class StabilizationResult:
     rounds: int  # the paper's unit: smallest i with stabilization by R(i)
     steps: int
     detail: str = ""
+    #: Total work: node activations that changed the state (see
+    #: :class:`~repro.analysis.monitors.MoveCounter`).
+    moves: int = 0
 
 
 def measure_au_stabilization(
@@ -65,8 +68,10 @@ def measure_au_stabilization(
     not ``n`` — which is what makes large-``n`` sweeps under sparse
     asynchronous schedules practical.
     """
+    moves = MoveCounter()
     execution = create_execution(
-        topology, algorithm, initial, scheduler, rng=rng, engine=engine
+        topology, algorithm, initial, scheduler, rng=rng, engine=engine,
+        monitors=(moves,),
     )
 
     def good(e) -> bool:
@@ -75,7 +80,8 @@ def measure_au_stabilization(
     result = execution.run(max_rounds=max_rounds, until=good)
     if not result.stopped_by_predicate:
         return StabilizationResult(
-            False, result.rounds, result.steps, "good graph not reached"
+            False, result.rounds, result.steps, "good graph not reached",
+            moves=moves.moves,
         )
     stabilization_round = execution.completed_rounds + (
         0
@@ -90,8 +96,11 @@ def measure_au_stabilization(
                 stabilization_round,
                 execution.t,
                 "goodness lost after being reached (bug!)",
+                moves=moves.moves,
             )
-    return StabilizationResult(True, stabilization_round, execution.t)
+    return StabilizationResult(
+        True, stabilization_round, execution.t, moves=moves.moves
+    )
 
 
 def measure_static_task_stabilization(
@@ -114,8 +123,10 @@ def measure_static_task_stabilization(
     vector is complete — no full-configuration snapshot per step.
     """
     monitor = OutputChangeMonitor(algorithm)
+    moves = MoveCounter()
     execution = Execution(
-        topology, algorithm, initial, scheduler, rng=rng, monitors=(monitor,)
+        topology, algorithm, initial, scheduler, rng=rng,
+        monitors=(monitor, moves),
     )
 
     def looks_stable(e: Execution) -> bool:
@@ -129,18 +140,22 @@ def measure_static_task_stabilization(
                 execution.completed_rounds,
                 execution.t,
                 "no valid output configuration reached",
+                moves=moves.moves,
             )
         change_marker = monitor.last_change_time
         execution.run_rounds(confirm_rounds)
         if monitor.last_change_time == change_marker and looks_stable(execution):
             rounds = _round_of_time(execution, monitor.last_change_time)
-            return StabilizationResult(True, rounds, execution.t)
+            return StabilizationResult(
+                True, rounds, execution.t, moves=moves.moves
+            )
         # The output moved during the confirmation window — keep going.
     return StabilizationResult(
         False,
         execution.completed_rounds,
         execution.t,
         "output kept changing within the round budget",
+        moves=moves.moves,
     )
 
 

@@ -84,25 +84,31 @@ class FailedResetUnison(Algorithm):
     # ------------------------------------------------------------------
 
     def states(self) -> FrozenSet[object]:
+        """Main turns plus reset turns: ``2 * modulus`` states."""
         mains = {MainTurn(v) for v in range(self.modulus)}
         resets = {ResetTurn(i) for i in range(self.modulus)}
         return frozenset(mains | resets)
 
     def state_space_size(self) -> int:
+        """``|Q| = 4D + 2``."""
         return 2 * self.modulus
 
     def is_output_state(self, state: object) -> bool:
+        """Main turns are outputs; reset turns are not."""
         return isinstance(state, MainTurn)
 
     def output(self, state: object) -> int:
+        """The main-turn clock value."""
         if not isinstance(state, MainTurn):
             raise ModelError(f"{state!r} is not an output state")
         return state.value
 
     def initial_state(self) -> MainTurn:
+        """``MainTurn(0)``."""
         return MainTurn(0)
 
     def random_state(self, rng: np.random.Generator) -> object:
+        """A uniform draw over main and reset turns."""
         value = int(rng.integers(2 * self.modulus))
         if value < self.modulus:
             return MainTurn(value)
@@ -113,6 +119,7 @@ class FailedResetUnison(Algorithm):
     # ------------------------------------------------------------------
 
     def delta(self, state: object, signal: Signal) -> TransitionResult:
+        """The Figure 2 reset-wave rule (too few phases to be sound)."""
         sensed = signal.sensed
         if isinstance(state, MainTurn):
             level = state.value
@@ -140,6 +147,26 @@ class FailedResetUnison(Algorithm):
         if sensed <= {ResetTurn(self.top), MainTurn(0)}:
             return MainTurn(0)
         return state
+
+
+def failed_reset_stable(
+    algorithm: FailedResetUnison, configuration: Configuration
+) -> bool:
+    """The unison predicate for the Appendix-A algorithm: every node on
+    a main turn and every edge within cyclic clock distance 1 (modulo
+    ``cD+1``).  Closed under (ST1): a stable configuration never resets
+    again, so round-boundary checks measure the same stabilization
+    round as per-step checks."""
+    modulus = algorithm.modulus
+    topology = configuration.topology
+    for node in topology.nodes:
+        if not isinstance(configuration[node], MainTurn):
+            return False
+    for u, v in topology.edges:
+        d = (configuration[u].value - configuration[v].value) % modulus
+        if min(d, modulus - d) > 1:
+            return False
+    return True
 
 
 # ----------------------------------------------------------------------

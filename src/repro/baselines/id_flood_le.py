@@ -45,6 +45,7 @@ class IDFloodLE(Algorithm):
         self.name = f"IDFloodLE(n={n_hint})"
 
     def states(self) -> FrozenSet[FloodState]:
+        """Every ``(identifier, best-seen)`` pair under the ID bound."""
         return frozenset(
             FloodState(i, b)
             for i in range(self.n_hint)
@@ -52,9 +53,11 @@ class IDFloodLE(Algorithm):
         )
 
     def state_space_size(self) -> int:
+        """``|Q| = n**2``."""
         return self.n_hint * self.n_hint
 
     def is_output_state(self, state: FloodState) -> bool:
+        """Every state outputs its current leader belief."""
         return True
 
     def output(self, state: FloodState) -> int:
@@ -62,6 +65,7 @@ class IDFloodLE(Algorithm):
         return 1 if state.best == state.identifier else 0
 
     def initial_state(self) -> FloodState:
+        """The zero pair; real runs use ``initial_configuration``."""
         return FloodState(0, 0)
 
     def initial_configuration(self, topology):
@@ -74,11 +78,13 @@ class IDFloodLE(Algorithm):
         )
 
     def random_state(self, rng: np.random.Generator) -> FloodState:
+        """A uniform ID pair (kept for the contract)."""
         return FloodState(
             int(rng.integers(self.n_hint)), int(rng.integers(self.n_hint))
         )
 
     def delta(self, state: FloodState, signal: Signal) -> TransitionResult:
+        """Flood the maximum identifier seen in the neighborhood."""
         best = max(s.best for s in signal if isinstance(s, FloodState))
         best = max(best, state.identifier)
         if best == state.best:

@@ -74,6 +74,7 @@ class IDGreedyMIS(Algorithm):
         self.name = f"IDGreedyMIS(n={n_hint})"
 
     def states(self) -> FrozenSet[IDState]:
+        """Every ``(membership, identifier)`` combination."""
         return frozenset(
             IDState(m, i)
             for m in (UNDECIDED, IN, OUT)
@@ -81,12 +82,15 @@ class IDGreedyMIS(Algorithm):
         )
 
     def state_space_size(self) -> int:
+        """``|Q| = 3n``."""
         return 3 * self.n_hint
 
     def is_output_state(self, state: IDState) -> bool:
+        """Decided states (IN or OUT) are outputs."""
         return state.membership != UNDECIDED
 
     def output(self, state: IDState) -> int:
+        """1 for IN, 0 for OUT; undecided nodes have no output."""
         if state.membership == UNDECIDED:
             raise ModelError("undecided node has no output")
         return 1 if state.membership == IN else 0
@@ -94,6 +98,7 @@ class IDGreedyMIS(Algorithm):
     def initial_state(self) -> IDState:
         # The designated start is per-node (unique IDs); callers use
         # initial_configuration() instead.
+        """Undecided with ID 0; runs use ``initial_configuration``."""
         return IDState(UNDECIDED, 0)
 
     def initial_configuration(self, topology):
@@ -105,12 +110,14 @@ class IDGreedyMIS(Algorithm):
         )
 
     def random_state(self, rng: np.random.Generator) -> IDState:
+        """A uniform membership x identifier draw."""
         return IDState(
             (UNDECIDED, IN, OUT)[int(rng.integers(3))],
             int(rng.integers(self.n_hint)),
         )
 
     def delta(self, state: IDState, signal: Signal) -> TransitionResult:
+        """Join when locally maximal among undecided; decisions are final."""
         if state.membership != UNDECIDED:
             return state  # decided forever — no detection, no recovery
         undecided = [
@@ -152,6 +159,7 @@ class LubyTrialMIS(Algorithm):
         self.name = "LubyTrialMIS"
 
     def states(self) -> FrozenSet[LubyState]:
+        """Membership x coin x phase: the 12 Luby trial states."""
         return frozenset(
             LubyState(m, c, p)
             for m in (UNDECIDED, IN, OUT)
@@ -160,20 +168,25 @@ class LubyTrialMIS(Algorithm):
         )
 
     def state_space_size(self) -> int:
+        """``|Q| = 12``, independent of ``n`` and ``D``."""
         return 12
 
     def is_output_state(self, state: LubyState) -> bool:
+        """Decided states (IN or OUT) are outputs."""
         return state.membership != UNDECIDED
 
     def output(self, state: LubyState) -> int:
+        """1 for IN, 0 for OUT; undecided nodes have no output."""
         if state.membership == UNDECIDED:
             raise ModelError("undecided node has no output")
         return 1 if state.membership == IN else 0
 
     def initial_state(self) -> LubyState:
+        """Undecided, coin down, toss phase."""
         return LubyState(UNDECIDED, False, 0)
 
     def random_state(self, rng: np.random.Generator) -> LubyState:
+        """A uniform membership x coin x phase draw."""
         return LubyState(
             (UNDECIDED, IN, OUT)[int(rng.integers(3))],
             bool(rng.integers(2)),
@@ -181,6 +194,7 @@ class LubyTrialMIS(Algorithm):
         )
 
     def delta(self, state: LubyState, signal: Signal) -> TransitionResult:
+        """One Luby trial: toss, then decide on locally unique coins."""
         if state.membership != UNDECIDED:
             return state
         if any(isinstance(s, LubyState) and s.membership == IN for s in signal):

@@ -47,24 +47,31 @@ class MinUnison(Algorithm):
         self.name = "MinUnison(unbounded)"
 
     def states(self) -> None:
+        """``None`` — the counter space is unbounded."""
         return None  # unbounded
 
     def state_space_size(self) -> int:
+        """Unbounded; raises :class:`NotImplementedError`."""
         raise NotImplementedError("MinUnison has an unbounded state space")
 
     def is_output_state(self, state: Counter) -> bool:
+        """Every counter is an output state."""
         return True
 
     def output(self, state: Counter) -> int:
+        """The counter value."""
         return state.value
 
     def initial_state(self) -> Counter:
+        """``Counter(0)``."""
         return Counter(0)
 
     def random_state(self, rng: np.random.Generator) -> Counter:
+        """A uniform counter in ``[0, initial_spread]``."""
         return Counter(int(rng.integers(self.initial_spread + 1)))
 
     def delta(self, state: Counter, signal: Signal) -> TransitionResult:
+        """Increment when no neighbor is behind (the min rule)."""
         own = state.value
         if all(s.value >= own for s in signal):
             return Counter(own + 1)

@@ -51,6 +51,7 @@ class TailClock:
 
     @property
     def in_tail(self) -> bool:
+        """True when the clock is a (negative) tail value."""
         return self.value < 0
 
     def __str__(self) -> str:
@@ -60,6 +61,10 @@ class TailClock:
 class ResetTailUnison(Algorithm):
     """Reset-wave unison with a synchronization tail."""
 
+    #: The rules are coin-free, which qualifies the algorithm for the
+    #: engines' incremental (dirty-neighborhood) pipeline.
+    deterministic = True
+
     def __init__(self, ring_size: int, tail_length: int):
         if ring_size < 3:
             raise ModelError("ring size must be >= 3")
@@ -68,6 +73,8 @@ class ResetTailUnison(Algorithm):
         self.ring = CyclicClock(ring_size)
         self.tail_length = tail_length
         self.name = f"ResetTailUnison(K={ring_size}, alpha={tail_length})"
+        self._encoding = None
+        self._vector_kernel = None
 
     @classmethod
     def for_diameter_bound(cls, diameter_bound: int) -> "ResetTailUnison":
@@ -81,6 +88,7 @@ class ResetTailUnison(Algorithm):
     # ------------------------------------------------------------------
 
     def states(self) -> FrozenSet[TailClock]:
+        """Tail values ``-alpha..-1`` plus ring values ``0..K-1``."""
         return frozenset(
             TailClock(v) for v in range(-self.tail_length, self.ring.order)
         )
@@ -90,24 +98,65 @@ class ResetTailUnison(Algorithm):
         return self.ring.order + self.tail_length
 
     def is_output_state(self, state: TailClock) -> bool:
+        """Ring positions are outputs; tail values are not."""
         return not state.in_tail
 
     def output(self, state: TailClock) -> int:
+        """The ring position (tail states have no output)."""
         if state.in_tail:
             raise ModelError(f"{state!r} is not an output state")
         return state.value
 
     def initial_state(self) -> TailClock:
+        """``TailClock(0)``."""
         return TailClock(0)
 
     def random_state(self, rng: np.random.Generator) -> TailClock:
+        """A uniform draw over tail and ring values."""
         return TailClock(int(rng.integers(-self.tail_length, self.ring.order)))
+
+    # ------------------------------------------------------------------
+    # Array-engine lane (see repro.baselines.reset_tail_vec).
+    # ------------------------------------------------------------------
+
+    @property
+    def encoding(self):
+        """The dense :class:`~repro.baselines.reset_tail_vec.TailEncoding`
+        shared by all array-engine structures (built lazily, cached)."""
+        if self._encoding is None:
+            from repro.baselines.reset_tail_vec import TailEncoding
+
+            self._encoding = TailEncoding(self)
+        return self._encoding
+
+    def vector_kernel(self):
+        """The cached :class:`~repro.baselines.reset_tail_vec.TailKernel`
+        holding the precomputed trigger tables for this instance."""
+        if self._vector_kernel is None:
+            from repro.baselines.reset_tail_vec import TailKernel
+
+            self._vector_kernel = TailKernel(self)
+        return self._vector_kernel
+
+    def delta_batch(
+        self,
+        codes: np.ndarray,
+        presence: np.ndarray,
+        active: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Vectorized ``δ`` over a whole configuration (the masked
+        variant mirroring :meth:`ThinUnison.delta_batch`)."""
+        new_codes = self.vector_kernel().delta_batch(codes, presence)
+        if active is None:
+            return new_codes
+        return np.where(active, new_codes, codes)
 
     # ------------------------------------------------------------------
     # Transition function.
     # ------------------------------------------------------------------
 
     def delta(self, state: TailClock, signal: Signal) -> TransitionResult:
+        """Reset on incoherence, climb the tail, else step the ring."""
         ring_values = sorted(s.value for s in signal if not s.in_tail)
         tail_values = sorted(s.value for s in signal if s.in_tail)
         if not state.in_tail:

@@ -1,0 +1,232 @@
+"""Vectorized transition kernel for :class:`ResetTailUnison`.
+
+The array engine (:mod:`repro.model.array_engine`) is algorithm-agnostic
+behind three seams — a dense state encoding, a presence-matrix builder,
+and a batched/scalar δ — originally built for AlgAU
+(:mod:`repro.core.algau_vec`).  The reset-tail rules fit the same shape:
+every transition guard is a *set* condition on the sensed states, so the
+whole rule table compiles into three ``(|Q|, |Q|)`` boolean trigger
+tables applied to presence rows:
+
+* ``reset_trigger[c]`` — sensed codes that send ring code ``c`` to the
+  bottom of the tail: ring values at cyclic distance > 1, plus every
+  tail code when the node's value is outside ``{0, 1}``;
+* ``advance_block[c]`` — sensed codes that veto ring code ``c``'s
+  advance: any tail code, or ring values outside ``{x, x+1 mod K}``;
+* ``climb_block[c]`` — sensed codes that hold tail code ``c`` in place:
+  strictly deeper tail values, or ring values outside ``{0, 1}``.
+
+Codes are ``value + alpha``: tail codes ``0 .. alpha-1`` (deepest
+first), ring codes ``alpha .. alpha+K-1``, so the climb — including the
+climb-out from ``-1`` to ring value 0 — is literally ``code + 1``.
+
+Unlike the AlgAU kernel this one carries no goodness-count machinery
+(``pair_deltas`` / ``goodness_counts``): the campaign runner measures
+reset-tail stabilization through the configuration predicate
+:func:`~repro.baselines.reset_tail_unison.reset_tail_stable`, and
+:meth:`ArrayExecution.graph_is_good` falls back to the object-model
+predicate when a kernel lacks goodness support.
+``tests/test_algorithm_zoo.py`` differentially verifies the lane
+bit-for-bit against the object engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.model.errors import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.baselines.reset_tail_unison import ResetTailUnison
+    from repro.graphs.csr import CSRAdjacency
+
+
+class TailEncoding:
+    """Bijection between :class:`TailClock` states and dense codes
+    ``0 .. K+alpha-1`` (``code = value + alpha``)."""
+
+    __slots__ = ("_alpha", "_ring", "_turn_table")
+
+    def __init__(self, algorithm: "ResetTailUnison"):
+        self._alpha = algorithm.tail_length
+        self._ring = algorithm.ring.order
+        from repro.baselines.reset_tail_unison import TailClock
+
+        self._turn_table = tuple(
+            TailClock(code - self._alpha) for code in range(self.size)
+        )
+
+    @property
+    def size(self) -> int:
+        """``|Q| = K + alpha``."""
+        return self._alpha + self._ring
+
+    @property
+    def turn_table(self):
+        """Code → :class:`TailClock` lookup (index with an int code)."""
+        return self._turn_table
+
+    def encode(self, state) -> int:
+        """The dense code of ``state`` (validated)."""
+        code = state.value + self._alpha
+        if not 0 <= code < self.size or self._turn_table[code] != state:
+            raise ModelError(
+                f"{state!r} is not a state for K={self._ring}, "
+                f"alpha={self._alpha}"
+            )
+        return code
+
+    def decode(self, code: int):
+        """The :class:`TailClock` behind dense ``code`` (validated)."""
+        if not 0 <= code < self.size:
+            raise ModelError(f"code {code} out of range for |Q|={self.size}")
+        return self._turn_table[int(code)]
+
+    def encode_configuration(self, configuration) -> np.ndarray:
+        """Encode a whole configuration into a code vector."""
+        codes = np.fromiter(
+            (state.value for state in configuration.states()),
+            dtype=np.int64,
+        )
+        codes += self._alpha
+        if codes.size and (codes.min() < 0 or codes.max() >= self.size):
+            raise ModelError(
+                f"configuration holds states outside K={self._ring}, "
+                f"alpha={self._alpha}"
+            )
+        return codes
+
+    def decode_configuration(self, topology, codes: np.ndarray):
+        """Decode a code vector into a :class:`Configuration`."""
+        from repro.model.configuration import Configuration
+
+        if len(codes) != topology.n:
+            raise ModelError(
+                f"code vector has length {len(codes)}, topology has "
+                f"{topology.n} nodes"
+            )
+        table = self._turn_table
+        return Configuration.from_function(
+            topology, lambda v: table[int(codes[v])]
+        )
+
+
+class TailKernel:
+    """Precomputed trigger tables + the batched transition function for
+    one :class:`ResetTailUnison` instance."""
+
+    def __init__(self, algorithm: "ResetTailUnison"):
+        self.algorithm = algorithm
+        self.encoding = algorithm.encoding
+        alpha = algorithm.tail_length
+        ring = algorithm.ring.order
+        self.alpha = alpha
+        self.ring = ring
+        self.size = alpha + ring
+
+        size = self.size
+        codes = np.arange(size, dtype=np.int64)
+        is_tail = codes < alpha
+        ring_value = codes - alpha  # valid where ~is_tail
+
+        # Pairwise helpers over (own code c, sensed code s).
+        tail_s = np.broadcast_to(is_tail, (size, size))
+        ring_s = ~tail_s
+        sensed_value = np.broadcast_to(ring_value, (size, size))
+        own_value = ring_value[:, None]
+        diff = (sensed_value - own_value) % ring
+        cyc_dist = np.minimum(diff, ring - diff)
+
+        # Ring rows: reset / advance-block triggers (tail rows zeroed).
+        own_ring = ~is_tail[:, None]
+        outside01 = ring_s & ~np.isin(sensed_value, (0, 1))
+        self.reset_trigger = own_ring & (
+            (ring_s & (cyc_dist > 1))
+            | (tail_s & ~np.isin(own_value, (0, 1)))
+        )
+        self.advance_block = own_ring & (tail_s | (ring_s & (diff > 1)))
+
+        # Tail rows: climb-block triggers (ring rows zeroed).
+        deeper = tail_s & (np.broadcast_to(codes, (size, size)) < codes[:, None])
+        self.climb_block = is_tail[:, None] & (deeper | outside01)
+
+        self.is_tail_code = is_tail
+        #: Ring advance target per code (identity on tail codes; the
+        #: fire masks guarantee it is only read on ring codes).
+        self.advance_to = np.where(
+            is_tail, codes, alpha + (ring_value + 1) % ring
+        )
+        #: The reset target: the bottom of the tail.
+        self.reset_code = 0
+
+        # Scalar δ mirrors of the three tables (sets of sensed codes).
+        self._trigger_sets: Optional[List[frozenset]] = None
+
+    # ------------------------------------------------------------------
+    # Presence matrix (identical idiom to VectorKernel.signal_presence).
+    # ------------------------------------------------------------------
+
+    def signal_presence(
+        self,
+        codes: np.ndarray,
+        csr: "CSRAdjacency",
+        rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """The boolean presence matrix of the configuration: full
+        ``(n, |Q|)`` without ``rows``, else ``(len(rows), |Q|)`` for the
+        sparse-activation fast path."""
+        if rows is None:
+            presence = np.zeros((len(codes), self.size), dtype=bool)
+            presence[csr.row_index, codes[csr.indices]] = True
+            return presence
+        flat, counts = csr.gather(rows)
+        out_row = np.repeat(np.arange(len(rows), dtype=np.int64), counts)
+        presence = np.zeros((len(rows), self.size), dtype=bool)
+        presence[out_row, codes[flat]] = True
+        return presence
+
+    # ------------------------------------------------------------------
+    # The batched transition function.
+    # ------------------------------------------------------------------
+
+    def delta_batch(self, codes: np.ndarray, presence: np.ndarray) -> np.ndarray:
+        """Next codes for a batch of activated nodes (``codes[i]`` with
+        signal row ``presence[i]``); returns a fresh array."""
+        reset = (presence & self.reset_trigger[codes]).any(axis=1)
+        blocked = (presence & self.advance_block[codes]).any(axis=1)
+        held = (presence & self.climb_block[codes]).any(axis=1)
+        tail = self.is_tail_code[codes]
+
+        new = np.where(blocked, codes, self.advance_to[codes])
+        new = np.where(reset, self.reset_code, new)
+        return np.where(tail, np.where(held, codes, codes + 1), new)
+
+    def delta_one(self, codes: np.ndarray, neighborhood: List[int]) -> int:
+        """Scalar ``δ`` for one node (``neighborhood`` inclusive, node
+        first) — the one-row :meth:`delta_batch` without numpy
+        dispatch."""
+        if self._trigger_sets is None:
+            self._trigger_sets = [
+                frozenset(np.nonzero(row)[0].tolist())
+                for table in (
+                    self.reset_trigger,
+                    self.advance_block,
+                    self.climb_block,
+                )
+                for row in table
+            ]
+        size = self.size
+        code = int(codes[neighborhood[0]])
+        sensed = {int(codes[u]) for u in neighborhood}
+        if self.is_tail_code[code]:
+            held = self._trigger_sets[2 * size + code]
+            if sensed & held:
+                return code
+            return code + 1
+        if sensed & self._trigger_sets[code]:
+            return self.reset_code
+        if sensed & self._trigger_sets[size + code]:
+            return code
+        return int(self.advance_to[code])

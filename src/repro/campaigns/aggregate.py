@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import Summary
 from repro.analysis.tables import write_json
-from repro.campaigns.spec import Scenario, ScenarioResult
+from repro.campaigns.spec import ALGORITHM_FACTORIES, Scenario, ScenarioResult
 
 
 def _row(scenario: Scenario, result: ScenarioResult) -> Dict[str, object]:
@@ -34,6 +34,7 @@ def _row(scenario: Scenario, result: ScenarioResult) -> Dict[str, object]:
         "scheduler": scenario.scheduler,
         "engine": scenario.engine,
         "start": scenario.start,
+        "algorithm": scenario.algorithm,
         "faults": scenario.faults.label,
         "seed": scenario.seed,
         "tags": dict(scenario.tags),
@@ -46,6 +47,8 @@ def _row(scenario: Scenario, result: ScenarioResult) -> Dict[str, object]:
         "recovery_rounds": result.recovery_rounds,
         "containment_radius": result.containment_radius,
         "clean_fraction": result.clean_fraction,
+        "state_bits": result.state_bits,
+        "moves": result.moves,
         "detail": result.detail,
     }
 
@@ -89,6 +92,114 @@ def _group_summary(rows: List[Dict[str, object]]) -> Dict[str, object]:
     }
 
 
+def _dominates(a: tuple, b: tuple) -> bool:
+    """Pareto dominance: ``a`` no worse on every axis, better on one."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def compute_pareto(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """The time/space/workload/generality Pareto structure of a
+    multi-algorithm campaign.
+
+    AU rows are folded per *cell* — ``graph family × daemon`` — and,
+    within a cell, per algorithm: mean stabilization ``rounds``, exact
+    ``state_bits`` per node (``None`` when the state space is
+    unbounded, e.g. min-unison), mean work in ``moves``, all over the
+    stabilized rows (engine-paired rows are bit-identical, so
+    double-counting engines cannot shift a mean), plus the declared
+    :meth:`~repro.campaigns.spec.AlgorithmSpec.coverage`.  The
+    ``frontier`` of a cell is the non-dominated set under ``(rounds,
+    state_bits, moves)`` minimized and ``coverage`` maximized, with
+    unbounded state treated as ``+inf`` bits.  The generality axis is
+    load-bearing: from benign random starts the Figure 2 strawman beats
+    every sound algorithm on all three measured axes — precisely
+    *because* it dropped the reset-interrupt rule that buys
+    self-stabilization — so a three-axis frontier would crown it the
+    winner.  With coverage as a fourth axis an algorithm can only be
+    dominated by one at least as general, which is the paper's Sec. 5
+    comparison stated as a dominance relation.  Algorithms with no
+    stabilized row never enter the frontier but stay visible in
+    ``cells``.  Cells covering fewer than two algorithms are dropped —
+    a frontier needs a comparison — so single-algorithm campaigns get
+    an empty result and no ``pareto`` section in their aggregates.
+
+    Rows arrive index-sorted from :func:`aggregate_results`, so the
+    folded payload is bit-identical across worker counts.
+    """
+    cells: Dict[tuple, Dict[str, List[Dict[str, object]]]] = {}
+    for row in rows:
+        if row["task"] != "au":
+            continue
+        key = (str(row["graph"]), str(row["scheduler"]))
+        cells.setdefault(key, {}).setdefault(
+            str(row["algorithm"]), []
+        ).append(row)
+    pareto: Dict[str, object] = {}
+    for (graph, scheduler), algos in sorted(cells.items()):
+        if len(algos) < 2:
+            continue
+        summaries: Dict[str, Dict[str, object]] = {}
+        for algorithm, algo_rows in sorted(algos.items()):
+            ok = [
+                r
+                for r in algo_rows
+                if r["stabilized"] and r["moves"] is not None
+            ]
+            bits = next(
+                (
+                    r["state_bits"]
+                    for r in algo_rows
+                    if r["state_bits"] is not None
+                ),
+                None,
+            )
+            spec = ALGORITHM_FACTORIES.get(algorithm)
+            summaries[algorithm] = {
+                "rows": len(algo_rows),
+                "stabilized": sum(1 for r in algo_rows if r["stabilized"]),
+                "state_bits": bits,
+                "rounds": (
+                    sum(int(r["rounds"]) for r in ok) / len(ok) if ok else None
+                ),
+                "moves": (
+                    sum(int(r["moves"]) for r in ok) / len(ok) if ok else None
+                ),
+                "coverage": spec.coverage() if spec is not None else 0,
+            }
+        contenders = {
+            algorithm: summary
+            for algorithm, summary in summaries.items()
+            if summary["rounds"] is not None
+        }
+
+        def metric(summary: Dict[str, object]) -> tuple:
+            """Minimized dominance key: (-coverage, rounds, bits, moves)."""
+            bits = summary["state_bits"]
+            return (
+                -summary["coverage"],
+                summary["rounds"],
+                float("inf") if bits is None else bits,
+                summary["moves"],
+            )
+
+        frontier = sorted(
+            algorithm
+            for algorithm, summary in contenders.items()
+            if not any(
+                other != algorithm
+                and _dominates(metric(other_summary), metric(summary))
+                for other, other_summary in contenders.items()
+            )
+        )
+        pareto[f"{graph}|{scheduler}"] = {
+            "graph": graph,
+            "scheduler": scheduler,
+            "cells": summaries,
+            "frontier": frontier,
+        }
+    return pareto
+
+
 def aggregate_results(
     name: str,
     scenarios: Sequence[Scenario],
@@ -103,7 +214,7 @@ def aggregate_results(
     for row in rows:
         groups.setdefault(str(row["group"]), []).append(row)
     failures = [r["scenario_id"] for r in rows if not _row_ok(r)]
-    return {
+    payload: Dict[str, object] = {
         "campaign": name,
         "seed": seed,
         "scenario_count": len(rows),
@@ -116,6 +227,10 @@ def aggregate_results(
         },
         "rows": rows,
     }
+    pareto = compute_pareto(rows)
+    if pareto:
+        payload["pareto"] = pareto
+    return payload
 
 
 def fold_worst_rounds(
@@ -155,6 +270,8 @@ MEASURED_COLUMNS = (
     "recovery_rounds",
     "containment_radius",
     "clean_fraction",
+    "state_bits",
+    "moves",
     "detail",
 )
 
@@ -218,4 +335,5 @@ def write_campaign_artifact(
 
 
 def default_artifact_path(name: str) -> str:
+    """The conventional artifact filename for campaign ``name``."""
     return f"BENCH_campaign_{name}.json"

@@ -29,7 +29,12 @@ Shipped registries:
   nightly aggregation cross-checks the compiled kernels bit for bit;
 * ``thm11-scaling`` / ``thm11-n-independence`` / ``fault-recovery`` —
   registry-driven replacements for the former ad-hoc sweep loops of
-  ``benchmarks/bench_thm11_*`` and ``bench_fault_recovery``.
+  ``benchmarks/bench_thm11_*`` and ``bench_fault_recovery``;
+* ``pareto-unison`` — the algorithm-zoo Pareto grid: every unison
+  baseline × graph family × daemon, engine-paired where an algorithm
+  ships both lanes, aggregated into per-cell ``{rounds, state_bits,
+  moves}`` metrics and a non-dominated frontier (the Sec. 5
+  time/space/workload comparison as a CI artifact).
 """
 
 from __future__ import annotations
@@ -79,6 +84,7 @@ class CampaignBuilder:
         tags: Tuple[Tuple[str, str], ...] = (),
         seed_index: Optional[int] = None,
         batch_replicas: int = 1,
+        algorithm: str = "",
     ) -> Scenario:
         """Append one scenario.
 
@@ -89,6 +95,9 @@ class CampaignBuilder:
         backends and let the aggregation cross-check them.
         ``batch_replicas >= 2`` marks seed ensembles for the runner's
         replica-batched path (see :meth:`Scenario.batch_key`).
+        ``algorithm`` picks an entry from
+        :data:`~repro.campaigns.spec.ALGORITHM_FACTORIES` (empty =
+        the task's default, i.e. the paper's algorithm).
         """
         index = len(self.scenarios)
         scenario = Scenario(
@@ -107,11 +116,13 @@ class CampaignBuilder:
             group=group or f"{task}@{graph}",
             tags=tags,
             batch_replicas=batch_replicas,
+            algorithm=algorithm,
         )
         self.scenarios.append(scenario)
         return scenario
 
     def add_au(self, graph, graph_params, diameter_bound, **kwargs):
+        """``add`` with the AU task's conventional defaults filled in."""
         kwargs.setdefault("max_rounds", au_round_budget(diameter_bound))
         kwargs.setdefault("scheduler", "shuffled-round-robin")
         kwargs.setdefault("engine", "array")
@@ -128,6 +139,7 @@ def campaign(name: str, description: str):
     """Register a campaign builder under ``name``."""
 
     def wrap(fn: CampaignFn) -> CampaignFn:
+        """Store ``fn`` in the registry and return it unchanged."""
         _REGISTRY[name] = (description, fn)
         return fn
 
@@ -135,10 +147,12 @@ def campaign(name: str, description: str):
 
 
 def registry_names() -> Tuple[str, ...]:
+    """All registered campaign names, sorted."""
     return tuple(sorted(_REGISTRY))
 
 
 def describe_registry(name: str) -> str:
+    """The one-line description of campaign ``name``."""
     _require(name)
     return _REGISTRY[name][0]
 
@@ -560,6 +574,7 @@ def _byzantine(builder: CampaignBuilder) -> None:
     pair = 0
 
     def add_pair(graph, params, d, faults):
+        """One engine-paired cell: both engines, one shared seed."""
         nonlocal pair
         for engine in ("object", "array"):
             builder.add_au(
@@ -644,6 +659,7 @@ def _enabled_daemons(builder: CampaignBuilder) -> None:
     pair = 0
 
     def add_pair(graph, params, d, scheduler, start, faults=NO_FAULTS):
+        """One engine-paired cell: both engines, one shared seed."""
         nonlocal pair
         for engine in ("object", "array"):
             builder.add_au(
@@ -713,6 +729,7 @@ def _native_pairing(builder: CampaignBuilder) -> None:
 
     def add_pair(graph, params, d, scheduler="shuffled-round-robin",
                  start="random", faults=NO_FAULTS, max_rounds=4000):
+        """One array/native-paired cell under one shared seed."""
         nonlocal pair
         for engine in ("array", "native"):
             builder.add_au(
@@ -764,3 +781,66 @@ def _native_pairing(builder: CampaignBuilder) -> None:
             d,
             faults=FaultPlan(kind="crash", density=0.14, times=(25,), radius=3),
         )
+
+
+#: Families for the Pareto grid — one dense, one tree-like, one
+#: large-diameter family, so the zoo is compared where each design's
+#: weakness shows (reset waves are cheap on dense graphs, expensive on
+#: rings; AlgAU's state count grows with ``D``).
+PARETO_GRAPHS: Tuple[GraphSpec, ...] = (
+    ("complete", (("n", 8),), 1),
+    ("star", (("n", 9),), 2),
+    ("ring", (("n", 8),), 4),
+)
+
+#: The unison zoo entered in the grid: algorithm name → the engines it
+#: runs on (both lanes = engine-paired cells cross-checked by
+#: :func:`repro.campaigns.aggregate.verify_engine_pairing`).  The
+#: non-self-stabilizing ``failed-reset-unison`` witness is *included* —
+#: from random starts on these families it converges, and its row makes
+#: the frontier honest about what its missing interrupt rule buys.
+PARETO_ALGORITHMS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("thin-unison", ("object", "array")),
+    ("reset-tail-unison", ("object", "array")),
+    ("min-unison", ("object",)),
+    ("failed-reset-unison", ("object",)),
+)
+
+
+@campaign(
+    "pareto-unison",
+    "algorithm zoo Pareto grid: unison baselines x families x daemons, "
+    "per-cell {rounds, state_bits, moves} + non-dominated frontier",
+)
+def _pareto_unison(builder: CampaignBuilder) -> None:
+    """Each (algorithm, family, daemon, trial) cell runs once per
+    supported engine under the *same* derived seed (``seed_index``
+    pairing), so the aggregation both cross-checks the reset-tail
+    vectorized lane bit for bit and folds engine rows into one Pareto
+    cell without double-weighting.  The aggregation side lives in
+    :func:`repro.campaigns.aggregate.compute_pareto`; the CI gate in
+    ``benchmarks/bench_pareto_unison.py``."""
+    pair = 0
+    for graph, params, d in PARETO_GRAPHS:
+        for scheduler in ("synchronous", "shuffled-round-robin"):
+            for algorithm, engines in PARETO_ALGORITHMS:
+                for trial in range(3):
+                    for engine in engines:
+                        builder.add_au(
+                            graph,
+                            params,
+                            d,
+                            scheduler=scheduler,
+                            engine=engine,
+                            start="random",
+                            max_rounds=20_000,
+                            algorithm=algorithm,
+                            group=f"{algorithm}@{graph}/{scheduler}",
+                            tags=(
+                                ("pairing", str(pair)),
+                                ("daemon", scheduler),
+                                ("trial", str(trial)),
+                            ),
+                            seed_index=pair,
+                        )
+                    pair += 1

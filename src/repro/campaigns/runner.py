@@ -43,13 +43,15 @@ from repro.analysis.containment import (
     hop_distances,
     radius_of_mask,
 )
+from repro.analysis.monitors import MoveCounter
 from repro.campaigns.spec import (
+    ALGORITHM_FACTORIES,
     PERMANENT_FAULT_KINDS,
+    AlgorithmSpec,
     Scenario,
     ScenarioResult,
     make_scheduler,
 )
-from repro.core.algau import ThinUnison
 from repro.faults.injection import (
     AU_START_BUILDERS,
     TransientFaultInjector,
@@ -68,8 +70,6 @@ from repro.resilience.adversary import (
     select_faulty_nodes,
 )
 from repro.resilience.strategies import Crash, make_strategy
-from repro.tasks.le import AlgLE
-from repro.tasks.mis import AlgMIS
 from repro.tasks.spec import check_le_output, check_mis_output
 
 
@@ -86,7 +86,30 @@ def _initial_configuration(
     if scenario.start == "random":
         # Valid for every task; the AU builder battery covers AU only.
         return random_configuration(algorithm, topology, rng)
+    if scenario.start == "ids":
+        # The algorithm's own initializer (per-node unique IDs);
+        # capability-gated to algorithms that define it.
+        return algorithm.initial_configuration(topology)
     return AU_START_BUILDERS[scenario.start](algorithm, topology, rng)
+
+
+def _algorithm_spec(scenario: Scenario) -> AlgorithmSpec:
+    return ALGORITHM_FACTORIES[scenario.algorithm]
+
+
+def _make_algorithm(scenario: Scenario, topology: Topology):
+    """A fresh algorithm instance from the scenario's registry entry."""
+    return _algorithm_spec(scenario).make(scenario.diameter_bound, topology.n)
+
+
+def _state_bits(algorithm) -> Optional[float]:
+    """Exact bits per node from the declared state space (``None`` when
+    unbounded, e.g. min-unison's counters)."""
+    try:
+        size = algorithm.state_space_size()
+    except NotImplementedError:
+        return None
+    return float(np.log2(size))
 
 
 def _result(
@@ -100,6 +123,8 @@ def _result(
     recovery_rounds: Optional[int] = None,
     containment_radius: Optional[int] = None,
     clean_fraction: Optional[float] = None,
+    state_bits: Optional[float] = None,
+    moves: Optional[int] = None,
     detail: str = "",
     started: float = 0.0,
 ) -> ScenarioResult:
@@ -116,6 +141,8 @@ def _result(
         recovery_rounds=recovery_rounds,
         containment_radius=containment_radius,
         clean_fraction=clean_fraction,
+        state_bits=state_bits,
+        moves=moves,
         detail=detail,
         tags=scenario.tags,
         elapsed_ms=(time.perf_counter() - started) * 1000.0,
@@ -137,7 +164,9 @@ def _run_permanent(scenario: Scenario, topology: Topology, rng) -> ScenarioResul
     confirmation window — the ``stabilized_outside`` check replacing the
     all-nodes stabilization predicate."""
     started = time.perf_counter()
-    algorithm = ThinUnison(scenario.diameter_bound)
+    algorithm = _make_algorithm(scenario, topology)
+    bits = _state_bits(algorithm)
+    mover = MoveCounter()
     initial = _initial_configuration(scenario, algorithm, topology, rng)
     plan = scenario.faults
 
@@ -157,9 +186,11 @@ def _run_permanent(scenario: Scenario, topology: Topology, rng) -> ScenarioResul
         rng=rng,
         intervention=adversary,
         engine=scenario.engine,
+        monitors=(mover,),
     )
 
     def outside_clean(e) -> bool:
+        """Containment holds at the plan's radius right now."""
         return (
             radius_of_mask(execution_clean_mask(e, distances), distances)
             <= plan.radius
@@ -204,6 +235,8 @@ def _run_permanent(scenario: Scenario, topology: Topology, rng) -> ScenarioResul
                 clean_fraction=float(
                     (always_clean & correct).sum() / correct.sum()
                 ),
+                state_bits=bits,
+                moves=mover.moves,
                 started=started,
             )
     return _result(
@@ -215,6 +248,8 @@ def _run_permanent(scenario: Scenario, topology: Topology, rng) -> ScenarioResul
         containment_radius=int(
             radius_of_mask(execution_clean_mask(execution, distances), distances)
         ),
+        state_bits=bits,
+        moves=mover.moves,
         detail=(
             f"containment at radius {plan.radius} not reached within the "
             f"round budget"
@@ -227,7 +262,10 @@ def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
     if scenario.faults.kind in PERMANENT_FAULT_KINDS:
         return _run_permanent(scenario, topology, rng)
     started = time.perf_counter()
-    algorithm = ThinUnison(scenario.diameter_bound)
+    spec = _algorithm_spec(scenario)
+    algorithm = _make_algorithm(scenario, topology)
+    bits = _state_bits(algorithm)
+    mover = MoveCounter()
     initial = _initial_configuration(scenario, algorithm, topology, rng)
     plan = scenario.faults
 
@@ -247,12 +285,26 @@ def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
         rng=rng,
         intervention=intervention,
         engine=scenario.engine,
+        monitors=(mover,),
     )
 
+    # The stabilization predicate: thin unison (spec.stable None) uses
+    # the engines' incrementally counted goodness fast path; the zoo
+    # algorithms declare a closed configuration predicate.
+    if spec.stable is None:
+        def stable_now(e) -> bool:
+            """Goodness via the engine's incremental counters."""
+            return e.graph_is_good()
+    else:
+        def stable_now(e) -> bool:
+            """The algorithm's declared closed-configuration predicate."""
+            return spec.stable(algorithm, e.configuration)
+
     def good(e) -> bool:
+        """Stability, ignored while a fault storm is still scheduled."""
         if injector is not None and e.t <= max(plan.times):
             return False  # the storm is still raging; don't stop early
-        return e.graph_is_good()
+        return stable_now(e)
 
     run = execution.run(max_rounds=scenario.max_rounds, until=good)
     if not run.stopped_by_predicate:
@@ -262,6 +314,8 @@ def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
             stabilized=False,
             rounds=execution.completed_rounds,
             steps=execution.t,
+            state_bits=bits,
+            moves=mover.moves,
             detail="good graph not reached within the round budget",
             started=started,
         )
@@ -279,7 +333,7 @@ def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
             start_round = execution.completed_rounds
             recovery = execution.run(
                 max_rounds=execution.completed_rounds + scenario.max_rounds,
-                until=lambda e: e.graph_is_good(),
+                until=stable_now,
             )
             if not recovery.stopped_by_predicate:
                 return _result(
@@ -289,6 +343,8 @@ def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
                     rounds=rounds,
                     steps=execution.t,
                     recovered=False,
+                    state_bits=bits,
+                    moves=mover.moves,
                     detail="burst recovery exceeded the round budget",
                     started=started,
                 )
@@ -303,6 +359,8 @@ def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
             steps=execution.t,
             recovered=True,
             recovery_rounds=worst_recovery,
+            state_bits=bits,
+            moves=mover.moves,
             started=started,
         )
 
@@ -331,10 +389,11 @@ def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
             make_scheduler(scenario.scheduler),
             rng=rng,
             engine=scenario.engine,
+            monitors=(mover,),  # keep totalling moves across both phases
         )
         recovery = rewired.run(
             max_rounds=scenario.max_rounds,
-            until=lambda e: e.graph_is_good(),
+            until=stable_now,
         )
         if not recovery.stopped_by_predicate:
             return _result(
@@ -344,6 +403,8 @@ def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
                 rounds=rounds,
                 steps=execution.t + rewired.t,
                 recovered=False,
+                state_bits=bits,
+                moves=mover.moves,
                 detail="post-rewire recovery exceeded the round budget",
                 started=started,
             )
@@ -355,6 +416,8 @@ def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
             steps=execution.t + rewired.t,
             recovered=True,
             recovery_rounds=_stabilization_round(rewired),
+            state_bits=bits,
+            moves=mover.moves,
             started=started,
         )
 
@@ -364,6 +427,8 @@ def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
         stabilized=True,
         rounds=rounds,
         steps=execution.t,
+        state_bits=bits,
+        moves=mover.moves,
         started=started,
     )
 
@@ -372,16 +437,17 @@ def _run_static(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
     from repro.analysis.stabilization import measure_static_task_stabilization
 
     started = time.perf_counter()
+    algorithm = _make_algorithm(scenario, topology)
     if scenario.task == "le":
-        algorithm = AlgLE(scenario.diameter_bound)
 
         def is_valid(out):
+            """A unique leader has been elected."""
             return check_le_output(out).valid
 
     else:
-        algorithm = AlgMIS(scenario.diameter_bound)
 
         def is_valid(out):
+            """The output set is a maximal independent set."""
             return check_mis_output(topology, out).valid
 
     initial = _initial_configuration(scenario, algorithm, topology, rng)
@@ -401,6 +467,8 @@ def _run_static(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
         stabilized=measurement.stabilized,
         rounds=measurement.rounds,
         steps=measurement.steps,
+        state_bits=_state_bits(algorithm),
+        moves=measurement.moves,
         detail=measurement.detail,
         started=started,
     )
@@ -476,7 +544,10 @@ def run_scenario_batch(scenarios: Sequence[Scenario]) -> List[ScenarioResult]:
             f"got {len(keys)} distinct batch keys"
         )
     started = time.perf_counter()
-    algorithm = ThinUnison(scenarios[0].diameter_bound)
+    # Batching is capability-gated (spec validation) to batchable
+    # algorithms, whose factories ignore the node-count hint.
+    algorithm = _algorithm_spec(scenarios[0]).make(scenarios[0].diameter_bound)
+    bits = _state_bits(algorithm)
     by_id: Dict[str, ScenarioResult] = {}
     specs: List[ReplicaSpec] = []
     members: List[Tuple[Scenario, Topology]] = []
@@ -515,6 +586,8 @@ def run_scenario_batch(scenarios: Sequence[Scenario]) -> List[ScenarioResult]:
                 stabilized=outcome.stabilized,
                 rounds=outcome.rounds,
                 steps=outcome.steps,
+                state_bits=bits,
+                moves=outcome.moves,
                 detail=(
                     ""
                     if outcome.stabilized

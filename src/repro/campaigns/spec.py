@@ -32,7 +32,8 @@ The :class:`FaultPlan` axis covers the repertoire of
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, fields
+import math
+from dataclasses import asdict, dataclass, field, fields
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.faults.injection import AU_START_BUILDERS
@@ -51,14 +52,17 @@ from repro.model.scheduler import (
 
 TASKS: Tuple[str, ...] = ("au", "le", "mis")
 
+#: All engine names, for algorithm capability declarations.
+ALL_ENGINES: Tuple[str, ...] = tuple(ENGINE_NAMES)
+
 #: The AU start names: the adversarial battery (single source of truth
 #: in :data:`repro.faults.injection.AU_START_BUILDERS`) plus the benign
 #: ``uniform`` start.
 AU_STARTS: Tuple[str, ...] = tuple(AU_START_BUILDERS) + ("uniform",)
 TASK_STARTS: Dict[str, Tuple[str, ...]] = {
     "au": AU_STARTS,
-    "le": ("random", "uniform"),
-    "mis": ("random", "uniform"),
+    "le": ("random", "uniform", "ids"),
+    "mis": ("random", "uniform", "ids"),
 }
 
 FAULT_KINDS: Tuple[str, ...] = (
@@ -105,6 +109,7 @@ ENABLED_AWARE_SCHEDULERS: Tuple[str, ...] = tuple(
 
 
 def scheduler_names() -> Tuple[str, ...]:
+    """All registered scheduler names, sorted."""
     return tuple(sorted(SCHEDULER_FACTORIES))
 
 
@@ -118,6 +123,344 @@ def make_scheduler(name: str) -> Scheduler:
             f"unknown scheduler {name!r}: valid schedulers are {valid}"
         ) from None
     return factory()
+
+
+# ----------------------------------------------------------------------
+# The algorithm axis.
+# ----------------------------------------------------------------------
+
+_ALL_SCHEDULERS: Tuple[str, ...] = tuple(sorted(SCHEDULER_FACTORIES))
+
+
+def _thin_unison(diameter_bound: int, n_hint: int):
+    from repro.core.algau import ThinUnison
+
+    return ThinUnison(diameter_bound)
+
+
+def _alg_le(diameter_bound: int, n_hint: int):
+    from repro.tasks.le import AlgLE
+
+    return AlgLE(diameter_bound)
+
+
+def _alg_mis(diameter_bound: int, n_hint: int):
+    from repro.tasks.mis import AlgMIS
+
+    return AlgMIS(diameter_bound)
+
+
+def _min_unison(diameter_bound: int, n_hint: int):
+    from repro.baselines.min_unison import MinUnison
+
+    return MinUnison()
+
+
+def _reset_tail_unison(diameter_bound: int, n_hint: int):
+    from repro.baselines.reset_tail_unison import ResetTailUnison
+
+    return ResetTailUnison.for_diameter_bound(diameter_bound)
+
+
+def _failed_reset_unison(diameter_bound: int, n_hint: int):
+    from repro.baselines.failed_reset_au import FailedResetUnison
+
+    return FailedResetUnison(diameter_bound)
+
+
+def _id_flood_le(diameter_bound: int, n_hint: int):
+    from repro.baselines.id_flood_le import IDFloodLE
+
+    return IDFloodLE(n_hint)
+
+
+def _id_greedy_mis(diameter_bound: int, n_hint: int):
+    from repro.baselines.luby_mis import IDGreedyMIS
+
+    return IDGreedyMIS(n_hint)
+
+
+def _luby_mis(diameter_bound: int, n_hint: int):
+    from repro.baselines.luby_mis import LubyTrialMIS
+
+    return LubyTrialMIS()
+
+
+def _min_unison_stable(algorithm, configuration) -> bool:
+    from repro.baselines.min_unison import min_unison_stable
+
+    return min_unison_stable(configuration)
+
+
+def _reset_tail_stable(algorithm, configuration) -> bool:
+    from repro.baselines.reset_tail_unison import reset_tail_stable
+
+    return reset_tail_stable(algorithm, configuration)
+
+
+def _failed_reset_stable(algorithm, configuration) -> bool:
+    from repro.baselines.failed_reset_au import failed_reset_stable
+
+    return failed_reset_stable(algorithm, configuration)
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Capability declaration for one :data:`ALGORITHM_FACTORIES` entry.
+
+    The declaration is the single source of truth for spec-time
+    validation: a :class:`Scenario` naming this algorithm must stay
+    within the declared ``engines`` / ``schedulers`` / ``starts`` /
+    ``fault_kinds``, and may set ``batch_replicas > 1`` only when
+    ``batchable`` is true.  ``factory`` builds a fresh algorithm
+    instance from ``(diameter_bound, n_hint)`` — algorithms that ignore
+    one of the two simply discard it.
+    """
+
+    #: Registry name (the ``Scenario.algorithm`` axis value).
+    name: str
+    #: The task whose correctness oracle applies (``au``/``le``/``mis``).
+    task: str
+    #: ``(diameter_bound, n_hint) -> Algorithm`` builder.
+    factory: Callable[[int, int], object]
+    #: Engine names the algorithm can run on (object always included;
+    #: ``array`` only with a vectorized kernel lane, differentially
+    #: tested against the object engine).
+    engines: Tuple[str, ...]
+    #: Daemon names the algorithm is defined under.
+    schedulers: Tuple[str, ...]
+    #: Start names the algorithm supports (``ids`` = the algorithm's
+    #: own :meth:`initial_configuration` with per-node unique IDs).
+    starts: Tuple[str, ...]
+    #: Fault kinds the runner may impose on this algorithm.
+    fault_kinds: Tuple[str, ...]
+    #: Whether the algorithm self-stabilizes from *arbitrary* states
+    #: (informational; shown by ``repro algorithms`` and the docs).
+    self_stabilizing: bool = True
+    #: Whether replica-batched ensembles (PR 5/6) support it.
+    batchable: bool = False
+    #: Human-readable ``|Q|`` formula for tables (``D`` = diameter
+    #: bound, ``n`` = node count).
+    state_bits_formula: str = ""
+    #: One-line description for ``repro algorithms`` and the docs.
+    summary: str = ""
+    #: AU-task stabilization predicate ``(algorithm, configuration) ->
+    #: bool``; ``None`` means the engine's ``graph_is_good`` fast path
+    #: (thin unison only).
+    stable: Optional[Callable[[object, object], bool]] = field(
+        default=None, compare=False
+    )
+
+    def make(self, diameter_bound: int, n_hint: int = 0):
+        """A fresh algorithm instance for one scenario run."""
+        return self.factory(diameter_bound, n_hint)
+
+    def state_bits(self, diameter_bound: int, n_hint: int = 0) -> Optional[float]:
+        """Exact bits per node, ``log2 |Q|`` from the declared state
+        space; ``None`` when the state space is unbounded."""
+        algorithm = self.make(diameter_bound, max(n_hint, 1))
+        try:
+            size = algorithm.state_space_size()
+        except NotImplementedError:
+            return None
+        return math.log2(size)
+
+    def coverage(self) -> int:
+        """Scenario-axis generality: the number of supported start and
+        fault-kind values, plus one for the self-stabilization
+        guarantee.
+
+        The Pareto aggregation uses this as a fourth frontier axis
+        (maximized): a baseline that wins time/space/work only by
+        giving up adversarial starts, fault tolerance, or
+        self-stabilization itself — the Figure 2 strawman is fastest
+        *and* thinnest from benign random starts — must not dominate
+        an algorithm that keeps those guarantees.  That trade is the
+        paper's Sec. 5 comparison, made literal.
+        """
+        return (
+            len(self.starts)
+            + len(self.fault_kinds)
+            + int(self.self_stabilizing)
+        )
+
+
+#: The algorithm axis registry, mirroring :data:`ENGINE_FACTORIES` /
+#: :data:`SCHEDULER_FACTORIES`: adding an entry here is the only step
+#: needed to make an algorithm a campaign axis (capability validation,
+#: ``repro algorithms``, and the docs drift test all derive from it).
+ALGORITHM_FACTORIES: Dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in (
+        AlgorithmSpec(
+            name="thin-unison",
+            task="au",
+            factory=_thin_unison,
+            engines=ALL_ENGINES,
+            schedulers=_ALL_SCHEDULERS,
+            starts=AU_STARTS,
+            fault_kinds=FAULT_KINDS,
+            self_stabilizing=True,
+            batchable=True,
+            state_bits_formula="log2(12D+6)",
+            summary=(
+                "The paper's AlgAU: constant state per node "
+                "(|Q| = 12D+6), every engine tier and fault kind."
+            ),
+        ),
+        AlgorithmSpec(
+            name="alg-le",
+            task="le",
+            factory=_alg_le,
+            engines=("object",),
+            schedulers=_ALL_SCHEDULERS,
+            starts=("random", "uniform"),
+            fault_kinds=("none",),
+            self_stabilizing=True,
+            state_bits_formula="log2 |Q_LE(D)|",
+            summary=(
+                "The paper's leader election composed over the AU "
+                "synchronizer (Theorem 13)."
+            ),
+        ),
+        AlgorithmSpec(
+            name="alg-mis",
+            task="mis",
+            factory=_alg_mis,
+            engines=("object",),
+            schedulers=_ALL_SCHEDULERS,
+            starts=("random", "uniform"),
+            fault_kinds=("none",),
+            self_stabilizing=True,
+            state_bits_formula="log2 |Q_MIS(D)|",
+            summary=(
+                "The paper's maximal independent set composed over the "
+                "AU synchronizer (Theorem 14)."
+            ),
+        ),
+        AlgorithmSpec(
+            name="min-unison",
+            task="au",
+            factory=_min_unison,
+            engines=("object",),
+            schedulers=_ALL_SCHEDULERS,
+            starts=("random", "uniform"),
+            fault_kinds=("none",),
+            self_stabilizing=True,
+            state_bits_formula="unbounded",
+            summary=(
+                "Textbook min-increment unison over unbounded counters: "
+                "fast, but no finite state space."
+            ),
+            stable=_min_unison_stable,
+        ),
+        AlgorithmSpec(
+            name="reset-tail-unison",
+            task="au",
+            factory=_reset_tail_unison,
+            engines=("object", "array"),
+            schedulers=_ALL_SCHEDULERS,
+            starts=("random", "uniform"),
+            fault_kinds=("none",),
+            self_stabilizing=True,
+            state_bits_formula="log2(8D+6)",
+            summary=(
+                "Reset-wave unison with a climb-out tail (|Q| = 8D+6): "
+                "fewer bits than AlgAU, paid for in reset-wave moves."
+            ),
+            stable=_reset_tail_stable,
+        ),
+        AlgorithmSpec(
+            name="failed-reset-unison",
+            task="au",
+            factory=_failed_reset_unison,
+            engines=("object",),
+            schedulers=_ALL_SCHEDULERS,
+            starts=("random", "uniform"),
+            fault_kinds=("none",),
+            self_stabilizing=False,
+            state_bits_formula="log2(4D+2)",
+            summary=(
+                "The Figure 2 strawman: global reset waves with too few "
+                "reset phases — livelocks under adversarial daemons."
+            ),
+            stable=_failed_reset_stable,
+        ),
+        AlgorithmSpec(
+            name="id-flood-le",
+            task="le",
+            factory=_id_flood_le,
+            engines=("object",),
+            schedulers=_ALL_SCHEDULERS,
+            starts=("ids",),
+            fault_kinds=("none",),
+            self_stabilizing=False,
+            state_bits_formula="2*log2(n)",
+            summary=(
+                "Max-ID flooding leader election: needs unique IDs "
+                "(the `ids` start), |Q| = n^2."
+            ),
+        ),
+        AlgorithmSpec(
+            name="id-greedy-mis",
+            task="mis",
+            factory=_id_greedy_mis,
+            engines=("object",),
+            schedulers=_ALL_SCHEDULERS,
+            starts=("ids",),
+            fault_kinds=("none",),
+            self_stabilizing=False,
+            state_bits_formula="log2(3n)",
+            summary=(
+                "Greedy local-minimum-ID MIS: needs unique IDs "
+                "(the `ids` start), |Q| = 3n."
+            ),
+        ),
+        AlgorithmSpec(
+            name="luby-mis",
+            task="mis",
+            factory=_luby_mis,
+            engines=("object",),
+            schedulers=_ALL_SCHEDULERS,
+            # Uniform (all-undecided) starts only: a random start can
+            # contain adjacent decided-IN nodes, and decisions are
+            # forever — there is no detection to recover from them.
+            starts=("uniform",),
+            fault_kinds=("none",),
+            self_stabilizing=False,
+            state_bits_formula="log2(12)",
+            summary=(
+                "Randomized Luby-style trial MIS: constant state, "
+                "unsound under asynchrony by design (tie-blind)."
+            ),
+        ),
+    )
+}
+
+#: The algorithm a task runs when a scenario leaves ``algorithm`` empty
+#: — the paper's own algorithm for each task, so every pre-existing
+#: campaign spec keeps meaning exactly what it meant.
+DEFAULT_ALGORITHMS: Dict[str, str] = {
+    "au": "thin-unison",
+    "le": "alg-le",
+    "mis": "alg-mis",
+}
+
+
+def algorithm_names() -> Tuple[str, ...]:
+    """All registered algorithm names, sorted."""
+    return tuple(sorted(ALGORITHM_FACTORIES))
+
+
+def algorithm_spec(name: str) -> AlgorithmSpec:
+    """The capability declaration for ``name``, with a clear error."""
+    try:
+        return ALGORITHM_FACTORIES[name]
+    except KeyError:
+        valid = ", ".join(algorithm_names())
+        raise ValueError(
+            f"unknown algorithm {name!r}: valid algorithms are {valid}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -189,6 +532,7 @@ class FaultPlan:
 
     @property
     def label(self) -> str:
+        """A compact human-readable tag for aggregate rows."""
         if self.kind == "none":
             return "none"
         if self.kind == "bursts":
@@ -240,6 +584,12 @@ class Scenario:
     #: aggregates.  Only fault-free AU scenarios on the vectorized
     #: engines under oblivious schedulers qualify.
     batch_replicas: int = 1
+    #: The algorithm axis: an :data:`ALGORITHM_FACTORIES` name.  The
+    #: empty default resolves to the task's paper algorithm
+    #: (:data:`DEFAULT_ALGORITHMS`), so pre-existing specs are
+    #: unchanged.  Every other axis is validated against the
+    #: algorithm's :class:`AlgorithmSpec` capability declaration.
+    algorithm: str = ""
 
     def __post_init__(self) -> None:
         if self.task not in TASKS:
@@ -251,11 +601,6 @@ class Scenario:
             raise ValueError(
                 f"unknown engine {self.engine!r}: valid engine names are "
                 f"{', '.join(ENGINE_NAMES)}"
-            )
-        if self.task != "au" and self.engine != "object":
-            raise ValueError(
-                f"task {self.task!r} runs on the object engine only (the "
-                f"array backend vectorizes AlgAU)"
             )
         if self.scheduler not in SCHEDULER_FACTORIES:
             valid = ", ".join(scheduler_names())
@@ -269,10 +614,43 @@ class Scenario:
                 f"start {self.start!r} is not defined for task "
                 f"{self.task!r}: valid starts are {', '.join(starts)}"
             )
-        if self.task != "au" and self.faults.kind != "none":
+        if not self.algorithm:
+            object.__setattr__(self, "algorithm", DEFAULT_ALGORITHMS[self.task])
+        spec = algorithm_spec(self.algorithm)
+        if spec.task != self.task:
             raise ValueError(
-                "fault plans are defined for the AU task only "
-                "(LE/MIS recovery is exercised through the synchronizer)"
+                f"algorithm {self.algorithm!r} implements task "
+                f"{spec.task!r}, not {self.task!r}"
+            )
+        if self.engine not in spec.engines:
+            raise ValueError(
+                f"algorithm {self.algorithm!r} does not support engine "
+                f"{self.engine!r}: supported engines are "
+                f"{', '.join(spec.engines)}"
+            )
+        if self.scheduler not in spec.schedulers:
+            raise ValueError(
+                f"algorithm {self.algorithm!r} is not defined under "
+                f"scheduler {self.scheduler!r}: supported schedulers are "
+                f"{', '.join(spec.schedulers)}"
+            )
+        if self.start not in spec.starts:
+            raise ValueError(
+                f"algorithm {self.algorithm!r} does not support start "
+                f"{self.start!r}: supported starts are "
+                f"{', '.join(spec.starts)}"
+            )
+        if self.faults.kind not in spec.fault_kinds:
+            raise ValueError(
+                f"algorithm {self.algorithm!r} does not support fault "
+                f"kind {self.faults.kind!r}: supported kinds are "
+                f"{', '.join(spec.fault_kinds)}"
+            )
+        if self.batch_replicas > 1 and not spec.batchable:
+            raise ValueError(
+                f"algorithm {self.algorithm!r} does not support "
+                "replica-batched ensembles; only batchable algorithms "
+                "(thin-unison) can set batch_replicas > 1"
             )
         if self.diameter_bound < 1:
             raise ValueError("diameter bound must be >= 1")
@@ -321,7 +699,7 @@ class Scenario:
             f"{self.campaign}/{self.index:04d}:{self.task}"
             f"@{self.graph}[{params}]"
             f"/D{self.diameter_bound}/{self.scheduler}/{self.start}"
-            f"/{self.engine}/{self.faults.label}/s{self.seed}"
+            f"/{self.engine}/{self.algorithm}/{self.faults.label}/s{self.seed}"
         )
 
     def batch_key(self) -> Tuple:
@@ -343,15 +721,19 @@ class Scenario:
             self.max_rounds,
             self.faults,
             self.batch_replicas,
+            self.algorithm,
         )
 
     def params(self) -> Dict[str, object]:
+        """``graph_params`` as a plain dict."""
         return dict(self.graph_params)
 
     def tag(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """The value of tag ``key`` (``default`` when absent)."""
         return dict(self.tags).get(key, default)
 
     def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot (see ``from_dict``)."""
         data = asdict(self)
         data["graph_params"] = [list(pair) for pair in self.graph_params]
         data["tags"] = [list(pair) for pair in self.tags]
@@ -361,6 +743,7 @@ class Scenario:
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Scenario":
+        """Rebuild a :class:`Scenario` from ``to_dict`` output."""
         payload = dict(data)
         payload["graph_params"] = tuple(
             (k, v) for k, v in payload.get("graph_params", ())
@@ -399,6 +782,13 @@ class ScenarioResult:
     #: semantics as ``ContainmentMeasurement.clean_fraction``).
     containment_radius: Optional[int] = None
     clean_fraction: Optional[float] = None
+    #: Pareto metrics (PR 7): exact state bits per node from the
+    #: algorithm's declared state space (``None`` when unbounded), and
+    #: total work in moves — node activations that changed the state —
+    #: counted identically by the per-step monitors and the
+    #: replica-batch retirement path.
+    state_bits: Optional[float] = None
+    moves: Optional[int] = None
     detail: str = ""
     tags: Tuple[Tuple[str, str], ...] = ()
     elapsed_ms: float = 0.0
@@ -407,15 +797,18 @@ class ScenarioResult:
         object.__setattr__(self, "tags", tuple((str(k), str(v)) for k, v in self.tags))
 
     def tag(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """The value of tag ``key`` (``default`` when absent)."""
         return dict(self.tags).get(key, default)
 
     def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable snapshot (see ``from_dict``)."""
         data = asdict(self)
         data["tags"] = [list(pair) for pair in self.tags]
         return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioResult":
+        """Rebuild a :class:`ScenarioResult` from ``to_dict`` output."""
         payload = dict(data)
         payload["tags"] = tuple((k, v) for k, v in payload.get("tags", ()))
         known = {f.name for f in fields(cls)}

@@ -12,12 +12,16 @@ Subcommands regenerate the paper's artifacts from the terminal:
 * ``repro engines`` — the execution-engine registry with a per-engine
   availability probe (the ``native`` row reports which compiled backend
   resolved, or why it fell back);
+* ``repro algorithms`` — the algorithm registry: per-algorithm task,
+  engine lanes, state bits (exact at a sample diameter bound), and the
+  Scenario axes each entry supports;
 * ``repro campaign {list,run,report}`` — registry-driven scenario
   campaigns: sharded parallel sweeps over graph family × scheduler ×
-  adversarial start × fault plan × engine, checkpointed to JSONL and
-  aggregated into ``BENCH_campaign_*.json`` artifacts.  The
+  adversarial start × fault plan × engine × algorithm, checkpointed to
+  JSONL and aggregated into ``BENCH_campaign_*.json`` artifacts.  The
   ``byzantine`` registry exercises the permanent-fault resilience
-  subsystem (engine-paired containment sweeps).
+  subsystem (engine-paired containment sweeps); ``pareto-unison``
+  sweeps the algorithm zoo into a time/space/workload frontier.
 
 ``python -m repro`` (via :mod:`repro.__main__`) and the installed
 ``repro`` console script both invoke :func:`main`.
@@ -267,6 +271,44 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.campaigns.spec import ALGORITHM_FACTORIES, algorithm_names
+
+    d = args.diameter_bound
+    rows = []
+    for name in algorithm_names():
+        spec = ALGORITHM_FACTORIES[name]
+        bits = spec.state_bits(d, n_hint=args.nodes)
+        rows.append(
+            (
+                name,
+                spec.task,
+                "+".join(spec.engines),
+                spec.state_bits_formula or "-",
+                f"{bits:.2f}" if bits is not None else "unbounded",
+                "yes" if spec.self_stabilizing else "NO",
+                spec.summary,
+            )
+        )
+    print(
+        render_table(
+            [
+                "algorithm",
+                "task",
+                "engines",
+                "state bits",
+                f"bits@D={d}",
+                "self-stab",
+                "description",
+            ],
+            rows,
+            title="Algorithm registry",
+        )
+    )
+    return 0
+
+
 def _cmd_campaign_list(args: argparse.Namespace) -> int:
     from repro.analysis.tables import render_table
     from repro.campaigns import (
@@ -275,13 +317,21 @@ def _cmd_campaign_list(args: argparse.Namespace) -> int:
         registry_names,
     )
 
-    rows = [
-        (name, len(build_campaign(name)), describe_registry(name))
-        for name in registry_names()
-    ]
+    rows = []
+    for name in registry_names():
+        scenarios = build_campaign(name)
+        algorithms = sorted({s.algorithm for s in scenarios})
+        rows.append(
+            (
+                name,
+                len(scenarios),
+                ",".join(algorithms),
+                describe_registry(name),
+            )
+        )
     print(
         render_table(
-            ["registry", "scenarios", "description"],
+            ["registry", "scenarios", "algorithms", "description"],
             rows,
             title="Campaign registries",
         )
@@ -424,6 +474,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the execution engines with a per-engine availability probe",
     )
     p.set_defaults(fn=_cmd_engines)
+
+    p = sub.add_parser(
+        "algorithms",
+        help="list the algorithm registry: tasks, engine lanes, state bits",
+    )
+    p.add_argument(
+        "--diameter-bound",
+        type=int,
+        default=2,
+        help="diameter bound for the exact per-node state-bits column",
+    )
+    p.add_argument(
+        "--nodes",
+        type=int,
+        default=16,
+        help="node-count hint for ID-based algorithms' state bits",
+    )
+    p.set_defaults(fn=_cmd_algorithms)
 
     p = sub.add_parser("campaign", help="registry-driven scenario campaigns")
     csub = p.add_subparsers(dest="campaign_command", required=True)

@@ -588,6 +588,11 @@ class ArrayExecution(ExecutionBase["Turn"]):
         ``is_good_graph(algorithm, execution.configuration)`` without
         decoding the configuration — and, on the incremental pipeline,
         answered from maintained counts in O(1) amortized."""
+        if not hasattr(self._kernel, "goodness_counts"):
+            # Non-AlgAU kernels (e.g. the reset-tail lane) carry no
+            # goodness machinery; defer to the base, whose clear
+            # ModelError points at the algorithm's own predicate.
+            return super().graph_is_good()
         if not self.incremental:
             return self._kernel.is_good(self._codes, self._csr)
         if self._goodness is None:

@@ -253,9 +253,11 @@ class ExecutionBase(ABC, Generic[Q]):
 
     @property
     def completed_rounds(self) -> int:
+        """Fully completed asynchronous rounds so far."""
         return self._rounds.completed_rounds
 
     def state_of(self, v: int) -> Q:
+        """The current state of node ``v``."""
         return self.configuration[v]
 
     def replace_configuration(self, configuration: Configuration) -> None:

@@ -93,6 +93,12 @@ class ReplicaOutcome:
     #: stabilized, else the completed rounds at budget exhaustion.
     rounds: int
     steps: int
+    #: Total work in moves — activations that changed a lane's state —
+    #: folded per replica from the ensemble diff stream; bit-identical
+    #: to a solo run's :class:`~repro.analysis.monitors.MoveCounter`
+    #: (retired replicas stop being activated, so the count freezes at
+    #: the stabilizing step exactly like a solo ``run(until=...)``).
+    moves: int = 0
 
 
 class _Replica:
@@ -166,7 +172,7 @@ class _Replica:
         at_boundary = self.t == self.round_start + self.n
         return self.completed + (0 if at_boundary else 1)
 
-    def outcome(self) -> ReplicaOutcome:
+    def outcome(self, moves: int = 0) -> ReplicaOutcome:
         return ReplicaOutcome(
             index=self.index,
             n=self.n,
@@ -174,6 +180,7 @@ class _Replica:
             stabilized=self.stabilized,
             rounds=self.rounds,
             steps=self.t,
+            moves=moves,
         )
 
 
@@ -260,6 +267,9 @@ class ReplicaBatchExecution(ArrayExecution):
         # each and folded incrementally from every fused change set.
         self._faulty_counts = np.zeros(len(reps), dtype=np.int64)
         self._bad_counts = np.zeros(len(reps), dtype=np.int64)
+        # Per-replica move totals, folded from the same diff stream as
+        # the goodness counts (one bincount per step).
+        self._move_counts = np.zeros(len(reps), dtype=np.int64)
         for rep, spec in zip(reps, specs):
             faulty, bad = self._goodness_counts(
                 self._flat[rep.offset : rep.offset + rep.n],
@@ -499,7 +509,9 @@ class ReplicaBatchExecution(ArrayExecution):
                     queue_reps = [rep for rep in queue_reps if not rep.done]
                     if len(queue_reps) != before:
                         q_base, q_pos = queue_arrays()
-        return [rep.outcome() for rep in reps]
+        return [
+            rep.outcome(moves=int(self._move_counts[rep.index])) for rep in reps
+        ]
 
     def _load_round(self, rep: _Replica, order: Optional[np.ndarray], t: int) -> None:
         """Stage one pre-drawn round into the shared queue buffer as
@@ -551,6 +563,10 @@ class ReplicaBatchExecution(ArrayExecution):
         k2 = self._kernel.num_clocks
         count = len(self._faulty_counts)
         owner = self._rep_of_node[diff]
+        # Every diff lane is one move (a state-changing activation);
+        # retired replicas are never activated, so their totals freeze
+        # at the stabilizing step exactly like a solo run.
+        self._move_counts += np.bincount(owner, minlength=count)
         faulty_delta = (new_diff >= k2).view(np.int8) - (old_diff >= k2).view(np.int8)
         if faulty_delta.any():
             self._faulty_counts += np.bincount(

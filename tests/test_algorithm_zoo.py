@@ -1,0 +1,408 @@
+"""The algorithm registry: capability declarations, per-algorithm
+property tests, the reset-tail vectorized lane differential, and the
+Pareto aggregation.
+
+Every :data:`~repro.campaigns.spec.ALGORITHM_FACTORIES` entry is
+covered here at least once — structurally (the declaration is complete
+and instantiable), behaviorally (a property or differential run), and
+at the Scenario seam (capability validation accepts what is declared
+and rejects what is not).  The docs table in
+``docs/algorithms.md`` is drift-checked against the same registry by
+``tests/test_docs_tables.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.min_unison import MinUnison, min_unison_stable
+from repro.baselines.reset_tail_unison import (
+    ResetTailUnison,
+    reset_tail_stable,
+)
+from repro.campaigns.aggregate import compute_pareto
+from repro.campaigns.runner import run_scenario
+from repro.campaigns.spec import (
+    ALGORITHM_FACTORIES,
+    DEFAULT_ALGORITHMS,
+    FaultPlan,
+    SCHEDULER_FACTORIES,
+    Scenario,
+    TASKS,
+    TASK_STARTS,
+    algorithm_names,
+    algorithm_spec,
+)
+from repro.faults.injection import random_configuration
+from repro.model.engine import ENGINE_NAMES, create_execution
+from repro.model.scheduler import (
+    ShuffledRoundRobinScheduler,
+    SynchronousScheduler,
+)
+from repro.graphs.generators import complete_graph, ring, star
+
+
+def _scenario(**overrides):
+    base = dict(
+        campaign="zoo",
+        index=0,
+        task="au",
+        graph="complete",
+        graph_params=(("n", 6),),
+        diameter_bound=1,
+        scheduler="synchronous",
+        engine="object",
+        start="random",
+        seed=7,
+        max_rounds=20_000,
+        group="g",
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestRegistryShape:
+    def test_every_entry_declares_full_capabilities(self):
+        for name, spec in ALGORITHM_FACTORIES.items():
+            assert spec.name == name
+            assert spec.task in TASKS
+            assert spec.engines and set(spec.engines) <= set(ENGINE_NAMES)
+            assert "object" in spec.engines, name
+            assert spec.schedulers and set(spec.schedulers) <= set(
+                SCHEDULER_FACTORIES
+            )
+            assert spec.starts and set(spec.starts) <= set(
+                TASK_STARTS[spec.task]
+            )
+            assert spec.fault_kinds
+            assert spec.summary
+            assert spec.coverage() >= 1
+
+    def test_every_entry_is_instantiable(self):
+        for name, spec in ALGORITHM_FACTORIES.items():
+            algorithm = spec.make(2, n_hint=8)
+            assert callable(algorithm.delta), name
+            bits = spec.state_bits(2, n_hint=8)
+            if spec.state_bits_formula == "unbounded":
+                assert bits is None
+            else:
+                assert bits is not None and bits > 0
+
+    def test_defaults_cover_every_task_with_the_papers_algorithm(self):
+        assert set(DEFAULT_ALGORITHMS) == set(TASKS)
+        for task, name in DEFAULT_ALGORITHMS.items():
+            spec = ALGORITHM_FACTORIES[name]
+            assert spec.task == task
+            assert spec.self_stabilizing
+
+    def test_algorithm_names_are_sorted_and_complete(self):
+        assert algorithm_names() == tuple(sorted(ALGORITHM_FACTORIES))
+
+    def test_unknown_algorithm_lists_valid_names(self):
+        with pytest.raises(ValueError, match="thin-unison"):
+            algorithm_spec("quantum-unison")
+
+    def test_thin_unison_is_the_most_general_entry(self):
+        """The paper's algorithm must strictly out-cover every baseline
+        — the property the Pareto generality axis hinges on."""
+        thin = ALGORITHM_FACTORIES["thin-unison"].coverage()
+        for name, spec in ALGORITHM_FACTORIES.items():
+            if name != "thin-unison":
+                assert spec.coverage() < thin, name
+
+
+class TestCapabilityValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            # Task mismatch: an LE algorithm on the AU task.
+            {"algorithm": "alg-le"},
+            # Engine outside the declared lanes.
+            {"algorithm": "min-unison", "engine": "array"},
+            {"algorithm": "failed-reset-unison", "engine": "native"},
+            # Start outside the declared suite.
+            {"algorithm": "reset-tail-unison", "start": "sign-split"},
+            {
+                "task": "le",
+                "algorithm": "id-flood-le",
+                "start": "random",
+            },
+            # Fault kinds: only thin-unison takes fault plans.
+            {
+                "algorithm": "min-unison",
+                "faults": FaultPlan(kind="bursts", bursts=1),
+            },
+            # Batching: only thin-unison is batchable.
+            {
+                "algorithm": "reset-tail-unison",
+                "engine": "array",
+                "batch_replicas": 2,
+            },
+            # Unknown registry name.
+            {"algorithm": "quantum-unison"},
+        ],
+    )
+    def test_rejects_out_of_capability_scenarios(self, overrides):
+        with pytest.raises(ValueError):
+            _scenario(**overrides)
+
+    def test_blank_algorithm_resolves_to_the_task_default(self):
+        assert _scenario().algorithm == "thin-unison"
+        le = _scenario(task="le", max_rounds=1000)
+        assert le.algorithm == "alg-le"
+
+    def test_algorithm_enters_the_scenario_id_and_roundtrips(self):
+        scenario = _scenario(algorithm="reset-tail-unison")
+        assert "/reset-tail-unison/" in scenario.scenario_id
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_accepts_declared_lanes(self):
+        _scenario(algorithm="reset-tail-unison", engine="array")
+        _scenario(task="le", algorithm="id-flood-le", start="ids")
+        _scenario(task="mis", algorithm="luby-mis", start="uniform")
+
+
+class TestResetTailDifferential:
+    """The vectorized reset-tail lane must be bit-identical to the
+    object engine — same trajectory, round for round (the PR 1
+    differential contract, extended to the second array-lane
+    algorithm)."""
+
+    @pytest.mark.parametrize(
+        "make_graph,d,scheduler_cls,seed",
+        list(
+            itertools.product(
+                [lambda: complete_graph(6), lambda: star(6), lambda: ring(6)],
+                [3],
+                [SynchronousScheduler, ShuffledRoundRobinScheduler],
+                [0, 1],
+            )
+        ),
+    )
+    def test_engines_agree_round_for_round(
+        self, make_graph, d, scheduler_cls, seed
+    ):
+        topology = make_graph()
+        algorithm = ResetTailUnison.for_diameter_bound(d)
+        initial = random_configuration(
+            algorithm, topology, np.random.default_rng(seed)
+        )
+        trajectories = []
+        for engine in ("object", "array"):
+            execution = create_execution(
+                topology,
+                algorithm,
+                initial,
+                scheduler_cls(),
+                rng=np.random.default_rng(seed + 100),
+                engine=engine,
+            )
+            rounds = []
+            for _ in range(40):
+                execution.run_rounds(1)
+                rounds.append(
+                    tuple(
+                        execution.configuration[v].value
+                        for v in topology.nodes
+                    )
+                )
+            trajectories.append(rounds)
+        assert trajectories[0] == trajectories[1]
+
+    def test_stabilizes_to_the_declared_predicate(self):
+        result = run_scenario(
+            _scenario(
+                algorithm="reset-tail-unison",
+                engine="array",
+                scheduler="shuffled-round-robin",
+            )
+        )
+        assert result.stabilized
+        assert result.moves is not None and result.moves > 0
+        assert result.state_bits == pytest.approx(np.log2(8 * 1 + 6))
+
+
+class TestBaselineProperties:
+    def test_min_unison_stabilizes_and_the_predicate_is_closed(self):
+        topology = ring(7)
+        algorithm = MinUnison()
+        rng = np.random.default_rng(3)
+        execution = create_execution(
+            topology,
+            algorithm,
+            random_configuration(algorithm, topology, rng),
+            ShuffledRoundRobinScheduler(),
+            rng=rng,
+        )
+        execution.run(
+            until=lambda e: min_unison_stable(e.configuration),
+            max_rounds=500,
+        )
+        assert min_unison_stable(execution.configuration)
+        # Closure: once coherent, further rounds stay coherent.
+        for _ in range(10):
+            execution.run_rounds(1)
+            assert min_unison_stable(execution.configuration)
+
+    def test_reset_tail_predicate_is_closed(self):
+        topology = star(6)
+        algorithm = ResetTailUnison.for_diameter_bound(2)
+        rng = np.random.default_rng(5)
+        execution = create_execution(
+            topology,
+            algorithm,
+            random_configuration(algorithm, topology, rng),
+            SynchronousScheduler(),
+            rng=rng,
+        )
+        execution.run(
+            until=lambda e: reset_tail_stable(algorithm, e.configuration),
+            max_rounds=500,
+        )
+        assert reset_tail_stable(algorithm, execution.configuration)
+        for _ in range(10):
+            execution.run_rounds(1)
+            assert reset_tail_stable(algorithm, execution.configuration)
+
+    def test_failed_reset_converges_from_random_starts(self):
+        """The Figure 2 strawman is fine on benign inputs — that is
+        what makes it a strawman; only adversarial daemons break it
+        (see tests/test_failed_reset_au.py for the livelock)."""
+        result = run_scenario(_scenario(algorithm="failed-reset-unison"))
+        assert result.stabilized
+
+    def test_id_flood_le_elects_exactly_one_leader(self):
+        result = run_scenario(
+            _scenario(
+                task="le",
+                algorithm="id-flood-le",
+                start="ids",
+                graph="star",
+                graph_params=(("n", 7),),
+                diameter_bound=2,
+                max_rounds=1000,
+            )
+        )
+        assert result.stabilized
+
+    def test_id_greedy_mis_reaches_a_valid_mis(self):
+        result = run_scenario(
+            _scenario(
+                task="mis",
+                algorithm="id-greedy-mis",
+                start="ids",
+                graph="ring",
+                graph_params=(("n", 8),),
+                diameter_bound=4,
+                max_rounds=1000,
+            )
+        )
+        assert result.stabilized
+
+    def test_luby_mis_is_sound_under_serial_daemons(self):
+        """From the all-undecided start, serial activations break the
+        symmetric ties Luby trials are blind to under set-broadcast
+        signals (random starts are excluded by its capability
+        declaration: adjacent decided-IN nodes are forever)."""
+        result = run_scenario(
+            _scenario(
+                task="mis",
+                algorithm="luby-mis",
+                scheduler="shuffled-round-robin",
+                start="uniform",
+                graph="ring",
+                graph_params=(("n", 8),),
+                diameter_bound=4,
+                max_rounds=5000,
+            )
+        )
+        assert result.stabilized
+
+
+class TestMoveAccounting:
+    def test_solo_and_batched_moves_agree(self):
+        """The replica-batch retirement path must count moves exactly
+        like solo runs (same choke point as the rounds agreement)."""
+        from repro.campaigns.runner import run_scenario_batch
+
+        scenarios = [
+            _scenario(
+                index=i,
+                engine="replica-batch",
+                scheduler="synchronous",
+                seed=40 + i,
+                batch_replicas=3,
+            )
+            for i in range(3)
+        ]
+        batched = run_scenario_batch(scenarios)
+        solo = [
+            run_scenario(
+                _scenario(index=s.index, engine="array", seed=s.seed)
+            )
+            for s in scenarios
+        ]
+        assert [r.moves for r in batched] == [r.moves for r in solo]
+        assert [r.rounds for r in batched] == [r.rounds for r in solo]
+
+    def test_moves_are_none_free_and_positive_for_au_runs(self):
+        result = run_scenario(_scenario())
+        assert result.moves is not None and result.moves > 0
+        assert result.state_bits == pytest.approx(np.log2(12 * 1 + 6))
+
+
+class TestParetoAggregation:
+    @staticmethod
+    def _row(algorithm, rounds, bits, moves, graph="g", scheduler="s",
+             stabilized=True):
+        return {
+            "task": "au",
+            "graph": graph,
+            "scheduler": scheduler,
+            "algorithm": algorithm,
+            "rounds": rounds,
+            "state_bits": bits,
+            "moves": moves,
+            "stabilized": stabilized,
+        }
+
+    def test_generality_shields_the_more_general_algorithm(self):
+        """A strawman that wins all three measured axes must not
+        dominate the paper's algorithm — coverage is the fourth axis."""
+        rows = [
+            self._row("failed-reset-unison", 4, 2.6, 20),
+            self._row("thin-unison", 8, 4.2, 35),
+        ]
+        pareto = compute_pareto(rows)
+        assert pareto["g|s"]["frontier"] == [
+            "failed-reset-unison",
+            "thin-unison",
+        ]
+
+    def test_equal_coverage_lets_metrics_dominate(self):
+        rows = [
+            self._row("min-unison", 20, None, 90),
+            self._row("reset-tail-unison", 5, 3.8, 30),
+        ]
+        pareto = compute_pareto(rows)
+        # Identical declared coverage (starts/faults/self-stab), so the
+        # all-axes-worse unbounded baseline is dominated.
+        assert pareto["g|s"]["frontier"] == ["reset-tail-unison"]
+
+    def test_single_algorithm_cells_are_dropped(self):
+        rows = [self._row("thin-unison", 8, 4.2, 35)]
+        assert compute_pareto(rows) == {}
+
+    def test_unstabilized_algorithms_stay_visible_off_the_frontier(self):
+        rows = [
+            self._row("thin-unison", 8, 4.2, 35),
+            self._row("min-unison", 0, None, None, stabilized=False),
+        ]
+        pareto = compute_pareto(rows)
+        cell = pareto["g|s"]
+        assert cell["frontier"] == ["thin-unison"]
+        assert cell["cells"]["min-unison"]["stabilized"] == 0
+        assert cell["cells"]["min-unison"]["rounds"] is None

@@ -1,0 +1,133 @@
+"""The docs tables must never drift from the registries.
+
+``docs/algorithms.md`` and ``docs/engines.md`` each carry a markdown
+table that mirrors a code registry (``ALGORITHM_FACTORIES``,
+``ENGINE_FACTORIES``).  Docs rot silently; registries do not — so the
+tables are re-derived here cell by cell and compared.  Adding an
+algorithm or an engine without updating its docs page fails this test,
+as does editing a capability declaration without touching the docs.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from repro.campaigns.spec import ALGORITHM_FACTORIES, algorithm_names
+from repro.model.engine import ENGINE_FACTORIES, engine_class
+
+DOCS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "docs")
+
+
+def _read(page):
+    with open(os.path.join(DOCS_DIR, page), encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _split_row(line):
+    """Split one ``| a | b |`` table line into cells.
+
+    Pipes escaped as ``\\|`` (literal ``|Q|`` expressions) stay inside
+    their cell and are unescaped in the returned values.
+    """
+    cells = re.split(r"(?<!\\)\|", line.strip())
+    return [cell.strip().replace("\\|", "|") for cell in cells[1:-1]]
+
+
+def _parse_table(text, first_header):
+    """The (header, rows) of the table whose first column is named
+    ``first_header``."""
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if not line.startswith("|"):
+            continue
+        header = _split_row(line)
+        if header and header[0] == first_header:
+            rows = []
+            for row_line in lines[i + 2 :]:
+                if not row_line.startswith("|"):
+                    break
+                rows.append(_split_row(row_line))
+            return header, rows
+    raise AssertionError(f"no table with first column {first_header!r}")
+
+
+def _code(cell):
+    """Strip inline-code backticks (and quotes) from a cell."""
+    return cell.strip("`").strip('"')
+
+
+class TestAlgorithmZooTable:
+    """docs/algorithms.md mirrors ALGORITHM_FACTORIES cell for cell."""
+
+    def table(self):
+        header, rows = _parse_table(_read("algorithms.md"), "algorithm")
+        assert header == [
+            "algorithm",
+            "task",
+            "engines",
+            "starts",
+            "fault kinds",
+            "self-stabilizing",
+            "state bits",
+            "bits @ D=2, n=16",
+            "description",
+        ]
+        return rows
+
+    def test_every_registry_entry_has_a_row_and_vice_versa(self):
+        names = [_code(row[0]) for row in self.table()]
+        assert names == list(algorithm_names())
+
+    def test_cells_match_the_capability_declarations(self):
+        for row in self.table():
+            spec = ALGORITHM_FACTORIES[_code(row[0])]
+            assert row[1] == spec.task, row[0]
+            assert row[2] == "+".join(spec.engines), row[0]
+            assert row[3] == "+".join(spec.starts), row[0]
+            assert row[4] == "+".join(spec.fault_kinds), row[0]
+            assert row[5] == ("yes" if spec.self_stabilizing else "no"), row[0]
+            assert _code(row[6]) == spec.state_bits_formula, row[0]
+
+    def test_bit_counts_match_the_declared_state_spaces(self):
+        for row in self.table():
+            spec = ALGORITHM_FACTORIES[_code(row[0])]
+            bits = spec.state_bits(2, n_hint=16)
+            expected = "unbounded" if bits is None else f"{bits:.2f}"
+            assert row[7] == expected, row[0]
+
+    def test_descriptions_match_the_registry_summaries(self):
+        for row in self.table():
+            assert row[8] == ALGORITHM_FACTORIES[_code(row[0])].summary, row[0]
+
+
+class TestEngineTable:
+    """docs/engines.md mirrors ENGINE_FACTORIES and engine_class."""
+
+    def table(self):
+        header, rows = _parse_table(_read("engines.md"), "engine")
+        assert header[:2] == ["engine", "class"]
+        return rows
+
+    def test_every_engine_has_a_row_and_vice_versa(self):
+        names = [_code(row[0]) for row in self.table()]
+        assert names == list(ENGINE_FACTORIES)
+
+    def test_class_column_names_the_real_engine_classes(self):
+        for row in self.table():
+            assert _code(row[1]) == engine_class(_code(row[0])).__name__, row[0]
+
+
+class TestNavCoverage:
+    """Every docs page is reachable from the mkdocs nav (mkdocs is not
+    installed in the test environment, so ``mkdocs build --strict`` can
+    only run in CI — this keeps the nav honest locally too)."""
+
+    def test_nav_and_docs_dir_agree(self):
+        with open(
+            os.path.join(DOCS_DIR, "..", "mkdocs.yml"), encoding="utf-8"
+        ) as handle:
+            config = handle.read()
+        in_nav = set(re.findall(r":\s*([\w-]+\.md)\s*$", config, re.MULTILINE))
+        on_disk = {name for name in os.listdir(DOCS_DIR) if name.endswith(".md")}
+        assert in_nav == on_disk

@@ -28,6 +28,7 @@ EXAMPLES = [
     "byzantine_containment.py",
     "sparse_activation.py",
     "native_frontier.py",
+    "pareto_zoo.py",
 ]
 
 
