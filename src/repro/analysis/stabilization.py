@@ -112,6 +112,7 @@ def measure_static_task_stabilization(
     is_valid_output: Callable[[Sequence], bool],
     max_rounds: int,
     confirm_rounds: int = 50,
+    monitors: Tuple = (),
 ) -> StabilizationResult:
     """Rounds until a static task's output is valid and stays fixed.
 
@@ -121,12 +122,14 @@ def measure_static_task_stabilization(
     :class:`OutputChangeMonitor` folds the output vector forward from
     each step's change set, so the per-step predicate is O(1) until the
     vector is complete — no full-configuration snapshot per step.
+    Extra ``monitors`` (e.g. the campaign runner's wall-clock deadline
+    guard) are attached after the measurement's own.
     """
     monitor = OutputChangeMonitor(algorithm)
     moves = MoveCounter()
     execution = Execution(
         topology, algorithm, initial, scheduler, rng=rng,
-        monitors=(monitor, moves),
+        monitors=(monitor, moves, *monitors),
     )
 
     def looks_stable(e: Execution) -> bool:

@@ -24,6 +24,7 @@ from repro.campaigns.registry import (
     registry_names,
 )
 from repro.campaigns.runner import (
+    ScenarioTimeout,
     load_checkpoint,
     run_campaign,
     run_scenario,
@@ -42,6 +43,7 @@ __all__ = [
     "FaultPlan",
     "Scenario",
     "ScenarioResult",
+    "ScenarioTimeout",
     "aggregate_results",
     "build_campaign",
     "campaign",

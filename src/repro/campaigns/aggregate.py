@@ -33,6 +33,8 @@ def _row(scenario: Scenario, result: ScenarioResult) -> Dict[str, object]:
         "diameter_bound": scenario.diameter_bound,
         "scheduler": scenario.scheduler,
         "engine": scenario.engine,
+        "runtime": scenario.runtime,
+        "net_params": dict(scenario.net_params),
         "start": scenario.start,
         "algorithm": scenario.algorithm,
         "faults": scenario.faults.label,
@@ -50,6 +52,7 @@ def _row(scenario: Scenario, result: ScenarioResult) -> Dict[str, object]:
         "state_bits": result.state_bits,
         "moves": result.moves,
         "detail": result.detail,
+        "status": result.status,
     }
 
 
@@ -273,26 +276,42 @@ MEASURED_COLUMNS = (
     "state_bits",
     "moves",
     "detail",
+    "status",
 )
 
 
+def _lane(row: Dict[str, object]) -> str:
+    """A row's execution lane: engine plus runtime (``runtime`` defaults
+    to ``sim`` so pre-runtime-axis artifact rows keep verifying)."""
+    return f"{row['engine']}/{row.get('runtime', 'sim')}"
+
+
 def verify_engine_pairing(
-    rows: Sequence[Dict[str, object]], tag: str = "pairing"
+    rows: Sequence[Dict[str, object]],
+    tag: str = "pairing",
+    allow_unpaired: bool = False,
 ) -> List[str]:
     """Cross-check engine-paired aggregate rows.
 
     Registries built with shared ``seed_index`` values (the
-    ``byzantine`` campaign) run every experiment once per engine under
-    the same seed; since AlgAU and the permanent-fault adversary are
-    deterministic, all measured columns must be bit-identical within a
-    pairing.  Returns a list of human-readable mismatch descriptions
-    (empty = the engines agree), and raises :class:`ValueError` if the
-    rows are not actually paired.
+    ``byzantine`` campaign across engines, the ``net-smoke`` campaign
+    across the sim/net runtime lanes) run every experiment once per
+    *lane* — engine × runtime — under the same seed; since AlgAU and
+    the permanent-fault adversary are deterministic (and the net lane's
+    zero-noise runs mirror the sim parity stream), all measured columns
+    must be bit-identical within a pairing.  Returns a list of
+    human-readable mismatch descriptions (empty = the lanes agree), and
+    raises :class:`ValueError` if the rows are not actually paired.
+    ``allow_unpaired`` skips tag-less rows instead (for campaigns like
+    ``net-smoke`` that mix paired cells with deliberately unpaired
+    ones, e.g. lossy-link coverage that cannot be bit-compared).
     """
     pairs: Dict[str, List[Dict[str, object]]] = {}
     for row in rows:
         value = row["tags"].get(tag)
         if value is None:
+            if allow_unpaired:
+                continue
             raise ValueError(
                 f"row {row['scenario_id']!r} carries no {tag!r} tag; "
                 f"verify_engine_pairing needs an engine-paired campaign"
@@ -300,20 +319,20 @@ def verify_engine_pairing(
         pairs.setdefault(str(value), []).append(row)
     mismatches: List[str] = []
     for value, paired in sorted(pairs.items()):
-        engines = sorted(str(r["engine"]) for r in paired)
-        if len(paired) < 2 or len(set(engines)) < 2:
+        lanes = sorted(_lane(r) for r in paired)
+        if len(paired) < 2 or len(set(lanes)) < 2:
             raise ValueError(
-                f"pairing {value!r} covers engines {engines}; expected "
-                f"one row per engine"
+                f"pairing {value!r} covers lanes {lanes}; expected "
+                f"one row per engine/runtime lane"
             )
         reference = paired[0]
         for other in paired[1:]:
             for column in MEASURED_COLUMNS:
-                if reference[column] != other[column]:
+                if reference.get(column) != other.get(column):
                     mismatches.append(
                         f"pairing {value}: {column} differs between "
-                        f"{reference['engine']} ({reference[column]!r}) and "
-                        f"{other['engine']} ({other[column]!r}) "
+                        f"{_lane(reference)} ({reference.get(column)!r}) and "
+                        f"{_lane(other)} ({other.get(column)!r}) "
                         f"[{reference['scenario_id']}]"
                     )
     return mismatches

@@ -34,7 +34,12 @@ Shipped registries:
   baseline × graph family × daemon, engine-paired where an algorithm
   ships both lanes, aggregated into per-cell ``{rounds, state_bits,
   moves}`` metrics and a non-dominated frontier (the Sec. 5
-  time/space/workload comparison as a CI artifact).
+  time/space/workload comparison as a CI artifact);
+* ``net-smoke`` — the sim-vs-net differential: every cell runs once on
+  the ``array`` simulation lane and once on the message-passing net
+  runtime over zero-noise links with a shared seed, so the aggregation
+  cross-checks the deployment runtime bit for bit; a small unpaired
+  block exercises lossy/delayed links.
 """
 
 from __future__ import annotations
@@ -85,6 +90,8 @@ class CampaignBuilder:
         seed_index: Optional[int] = None,
         batch_replicas: int = 1,
         algorithm: str = "",
+        runtime: str = "sim",
+        net_params: Tuple[Tuple[str, object], ...] = (),
     ) -> Scenario:
         """Append one scenario.
 
@@ -98,6 +105,9 @@ class CampaignBuilder:
         ``algorithm`` picks an entry from
         :data:`~repro.campaigns.spec.ALGORITHM_FACTORIES` (empty =
         the task's default, i.e. the paper's algorithm).
+        ``runtime="net"`` routes the scenario through the asyncio
+        message-passing runtime with the link knobs in ``net_params``
+        (see :mod:`repro.net.adapter`).
         """
         index = len(self.scenarios)
         scenario = Scenario(
@@ -117,6 +127,8 @@ class CampaignBuilder:
             tags=tags,
             batch_replicas=batch_replicas,
             algorithm=algorithm,
+            runtime=runtime,
+            net_params=net_params,
         )
         self.scenarios.append(scenario)
         return scenario
@@ -844,3 +856,101 @@ def _pareto_unison(builder: CampaignBuilder) -> None:
                             seed_index=pair,
                         )
                     pair += 1
+
+
+#: Families for the sim-vs-net differential: a large-diameter ring, a
+#: dense random graph, and the biological quorum colony, so the net
+#: runtime's register propagation is cross-checked both where messages
+#: travel far and where neighborhoods are wide.  (name, params, D,
+#: permanent-fault containment radius.)
+NET_SMOKE_GRAPHS: Tuple[Tuple[str, Tuple[Tuple[str, object], ...], int, int], ...] = (
+    ("ring", (("n", 12),), 6, 3),
+    ("gnp", (("n", 12), ("p", 0.5)), 4, 3),
+    ("quorum-colony", (("n", 10), ("diameter_bound", 2)), 2, 2),
+)
+
+
+@campaign(
+    "net-smoke",
+    "sim-vs-net differential: runtime-paired zero-noise cells over "
+    "families x starts x daemons x permanent faults, plus lossy links",
+)
+def _net_smoke(builder: CampaignBuilder) -> None:
+    """Every cell runs once with ``runtime="sim"`` and once with
+    ``runtime="net"`` under the *same* derived seed (``seed_index``
+    pairing, like the ``byzantine`` campaign) over zero-noise links, so
+    the aggregation can assert the message-passing runtime reproduces
+    the array engine bit for bit — the differential contract of
+    ``docs/net-runtime.md`` (enforced by
+    :func:`repro.campaigns.aggregate.verify_engine_pairing`, which
+    treats ``engine/runtime`` as the lane identity).  A trailing
+    unpaired block runs lossy/delayed links for coverage of the noise
+    machinery; those rows carry no pairing tag, so the cross-check
+    skips them."""
+    pair = 0
+
+    def add_pair(graph, params, d, scheduler="synchronous",
+                 start="uniform", faults=NO_FAULTS):
+        """One sim/net-paired cell under one shared seed."""
+        nonlocal pair
+        group = (
+            f"au@{graph}" if faults.kind == "none"
+            else f"{faults.kind}@{graph}"
+        )
+        for runtime in ("sim", "net"):
+            builder.add_au(
+                graph,
+                params,
+                d,
+                scheduler=scheduler,
+                engine="array",
+                start=start,
+                max_rounds=4000,
+                faults=faults,
+                runtime=runtime,
+                group=group,
+                tags=(("pairing", str(pair)),),
+                seed_index=pair,
+            )
+        pair += 1
+
+    for graph, params, d, _ in NET_SMOKE_GRAPHS:
+        for start in ("uniform", "random"):
+            add_pair(graph, params, d, start=start)
+        add_pair(graph, params, d, scheduler="shuffled-round-robin",
+                 start="random")
+    for graph, params, d, radius in NET_SMOKE_GRAPHS:
+        add_pair(
+            graph,
+            params,
+            d,
+            start="random",
+            faults=FaultPlan(
+                kind="byzantine", strategy="frozen", density=0.1,
+                radius=radius,
+            ),
+        )
+        add_pair(
+            graph,
+            params,
+            d,
+            start="random",
+            faults=FaultPlan(kind="crash", density=0.12, times=(25,),
+                             radius=radius),
+        )
+    # Unpaired noisy-link coverage: lossy and delayed variants of the
+    # ring cell (stabilization slows but must still complete).
+    for key, value in (("loss", 0.2), ("delay", 1.0)):
+        builder.add_au(
+            "ring",
+            (("n", 12),),
+            6,
+            scheduler="synchronous",
+            engine="array",
+            start="random",
+            max_rounds=4000,
+            runtime="net",
+            net_params=((key, value),),
+            group="noisy@ring",
+            tags=((key, f"{value:g}"),),
+        )

@@ -29,6 +29,7 @@ thousand-scenario sweep.
 
 from __future__ import annotations
 
+import functools
 import json
 import multiprocessing
 import os
@@ -63,7 +64,7 @@ from repro.faults.injection import (
 from repro.graphs.generators import make_graph
 from repro.graphs.topology import Topology
 from repro.model.configuration import Configuration
-from repro.model.engine import create_execution
+from repro.model.engine import Monitor, create_execution
 from repro.model.replica_engine import ReplicaSpec
 from repro.resilience.adversary import (
     PermanentFaultAdversary,
@@ -157,7 +158,114 @@ def _stabilization_round(execution) -> int:
     return execution.completed_rounds + (0 if at_boundary else 1)
 
 
-def _run_permanent(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
+class ScenarioTimeout(Exception):
+    """Raised by the deadline monitor when a scenario exceeds its
+    per-scenario wall-clock budget."""
+
+
+class _DeadlineMonitor(Monitor):
+    """Raises :class:`ScenarioTimeout` once the wall clock passes the
+    deadline.
+
+    Riding the per-step monitor hook means the guard needs no threads
+    or signals (both of which are off limits inside pool workers) and
+    fires between steps, never mid-update — the execution it interrupts
+    is simply abandoned.  The guard cannot preempt a single step that
+    hangs internally, but every engine's step is bounded work.
+    """
+
+    def __init__(self, deadline: float) -> None:
+        self.deadline = deadline
+
+    def on_step(self, execution, record) -> None:
+        """Check the wall clock after every step."""
+        if time.perf_counter() >= self.deadline:
+            raise ScenarioTimeout()
+
+
+def _timeout_result(
+    scenario: Scenario, timeout_s: float, started: float
+) -> ScenarioResult:
+    """The deterministic row for a timed-out scenario.
+
+    Every measured column is a placeholder (not the partial measurement,
+    which would depend on host speed): the row is a pure function of the
+    spec and the budget, so timed-out campaigns still aggregate
+    bit-identically across worker counts and machines — only
+    ``elapsed_ms`` (excluded from aggregates) varies.
+    """
+    return ScenarioResult(
+        scenario_id=scenario.scenario_id,
+        index=scenario.index,
+        group=scenario.group,
+        stabilized=False,
+        rounds=0,
+        steps=0,
+        n=0,
+        m=0,
+        detail=f"scenario exceeded the {timeout_s:g}s wall-clock budget",
+        status="timeout",
+        tags=scenario.tags,
+        elapsed_ms=(time.perf_counter() - started) * 1000.0,
+    )
+
+
+def _create_scenario_execution(
+    scenario: Scenario,
+    topology: Topology,
+    algorithm,
+    initial: Configuration,
+    rng,
+    intervention=None,
+    monitors: Tuple[Monitor, ...] = (),
+):
+    """Build the scenario's execution on its runtime lane.
+
+    ``runtime="sim"`` dispatches to the engine registry;
+    ``runtime="net"`` builds a message-passing
+    :class:`~repro.net.runtime.NetExecution` through the
+    :class:`~repro.net.adapter.NetAdapter` (link knobs from
+    ``net_params``, link-noise stream seeded from the scenario seed).
+    """
+    if scenario.runtime == "net":
+        from repro.net.adapter import NetAdapter
+
+        return NetAdapter.create(
+            scenario,
+            topology,
+            algorithm,
+            initial,
+            make_scheduler(scenario.scheduler),
+            rng=rng,
+            monitors=monitors,
+            intervention=intervention,
+        )
+    return create_execution(
+        topology,
+        algorithm,
+        initial,
+        make_scheduler(scenario.scheduler),
+        rng=rng,
+        intervention=intervention,
+        engine=scenario.engine,
+        monitors=monitors,
+    )
+
+
+def _close_execution(execution) -> None:
+    """Release an execution's runtime resources, if it holds any (the
+    net engine owns an event loop; the sim engines are plain objects)."""
+    close = getattr(execution, "close", None)
+    if close is not None:
+        close()
+
+
+def _run_permanent(
+    scenario: Scenario,
+    topology: Topology,
+    rng,
+    extra_monitors: Tuple[Monitor, ...] = (),
+) -> ScenarioResult:
     """Permanent-fault scenario: run under a Byzantine/crash adversary
     until the containment predicate (every correct node at hop distance
     > ``plan.radius`` from the faulty set is clean) holds and survives a
@@ -178,15 +286,14 @@ def _run_permanent(scenario: Scenario, topology: Topology, rng) -> ScenarioResul
     adversary = PermanentFaultAdversary(strategy, faulty, rng=rng)
     distances = hop_distances(topology, faulty)
 
-    execution = create_execution(
+    execution = _create_scenario_execution(
+        scenario,
         topology,
         algorithm,
         initial,
-        make_scheduler(scenario.scheduler),
-        rng=rng,
+        rng,
         intervention=adversary,
-        engine=scenario.engine,
-        monitors=(mover,),
+        monitors=(mover, *extra_monitors),
     )
 
     def outside_clean(e) -> bool:
@@ -200,67 +307,77 @@ def _run_permanent(scenario: Scenario, topology: Topology, rng) -> ScenarioResul
     # containment: the predicate must also hold at every boundary of a
     # confirmation window before the scenario counts as contained.
     confirm = 4 * (scenario.diameter_bound + 1)
-    while execution.completed_rounds < scenario.max_rounds:
-        run = execution.run(
-            max_rounds=scenario.max_rounds,
-            until=outside_clean,
-            check_until_each_step=False,
-        )
-        if not run.stopped_by_predicate:
-            break
-        contained_round = _stabilization_round(execution)
-        held = True
-        always_clean = execution_clean_mask(execution, distances)
-        worst_radius = radius_of_mask(always_clean, distances)
-        for _ in range(confirm):
-            execution.run_rounds(1)
-            clean = execution_clean_mask(execution, distances)
-            always_clean &= clean
-            radius = radius_of_mask(clean, distances)
-            worst_radius = max(worst_radius, radius)
-            if radius > plan.radius:
-                held = False
-                break
-        if held:
-            correct = distances > 0
-            return _result(
-                scenario,
-                topology,
-                stabilized=True,
-                rounds=contained_round,
-                steps=execution.t,
-                containment_radius=worst_radius,
-                # Settled through the window, matching the semantics of
-                # ContainmentMeasurement.clean_fraction().
-                clean_fraction=float(
-                    (always_clean & correct).sum() / correct.sum()
-                ),
-                state_bits=bits,
-                moves=mover.moves,
-                started=started,
+    try:
+        while execution.completed_rounds < scenario.max_rounds:
+            run = execution.run(
+                max_rounds=scenario.max_rounds,
+                until=outside_clean,
+                check_until_each_step=False,
             )
-    return _result(
-        scenario,
-        topology,
-        stabilized=False,
-        rounds=execution.completed_rounds,
-        steps=execution.t,
-        containment_radius=int(
-            radius_of_mask(execution_clean_mask(execution, distances), distances)
-        ),
-        state_bits=bits,
-        moves=mover.moves,
-        detail=(
-            f"containment at radius {plan.radius} not reached within the "
-            f"round budget"
-        ),
-        started=started,
-    )
+            if not run.stopped_by_predicate:
+                break
+            contained_round = _stabilization_round(execution)
+            held = True
+            always_clean = execution_clean_mask(execution, distances)
+            worst_radius = radius_of_mask(always_clean, distances)
+            for _ in range(confirm):
+                execution.run_rounds(1)
+                clean = execution_clean_mask(execution, distances)
+                always_clean &= clean
+                radius = radius_of_mask(clean, distances)
+                worst_radius = max(worst_radius, radius)
+                if radius > plan.radius:
+                    held = False
+                    break
+            if held:
+                correct = distances > 0
+                return _result(
+                    scenario,
+                    topology,
+                    stabilized=True,
+                    rounds=contained_round,
+                    steps=execution.t,
+                    containment_radius=worst_radius,
+                    # Settled through the window, matching the semantics of
+                    # ContainmentMeasurement.clean_fraction().
+                    clean_fraction=float(
+                        (always_clean & correct).sum() / correct.sum()
+                    ),
+                    state_bits=bits,
+                    moves=mover.moves,
+                    started=started,
+                )
+        return _result(
+            scenario,
+            topology,
+            stabilized=False,
+            rounds=execution.completed_rounds,
+            steps=execution.t,
+            containment_radius=int(
+                radius_of_mask(
+                    execution_clean_mask(execution, distances), distances
+                )
+            ),
+            state_bits=bits,
+            moves=mover.moves,
+            detail=(
+                f"containment at radius {plan.radius} not reached within the "
+                f"round budget"
+            ),
+            started=started,
+        )
+    finally:
+        _close_execution(execution)
 
 
-def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
+def _run_au(
+    scenario: Scenario,
+    topology: Topology,
+    rng,
+    extra_monitors: Tuple[Monitor, ...] = (),
+) -> ScenarioResult:
     if scenario.faults.kind in PERMANENT_FAULT_KINDS:
-        return _run_permanent(scenario, topology, rng)
+        return _run_permanent(scenario, topology, rng, extra_monitors)
     started = time.perf_counter()
     spec = _algorithm_spec(scenario)
     algorithm = _make_algorithm(scenario, topology)
@@ -277,15 +394,14 @@ def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
         )
         intervention = injector
 
-    execution = create_execution(
+    execution = _create_scenario_execution(
+        scenario,
         topology,
         algorithm,
         initial,
-        make_scheduler(scenario.scheduler),
-        rng=rng,
+        rng,
         intervention=intervention,
-        engine=scenario.engine,
-        monitors=(mover,),
+        monitors=(mover, *extra_monitors),
     )
 
     # The stabilization predicate: thin unison (spec.stable None) uses
@@ -306,134 +422,149 @@ def _run_au(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
             return False  # the storm is still raging; don't stop early
         return stable_now(e)
 
-    run = execution.run(max_rounds=scenario.max_rounds, until=good)
-    if not run.stopped_by_predicate:
-        return _result(
-            scenario,
-            topology,
-            stabilized=False,
-            rounds=execution.completed_rounds,
-            steps=execution.t,
-            state_bits=bits,
-            moves=mover.moves,
-            detail="good graph not reached within the round budget",
-            started=started,
-        )
-    rounds = _stabilization_round(execution)
+    try:
+        run = execution.run(max_rounds=scenario.max_rounds, until=good)
+        if not run.stopped_by_predicate:
+            return _result(
+                scenario,
+                topology,
+                stabilized=False,
+                rounds=execution.completed_rounds,
+                steps=execution.t,
+                state_bits=bits,
+                moves=mover.moves,
+                detail="good graph not reached within the round budget",
+                started=started,
+            )
+        rounds = _stabilization_round(execution)
 
-    if plan.kind == "bursts":
-        worst_recovery = 0
-        for _ in range(plan.bursts):
-            count = max(1, int(np.ceil(plan.fraction * topology.n)))
-            victims = rng.choice(topology.n, size=count, replace=False)
-            corrupted = execution.configuration.replace(
-                {int(v): algorithm.random_state(rng) for v in victims}
-            )
-            execution.replace_configuration(corrupted)
-            start_round = execution.completed_rounds
-            recovery = execution.run(
-                max_rounds=execution.completed_rounds + scenario.max_rounds,
-                until=stable_now,
-            )
-            if not recovery.stopped_by_predicate:
-                return _result(
-                    scenario,
-                    topology,
-                    stabilized=True,
-                    rounds=rounds,
-                    steps=execution.t,
-                    recovered=False,
-                    state_bits=bits,
-                    moves=mover.moves,
-                    detail="burst recovery exceeded the round budget",
-                    started=started,
+        if plan.kind == "bursts":
+            worst_recovery = 0
+            for _ in range(plan.bursts):
+                count = max(1, int(np.ceil(plan.fraction * topology.n)))
+                victims = rng.choice(topology.n, size=count, replace=False)
+                corrupted = execution.configuration.replace(
+                    {int(v): algorithm.random_state(rng) for v in victims}
                 )
-            worst_recovery = max(
-                worst_recovery, execution.completed_rounds - start_round + 1
-            )
-        return _result(
-            scenario,
-            topology,
-            stabilized=True,
-            rounds=rounds,
-            steps=execution.t,
-            recovered=True,
-            recovery_rounds=worst_recovery,
-            state_bits=bits,
-            moves=mover.moves,
-            started=started,
-        )
-
-    if plan.kind == "rewire":
-        perturbation = perturb_topology(
-            topology,
-            rng,
-            remove=plan.remove,
-            add=plan.add,
-            diameter_bound=scenario.diameter_bound,
-        )
-        carried = carry_configuration(execution.configuration, perturbation.topology)
-        # Nodes whose contact set changed re-enter from arbitrary states:
-        # the rewiring invalidated exactly their neighborhood assumptions
-        # (pure edge changes often leave a good configuration good, which
-        # would make the recovery measurement vacuous).
-        touched = sorted(
-            {v for edge in perturbation.removed + perturbation.added for v in edge}
-        )
-        if touched:
-            carried = carried.replace({v: algorithm.random_state(rng) for v in touched})
-        rewired = create_execution(
-            perturbation.topology,
-            algorithm,
-            carried,
-            make_scheduler(scenario.scheduler),
-            rng=rng,
-            engine=scenario.engine,
-            monitors=(mover,),  # keep totalling moves across both phases
-        )
-        recovery = rewired.run(
-            max_rounds=scenario.max_rounds,
-            until=stable_now,
-        )
-        if not recovery.stopped_by_predicate:
+                execution.replace_configuration(corrupted)
+                start_round = execution.completed_rounds
+                recovery = execution.run(
+                    max_rounds=execution.completed_rounds + scenario.max_rounds,
+                    until=stable_now,
+                )
+                if not recovery.stopped_by_predicate:
+                    return _result(
+                        scenario,
+                        topology,
+                        stabilized=True,
+                        rounds=rounds,
+                        steps=execution.t,
+                        recovered=False,
+                        state_bits=bits,
+                        moves=mover.moves,
+                        detail="burst recovery exceeded the round budget",
+                        started=started,
+                    )
+                worst_recovery = max(
+                    worst_recovery, execution.completed_rounds - start_round + 1
+                )
             return _result(
                 scenario,
                 topology,
                 stabilized=True,
                 rounds=rounds,
-                steps=execution.t + rewired.t,
-                recovered=False,
+                steps=execution.t,
+                recovered=True,
+                recovery_rounds=worst_recovery,
                 state_bits=bits,
                 moves=mover.moves,
-                detail="post-rewire recovery exceeded the round budget",
                 started=started,
             )
+
+        if plan.kind == "rewire":
+            perturbation = perturb_topology(
+                topology,
+                rng,
+                remove=plan.remove,
+                add=plan.add,
+                diameter_bound=scenario.diameter_bound,
+            )
+            carried = carry_configuration(
+                execution.configuration, perturbation.topology
+            )
+            # Nodes whose contact set changed re-enter from arbitrary
+            # states: the rewiring invalidated exactly their neighborhood
+            # assumptions (pure edge changes often leave a good
+            # configuration good, which would make the recovery
+            # measurement vacuous).
+            touched = sorted(
+                {v for edge in perturbation.removed + perturbation.added for v in edge}
+            )
+            if touched:
+                carried = carried.replace(
+                    {v: algorithm.random_state(rng) for v in touched}
+                )
+            rewired = _create_scenario_execution(
+                scenario,
+                perturbation.topology,
+                algorithm,
+                carried,
+                rng,
+                monitors=(mover, *extra_monitors),  # total moves, both phases
+            )
+            try:
+                recovery = rewired.run(
+                    max_rounds=scenario.max_rounds,
+                    until=stable_now,
+                )
+                if not recovery.stopped_by_predicate:
+                    return _result(
+                        scenario,
+                        topology,
+                        stabilized=True,
+                        rounds=rounds,
+                        steps=execution.t + rewired.t,
+                        recovered=False,
+                        state_bits=bits,
+                        moves=mover.moves,
+                        detail="post-rewire recovery exceeded the round budget",
+                        started=started,
+                    )
+                return _result(
+                    scenario,
+                    topology,
+                    stabilized=True,
+                    rounds=rounds,
+                    steps=execution.t + rewired.t,
+                    recovered=True,
+                    recovery_rounds=_stabilization_round(rewired),
+                    state_bits=bits,
+                    moves=mover.moves,
+                    started=started,
+                )
+            finally:
+                _close_execution(rewired)
+
         return _result(
             scenario,
             topology,
             stabilized=True,
             rounds=rounds,
-            steps=execution.t + rewired.t,
-            recovered=True,
-            recovery_rounds=_stabilization_round(rewired),
+            steps=execution.t,
             state_bits=bits,
             moves=mover.moves,
             started=started,
         )
-
-    return _result(
-        scenario,
-        topology,
-        stabilized=True,
-        rounds=rounds,
-        steps=execution.t,
-        state_bits=bits,
-        moves=mover.moves,
-        started=started,
-    )
+    finally:
+        _close_execution(execution)
 
 
-def _run_static(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
+def _run_static(
+    scenario: Scenario,
+    topology: Topology,
+    rng,
+    extra_monitors: Tuple[Monitor, ...] = (),
+) -> ScenarioResult:
     from repro.analysis.stabilization import measure_static_task_stabilization
 
     started = time.perf_counter()
@@ -460,6 +591,7 @@ def _run_static(scenario: Scenario, topology: Topology, rng) -> ScenarioResult:
         is_valid,
         max_rounds=scenario.max_rounds,
         confirm_rounds=8 * (scenario.diameter_bound + 1),
+        monitors=extra_monitors,
     )
     return _result(
         scenario,
@@ -504,25 +636,41 @@ def _failed_result(
         n=0,
         m=0,
         detail=f"error: {type(error).__name__}: {error}\n{tb}",
+        status="error",
         tags=scenario.tags,
         elapsed_ms=(time.perf_counter() - started) * 1000.0,
     )
 
 
-def run_scenario(scenario: Scenario) -> ScenarioResult:
-    """Execute one scenario; a pure function of the spec."""
+def run_scenario(
+    scenario: Scenario, timeout_s: Optional[float] = None
+) -> ScenarioResult:
+    """Execute one scenario; a pure function of the spec.
+
+    ``timeout_s`` arms a per-scenario wall-clock guard: a scenario that
+    exceeds the budget stops between steps and reports the deterministic
+    ``status="timeout"`` row from :func:`_timeout_result` instead of
+    hanging its shard.
+    """
     started = time.perf_counter()
     rng = np.random.default_rng(scenario.seed)
+    extra_monitors: Tuple[Monitor, ...] = ()
+    if timeout_s is not None:
+        extra_monitors = (_DeadlineMonitor(started + timeout_s),)
     try:
         topology = make_graph(scenario.graph, rng, **scenario.params())
         if scenario.task == "au":
-            return _run_au(scenario, topology, rng)
-        return _run_static(scenario, topology, rng)
+            return _run_au(scenario, topology, rng, extra_monitors)
+        return _run_static(scenario, topology, rng, extra_monitors)
+    except ScenarioTimeout:
+        return _timeout_result(scenario, timeout_s, started)
     except Exception as error:  # one bad sample must not sink the campaign
         return _failed_result(scenario, error, started)
 
 
-def run_scenario_batch(scenarios: Sequence[Scenario]) -> List[ScenarioResult]:
+def run_scenario_batch(
+    scenarios: Sequence[Scenario], timeout_s: Optional[float] = None
+) -> List[ScenarioResult]:
     """Execute a group of scenarios that differ only by seed as one
     replica-batched ensemble.
 
@@ -534,7 +682,12 @@ def run_scenario_batch(scenarios: Sequence[Scenario]) -> List[ScenarioResult]:
     construction raises folds into a failed row without sinking the
     batch; if the fused run itself raises, the whole group falls back to
     per-scenario execution (isolating the failure to its scenario).
+    With a ``timeout_s`` budget the whole group runs solo: the fused
+    ensemble pass has no per-scenario step hook to hang the guard on,
+    and a timed-out ensemble would discard every member's work at once.
     """
+    if timeout_s is not None:
+        return [run_scenario(scenario, timeout_s) for scenario in scenarios]
     if len(scenarios) == 1:
         return [run_scenario(scenarios[0])]
     keys = {scenario.batch_key() for scenario in scenarios}
@@ -666,16 +819,18 @@ def _append_checkpoint(path: str, results: Iterable[ScenarioResult]) -> None:
 Job = List[Scenario]
 
 
-def _run_job(job: Job) -> List[ScenarioResult]:
+def _run_job(job: Job, timeout_s: Optional[float] = None) -> List[ScenarioResult]:
     if len(job) > 1:
-        return run_scenario_batch(job)
-    return [run_scenario(job[0])]
+        return run_scenario_batch(job, timeout_s)
+    return [run_scenario(job[0], timeout_s)]
 
 
-def _run_shard(shard: Sequence[Job]) -> List[ScenarioResult]:
+def _run_shard(
+    shard: Sequence[Job], timeout_s: Optional[float] = None
+) -> List[ScenarioResult]:
     results: List[ScenarioResult] = []
     for job in shard:
-        results.extend(_run_job(job))
+        results.extend(_run_job(job, timeout_s))
     return results
 
 
@@ -743,6 +898,7 @@ def run_campaign(
     shard_size: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     batch: bool = True,
+    timeout_s: Optional[float] = None,
 ) -> List[ScenarioResult]:
     """Run a campaign, optionally sharded over worker processes.
 
@@ -751,7 +907,11 @@ def run_campaign(
     ``batch`` (replica batching is an execution strategy with
     bit-identical per-scenario results; pass ``batch=False`` to force
     solo runs, e.g. for the differential CI shard), so downstream
-    aggregation is reproducible bit for bit.
+    aggregation is reproducible bit for bit.  ``timeout_s`` arms the
+    per-scenario wall-clock guard of :func:`run_scenario` in every
+    worker (timed-out scenarios yield deterministic ``status="timeout"``
+    rows; note the budget is per scenario, so the rows themselves stay
+    machine-independent while *which* scenarios time out does not).
     """
     done = load_checkpoint(checkpoint_path) if (resume and checkpoint_path) else {}
     wanted = {s.scenario_id for s in scenarios}
@@ -770,7 +930,7 @@ def run_campaign(
     jobs = _make_jobs(pending, batch)
     if workers <= 1:
         for job in jobs:
-            job_results = _run_job(job)
+            job_results = _run_job(job, timeout_s)
             for result in job_results:
                 results[result.scenario_id] = result
             if checkpoint_path:
@@ -781,8 +941,9 @@ def run_campaign(
     elif jobs:
         shards = _make_shards(jobs, workers, shard_size)
         context = multiprocessing.get_context()
+        run_shard = functools.partial(_run_shard, timeout_s=timeout_s)
         with context.Pool(processes=workers) as pool:
-            for shard_results in pool.imap_unordered(_run_shard, shards):
+            for shard_results in pool.imap_unordered(run_shard, shards):
                 for result in shard_results:
                     results[result.scenario_id] = result
                 if checkpoint_path:

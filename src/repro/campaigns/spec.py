@@ -78,6 +78,23 @@ FAULT_KINDS: Tuple[str, ...] = (
 #: containment, not global stabilization).
 PERMANENT_FAULT_KINDS: Tuple[str, ...] = ("byzantine", "crash")
 
+#: The runtime axis: ``sim`` runs the scenario on a shared-memory
+#: simulation engine (every pre-existing campaign), ``net`` runs it on
+#: the message-passing deployment runtime of :mod:`repro.net` (same
+#: engine name for the activation parity stream, plus the ``net_params``
+#: link knobs).
+RUNTIMES: Tuple[str, ...] = ("sim", "net")
+
+#: Valid ``net_params`` keys — the :class:`repro.net.links.LinkConfig`
+#: knobs a campaign spec may set (all in slot units / probabilities).
+NET_PARAM_KEYS: Tuple[str, ...] = ("delay", "jitter", "loss", "duplicate")
+
+#: Fault kinds the net runtime supports: permanent faults map onto
+#: actor-level faults (crash = silenced timers, byzantine = omniscient
+#: register rewrites); the transient kinds would need a semantics for
+#: in-flight messages that the differential contract does not cover yet.
+NET_FAULT_KINDS: Tuple[str, ...] = ("none", "byzantine", "crash")
+
 #: Scheduler factories by declarative name.  Factories (not instances):
 #: several schedulers are stateful, so every scenario run gets a fresh
 #: one.  The ``enabled-only`` / ``locally-central`` entries are the
@@ -590,6 +607,17 @@ class Scenario:
     #: unchanged.  Every other axis is validated against the
     #: algorithm's :class:`AlgorithmSpec` capability declaration.
     algorithm: str = ""
+    #: The runtime lane (:data:`RUNTIMES`).  ``sim`` (default) is the
+    #: shared-memory simulation; ``net`` runs the same spec on the
+    #: asyncio message-passing runtime — the ``engine`` axis then names
+    #: the sim engine whose activation/adversary RNG stream the net lane
+    #: mirrors, which is what makes zero-noise net rows bit-comparable
+    #: to their sim twins.
+    runtime: str = "sim"
+    #: Link knobs for the ``net`` runtime, as ``(key, value)`` pairs
+    #: with keys from :data:`NET_PARAM_KEYS` (empty = ideal links, the
+    #: differential-parity configuration).  Must be empty on ``sim``.
+    net_params: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.task not in TASKS:
@@ -684,6 +712,57 @@ class Scenario:
                     "enabled view, which the fused replica batch does not "
                     "maintain; batched scenarios need an oblivious scheduler"
                 )
+        if self.runtime not in RUNTIMES:
+            raise ValueError(
+                f"unknown runtime {self.runtime!r}: valid runtimes are "
+                f"{', '.join(RUNTIMES)}"
+            )
+        net_params = tuple((str(k), float(v)) for k, v in self.net_params)
+        if self.runtime == "net":
+            if self.task != "au" or self.algorithm != "thin-unison":
+                raise ValueError(
+                    "the net runtime carries constant-size encoded AlgAU "
+                    f"clock messages; task {self.task!r} / algorithm "
+                    f"{self.algorithm!r} has no net lane (use "
+                    "task='au' with thin-unison)"
+                )
+            if self.scheduler in ENABLED_AWARE_SCHEDULERS:
+                raise ValueError(
+                    f"scheduler {self.scheduler!r} consumes the enabled "
+                    "view, which the net runtime cannot provide (a timer "
+                    "cannot see remote enabledness); use an oblivious daemon"
+                )
+            if self.faults.kind not in NET_FAULT_KINDS:
+                raise ValueError(
+                    f"fault kind {self.faults.kind!r} has no net-runtime "
+                    "mapping: supported kinds are "
+                    f"{', '.join(NET_FAULT_KINDS)}"
+                )
+            if self.batch_replicas > 1:
+                raise ValueError(
+                    "net scenarios run solo (each owns an event loop); "
+                    "batch_replicas must be 1"
+                )
+            unknown = sorted(set(k for k, _ in net_params) - set(NET_PARAM_KEYS))
+            if unknown:
+                raise ValueError(
+                    f"unknown net_params key(s) {', '.join(unknown)}: valid "
+                    f"keys are {', '.join(NET_PARAM_KEYS)}"
+                )
+            for key, value in net_params:
+                if value < 0.0:
+                    raise ValueError(f"net_params {key} must be >= 0, got {value}")
+                if key in ("loss", "duplicate") and value >= 1.0:
+                    raise ValueError(
+                        f"net_params {key} is a probability and must be "
+                        f"< 1, got {value}"
+                    )
+        elif net_params:
+            raise ValueError(
+                "net_params only apply to runtime='net' scenarios; "
+                "sim scenarios must leave them empty"
+            )
+        object.__setattr__(self, "net_params", net_params)
         object.__setattr__(
             self,
             "graph_params",
@@ -693,13 +772,22 @@ class Scenario:
 
     @property
     def scenario_id(self) -> str:
-        """Stable unique identifier — the checkpoint/resume key."""
+        """Stable unique identifier — the checkpoint/resume key.
+
+        Sim scenarios keep the pre-runtime-axis id format, so existing
+        checkpoints stay resumable; net scenarios extend the engine
+        segment with the lane and its link knobs.
+        """
         params = ",".join(f"{k}={v}" for k, v in self.graph_params)
+        engine = self.engine
+        if self.runtime == "net":
+            knobs = ",".join(f"{k}={v:g}" for k, v in self.net_params)
+            engine = f"{engine}+net[{knobs}]"
         return (
             f"{self.campaign}/{self.index:04d}:{self.task}"
             f"@{self.graph}[{params}]"
             f"/D{self.diameter_bound}/{self.scheduler}/{self.start}"
-            f"/{self.engine}/{self.algorithm}/{self.faults.label}/s{self.seed}"
+            f"/{engine}/{self.algorithm}/{self.faults.label}/s{self.seed}"
         )
 
     def batch_key(self) -> Tuple:
@@ -722,6 +810,8 @@ class Scenario:
             self.faults,
             self.batch_replicas,
             self.algorithm,
+            self.runtime,
+            self.net_params,
         )
 
     def params(self) -> Dict[str, object]:
@@ -737,6 +827,7 @@ class Scenario:
         data = asdict(self)
         data["graph_params"] = [list(pair) for pair in self.graph_params]
         data["tags"] = [list(pair) for pair in self.tags]
+        data["net_params"] = [list(pair) for pair in self.net_params]
         data["faults"] = asdict(self.faults)
         data["faults"]["times"] = list(self.faults.times)
         return data
@@ -749,6 +840,9 @@ class Scenario:
             (k, v) for k, v in payload.get("graph_params", ())
         )
         payload["tags"] = tuple((k, v) for k, v in payload.get("tags", ()))
+        payload["net_params"] = tuple(
+            (k, v) for k, v in payload.get("net_params", ())
+        )
         faults = payload.get("faults", {})
         if isinstance(faults, dict):
             faults = dict(faults)
@@ -790,6 +884,11 @@ class ScenarioResult:
     state_bits: Optional[float] = None
     moves: Optional[int] = None
     detail: str = ""
+    #: Row disposition: ``""`` for a normally measured row, ``"timeout"``
+    #: when the runner's per-scenario wall-clock guard cut the run short
+    #: (the row's measured columns are then deterministic placeholders),
+    #: ``"error"`` when the scenario raised.
+    status: str = ""
     tags: Tuple[Tuple[str, str], ...] = ()
     elapsed_ms: float = 0.0
 

@@ -21,7 +21,12 @@ Subcommands regenerate the paper's artifacts from the terminal:
   JSONL and aggregated into ``BENCH_campaign_*.json`` artifacts.  The
   ``byzantine`` registry exercises the permanent-fault resilience
   subsystem (engine-paired containment sweeps); ``pareto-unison``
-  sweeps the algorithm zoo into a time/space/workload frontier.
+  sweeps the algorithm zoo into a time/space/workload frontier;
+  ``net-smoke`` pairs the simulation and message-passing lanes;
+* ``repro net run`` — one AlgAU run on the asyncio message-passing
+  runtime: per-node actors exchanging clock messages over fair-lossy
+  links (``--delay/--jitter/--loss/--duplicate``), with a per-round
+  goodness trace and message statistics.
 
 ``python -m repro`` (via :mod:`repro.__main__`) and the installed
 ``repro`` console script both invoke :func:`main`.
@@ -151,6 +156,73 @@ def _cmd_au(args: argparse.Namespace) -> int:
             print("did not stabilize within the budget", file=sys.stderr)
             return 1
     print(f"stabilized (good graph) after {execution.completed_rounds} rounds")
+    return 0
+
+
+def _cmd_net_run(args: argparse.Namespace) -> int:
+    from repro.core.algau import ThinUnison
+    from repro.core.predicates import good_nodes
+    from repro.faults.injection import au_adversarial_suite
+    from repro.graphs.generators import bounded_diameter_family
+    from repro.model.scheduler import SynchronousScheduler
+    from repro.net import LinkConfig, create_net_execution
+
+    rng = np.random.default_rng(args.seed)
+    topology = bounded_diameter_family(args.diameter_bound, args.nodes, rng)
+    algorithm = ThinUnison(args.diameter_bound)
+    initial = au_adversarial_suite(algorithm, topology, rng)[args.start]
+    try:
+        link_config = LinkConfig(
+            delay=args.delay,
+            jitter=args.jitter,
+            loss=args.loss,
+            duplicate=args.duplicate,
+        )
+    except Exception as error:
+        print(f"bad link configuration: {error}", file=sys.stderr)
+        return 2
+    execution = create_net_execution(
+        topology,
+        algorithm,
+        initial,
+        SynchronousScheduler(),
+        rng=rng,
+        link_config=link_config,
+        noise_seed=args.seed,
+    )
+    print(
+        f"{topology.name}: n={topology.n} D={args.diameter_bound} "
+        f"start={args.start} links={link_config} runtime=net"
+    )
+    try:
+        while not execution.graph_is_good():
+            execution.run_rounds(1)
+            good = len(good_nodes(algorithm, execution.configuration))
+            stats = execution.stats
+            print(
+                f"round {execution.completed_rounds:4d}: good nodes "
+                f"{good}/{topology.n}  sent {stats.messages_sent} "
+                f"dropped {stats.messages_dropped}"
+            )
+            if execution.completed_rounds > args.max_rounds:
+                print("did not stabilize within the budget", file=sys.stderr)
+                return 1
+        stats = execution.stats
+        per_node_round = stats.per_node_round(
+            topology.n, max(1, execution.completed_rounds)
+        )
+        print(
+            f"stabilized (good graph) after {execution.completed_rounds} "
+            f"rounds at virtual time {execution.virtual_time:g}"
+        )
+        print(
+            f"messages: sent {stats.messages_sent} delivered "
+            f"{stats.messages_delivered} dropped {stats.messages_dropped} "
+            f"duplicated {stats.messages_duplicated} "
+            f"({per_node_round:.2f} per node-round)"
+        )
+    finally:
+        execution.close()
     return 0
 
 
@@ -321,17 +393,19 @@ def _cmd_campaign_list(args: argparse.Namespace) -> int:
     for name in registry_names():
         scenarios = build_campaign(name)
         algorithms = sorted({s.algorithm for s in scenarios})
+        runtimes = sorted({s.runtime for s in scenarios})
         rows.append(
             (
                 name,
                 len(scenarios),
                 ",".join(algorithms),
+                ",".join(runtimes),
                 describe_registry(name),
             )
         )
     print(
         render_table(
-            ["registry", "scenarios", "algorithms", "description"],
+            ["registry", "scenarios", "algorithms", "runtimes", "description"],
             rows,
             title="Campaign registries",
         )
@@ -358,6 +432,9 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print("--timeout must be > 0 seconds", file=sys.stderr)
+        return 2
     scenarios = build_campaign(args.registry, seed=args.seed)
     if args.limit is not None:
         scenarios = scenarios[: args.limit]
@@ -374,6 +451,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         shard_size=args.shard_size,
         progress=progress,
         batch=not args.no_batch,
+        timeout_s=args.timeout,
     )
     elapsed_ms = (time.perf_counter() - started) * 1000.0
     print(file=sys.stderr)
@@ -389,6 +467,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             "checkpoint": args.checkpoint,
             "resumed": args.resume,
             "batched": not args.no_batch,
+            "timeout_s": args.timeout,
         },
     )
     print(campaign_report(aggregates))
@@ -544,6 +623,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="artifact path (default: BENCH_campaign_<registry>.json)",
     )
+    c.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-scenario wall-clock budget in seconds; scenarios "
+        "over budget report deterministic status=timeout rows instead "
+        "of hanging their shard",
+    )
     c.set_defaults(fn=_cmd_campaign_run)
 
     c = csub.add_parser("report", help="render a campaign artifact as markdown")
@@ -554,6 +641,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="a BENCH_campaign_*.json artifact",
     )
     c.set_defaults(fn=_cmd_campaign_report)
+
+    p = sub.add_parser(
+        "net", help="the asyncio message-passing deployment runtime"
+    )
+    nsub = p.add_subparsers(dest="net_command", required=True)
+
+    c = nsub.add_parser(
+        "run", help="one AlgAU run over fair-lossy links with message stats"
+    )
+    c.add_argument("--diameter-bound", type=int, default=3)
+    c.add_argument("--nodes", type=int, default=16)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--max-rounds", type=int, default=10_000)
+    c.add_argument(
+        "--start",
+        choices=["random", "sign-split", "clock-tear", "all-faulty"],
+        default="sign-split",
+    )
+    c.add_argument(
+        "--delay", type=float, default=0.0,
+        help="base one-way link delay in virtual slots",
+    )
+    c.add_argument(
+        "--jitter", type=float, default=0.0,
+        help="uniform extra delay in [0, jitter) per message",
+    )
+    c.add_argument(
+        "--loss", type=float, default=0.0,
+        help="per-message drop probability (fair-lossy: bounded streaks)",
+    )
+    c.add_argument(
+        "--duplicate", type=float, default=0.0,
+        help="per-message duplication probability",
+    )
+    c.set_defaults(fn=_cmd_net_run)
 
     return parser
 

@@ -37,7 +37,6 @@ under seeded generators.
 
 from __future__ import annotations
 
-import warnings
 from abc import ABC, abstractmethod
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
@@ -106,21 +105,25 @@ class Scheduler(ABC):
         capture the execution whose configuration they inspect.
         """
 
-    def attach(self, execution) -> "Scheduler":
-        """Deprecated alias for :meth:`bind`.
+    def __getattr__(self, name: str):
+        """Give the removed ``attach`` alias a pointed error message.
 
-        Executions bind their scheduler at construction time, so the
-        manual post-construction call is no longer needed.
+        ``attach`` went through a deprecation cycle as an alias for
+        :meth:`bind` and is now gone; since executions bind their
+        scheduler at construction time, stale callers should simply
+        drop the call (or use :meth:`bind` for manual wiring).
+        ``__getattr__`` only runs after normal lookup fails, so present
+        attributes pay nothing.
         """
-        warnings.warn(
-            f"{type(self).__name__}.attach() is deprecated: the execution "
-            "engine binds its scheduler at construction time; drop the "
-            "call (or use bind() for manual wiring)",
-            DeprecationWarning,
-            stacklevel=2,
+        if name == "attach":
+            raise AttributeError(
+                f"{type(self).__name__}.attach() was removed: the "
+                "execution engine binds its scheduler at construction "
+                "time; drop the call (or use bind() for manual wiring)"
+            )
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
         )
-        self.bind(execution)
-        return self
 
     def _validate(
         self, activated: Iterable[int], nodes: Sequence[int]

@@ -1,0 +1,65 @@
+"""Message-passing deployment runtime (the ``runtime="net"`` lane).
+
+The simulation engines of :mod:`repro.model` evaluate AlgAU under the
+paper's shared-memory abstraction: an activated node reads its
+neighbors' states directly out of the configuration.  This package
+replaces that abstraction with an executable deployment model — each
+node is an asyncio actor holding only its own AlgAU state, neighbors
+exchange constant-size clock messages over simulated fair-lossy links
+(configurable delay, jitter, reordering, loss, duplication), and the
+whole system runs on a virtual-time event loop so every run is seeded
+and fully deterministic.
+
+Modules:
+
+* :mod:`repro.net.vtime` — the deterministic virtual-time event loop;
+* :mod:`repro.net.links` — :class:`LinkConfig` and the fair-lossy link
+  model (per-edge loss/duplication with a bounded-consecutive-loss
+  fairness guarantee);
+* :mod:`repro.net.node` — the per-node actor: inbox, neighbor-state
+  registers, one AlgAU transition per activation, stubborn broadcast;
+* :mod:`repro.net.runtime` — :class:`NetExecution`, the
+  :class:`~repro.model.engine.ExecutionBase` implementation driving the
+  actors (so schedulers, monitors, adversaries, and the ``run`` driver
+  compose unchanged), and :func:`create_net_execution`;
+* :mod:`repro.net.detectors` — timeout-based failure detectors
+  (:class:`ExcludeOnTimeout`, :class:`IncreasingTimeout`);
+* :mod:`repro.net.election` — leader election over the runtime: LCR
+  ring election and monarchical election over detector suspicions,
+  validated with the LE task oracle;
+* :mod:`repro.net.adapter` — :class:`NetAdapter`, mapping campaign
+  :class:`~repro.campaigns.spec.Scenario` axes onto the runtime.
+
+The differential contract: under zero-delay/zero-loss links the
+runtime's trajectories are bit-identical to the simulation engines
+(asserted by the ``net-smoke`` campaign and
+``benchmarks/bench_net_runtime.py``); under injected delay/loss the
+system still stabilizes, with a bounded slowdown.
+"""
+
+from repro.net.adapter import NetAdapter
+from repro.net.detectors import ExcludeOnTimeout, IncreasingTimeout
+from repro.net.election import (
+    elect_monarch,
+    run_lcr_election,
+    run_monarchical_election,
+)
+from repro.net.links import FairLossyLink, LinkConfig
+from repro.net.runtime import NetExecution, NetStats, create_net_execution
+from repro.net.vtime import NetDeadlockError, VirtualTimeLoop
+
+__all__ = [
+    "ExcludeOnTimeout",
+    "FairLossyLink",
+    "IncreasingTimeout",
+    "LinkConfig",
+    "NetAdapter",
+    "NetDeadlockError",
+    "NetExecution",
+    "NetStats",
+    "VirtualTimeLoop",
+    "create_net_execution",
+    "elect_monarch",
+    "run_lcr_election",
+    "run_monarchical_election",
+]

@@ -1,0 +1,107 @@
+"""Timeout-based failure detectors over the heartbeat view.
+
+A detector watches, for one observer node, the virtual times at which
+messages from each monitored peer were last delivered (the
+``last_heard`` registers maintained by :class:`~repro.net.node.NodeActor`
+— under stubborn broadcast every activation is a heartbeat).  A peer
+whose silence exceeds the timeout becomes *suspected*.
+
+Two classical disciplines are provided:
+
+* :class:`ExcludeOnTimeout` — suspicion is permanent.  Simple and
+  adequate when crashes are the only fault (a crashed node never speaks
+  again), but a single late message turns into a permanent false
+  suspicion under message delay.
+* :class:`IncreasingTimeout` — an eventually-perfect-style detector: a
+  message from a suspected peer *restores* it and grows that peer's
+  timeout, so any peer whose delays are bounded is suspected at most
+  finitely often.
+
+Both are plain synchronous objects driven by :meth:`observe` calls with
+the current heartbeat view; they own no tasks, which keeps them usable
+from tests, from the election protocols in :mod:`repro.net.election`,
+and from monitors.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Mapping
+
+from repro.model.errors import ModelError
+
+
+class _TimeoutDetector:
+    """Shared bookkeeping for the timeout-based detectors."""
+
+    def __init__(self, peers: Iterable[int], timeout: float) -> None:
+        if timeout <= 0:
+            raise ModelError(f"detector timeout must be > 0, got {timeout!r}")
+        self.peers = tuple(sorted({int(v) for v in peers}))
+        self.timeout = float(timeout)
+        self._suspected: set = set()
+
+    @property
+    def suspected(self) -> FrozenSet[int]:
+        """The currently suspected peers."""
+        return frozenset(self._suspected)
+
+    def trusted(self) -> FrozenSet[int]:
+        """The monitored peers not currently suspected."""
+        return frozenset(self.peers) - self.suspected
+
+
+class ExcludeOnTimeout(_TimeoutDetector):
+    """Permanently suspect any peer silent for longer than ``timeout``.
+
+    Once suspected, a peer is excluded forever — later messages do not
+    restore it.  This matches the crash-stop fault model: correct
+    crashed-node detection, at the price of permanent false suspicions
+    when links merely delay.
+    """
+
+    def observe(self, now: float, last_heard: Mapping[int, float]) -> FrozenSet[int]:
+        """Fold one heartbeat view in; return the suspected set.
+
+        ``last_heard`` maps peer → last delivery time; a peer never
+        heard from counts as last heard at time 0.
+        """
+        for peer in self.peers:
+            if peer in self._suspected:
+                continue
+            if now - last_heard.get(peer, 0.0) > self.timeout:
+                self._suspected.add(peer)
+        return self.suspected
+
+
+class IncreasingTimeout(_TimeoutDetector):
+    """Suspect on silence, restore on contact, and grow the timeout.
+
+    Every false suspicion (a message arrives from a suspected peer)
+    multiplies that peer's timeout by ``factor``, so a peer with bounded
+    — if unknown — delays is falsely suspected only finitely often: the
+    eventually-perfect detector construction.
+    """
+
+    def __init__(
+        self, peers: Iterable[int], timeout: float, factor: float = 2.0
+    ) -> None:
+        super().__init__(peers, timeout)
+        if factor <= 1.0:
+            raise ModelError(f"timeout growth factor must be > 1, got {factor!r}")
+        self.factor = float(factor)
+        self.timeouts = {peer: self.timeout for peer in self.peers}
+        self.false_suspicions = 0
+
+    def observe(self, now: float, last_heard: Mapping[int, float]) -> FrozenSet[int]:
+        """Fold one heartbeat view in; return the suspected set."""
+        for peer in self.peers:
+            heard = last_heard.get(peer, 0.0)
+            if peer in self._suspected:
+                if now - heard <= self.timeouts[peer]:
+                    # Contact after suspicion: restore and back off.
+                    self._suspected.discard(peer)
+                    self.timeouts[peer] *= self.factor
+                    self.false_suspicions += 1
+            elif now - heard > self.timeouts[peer]:
+                self._suspected.add(peer)
+        return self.suspected

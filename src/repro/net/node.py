@@ -1,0 +1,112 @@
+"""Per-node actor: local state, neighbor registers, stubborn broadcast.
+
+A :class:`NodeActor` owns exactly the state a deployed AlgAU node would
+own: its current algorithm state, one *register* per neighbor caching
+the most recently heard neighbor state, and an inbox of pending
+messages.  It never reads another actor's memory — the only coupling is
+the constant-size clock messages (encoded turn codes, integers in
+``[0, 4k-2]``) routed through the runtime's links.
+
+Two protocol choices make the actor robust to the fair-lossy link
+model of :mod:`repro.net.links`:
+
+* **Stubborn broadcast** — an actor re-sends its current state to every
+  neighbor on *every* activation, whether or not the state changed.
+  Re-sends are idempotent, and combined with the bounded-consecutive-
+  loss fairness guarantee they ensure registers eventually reflect true
+  neighbor states.
+* **Last-writer-wins registers** — every send carries a globally
+  monotone sequence number; a register only moves forward.  Reordered
+  or duplicated deliveries of stale messages are ignored instead of
+  rolling a register back.
+
+The actor's coroutine is a plain inbox loop: ``("act",)`` commands make
+it take one AlgAU step (reading its registers, never the live states of
+other actors), ``("msg", ...)`` deliveries update registers, and
+``("stop",)`` ends the task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.model.signal import Signal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.net.runtime import NetExecution
+
+
+class NodeActor:
+    """One network node: AlgAU state, neighbor registers, an inbox."""
+
+    __slots__ = (
+        "node",
+        "runtime",
+        "neighbors",
+        "state",
+        "registers",
+        "last_heard",
+        "inbox",
+        "crashed",
+    )
+
+    def __init__(
+        self, node: int, neighbors: Tuple[int, ...], runtime: "NetExecution"
+    ) -> None:
+        self.node = node
+        self.runtime = runtime
+        self.neighbors = neighbors
+        self.state = None
+        # register: neighbor -> (seq, state); seeded by the runtime's
+        # omniscient refresh on configuration load.
+        self.registers: Dict[int, Tuple[int, object]] = {}
+        # last_heard: neighbor -> virtual receive time, for detectors.
+        self.last_heard: Dict[int, float] = {}
+        self.inbox: asyncio.Queue = asyncio.Queue()
+        self.crashed = False
+
+    def signal(self) -> Signal:
+        """Inclusive-neighborhood signal assembled from the registers."""
+        sensed = [self.state]
+        sensed.extend(entry[1] for entry in self.registers.values())
+        return Signal(sensed)
+
+    def accept(self, sender: int, seq: int, state: object, now: float) -> None:
+        """Apply one delivered message to the matching register.
+
+        Stale deliveries (sequence number at or below the register's)
+        are dropped; every delivery still refreshes ``last_heard`` so
+        failure detectors measure link liveness, not state novelty.
+        """
+        self.last_heard[sender] = now
+        current = self.registers.get(sender)
+        if current is None or seq > current[0]:
+            self.registers[sender] = (seq, state)
+
+    async def run(self) -> None:
+        """Inbox loop: act on commands until stopped or cancelled."""
+        runtime = self.runtime
+        while True:
+            message = await self.inbox.get()
+            kind = message[0]
+            if kind == "act":
+                if not self.crashed:
+                    self._act(runtime)
+                runtime._act_done()
+            elif kind == "msg":
+                if not self.crashed:
+                    _, sender, seq, code = message
+                    state = runtime._decode(code)
+                    self.accept(sender, seq, state, runtime.loop.time())
+                    runtime.stats.messages_delivered += 1
+            elif kind == "stop":
+                return
+
+    def _act(self, runtime: "NetExecution") -> None:
+        old = self.state
+        new = runtime.algorithm.resolve(old, self.signal(), runtime.noise_rng)
+        if new != old:
+            self.state = new
+            runtime._record_change(self.node, old, new)
+        runtime._broadcast(self)

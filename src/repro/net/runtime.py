@@ -1,0 +1,399 @@
+"""`NetExecution`: the message-passing execution engine.
+
+This module turns the actor/link/virtual-time pieces into a fifth
+execution engine behind the :class:`~repro.model.engine.ExecutionBase`
+contract, so schedulers, monitors, round bookkeeping, the
+permanent-fault adversary and the ``run`` driver all compose unchanged.
+What changes is *how one step happens*: instead of reading the shared
+configuration, each activated node actor computes its AlgAU transition
+from its private neighbor registers and broadcasts its (constant-size,
+encoded) state over the simulated links.
+
+The phased slot
+---------------
+Each call to :meth:`NetExecution._apply` advances virtual time by one
+*slot* (default 1.0) with three deterministic phases:
+
+* ``T + 0.0`` — every activated actor takes its step, reading its
+  registers.  Deliveries from this step are still in flight, so every
+  actor computes from *pre-step* states: exactly the simultaneous-update
+  semantics of the simulation engines.
+* ``T + 0.5`` — base delivery instant of this step's broadcasts (plus
+  the link's configured delay and jitter), so under zero-noise links
+  every register mirrors the true neighbor states before the next step
+  computes at ``T + 1.0``.
+* ``T + 1.0`` — the slot ends; control returns to the inherited
+  ``step()``.
+
+Determinism discipline
+----------------------
+Two RNG streams, never mixed: the inherited ``self.rng`` is the *parity
+stream*, consumed only by the inherited step machinery (scheduler
+draws, adversary draws) in exactly the order the simulation engines
+consume it; ``noise_rng`` (derived from ``noise_seed``) drives link
+loss/jitter/duplication and is never consulted when the link is
+noiseless.  Consequently a zero-delay/zero-loss net run is bit-identical
+— same ``StepRecord`` stream, same round boundaries, same measured
+columns — to the same scenario on the ``array``/``object`` engines, the
+contract the ``net-smoke`` differential campaign asserts.
+
+Out-of-band state writes (configuration loads, ``poke_states``, the
+Byzantine adversary's per-step overrides) refresh the neighbors'
+registers *instantly* with fresh sequence numbers, modeling the
+omniscient adversary of the paper (it writes memories, not messages);
+stale in-flight deliveries cannot overwrite the refresh because
+registers are last-writer-wins on a globally monotone sequence counter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.topology import Topology
+from repro.model.algorithm import Algorithm
+from repro.model.configuration import Configuration
+from repro.model.engine import ExecutionBase, Intervention, Monitor
+from repro.model.errors import ModelError
+from repro.model.scheduler import Scheduler
+from repro.net.links import FairLossyLink, LinkConfig
+from repro.net.node import NodeActor
+from repro.net.vtime import VirtualTimeLoop
+
+_ACT = ("act",)
+_STOP = ("stop",)
+
+#: Phase offset (in slots) between an activation instant and the base
+#: delivery instant of the broadcasts it triggered.  Any value in
+#: (0, 1) preserves the pre-step-read parity argument; 0.5 keeps the
+#: timeline legible in traces.
+BROADCAST_PHASE = 0.5
+
+
+@dataclass
+class NetStats:
+    """Cumulative message-layer counters of one net run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    acts: int = 0
+
+    def per_node_round(self, n: int, rounds: int) -> float:
+        """Messages sent per node per completed round (0 when no round
+        completed)."""
+        if n <= 0 or rounds <= 0:
+            return 0.0
+        return self.messages_sent / (n * rounds)
+
+
+class NetExecution(ExecutionBase):
+    """Message-passing engine: asyncio actors over fair-lossy links.
+
+    Accepts the standard engine constructor arguments plus the net
+    knobs (``link_config``, ``noise_seed``, ``slot``).  Restrictions
+    relative to the simulation engines, all rejected eagerly:
+
+    * the algorithm must be deterministic and expose a dense state
+      ``encoding`` (messages are constant-size integer codes);
+    * enabled-aware schedulers and ``track_enabled`` are unsupported —
+      an enabled-set view would require the omniscient shared memory
+      this runtime exists to remove.
+
+    ``incremental`` is accepted for constructor compatibility and
+    ignored: there is no δ cache to maintain, every activated actor
+    evaluates its own transition.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        algorithm: Algorithm,
+        initial_configuration: Configuration,
+        scheduler: Scheduler,
+        rng: Optional[np.random.Generator] = None,
+        monitors: Tuple[Monitor, ...] = (),
+        intervention: Optional[Intervention] = None,
+        incremental: bool = True,
+        track_enabled: bool = False,
+        link_config: Optional[LinkConfig] = None,
+        noise_seed: int = 0,
+        slot: float = 1.0,
+    ):
+        if track_enabled:
+            raise ModelError(
+                "the net runtime has no enabled-set view (it would require "
+                "omniscient shared memory); build it with track_enabled=False"
+            )
+        if scheduler.uses_enabled_view:
+            raise ModelError(
+                f"scheduler {type(scheduler).__name__} needs the enabled-set "
+                f"view, which the net runtime cannot provide; use an "
+                f"oblivious daemon (e.g. synchronous, shuffled-round-robin)"
+            )
+        if not getattr(algorithm, "deterministic", False):
+            raise ModelError(
+                f"the net runtime requires a deterministic algorithm "
+                f"(messages carry states, not distributions); "
+                f"{algorithm.name} is randomized"
+            )
+        encoding = getattr(algorithm, "encoding", None)
+        if encoding is None or not hasattr(encoding, "encode"):
+            raise ModelError(
+                f"the net runtime requires an algorithm with a dense state "
+                f"encoding for constant-size messages; {algorithm.name} "
+                f"has none"
+            )
+        if not (isinstance(slot, (int, float)) and slot > 0):
+            raise ModelError(f"slot must be > 0, got {slot!r}")
+
+        self.link_config = link_config if link_config is not None else LinkConfig()
+        self.slot = float(slot)
+        self.noise_rng = np.random.default_rng([int(noise_seed), 0x6E6574])
+        self.stats = NetStats()
+        self.loop = VirtualTimeLoop()
+        self._encoding = encoding
+        self._decode_cache: Dict[int, object] = {}
+        self._seq = 0
+        self._acts_pending = 0
+        self._pending_changes: list = []
+        self._config_cache: Optional[Configuration] = None
+        self._closed = False
+
+        self._actors: Dict[int, NodeActor] = {
+            v: NodeActor(v, topology.neighbors(v), self) for v in topology.nodes
+        }
+        self._links: Dict[Tuple[int, int], FairLossyLink] = {
+            (u, v): FairLossyLink(self.link_config)
+            for u in topology.nodes
+            for v in topology.neighbors(u)
+        }
+
+        # The base constructor calls _load_configuration (which needs
+        # the actors above) and binds the scheduler.
+        super().__init__(
+            topology,
+            algorithm,
+            initial_configuration,
+            scheduler,
+            rng=rng,
+            monitors=monitors,
+            intervention=intervention,
+            incremental=incremental,
+            track_enabled=False,
+        )
+
+        self._tasks = [
+            self.loop.create_task(actor.run()) for actor in self._actors.values()
+        ]
+
+    # ------------------------------------------------------------------
+    # Engine hooks.
+    # ------------------------------------------------------------------
+
+    def _load_configuration(self, configuration: Configuration) -> None:
+        """Adopt ``configuration``: set actor states and refresh every
+        register instantly (omniscient out-of-band write)."""
+        self._config_cache = configuration
+        for v, actor in self._actors.items():
+            actor.state = configuration[v]
+        for v in self._actors:
+            self._push_registers(v)
+
+    def _apply(
+        self, activated: FrozenSet[int]
+    ) -> Tuple[Tuple[int, object, object], ...]:
+        """Run one slot of virtual time with ``activated`` actors stepping."""
+        self._config_cache = None
+        self._pending_changes = []
+        self._acts_pending = len(activated)
+        for v in sorted(activated):
+            self._actors[v].inbox.put_nowait(_ACT)
+        self.stats.acts += len(activated)
+        self.loop.run_until_complete(asyncio.sleep(self.slot))
+        if self._acts_pending:
+            raise ModelError(
+                f"{self._acts_pending} activated actor(s) failed to take "
+                f"their step within the slot"
+            )
+        changes = tuple(self._pending_changes)
+        self._pending_changes = []
+        return changes
+
+    @property
+    def configuration(self) -> Configuration:
+        """The current configuration, assembled from the actor states."""
+        if self._config_cache is None:
+            self._config_cache = Configuration(
+                self.topology,
+                {v: actor.state for v, actor in self._actors.items()},
+            )
+        return self._config_cache
+
+    def poke_states(self, updates) -> None:
+        """Overwrite a few actor states in place (permanent-fault entry
+        point), refreshing the neighbors' registers instantly."""
+        if not updates:
+            return
+        unknown = set(int(v) for v in updates) - set(self._actors)
+        if unknown:
+            raise ModelError(f"cannot poke unknown nodes {sorted(unknown)}")
+        self._state_epoch += 1
+        self._config_cache = None
+        for v, state in updates.items():
+            self._actors[int(v)].state = state
+            self._push_registers(int(v))
+
+    def _refresh_pending(self) -> None:
+        raise ModelError(
+            "the net runtime has no enabled-set view: a node's "
+            "enabledness depends on neighbor states it can only learn "
+            "through messages"
+        )
+
+    def _enabled_snapshot(self) -> FrozenSet[int]:
+        raise ModelError(
+            "the net runtime has no enabled-set view: a node's "
+            "enabledness depends on neighbor states it can only learn "
+            "through messages"
+        )
+
+    # ------------------------------------------------------------------
+    # Message plumbing (called by the actors).
+    # ------------------------------------------------------------------
+
+    def _record_change(self, node: int, old, new) -> None:
+        if self._record_changes:
+            self._pending_changes.append((node, old, new))
+
+    def _act_done(self) -> None:
+        self._acts_pending -= 1
+
+    def _decode(self, code: int):
+        cache = self._decode_cache
+        state = cache.get(code)
+        if state is None:
+            state = self._encoding.decode(code)
+            cache[code] = state
+        return state
+
+    def _broadcast(self, actor: NodeActor) -> None:
+        """Stubbornly send ``actor``'s current state to every neighbor.
+
+        Each directed send draws its fate from the link model; each
+        surviving copy is scheduled for delivery at
+        ``now + BROADCAST_PHASE * slot + latency``.
+        """
+        code = int(self._encoding.encode(actor.state))
+        loop = self.loop
+        base = BROADCAST_PHASE * self.slot
+        stats = self.stats
+        for v in actor.neighbors:
+            self._seq += 1
+            seq = self._seq
+            stats.messages_sent += 1
+            latencies = self._links[(actor.node, v)].transmit(self.noise_rng)
+            if not latencies:
+                stats.messages_dropped += 1
+                continue
+            if len(latencies) > 1:
+                stats.messages_duplicated += 1
+            inbox = self._actors[v].inbox
+            message = ("msg", actor.node, seq, code)
+            for latency in latencies:
+                loop.call_later(base + latency, inbox.put_nowait, message)
+
+    def _push_registers(self, v: int) -> None:
+        """Write node ``v``'s current state into every neighbor's
+        register with a fresh sequence number (instant, out-of-band)."""
+        self._seq += 1
+        seq = self._seq
+        state = self._actors[v].state
+        for u in self._actors[v].neighbors:
+            registers = self._actors[u].registers
+            registers[v] = (seq, state)
+
+    # ------------------------------------------------------------------
+    # Actor-level faults and lifecycle.
+    # ------------------------------------------------------------------
+
+    def crash_node(self, v: int) -> None:
+        """Crash actor ``v``: it stops acting, broadcasting, and
+        processing deliveries (its heartbeats go silent, so neighbors'
+        failure detectors will eventually suspect it).  Also masks the
+        node so the inherited step machinery never activates it."""
+        if v not in self._actors:
+            raise ModelError(f"cannot crash unknown node {v}")
+        self._actors[v].crashed = True
+        self.mask_nodes(self._masked | {v})
+
+    def last_heard(self, v: int) -> Dict[int, float]:
+        """Node ``v``'s per-neighbor last-delivery virtual times (the
+        failure detectors' heartbeat view)."""
+        return dict(self._actors[v].last_heard)
+
+    @property
+    def virtual_time(self) -> float:
+        """The current virtual time in slot units."""
+        return self.loop.time()
+
+    def close(self) -> None:
+        """Cancel the actor tasks and close the virtual-time loop.
+
+        Safe to call more than once; after closing, the execution can
+        still be inspected (configuration, stats) but not stepped.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        tasks = getattr(self, "_tasks", None)
+        loop = self.loop
+        if tasks and not loop.is_closed():
+            for task in tasks:
+                task.cancel()
+
+            async def _drain() -> None:
+                await asyncio.gather(*tasks, return_exceptions=True)
+
+            loop.run_until_complete(_drain())
+        if not loop.is_closed():
+            loop.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
+
+def create_net_execution(
+    topology: Topology,
+    algorithm: Algorithm,
+    initial_configuration: Configuration,
+    scheduler: Scheduler,
+    rng: Optional[np.random.Generator] = None,
+    monitors: Tuple[Monitor, ...] = (),
+    intervention: Optional[Intervention] = None,
+    link_config: Optional[LinkConfig] = None,
+    noise_seed: int = 0,
+    slot: float = 1.0,
+) -> NetExecution:
+    """Build a :class:`NetExecution` (mirrors
+    :func:`~repro.model.engine.create_execution`'s shape, plus the link
+    and noise knobs)."""
+    return NetExecution(
+        topology,
+        algorithm,
+        initial_configuration,
+        scheduler,
+        rng=rng,
+        monitors=monitors,
+        intervention=intervention,
+        link_config=link_config,
+        noise_seed=noise_seed,
+        slot=slot,
+    )

@@ -1,0 +1,77 @@
+"""Deterministic virtual-time asyncio event loop.
+
+The net runtime must be seeded and fully reproducible, so it cannot run
+on wall-clock time: the same scenario must deliver the same messages in
+the same order on every machine.  The trick is small — asyncio's
+selector event loop already computes, on each iteration, exactly how
+long it may sleep before the earliest scheduled callback is due.  We
+substitute a selector that never waits: instead of blocking on I/O it
+*jumps* the loop's clock forward by the requested timeout.  Timers then
+fire in deterministic order at deterministic virtual instants, and a
+run's timeline depends only on its seeds.
+
+There is no real I/O in the runtime (actors communicate through
+in-process queues), so nothing is lost by never polling the selector's
+file descriptors.  If the loop ever asks for an *unbounded* wait — no
+timers pending, every actor parked on an empty queue — the system is
+deadlocked and :class:`NetDeadlockError` is raised rather than hanging
+the process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import selectors
+
+
+class NetDeadlockError(RuntimeError):
+    """Raised when the virtual-time loop has no timer left to fire.
+
+    With virtual time there is no notion of "waiting for the outside
+    world": if every task is blocked and no callback is scheduled, no
+    future event can ever unblock them.  Surfacing that as an error
+    turns a silent hang into a diagnosable failure.
+    """
+
+
+class _TimeJumpSelector(selectors.SelectSelector):
+    """Selector that advances a virtual clock instead of blocking.
+
+    ``select(timeout)`` normally polls file descriptors for up to
+    ``timeout`` seconds.  Here it returns immediately with no ready
+    events and credits the full timeout to :attr:`virtual_now` — the
+    event loop believes the time has passed and dispatches whatever
+    timer is due next.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.virtual_now: float = 0.0
+
+    def select(self, timeout=None):  # noqa: D102 - documented on class
+        if timeout is None:
+            raise NetDeadlockError(
+                "virtual-time loop has no scheduled timer to advance to; "
+                "every actor is blocked and no message is in flight"
+            )
+        if timeout > 0:
+            self.virtual_now += timeout
+        return []
+
+
+class VirtualTimeLoop(asyncio.SelectorEventLoop):
+    """Selector event loop whose clock is the virtual clock.
+
+    All time-based asyncio machinery (``call_later``, ``call_at``,
+    ``asyncio.sleep``, ``asyncio.wait_for``) consults ``loop.time()``,
+    so overriding it is sufficient to move the entire loop onto the
+    jumped clock maintained by :class:`_TimeJumpSelector`.
+    """
+
+    def __init__(self) -> None:
+        self._vt_selector = _TimeJumpSelector()
+        super().__init__(selector=self._vt_selector)
+
+    def time(self) -> float:
+        """Return the current virtual time in slot units."""
+        return self._vt_selector.virtual_now

@@ -64,3 +64,19 @@ def au_d2() -> ThinUnison:
 @pytest.fixture
 def au_d4() -> ThinUnison:
     return ThinUnison(4)
+
+
+def pytest_configure(config) -> None:
+    """Register the ``timeout`` marker when pytest-timeout is absent.
+
+    CI installs pytest-timeout (see requirements.txt), which enforces
+    the per-test budgets on the asyncio net-runtime tests; on bare
+    local environments the marker degrades to a registered no-op so
+    ``-W error::pytest.PytestUnknownMarkWarning`` runs stay clean.
+    """
+    if not config.pluginmanager.hasplugin("timeout"):
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): per-test wall-clock budget "
+            "(enforced by pytest-timeout when installed)",
+        )

@@ -51,7 +51,7 @@ class TestGreedyAdversary:
                 rng=rng,
             )
 
-    def test_attach_is_a_deprecated_alias(self):
+    def test_attach_is_removed_with_a_pointer_at_bind(self):
         rng = np.random.default_rng(0)
         alg = ThinUnison(1)
         topology = ring(5)
@@ -63,9 +63,9 @@ class TestGreedyAdversary:
             adversary,
             rng=rng,
         )
-        with pytest.deprecated_call():
-            assert adversary.attach(execution) is adversary
-        execution.step()  # still fully functional after the alias
+        with pytest.raises(AttributeError, match=r"removed.*bind\(\)"):
+            adversary.attach(execution)
+        execution.step()  # construction-time binding is fully functional
 
     def test_is_fair_one_node_per_step_round_structure(self):
         rng = np.random.default_rng(0)

@@ -248,9 +248,9 @@ class TestRunner:
         calls = []
         real_run = run_scenario
 
-        def counting_run(scenario):
+        def counting_run(scenario, timeout_s=None):
             calls.append(scenario.scenario_id)
-            return real_run(scenario)
+            return real_run(scenario, timeout_s)
 
         monkeypatch.setattr(runner_module, "run_scenario", counting_run)
         resumed = run_campaign(

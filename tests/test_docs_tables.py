@@ -123,11 +123,51 @@ class TestNavCoverage:
     installed in the test environment, so ``mkdocs build --strict`` can
     only run in CI — this keeps the nav honest locally too)."""
 
+    def _pages(self):
+        return {name for name in os.listdir(DOCS_DIR) if name.endswith(".md")}
+
     def test_nav_and_docs_dir_agree(self):
         with open(
             os.path.join(DOCS_DIR, "..", "mkdocs.yml"), encoding="utf-8"
         ) as handle:
             config = handle.read()
         in_nav = set(re.findall(r":\s*([\w-]+\.md)\s*$", config, re.MULTILINE))
-        on_disk = {name for name in os.listdir(DOCS_DIR) if name.endswith(".md")}
-        assert in_nav == on_disk
+        assert in_nav == self._pages()
+
+    def test_intra_doc_links_resolve(self):
+        pages = self._pages()
+        for page in sorted(pages):
+            targets = re.findall(r"\]\(([\w-]+\.md)(?:#[\w-]+)?\)", _read(page))
+            for target in targets:
+                assert target in pages, f"{page} links to missing {target}"
+
+
+class TestBenchmarkInventory:
+    """The docs/benchmarks.md artifact inventory names real files: every
+    listed benchmark exists under ``benchmarks/`` and writes the listed
+    artifact (the artifact name appears verbatim in its source)."""
+
+    BENCH_DIR = os.path.join(DOCS_DIR, "..", "benchmarks")
+
+    def table(self):
+        header, rows = _parse_table(_read("benchmarks.md"), "artifact")
+        assert header[:2] == ["artifact", "benchmark"]
+        return rows
+
+    def test_every_listed_benchmark_exists(self):
+        for row in self.table():
+            path = os.path.join(self.BENCH_DIR, _code(row[1]))
+            assert os.path.isfile(path), row[1]
+
+    def test_every_listed_artifact_is_written_by_its_benchmark(self):
+        for row in self.table():
+            path = os.path.join(self.BENCH_DIR, _code(row[1]))
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+            artifact = _code(row[0])
+            # Campaign-driven benchmarks persist through the conftest
+            # helper, which derives ``BENCH_campaign_<registry>.json``
+            # from the registry name — look for that name instead.
+            match = re.fullmatch(r"BENCH_campaign_(.+)\.json", artifact)
+            needle = match.group(1) if match else artifact
+            assert needle in source, artifact

@@ -1,5 +1,5 @@
 """Enabled-aware daemons, quiescence detection, and the scheduler
-contract extensions (``select`` hook, deprecated ``attach`` alias).
+contract extensions (``select`` hook, removed ``attach`` alias).
 
 The enabled-aware schedulers consume the engines' incrementally
 maintained enabled-set view, so these tests double as end-to-end checks
@@ -188,26 +188,15 @@ class TestQuiescenceTracking:
 
 
 class TestSchedulerContract:
-    def test_attach_is_deprecated_on_every_scheduler(self):
+    def test_attach_is_removed_with_a_pointer_at_bind(self):
         execution = _au_execution(SynchronousScheduler(), seed=23)
         late = SynchronousScheduler()
-        with pytest.deprecated_call():
-            assert late.attach(execution) is late
+        with pytest.raises(AttributeError, match=r"removed.*bind\(\)"):
+            late.attach(execution)
 
-    def test_attach_still_binds(self):
-        algorithm = ThinUnison(2)
-        topology = damaged_clique(8, 2, np.random.default_rng(0))
-        adversary = greedy_au_adversary(algorithm)
-        execution = Execution(
-            topology,
-            algorithm,
-            random_configuration(algorithm, topology, np.random.default_rng(1)),
-            adversary,
-            rng=np.random.default_rng(2),
-        )
-        with pytest.deprecated_call():
-            adversary.attach(execution)  # re-attaching the same execution is a no-op
-        execution.step()
+    def test_other_missing_attributes_raise_plainly(self):
+        with pytest.raises(AttributeError, match="no attribute 'frobnicate'"):
+            SynchronousScheduler().frobnicate
 
     def test_rebinding_a_bound_adversary_raises(self):
         algorithm = ThinUnison(2)
@@ -229,11 +218,10 @@ class TestSchedulerContract:
                 adversary,
                 rng=np.random.default_rng(4),
             )
-        # ... and the deprecated alias surfaces the same guard.
+        # ... and manual bind() calls surface the same guard.
         another = _au_execution(SynchronousScheduler(), seed=29)
-        with pytest.deprecated_call():
-            with pytest.raises(ScheduleError, match="already bound"):
-                adversary.attach(another)
+        with pytest.raises(ScheduleError, match="already bound"):
+            adversary.bind(another)
 
     def test_oblivious_schedulers_ignore_the_enabled_view(self):
         scheduler = SynchronousScheduler()
