@@ -1,0 +1,149 @@
+"""Content-addressed result cache + dispatch backends, as a gate.
+
+Runs the ``dispatch-straggler`` campaign (28 ~5 ms scenarios plus 4
+~40x-slower adjacent stragglers — the static-sharding worst case) in
+four configurations:
+
+* **cold** — serial, against a fresh content-addressed result store:
+  every scenario is computed and cached;
+* **warm** — serial, against the now-populated store: every scenario
+  must be served from cache without recomputation;
+* **shards** vs. **queue** — the static-sharding and work-stealing
+  process-pool backends over ``CAMPAIGN_WORKERS`` workers, measuring
+  how each absorbs the straggler skew.
+
+Acceptance gates:
+
+* the warm run is **>= 10x faster** than the cold run with a **100%
+  hit rate** (0 misses), and its aggregates are **bit-identical** to
+  the cold run's — a cache hit is indistinguishable from a fresh
+  computation everywhere except wall-clock;
+* all three dispatch backends produce bit-identical aggregates (the
+  dispatch axis is pure execution strategy).
+
+Persists ``benchmarks/results/BENCH_campaign_cache.json``: the
+deterministic hit/miss accounting in the body, wall-clock timings and
+the shards-vs-queue ratio in ``meta`` (machine-dependent, so never
+compared across PRs).  The timed kernel is one fully warm campaign run
+— the steady-state cost of re-running an already-computed campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import CAMPAIGN_WORKERS, emit
+
+from repro.analysis.tables import render_table, results_dir, write_json
+from repro.campaigns import (
+    ResultCache,
+    aggregate_results,
+    build_campaign,
+    run_campaign,
+)
+
+REGISTRY = "dispatch-straggler"
+WARM_SPEEDUP_FLOOR = 10.0
+
+
+def _run(scenarios, **kwargs):
+    """One timed campaign run; returns (aggregates, seconds, stats)."""
+    stats: dict = {}
+    started = time.perf_counter()
+    results = run_campaign(scenarios, stats=stats, **kwargs)
+    elapsed = time.perf_counter() - started
+    aggregates = aggregate_results(REGISTRY, scenarios, results, 0)
+    assert aggregates["failure_count"] == 0, aggregates["failures"]
+    return aggregates, elapsed, stats
+
+
+def test_campaign_cache(benchmark, tmp_path):
+    scenarios = build_campaign(REGISTRY)
+    cache = ResultCache(str(tmp_path / "store"))
+
+    cold, cold_s, cold_stats = _run(scenarios, cache=cache)
+    warm, warm_s, warm_stats = _run(scenarios, cache=cache)
+
+    # Cold filled the store; warm never computed anything.
+    assert cold_stats["cache"]["misses"] == len(scenarios)
+    assert warm_stats["cache"]["hits"] == len(scenarios)
+    assert warm_stats["cache"]["misses"] == 0
+    assert warm_stats["cache"]["hit_rate"] == 1.0
+    assert cache.verify() == []
+
+    # A hit aggregates bit-identically to a fresh computation.
+    assert json.dumps(cold, sort_keys=True) == json.dumps(warm, sort_keys=True)
+
+    speedup = cold_s / warm_s
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm run only {speedup:.1f}x faster than cold "
+        f"({warm_s * 1000:.1f} ms vs {cold_s * 1000:.1f} ms); "
+        f"the floor is {WARM_SPEEDUP_FLOOR:.0f}x"
+    )
+
+    # The dispatch seam: static shards vs. the work-stealing queue on
+    # the straggler-skewed mix, both bit-identical to the serial
+    # reference (wall-clock comparison is informational — on a
+    # single-core runner the two coincide).
+    shards, shards_s, _ = _run(
+        scenarios, workers=CAMPAIGN_WORKERS, dispatch="shards"
+    )
+    queue, queue_s, _ = _run(
+        scenarios, workers=CAMPAIGN_WORKERS, dispatch="queue"
+    )
+    assert json.dumps(shards, sort_keys=True) == json.dumps(cold, sort_keys=True)
+    assert json.dumps(queue, sort_keys=True) == json.dumps(cold, sort_keys=True)
+
+    rows = [
+        (
+            "cold serial (computes + fills cache)",
+            f"{cold_s * 1000:.1f}",
+            f"0/{len(scenarios)}",
+        ),
+        (
+            "warm serial (100% cache hits)",
+            f"{warm_s * 1000:.1f}",
+            f"{warm_stats['cache']['hits']}/{len(scenarios)}",
+        ),
+        (f"shards x{CAMPAIGN_WORKERS}", f"{shards_s * 1000:.1f}", "—"),
+        (f"queue x{CAMPAIGN_WORKERS}", f"{queue_s * 1000:.1f}", "—"),
+    ]
+    emit(
+        "campaign_cache",
+        render_table(
+            ["configuration", "wall-clock (ms)", "hits"],
+            rows,
+            title=(
+                f"Campaign cache + dispatch — {REGISTRY} "
+                f"({len(scenarios)} scenarios), warm speedup "
+                f"{speedup:.1f}x (floor {WARM_SPEEDUP_FLOOR:.0f}x)"
+            ),
+        ),
+    )
+    path = write_json(
+        os.path.join(results_dir(), "BENCH_campaign_cache.json"),
+        {
+            "campaign": REGISTRY,
+            "scenario_count": len(scenarios),
+            "cold_cache": cold_stats["cache"],
+            "warm_cache": warm_stats["cache"],
+            "dispatch_bit_identical": True,
+            "meta": {
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "warm_speedup": speedup,
+                "shards_s": shards_s,
+                "queue_s": queue_s,
+                "queue_over_shards": queue_s / shards_s,
+                "workers": CAMPAIGN_WORKERS,
+            },
+        },
+    )
+    print(f"[saved to {path}]")
+
+    # Steady state: re-running an already-computed campaign.
+    benchmark.pedantic(
+        lambda: _run(scenarios, cache=cache), rounds=3, iterations=1
+    )

@@ -280,6 +280,21 @@ MEASURED_COLUMNS = (
 )
 
 
+def measured_payload(result: ScenarioResult) -> Dict[str, object]:
+    """The measured columns of ``result``, as a plain dict.
+
+    This is the slice of a result row that is a pure function of the
+    scenario's :meth:`~repro.campaigns.spec.Scenario.content_payload`
+    — everything except the identity labels (``scenario_id``/``index``/
+    ``group``/``tags``) and the wall-clock ``elapsed_ms``.  It is what
+    the content-addressed result cache (:mod:`repro.campaigns.cache`)
+    persists and what :func:`verify_engine_pairing` compares, so the
+    two layers can never drift apart on what "the measured outcome"
+    means.
+    """
+    return {column: getattr(result, column) for column in MEASURED_COLUMNS}
+
+
 def _lane(row: Dict[str, object]) -> str:
     """A row's execution lane: engine plus runtime (``runtime`` defaults
     to ``sim`` so pre-runtime-axis artifact rows keep verifying)."""

@@ -954,3 +954,41 @@ def _net_smoke(builder: CampaignBuilder) -> None:
             group="noisy@ring",
             tags=((key, f"{value:g}"),),
         )
+
+
+@campaign(
+    "dispatch-straggler",
+    "straggler-skewed mix stress-testing the dispatch backends",
+)
+def _dispatch_straggler(builder: CampaignBuilder) -> None:
+    """Many ~5 ms scenarios plus a few ~40x-slower stragglers, with the
+    stragglers *adjacent* in index order — the worst case for static
+    sharding, which packs contiguous runs of jobs into the same shard
+    and leaves the other workers idle while one drains the slow shard.
+    The work-stealing ``queue`` backend hands each straggler to a
+    different idle worker, which is exactly the gap
+    ``benchmarks/bench_campaign_cache.py`` measures (and every backend
+    still aggregates bit-identically — the dispatch axis is pure
+    execution strategy)."""
+    for trial in range(28):
+        builder.add_au(
+            "complete",
+            (("n", 6),),
+            1,
+            scheduler="shuffled-round-robin",
+            engine="array",
+            start="random",
+            group="tiny@complete",
+            tags=(("trial", str(trial)),),
+        )
+    for trial in range(4):
+        builder.add_au(
+            "ring",
+            (("n", 48),),
+            24,
+            scheduler="shuffled-round-robin",
+            engine="array",
+            start="clock-tear",
+            group="straggler@ring",
+            tags=(("trial", str(trial)),),
+        )

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import functools
 import json
-import multiprocessing
+import logging
 import os
 import time
 import traceback
@@ -45,6 +45,8 @@ from repro.analysis.containment import (
     radius_of_mask,
 )
 from repro.analysis.monitors import MoveCounter
+from repro.campaigns.cache import ResultCache
+from repro.campaigns.dispatch import make_dispatcher
 from repro.campaigns.spec import (
     ALGORITHM_FACTORIES,
     PERMANENT_FAULT_KINDS,
@@ -72,6 +74,8 @@ from repro.resilience.adversary import (
 )
 from repro.resilience.strategies import Crash, make_strategy
 from repro.tasks.spec import check_le_output, check_mis_output
+
+logger = logging.getLogger(__name__)
 
 
 # ----------------------------------------------------------------------
@@ -759,17 +763,22 @@ def run_scenario_batch(
 def load_checkpoint(path: str) -> Dict[str, ScenarioResult]:
     """Completed results from a JSONL checkpoint, keyed by scenario id.
 
-    Truncated trailing lines (a worker killed mid-write) are ignored,
-    which is exactly the crash the checkpoint exists to survive.  Rows
-    are deduplicated by scenario *index* with last-write-wins: a
-    kill-and-resume cycle can legitimately append a second row for a
-    scenario whose first row was interrupted (or re-run), and the later
-    row is the authoritative one — without the dedup, duplicate rows
-    from a partially written shard leaked into resumed campaigns.
+    Truncated trailing lines (a worker killed mid-write) are skipped,
+    which is exactly the crash the checkpoint exists to survive — but
+    never *silently*: the skip count is logged, so a checkpoint that
+    loses rows for any other reason (disk corruption, a concurrent
+    writer without the append discipline) is visible instead of
+    quietly re-running scenarios.  Rows are deduplicated by scenario
+    *index* with last-write-wins: a kill-and-resume cycle can
+    legitimately append a second row for a scenario whose first row was
+    interrupted (or re-run), and the later row is the authoritative one
+    — without the dedup, duplicate rows from a partially written shard
+    leaked into resumed campaigns.
     """
     by_index: Dict[int, ScenarioResult] = {}
     if not path or not os.path.exists(path):
         return {}
+    skipped = 0
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -779,31 +788,47 @@ def load_checkpoint(path: str) -> Dict[str, ScenarioResult]:
                 data = json.loads(line)
                 result = ScenarioResult.from_dict(data)
             except (ValueError, TypeError, KeyError):
+                skipped += 1
                 continue
             by_index[result.index] = result
+    if skipped:
+        logger.warning(
+            "checkpoint %s: skipped %d unparsable line(s) "
+            "(torn write from a killed run, or external corruption)",
+            path,
+            skipped,
+        )
     return {result.scenario_id: result for result in by_index.values()}
 
 
 def _append_checkpoint(path: str, results: Iterable[ScenarioResult]) -> None:
-    """Append result rows, one JSON object per line.
+    """Append result rows, one JSON object per line, atomically.
 
-    Opens in binary append+read mode so a truncated tail left by a kill
-    mid-write can be repaired first: without the newline fix-up, the
-    first row appended by a resumed run concatenated onto the truncated
-    line, silently destroying *both* rows on the next load (and forcing
-    a later resume to re-run — and duplicate — the scenario).
+    The whole batch is serialized first and appended with a *single*
+    ``write`` on an ``O_APPEND`` descriptor followed by flush + fsync:
+    one syscall means a crash cannot interleave a half-row between two
+    whole ones, and the kernel's append atomicity keeps concurrent
+    shard flushes from interleaving either — the torn lines
+    :func:`load_checkpoint` must skip can now only come from a kill
+    inside the one final write, never from buffering boundaries.
+
+    Opens in append+read mode so a truncated tail left by such a kill
+    can be repaired first: without the newline fix-up, the first row
+    appended by a resumed run concatenated onto the truncated line,
+    silently destroying *both* rows on the next load (and forcing a
+    later resume to re-run — and duplicate — the scenario).
     """
+    payload = b"".join(
+        json.dumps(result.to_dict(), sort_keys=True).encode("utf-8") + b"\n"
+        for result in results
+    )
     with open(path, "a+b") as handle:
         handle.seek(0, os.SEEK_END)
         if handle.tell() > 0:
             handle.seek(-1, os.SEEK_END)
             if handle.read(1) != b"\n":
                 handle.write(b"\n")
-        for result in results:
-            handle.write(
-                json.dumps(result.to_dict(), sort_keys=True).encode("utf-8")
-            )
-            handle.write(b"\n")
+        handle.write(payload)
         handle.flush()
         os.fsync(handle.fileno())
 
@@ -866,30 +891,6 @@ def _make_jobs(pending: Sequence[Scenario], batch: bool) -> List[Job]:
     return jobs
 
 
-def _make_shards(
-    jobs: Sequence[Job], workers: int, shard_size: Optional[int]
-) -> List[List[Job]]:
-    if shard_size is not None and shard_size < 1:
-        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
-    total = sum(len(job) for job in jobs)
-    if shard_size is None:
-        # ~4 shards in flight per worker smooths scenario-length skew
-        # while keeping per-shard dispatch overhead negligible.
-        shard_size = max(1, total // max(1, workers * 4))
-    shards: List[List[Job]] = []
-    current: List[Job] = []
-    count = 0
-    for job in jobs:
-        current.append(job)
-        count += len(job)
-        if count >= shard_size:
-            shards.append(current)
-            current, count = [], 0
-    if current:
-        shards.append(current)
-    return shards
-
-
 def run_campaign(
     scenarios: Sequence[Scenario],
     workers: int = 1,
@@ -899,19 +900,40 @@ def run_campaign(
     progress: Optional[Callable[[int, int], None]] = None,
     batch: bool = True,
     timeout_s: Optional[float] = None,
+    dispatch: Optional[str] = None,
+    cache: Optional[ResultCache] = None,
+    stats: Optional[Dict[str, object]] = None,
 ) -> List[ScenarioResult]:
-    """Run a campaign, optionally sharded over worker processes.
+    """Run a campaign through a pluggable dispatch backend.
 
     Returns one result per scenario, sorted by scenario index —
-    independent of ``workers``/``shard_size``/completion order *and* of
-    ``batch`` (replica batching is an execution strategy with
-    bit-identical per-scenario results; pass ``batch=False`` to force
-    solo runs, e.g. for the differential CI shard), so downstream
+    independent of ``workers``/``shard_size``/``dispatch``/completion
+    order *and* of ``batch`` (replica batching is an execution strategy
+    with bit-identical per-scenario results; pass ``batch=False`` to
+    force solo runs, e.g. for the differential CI shard), so downstream
     aggregation is reproducible bit for bit.  ``timeout_s`` arms the
     per-scenario wall-clock guard of :func:`run_scenario` in every
     worker (timed-out scenarios yield deterministic ``status="timeout"``
     rows; note the budget is per scenario, so the rows themselves stay
     machine-independent while *which* scenarios time out does not).
+
+    ``dispatch`` picks the execution strategy by
+    :data:`~repro.campaigns.dispatch.DISPATCHER_NAMES` name; ``None``
+    keeps the historical behavior (inline ``serial`` at ``workers <=
+    1``, static ``shards`` above).  Because scenario results are pure
+    functions of their specs and aggregation re-sorts by index, every
+    backend produces bit-identical campaign results.
+
+    ``cache`` plugs in a content-addressed
+    :class:`~repro.campaigns.cache.ResultCache`: before anything is
+    dispatched, every pending scenario is looked up by its canonical
+    :meth:`~repro.campaigns.spec.Scenario.content_hash`, hits stream
+    straight into the result map and the checkpoint (a warm campaign
+    never spawns a worker), and misses are computed then stored —
+    except ``status="timeout"``/``"error"`` rows, which are not pure
+    functions of the spec and are never cached.  ``stats`` (when given
+    a dict) is filled with the run's dispatch name and cache
+    hit/miss/compute-seconds-saved counters for the campaign summary.
     """
     done = load_checkpoint(checkpoint_path) if (resume and checkpoint_path) else {}
     wanted = {s.scenario_id for s in scenarios}
@@ -927,30 +949,61 @@ def run_campaign(
     if checkpoint_path and not resume and os.path.exists(checkpoint_path):
         os.remove(checkpoint_path)  # a fresh run invalidates old lines
 
-    jobs = _make_jobs(pending, batch)
-    if workers <= 1:
-        for job in jobs:
-            job_results = _run_job(job, timeout_s)
-            for result in job_results:
-                results[result.scenario_id] = result
+    if cache is not None:
+        cache.reset_run_stats()
+        misses: List[Scenario] = []
+        hit_results: List[ScenarioResult] = []
+        for scenario in pending:
+            hit = cache.get(scenario)
+            if hit is None:
+                misses.append(scenario)
+            else:
+                results[hit.scenario_id] = hit
+                hit_results.append(hit)
+        if hit_results:
             if checkpoint_path:
-                _append_checkpoint(checkpoint_path, job_results)
-            completed += len(job_results)
+                _append_checkpoint(checkpoint_path, hit_results)
+            completed += len(hit_results)
             if progress is not None:
                 progress(completed, total)
-    elif jobs:
-        shards = _make_shards(jobs, workers, shard_size)
-        context = multiprocessing.get_context()
-        run_shard = functools.partial(_run_shard, timeout_s=timeout_s)
-        with context.Pool(processes=workers) as pool:
-            for shard_results in pool.imap_unordered(run_shard, shards):
-                for result in shard_results:
-                    results[result.scenario_id] = result
-                if checkpoint_path:
-                    _append_checkpoint(checkpoint_path, shard_results)
-                completed += len(shard_results)
-                if progress is not None:
-                    progress(completed, total)
+        pending = misses
+
+    if dispatch is None:
+        dispatch = "serial" if workers <= 1 else "shards"
+        # The historical auto path ignored shard_size off the sharded
+        # branch; explicit backend picks keep make_dispatcher's
+        # stricter validation.
+        if dispatch != "shards":
+            shard_size = None
+    dispatcher = make_dispatcher(dispatch, workers=workers, shard_size=shard_size)
+
+    jobs = _make_jobs(pending, batch)
+    run_job = functools.partial(_run_job, timeout_s=timeout_s)
+    by_id = {s.scenario_id: s for s in pending}
+    for job_results in dispatcher.dispatch(jobs, run_job):
+        for result in job_results:
+            results[result.scenario_id] = result
+            if cache is not None:
+                cache.put(by_id[result.scenario_id], result)
+        if checkpoint_path:
+            _append_checkpoint(checkpoint_path, job_results)
+        completed += len(job_results)
+        if progress is not None:
+            progress(completed, total)
+
+    if cache is not None:
+        cache.write_last_run(
+            {
+                "campaign": scenarios[0].campaign if scenarios else "",
+                "scenarios": total,
+                "dispatch": dispatcher.name,
+            }
+        )
+    if stats is not None:
+        stats["dispatch"] = dispatcher.name
+        stats["cache"] = (
+            cache.run_stats.to_dict() if cache is not None else None
+        )
 
     ordered = [results[s.scenario_id] for s in scenarios]
     return sorted(ordered, key=lambda r: r.index)

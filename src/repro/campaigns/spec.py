@@ -32,6 +32,8 @@ The :class:`FaultPlan` axis covers the repertoire of
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from dataclasses import asdict, dataclass, field, fields
 from typing import Callable, Dict, Optional, Tuple
@@ -567,6 +569,17 @@ class FaultPlan:
 NO_FAULTS = FaultPlan()
 
 
+#: Version salt folded into every :meth:`Scenario.content_hash`.  Bump
+#: it whenever the *meaning* of a spec field changes (a new axis with a
+#: non-neutral default, a semantic change to an existing axis, a fault
+#: plan re-interpretation): the bump invalidates every cached result at
+#: once, which is always correct and never subtle.  Purely additive
+#: axes whose defaults reproduce the old behavior do NOT need a bump —
+#: the canonical payload includes them, so old hashes simply coexist
+#: with new ones.
+CONTENT_HASH_VERSION = 1
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One fully-determined experiment of a campaign."""
@@ -789,6 +802,58 @@ class Scenario:
             f"/D{self.diameter_bound}/{self.scheduler}/{self.start}"
             f"/{engine}/{self.algorithm}/{self.faults.label}/s{self.seed}"
         )
+
+    def content_payload(self) -> Dict[str, object]:
+        """The canonical execution-shaping payload behind
+        :meth:`content_hash`.
+
+        Covers exactly the axes a :class:`ScenarioResult`'s *measured*
+        columns are a function of: task, graph family and parameters,
+        diameter bound, scheduler, engine, runtime and link knobs,
+        start, fault plan, algorithm, seed, and round budget.  The
+        labels that only shape bookkeeping — ``campaign``, ``index``,
+        ``group``, ``tags`` — and the pure execution strategy
+        ``batch_replicas`` are deliberately excluded, so the same
+        experiment reached from two different campaigns addresses the
+        same cache entry.  ``graph_params`` are key-sorted: keyword
+        order never reaches :func:`~repro.graphs.generators.make_graph`.
+        """
+        return {
+            "version": CONTENT_HASH_VERSION,
+            "task": self.task,
+            "graph": self.graph,
+            "graph_params": sorted([str(k), v] for k, v in self.graph_params),
+            "diameter_bound": self.diameter_bound,
+            "scheduler": self.scheduler,
+            "engine": self.engine,
+            "runtime": self.runtime,
+            "net_params": sorted([str(k), v] for k, v in self.net_params),
+            "start": self.start,
+            "faults": dict(asdict(self.faults), times=list(self.faults.times)),
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "max_rounds": self.max_rounds,
+        }
+
+    def content_hash(self) -> str:
+        """The canonical content address of this scenario's result.
+
+        SHA-256 over the version-salted canonical JSON serialization of
+        :meth:`content_payload` (sorted keys, no whitespace drift), so
+        the hash is a stable, collision-resistant pure function of the
+        execution-shaping spec: ``from_dict(to_dict(s))`` hashes
+        identically, semantically different scenarios address different
+        entries, and a :data:`CONTENT_HASH_VERSION` bump invalidates
+        every previously cached result.  This is the key of the
+        content-addressed result store (:mod:`repro.campaigns.cache`).
+        """
+        canonical = json.dumps(
+            self.content_payload(),
+            sort_keys=True,
+            separators=(",", ":"),
+            ensure_ascii=True,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def batch_key(self) -> Tuple:
         """The replica-batching equivalence key: every axis that shapes

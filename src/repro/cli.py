@@ -413,6 +413,26 @@ def _cmd_campaign_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_cache(args: argparse.Namespace):
+    """The :class:`ResultCache` a ``campaign run`` should use, or ``None``.
+
+    Caching is opt-in: ``--cache-dir`` (or ``REPRO_CACHE_DIR``) turns
+    it on, ``--no-cache`` wins over both — so existing invocations and
+    the CI nightlies keep their exact behavior until a store is
+    configured explicitly.
+    """
+    import os
+
+    from repro.campaigns import ResultCache
+
+    if args.no_cache:
+        return None
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        return None
+    return ResultCache(cache_dir)
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.analysis.report import campaign_report
     from repro.campaigns import (
@@ -442,6 +462,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     def progress(done: int, total: int) -> None:
         print(f"\r[{done}/{total} scenarios]", end="", file=sys.stderr)
 
+    cache = _resolve_cache(args)
+    run_stats: dict = {}
     started = time.perf_counter()
     results = run_campaign(
         scenarios,
@@ -452,6 +474,9 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         progress=progress,
         batch=not args.no_batch,
         timeout_s=args.timeout,
+        dispatch=None if args.dispatch == "auto" else args.dispatch,
+        cache=cache,
+        stats=run_stats,
     )
     elapsed_ms = (time.perf_counter() - started) * 1000.0
     print(file=sys.stderr)
@@ -468,11 +493,62 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             "resumed": args.resume,
             "batched": not args.no_batch,
             "timeout_s": args.timeout,
+            "dispatch": run_stats.get("dispatch"),
+            "cache": run_stats.get("cache"),
         },
     )
     print(campaign_report(aggregates))
+    cache_stats = run_stats.get("cache")
+    if cache_stats:
+        print(
+            "[cache: {hits} hits / {misses} misses, "
+            "{saved_compute_s:.1f}s compute saved]".format(**cache_stats),
+            file=sys.stderr,
+        )
     print(f"[saved to {path}]", file=sys.stderr)
     return 0 if aggregates["failure_count"] == 0 else 1
+
+
+def _open_cache(args: argparse.Namespace):
+    """The result store a ``repro cache`` subcommand operates on."""
+    from repro.campaigns import ResultCache, default_cache_dir
+
+    return ResultCache(args.cache_dir or default_cache_dir())
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    import json
+
+    cache = _open_cache(args)
+    payload = cache.stats()
+    last_run = cache.load_last_run()
+    if last_run is not None:
+        payload["last_run"] = last_run
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    cache = _open_cache(args)
+    problems = cache.verify(remove=args.remove)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    entries = cache.stats()["entries"]
+    action = "removed" if args.remove else "found"
+    print(f"[{entries} sound entries; {len(problems)} corrupt {action}]")
+    return 0 if not problems else 1
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    import json
+
+    if args.older_than < 0:
+        print("--older-than must be >= 0 days", file=sys.stderr)
+        return 2
+    cache = _open_cache(args)
+    summary = cache.gc(args.older_than * 86400.0)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
@@ -488,7 +564,7 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    from repro.campaigns import registry_names
+    from repro.campaigns import DISPATCHER_NAMES, registry_names
     from repro.model.engine import ENGINE_NAMES
 
     engines = list(ENGINE_NAMES)
@@ -631,6 +707,28 @@ def build_parser() -> argparse.ArgumentParser:
         "over budget report deterministic status=timeout rows instead "
         "of hanging their shard",
     )
+    c.add_argument(
+        "--dispatch",
+        choices=["auto"] + list(DISPATCHER_NAMES),
+        default="auto",
+        help="execution backend: serial (inline), shards (static "
+        "sharding over a process pool), or queue (work-stealing shared "
+        "task queue); auto keeps the historical choice (serial at "
+        "--workers 1, shards above) — aggregates are bit-identical "
+        "across all backends",
+    )
+    c.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="content-addressed result store; cached scenarios are "
+        "served without recomputation (also honors REPRO_CACHE_DIR)",
+    )
+    c.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="force recomputation even when REPRO_CACHE_DIR is set",
+    )
     c.set_defaults(fn=_cmd_campaign_run)
 
     c = csub.add_parser("report", help="render a campaign artifact as markdown")
@@ -641,6 +739,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="a BENCH_campaign_*.json artifact",
     )
     c.set_defaults(fn=_cmd_campaign_report)
+
+    p = sub.add_parser(
+        "cache", help="the content-addressed campaign result store"
+    )
+    kwargs_sub = p.add_subparsers(dest="cache_command", required=True)
+
+    def _cache_dir_arg(cache_parser: argparse.ArgumentParser) -> None:
+        cache_parser.add_argument(
+            "--cache-dir",
+            type=str,
+            default=None,
+            help="store root (default: REPRO_CACHE_DIR, else "
+            "~/.cache/repro-results)",
+        )
+
+    c = kwargs_sub.add_parser(
+        "stats", help="entry count, bytes on disk, and last-run hit rate"
+    )
+    _cache_dir_arg(c)
+    c.set_defaults(fn=_cmd_cache_stats)
+
+    c = kwargs_sub.add_parser(
+        "verify", help="re-hash every entry and report corruption"
+    )
+    _cache_dir_arg(c)
+    c.add_argument(
+        "--remove",
+        action="store_true",
+        help="delete corrupt entries so they get recomputed",
+    )
+    c.set_defaults(fn=_cmd_cache_verify)
+
+    c = kwargs_sub.add_parser(
+        "gc", help="expire entries by age"
+    )
+    _cache_dir_arg(c)
+    c.add_argument(
+        "--older-than",
+        type=float,
+        required=True,
+        metavar="DAYS",
+        help="delete entries not rewritten in the last DAYS days",
+    )
+    c.set_defaults(fn=_cmd_cache_gc)
 
     p = sub.add_parser(
         "net", help="the asyncio message-passing deployment runtime"

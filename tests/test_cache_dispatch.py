@@ -1,0 +1,623 @@
+"""The content-addressed result cache and the dispatch seam.
+
+Covers the canonical scenario content hash (golden pinned values over
+every engine, the net runtime, and the permanent-fault plans; hypothesis
+round-trip and no-collision properties), the sharded on-disk result
+store (atomicity, integrity verification, uncacheable statuses, gc),
+the pluggable dispatch backends (bit-identical aggregates across
+serial/shards/queue), the runner's cache integration (cold vs. warm
+bit-identity, hit/miss stats), and the ``repro cache`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaigns import (
+    CONTENT_HASH_VERSION,
+    DISPATCHER_NAMES,
+    FaultPlan,
+    ResultCache,
+    Scenario,
+    ScenarioResult,
+    aggregate_results,
+    build_campaign,
+    default_cache_dir,
+    load_checkpoint,
+    make_dispatcher,
+    measured_payload,
+    run_campaign,
+)
+from repro.campaigns import runner as runner_module
+from repro.campaigns.cache import UNCACHEABLE_STATUS
+from repro.campaigns.dispatch import (
+    ProcessPoolDispatcher,
+    QueueDispatcher,
+    SerialDispatcher,
+)
+from repro.cli import main
+
+
+def scenario(**overrides) -> Scenario:
+    """A small valid AU scenario with the given axis overrides."""
+    base = dict(
+        campaign="golden",
+        index=0,
+        task="au",
+        graph="complete",
+        graph_params=(("n", 8),),
+        diameter_bound=2,
+        scheduler="synchronous",
+        engine="object",
+        start="sign-split",
+        seed=7,
+        max_rounds=500,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+# ----------------------------------------------------------------------
+# The canonical content hash.
+# ----------------------------------------------------------------------
+
+#: Pinned canonical hashes of representative scenarios across every
+#: engine, both runtimes, and the fault-plan repertoire.  A mismatch
+#: means the hash function changed semantics: if that was intentional,
+#: bump CONTENT_HASH_VERSION in spec.py (invalidating all caches) and
+#: re-pin; if not, you just silently corrupted every existing cache.
+GOLDEN_HASHES = {
+    "object-sync": "e59be9654eefd9c7e4b0e8960ff766250003d0446cb0baf7dcc42c0ffc66bc73",
+    "array-engine": "5c069ce024abaf085c3a22324829042b72191705cc10017771826e7e6c560abc",
+    "replica-batch-engine": "34a1883a4d6135545f3f8137732dc43cf8b26e3c0ef72a98151b73e2c267d1df",
+    "native-engine": "dd99c1e7925788dffe6a0c99fc815260b51309b3de102d793d981e1cbf06008f",
+    "ring-laggard": "ad3c6eaea689b44c3f2911fadace393eabd495e2978d9155012addac2602c48b",
+    "net-ideal": "6785426d1e7a4c88b94ff8a81b60af9d909ef66d1e5d906dfb536640a01e89fb",
+    "net-lossy": "5f936b9f5b97b98eb634fe5d3b953c59fd7b7b68f36cfe78be60d83854d77121",
+    "byzantine": "d612d910585cf5205c48f07ab46ecf5b5967d322b1f72a87698ec037ae9bbe24",
+    "crash": "48350470fed969ea0e19008e82df22df6eace56575cdfcd0869542a5de10672b",
+    "bursts": "a6288c3f6881210e16057541b6ee5986aa7ee3d427ddb7153ecbfea824fbdfbf",
+    "le-task": "b6d92f880efa1dd9ba17c89061bf6bfe9d81e2944655499b08707a70cd9cb3a4",
+    "mis-baseline": "f9a8c2f549c94c6f716ec2b4b614a08cbef9d23a6f0ec4df88182770eb02146e",
+    "reset-tail": "e45237689a88171e84b6d8516e325ae79c675c7d5f20134db16a6745a1c8f4d0",
+}
+
+
+def golden_scenarios():
+    """The representative scenarios behind :data:`GOLDEN_HASHES`."""
+    return {
+        "object-sync": scenario(),
+        "array-engine": scenario(engine="array"),
+        "replica-batch-engine": scenario(
+            engine="replica-batch", scheduler="round-robin"
+        ),
+        "native-engine": scenario(engine="native"),
+        "ring-laggard": scenario(
+            graph="ring",
+            graph_params=(("n", 12),),
+            diameter_bound=6,
+            scheduler="laggard",
+            start="clock-tear",
+        ),
+        "net-ideal": scenario(runtime="net", scheduler="round-robin"),
+        "net-lossy": scenario(
+            runtime="net",
+            scheduler="round-robin",
+            net_params=(("delay", 1.0), ("loss", 0.1)),
+        ),
+        "byzantine": scenario(
+            faults=FaultPlan(
+                kind="byzantine", strategy="targeted", density=0.1, radius=2
+            )
+        ),
+        "crash": scenario(
+            faults=FaultPlan(kind="crash", density=0.1, times=(5,), radius=1)
+        ),
+        "bursts": scenario(faults=FaultPlan(kind="bursts", bursts=2, fraction=0.25)),
+        "le-task": scenario(
+            task="le",
+            algorithm="alg-le",
+            start="random",
+            graph="star",
+            graph_params=(("n", 9),),
+        ),
+        "mis-baseline": scenario(
+            task="mis",
+            algorithm="luby-mis",
+            start="uniform",
+            graph="grid",
+            graph_params=(("rows", 3), ("cols", 3)),
+        ),
+        "reset-tail": scenario(
+            algorithm="reset-tail-unison", start="random", engine="array"
+        ),
+    }
+
+
+class TestContentHash:
+    def test_golden_hashes(self):
+        scenarios = golden_scenarios()
+        assert set(scenarios) == set(GOLDEN_HASHES)
+        for name, scn in scenarios.items():
+            assert scn.content_hash() == GOLDEN_HASHES[name], name
+
+    def test_golden_scenarios_collision_free(self):
+        hashes = list(GOLDEN_HASHES.values())
+        assert len(set(hashes)) == len(hashes)
+
+    def test_version_salt_in_payload(self):
+        assert scenario().content_payload()["version"] == CONTENT_HASH_VERSION
+
+    def test_labels_do_not_shape_the_hash(self):
+        # campaign/index/group/tags are bookkeeping, batch_replicas is
+        # a pure execution strategy: the same experiment reached from
+        # two campaigns must address the same cache entry.
+        reference = scenario().content_hash()
+        assert scenario(campaign="other").content_hash() == reference
+        assert scenario(index=99).content_hash() == reference
+        assert scenario(group="sweep").content_hash() == reference
+        assert scenario(tags=(("trial", "3"),)).content_hash() == reference
+        batched = scenario(engine="array", batch_replicas=4)
+        assert (
+            batched.content_hash()
+            == scenario(engine="array").content_hash()
+        )
+
+    @pytest.mark.parametrize(
+        "axis",
+        [
+            {"seed": 8},
+            {"max_rounds": 501},
+            {"diameter_bound": 3},
+            {"graph_params": (("n", 9),)},
+            {"scheduler": "round-robin"},
+            {"engine": "array"},
+            {"start": "clock-tear"},
+            {"faults": FaultPlan(kind="bursts", bursts=1)},
+        ],
+    )
+    def test_semantic_axes_shape_the_hash(self, axis):
+        assert scenario(**axis).content_hash() != scenario().content_hash()
+
+    def test_graph_param_order_is_canonicalized(self):
+        a = scenario(
+            task="mis",
+            algorithm="luby-mis",
+            start="uniform",
+            graph="grid",
+            graph_params=(("rows", 3), ("cols", 4)),
+        )
+        b = scenario(
+            task="mis",
+            algorithm="luby-mis",
+            start="uniform",
+            graph="grid",
+            graph_params=(("cols", 4), ("rows", 3)),
+        )
+        assert a.content_hash() == b.content_hash()
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        n=st.integers(2, 64),
+        diameter_bound=st.integers(1, 8),
+        max_rounds=st.integers(1, 10_000),
+        scheduler=st.sampled_from(["synchronous", "round-robin", "laggard"]),
+        start=st.sampled_from(["sign-split", "clock-tear", "uniform"]),
+        engine=st.sampled_from(["object", "array", "native"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_json_round_trip_hashes_identically(
+        self, seed, n, diameter_bound, max_rounds, scheduler, start, engine
+    ):
+        original = scenario(
+            seed=seed,
+            graph_params=(("n", n),),
+            diameter_bound=diameter_bound,
+            max_rounds=max_rounds,
+            scheduler=scheduler,
+            start=start,
+            engine=engine,
+        )
+        rebuilt = Scenario.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert rebuilt.content_hash() == original.content_hash()
+
+    @given(
+        axes=st.lists(
+            st.tuples(
+                st.integers(0, 50),  # seed
+                st.integers(2, 20),  # n
+                st.integers(1, 5),  # diameter bound
+                st.sampled_from(["synchronous", "round-robin"]),
+                st.sampled_from(["sign-split", "uniform"]),
+            ),
+            min_size=2,
+            max_size=20,
+            unique=True,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_scenarios_never_collide(self, axes):
+        hashes = [
+            scenario(
+                seed=seed,
+                graph_params=(("n", n),),
+                diameter_bound=diameter,
+                scheduler=scheduler,
+                start=start,
+            ).content_hash()
+            for seed, n, diameter, scheduler, start in axes
+        ]
+        assert len(set(hashes)) == len(hashes)
+
+
+# ----------------------------------------------------------------------
+# The result store.
+# ----------------------------------------------------------------------
+
+
+def result_for(scn: Scenario, **overrides) -> ScenarioResult:
+    """A plausible measured result row for ``scn``."""
+    base = dict(
+        scenario_id=scn.scenario_id,
+        index=scn.index,
+        group=scn.group,
+        stabilized=True,
+        rounds=11,
+        steps=88,
+        n=8,
+        m=28,
+        moves=40,
+        state_bits=4.9,
+        tags=scn.tags,
+        elapsed_ms=123.0,
+    )
+    base.update(overrides)
+    return ScenarioResult(**base)
+
+
+class TestResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        scn = scenario()
+        stored = result_for(scn)
+        assert cache.put(scn, stored)
+        hit = cache.get(scn)
+        assert hit is not None
+        assert measured_payload(hit) == measured_payload(stored)
+        # Hits did no compute: wall-clock must not be replayed.
+        assert hit.elapsed_ms == 0.0
+        assert cache.run_stats.hits == 1
+        assert cache.run_stats.saved_ms == 123.0
+
+    def test_identity_labels_come_from_the_requesting_scenario(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        producer = scenario(campaign="nightly", index=3, group="D=2")
+        cache.put(producer, result_for(producer))
+        consumer = scenario(
+            campaign="adhoc", index=41, group="other", tags=(("trial", "9"),)
+        )
+        hit = cache.get(consumer)
+        assert hit is not None
+        assert hit.scenario_id == consumer.scenario_id
+        assert hit.index == 41
+        assert hit.group == "other"
+        assert hit.tag("trial") == "9"
+
+    def test_miss_on_empty_store(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get(scenario()) is None
+        assert cache.run_stats.misses == 1
+
+    @pytest.mark.parametrize("status", UNCACHEABLE_STATUS)
+    def test_timeout_and_error_rows_are_refused(self, tmp_path, status):
+        cache = ResultCache(str(tmp_path))
+        scn = scenario()
+        assert not cache.put(scn, result_for(scn, status=status, stabilized=False))
+        assert cache.get(scn) is None
+
+    def test_tampered_entry_is_a_miss_and_verify_reports_it(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        scn = scenario()
+        cache.put(scn, result_for(scn))
+        path = cache.entry_path(scn.content_hash())
+        entry = json.loads(open(path).read())
+        entry["key"]["seed"] = 999  # payload no longer re-hashes to the name
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        assert cache.get(scn) is None
+        problems = cache.verify()
+        assert len(problems) == 1 and path in problems[0]
+        assert cache.verify(remove=True) == problems
+        assert not os.path.exists(path)
+        assert cache.verify() == []
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        scn = scenario()
+        cache.put(scn, result_for(scn))
+        path = cache.entry_path(scn.content_hash())
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"hash": "torn')
+        assert cache.get(scn) is None
+
+    def test_wrong_version_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        scn = scenario()
+        cache.put(scn, result_for(scn))
+        path = cache.entry_path(scn.content_hash())
+        entry = json.loads(open(path).read())
+        entry["version"] = CONTENT_HASH_VERSION + 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        assert cache.get(scn) is None
+
+    def test_stats_and_gc(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        for seed in range(3):
+            scn = scenario(seed=seed)
+            cache.put(scn, result_for(scn))
+        stats = cache.stats()
+        assert stats["entries"] == 3 and stats["bytes"] > 0
+        # Nothing is older than a day.
+        assert cache.gc(86400.0) == {"removed": 0, "kept": 3, "freed_bytes": 0}
+        swept = cache.gc(0.0)
+        assert swept["removed"] == 3 and swept["freed_bytes"] > 0
+        assert cache.stats()["entries"] == 0
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        scn = scenario()
+        content_hash = scn.content_hash()
+        cache.put(scn, result_for(scn))
+        expected = os.path.join(
+            str(tmp_path), "objects", content_hash[:2], f"{content_hash}.json"
+        )
+        assert os.path.exists(expected)
+
+    def test_default_cache_dir_honors_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+        assert default_cache_dir() == str(tmp_path / "store")
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == str(tmp_path / "xdg" / "repro-results")
+
+
+# ----------------------------------------------------------------------
+# Dispatch backends.
+# ----------------------------------------------------------------------
+
+
+class TestDispatch:
+    def test_make_dispatcher_names(self):
+        assert isinstance(make_dispatcher("serial"), SerialDispatcher)
+        assert isinstance(
+            make_dispatcher("shards", workers=2), ProcessPoolDispatcher
+        )
+        assert isinstance(make_dispatcher("queue", workers=2), QueueDispatcher)
+        with pytest.raises(ValueError, match="valid dispatchers"):
+            make_dispatcher("carrier-pigeon")
+
+    def test_shard_size_is_rejected_off_the_sharded_backend(self):
+        with pytest.raises(ValueError, match="shard_size"):
+            make_dispatcher("serial", shard_size=3)
+        with pytest.raises(ValueError, match="shard_size"):
+            make_dispatcher("queue", workers=2, shard_size=3)
+        assert make_dispatcher("shards", workers=2, shard_size=3).shard_size == 3
+
+    def test_invalid_workers_and_shard_size(self):
+        with pytest.raises(ValueError, match="workers"):
+            make_dispatcher("shards", workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            make_dispatcher("queue", workers=0)
+        with pytest.raises(ValueError, match="shard_size"):
+            make_dispatcher("shards", workers=2, shard_size=0)
+
+    def test_shard_packing_covers_all_jobs(self):
+        dispatcher = ProcessPoolDispatcher(workers=3, shard_size=2)
+        jobs = [[f"job{i}"] for i in range(7)]
+        shards = dispatcher.make_shards(jobs)
+        assert [job for shard in shards for job in shard] == jobs
+        assert all(len(shard) <= 2 for shard in shards)
+
+    def test_empty_job_list(self):
+        for name in DISPATCHER_NAMES:
+            dispatcher = make_dispatcher(name, workers=2)
+            assert list(dispatcher.dispatch([], lambda job: [job])) == []
+
+    @pytest.mark.parametrize("dispatch", ["shards", "queue"])
+    def test_backends_agree_with_serial(self, dispatch):
+        scenarios = build_campaign("micro")[:6]
+        reference = run_campaign(scenarios, dispatch="serial")
+        other = run_campaign(scenarios, workers=2, dispatch=dispatch)
+        baseline = aggregate_results("micro", scenarios, reference, 0)
+        candidate = aggregate_results("micro", scenarios, other, 0)
+        assert json.dumps(baseline, sort_keys=True) == json.dumps(
+            candidate, sort_keys=True
+        )
+
+
+# ----------------------------------------------------------------------
+# Runner integration.
+# ----------------------------------------------------------------------
+
+
+class TestRunnerCacheIntegration:
+    def test_cold_then_warm_is_bit_identical(self, tmp_path):
+        scenarios = build_campaign("micro")[:6]
+        cache = ResultCache(str(tmp_path))
+        cold_stats: dict = {}
+        warm_stats: dict = {}
+        cold = run_campaign(scenarios, cache=cache, stats=cold_stats)
+        warm = run_campaign(scenarios, cache=cache, stats=warm_stats)
+        assert json.dumps(
+            aggregate_results("micro", scenarios, cold, 0), sort_keys=True
+        ) == json.dumps(
+            aggregate_results("micro", scenarios, warm, 0), sort_keys=True
+        )
+        assert cold_stats["cache"] == {
+            "hits": 0,
+            "misses": len(scenarios),
+            "hit_rate": 0.0,
+            "saved_compute_s": cold_stats["cache"]["saved_compute_s"],
+        }
+        assert warm_stats["cache"]["hits"] == len(scenarios)
+        assert warm_stats["cache"]["misses"] == 0
+        assert warm_stats["cache"]["hit_rate"] == 1.0
+        assert warm_stats["cache"]["saved_compute_s"] > 0.0
+        assert cache.load_last_run()["hits"] == len(scenarios)
+
+    def test_warm_run_across_dispatchers(self, tmp_path):
+        scenarios = build_campaign("micro")[:4]
+        cache = ResultCache(str(tmp_path))
+        cold = run_campaign(scenarios, cache=cache)
+        stats: dict = {}
+        warm = run_campaign(
+            scenarios, workers=2, dispatch="queue", cache=cache, stats=stats
+        )
+        assert stats["cache"]["hits"] == len(scenarios)
+        assert [r.to_dict() for r in cold] == [
+            dict(r.to_dict(), elapsed_ms=cold[i].elapsed_ms)
+            for i, r in enumerate(warm)
+        ]
+
+    def test_hits_stream_into_the_checkpoint(self, tmp_path):
+        scenarios = build_campaign("micro")[:4]
+        cache = ResultCache(str(tmp_path / "store"))
+        run_campaign(scenarios, cache=cache)
+        checkpoint = str(tmp_path / "progress.jsonl")
+        run_campaign(scenarios, checkpoint_path=checkpoint, cache=cache)
+        done = load_checkpoint(checkpoint)
+        assert set(done) == {s.scenario_id for s in scenarios}
+
+    def test_timeout_rows_are_not_cached(self, tmp_path, monkeypatch):
+        scenarios = build_campaign("micro")[:2]
+
+        def timed_out(scn, timeout_s=None):
+            return result_for(scn, scenario_id=scn.scenario_id, status="timeout")
+
+        monkeypatch.setattr(runner_module, "run_scenario", timed_out)
+        cache = ResultCache(str(tmp_path))
+        run_campaign(scenarios, cache=cache, batch=False)
+        assert cache.stats()["entries"] == 0
+        stats: dict = {}
+        run_campaign(scenarios, cache=cache, batch=False, stats=stats)
+        assert stats["cache"]["hits"] == 0
+
+    def test_stats_without_cache(self):
+        scenarios = build_campaign("micro")[:2]
+        stats: dict = {}
+        run_campaign(scenarios, stats=stats)
+        assert stats == {"dispatch": "serial", "cache": None}
+
+    def test_unknown_dispatch_name_fails_fast(self):
+        with pytest.raises(ValueError, match="valid dispatchers"):
+            run_campaign(build_campaign("micro")[:1], dispatch="bogus")
+
+
+class TestCheckpointRobustness:
+    def test_skipped_lines_are_logged_not_silent(self, tmp_path, caplog):
+        path = str(tmp_path / "progress.jsonl")
+        scn = scenario()
+        row = result_for(scn)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(row.to_dict(), sort_keys=True) + "\n")
+            handle.write("{torn json\n")
+            handle.write("{}\n")
+        with caplog.at_level(logging.WARNING, logger="repro.campaigns.runner"):
+            done = load_checkpoint(path)
+        assert set(done) == {scn.scenario_id}
+        assert "skipped 2 unparsable line(s)" in caplog.text
+
+    def test_append_is_single_write_with_tail_repair(self, tmp_path):
+        path = str(tmp_path / "progress.jsonl")
+        scn_a, scn_b = scenario(index=0, seed=1), scenario(index=1, seed=2)
+        row_a = result_for(scn_a, scenario_id=scn_a.scenario_id)
+        with open(path, "w", encoding="utf-8") as handle:
+            # A torn trailing line with no newline, as a killed writer
+            # leaves behind.
+            handle.write(json.dumps(row_a.to_dict(), sort_keys=True))
+        row_b = result_for(scn_b, scenario_id=scn_b.scenario_id, index=1)
+        runner_module._append_checkpoint(path, [row_b])
+        done = load_checkpoint(path)
+        assert set(done) == {scn_a.scenario_id, scn_b.scenario_id}
+
+
+# ----------------------------------------------------------------------
+# The CLI surface.
+# ----------------------------------------------------------------------
+
+
+class TestCacheCLI:
+    def run_micro(self, tmp_path, *extra):
+        artifact = str(tmp_path / "artifact.json")
+        code = main(
+            [
+                "campaign",
+                "run",
+                "--registry",
+                "micro",
+                "--limit",
+                "2",
+                "--output",
+                artifact,
+                *extra,
+            ]
+        )
+        assert code == 0
+        return json.loads(open(artifact).read())
+
+    def test_campaign_run_with_cache_dir(self, tmp_path):
+        store = str(tmp_path / "store")
+        cold = self.run_micro(tmp_path, "--cache-dir", store)
+        warm = self.run_micro(tmp_path, "--cache-dir", store)
+        assert cold["meta"]["cache"]["misses"] == 2
+        assert warm["meta"]["cache"]["hits"] == 2
+        assert json.dumps(cold["aggregates"], sort_keys=True) == json.dumps(
+            warm["aggregates"], sort_keys=True
+        )
+
+    def test_no_cache_beats_the_env_var(self, tmp_path, monkeypatch):
+        store = str(tmp_path / "store")
+        monkeypatch.setenv("REPRO_CACHE_DIR", store)
+        self.run_micro(tmp_path)
+        warm = self.run_micro(tmp_path, "--no-cache")
+        assert warm["meta"]["cache"] is None
+
+    def test_dispatch_flag(self, tmp_path):
+        artifact = self.run_micro(tmp_path, "--dispatch", "queue", "--workers", "2")
+        assert artifact["meta"]["dispatch"] == "queue"
+
+    def test_cache_stats_verify_gc(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self.run_micro(tmp_path, "--cache-dir", store)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", store]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 2
+        assert stats["last_run"]["misses"] == 2
+        assert main(["cache", "verify", "--cache-dir", store]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--older-than", "30", "--cache-dir", store]) == 0
+        assert json.loads(capsys.readouterr().out)["kept"] == 2
+        assert main(["cache", "gc", "--older-than", "0", "--cache-dir", store]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 2
+
+    def test_cache_verify_flags_corruption(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        self.run_micro(tmp_path, "--cache-dir", store)
+        cache = ResultCache(store)
+        path = cache._entry_paths()[0]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json")
+        assert main(["cache", "verify", "--cache-dir", store]) == 1
+        capsys.readouterr()
+        assert main(["cache", "verify", "--remove", "--cache-dir", store]) == 1
+        assert main(["cache", "verify", "--cache-dir", store]) == 0
