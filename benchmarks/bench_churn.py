@@ -1,0 +1,309 @@
+"""Dynamic topology: incremental churn vs rebuild-and-carry, plus the
+sustainable-churn phase diagram.
+
+Three gates, mirroring the dynamic-topology issue's acceptance
+criteria:
+
+* **bit-identity** — the object, array and native engines absorb one
+  shared :class:`~repro.faults.churn.ChurnProcess` delta stream
+  (edge churn *and* join/leave membership churn) on a signaling-hub
+  colony and must agree on every state, step for step;
+* **incremental speedup** — at ``n = 10,000`` under sustained edge
+  churn, patching the running array engine through
+  ``mutate_topology`` must be ≥ 3× faster than the pre-refactor
+  rebuild-and-carry flow (new ``Topology`` + carried configuration +
+  fresh execution per event), with bit-identical final codes;
+* **phase boundary** — the ``churn-phase`` registry campaign must run
+  failure-free with all four lanes (object/array/native engines and
+  the zero-noise net runtime) bit-identical per pairing, and the
+  membership-churn clean fractions must yield a *finite*
+  sustainable-churn boundary
+  (:func:`~repro.analysis.restabilization.churn_phase_boundary`) on at
+  least two colony families.
+
+Persists ``benchmarks/results/BENCH_churn.json`` (and the campaign
+artifact ``BENCH_campaign_churn-phase.json`` via the shared campaign
+helper).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import networkx as nx
+import numpy as np
+from conftest import emit, run_registry_campaign
+
+from repro.analysis.restabilization import churn_phase_boundary
+from repro.analysis.tables import render_table, results_dir
+from repro.campaigns.aggregate import verify_engine_pairing
+from repro.campaigns.registry import CHURN_GRAPHS
+from repro.core.algau import ThinUnison
+from repro.faults.churn import ChurnProcess
+from repro.faults.injection import carry_configuration
+from repro.graphs.generators import make_graph
+from repro.graphs.topology import Topology
+from repro.model.engine import create_execution
+from repro.model.scheduler import SynchronousScheduler
+
+D = 2
+#: The incremental-vs-rebuild gate size and workload.
+REBUILD_N = 10_000
+REBUILD_DELTAS = 12
+SPEEDUP_FLOOR = 3.0
+#: The engine-identity gate: colony size and churn window.
+IDENTITY_N = 400
+IDENTITY_WINDOW = 120
+
+
+def _execution(engine: str, topology, algorithm, initial):
+    return create_execution(
+        topology,
+        algorithm,
+        initial,
+        SynchronousScheduler(),
+        rng=np.random.default_rng(0),
+        engine=engine,
+    )
+
+
+def _random_initial(algorithm, topology, seed: int):
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, algorithm.encoding.size, topology.n)
+    return algorithm.encoding.decode_configuration(topology, codes)
+
+
+def _states(execution):
+    configuration = execution.configuration
+    return tuple(configuration[v] for v in execution.topology.nodes)
+
+
+def _identity_gate(payload) -> None:
+    """Object/array/native step-for-step identity under one mixed
+    (edge + membership) churn stream."""
+    rng = np.random.default_rng(17)
+    topology = make_graph("hub-colony", rng, n=IDENTITY_N, hubs=4)
+    algorithm = ThinUnison(D)
+    initial = _random_initial(algorithm, topology, seed=23)
+    churn = ChurnProcess(
+        topology,
+        seed=99,
+        edge_add_rate=0.15,
+        edge_remove_rate=0.15,
+        join_rate=0.1,
+        leave_rate=0.1,
+        initial_state=algorithm.initial_state,
+    )
+    deltas = list(churn.deltas(IDENTITY_WINDOW))
+    engines = ("object", "array", "native")
+    executions = {
+        engine: _execution(engine, topology, algorithm, initial)
+        for engine in engines
+    }
+    for step, delta in enumerate(deltas):
+        for execution in executions.values():
+            if delta is not None:
+                execution.mutate_topology(delta)
+            execution.step()
+        if step % 30 == 29 or delta is not None:
+            reference = _states(executions["object"])
+            for engine in engines[1:]:
+                assert _states(executions[engine]) == reference, (
+                    f"{engine} diverged from object at churn step {step}"
+                )
+    reference = executions["object"]
+    for engine in engines[1:]:
+        other = executions[engine]
+        assert _states(other) == _states(reference)
+        assert other.graph_is_good() == reference.graph_is_good()
+        assert other.topology_version == reference.topology_version
+    payload["identity"] = {
+        "graph": f"hub-colony(n={IDENTITY_N})",
+        "window": IDENTITY_WINDOW,
+        "events": churn.events,
+        "skipped_events": churn.skipped_events,
+        "final_n": reference.topology.n,
+        "engines": list(engines),
+    }
+
+
+def _rebuild_gate(payload):
+    """Incremental ``mutate_topology`` vs rebuild-and-carry at 10k
+    nodes of sustained edge churn; returns (row, speedup)."""
+    rng = np.random.default_rng(5)
+    topology = make_graph("regular", rng, n=REBUILD_N, degree=4)
+    algorithm = ThinUnison(D)
+    initial = _random_initial(algorithm, topology, seed=7)
+    churn = ChurnProcess(
+        topology, seed=41, edge_add_rate=3.0, edge_remove_rate=3.0
+    )
+    deltas = [d for d in churn.deltas(4 * REBUILD_DELTAS) if d is not None]
+    deltas = deltas[: REBUILD_DELTAS + 1]
+    assert len(deltas) == REBUILD_DELTAS + 1
+    warmup, timed = deltas[0], deltas[1:]
+
+    # Incremental lane: one long-lived array execution, patched in
+    # place (the warmup delta also pays the one-time DynamicTopology
+    # conversion outside the timed region).
+    incremental = _execution("array", topology, algorithm, initial)
+    incremental.mutate_topology(warmup)
+    incremental.advance(1)
+    start = time.perf_counter()
+    for delta in timed:
+        incremental.mutate_topology(delta)
+        incremental.advance(1)
+    incremental_s = time.perf_counter() - start
+
+    # Rebuild lane: the pre-refactor flow — mutate a working graph,
+    # wrap a fresh Topology (connectivity check, neighbor tables),
+    # carry the configuration node-for-node, build a fresh execution.
+    graph = nx.Graph(topology.graph)
+
+    def apply_to_graph(delta) -> None:
+        graph.remove_edges_from(delta.remove_edges)
+        graph.add_edges_from(delta.add_edges)
+
+    def rebuild(execution, delta):
+        apply_to_graph(delta)
+        rebuilt = Topology(nx.Graph(graph), name="churned")
+        carried = carry_configuration(execution.configuration, rebuilt)
+        fresh = _execution("array", rebuilt, algorithm, carried)
+        fresh.advance(1)
+        return fresh
+
+    rebuilt_execution = _execution("array", topology, algorithm, initial)
+    rebuilt_execution = rebuild(rebuilt_execution, warmup)
+    start = time.perf_counter()
+    for delta in timed:
+        rebuilt_execution = rebuild(rebuilt_execution, delta)
+    rebuild_s = time.perf_counter() - start
+
+    assert np.array_equal(incremental._codes, rebuilt_execution._codes), (
+        "incremental churn diverged from the rebuild-and-carry reference"
+    )
+    speedup = rebuild_s / incremental_s
+    events = sum(
+        len(d.add_edges) + len(d.remove_edges) for d in timed
+    )
+    payload["incremental"] = {
+        "n": REBUILD_N,
+        "deltas": len(timed),
+        "events": events,
+        "incremental_seconds": incremental_s,
+        "rebuild_seconds": rebuild_s,
+        "speedup": speedup,
+    }
+    row = (
+        f"{REBUILD_N:,}",
+        str(len(timed)),
+        str(events),
+        f"{incremental_s * 1e3 / len(timed):.2f}",
+        f"{rebuild_s * 1e3 / len(timed):.2f}",
+        f"{speedup:.1f}x",
+    )
+    return row, speedup
+
+
+def _phase_gate(payload):
+    """Run the churn-phase campaign, cross-check the four lanes, and
+    extract the membership phase boundary per family."""
+    aggregates = run_registry_campaign("churn-phase")
+    mismatches = verify_engine_pairing(aggregates["rows"])
+    assert not mismatches, mismatches[:5]
+    phase = {}
+    rows = []
+    finite = 0
+    for graph, _, _ in CHURN_GRAPHS:
+        phase[graph] = {}
+        for kind in ("churn", "membership"):
+            points = [
+                (float(row["tags"]["rate"]), row["clean_fraction"])
+                for row in aggregates["rows"]
+                if row["graph"] == graph
+                and row["tags"].get("kind") == kind
+                and row["clean_fraction"] is not None
+            ]
+            boundary = churn_phase_boundary(points)
+            by_rate = sorted(set(points))
+            phase[graph][kind] = {
+                "points": [list(p) for p in by_rate],
+                "boundary": boundary,
+            }
+            if kind == "membership" and boundary is not None:
+                finite += 1
+            rows.append(
+                (
+                    graph,
+                    kind,
+                    " ".join(f"{f:.2f}" for _, f in by_rate),
+                    f"{boundary:g}" if boundary is not None else "—",
+                )
+            )
+    # Membership churn must exhibit a measurable phase transition on at
+    # least two colony families; pure edge churn of a stabilized colony
+    # is expected to stay clean (compatible clocks tolerate rewiring),
+    # so its boundary legitimately lies beyond the sweep.
+    assert finite >= 2, phase
+    payload["phase"] = phase
+    return rows
+
+
+def kernel():
+    """Representative microkernel: one churn delta patched into a
+    running 10k-node array execution plus one synchronous step."""
+    rng = np.random.default_rng(5)
+    topology = make_graph("regular", rng, n=REBUILD_N, degree=4)
+    algorithm = ThinUnison(D)
+    execution = _execution(
+        "array", topology, algorithm, _random_initial(algorithm, topology, 7)
+    )
+    churn = ChurnProcess(
+        topology, seed=41, edge_add_rate=3.0, edge_remove_rate=3.0
+    )
+    for delta in churn.deltas(6):
+        if delta is not None:
+            execution.mutate_topology(delta)
+        execution.advance(1)
+    return execution.t
+
+
+def test_churn_dynamic_topology(benchmark):
+    payload = {"D": D}
+
+    _identity_gate(payload)
+    rebuild_row, speedup = _rebuild_gate(payload)
+    phase_rows = _phase_gate(payload)
+
+    emit(
+        "churn_incremental",
+        render_table(
+            ["n", "deltas", "events", "incr ms/delta", "rebuild ms/delta", "speedup"],
+            [rebuild_row],
+            title=(
+                "Incremental mutate_topology vs rebuild-and-carry "
+                f"(array engine, sustained edge churn, D={D})"
+            ),
+        ),
+    )
+    emit(
+        "churn_phase",
+        render_table(
+            ["family", "kind", "clean fraction by rate", "boundary"],
+            phase_rows,
+            title=(
+                "Sustainable-churn phase diagram — churn-phase campaign "
+                "(synchronous daemon, window 160 steps)"
+            ),
+        ),
+    )
+
+    json_path = os.path.join(results_dir(), "BENCH_churn.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"[saved to {json_path}]")
+
+    assert speedup >= SPEEDUP_FLOOR, payload["incremental"]
+
+    benchmark.pedantic(kernel, rounds=2, iterations=1)

@@ -51,6 +51,8 @@ def _row(scenario: Scenario, result: ScenarioResult) -> Dict[str, object]:
         "clean_fraction": result.clean_fraction,
         "state_bits": result.state_bits,
         "moves": result.moves,
+        "churn_events": result.churn_events,
+        "pulse_tightness": result.pulse_tightness,
         "detail": result.detail,
         "status": result.status,
     }
@@ -77,6 +79,14 @@ def _group_summary(rows: List[Dict[str, object]]) -> Dict[str, object]:
         for r in rows
         if r["containment_radius"] is not None
     ]
+    clean = [
+        r["clean_fraction"] for r in rows if r["clean_fraction"] is not None
+    ]
+    tightness = [
+        r["pulse_tightness"]
+        for r in rows
+        if r.get("pulse_tightness") is not None
+    ]
     return {
         "count": len(rows),
         "failures": sum(1 for r in rows if not _row_ok(r)),
@@ -92,6 +102,8 @@ def _group_summary(rows: List[Dict[str, object]]) -> Dict[str, object]:
         ),
         "recovery_rounds": Summary.of(recoveries).to_dict() if recoveries else None,
         "containment_radius": Summary.of(radii).to_dict() if radii else None,
+        "clean_fraction": Summary.of(clean).to_dict() if clean else None,
+        "pulse_tightness": Summary.of(tightness).to_dict() if tightness else None,
     }
 
 
@@ -275,6 +287,8 @@ MEASURED_COLUMNS = (
     "clean_fraction",
     "state_bits",
     "moves",
+    "churn_events",
+    "pulse_tightness",
     "detail",
     "status",
 )

@@ -40,6 +40,13 @@ Shipped registries:
   runtime over zero-noise links with a shared seed, so the aggregation
   cross-checks the deployment runtime bit for bit; a small unpaired
   block exercises lossy/delayed links.
+* ``churn-phase`` — dynamic-topology churn: edge-churn and membership
+  rate sweeps over the biological colony families, every cell run on
+  all four lanes (object/array/native engines plus the zero-noise net
+  runtime) under one shared seed, so the lane pairing cross-checks the
+  incremental ``mutate_topology`` paths bit for bit while the
+  aggregated clean fractions trace the sustainable-churn phase
+  diagram.
 """
 
 from __future__ import annotations
@@ -954,6 +961,78 @@ def _net_smoke(builder: CampaignBuilder) -> None:
             group="noisy@ring",
             tags=((key, f"{value:g}"),),
         )
+
+
+#: Families for the churn-phase campaign: the paper's biological colony
+#: graphs — a quorum colony, a signaling-hub colony and a cell tissue —
+#: where membership churn is the native failure mode (cells are born
+#: and die while the clock runs).
+CHURN_GRAPHS: Tuple[GraphSpec, ...] = (
+    ("quorum-colony", (("n", 12), ("diameter_bound", 2)), 2),
+    ("hub-colony", (("n", 12), ("hubs", 2)), 2),
+    ("cell-tissue", (("width", 3), ("height", 3)), 4),
+)
+
+#: Expected churn events per step swept by the campaign, spanning the
+#: sustainable-to-collapsed range so the per-rate clean fractions
+#: bracket the phase boundary on every family.
+CHURN_RATES = (0.05, 0.25, 1.0, 4.0)
+
+#: Churn window length in engine steps.
+CHURN_WINDOW = 160
+
+
+@campaign(
+    "churn-phase",
+    "dynamic-topology churn: kind x rate x colony-family sweep, "
+    "lane-paired (object/array/native engines + zero-noise net)",
+)
+def _churn_phase(builder: CampaignBuilder) -> None:
+    """Every cell runs once per *lane* — the three sim engines plus the
+    zero-noise net runtime — under the *same* derived seed
+    (``seed_index`` pairing).  The
+    :class:`~repro.faults.churn.ChurnProcess` delta stream is a pure
+    function of the scenario seed, so all four lanes absorb the
+    bit-identical sequence of joins, leaves and edge rewires and must
+    report bit-identical measured columns — the sharpest cross-check of
+    the incremental ``mutate_topology`` paths the campaign layer can
+    run (enforced by
+    :func:`repro.campaigns.aggregate.verify_engine_pairing`).  The
+    aggregated per-(kind, rate, family) clean fractions trace the
+    sustainable-churn phase diagram; the boundary extraction lives in
+    :func:`repro.analysis.restabilization.churn_phase_boundary` and the
+    CI gate in ``benchmarks/bench_churn.py``."""
+    pair = 0
+    lanes = (
+        ("object", "sim"),
+        ("array", "sim"),
+        ("native", "sim"),
+        ("array", "net"),
+    )
+    for graph, params, d in CHURN_GRAPHS:
+        for kind in ("churn", "membership"):
+            for rate in CHURN_RATES:
+                faults = FaultPlan(kind=kind, rate=rate, times=(CHURN_WINDOW,))
+                for engine, runtime in lanes:
+                    builder.add_au(
+                        graph,
+                        params,
+                        d,
+                        scheduler="synchronous",
+                        engine=engine,
+                        start="random",
+                        max_rounds=4000,
+                        faults=faults,
+                        runtime=runtime,
+                        group=f"{kind}(r={rate:g})@{graph}",
+                        tags=(
+                            ("pairing", str(pair)),
+                            ("kind", kind),
+                            ("rate", f"{rate:g}"),
+                        ),
+                        seed_index=pair,
+                    )
+                pair += 1
 
 
 @campaign(

@@ -45,24 +45,27 @@ from repro.analysis.containment import (
     radius_of_mask,
 )
 from repro.analysis.monitors import MoveCounter
+from repro.analysis.restabilization import RestabilizationTracker, pulse_tightness
 from repro.campaigns.cache import ResultCache
 from repro.campaigns.dispatch import make_dispatcher
 from repro.campaigns.spec import (
     ALGORITHM_FACTORIES,
+    DYNAMIC_FAULT_KINDS,
     PERMANENT_FAULT_KINDS,
     AlgorithmSpec,
     Scenario,
     ScenarioResult,
     make_scheduler,
 )
+from repro.faults.churn import ChurnProcess
 from repro.faults.injection import (
     AU_START_BUILDERS,
     TransientFaultInjector,
-    carry_configuration,
     perturb_topology,
     random_configuration,
     uniform_configuration,
 )
+from repro.graphs.dynamic import TopologyDelta
 from repro.graphs.generators import make_graph
 from repro.graphs.topology import Topology
 from repro.model.configuration import Configuration
@@ -130,6 +133,8 @@ def _result(
     clean_fraction: Optional[float] = None,
     state_bits: Optional[float] = None,
     moves: Optional[int] = None,
+    churn_events: Optional[int] = None,
+    pulse_tightness: Optional[float] = None,
     detail: str = "",
     started: float = 0.0,
 ) -> ScenarioResult:
@@ -148,6 +153,8 @@ def _result(
         clean_fraction=clean_fraction,
         state_bits=state_bits,
         moves=moves,
+        churn_events=churn_events,
+        pulse_tightness=pulse_tightness,
         detail=detail,
         tags=scenario.tags,
         elapsed_ms=(time.perf_counter() - started) * 1000.0,
@@ -157,8 +164,13 @@ def _result(
 def _stabilization_round(execution) -> int:
     """The paper's unit: smallest ``i`` with stabilization by ``R(i)``
     (mirrors :func:`repro.analysis.stabilization.measure_au_stabilization`).
+
+    Measured on the tracker's own clock (``rounds.time``), not the
+    engine step counter: after a ``reset_schedule`` the tracker counts
+    from the structural event while ``t`` keeps counting total work,
+    and this is the number that must align with the boundaries.
     """
-    at_boundary = execution.t == execution.rounds.boundaries[-1]
+    at_boundary = execution.rounds.time == execution.rounds.boundaries[-1]
     return execution.completed_rounds + (0 if at_boundary else 1)
 
 
@@ -382,6 +394,8 @@ def _run_au(
 ) -> ScenarioResult:
     if scenario.faults.kind in PERMANENT_FAULT_KINDS:
         return _run_permanent(scenario, topology, rng, extra_monitors)
+    if scenario.faults.kind in DYNAMIC_FAULT_KINDS:
+        return _run_churn(scenario, topology, rng, extra_monitors)
     started = time.perf_counter()
     spec = _algorithm_spec(scenario)
     algorithm = _make_algorithm(scenario, topology)
@@ -493,8 +507,15 @@ def _run_au(
                 add=plan.add,
                 diameter_bound=scenario.diameter_bound,
             )
-            carried = carry_configuration(
-                execution.configuration, perturbation.topology
+            # The rewiring lands on the *running* execution as an
+            # incremental delta — the engine patches its structure in
+            # place instead of being rebuilt around a carried
+            # configuration.
+            execution.mutate_topology(
+                TopologyDelta(
+                    add_edges=perturbation.added,
+                    remove_edges=perturbation.removed,
+                )
             )
             # Nodes whose contact set changed re-enter from arbitrary
             # states: the rewiring invalidated exactly their neighborhood
@@ -505,49 +526,42 @@ def _run_au(
                 {v for edge in perturbation.removed + perturbation.added for v in edge}
             )
             if touched:
-                carried = carried.replace(
+                execution.poke_states(
                     {v: algorithm.random_state(rng) for v in touched}
                 )
-            rewired = _create_scenario_execution(
-                scenario,
-                perturbation.topology,
-                algorithm,
-                carried,
-                rng,
-                monitors=(mover, *extra_monitors),  # total moves, both phases
+            # Recovery is measured on a fresh round clock and scheduler,
+            # exactly as a from-scratch execution on the perturbed graph
+            # would count it; ``t`` keeps accumulating total work.
+            execution.reset_schedule(make_scheduler(scenario.scheduler))
+            recovery = execution.run(
+                max_rounds=scenario.max_rounds,
+                until=stable_now,
             )
-            try:
-                recovery = rewired.run(
-                    max_rounds=scenario.max_rounds,
-                    until=stable_now,
-                )
-                if not recovery.stopped_by_predicate:
-                    return _result(
-                        scenario,
-                        topology,
-                        stabilized=True,
-                        rounds=rounds,
-                        steps=execution.t + rewired.t,
-                        recovered=False,
-                        state_bits=bits,
-                        moves=mover.moves,
-                        detail="post-rewire recovery exceeded the round budget",
-                        started=started,
-                    )
+            if not recovery.stopped_by_predicate:
                 return _result(
                     scenario,
                     topology,
                     stabilized=True,
                     rounds=rounds,
-                    steps=execution.t + rewired.t,
-                    recovered=True,
-                    recovery_rounds=_stabilization_round(rewired),
+                    steps=execution.t,
+                    recovered=False,
                     state_bits=bits,
                     moves=mover.moves,
+                    detail="post-rewire recovery exceeded the round budget",
                     started=started,
                 )
-            finally:
-                _close_execution(rewired)
+            return _result(
+                scenario,
+                topology,
+                stabilized=True,
+                rounds=rounds,
+                steps=execution.t,
+                recovered=True,
+                recovery_rounds=_stabilization_round(execution),
+                state_bits=bits,
+                moves=mover.moves,
+                started=started,
+            )
 
         return _result(
             scenario,
@@ -557,6 +571,150 @@ def _run_au(
             steps=execution.t,
             state_bits=bits,
             moves=mover.moves,
+            started=started,
+        )
+    finally:
+        _close_execution(execution)
+
+
+def _run_churn(
+    scenario: Scenario,
+    topology: Topology,
+    rng,
+    extra_monitors: Tuple[Monitor, ...] = (),
+) -> ScenarioResult:
+    """Dynamic-topology scenario: stabilize, survive a churn window,
+    re-stabilize.
+
+    The three phases map onto the result columns:
+
+    1. **Stabilize** on the initial graph (``rounds``), as any static
+       scenario would.
+    2. **Churn window** — ``plan.times[0]`` engine steps driven by a
+       :class:`~repro.faults.churn.ChurnProcess` seeded purely from the
+       scenario seed, so every engine lane of a differential pair sees
+       the bit-identical delta stream.  ``kind="churn"`` splits
+       ``plan.rate`` evenly between edge additions and removals;
+       ``kind="membership"`` splits it between joins (fresh nodes at
+       the algorithm's rest state) and connectivity-preserving leaves.
+       ``clean_fraction`` is the fraction of window steps spent good —
+       the sustainable-churn order parameter — and the per-event
+       re-stabilization episodes are summarized into ``detail``.
+    3. **Re-stabilize** after the window closes (``recovered`` /
+       ``recovery_rounds``, on a fresh round clock), then measure the
+       final ``pulse_tightness`` of the surviving clocks.
+    """
+    started = time.perf_counter()
+    spec = _algorithm_spec(scenario)
+    algorithm = _make_algorithm(scenario, topology)
+    bits = _state_bits(algorithm)
+    mover = MoveCounter()
+    initial = _initial_configuration(scenario, algorithm, topology, rng)
+    plan = scenario.faults
+
+    execution = _create_scenario_execution(
+        scenario,
+        topology,
+        algorithm,
+        initial,
+        rng,
+        monitors=(mover, *extra_monitors),
+    )
+
+    if spec.stable is None:
+        def stable_now(e) -> bool:
+            """Goodness via the engine's incremental counters."""
+            return e.graph_is_good()
+    else:
+        def stable_now(e) -> bool:
+            """The algorithm's declared closed-configuration predicate."""
+            return spec.stable(algorithm, e.configuration)
+
+    try:
+        run = execution.run(max_rounds=scenario.max_rounds, until=stable_now)
+        if not run.stopped_by_predicate:
+            return _result(
+                scenario,
+                topology,
+                stabilized=False,
+                rounds=execution.completed_rounds,
+                steps=execution.t,
+                state_bits=bits,
+                moves=mover.moves,
+                detail="good graph not reached within the round budget",
+                started=started,
+            )
+        rounds = _stabilization_round(execution)
+
+        half = plan.rate / 2.0
+        if plan.kind == "churn":
+            churn = ChurnProcess(
+                execution.topology,
+                seed=scenario.seed,
+                edge_add_rate=half,
+                edge_remove_rate=half,
+            )
+        else:  # membership
+            churn = ChurnProcess(
+                execution.topology,
+                seed=scenario.seed,
+                join_rate=half,
+                leave_rate=half,
+                initial_state=algorithm.initial_state,
+            )
+
+        window = int(plan.times[0])
+        tracker = RestabilizationTracker()
+        good_steps = 0
+        for delta in churn.deltas(window):
+            if delta is not None:
+                execution.mutate_topology(delta)
+                tracker.on_event(execution.t)
+            execution.step()
+            is_good = stable_now(execution)
+            if is_good:
+                good_steps += 1
+            tracker.on_step(execution.t, is_good)
+        clean = good_steps / window
+
+        # Post-window recovery on a fresh round clock, so
+        # ``recovery_rounds`` counts from the end of the churn window
+        # the way ``rounds`` counts from the start.
+        execution.reset_schedule(make_scheduler(scenario.scheduler))
+        recovery = execution.run(max_rounds=scenario.max_rounds, until=stable_now)
+        recovered = recovery.stopped_by_predicate
+
+        alive = getattr(
+            execution.topology, "alive_nodes", execution.topology.nodes
+        )
+        tightness = pulse_tightness(
+            algorithm, (execution.state_of(v) for v in alive)
+        )
+
+        detail = ""
+        if not recovered:
+            detail = "post-churn recovery exceeded the round budget"
+        elif tracker.episodes:
+            detail = (
+                f"{len(tracker.episodes)} restabilization episodes, "
+                f"mean {tracker.mean_time():.1f} steps"
+            )
+        return _result(
+            scenario,
+            topology,
+            stabilized=True,
+            rounds=rounds,
+            steps=execution.t,
+            recovered=recovered,
+            recovery_rounds=(
+                _stabilization_round(execution) if recovered else None
+            ),
+            clean_fraction=clean,
+            churn_events=churn.events,
+            pulse_tightness=tightness,
+            state_bits=bits,
+            moves=mover.moves,
+            detail=detail,
             started=started,
         )
     finally:

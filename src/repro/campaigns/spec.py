@@ -74,7 +74,16 @@ FAULT_KINDS: Tuple[str, ...] = (
     "rewire",
     "byzantine",
     "crash",
+    "churn",
+    "membership",
 )
+
+#: The fault kinds that model a *dynamic topology* (the graph itself is
+#: the adversary): ``churn`` = seeded edge add/remove churn over a fixed
+#: node set, ``membership`` = nodes joining with fresh state and leaving
+#: as tombstones.  Both run through the engines' incremental
+#: ``mutate_topology`` and the :class:`~repro.faults.churn.ChurnProcess`.
+DYNAMIC_FAULT_KINDS: Tuple[str, ...] = ("churn", "membership")
 
 #: The fault kinds that model *permanent* faults (success means
 #: containment, not global stabilization).
@@ -93,9 +102,17 @@ NET_PARAM_KEYS: Tuple[str, ...] = ("delay", "jitter", "loss", "duplicate")
 
 #: Fault kinds the net runtime supports: permanent faults map onto
 #: actor-level faults (crash = silenced timers, byzantine = omniscient
-#: register rewrites); the transient kinds would need a semantics for
-#: in-flight messages that the differential contract does not cover yet.
-NET_FAULT_KINDS: Tuple[str, ...] = ("none", "byzantine", "crash")
+#: register rewrites); dynamic-topology kinds map deltas onto link
+#: creation/teardown and actor spawn/stop; the transient kinds would
+#: need a semantics for in-flight messages that the differential
+#: contract does not cover yet.
+NET_FAULT_KINDS: Tuple[str, ...] = (
+    "none",
+    "byzantine",
+    "crash",
+    "churn",
+    "membership",
+)
 
 #: Scheduler factories by declarative name.  Factories (not instances):
 #: several schedulers are stateful, so every scenario run gets a fresh
@@ -505,6 +522,12 @@ class FaultPlan:
     #: succeeds when every correct node at hop distance > ``radius``
     #: from the faulty set is stably clean.
     radius: int = 2
+    #: ``churn``/``membership`` kinds: expected topology events per step
+    #: during the churn window, split evenly between the two event
+    #: directions (add/remove edges, join/leave nodes).  The window
+    #: length in steps rides in ``times`` as its single entry; churn
+    #: starts once the run first stabilizes.
+    rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -547,6 +570,24 @@ class FaultPlan:
                 raise ValueError("containment radius must be >= 0")
         if self.kind == "crash" and len(self.times) > 1:
             raise ValueError("crash fault plan takes at most one crash time")
+        if self.kind in DYNAMIC_FAULT_KINDS:
+            if not self.rate > 0.0:
+                raise ValueError(
+                    f"{self.kind} fault plan needs rate > 0 (expected "
+                    f"topology events per step), got {self.rate}"
+                )
+            if len(self.times) != 1 or self.times[0] < 1:
+                raise ValueError(
+                    f"{self.kind} fault plan needs times=(window,) with a "
+                    f"churn-window length of at least one step, got "
+                    f"{self.times}"
+                )
+        elif self.rate:
+            raise ValueError(
+                f"rate only applies to the dynamic-topology kinds "
+                f"({', '.join(DYNAMIC_FAULT_KINDS)}); {self.kind} plans "
+                "must leave it at 0"
+            )
         object.__setattr__(self, "times", tuple(int(t) for t in self.times))
 
     @property
@@ -563,6 +604,8 @@ class FaultPlan:
         if self.kind == "crash":
             at = self.times[0] if self.times else 0
             return f"crash(d={self.density:.2f},t={at},r={self.radius})"
+        if self.kind in DYNAMIC_FAULT_KINDS:
+            return f"{self.kind}(r={self.rate:g},w={self.times[0]})"
         return f"rewire(-{self.remove}+{self.add})"
 
 
@@ -577,7 +620,12 @@ NO_FAULTS = FaultPlan()
 #: axes whose defaults reproduce the old behavior do NOT need a bump —
 #: the canonical payload includes them, so old hashes simply coexist
 #: with new ones.
-CONTENT_HASH_VERSION = 1
+#:
+#: Version 2: ``perturb_topology`` switched from permutation/sorted
+#: non-edge enumeration to rejection sampling, changing the rng draws —
+#: every ``rewire`` result (and, conservatively, every cached row)
+#: predating the switch is invalidated.
+CONTENT_HASH_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -948,6 +996,13 @@ class ScenarioResult:
     #: replica-batch retirement path.
     state_bits: Optional[float] = None
     moves: Optional[int] = None
+    #: Dynamic-topology kinds only: topology events actually applied
+    #: during the churn window, and the pulse-synchrony tightness (the
+    #: minimal cyclic arc of the alive able clocks over the clock group,
+    #: 1.0 while any alive node is faulty; 0.0 = perfectly pulsed) at
+    #: the end of the run.
+    churn_events: Optional[int] = None
+    pulse_tightness: Optional[float] = None
     detail: str = ""
     #: Row disposition: ``""`` for a normally measured row, ``"timeout"``
     #: when the runner's per-scenario wall-clock guard cut the run short

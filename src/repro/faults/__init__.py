@@ -1,5 +1,6 @@
-"""Transient fault injection and adversarial initializations."""
+"""Transient fault injection, topology churn and adversarial starts."""
 
+from repro.faults.churn import ChurnProcess
 from repro.faults.injection import (
     FaultEvent,
     PeriodicFaultInjector,
@@ -13,6 +14,7 @@ from repro.faults.injection import (
 )
 
 __all__ = [
+    "ChurnProcess",
     "FaultEvent",
     "PeriodicFaultInjector",
     "TransientFaultInjector",

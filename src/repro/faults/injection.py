@@ -214,45 +214,146 @@ def perturb_topology(
         raise ModelError("perturbation sizes must be non-negative")
     if remove == 0 and add == 0:
         return TopologyPerturbation(topology, (), ())
-    base = topology.graph
-    for _ in range(max_attempts):
-        graph = nx.Graph(base)
-        edges = list(graph.edges())
-        removable = rng.permutation(len(edges))
-        removed = []
-        for index in removable:
-            if len(removed) >= remove:
-                break
-            u, v = edges[int(index)]
-            graph.remove_edge(u, v)
-            if not nx.is_connected(graph):
-                graph.add_edge(u, v)
+
+    # One mutable working graph for the whole call: a dict-of-sets
+    # adjacency plus a swap-remove edge list for O(1) uniform edge
+    # draws.  Candidate edges/non-edges are rejection-sampled (with an
+    # exact enumeration fallback, so delivery stays exact on dense or
+    # bridge-heavy graphs) instead of materializing and sorting every
+    # non-edge of the graph per attempt.
+    n = topology.n
+    adj: Dict[int, set] = {v: set(topology.neighbors(v)) for v in topology.nodes}
+    edges: List[Tuple[int, int]] = [
+        (u, v) if u < v else (v, u) for u, v in topology.graph.edges()
+    ]
+    edge_pos: Dict[Tuple[int, int], int] = {e: i for i, e in enumerate(edges)}
+
+    def drop(e: Tuple[int, int]) -> None:
+        u, v = e
+        adj[u].discard(v)
+        adj[v].discard(u)
+        i = edge_pos.pop(e)
+        last = edges.pop()
+        if last != e:
+            edges[i] = last
+            edge_pos[last] = i
+
+    def insert(e: Tuple[int, int]) -> None:
+        u, v = e
+        adj[u].add(v)
+        adj[v].add(u)
+        edge_pos[e] = len(edges)
+        edges.append(e)
+
+    def connected_without(u: int, v: int) -> bool:
+        """Does ``u`` still reach ``v`` once (u, v) is removed?"""
+        if len(adj[u]) == 1 or len(adj[v]) == 1:
+            return False
+        seen = {u}
+        frontier = [u]
+        while frontier:
+            nxt: List[int] = []
+            for w in frontier:
+                for x in adj[w]:
+                    if w == u and x == v:
+                        continue
+                    if x == v:
+                        return True
+                    if x not in seen:
+                        seen.add(x)
+                        nxt.append(x)
+            frontier = nxt
+        return False
+
+    def diameter_within(bound: int) -> bool:
+        for source in adj:
+            seen = {source}
+            frontier = [source]
+            depth = 0
+            while frontier:
+                depth += 1
+                nxt = []
+                for w in frontier:
+                    for x in adj[w]:
+                        if x not in seen:
+                            seen.add(x)
+                            nxt.append(x)
+                frontier = nxt
+                if frontier and depth > bound:
+                    return False
+            if len(seen) != n:
+                return False
+        return True
+
+    def pick_removal() -> Optional[Tuple[int, int]]:
+        for _ in range(max_attempts):
+            e = edges[int(rng.integers(len(edges)))]
+            if connected_without(*e):
+                return e
+        # Exact fallback: test every edge in a random order.
+        for i in rng.permutation(len(edges)):
+            e = edges[int(i)]
+            if connected_without(*e):
+                return e
+        return None
+
+    def pick_addition(removed_set: set) -> Optional[Tuple[int, int]]:
+        for _ in range(max_attempts):
+            u = int(rng.integers(n))
+            v = int(rng.integers(n))
+            if u == v:
                 continue
-            removed.append((min(u, v), max(u, v)))
-        if len(removed) < remove:
-            continue
-        non_edges = sorted(
-            edge
-            for edge in ((min(u, v), max(u, v)) for u, v in nx.non_edges(graph))
-            if edge not in removed
+            e = (u, v) if u < v else (v, u)
+            if e in removed_set or e[1] in adj[e[0]]:
+                continue
+            return e
+        # Exact fallback (dense graphs): enumerate the non-edges once.
+        pool = sorted(
+            (u, v)
+            for u in adj
+            for v in adj
+            if u < v and v not in adj[u] and (u, v) not in removed_set
         )
-        added = []
-        if non_edges and add:
-            chosen = rng.choice(
-                len(non_edges), size=min(add, len(non_edges)), replace=False
+        if not pool:
+            return None
+        return pool[int(rng.integers(len(pool)))]
+
+    for _ in range(max_attempts):
+        removed: List[Tuple[int, int]] = []
+        added: List[Tuple[int, int]] = []
+        ok = True
+        for _ in range(remove):
+            e = pick_removal()
+            if e is None:
+                ok = False
+                break
+            drop(e)
+            removed.append(e)
+        if ok:
+            removed_set = set(removed)
+            for _ in range(add):
+                e = pick_addition(removed_set)
+                if e is None:
+                    ok = False
+                    break
+                insert(e)
+                added.append(e)
+        if ok and diameter_bound is not None:
+            ok = diameter_within(diameter_bound)
+        if ok:
+            graph = nx.Graph()
+            graph.add_nodes_from(topology.nodes)
+            graph.add_edges_from(edges)
+            perturbed = Topology(
+                graph, name=f"{topology.name}~(-{len(removed)}+{len(added)})"
             )
-            for index in sorted(int(i) for i in chosen):
-                u, v = non_edges[index]
-                graph.add_edge(u, v)
-                added.append((u, v))
-        if len(added) < add:
-            continue
-        if diameter_bound is not None and nx.diameter(graph) > diameter_bound:
-            continue
-        perturbed = Topology(
-            graph, name=f"{topology.name}~(-{len(removed)}+{len(added)})"
-        )
-        return TopologyPerturbation(perturbed, tuple(removed), tuple(added))
+            return TopologyPerturbation(perturbed, tuple(removed), tuple(added))
+        # Revert the working graph and resample (only the diameter gate
+        # or an unsatisfiable size can land here).
+        for e in added:
+            drop(e)
+        for e in removed:
+            insert(e)
     raise ModelError(
         f"could not perturb {topology.name!r} within {max_attempts} attempts "
         f"(remove={remove}, add={add}, diameter_bound={diameter_bound})"

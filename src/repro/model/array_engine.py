@@ -269,9 +269,10 @@ class ArrayExecution(ExecutionBase["Turn"]):
         nodes = self.topology.nodes
         rounds = self._rounds
         self._record_changes = False
+        sched_t0 = self._sched_t0
         try:
             for _ in range(steps):
-                activated = scheduler.activations(self._t, nodes, self.rng)
+                activated = scheduler.activations(self._t - sched_t0, nodes, self.rng)
                 if activated:
                     self._apply(activated)
                 rounds.observe(activated)
@@ -410,6 +411,85 @@ class ArrayExecution(ExecutionBase["Turn"]):
                 dirty[newly] = True
         self._config_cache = None
         return changed
+
+    # ------------------------------------------------------------------
+    # Dynamic topology.
+    # ------------------------------------------------------------------
+
+    def _ensure_dynamic_topology(self):
+        """Convert the shared frozen topology into a private
+        :class:`~repro.graphs.dynamic.DynamicTopology` (and its
+        :class:`~repro.graphs.dynamic.MutableCSR`) on first mutation.
+        Copy-on-first-mutate matters: the construction-time CSR is
+        cached on the topology and shared across executions
+        (differential pairs), so it must never be patched in place."""
+        from repro.graphs.dynamic import DynamicTopology
+
+        top = self.topology
+        if not isinstance(top, DynamicTopology):
+            top = DynamicTopology(top)
+            self.topology = top
+            self._csr = top.inclusive_csr()
+            self._hoods = None
+        return top
+
+    def _apply_topology_delta(self, delta):
+        dyn = self._ensure_dynamic_topology()
+        old_n = len(self._codes)
+        applied = dyn.apply_delta(delta)  # patches self._csr in place
+        n = dyn.n
+        if n > old_n:
+            grow = n - old_n
+            self._codes = np.concatenate(
+                [self._codes, np.zeros(grow, dtype=np.int64)]
+            )
+            self._pending = np.concatenate(
+                [self._pending, np.zeros(grow, dtype=np.int64)]
+            )
+            self._dirty = np.concatenate([self._dirty, np.zeros(grow, dtype=bool)])
+            self._enabled_mask = np.concatenate(
+                [self._enabled_mask, np.zeros(grow, dtype=bool)]
+            )
+            self._in_diff = np.zeros(n, dtype=bool)
+            self._new_code_of = np.zeros(n, dtype=np.int64)
+        encode = self._encoding.encode
+        codes = self._codes
+        if applied.left:
+            rest = encode(self.algorithm.initial_state())
+            for v in applied.left:
+                codes[v] = rest
+                self._pending[v] = rest
+        for v, state in applied.joined:
+            code = encode(state)
+            codes[v] = code
+            self._pending[v] = code
+        # Fold the delta into the dirty set: exactly the rows whose
+        # inclusive neighborhood (or state) changed — no wholesale
+        # invalidation.
+        affected = sorted(
+            set(applied.touched)
+            | set(applied.left)
+            | {v for v, _ in applied.joined}
+        )
+        if affected:
+            self._dirty_exact_rows(
+                np.fromiter(affected, dtype=np.int64, count=len(affected))
+            )
+        self._goodness = None  # lazily recounted on the mutated graph
+        self._config_cache = None
+        return applied
+
+    def _dirty_exact_rows(self, rows: np.ndarray) -> None:
+        """Dirty exactly ``rows`` (no neighborhood gather): the
+        structural-delta variant of :meth:`_mark_dirty_rows` — the delta
+        already names every row whose signal changed."""
+        dirty = self._dirty
+        newly = rows[~dirty[rows]]
+        if newly.size:
+            self._enabled_count -= int(self._enabled_mask[newly].sum())
+            self._enabled_mask[newly] = False
+            self._dirty_count += newly.size
+            dirty[newly] = True
 
     # ------------------------------------------------------------------
     # Dirty-set maintenance.

@@ -150,6 +150,11 @@ class ExecutionBase(ABC, Generic[Q]):
         self.incremental = bool(incremental)
         self._track_enabled = bool(track_enabled)
         self._t = 0
+        #: Scheduler time base: schedulers see ``t - _sched_t0``, so a
+        #: :meth:`reset_schedule` restarts their time axis (round-robin
+        #: position, subset phase) exactly like a fresh execution while
+        #: ``t`` itself keeps counting total work.
+        self._sched_t0 = 0
         self._rounds = RoundTracker(topology.nodes)
         self._started = False
         #: When False, ``_apply`` implementations may skip building the
@@ -159,6 +164,7 @@ class ExecutionBase(ABC, Generic[Q]):
         self._record_changes = True
         self._masked: FrozenSet[int] = frozenset()
         self._state_epoch = 0
+        self._topology_version = 0
         self._load_configuration(initial_configuration)
         scheduler.bind(self)
 
@@ -287,6 +293,75 @@ class ExecutionBase(ABC, Generic[Q]):
         self._load_configuration(self.configuration.replace(updates))
 
     # ------------------------------------------------------------------
+    # Dynamic topology.
+    # ------------------------------------------------------------------
+
+    @property
+    def topology_version(self) -> int:
+        """Counts applied topology deltas (0 = as constructed).
+        Consumers that cache anything derived from the structure —
+        neighbor lists, CSR views, per-node layouts — compare this
+        counter the way state-folding monitors compare
+        :attr:`state_epoch`."""
+        return self._topology_version
+
+    def mutate_topology(self, delta) -> "object":
+        """Apply a :class:`~repro.graphs.dynamic.TopologyDelta` to the
+        running execution, between steps.
+
+        The engine converts its (possibly shared) topology into a
+        private :class:`~repro.graphs.dynamic.DynamicTopology` on first
+        mutation, applies the delta incrementally in the canonical
+        order (removals → leaves → joins → additions), and folds the
+        change into its step pipeline: touched rows re-enter the dirty
+        set, joined nodes appear as fresh lanes carrying the delta's
+        arbitrary state, and left nodes are tombstoned — reset to the
+        algorithm's designated initial state, stripped of edges, and
+        masked like a crash (ids are never renumbered, so dense code
+        vectors and round bookkeeping stay valid).  Returns the
+        resolved :class:`~repro.graphs.dynamic.AppliedDelta`.
+        """
+        from repro.graphs.dynamic import AppliedDelta
+
+        if delta.is_empty:
+            return AppliedDelta((), (), (), (), ())
+        applied = self._apply_topology_delta(delta)
+        self._state_epoch += 1
+        self._topology_version += 1
+        if applied.joined:
+            self._rounds.add_nodes(v for v, _ in applied.joined)
+        if applied.left:
+            self._masked = self._masked | frozenset(applied.left)
+        return applied
+
+    def _apply_topology_delta(self, delta) -> "object":
+        """Engine hook behind :meth:`mutate_topology`; must mutate the
+        structure *and* restore the pipeline invariant (clean node ⇒
+        cached pending exact)."""
+        raise ModelError(
+            f"{type(self).__name__} does not implement dynamic topology "
+            "(mutate_topology)"
+        )
+
+    def reset_schedule(self, scheduler: Optional[Scheduler] = None) -> None:
+        """Restart the round bookkeeping (fresh ``R(0) = 0`` tracker)
+        and optionally swap in a fresh scheduler.
+
+        This is the dynamic-topology *re-measurement* seam: after a
+        structural event, recovery is measured in rounds counted from
+        the event, under a scheduler with no carried-over round state —
+        exactly the accounting a fresh execution on the perturbed graph
+        would produce (the pre-refactor rewire path), without rebuilding
+        anything.  The step counter ``t`` keeps counting, so total-work
+        measurements span both phases.
+        """
+        self._rounds = RoundTracker(self.topology.nodes)
+        self._sched_t0 = self._t
+        if scheduler is not None:
+            self.scheduler = scheduler
+            scheduler.bind(self)
+
+    # ------------------------------------------------------------------
     # Permanent-fault masking.
     # ------------------------------------------------------------------
 
@@ -335,12 +410,13 @@ class ExecutionBase(ABC, Generic[Q]):
                 self._load_configuration(replacement)
 
         scheduler = self.scheduler
+        sched_t = self._t - self._sched_t0
         if scheduler.uses_enabled_view:
             activated = scheduler.select(
-                self._t, self.topology.nodes, self.rng, self.enabled_nodes()
+                sched_t, self.topology.nodes, self.rng, self.enabled_nodes()
             )
         else:
-            activated = scheduler.activations(self._t, self.topology.nodes, self.rng)
+            activated = scheduler.activations(sched_t, self.topology.nodes, self.rng)
         effective = activated - self._masked if self._masked else activated
         changed = self._apply(effective) if effective else ()
         completed_round = self._rounds.observe(activated)

@@ -235,6 +235,49 @@ class Execution(ExecutionBase[Q], Generic[Q]):
             self._goodness = None
 
     # ------------------------------------------------------------------
+    # Dynamic topology.
+    # ------------------------------------------------------------------
+
+    def _ensure_dynamic_topology(self):
+        """Convert the (possibly shared) frozen topology into a private
+        :class:`~repro.graphs.dynamic.DynamicTopology` on first
+        mutation; the neighbor-list view then aliases the dynamic rows,
+        so subsequent deltas patch it in place."""
+        from repro.graphs.dynamic import DynamicTopology
+
+        top = self.topology
+        if not isinstance(top, DynamicTopology):
+            top = DynamicTopology(top)
+            self.topology = top
+            self._hoods = top.inclusive_csr().neighbor_lists()
+        return top
+
+    def _apply_topology_delta(self, delta):
+        dyn = self._ensure_dynamic_topology()
+        states = list(self._configuration.states())
+        applied = dyn.apply_delta(delta)
+        if applied.left:
+            rest = self.algorithm.initial_state()
+            for v in applied.left:
+                states[v] = rest
+        for _, state in applied.joined:
+            states.append(state)
+        self._configuration = Configuration._from_state_tuple(dyn, tuple(states))
+        n = dyn.n
+        if len(self._pending) < n:
+            self._pending.extend([None] * (n - len(self._pending)))
+        # Fold the delta into the dirty set: exactly the rows whose
+        # inclusive neighborhood (or state) changed, not the whole
+        # pipeline.
+        dirtied = set(applied.touched)
+        dirtied.update(applied.left)
+        dirtied.update(v for v, _ in applied.joined)
+        self._dirty.update(dirtied)
+        self._enabled.difference_update(dirtied)
+        self._goodness = None  # lazily recounted on the mutated graph
+        return applied
+
+    # ------------------------------------------------------------------
     # Incremental AlgAU goodness accounting.
     # ------------------------------------------------------------------
 

@@ -250,10 +250,19 @@ class ReplicaBatchExecution(ArrayExecution):
             offset += spec.topology.n
             nnz += len(csr.indices)
         self._ensemble = reps
+        # Per-replica topologies, kept for dynamic-topology deltas
+        # (converted to DynamicTopology copy-on-first-mutate).
+        self._replica_tops: List = [spec.topology for spec in specs]
         self._flat = np.concatenate(code_parts)
         self._block_csr = CSRAdjacency(
             np.concatenate(indptr_parts), np.concatenate(index_parts)
         )
+        # Tombstone lanes (nodes that left): excluded from every fused
+        # pass, mirroring the solo engines' permanent-fault masking.
+        self._left_flat = np.zeros(offset, dtype=bool)
+        for rep, spec in zip(reps, specs):
+            for v in getattr(spec.topology, "left_nodes", ()):
+                self._left_flat[rep.offset + v] = True
         self._rep_of_node = np.repeat(
             np.arange(len(reps), dtype=np.int64),
             np.fromiter((rep.n for rep in reps), dtype=np.int64, count=len(reps)),
@@ -322,6 +331,119 @@ class ReplicaBatchExecution(ArrayExecution):
                 raise ModelError(f"no replica {index} (single-replica engine)")
             return self.graph_is_good()
         return self._faulty_counts[index] == 0 and self._bad_counts[index] == 0
+
+    # ------------------------------------------------------------------
+    # Dynamic topology (ensemble path).
+    # ------------------------------------------------------------------
+
+    def _apply_topology_delta(self, delta):
+        """Apply one :class:`~repro.graphs.dynamic.TopologyDelta` to
+        *every* replica of the ensemble (replica-local node ids — the
+        same delta stream a solo lane of the differential pair sees).
+
+        Edge-only deltas keep every offset intact and splice the
+        affected rows of the block-diagonal CSR in place; membership
+        deltas (joins/leaves) shift the lane layout and rebuild the
+        fused arrays by re-concatenation.  Must not be called while a
+        :meth:`run_ensemble` drive is in flight (queued rounds would go
+        stale)."""
+        if self._ensemble is None:
+            return super()._apply_topology_delta(delta)
+        from repro.graphs.dynamic import DynamicTopology
+
+        tops = self._replica_tops
+        for i, top in enumerate(tops):
+            if not isinstance(top, DynamicTopology):
+                tops[i] = DynamicTopology(top)
+        # Keep the base-class node bookkeeping (masking, round tracker)
+        # anchored on the primary replica's mutable view.
+        self.topology = tops[0]
+        applieds = [top.apply_delta(delta) for top in tops]
+        if delta.join or delta.leave:
+            self._rebuild_ensemble_arrays(applieds)
+        else:
+            # Edge-only: offsets unchanged — patch the block CSR rows.
+            changed = {}
+            for rep, top, a in zip(self._ensemble, tops, applieds):
+                for v in a.touched:
+                    changed[rep.offset + v] = [
+                        u + rep.offset for u in top.inclusive_neighbors(v)
+                    ]
+                rep.m = top.m
+            self._ensure_mutable_block_csr().patch(changed)
+        self._reseed_ensemble_goodness()
+        return applieds[0]
+
+    def _ensure_mutable_block_csr(self):
+        from repro.graphs.dynamic import MutableCSR
+
+        if not isinstance(self._block_csr, MutableCSR):
+            self._block_csr = MutableCSR(
+                self._block_csr.indptr, self._block_csr.indices
+            )
+        return self._block_csr
+
+    def _rebuild_ensemble_arrays(self, applieds) -> None:
+        """Re-concatenate the fused arrays after a membership delta:
+        joined lanes are appended at each replica's end (shifting every
+        later replica's offset), left lanes stay as tombstones."""
+        from repro.graphs.dynamic import MutableCSR
+
+        encode = self._encoding.encode
+        rest = encode(self.algorithm.initial_state())
+        reps = self._ensemble
+        tops = self._replica_tops
+        code_parts: List[np.ndarray] = []
+        left_parts: List[np.ndarray] = []
+        indptr_parts: List[np.ndarray] = [np.zeros(1, dtype=np.int64)]
+        index_parts: List[np.ndarray] = []
+        offset = 0
+        nnz = 0
+        for rep, top, a in zip(reps, tops, applieds):
+            codes = np.zeros(top.n, dtype=np.int64)
+            codes[: rep.n] = self._flat[rep.offset : rep.offset + rep.n]
+            for v in a.left:
+                codes[v] = rest
+            for v, state in a.joined:
+                codes[v] = encode(state)
+            code_parts.append(codes)
+            left = np.zeros(top.n, dtype=bool)
+            for v in top.left_nodes:
+                left[v] = True
+            left_parts.append(left)
+            csr = top.inclusive_csr()
+            indptr_parts.append(np.asarray(csr.indptr[1:]) + nnz)
+            index_parts.append(np.asarray(csr.indices) + offset)
+            rep.offset = offset
+            rep.n = top.n
+            rep.m = top.m
+            rep.nodes = top.nodes
+            rep.all_rows = np.arange(offset, offset + top.n, dtype=np.int64)
+            rep.tracker.add_nodes(v for v, _ in a.joined)
+            offset += top.n
+            nnz += len(csr.indices)
+        self._flat = np.concatenate(code_parts)
+        self._left_flat = np.concatenate(left_parts)
+        self._block_csr = MutableCSR(
+            np.concatenate(indptr_parts), np.concatenate(index_parts)
+        )
+        self._rep_of_node = np.repeat(
+            np.arange(len(reps), dtype=np.int64),
+            np.fromiter((rep.n for rep in reps), dtype=np.int64, count=len(reps)),
+        )
+        self._in_diff_flat = np.zeros(offset, dtype=bool)
+        self._new_code_flat = np.zeros(offset, dtype=np.int64)
+        self._queue = np.zeros(offset, dtype=np.int64)
+
+    def _reseed_ensemble_goodness(self) -> None:
+        """Full goodness rescan per replica after a structural delta —
+        the same counts the solo array lane lazily recomputes."""
+        for rep, top in zip(self._ensemble, self._replica_tops):
+            faulty, bad = self._goodness_counts(
+                self._flat[rep.offset : rep.offset + rep.n], top.inclusive_csr()
+            )
+            self._faulty_counts[rep.index] = faulty
+            self._bad_counts[rep.index] = bad
 
     # ------------------------------------------------------------------
     # Drive-mode guard.
@@ -410,6 +532,11 @@ class ReplicaBatchExecution(ArrayExecution):
             return base, pos
 
         q_base, q_pos = queue_arrays()
+        # Tombstone lanes (membership churn) are scheduled like every
+        # other node but dropped from the fused pass — the solo engines'
+        # masking semantics (RoundTracker still observes them).
+        left_flat = self._left_flat
+        left_any = bool(left_flat.any())
         t = 0
         while call_reps or queue_reps:
             if max_steps is not None and t >= max_steps:
@@ -474,9 +601,10 @@ class ReplicaBatchExecution(ArrayExecution):
 
             if not parts:
                 break
-            changed_reps = self._ensemble_apply(
-                parts[0] if len(parts) == 1 else np.concatenate(parts)
-            )
+            rows = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            if left_any:
+                rows = rows[~left_flat[rows]]
+            changed_reps = self._ensemble_apply(rows) if rows.size else None
             t += 1
 
             # --- post-step bookkeeping: rounds first, then retirement.

@@ -74,6 +74,21 @@ class RoundTracker:
             self._pending = set(self._nodes)
         return True
 
+    def add_nodes(self, nodes: Iterable[int]) -> None:
+        """Extend the tracked node set mid-execution (dynamic joins).
+
+        A joined node must be activated before the *current* round can
+        complete — a round is "every node activated at least once", and
+        the node exists now — so it enters both the node tuple and the
+        pending set of the in-progress round.
+        """
+        known = set(self._nodes)
+        new = tuple(v for v in nodes if v not in known)
+        if not new:
+            return
+        self._nodes = tuple(self._nodes) + new
+        self._pending.update(new)
+
     def boundary(self, i: int) -> int:
         """``R(i)`` for an already-completed round index ``i``."""
         return self._boundaries[i]

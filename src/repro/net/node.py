@@ -78,7 +78,13 @@ class NodeActor:
         Stale deliveries (sequence number at or below the register's)
         are dropped; every delivery still refreshes ``last_heard`` so
         failure detectors measure link liveness, not state novelty.
+        Deliveries from non-neighbors are discarded outright — under
+        dynamic topology an in-flight copy may outlive the edge (or the
+        sender) it travelled on, and must not resurrect a register that
+        the membership change already tore down.
         """
+        if sender not in self.neighbors:
+            return
         self.last_heard[sender] = now
         current = self.registers.get(sender)
         if current is None or seq > current[0]:

@@ -318,6 +318,75 @@ class NetExecution(ExecutionBase):
             registers[v] = (seq, state)
 
     # ------------------------------------------------------------------
+    # Dynamic topology.
+    # ------------------------------------------------------------------
+
+    def _ensure_dynamic_topology(self):
+        from repro.graphs.dynamic import DynamicTopology
+
+        top = self.topology
+        if not isinstance(top, DynamicTopology):
+            top = DynamicTopology(top)
+            self.topology = top
+        return top
+
+    def _apply_topology_delta(self, delta):
+        """Map a :class:`~repro.graphs.dynamic.TopologyDelta` onto the
+        actor world: edge deltas create/tear down directed link pairs
+        (and the registers riding on them), leaves silence an actor into
+        a tombstone, joins spawn a fresh actor and its inbox task.
+
+        Register refreshes for every affected node are out-of-band
+        (instant, fresh sequence numbers) — the same omniscient-write
+        convention as configuration loads, which is what keeps zero-
+        noise churn runs bit-identical to the simulation engines.
+        In-flight deliveries from a removed neighbor are dropped by the
+        actors' membership guard, not by scanning the message queues.
+        """
+        dyn = self._ensure_dynamic_topology()
+        applied = dyn.apply_delta(delta)
+        actors = self._actors
+        links = self._links
+        # Tear down removed (and leave-incident) edges: both directed
+        # links and both registers.
+        for u, v in applied.removed_edges:
+            for a, b in ((u, v), (v, u)):
+                links.pop((a, b), None)
+                actors[b].registers.pop(a, None)
+                actors[b].last_heard.pop(a, None)
+        # Departed nodes become silent tombstones (rest state, no
+        # neighbors, no message processing).
+        if applied.left:
+            rest = self.algorithm.initial_state()
+            for v in applied.left:
+                actor = actors[v]
+                actor.crashed = True
+                actor.state = rest
+                actor.registers.clear()
+                actor.last_heard.clear()
+                actor.neighbors = ()
+        # Joined nodes: one fresh actor and inbox task per join.
+        for v, state in applied.joined:
+            actor = NodeActor(v, dyn.neighbors(v), self)
+            actor.state = state
+            actors[v] = actor
+            self._tasks.append(self.loop.create_task(actor.run()))
+        # New directed link pairs for added (and join-attachment) edges.
+        for u, v in applied.added_edges:
+            links[(u, v)] = FairLossyLink(self.link_config)
+            links[(v, u)] = FairLossyLink(self.link_config)
+        # Surviving touched actors adopt their new neighbor sets, then
+        # every affected node's state is pushed into the (new) registers.
+        for v in applied.touched:
+            actors[v].neighbors = dyn.neighbors(v)
+        refresh = sorted(set(applied.touched) | {v for v, _ in applied.joined})
+        for v in refresh:
+            if not actors[v].crashed:
+                self._push_registers(v)
+        self._config_cache = None
+        return applied
+
+    # ------------------------------------------------------------------
     # Actor-level faults and lifecycle.
     # ------------------------------------------------------------------
 

@@ -73,19 +73,19 @@ def scenario(**overrides) -> Scenario:
 #: bump CONTENT_HASH_VERSION in spec.py (invalidating all caches) and
 #: re-pin; if not, you just silently corrupted every existing cache.
 GOLDEN_HASHES = {
-    "object-sync": "e59be9654eefd9c7e4b0e8960ff766250003d0446cb0baf7dcc42c0ffc66bc73",
-    "array-engine": "5c069ce024abaf085c3a22324829042b72191705cc10017771826e7e6c560abc",
-    "replica-batch-engine": "34a1883a4d6135545f3f8137732dc43cf8b26e3c0ef72a98151b73e2c267d1df",
-    "native-engine": "dd99c1e7925788dffe6a0c99fc815260b51309b3de102d793d981e1cbf06008f",
-    "ring-laggard": "ad3c6eaea689b44c3f2911fadace393eabd495e2978d9155012addac2602c48b",
-    "net-ideal": "6785426d1e7a4c88b94ff8a81b60af9d909ef66d1e5d906dfb536640a01e89fb",
-    "net-lossy": "5f936b9f5b97b98eb634fe5d3b953c59fd7b7b68f36cfe78be60d83854d77121",
-    "byzantine": "d612d910585cf5205c48f07ab46ecf5b5967d322b1f72a87698ec037ae9bbe24",
-    "crash": "48350470fed969ea0e19008e82df22df6eace56575cdfcd0869542a5de10672b",
-    "bursts": "a6288c3f6881210e16057541b6ee5986aa7ee3d427ddb7153ecbfea824fbdfbf",
-    "le-task": "b6d92f880efa1dd9ba17c89061bf6bfe9d81e2944655499b08707a70cd9cb3a4",
-    "mis-baseline": "f9a8c2f549c94c6f716ec2b4b614a08cbef9d23a6f0ec4df88182770eb02146e",
-    "reset-tail": "e45237689a88171e84b6d8516e325ae79c675c7d5f20134db16a6745a1c8f4d0",
+    "object-sync": "7205164e0b4761f12d2dd6f768f3e3c21aa9141cd515a06e046231f7ae9152f3",
+    "array-engine": "2468207b4a939a23a3603f4cb0b876f269f6ca29fc38ddf284f6c8f67858ff33",
+    "replica-batch-engine": "88227a3708b88267e3331cfac12930a503b8f16904bc17ad50a61f1a717b36ce",
+    "native-engine": "4c4dbe8bdbbf9c069fa155bd507021761d0f156c25ea8ffa23795f59a536612e",
+    "ring-laggard": "8dafb7b6b192bc677a47bd35c7c8f45c72e14f8d3cce057d15fad2bb9235cc1d",
+    "net-ideal": "2eb2be7d6d6802a185af799216b6226c37dc2012cc35885e65ad2e5656968ac9",
+    "net-lossy": "a9417d7b531505542eb57ba0c209fa211a46a288de53dbaaaf5e75c19c1d7eee",
+    "byzantine": "dc4c0697c7f1653cdc3fd31708ba3906eea22c1dab9ee7d12136fb65285de4c0",
+    "crash": "a1105688997cbd3721f089e341da5f765b28bcf6fe9543a0332c4c9c181d9767",
+    "bursts": "412824dfa92c2155744aa7e73e226de946b60dbb3b1a84c6fe31b4b037e2052f",
+    "le-task": "fc88c0c2db210c030f39305c4e90e8c5f716c9cba7dd0b7a7503b801bf5d27fb",
+    "mis-baseline": "d751f6ca24b50b379cab496b36e4d5ee338d9add646906e6f8dd7ed55a908394",
+    "reset-tail": "92c7c5b4259282497f1cbcd3fb1030004f03247c69369c2877f4e776fdc65f40",
 }
 
 

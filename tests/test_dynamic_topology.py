@@ -1,0 +1,628 @@
+"""Dynamic topology: deltas, churn processes, engine differentials and
+re-stabilization analytics.
+
+Covers the mutable-topology substrate end to end:
+
+* :class:`~repro.graphs.dynamic.TopologyDelta` validation and
+  :class:`~repro.graphs.dynamic.DynamicTopology` incremental semantics
+  (tombstoned leaves, consecutive joins, patched metrics);
+* :class:`~repro.graphs.dynamic.MutableCSR` splicing against a
+  from-scratch rebuild;
+* :class:`~repro.faults.churn.ChurnProcess` determinism and
+  internal-consistency invariants;
+* engine differentials: object/array/native step-for-step under one
+  churn stream, the replica-batch ensemble against solo lanes, and the
+  zero-noise net runtime against the sim lanes through
+  :func:`~repro.campaigns.run_scenario`;
+* the ``rewire`` fault plan's incremental path against the old
+  rebuild-and-carry flow, plus the exact-delivery contract of
+  :func:`~repro.faults.injection.perturb_topology`;
+* :mod:`repro.analysis.restabilization` unit behavior and the churn
+  scenario columns (``clean_fraction``, ``churn_events``,
+  ``pulse_tightness``) they feed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.restabilization import (
+    RestabilizationTracker,
+    churn_phase_boundary,
+    pulse_tightness,
+)
+from repro.campaigns import FaultPlan, Scenario, run_scenario
+from repro.campaigns.aggregate import MEASURED_COLUMNS, measured_payload
+from repro.campaigns.registry import registry_names
+from repro.core.algau import ThinUnison
+from repro.core.turns import Turn
+from repro.faults.churn import ChurnProcess
+from repro.faults.injection import (
+    carry_configuration,
+    perturb_topology,
+    random_configuration,
+)
+from repro.graphs.dynamic import (
+    DynamicTopology,
+    MutableCSR,
+    TopologyDelta,
+    TopologyError,
+    canonical_edge,
+)
+from repro.graphs.generators import complete_graph, make_graph, ring
+from repro.graphs.properties import (
+    diameter,
+    is_valid_diameter_bound,
+    summary,
+)
+from repro.model.engine import create_execution
+from repro.model.errors import ModelError
+from repro.model.replica_engine import ReplicaBatchExecution, ReplicaSpec
+from repro.model.scheduler import RoundRobinScheduler, SynchronousScheduler
+from repro.viz.timeline import clock_timeline, record_snapshots, sparkline
+
+
+def _delta_stream(topology, *, seed, steps, membership, algorithm=None):
+    kwargs = dict(edge_add_rate=0.2, edge_remove_rate=0.2)
+    if membership:
+        kwargs.update(
+            join_rate=0.15,
+            leave_rate=0.15,
+            initial_state=(algorithm or ThinUnison(2)).initial_state,
+        )
+    return list(ChurnProcess(topology, seed=seed, **kwargs).deltas(steps))
+
+
+def _execution(engine, topology, algorithm, initial, scheduler=None, seed=0):
+    return create_execution(
+        topology,
+        algorithm,
+        initial,
+        scheduler or SynchronousScheduler(),
+        rng=np.random.default_rng(seed),
+        engine=engine,
+    )
+
+
+def _states(execution):
+    configuration = execution.configuration
+    return tuple(configuration[v] for v in execution.topology.nodes)
+
+
+class TestTopologyDelta:
+    def test_edges_are_canonicalized(self):
+        delta = TopologyDelta(add_edges=((3, 1),), remove_edges=((5, 2),))
+        assert delta.add_edges == ((1, 3),)
+        assert delta.remove_edges == ((2, 5),)
+
+    def test_self_loops_are_rejected(self):
+        with pytest.raises(TopologyError):
+            canonical_edge(4, 4)
+        with pytest.raises(TopologyError):
+            TopologyDelta(add_edges=((2, 2),))
+
+    def test_duplicate_and_conflicting_edges_are_rejected(self):
+        with pytest.raises(TopologyError):
+            TopologyDelta(add_edges=((1, 2), (2, 1)))
+        with pytest.raises(TopologyError):
+            TopologyDelta(remove_edges=((0, 1), (1, 0)))
+        with pytest.raises(TopologyError):
+            TopologyDelta(add_edges=((0, 1),), remove_edges=((1, 0),))
+
+    def test_membership_conflicts_are_rejected(self):
+        with pytest.raises(TopologyError):
+            TopologyDelta(leave=(3, 3))
+        with pytest.raises(TopologyError):
+            TopologyDelta(
+                join=((6, (0,), None), (6, (1,), None)), leave=()
+            )
+        with pytest.raises(TopologyError):
+            TopologyDelta(join=((6, (0,), None),), leave=(6,))
+
+    def test_emptiness(self):
+        assert TopologyDelta().is_empty
+        assert not TopologyDelta()
+        assert TopologyDelta(add_edges=((0, 1),))
+
+
+class TestDynamicTopology:
+    def _dyn(self, n=6):
+        return DynamicTopology(ring(n))
+
+    def test_reads_match_the_base_topology(self):
+        base = ring(6)
+        dyn = self._dyn(6)
+        assert dyn.n == base.n
+        assert dyn.m == base.m
+        assert dyn.nodes == base.nodes
+        for v in base.nodes:
+            assert dyn.neighbors(v) == base.neighbors(v)
+            assert dyn.inclusive_neighbors(v) == base.inclusive_neighbors(v)
+            assert dyn.degree(v) == base.degree(v)
+        assert dyn.diameter == base.diameter
+        assert dyn.version == 0
+
+    def test_edge_add_and_remove_update_structure(self):
+        dyn = self._dyn(6)
+        applied = dyn.apply_delta(TopologyDelta(add_edges=((0, 3),)))
+        assert applied.added_edges == ((0, 3),)
+        assert applied.touched == (0, 3)
+        assert dyn.has_edge(0, 3)
+        assert dyn.m == 7
+        assert dyn.version == 1
+        dyn.apply_delta(TopologyDelta(remove_edges=((0, 3),)))
+        assert not dyn.has_edge(0, 3)
+        assert dyn.m == 6
+        assert dyn.version == 2
+
+    def test_leave_tombstones_without_renumbering(self):
+        dyn = self._dyn(6)
+        applied = dyn.apply_delta(TopologyDelta(leave=(2,)))
+        assert applied.left == (2,)
+        assert set(applied.removed_edges) == {(1, 2), (2, 3)}
+        assert dyn.left_nodes == frozenset({2})
+        assert dyn.alive_nodes == (0, 1, 3, 4, 5)
+        assert dyn.n == 6  # ids never shrink
+        assert dyn.degree(2) == 0
+        assert dyn.inclusive_neighbors(2) == (2,)
+        assert dyn.is_connected()  # the alive part is the path 1-0-5-4-3
+
+    def test_join_semantics_and_id_discipline(self):
+        dyn = self._dyn(4)
+        state = object()
+        applied = dyn.apply_delta(TopologyDelta(join=((4, (0, 2), state),)))
+        assert applied.joined == ((4, state),)
+        assert dyn.n == 5
+        assert dyn.neighbors(4) == (0, 2)
+        assert dyn.has_edge(0, 4) and dyn.has_edge(2, 4)
+        with pytest.raises(TopologyError):  # ids must be consecutive
+            dyn.apply_delta(TopologyDelta(join=((9, (0,), state),)))
+        with pytest.raises(TopologyError):  # at least one attachment
+            dyn.apply_delta(TopologyDelta(join=((5, (), state),)))
+
+    def test_invalid_deltas_are_rejected_atomically(self):
+        dyn = self._dyn(6)
+        with pytest.raises(TopologyError):
+            dyn.apply_delta(TopologyDelta(remove_edges=((0, 3),)))  # absent
+        with pytest.raises(TopologyError):
+            dyn.apply_delta(TopologyDelta(add_edges=((0, 1),)))  # existing
+        with pytest.raises(TopologyError):
+            dyn.apply_delta(
+                TopologyDelta(remove_edges=((1, 2),), leave=(2,))
+            )  # leave-incident edges are implicit
+        dyn.apply_delta(TopologyDelta(leave=(2,)))
+        with pytest.raises(TopologyError):
+            dyn.apply_delta(TopologyDelta(add_edges=((2, 4),)))  # tombstone
+        with pytest.raises(TopologyError):
+            dyn.apply_delta(TopologyDelta(leave=(2,)))  # already left
+
+    def test_metrics_follow_mutations(self):
+        dyn = self._dyn(8)
+        assert dyn.diameter == 4
+        dyn.apply_delta(TopologyDelta(add_edges=((0, 4), (2, 6))))
+        assert dyn.diameter == 3  # the two crossing chords shrink the ring
+        assert dyn.distance(0, 4) == 1
+        assert dyn.ball(0, 1) == frozenset({0, 1, 4, 7})
+        with pytest.raises(TopologyError):
+            dyn.check_diameter_bound(2)
+
+    def test_csr_stays_in_sync_with_rows(self):
+        dyn = self._dyn(6)
+        csr = dyn.inclusive_csr()
+        deltas = [
+            TopologyDelta(add_edges=((0, 2), (1, 4))),
+            TopologyDelta(leave=(5,)),
+            TopologyDelta(join=((6, (0, 3), None),)),
+            TopologyDelta(remove_edges=((0, 2),)),
+        ]
+        for delta in deltas:
+            dyn.apply_delta(delta)
+            rebuilt = MutableCSR.from_rows(
+                [list(dyn.inclusive_neighbors(v)) for v in dyn.nodes]
+            )
+            assert csr is dyn.inclusive_csr()  # patched in place
+            assert np.array_equal(csr.indptr, rebuilt.indptr)
+            assert np.array_equal(csr.indices, rebuilt.indices)
+
+
+class TestMutableCSR:
+    def test_patch_matches_from_scratch_rebuild(self):
+        rows = [[0, 1, 2], [1, 0], [2, 0, 3], [3, 2]]
+        csr = MutableCSR.from_rows(rows)
+        rows[1] = [1, 0, 2, 3]
+        rows[3] = [3]
+        rows.append([4, 0, 1])
+        csr.patch({1: rows[1], 3: rows[3]}, appended=[rows[4]])
+        rebuilt = MutableCSR.from_rows(rows)
+        assert np.array_equal(csr.indptr, rebuilt.indptr)
+        assert np.array_equal(csr.indices, rebuilt.indices)
+        assert np.array_equal(csr.row_index, rebuilt.row_index)
+
+    def test_buffer_growth_preserves_contents(self):
+        rows = [[v] for v in range(4)]
+        csr = MutableCSR.from_rows(rows)
+        # Repeatedly widen one row far past the initial slack.
+        for width in (8, 32, 128):
+            rows[2] = [2] + list(range(100, 100 + width))
+            csr.patch({2: rows[2]})
+            rebuilt = MutableCSR.from_rows(rows)
+            assert np.array_equal(csr.indptr, rebuilt.indptr)
+            assert np.array_equal(csr.indices, rebuilt.indices)
+
+    def test_empty_patch_is_a_no_op(self):
+        csr = MutableCSR.from_rows([[0, 1], [1, 0]])
+        indptr, indices = csr.indptr.copy(), csr.indices.copy()
+        csr.patch({})
+        assert np.array_equal(csr.indptr, indptr)
+        assert np.array_equal(csr.indices, indices)
+
+
+class TestChurnProcess:
+    def test_same_seed_same_stream(self):
+        algorithm = ThinUnison(2)
+        topology = make_graph("hub-colony", np.random.default_rng(1), n=24)
+        streams = [
+            _delta_stream(
+                topology, seed=55, steps=60, membership=True, algorithm=algorithm
+            )
+            for _ in range(2)
+        ]
+        def key(d):
+            if d is None:
+                return None
+            return (
+                d.add_edges,
+                d.remove_edges,
+                tuple((v, hood) for v, hood, _ in d.join),
+                d.leave,
+            )
+
+        assert [key(d) for d in streams[0]] == [key(d) for d in streams[1]]
+        assert any(d is not None for d in streams[0])
+
+    def test_high_rate_stream_applies_cleanly(self):
+        # Regression: a step's additions must never re-add an edge the
+        # same step removed (the mirror already reflects the removal, so
+        # only the delta-level exclusion prevents it).
+        algorithm = ThinUnison(2)
+        topology = make_graph("hub-colony", np.random.default_rng(2), n=20)
+        churn = ChurnProcess(
+            topology,
+            seed=7,
+            edge_add_rate=3.0,
+            edge_remove_rate=3.0,
+            join_rate=1.0,
+            leave_rate=1.0,
+            initial_state=algorithm.initial_state,
+        )
+        dyn = DynamicTopology(topology)
+        applied_events = 0
+        for delta in churn.deltas(40):
+            if delta is None:
+                continue
+            applied = dyn.apply_delta(delta)  # raises on inconsistency
+            applied_events += (
+                len(delta.add_edges)
+                + len(delta.remove_edges)
+                + len(delta.join)
+                + len(delta.leave)
+            )
+        assert applied_events == churn.events > 0
+        assert dyn.is_connected() or dyn.left_nodes
+
+    def test_mirror_tracks_the_applied_graph(self):
+        topology = ring(10)
+        churn = ChurnProcess(topology, seed=3, edge_add_rate=1.0, edge_remove_rate=1.0)
+        dyn = DynamicTopology(topology)
+        for delta in churn.deltas(30):
+            if delta is not None:
+                dyn.apply_delta(delta)
+        assert churn.edge_count == dyn.m
+        assert churn.alive_count == len(dyn.alive_nodes)
+
+    def test_parameter_validation(self):
+        topology = ring(5)
+        with pytest.raises(ValueError):
+            ChurnProcess(topology, seed=0, edge_add_rate=-1.0)
+        with pytest.raises(ValueError):
+            ChurnProcess(topology, seed=0, join_rate=0.5)  # no initial_state
+
+
+class TestEngineChurnDifferential:
+    @pytest.mark.parametrize("membership", [False, True], ids=["edges", "members"])
+    def test_object_array_native_step_for_step(self, membership):
+        algorithm = ThinUnison(2)
+        topology = make_graph("hub-colony", np.random.default_rng(17), n=30, hubs=3)
+        initial = random_configuration(algorithm, topology, np.random.default_rng(5))
+        deltas = _delta_stream(
+            topology, seed=23, steps=50, membership=membership, algorithm=algorithm
+        )
+        engines = ("object", "array", "native")
+        lanes = {
+            engine: _execution(engine, topology, algorithm, initial)
+            for engine in engines
+        }
+        for step, delta in enumerate(deltas):
+            for lane in lanes.values():
+                if delta is not None:
+                    lane.mutate_topology(delta)
+                lane.step()
+            reference = _states(lanes["object"])
+            for engine in engines[1:]:
+                assert _states(lanes[engine]) == reference, (engine, step)
+        reference = lanes["object"]
+        for engine in engines[1:]:
+            assert lanes[engine].graph_is_good() == reference.graph_is_good()
+            assert lanes[engine].topology_version == reference.topology_version
+            assert lanes[engine].topology_version > 0
+
+    @pytest.mark.parametrize("membership", [False, True], ids=["edges", "members"])
+    def test_replica_ensemble_matches_solo_lanes(self, membership):
+        algorithm = ThinUnison(2)
+        seeds = [41, 42, 43]
+        specs, solos = [], []
+        for seed in seeds:
+            rng = np.random.default_rng(seed)
+            topology = ring(9)
+            initial = random_configuration(algorithm, topology, rng)
+            specs.append(
+                ReplicaSpec(topology, initial, SynchronousScheduler(), rng)
+            )
+            solo_rng = np.random.default_rng(seed)
+            solo_topology = ring(9)
+            solo_initial = random_configuration(algorithm, solo_topology, solo_rng)
+            solos.append(
+                create_execution(
+                    solo_topology,
+                    algorithm,
+                    solo_initial,
+                    SynchronousScheduler(),
+                    rng=solo_rng,
+                    engine="array",
+                )
+            )
+        batch = ReplicaBatchExecution.from_replicas(algorithm, specs)
+        if membership:
+            delta = TopologyDelta(
+                join=((9, (0, 4), algorithm.initial_state()),), leave=(2,)
+            )
+        else:
+            delta = TopologyDelta(add_edges=((0, 3),), remove_edges=((0, 1),))
+        batch.mutate_topology(delta)
+        for solo in solos:
+            solo.mutate_topology(delta)
+        outcomes = batch.run_ensemble(max_rounds=2000)
+        for i, (solo, outcome) in enumerate(zip(solos, outcomes)):
+            run = solo.run(max_rounds=2000, until=lambda e: e.graph_is_good())
+            assert outcome.stabilized == run.stopped_by_predicate, i
+            assert outcome.steps == solo.t, i
+            assert np.array_equal(batch.replica_codes(i), solo.codes), i
+
+    @pytest.mark.parametrize("kind", ["churn", "membership"])
+    def test_all_four_scenario_lanes_agree(self, kind):
+        base = dict(
+            campaign="t",
+            index=0,
+            task="au",
+            graph="complete",
+            graph_params=(("n", 6),),
+            diameter_bound=1,
+            scheduler="synchronous",
+            start="random",
+            seed=11,
+            max_rounds=4000,
+            faults=FaultPlan(kind=kind, rate=0.6, times=(30,)),
+        )
+        lanes = [
+            Scenario(engine="object", **base),
+            Scenario(engine="array", **base),
+            Scenario(engine="native", **base),
+            Scenario(engine="array", runtime="net", **base),
+        ]
+        results = [run_scenario(scenario) for scenario in lanes]
+        reference = measured_payload(results[0])
+        assert results[0].stabilized
+        assert results[0].churn_events > 0
+        assert 0.0 <= results[0].clean_fraction <= 1.0
+        assert results[0].pulse_tightness is not None
+        for result in results[1:]:
+            assert measured_payload(result) == reference, result.engine
+
+
+class TestRewireMutatePath:
+    def _stabilized_lane(self, topology, algorithm, initial, seed):
+        lane = create_execution(
+            topology,
+            algorithm,
+            initial,
+            RoundRobinScheduler(),
+            rng=np.random.default_rng(seed),
+            engine="array",
+        )
+        run = lane.run(max_rounds=4000, until=lambda e: e.graph_is_good())
+        assert run.stopped_by_predicate
+        return lane
+
+    def test_incremental_rewire_matches_rebuild_and_carry(self):
+        """The runner's mutate_topology + poke + reset_schedule rewire
+        path reproduces the old rebuild-and-carry flow bit for bit
+        (same rng consumption order, same scheduler restart)."""
+        algorithm = ThinUnison(2)
+        topology = make_graph("hub-colony", np.random.default_rng(3), n=20, hubs=2)
+        initial = random_configuration(algorithm, topology, np.random.default_rng(9))
+
+        incremental = self._stabilized_lane(topology, algorithm, initial, seed=77)
+        pre_steps = incremental.t
+        perturbation = perturb_topology(topology, incremental.rng, remove=2, add=2)
+        incremental.mutate_topology(
+            TopologyDelta(
+                add_edges=perturbation.added, remove_edges=perturbation.removed
+            )
+        )
+        touched = sorted(
+            {v for edge in perturbation.removed + perturbation.added for v in edge}
+        )
+        incremental.poke_states(
+            {v: algorithm.random_state(incremental.rng) for v in touched}
+        )
+        incremental.reset_schedule(RoundRobinScheduler())
+        run = incremental.run(max_rounds=4000, until=lambda e: e.graph_is_good())
+        assert run.stopped_by_predicate
+
+        reference = self._stabilized_lane(topology, algorithm, initial, seed=77)
+        ref_pert = perturb_topology(topology, reference.rng, remove=2, add=2)
+        assert ref_pert.removed == perturbation.removed
+        assert ref_pert.added == perturbation.added
+        carried = carry_configuration(reference.configuration, ref_pert.topology)
+        rebuilt = create_execution(
+            ref_pert.topology,
+            algorithm,
+            carried,
+            RoundRobinScheduler(),
+            rng=reference.rng,
+            engine="array",
+        )
+        rebuilt.poke_states(
+            {v: algorithm.random_state(rebuilt.rng) for v in touched}
+        )
+        ref_run = rebuilt.run(max_rounds=4000, until=lambda e: e.graph_is_good())
+        assert ref_run.stopped_by_predicate
+
+        assert incremental.t == pre_steps + rebuilt.t
+        for v in rebuilt.topology.nodes:
+            assert incremental.state_of(v) == rebuilt.state_of(v), v
+
+    def test_perturbation_is_delivered_exactly(self):
+        # Bridge-heavy graph: two hubs joined by one bridge — removals
+        # must route around the bridge, never under-deliver.
+        rng = np.random.default_rng(13)
+        topology = make_graph("hub-colony", rng, n=18, hubs=2)
+        for seed in range(5):
+            perturbation = perturb_topology(
+                topology, np.random.default_rng(seed), remove=2, add=2
+            )
+            assert len(perturbation.removed) == 2
+            assert len(perturbation.added) == 2
+            assert not set(perturbation.removed) & set(perturbation.added)
+            assert perturbation.topology.n == topology.n
+
+    def test_unsatisfiable_perturbations_raise(self):
+        # A ring cannot lose two edges and stay connected.
+        with pytest.raises(ModelError):
+            perturb_topology(ring(8), np.random.default_rng(0), remove=2, add=0)
+        # A complete graph has no non-edges, and the just-removed edge
+        # is off limits — exact delivery must raise, not silently re-add.
+        with pytest.raises(ModelError):
+            perturb_topology(
+                complete_graph(5), np.random.default_rng(0), remove=1, add=1
+            )
+
+
+class TestRestabilizationAnalytics:
+    def test_tracker_episode_lifecycle(self):
+        tracker = RestabilizationTracker()
+        assert tracker.mean_time() is None and tracker.max_time() is None
+        tracker.on_step(0, good=True)  # good steps without events: no-op
+        tracker.on_event(3)
+        tracker.on_event(5)  # clustered event extends the open episode
+        tracker.on_step(4, good=False)
+        tracker.on_step(9, good=True)
+        assert tracker.episodes == [(3, 9)]
+        tracker.on_event(12)
+        assert tracker.unresolved
+        tracker.on_step(14, good=True)
+        assert not tracker.unresolved
+        assert tracker.times() == [6, 2]
+        assert tracker.mean_time() == 4.0
+        assert tracker.max_time() == 6
+
+    def test_pulse_tightness_limits(self):
+        algorithm = ThinUnison(2)
+        group = algorithm.levels.group_order
+
+        def turn_with_clock(clock):
+            level = clock - group // 2
+            if level >= 0:
+                level += 1
+            return Turn(level=level, faulty=False)
+
+        # Perfect pulse: every clock equal.
+        assert pulse_tightness(algorithm, [turn_with_clock(3)] * 4) == 0.0
+        # A surviving faulty turn means no pulse at all.
+        states = [turn_with_clock(0), Turn(level=2, faulty=True)]
+        assert pulse_tightness(algorithm, states) == 1.0
+        # Two adjacent clocks: minimal covering arc of length 1.
+        states = [turn_with_clock(0), turn_with_clock(1)]
+        assert pulse_tightness(algorithm, states) == pytest.approx(1.0 / group)
+        # The arc is cyclic: clocks 0 and 2k-1 are adjacent too.
+        states = [turn_with_clock(0), turn_with_clock(group - 1)]
+        assert pulse_tightness(algorithm, states) == pytest.approx(1.0 / group)
+        # Fully smeared clocks approach (but never reach) 1.
+        states = [turn_with_clock(c) for c in range(group)]
+        assert pulse_tightness(algorithm, states) == pytest.approx(
+            (group - 1.0) / group
+        )
+        # Algorithms without a level system yield no measurement.
+        assert pulse_tightness(object(), states) is None
+
+    def test_phase_boundary_extraction(self):
+        sweep = [(0.1, 1.0), (0.1, 0.9), (0.5, 0.8), (2.0, 0.2), (2.0, 0.1)]
+        assert churn_phase_boundary(sweep) == pytest.approx(1.25)
+        assert churn_phase_boundary([(0.1, 1.0), (0.5, 0.9)]) is None
+        assert churn_phase_boundary([(0.1, 0.2), (0.5, 0.1)]) == pytest.approx(0.1)
+        assert churn_phase_boundary([]) is None
+
+
+class TestChurnScenarioSpec:
+    def test_dynamic_plans_require_rate_and_window(self):
+        with pytest.raises(ValueError):
+            FaultPlan(kind="churn", times=(30,))  # no rate
+        with pytest.raises(ValueError):
+            FaultPlan(kind="membership", rate=0.5)  # no window
+        with pytest.raises(ValueError):
+            FaultPlan(kind="bursts", rate=0.5)  # rate is churn-only
+        plan = FaultPlan(kind="churn", rate=0.5, times=(30,))
+        assert plan.label == "churn(r=0.5,w=30)"
+
+    def test_churn_phase_campaign_is_registered(self):
+        assert "churn-phase" in registry_names()
+
+    def test_churn_columns_are_measured(self):
+        assert "churn_events" in MEASURED_COLUMNS
+        assert "pulse_tightness" in MEASURED_COLUMNS
+
+
+class TestPropertiesAndVizUnderChurn:
+    def test_property_helpers_on_a_mutated_topology(self):
+        base = ring(8)
+        assert diameter(base) == 4
+        assert is_valid_diameter_bound(base, 4)
+        assert not is_valid_diameter_bound(base, 3)
+        assert "n=8 m=8" in summary(base)
+        dyn = DynamicTopology(base)
+        dyn.apply_delta(TopologyDelta(add_edges=((0, 4), (2, 6))))
+        assert dyn.diameter == 3  # properties track incremental edits
+
+    def test_clock_timeline_renders_a_churned_run(self):
+        algorithm = ThinUnison(2)
+        topology = ring(6)
+        initial = random_configuration(
+            algorithm, topology, np.random.default_rng(4)
+        )
+        execution = _execution("object", topology, algorithm, initial)
+        snapshots = record_snapshots(execution, rounds=2)
+        execution.mutate_topology(TopologyDelta(add_edges=((0, 3),)))
+        snapshots.extend(record_snapshots(execution, rounds=1))
+        rendered = clock_timeline(algorithm, snapshots)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("round |")
+        assert "v5" in lines[0]
+        assert len(lines) == 2 + len(snapshots)
+
+    def test_sparkline_shapes(self):
+        assert sparkline([]) == ""
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
